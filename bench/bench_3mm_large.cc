@@ -1,0 +1,14 @@
+// 3mm with the large dataset (800,900,1000,1100,1200). Table 1 lists its
+// 74,649,600-configuration space; the paper shows no figure for it, so
+// there is no reference runtime — this bench completes the Table 1 grid.
+#include "figure_common.h"
+
+int main() {
+  tvmbo::bench::FigureSpec spec;
+  spec.kernel = "3mm";
+  spec.dataset = tvmbo::kernels::Dataset::kLarge;
+  spec.process_figure = "Table1-row1";
+  spec.minimum_figure = "Table1-row1";
+  spec.paper_best_runtime_s = 0.0;
+  return tvmbo::bench::run_figure_experiment(spec);
+}

@@ -1,0 +1,53 @@
+// Ablation: LCB exploration weight (kappa) in the ytopt Bayesian
+// optimizer. kappa = 0 is pure exploitation of the surrogate mean; large
+// kappa approaches pure uncertainty-chasing. The paper uses ytopt's
+// default balance; this bench shows where that sits on LU-large and
+// Cholesky-xlarge.
+#include <cstdio>
+
+#include "framework/figures.h"
+#include "framework/session.h"
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+
+using namespace tvmbo;
+
+namespace {
+
+void sweep(const char* kernel, kernels::Dataset dataset) {
+  const autotvm::Task task = kernels::make_task(kernel, dataset);
+  std::printf("kernel %s/%s, 100 evaluations, 3 seeds per kappa\n", kernel,
+              kernels::dataset_name(dataset));
+  std::printf("%8s %14s %14s %14s\n", "kappa", "best_mean_s", "best_min_s",
+              "process_s");
+  for (double kappa : {0.0, 0.5, 1.0, 1.96, 4.0, 16.0}) {
+    double best_sum = 0.0;
+    double best_min = 1e300;
+    double time_sum = 0.0;
+    const int seeds = 3;
+    for (int seed = 0; seed < seeds; ++seed) {
+      runtime::SwingSimDevice device(static_cast<std::uint64_t>(seed));
+      framework::SessionOptions options;
+      options.max_evaluations = 100;
+      options.seed = 1000 + static_cast<std::uint64_t>(seed);
+      options.bo.kappa = kappa;
+      framework::AutotuningSession session(&task, &device, options);
+      const auto result = session.run(framework::StrategyKind::kYtopt);
+      best_sum += result.best->runtime_s;
+      best_min = std::min(best_min, result.best->runtime_s);
+      time_sum += result.total_time_s;
+    }
+    std::printf("%8.2f %14.4f %14.4f %14.1f\n", kappa, best_sum / seeds,
+                best_min, time_sum / seeds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: LCB acquisition kappa (ytopt surrogate search)\n\n");
+  sweep("lu", kernels::Dataset::kLarge);
+  std::printf("\n");
+  sweep("cholesky", kernels::Dataset::kExtraLarge);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: AutoTVM measurement batch size. Larger batches amortize the
+// parallel builder better (smaller process time) but give model-guided
+// tuners staler feedback (XGB retrains less often per evaluation).
+#include <cstdio>
+
+#include "framework/session.h"
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+
+using namespace tvmbo;
+
+int main() {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kExtraLarge);
+  const int seeds = 3;
+
+  std::printf("Ablation: AutoTVM batch size (LU extralarge, 100 evals, "
+              "%d seeds)\n\n",
+              seeds);
+  for (auto kind : {framework::StrategyKind::kAutotvmXgb,
+                    framework::StrategyKind::kAutotvmGa,
+                    framework::StrategyKind::kAutotvmRandom}) {
+    std::printf("strategy %s\n", framework::strategy_name(kind));
+    std::printf("%10s %14s %14s\n", "batch", "best_mean_s",
+                "process_mean_s");
+    for (std::size_t batch : {1u, 4u, 8u, 16u, 32u}) {
+      double best_sum = 0.0, time_sum = 0.0;
+      for (int seed = 0; seed < seeds; ++seed) {
+        runtime::SwingSimDevice device(static_cast<std::uint64_t>(seed));
+        framework::SessionOptions options;
+        options.max_evaluations = 100;
+        options.batch_size = batch;
+        options.seed = 42 + static_cast<std::uint64_t>(seed);
+        framework::AutotuningSession session(&task, &device, options);
+        const auto result = session.run(kind);
+        best_sum += result.best->runtime_s;
+        time_sum += result.total_time_s;
+      }
+      std::printf("%10zu %14.4f %14.1f\n", static_cast<std::size_t>(batch),
+                  best_sum / seeds, time_sum / seeds);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

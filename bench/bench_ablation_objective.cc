@@ -1,0 +1,52 @@
+// Extension bench: tuning objective — runtime vs energy vs energy-delay
+// product on the simulated Swing A100 (the direction of ytopt's
+// performance+energy work, the paper's reference [9]). Shows how the
+// chosen configuration and its runtime/energy trade off per objective.
+#include <cstdio>
+
+#include "framework/figures.h"
+#include "framework/session.h"
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+
+using namespace tvmbo;
+
+namespace {
+
+void tune_with(const char* kernel, kernels::Dataset dataset,
+               framework::Objective objective) {
+  const autotvm::Task task = kernels::make_task(kernel, dataset);
+  runtime::SwingSimDevice device(2023);
+  framework::SessionOptions options;
+  options.max_evaluations = 100;
+  options.objective = objective;
+  framework::AutotuningSession session(&task, &device, options);
+  const auto result = session.run(framework::StrategyKind::kYtopt);
+  std::printf("%-14s best config %-12s runtime %8.4f s  energy %9.1f J  "
+              "EDP %10.1f Js\n",
+              framework::objective_name(objective),
+              framework::tiles_to_string(result.best->tiles).c_str(),
+              result.best->runtime_s, result.best->energy_j,
+              result.best->energy_j * result.best->runtime_s);
+}
+
+void sweep(const char* kernel, kernels::Dataset dataset) {
+  std::printf("%s / %s — ytopt, 100 evaluations per objective:\n", kernel,
+              kernels::dataset_name(dataset));
+  for (framework::Objective objective :
+       {framework::Objective::kRuntime, framework::Objective::kEnergy,
+        framework::Objective::kEnergyDelay}) {
+    tune_with(kernel, dataset, objective);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: tuning objective (runtime | energy | EDP)\n\n");
+  sweep("lu", kernels::Dataset::kLarge);
+  sweep("cholesky", kernels::Dataset::kExtraLarge);
+  sweep("3mm", kernels::Dataset::kLarge);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: Random-Forest surrogate size and the init-design budget.
+// Trades surrogate quality (better acquisition) against refit cost
+// (ytopt refits every iteration, so tree count feeds straight into the
+// autotuning process time).
+#include <cstdio>
+
+#include "common/timer.h"
+#include "framework/session.h"
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+
+using namespace tvmbo;
+
+namespace {
+
+framework::SessionResult run_with(const autotvm::Task& task,
+                                  framework::SessionOptions options,
+                                  std::uint64_t seed) {
+  runtime::SwingSimDevice device(seed);
+  options.seed = seed;
+  framework::AutotuningSession session(&task, &device, options);
+  return session.run(framework::StrategyKind::kYtopt);
+}
+
+}  // namespace
+
+int main() {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  const int seeds = 3;
+
+  std::printf("Ablation A: forest size (LU large, 100 evals, %d seeds)\n",
+              seeds);
+  std::printf("%10s %14s %18s\n", "trees", "best_mean_s", "refit_ms_mean");
+  for (int trees : {5, 20, 50, 100, 200}) {
+    double best_sum = 0.0;
+    double wall_ms = 0.0;
+    for (int seed = 0; seed < seeds; ++seed) {
+      framework::SessionOptions options;
+      options.max_evaluations = 100;
+      options.bo.forest.num_trees = trees;
+      Stopwatch timer;
+      const auto result =
+          run_with(task, options, static_cast<std::uint64_t>(seed));
+      wall_ms += timer.elapsed_ms();
+      best_sum += result.best->runtime_s;
+    }
+    std::printf("%10d %14.4f %18.1f\n", trees, best_sum / seeds,
+                wall_ms / seeds);
+  }
+
+  std::printf("\nAblation B: initial random design size (LU large)\n");
+  std::printf("%10s %14s\n", "init", "best_mean_s");
+  for (std::size_t init : {2u, 5u, 10u, 20u, 40u, 80u}) {
+    double best_sum = 0.0;
+    for (int seed = 0; seed < seeds; ++seed) {
+      framework::SessionOptions options;
+      options.max_evaluations = 100;
+      options.bo.initial_points = init;
+      best_sum +=
+          run_with(task, options, static_cast<std::uint64_t>(seed))
+              .best->runtime_s;
+    }
+    std::printf("%10zu %14.4f\n", static_cast<std::size_t>(init),
+                best_sum / seeds);
+  }
+
+  std::printf("\nAblation C: candidate-pool size per iteration\n");
+  std::printf("%10s %14s\n", "pool", "best_mean_s");
+  for (std::size_t pool : {16u, 64u, 256u, 512u, 2048u}) {
+    double best_sum = 0.0;
+    for (int seed = 0; seed < seeds; ++seed) {
+      framework::SessionOptions options;
+      options.max_evaluations = 100;
+      options.bo.candidates_per_iteration = pool;
+      best_sum +=
+          run_with(task, options, static_cast<std::uint64_t>(seed))
+              .best->runtime_s;
+    }
+    std::printf("%10zu %14.4f\n", static_cast<std::size_t>(pool),
+                best_sum / seeds);
+  }
+  return 0;
+}

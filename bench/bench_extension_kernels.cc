@@ -1,0 +1,50 @@
+// Extension bench: the paper's five-strategy comparison applied to the
+// PolyBench kernels it did not evaluate — gemm, 2mm, and syrk — on the
+// same simulated device. Tests whether the paper's conclusions (ytopt
+// competitive and fastest; grid search worst) generalize across kernels.
+#include <cstdio>
+
+#include "framework/analysis.h"
+#include "framework/figures.h"
+#include "framework/session.h"
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+
+using namespace tvmbo;
+
+namespace {
+
+void run_kernel(const char* kernel, kernels::Dataset dataset) {
+  const autotvm::Task task = kernels::make_task(kernel, dataset);
+  runtime::SwingSimDevice device(2023);
+  framework::SessionOptions options;
+  options.max_evaluations = 100;
+  options.xgb_paper_eval_cap = 56;
+  framework::AutotuningSession session(&task, &device, options);
+  const auto results = session.run_all();
+  std::printf("%s",
+              framework::render_minimum_summary(
+                  results,
+                  std::string(kernel) + " / " +
+                      kernels::dataset_name(dataset) + " (" +
+                      std::to_string(task.config.space().cardinality()) +
+                      " configs)",
+                  0.0)
+                  .c_str());
+  std::printf("%s\n",
+              framework::render_table(framework::summary_table(results))
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: five-strategy comparison on kernels outside the "
+              "paper's evaluation\n\n");
+  run_kernel("gemm", kernels::Dataset::kLarge);
+  run_kernel("syrk", kernels::Dataset::kLarge);
+  run_kernel("2mm", kernels::Dataset::kLarge);
+  run_kernel("atax", kernels::Dataset::kLarge);
+  run_kernel("mvt", kernels::Dataset::kLarge);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figures 4 & 5: autotuning LU with the large dataset (N = 2000).
+// Paper result: ytopt finishes 100 evaluations fastest and identifies
+// tensor size 400x50 with the smallest runtime, 1.659 s.
+#include "figure_common.h"
+
+int main() {
+  tvmbo::bench::FigureSpec spec;
+  spec.kernel = "lu";
+  spec.dataset = tvmbo::kernels::Dataset::kLarge;
+  spec.process_figure = "Fig4";
+  spec.minimum_figure = "Fig5";
+  spec.paper_best_runtime_s = 1.659;
+  spec.paper_best_config = "400x50 (ytopt)";
+  return tvmbo::bench::run_figure_experiment(spec);
+}

@@ -1,0 +1,15 @@
+// Figures 6 & 7: autotuning LU with the extralarge dataset (N = 4000).
+// Paper result: ytopt takes the smallest autotuning process time and
+// identifies tensor size 40x32 with the smallest runtime, 13.77 s.
+#include "figure_common.h"
+
+int main() {
+  tvmbo::bench::FigureSpec spec;
+  spec.kernel = "lu";
+  spec.dataset = tvmbo::kernels::Dataset::kExtraLarge;
+  spec.process_figure = "Fig6";
+  spec.minimum_figure = "Fig7";
+  spec.paper_best_runtime_s = 13.77;
+  spec.paper_best_config = "40x32 (ytopt)";
+  return tvmbo::bench::run_figure_experiment(spec);
+}

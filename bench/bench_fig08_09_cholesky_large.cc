@@ -1,0 +1,15 @@
+// Figures 8 & 9: autotuning Cholesky with the large dataset (N = 2000).
+// Paper result: AutoTVM-GA's best is 1.65 s at 50x50; ytopt reaches
+// 1.66 s at 125x50 while finishing its evaluations in much less time.
+#include "figure_common.h"
+
+int main() {
+  tvmbo::bench::FigureSpec spec;
+  spec.kernel = "cholesky";
+  spec.dataset = tvmbo::kernels::Dataset::kLarge;
+  spec.process_figure = "Fig8";
+  spec.minimum_figure = "Fig9";
+  spec.paper_best_runtime_s = 1.65;
+  spec.paper_best_config = "50x50 (GA, 1.65 s) / 125x50 (ytopt, 1.66 s)";
+  return tvmbo::bench::run_figure_experiment(spec);
+}

@@ -1,0 +1,15 @@
+// Figures 10 & 11: autotuning Cholesky with the extralarge dataset
+// (N = 4000). Paper result: ytopt takes the smallest process time and
+// identifies tensor size 80x32 with the smallest runtime, 13.99 s.
+#include "figure_common.h"
+
+int main() {
+  tvmbo::bench::FigureSpec spec;
+  spec.kernel = "cholesky";
+  spec.dataset = tvmbo::kernels::Dataset::kExtraLarge;
+  spec.process_figure = "Fig10";
+  spec.minimum_figure = "Fig11";
+  spec.paper_best_runtime_s = 13.99;
+  spec.paper_best_config = "80x32 (ytopt)";
+  return tvmbo::bench::run_figure_experiment(spec);
+}

@@ -1,0 +1,19 @@
+// Figures 12 & 13: autotuning 3mm with the extralarge dataset
+// (N,L,M,O,P = 1600,1800,2000,2200,2400; 228,614,400 configurations).
+// Paper result: AutoTVM-XGB's best is 30.99 s at (1000x32, 600x2, 15x40);
+// ytopt reaches 31.1 s at (1x5, 120x25, 60x100) — wildly different
+// configurations within 0.4% in runtime (the broad plateau).
+#include "figure_common.h"
+
+int main() {
+  tvmbo::bench::FigureSpec spec;
+  spec.kernel = "3mm";
+  spec.dataset = tvmbo::kernels::Dataset::kExtraLarge;
+  spec.process_figure = "Fig12";
+  spec.minimum_figure = "Fig13";
+  spec.paper_best_runtime_s = 30.99;
+  spec.paper_best_config =
+      "(1000x32, 600x2, 15x40) (XGB, 30.99 s) / (1x5, 120x25, 60x100) "
+      "(ytopt, 31.1 s)";
+  return tvmbo::bench::run_figure_experiment(spec);
+}

@@ -1,0 +1,207 @@
+// Micro-benchmarks (google-benchmark) for the framework's moving parts:
+// surrogate fit/predict (the per-iteration BO overhead), TE lowering and
+// interpretation, configuration-space operations, the simulated device,
+// and the tiled native kernels.
+#include <benchmark/benchmark.h>
+
+#include "configspace/divisors.h"
+#include "kernels/native.h"
+#include "kernels/polybench.h"
+#include "kernels/reference.h"
+#include "kernels/te_kernels.h"
+#include "runtime/swing_sim.h"
+#include "surrogate/gbt.h"
+#include "surrogate/random_forest.h"
+#include "te/compile.h"
+#include "te/interp.h"
+#include "ytopt/bayes_opt.h"
+
+using namespace tvmbo;
+
+namespace {
+
+cs::ConfigurationSpace lu_space() {
+  cs::ConfigurationSpace space;
+  space.add(cs::tile_factor_param("P0", 2000));
+  space.add(cs::tile_factor_param("P1", 2000));
+  return space;
+}
+
+surrogate::Dataset make_dataset(std::size_t n) {
+  Rng rng(1);
+  surrogate::Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(), x1 = rng.uniform();
+    data.add({x0, x1, x0 * x1, x0 - x1},
+             (x0 - 0.4) * (x0 - 0.4) + 0.2 * x1);
+  }
+  return data;
+}
+
+void BM_RandomForestFit(benchmark::State& state) {
+  const auto data = make_dataset(static_cast<std::size_t>(state.range(0)));
+  surrogate::ForestOptions options;
+  options.num_trees = 100;
+  for (auto _ : state) {
+    Rng rng(7);
+    surrogate::RandomForest forest(options);
+    forest.fit(data, rng);
+    benchmark::DoNotOptimize(forest);
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  const auto data = make_dataset(100);
+  surrogate::RandomForest forest;
+  Rng rng(7);
+  forest.fit(data, rng);
+  const std::vector<double> x{0.3, 0.6, 0.18, -0.3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_with_std(x));
+  }
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void BM_GbtFit(benchmark::State& state) {
+  const auto data = make_dataset(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Rng rng(7);
+    surrogate::GradientBoostedTrees gbt;
+    gbt.fit(data, rng);
+    benchmark::DoNotOptimize(gbt);
+  }
+}
+BENCHMARK(BM_GbtFit)->Arg(50)->Arg(100);
+
+void BM_BoAskTell(benchmark::State& state) {
+  // Full per-iteration BO cost at a 60-observation history.
+  const auto space = lu_space();
+  for (auto _ : state) {
+    state.PauseTiming();
+    ytopt::BayesianOptimizer bo(&space, 3);
+    Rng rng(4);
+    for (int i = 0; i < 60; ++i) {
+      const auto config = bo.ask();
+      bo.tell(config, 1.0 + rng.uniform());
+    }
+    state.ResumeTiming();
+    const auto config = bo.ask();
+    bo.tell(config, 1.5);
+  }
+}
+BENCHMARK(BM_BoAskTell);
+
+void BM_ConfigSpaceSample(benchmark::State& state) {
+  const auto space = lu_space();
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.sample(rng));
+  }
+}
+BENCHMARK(BM_ConfigSpaceSample);
+
+void BM_ConfigSpaceFlatIndex(benchmark::State& state) {
+  const auto space = lu_space();
+  std::uint64_t flat = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.from_flat_index(flat));
+    flat = (flat + 1) % space.cardinality();
+  }
+}
+BENCHMARK(BM_ConfigSpaceFlatIndex);
+
+void BM_SwingSimSurface(benchmark::State& state) {
+  runtime::SwingSimDevice device;
+  const auto workload = kernels::make_workload(
+      "lu", kernels::Dataset::kLarge);
+  const std::int64_t tiles[2] = {400, 50};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.surface_runtime(workload, tiles));
+  }
+}
+BENCHMARK(BM_SwingSimSurface);
+
+void BM_TeLower3mm(benchmark::State& state) {
+  const auto t = kernels::make_3mm(16, 18, 20, 22, 24);
+  const std::int64_t tiles[6] = {4, 5, 4, 2, 4, 6};
+  for (auto _ : state) {
+    te::Schedule sched = kernels::schedule_3mm(t, tiles);
+    benchmark::DoNotOptimize(te::lower(sched));
+  }
+}
+BENCHMARK(BM_TeLower3mm);
+
+void BM_TeInterpMatmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto t = kernels::make_gemm(n, n, n);
+  te::Schedule sched = kernels::schedule_gemm(t, 4, 4);
+  const te::Stmt program = te::lower(sched);
+  runtime::NDArray a({n, n}), b({n, n}), c({n, n});
+  kernels::init_gemm(a, b);
+  for (auto _ : state) {
+    te::Interpreter interp;
+    interp.bind(t.A, &a);
+    interp.bind(t.B, &b);
+    interp.bind(t.C, &c);
+    interp.run(program);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_TeInterpMatmul)->Arg(16)->Arg(32);
+
+void BM_TeCompiledMatmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto t = kernels::make_gemm(n, n, n);
+  te::Schedule sched = kernels::schedule_gemm(t, 4, 4);
+  const te::Stmt program = te::lower(sched);
+  runtime::NDArray a({n, n}), b({n, n}), c({n, n});
+  kernels::init_gemm(a, b);
+  const te::CompiledProgram compiled = te::CompiledProgram::compile(
+      program, {{t.A, &a}, {t.B, &b}, {t.C, &c}});
+  for (auto _ : state) {
+    compiled.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_TeCompiledMatmul)->Arg(16)->Arg(32);
+
+void BM_NativeMatmulTiled(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  runtime::NDArray a({n, n}), b({n, n}), c({n, n});
+  kernels::init_gemm(a, b);
+  for (auto _ : state) {
+    kernels::matmul_tiled(a, b, c, 32, 32);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_NativeMatmulTiled)->Arg(64)->Arg(128);
+
+void BM_NativeLuTiled(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  runtime::NDArray original({n, n});
+  kernels::init_lu(original);
+  for (auto _ : state) {
+    runtime::NDArray work = original;
+    kernels::lu_tiled(work, 16, 32);
+    benchmark::DoNotOptimize(work.data());
+  }
+}
+BENCHMARK(BM_NativeLuTiled)->Arg(64)->Arg(128);
+
+void BM_NativeCholeskyTiled(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  runtime::NDArray original({n, n});
+  kernels::init_spd(original);
+  for (auto _ : state) {
+    runtime::NDArray work = original;
+    kernels::cholesky_tiled(work, 16, 32);
+    benchmark::DoNotOptimize(work.data());
+  }
+}
+BENCHMARK(BM_NativeCholeskyTiled)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Surface characterization: exhaustive (or sampled) statistics of every
+// configuration->runtime surface used in the evaluation. This is the
+// evidence behind two claims in EXPERIMENTS.md: the calibration contract
+// (surface minimum == paper best) and the plateau structure (the fraction
+// of the space within 5%/10% of the minimum, which determines how hard
+// each search problem is).
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "framework/figures.h"
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+
+using namespace tvmbo;
+
+namespace {
+
+void characterize(const char* kernel, kernels::Dataset dataset,
+                  std::size_t samples) {
+  const auto workload = kernels::make_workload(kernel, dataset);
+  const auto space = kernels::build_space(kernel, workload.dims);
+  runtime::SwingSimDevice device;
+  Rng rng(99);
+
+  std::vector<double> runtimes;
+  std::vector<std::int64_t> best_tiles;
+  double best = 1e300;
+  auto consider = [&](const cs::Configuration& config) {
+    const auto tiles = space.values_int(config);
+    const double t = device.surface_runtime(workload, tiles);
+    runtimes.push_back(t);
+    if (t < best) {
+      best = t;
+      best_tiles = tiles;
+    }
+  };
+  const bool exhaustive = space.cardinality() <= 200000;
+  if (exhaustive) {
+    for (std::uint64_t flat = 0; flat < space.cardinality(); ++flat) {
+      consider(space.from_flat_index(flat));
+    }
+  } else {
+    for (std::size_t i = 0; i < samples; ++i) consider(space.sample(rng));
+  }
+
+  std::size_t within5 = 0, within10 = 0, within2x = 0;
+  for (double t : runtimes) {
+    if (t <= best * 1.05) ++within5;
+    if (t <= best * 1.10) ++within10;
+    if (t <= best * 2.00) ++within2x;
+  }
+  const double n = static_cast<double>(runtimes.size());
+  std::printf("%-9s %-11s | %s %8zu pts | min %9.3f @ %-22s | med %9.3f | "
+              "p95 %10.3f | <=1.05x %5.2f%% | <=1.1x %5.2f%% | <=2x %5.1f%%\n",
+              kernel, kernels::dataset_name(dataset),
+              exhaustive ? "exhaustive" : "sampled   ", runtimes.size(),
+              best, framework::tiles_to_string(best_tiles).c_str(),
+              median(runtimes), quantile(runtimes, 0.95),
+              100.0 * static_cast<double>(within5) / n,
+              100.0 * static_cast<double>(within10) / n,
+              100.0 * static_cast<double>(within2x) / n);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Configuration->runtime surface characterization "
+              "(SwingSimDevice)\n\n");
+  characterize("lu", kernels::Dataset::kLarge, 0);
+  characterize("lu", kernels::Dataset::kExtraLarge, 0);
+  characterize("cholesky", kernels::Dataset::kLarge, 0);
+  characterize("cholesky", kernels::Dataset::kExtraLarge, 0);
+  characterize("3mm", kernels::Dataset::kLarge, 100000);
+  characterize("3mm", kernels::Dataset::kExtraLarge, 100000);
+  characterize("gemm", kernels::Dataset::kLarge, 0);
+  characterize("syrk", kernels::Dataset::kLarge, 0);
+  characterize("2mm", kernels::Dataset::kLarge, 100000);
+  characterize("atax", kernels::Dataset::kLarge, 0);
+  characterize("bicg", kernels::Dataset::kLarge, 0);
+  characterize("mvt", kernels::Dataset::kLarge, 0);
+  return 0;
+}

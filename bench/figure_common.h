@@ -1,0 +1,112 @@
+// Shared driver for the per-figure experiment binaries.
+//
+// Each figure bench runs the paper's experiment — 100 evaluations per
+// strategy, 5 strategies, XGB capped at 56 as observed in the paper — on
+// the simulated Swing device, prints the minimum-runtime summary
+// (the paper's "Minimum runtimes" bar charts) and the head of the
+// process-over-time series (the scatter plots), and writes the full data
+// series as CSV files under bench_out/.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "framework/analysis.h"
+#include "framework/figures.h"
+#include "framework/session.h"
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+
+namespace tvmbo::bench {
+
+struct FigureSpec {
+  std::string kernel;
+  kernels::Dataset dataset;
+  std::string process_figure;  ///< e.g. "Fig4"
+  std::string minimum_figure;  ///< e.g. "Fig5"
+  double paper_best_runtime_s = 0.0;
+  std::string paper_best_config;   ///< the paper's reported tensor size
+  std::size_t evaluations = 100;   ///< per strategy, as in §5
+  std::uint64_t seed = 2023;
+};
+
+inline int run_figure_experiment(const FigureSpec& spec) {
+  const autotvm::Task task = kernels::make_task(spec.kernel, spec.dataset);
+  runtime::SwingSimDevice device(spec.seed);
+
+  framework::SessionOptions options;
+  options.max_evaluations = spec.evaluations;
+  options.xgb_paper_eval_cap = 56;  // reproduce the paper's XGB artifact
+  options.seed = spec.seed;
+  framework::AutotuningSession session(&task, &device, options);
+  const std::vector<framework::SessionResult> results = session.run_all();
+
+  const std::string name =
+      spec.kernel + "-" + kernels::dataset_name(spec.dataset);
+  std::printf("=================================================="
+              "==============\n");
+  std::printf("%s & %s: %s, %s dataset (workload %s)\n",
+              spec.process_figure.c_str(), spec.minimum_figure.c_str(),
+              spec.kernel.c_str(), kernels::dataset_name(spec.dataset),
+              task.workload.id().c_str());
+  std::printf("space size: %llu configurations | %zu evaluations per "
+              "strategy\n\n",
+              static_cast<unsigned long long>(
+                  task.config.space().cardinality()),
+              spec.evaluations);
+
+  // Minimum-runtime figure (bar chart data).
+  std::printf("%s",
+              framework::render_minimum_summary(
+                  results, spec.minimum_figure + " minimum runtimes",
+                  spec.paper_best_runtime_s)
+                  .c_str());
+  if (!spec.paper_best_config.empty()) {
+    std::printf("paper best config: %s\n", spec.paper_best_config.c_str());
+  }
+
+  // Process-over-time figure: ASCII scatter on the console (the paper's
+  // per-evaluation runtime-vs-process-time plot), full series to CSV.
+  std::printf("\n%s process over time:\n%s",
+              spec.process_figure.c_str(),
+              framework::ascii_scatter(results).c_str());
+
+  // Convergence analytics (beyond the paper's figures).
+  std::printf("\nconvergence summary:\n%s",
+              framework::render_table(framework::summary_table(results))
+                  .c_str());
+
+  // Process-over-time figure (scatter data): first rows on the console,
+  // full series to CSV.
+  const CsvTable process = framework::process_over_time_table(results);
+  std::printf("\n%s process over time (first 3 evaluations per strategy; "
+              "full series in bench_out/%s_process.csv):\n",
+              spec.process_figure.c_str(), name.c_str());
+  CsvTable head(process.header());
+  std::size_t shown = 0;
+  std::string last_strategy;
+  for (std::size_t r = 0; r < process.num_rows(); ++r) {
+    const auto& row = process.row(r);
+    if (row[0] != last_strategy) {
+      last_strategy = row[0];
+      shown = 0;
+    }
+    if (shown++ < 3) head.add_row(row);
+  }
+  std::printf("%s\n", framework::render_table(head).c_str());
+
+  std::filesystem::create_directories("bench_out");
+  process.write_file("bench_out/" + name + "_process.csv");
+  framework::minimum_runtimes_table(results).write_file(
+      "bench_out/" + name + "_minimum.csv");
+  framework::best_so_far_table(results).write_file(
+      "bench_out/" + name + "_best_so_far.csv");
+  std::printf("CSV series written to bench_out/%s_{process,minimum,"
+              "best_so_far}.csv\n",
+              name.c_str());
+  return 0;
+}
+
+}  // namespace tvmbo::bench

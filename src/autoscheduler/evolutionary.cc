@@ -1,0 +1,147 @@
+#include "autoscheduler/evolutionary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tvmbo::autoscheduler {
+
+EvolutionarySearch::EvolutionarySearch(const cs::ConfigurationSpace* space,
+                                       std::uint64_t seed,
+                                       EvoOptions options)
+    : Tuner(space, seed), options_(options), encoder_(space),
+      model_(options.gbt) {
+  TVMBO_CHECK_GE(options_.population, 2u)
+      << "evolution pool needs at least two members";
+  TVMBO_CHECK(options_.random_fraction >= 0.0 &&
+              options_.random_fraction <= 1.0)
+      << "random_fraction must be in [0, 1]";
+}
+
+void EvolutionarySearch::train_model() {
+  surrogate::Dataset data;
+  for (const tuners::Trial& trial : history_) {
+    if (!trial.valid || trial.runtime_s <= 0.0) continue;
+    data.add(encoder_.encode(trial.config), std::log(trial.runtime_s));
+  }
+  if (data.size() < 2) return;
+  model_.fit(data, rng_);
+  trained_on_ = history_.size();
+}
+
+cs::Configuration EvolutionarySearch::mutate(
+    const cs::Configuration& config) {
+  // Geometric number of neighbourhood hops (mean options_.mutation_hops).
+  cs::Configuration mutated = space_->neighbor(config, rng_);
+  const double p_continue =
+      1.0 - 1.0 / std::max(options_.mutation_hops_mean, 1.0);
+  while (rng_.bernoulli(p_continue)) {
+    mutated = space_->neighbor(mutated, rng_);
+  }
+  return mutated;
+}
+
+std::vector<cs::Configuration> EvolutionarySearch::propose_random(
+    std::size_t n) {
+  std::vector<cs::Configuration> batch;
+  std::size_t rejects = 0;
+  while (batch.size() < n && rejects < 64 * (n + 1)) {
+    cs::Configuration config = space_->sample(rng_);
+    if (mark_visited(config)) {
+      batch.push_back(std::move(config));
+    } else {
+      ++rejects;
+    }
+  }
+  return batch;
+}
+
+std::vector<cs::Configuration> EvolutionarySearch::next_batch(
+    std::size_t n) {
+  std::size_t measured = 0;
+  for (const tuners::Trial& trial : history_) {
+    if (trial.valid) ++measured;
+  }
+  if (measured < options_.warmup) return propose_random(n);
+  if (history_.size() > trained_on_ || !model_.fitted()) train_model();
+  if (!model_.fitted()) return propose_random(n);
+
+  auto score = [&](const cs::Configuration& config) {
+    return model_.predict(encoder_.encode(config));
+  };
+
+  // Seed the pool: measured elite + random immigrants.
+  struct Member {
+    cs::Configuration config;
+    double score;
+  };
+  std::vector<const tuners::Trial*> elite;
+  for (const tuners::Trial& trial : history_) {
+    if (trial.valid) elite.push_back(&trial);
+  }
+  std::sort(elite.begin(), elite.end(),
+            [](const tuners::Trial* a, const tuners::Trial* b) {
+              return a->runtime_s < b->runtime_s;
+            });
+  std::vector<Member> pool;
+  pool.reserve(options_.population);
+  for (std::size_t i = 0;
+       i < std::min(options_.elite_seeds, elite.size()); ++i) {
+    pool.push_back({elite[i]->config, score(elite[i]->config)});
+  }
+  while (pool.size() < options_.population) {
+    cs::Configuration config = space_->sample(rng_);
+    const double s = score(config);
+    pool.push_back({std::move(config), s});
+  }
+
+  // Track the best distinct unvisited candidates across all generations.
+  std::vector<Member> best_seen;
+  auto offer = [&](const Member& member) {
+    if (is_visited(member.config)) return;
+    for (const Member& existing : best_seen) {
+      if (existing.config == member.config) return;
+    }
+    best_seen.push_back(member);
+  };
+  for (const Member& member : pool) offer(member);
+
+  for (std::size_t generation = 0; generation < options_.generations;
+       ++generation) {
+    // Evolve: each member mutates; better-predicted offspring replace
+    // their parent (hill climbing on the model), plus random immigrants.
+    for (Member& member : pool) {
+      if (rng_.uniform() < options_.random_fraction) {
+        member.config = space_->sample(rng_);
+        member.score = score(member.config);
+        offer(member);
+        continue;
+      }
+      cs::Configuration child = mutate(member.config);
+      const double child_score = score(child);
+      if (child_score <= member.score) {
+        member.config = std::move(child);
+        member.score = child_score;
+      }
+      offer(member);
+    }
+  }
+
+  std::sort(best_seen.begin(), best_seen.end(),
+            [](const Member& a, const Member& b) {
+              return a.score < b.score;
+            });
+  std::vector<cs::Configuration> batch;
+  for (const Member& member : best_seen) {
+    if (batch.size() >= n) break;
+    cs::Configuration config = member.config;
+    if (mark_visited(config)) batch.push_back(std::move(config));
+  }
+  // Top up with random picks if evolution could not mint enough.
+  auto tail = propose_random(n - batch.size());
+  for (auto& config : tail) batch.push_back(std::move(config));
+  return batch;
+}
+
+}  // namespace tvmbo::autoscheduler

@@ -1,0 +1,45 @@
+// Ansor-style evolutionary search: a learned cost model (gradient-boosted
+// trees) scores candidates; each round evolves the measured elite through
+// repeated neighbourhood mutation, keeping the best-predicted unvisited
+// candidates for measurement. Complements GATuner (no model, roulette
+// crossover) and XgbTuner (model + simulated annealing).
+#pragma once
+
+#include "surrogate/dataset.h"
+#include "surrogate/gbt.h"
+#include "tuners/tuner.h"
+
+namespace tvmbo::autoscheduler {
+
+struct EvoOptions {
+  std::size_t warmup = 12;           ///< random measurements before the model
+  std::size_t population = 48;       ///< evolution pool per round
+  std::size_t generations = 8;       ///< mutation rounds per proposal
+  std::size_t elite_seeds = 8;       ///< top measured configs seeding the pool
+  double mutation_hops_mean = 1.6;   ///< geometric number of neighbour moves
+  double random_fraction = 0.10;     ///< fresh random members per generation
+  surrogate::GbtOptions gbt{};
+};
+
+class EvolutionarySearch final : public tuners::Tuner {
+ public:
+  EvolutionarySearch(const cs::ConfigurationSpace* space,
+                     std::uint64_t seed, EvoOptions options = {});
+
+  std::string name() const override { return "autoscheduler-evo"; }
+  std::vector<cs::Configuration> next_batch(std::size_t n) override;
+
+  bool model_ready() const { return model_.fitted(); }
+
+ private:
+  void train_model();
+  cs::Configuration mutate(const cs::Configuration& config);
+  std::vector<cs::Configuration> propose_random(std::size_t n);
+
+  EvoOptions options_;
+  surrogate::FeatureEncoder encoder_;
+  surrogate::GradientBoostedTrees model_;
+  std::size_t trained_on_ = 0;
+};
+
+}  // namespace tvmbo::autoscheduler

@@ -1,0 +1,65 @@
+#include "autoscheduler/sketch.h"
+
+#include "common/logging.h"
+#include "configspace/divisors.h"
+
+namespace tvmbo::autoscheduler {
+
+SketchGenerator::SketchGenerator(std::vector<te::Tensor> outputs)
+    : outputs_(std::move(outputs)) {
+  TVMBO_CHECK(!outputs_.empty()) << "sketch generation requires outputs";
+  std::size_t stage_index = 0;
+  for (const te::Tensor& tensor : te::topo_sort(outputs_)) {
+    if (!tensor->is_compute()) continue;
+    TVMBO_CHECK(tensor->is_reduction && tensor->axis.size() == 2)
+        << "sketch generation currently covers 2-D reduction stages; "
+           "stage '"
+        << tensor->name << "' is not one";
+    StageSketch sketch;
+    sketch.tensor = tensor;
+    // Analysis step: candidate tile factors are the divisors of the axis
+    // extents — read straight off the computation definition.
+    sketch.y_param = space_.add(cs::tile_factor_param(
+        "S" + std::to_string(stage_index) + "_y",
+        tensor->axis[0]->extent));
+    sketch.x_param = space_.add(cs::tile_factor_param(
+        "S" + std::to_string(stage_index) + "_x",
+        tensor->axis[1]->extent));
+    stages_.push_back(std::move(sketch));
+    ++stage_index;
+  }
+  TVMBO_CHECK(!stages_.empty()) << "DAG has no schedulable compute stages";
+}
+
+te::Schedule SketchGenerator::apply(const cs::Configuration& config) const {
+  te::Schedule sched(outputs_);
+  const std::vector<std::int64_t> values = space_.values_int(config);
+  for (const StageSketch& sketch : stages_) {
+    te::Stage& stage = sched[sketch.tensor];
+    const auto& axis = stage.op_axis();
+    auto [yo, yi] = stage.split(axis[0], values[sketch.y_param]);
+    auto [xo, xi] = stage.split(axis[1], values[sketch.x_param]);
+    std::vector<te::IterVar> order{yo, xo};
+    for (const te::IterVar& reduce : stage.op_reduce_axis()) {
+      order.push_back(reduce);
+    }
+    order.push_back(yi);
+    order.push_back(xi);
+    stage.reorder(order);
+  }
+  return sched;
+}
+
+std::vector<std::int64_t> SketchGenerator::tiles(
+    const cs::Configuration& config) const {
+  const std::vector<std::int64_t> values = space_.values_int(config);
+  std::vector<std::int64_t> out;
+  out.reserve(2 * stages_.size());
+  for (const StageSketch& sketch : stages_) {
+    out.push_back(values[sketch.y_param]);
+    out.push_back(values[sketch.x_param]);
+  }
+  return out;
+}
+
+}  // namespace tvmbo::autoscheduler

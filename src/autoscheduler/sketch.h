@@ -1,0 +1,56 @@
+// AutoScheduler-lite: the second tuning path in TVM's framework (paper
+// Fig. 1). Where AutoTVM "relies on predefined tunable parameters",
+// AutoScheduler "automatically generates the search space by analyzing
+// the computation definition".
+//
+// SketchGenerator performs that analysis for TE compute DAGs: every
+// reduction stage contributes a tile-sketch over its two data axes, with
+// candidate factors derived from the axis extents (their divisor sets) —
+// no hand-written knob lists. The resulting space plugs into the same
+// search strategies and measurement loop as everything else.
+//
+// Scope note (documented in DESIGN.md): sketches cover matmul-chain DAGs
+// (gemm/2mm/3mm); LU/Cholesky are loop-level programs without a TE DAG to
+// analyze, exactly why the paper pins its comparison on AutoTVM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "configspace/configspace.h"
+#include "te/schedule.h"
+
+namespace tvmbo::autoscheduler {
+
+class SketchGenerator {
+ public:
+  /// Analyzes the DAG that produces `outputs`. Every compute stage with
+  /// two data axes and at least one reduction axis becomes a tile sketch.
+  explicit SketchGenerator(std::vector<te::Tensor> outputs);
+
+  struct StageSketch {
+    te::Tensor tensor;
+    std::size_t y_param;  ///< parameter index of the y tile factor
+    std::size_t x_param;  ///< parameter index of the x tile factor
+  };
+
+  const std::vector<StageSketch>& stages() const { return stages_; }
+
+  /// The automatically generated space (owned by the generator).
+  const cs::ConfigurationSpace& space() const { return space_; }
+
+  /// Instantiates a schedule: per stage, split (y, x) by the configured
+  /// factors and reorder to {yo, xo, reduce..., yi, xi}.
+  te::Schedule apply(const cs::Configuration& config) const;
+
+  /// Tile vector in stage order {y0, x0, y1, x1, ...} — the canonical
+  /// layout the measurement devices understand.
+  std::vector<std::int64_t> tiles(const cs::Configuration& config) const;
+
+ private:
+  std::vector<te::Tensor> outputs_;
+  std::vector<StageSketch> stages_;
+  cs::ConfigurationSpace space_;
+};
+
+}  // namespace tvmbo::autoscheduler

@@ -1,0 +1,84 @@
+#include "autotvm/autotvm.h"
+
+#include "common/logging.h"
+#include "tuners/ga_tuner.h"
+#include "tuners/grid_tuner.h"
+#include "tuners/random_tuner.h"
+#include "tuners/xgb_tuner.h"
+
+namespace tvmbo::autotvm {
+
+void ConfigEntity::define_knob(const std::string& name,
+                               std::vector<std::int64_t> candidates) {
+  TVMBO_CHECK(!bound_) << "cannot define knobs after binding";
+  TVMBO_CHECK(!candidates.empty())
+      << "knob '" << name << "' requires candidates";
+  std::vector<double> sequence;
+  sequence.reserve(candidates.size());
+  for (std::int64_t candidate : candidates) {
+    sequence.push_back(static_cast<double>(candidate));
+  }
+  space_.add(std::make_shared<cs::OrdinalHyperparameter>(
+      name, std::move(sequence)));
+}
+
+void ConfigEntity::bind(const cs::Configuration& config) {
+  TVMBO_CHECK_EQ(config.size(), space_.num_params())
+      << "configuration arity mismatch binding knobs";
+  current_ = config;
+  bound_ = true;
+}
+
+std::int64_t ConfigEntity::val(const std::string& knob) const {
+  TVMBO_CHECK(bound_) << "knob '" << knob << "' read before binding";
+  const std::size_t index = space_.param_index(knob);
+  return static_cast<std::int64_t>(space_.param(index).value_at(
+      static_cast<std::uint64_t>(current_.index(index))));
+}
+
+std::vector<std::int64_t> ConfigEntity::values() const {
+  TVMBO_CHECK(bound_) << "knob values read before binding";
+  return space_.values_int(current_);
+}
+
+runtime::MeasureInput Task::measure_input(
+    const cs::Configuration& cfg) const {
+  const std::vector<std::int64_t> knobs = config.space().values_int(cfg);
+  if (instantiate) return instantiate(knobs);
+  runtime::MeasureInput input;
+  input.workload = workload;
+  input.tiles = knobs;
+  return input;
+}
+
+const char* tuner_type_name(TunerType type) {
+  switch (type) {
+    case TunerType::kRandom: return "autotvm-random";
+    case TunerType::kGridSearch: return "autotvm-gridsearch";
+    case TunerType::kGa: return "autotvm-ga";
+    case TunerType::kXgb: return "autotvm-xgb";
+  }
+  return "?";
+}
+
+std::unique_ptr<tuners::Tuner> create_tuner(
+    TunerType type, const cs::ConfigurationSpace* space, std::uint64_t seed,
+    const TunerFactoryOptions& options) {
+  switch (type) {
+    case TunerType::kRandom:
+      return std::make_unique<tuners::RandomTuner>(space, seed);
+    case TunerType::kGridSearch:
+      return std::make_unique<tuners::GridSearchTuner>(space, seed);
+    case TunerType::kGa:
+      return std::make_unique<tuners::GaTuner>(space, seed);
+    case TunerType::kXgb: {
+      tuners::XgbOptions xgb;
+      xgb.paper_eval_cap = options.xgb_paper_eval_cap;
+      return std::make_unique<tuners::XgbTuner>(space, seed, xgb);
+    }
+  }
+  TVMBO_CHECK(false) << "unknown tuner type";
+  return nullptr;
+}
+
+}  // namespace tvmbo::autotvm

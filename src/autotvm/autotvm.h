@@ -1,0 +1,83 @@
+// AutoTVM-compatible tuning API: define_knob config entities, tuning
+// tasks, and tuner construction — mirroring the way the paper's AutoTVM
+// variant parameterizes kernels:
+//
+//   cfg = autotvm.get_config()
+//   cfg.define_knob("tile_y", [1, 2, 4, ...])
+//   ...
+//   yo, yi = s[E].split(y, cfg["tile_y"].val)
+//
+// Here: a ConfigEntity collects knob definitions into a
+// cs::ConfigurationSpace; binding a Configuration makes knob values
+// readable by name while the schedule callback runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "configspace/configspace.h"
+#include "runtime/measure.h"
+#include "tuners/tuner.h"
+
+namespace tvmbo::autotvm {
+
+class ConfigEntity {
+ public:
+  /// Declares a tunable knob with explicit integer candidates
+  /// (cfg.define_knob). Knob order defines parameter order.
+  void define_knob(const std::string& name,
+                   std::vector<std::int64_t> candidates);
+
+  std::size_t num_knobs() const { return space_.num_params(); }
+  const cs::ConfigurationSpace& space() const { return space_; }
+
+  /// Binds a concrete configuration so val() works (cfg["..."].val).
+  void bind(const cs::Configuration& config);
+  bool bound() const { return bound_; }
+
+  /// Value of a knob in the bound configuration.
+  std::int64_t val(const std::string& knob) const;
+  /// All knob values in declaration order.
+  std::vector<std::int64_t> values() const;
+
+ private:
+  cs::ConfigurationSpace space_;
+  cs::Configuration current_;
+  bool bound_ = false;
+};
+
+/// A tuning task: a workload plus a callback that instantiates a
+/// measurable kernel from bound knob values (the analogue of an
+/// @autotvm.template schedule function).
+struct Task {
+  std::string name;
+  runtime::Workload workload;
+  ConfigEntity config;
+  /// Builds the runnable for a knob-value vector. May be empty when only
+  /// simulated devices are used (they measure from workload + tiles).
+  std::function<runtime::MeasureInput(const std::vector<std::int64_t>&)>
+      instantiate;
+
+  /// Measure input for a configuration: uses `instantiate` when present,
+  /// otherwise fills workload + tiles only (enough for SwingSimDevice).
+  runtime::MeasureInput measure_input(const cs::Configuration& cfg) const;
+};
+
+enum class TunerType { kRandom, kGridSearch, kGa, kXgb };
+
+const char* tuner_type_name(TunerType type);
+
+struct TunerFactoryOptions {
+  /// Reproduces the paper's XGBTuner 56-evaluation artifact when > 0.
+  std::size_t xgb_paper_eval_cap = 0;
+};
+
+/// Creates one of AutoTVM's four tuners over the task's knob space.
+std::unique_ptr<tuners::Tuner> create_tuner(
+    TunerType type, const cs::ConfigurationSpace* space, std::uint64_t seed,
+    const TunerFactoryOptions& options = {});
+
+}  // namespace tvmbo::autotvm

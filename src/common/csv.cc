@@ -1,0 +1,156 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tvmbo {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  TVMBO_CHECK(!header_.empty()) << "CSV table requires at least one column";
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  TVMBO_CHECK_EQ(row.size(), header_.size())
+      << "CSV row width mismatch: got " << row.size() << ", expected "
+      << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+void CsvTable::add_row_doubles(const std::vector<double>& row,
+                               int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+const std::vector<std::string>& CsvTable::row(std::size_t index) const {
+  TVMBO_CHECK_LT(index, rows_.size()) << "CSV row index out of range";
+  return rows_[index];
+}
+
+std::size_t CsvTable::column_index(std::string_view column) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == column) return i;
+  }
+  TVMBO_CHECK(false) << "CSV table has no column '" << column << "'";
+  return 0;
+}
+
+const std::string& CsvTable::cell(std::size_t row_index,
+                                  std::string_view column) const {
+  return row(row_index)[column_index(column)];
+}
+
+std::string CsvTable::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += csv_escape(header_[i]);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += csv_escape(row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::ofstream stream(path, std::ios::trunc);
+  TVMBO_CHECK(stream.good()) << "cannot open '" << path << "' for writing";
+  stream << to_string();
+  TVMBO_CHECK(stream.good()) << "write to '" << path << "' failed";
+}
+
+namespace {
+
+// Splits one logical CSV document into records of fields, honoring quotes
+// (including embedded newlines inside quoted fields).
+std::vector<std::vector<std::string>> parse_records(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  auto end_field = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+    }
+  }
+  if (field_started || !field.empty() || !current.empty()) end_record();
+  return records;
+}
+
+}  // namespace
+
+CsvTable CsvTable::parse(std::string_view text) {
+  auto records = parse_records(text);
+  TVMBO_CHECK(!records.empty()) << "CSV text has no header";
+  CsvTable table(records[0]);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    table.add_row(std::move(records[i]));
+  }
+  return table;
+}
+
+}  // namespace tvmbo

@@ -1,0 +1,52 @@
+// CSV table writer (+ tiny reader) used to export the per-figure data
+// series that regenerate the paper's plots.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tvmbo {
+
+/// Column-ordered CSV table. Fields containing commas/quotes/newlines are
+/// quoted per RFC 4180.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return header_.size(); }
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_doubles(const std::vector<double>& row, int precision = 6);
+
+  const std::vector<std::string>& row(std::size_t index) const;
+
+  /// Cell accessor by row index and column name.
+  const std::string& cell(std::size_t row_index,
+                          std::string_view column) const;
+
+  /// Serializes the whole table (header + rows).
+  std::string to_string() const;
+
+  /// Writes to a file; throws CheckError on I/O failure.
+  void write_file(const std::string& path) const;
+
+  /// Parses CSV text produced by this writer (quoted fields supported).
+  static CsvTable parse(std::string_view text);
+
+ private:
+  std::size_t column_index(std::string_view column) const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes one CSV field (quotes only when needed).
+std::string csv_escape(std::string_view field);
+
+}  // namespace tvmbo

@@ -1,0 +1,121 @@
+// Minimal self-contained JSON document model, parser, and serializer.
+//
+// TVM writes its tuning results as one JSON record per line; ytopt writes a
+// results CSV plus a JSON space description. The performance database in
+// src/runtime reuses this module for both, so the repo has no external JSON
+// dependency.
+//
+// Supported: null, bool, double (all JSON numbers), string, array, object.
+// Objects preserve insertion order (important for stable golden-file tests).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tvmbo {
+
+class Json;
+
+/// Error thrown on malformed JSON input.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  // Insertion-ordered object representation.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(int value) : Json(static_cast<double>(value)) {}
+  Json(std::int64_t value) : Json(static_cast<double>(value)) {}
+  Json(std::size_t value) : Json(static_cast<double>(value)) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(Array value) : type_(Type::kArray), array_(std::move(value)) {}
+  Json(Object value) : type_(Type::kObject), object_(std::move(value)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; TVMBO_CHECK on type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Array element access (checked).
+  const Json& at(std::size_t index) const;
+  /// Object member access (checked; key must exist).
+  const Json& at(std::string_view key) const;
+  /// True if this object has the key.
+  bool contains(std::string_view key) const;
+  /// Number of array elements or object members.
+  std::size_t size() const;
+
+  /// Appends to an array (value must be an array).
+  void push_back(Json value);
+  /// Sets/overwrites an object member (value must be an object).
+  void set(std::string key, Json value);
+
+  /// Compact single-line serialization.
+  std::string dump() const;
+  /// Pretty-printed serialization with the given indent width.
+  std::string dump_pretty(int indent = 2) const;
+
+  /// Parses a complete JSON document; throws JsonParseError on bad input
+  /// or trailing garbage.
+  static Json parse(std::string_view text);
+
+  /// Parses a newline-delimited sequence of JSON records (TVM log style),
+  /// skipping blank lines.
+  static std::vector<Json> parse_lines(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escapes a string for inclusion in JSON output (adds quotes).
+std::string json_escape(std::string_view text);
+
+}  // namespace tvmbo

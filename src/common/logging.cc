@@ -1,0 +1,73 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace tvmbo {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_emit_mutex;
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("TVMBO_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "WARNING") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARNING";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+struct EnvInit {
+  EnvInit() { g_level.store(level_from_env()); }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+
+LogMessage::LogMessage(const char* file, int line, LogLevel level)
+    : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << level_name(level) << " " << (base ? base + 1 : file)
+          << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) < static_cast<int>(g_level.load())) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+CheckFailStream::CheckFailStream(const char* file, int line,
+                                 const char* expr) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "Check failed at " << (base ? base + 1 : file) << ":" << line
+          << ": `" << expr << "` ";
+}
+
+CheckFailStream::~CheckFailStream() noexcept(false) {
+  throw CheckError(stream_.str());
+}
+
+}  // namespace detail
+}  // namespace tvmbo

@@ -1,0 +1,86 @@
+// Lightweight logging and assertion macros used across tvmbo.
+//
+// TVMBO_CHECK(cond) aborts with a diagnostic when `cond` is false; the
+// streaming form lets callers append context:
+//
+//   TVMBO_CHECK(n > 0) << "matrix extent must be positive, got " << n;
+//
+// TVMBO_LOG(INFO) << ... writes a timestamped line to stderr. Log level is
+// process-global and settable via set_log_level() or the TVMBO_LOG_LEVEL
+// environment variable (DEBUG, INFO, WARNING, ERROR).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tvmbo {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the minimum level that will be emitted.
+void set_log_level(LogLevel level);
+/// Current minimum emitted level.
+LogLevel log_level();
+
+/// Error thrown by TVMBO_CHECK failures (instead of abort) so tests can
+/// assert on misuse of the public API.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogLevel level);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  std::ostringstream stream_;
+  LogLevel level_;
+};
+
+// Collects the message then throws CheckError from the destructor.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr);
+  [[noreturn]] ~CheckFailStream() noexcept(false);
+  std::ostringstream& stream() { return stream_; }
+
+  CheckFailStream(const CheckFailStream&) = delete;
+  CheckFailStream& operator=(const CheckFailStream&) = delete;
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace tvmbo
+
+#define TVMBO_LOG(severity)                                                 \
+  ::tvmbo::detail::LogMessage(__FILE__, __LINE__,                           \
+                              ::tvmbo::LogLevel::k##severity)               \
+      .stream()
+
+#define TVMBO_CHECK(cond)                                                   \
+  if (!(cond))                                                              \
+  ::tvmbo::detail::CheckFailStream(__FILE__, __LINE__, #cond).stream()
+
+#define TVMBO_CHECK_EQ(a, b) TVMBO_CHECK((a) == (b))
+#define TVMBO_CHECK_NE(a, b) TVMBO_CHECK((a) != (b))
+#define TVMBO_CHECK_LT(a, b) TVMBO_CHECK((a) < (b))
+#define TVMBO_CHECK_LE(a, b) TVMBO_CHECK((a) <= (b))
+#define TVMBO_CHECK_GT(a, b) TVMBO_CHECK((a) > (b))
+#define TVMBO_CHECK_GE(a, b) TVMBO_CHECK((a) >= (b))

@@ -1,0 +1,147 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace tvmbo {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double min_value(std::span<const double> values) {
+  TVMBO_CHECK(!values.empty()) << "min of empty span";
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  TVMBO_CHECK(!values.empty()) << "max of empty span";
+  return *std::max_element(values.begin(), values.end());
+}
+
+std::size_t argmin(std::span<const double> values) {
+  TVMBO_CHECK(!values.empty()) << "argmin of empty span";
+  return static_cast<std::size_t>(
+      std::min_element(values.begin(), values.end()) - values.begin());
+}
+
+std::size_t argmax(std::span<const double> values) {
+  TVMBO_CHECK(!values.empty()) << "argmax of empty span";
+  return static_cast<std::size_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+double quantile(std::span<const double> values, double q) {
+  TVMBO_CHECK(!values.empty()) << "quantile of empty span";
+  TVMBO_CHECK(q >= 0.0 && q <= 1.0) << "quantile " << q << " out of [0,1]";
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> values) {
+  return quantile(values, 0.5);
+}
+
+std::vector<double> running_min(std::span<const double> values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    best = std::min(best, v);
+    out.push_back(best);
+  }
+  return out;
+}
+
+std::vector<double> prefix_sum(std::span<const double> values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  double acc = 0.0;
+  for (double v : values) {
+    acc += v;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  TVMBO_CHECK_EQ(a.size(), b.size()) << "pearson size mismatch";
+  if (a.size() < 2) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+namespace {
+// Average ranks with tie handling (fractional ranks).
+std::vector<double> ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return values[i] < values[j]; });
+  std::vector<double> out(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) out[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return out;
+}
+}  // namespace
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  TVMBO_CHECK_EQ(a.size(), b.size()) << "spearman size mismatch";
+  if (a.size() < 2) return 0.0;
+  const std::vector<double> ra = ranks(a);
+  const std::vector<double> rb = ranks(b);
+  return pearson(ra, rb);
+}
+
+double r_squared(std::span<const double> predictions,
+                 std::span<const double> targets) {
+  TVMBO_CHECK_EQ(predictions.size(), targets.size()) << "r2 size mismatch";
+  if (targets.empty()) return 0.0;
+  const double mt = mean(targets);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    ss_res += (targets[i] - predictions[i]) * (targets[i] - predictions[i]);
+    ss_tot += (targets[i] - mt) * (targets[i] - mt);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace tvmbo

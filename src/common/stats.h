@@ -1,0 +1,57 @@
+// Small descriptive-statistics helpers shared by tuners, surrogates, and
+// the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tvmbo {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Population variance (divides by n); 0 for spans with < 2 elements.
+double variance(std::span<const double> values);
+
+/// Population standard deviation.
+double stddev(std::span<const double> values);
+
+/// Smallest element; requires non-empty input.
+double min_value(std::span<const double> values);
+
+/// Largest element; requires non-empty input.
+double max_value(std::span<const double> values);
+
+/// Index of the smallest element; requires non-empty input.
+std::size_t argmin(std::span<const double> values);
+
+/// Index of the largest element; requires non-empty input.
+std::size_t argmax(std::span<const double> values);
+
+/// Linear-interpolation quantile, q in [0, 1]; requires non-empty input.
+double quantile(std::span<const double> values, double q);
+
+/// Median (quantile 0.5).
+double median(std::span<const double> values);
+
+/// Running minimum: out[i] = min(values[0..i]). Used for the paper's
+/// "best runtime so far" series in every minimum-runtime figure.
+std::vector<double> running_min(std::span<const double> values);
+
+/// Prefix sums: out[i] = sum(values[0..i]). Used for cumulative
+/// autotuning-process time.
+std::vector<double> prefix_sum(std::span<const double> values);
+
+/// Pearson correlation of two equally sized spans; 0 if degenerate.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Spearman rank correlation; 0 if degenerate. Used to test that surrogate
+/// models actually rank configurations usefully.
+double spearman(std::span<const double> a, std::span<const double> b);
+
+/// Coefficient of determination of predictions vs. targets.
+double r_squared(std::span<const double> predictions,
+                 std::span<const double> targets);
+
+}  // namespace tvmbo

@@ -1,0 +1,117 @@
+#include "common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <set>
+
+#include "common/logging.h"
+
+namespace tvmbo {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string replace_all(std::string text, std::string_view from,
+                        std::string_view to) {
+  TVMBO_CHECK(!from.empty()) << "replace_all with empty pattern";
+  std::size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+std::string substitute_placeholders(
+    std::string_view mold, const std::map<std::string, std::string>& values) {
+  // Sort placeholder names longest-first so #P10 is replaced before #P1.
+  std::vector<std::pair<std::string, std::string>> ordered(values.begin(),
+                                                           values.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.size() != b.first.size())
+                return a.first.size() > b.first.size();
+              return a.first < b.first;
+            });
+  std::string result(mold);
+  for (const auto& [name, value] : ordered) {
+    result = replace_all(std::move(result), name, value);
+  }
+  // Any placeholder still present means the caller forgot a binding.
+  const auto leftovers = find_placeholders(result);
+  TVMBO_CHECK(leftovers.empty())
+      << "unbound placeholder '" << (leftovers.empty() ? "" : leftovers[0])
+      << "' in code mold";
+  return result;
+}
+
+std::vector<std::string> find_placeholders(std::string_view mold) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i + 2 < mold.size() + 1; ++i) {
+    if (mold[i] != '#' || i + 1 >= mold.size() || mold[i + 1] != 'P') {
+      continue;
+    }
+    std::size_t j = i + 2;
+    while (j < mold.size() &&
+           std::isdigit(static_cast<unsigned char>(mold[j]))) {
+      ++j;
+    }
+    if (j > i + 2) names.insert(std::string(mold.substr(i, j - i)));
+  }
+  return {names.begin(), names.end()};
+}
+
+}  // namespace tvmbo

@@ -1,0 +1,47 @@
+// String helpers: split/join/trim, numeric formatting, and the `#Pk`
+// placeholder substitution used by the code-mold machinery (the paper's
+// ytopt flow parameterizes TE code with #P0..#Pn markers).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tvmbo {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes leading/trailing whitespace.
+std::string trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// printf-style double formatting with fixed precision.
+std::string format_double(double value, int precision = 6);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string replace_all(std::string text, std::string_view from,
+                        std::string_view to);
+
+/// Substitutes `#P0`, `#P1`, ... placeholders in a code mold with concrete
+/// values. Longer placeholder names are substituted first so that `#P10`
+/// is never corrupted by the `#P1` substitution. Throws CheckError if the
+/// mold references a placeholder with no binding.
+std::string substitute_placeholders(
+    std::string_view mold, const std::map<std::string, std::string>& values);
+
+/// Collects the distinct `#P<digits>` placeholder names appearing in a mold.
+std::vector<std::string> find_placeholders(std::string_view mold);
+
+}  // namespace tvmbo

@@ -1,0 +1,403 @@
+#include "configspace/configspace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tvmbo::cs {
+
+std::int64_t Configuration::index(std::size_t param) const {
+  TVMBO_CHECK_LT(param, indices_.size()) << "parameter out of range";
+  return indices_[param];
+}
+
+void Configuration::set_index(std::size_t param, std::int64_t index) {
+  TVMBO_CHECK_LT(param, indices_.size()) << "parameter out of range";
+  indices_[param] = index;
+}
+
+double Configuration::real(std::size_t param) const {
+  TVMBO_CHECK_LT(param, reals_.size()) << "parameter out of range";
+  return reals_[param];
+}
+
+void Configuration::set_real(std::size_t param, double value) {
+  TVMBO_CHECK_LT(param, reals_.size()) << "parameter out of range";
+  reals_[param] = value;
+}
+
+std::uint64_t Configuration::hash() const {
+  std::uint64_t h = 0x243F6A8885A308D3ull;
+  for (std::int64_t i : indices_) {
+    h = hash_combine(h, static_cast<std::uint64_t>(i));
+  }
+  for (double r : reals_) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(r));
+    std::memcpy(&bits, &r, sizeof(bits));
+    h = hash_combine(h, bits);
+  }
+  return h;
+}
+
+std::string Hyperparameter::str_at(std::uint64_t index) const {
+  const double v = value_at(index);
+  if (v == std::floor(v)) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  return format_double(v, 6);
+}
+
+OrdinalHyperparameter::OrdinalHyperparameter(std::string name,
+                                             std::vector<double> sequence)
+    : Hyperparameter(ParamKind::kOrdinal, std::move(name)),
+      sequence_(std::move(sequence)) {
+  TVMBO_CHECK(!sequence_.empty())
+      << "ordinal '" << this->name() << "' requires a non-empty sequence";
+}
+
+double OrdinalHyperparameter::value_at(std::uint64_t index) const {
+  TVMBO_CHECK_LT(index, sequence_.size())
+      << "ordinal index out of range for '" << name() << "'";
+  return sequence_[index];
+}
+
+std::optional<std::uint64_t> OrdinalHyperparameter::index_of(
+    double value) const {
+  for (std::uint64_t i = 0; i < sequence_.size(); ++i) {
+    if (sequence_[i] == value) return i;
+  }
+  return std::nullopt;
+}
+
+CategoricalHyperparameter::CategoricalHyperparameter(
+    std::string name, std::vector<std::string> choices)
+    : Hyperparameter(ParamKind::kCategorical, std::move(name)),
+      choices_(std::move(choices)) {
+  TVMBO_CHECK(!choices_.empty())
+      << "categorical '" << this->name() << "' requires choices";
+}
+
+double CategoricalHyperparameter::value_at(std::uint64_t index) const {
+  TVMBO_CHECK_LT(index, choices_.size())
+      << "categorical index out of range for '" << name() << "'";
+  return static_cast<double>(index);
+}
+
+std::string CategoricalHyperparameter::str_at(std::uint64_t index) const {
+  TVMBO_CHECK_LT(index, choices_.size())
+      << "categorical index out of range for '" << name() << "'";
+  return choices_[index];
+}
+
+UniformIntegerHyperparameter::UniformIntegerHyperparameter(
+    std::string name, std::int64_t lower, std::int64_t upper)
+    : Hyperparameter(ParamKind::kInteger, std::move(name)), lower_(lower),
+      upper_(upper) {
+  TVMBO_CHECK_LE(lower_, upper_)
+      << "integer '" << this->name() << "' has an empty range";
+}
+
+double UniformIntegerHyperparameter::value_at(std::uint64_t index) const {
+  TVMBO_CHECK_LT(index, cardinality())
+      << "integer index out of range for '" << name() << "'";
+  return static_cast<double>(lower_ + static_cast<std::int64_t>(index));
+}
+
+UniformFloatHyperparameter::UniformFloatHyperparameter(std::string name,
+                                                       double lower,
+                                                       double upper)
+    : Hyperparameter(ParamKind::kFloat, std::move(name)), lower_(lower),
+      upper_(upper) {
+  TVMBO_CHECK(lower_ < upper_)
+      << "float '" << this->name() << "' has an empty range";
+}
+
+double UniformFloatHyperparameter::value_at(std::uint64_t) const {
+  TVMBO_CHECK(false) << "float '" << name() << "' has no indexed values";
+  return 0.0;
+}
+
+std::size_t ConfigurationSpace::add(std::shared_ptr<Hyperparameter> param) {
+  TVMBO_CHECK(param != nullptr) << "add of null hyperparameter";
+  for (const auto& existing : params_) {
+    TVMBO_CHECK(existing->name() != param->name())
+        << "duplicate hyperparameter '" << param->name() << "'";
+  }
+  params_.push_back(std::move(param));
+  return params_.size() - 1;
+}
+
+void ConfigurationSpace::add_condition(const std::string& child,
+                                       const std::string& parent,
+                                       std::int64_t parent_index) {
+  const std::size_t child_pos = param_index(child);
+  const std::size_t parent_pos = param_index(parent);
+  TVMBO_CHECK_LT(parent_pos, child_pos)
+      << "condition parent '" << parent
+      << "' must be declared before child '" << child << "'";
+  TVMBO_CHECK(params_[parent_pos]->cardinality() > 0)
+      << "condition parent must be discrete";
+  TVMBO_CHECK(parent_index >= 0 &&
+              static_cast<std::uint64_t>(parent_index) <
+                  params_[parent_pos]->cardinality())
+      << "condition parent index out of range";
+  conditions_.push_back({child_pos, parent_pos, parent_index});
+}
+
+const Hyperparameter& ConfigurationSpace::param(std::size_t index) const {
+  TVMBO_CHECK_LT(index, params_.size()) << "parameter index out of range";
+  return *params_[index];
+}
+
+const Hyperparameter& ConfigurationSpace::param(
+    const std::string& name) const {
+  return *params_[param_index(name)];
+}
+
+std::size_t ConfigurationSpace::param_index(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i]->name() == name) return i;
+  }
+  TVMBO_CHECK(false) << "no hyperparameter named '" << name << "'";
+  return 0;
+}
+
+std::uint64_t ConfigurationSpace::cardinality() const {
+  std::uint64_t product = 1;
+  for (const auto& param : params_) {
+    const std::uint64_t card = param->cardinality();
+    if (card == 0) continue;  // continuous
+    TVMBO_CHECK(product <= (std::uint64_t{1} << 62) / card)
+        << "configuration-space cardinality overflows uint64";
+    product *= card;
+  }
+  return product;
+}
+
+bool ConfigurationSpace::fully_discrete() const {
+  return std::all_of(params_.begin(), params_.end(), [](const auto& p) {
+    return p->cardinality() > 0;
+  });
+}
+
+bool ConfigurationSpace::is_active(std::size_t param,
+                                   const Configuration& config) const {
+  for (const EqualsCondition& condition : conditions_) {
+    if (condition.child != param) continue;
+    // The parent itself may be conditional; recurse.
+    if (!is_active(condition.parent, config)) return false;
+    if (config.index(condition.parent) != condition.parent_index) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Configuration ConfigurationSpace::default_configuration() const {
+  std::vector<std::int64_t> indices(params_.size(), 0);
+  std::vector<double> reals(params_.size(), 0.0);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i]->kind() == ParamKind::kFloat) {
+      const auto& f =
+          static_cast<const UniformFloatHyperparameter&>(*params_[i]);
+      reals[i] = f.lower();
+    }
+  }
+  return Configuration(std::move(indices), std::move(reals));
+}
+
+Configuration ConfigurationSpace::sample(Rng& rng) const {
+  Configuration config = default_configuration();
+  // Parents precede children by construction, so one forward pass works.
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (!is_active(i, config)) continue;
+    const std::uint64_t card = params_[i]->cardinality();
+    if (card > 0) {
+      config.set_index(
+          i, rng.uniform_int(static_cast<std::int64_t>(card)));
+    } else {
+      const auto& f =
+          static_cast<const UniformFloatHyperparameter&>(*params_[i]);
+      config.set_real(i, rng.uniform(f.lower(), f.upper()));
+    }
+  }
+  return config;
+}
+
+Configuration ConfigurationSpace::from_flat_index(std::uint64_t flat) const {
+  TVMBO_CHECK(fully_discrete())
+      << "flat indexing requires a fully discrete space";
+  TVMBO_CHECK_LT(flat, cardinality()) << "flat index out of range";
+  Configuration config = default_configuration();
+  // Last parameter is the least significant digit.
+  for (std::size_t i = params_.size(); i > 0; --i) {
+    const std::uint64_t card = params_[i - 1]->cardinality();
+    config.set_index(i - 1, static_cast<std::int64_t>(flat % card));
+    flat /= card;
+  }
+  return config;
+}
+
+std::uint64_t ConfigurationSpace::to_flat_index(
+    const Configuration& config) const {
+  TVMBO_CHECK(fully_discrete())
+      << "flat indexing requires a fully discrete space";
+  TVMBO_CHECK_EQ(config.size(), params_.size())
+      << "configuration arity mismatch";
+  std::uint64_t flat = 0;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const std::uint64_t card = params_[i]->cardinality();
+    const std::int64_t index = config.index(i);
+    TVMBO_CHECK(index >= 0 && static_cast<std::uint64_t>(index) < card)
+        << "configuration index out of range for parameter "
+        << params_[i]->name();
+    flat = flat * card + static_cast<std::uint64_t>(index);
+  }
+  return flat;
+}
+
+Configuration ConfigurationSpace::neighbor(const Configuration& config,
+                                           Rng& rng) const {
+  TVMBO_CHECK_EQ(config.size(), params_.size())
+      << "configuration arity mismatch";
+  // Pick an active parameter to perturb.
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (is_active(i, config)) active.push_back(i);
+  }
+  TVMBO_CHECK(!active.empty()) << "no active parameters to perturb";
+  Configuration result = config;
+  const std::size_t target = active[static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(active.size())))];
+  const Hyperparameter& param = *params_[target];
+  switch (param.kind()) {
+    case ParamKind::kOrdinal:
+    case ParamKind::kInteger: {
+      const auto card = static_cast<std::int64_t>(param.cardinality());
+      if (card == 1) break;
+      std::int64_t index = config.index(target);
+      // +-1 step with reflection at the ends (ordinal locality).
+      std::int64_t step = rng.bernoulli(0.5) ? 1 : -1;
+      index += step;
+      if (index < 0) index = 1;
+      if (index >= card) index = card - 2;
+      result.set_index(target, index);
+      break;
+    }
+    case ParamKind::kCategorical: {
+      const auto card = static_cast<std::int64_t>(param.cardinality());
+      if (card == 1) break;
+      std::int64_t index = config.index(target);
+      std::int64_t replacement = rng.uniform_int(card - 1);
+      if (replacement >= index) ++replacement;  // ensure a real move
+      result.set_index(target, replacement);
+      break;
+    }
+    case ParamKind::kFloat: {
+      const auto& f = static_cast<const UniformFloatHyperparameter&>(param);
+      const double step = 0.1 * (f.upper() - f.lower());
+      const double value =
+          std::clamp(config.real(target) + rng.normal(0.0, step), f.lower(),
+                     f.upper());
+      result.set_real(target, value);
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<double> ConfigurationSpace::values(
+    const Configuration& config) const {
+  TVMBO_CHECK_EQ(config.size(), params_.size())
+      << "configuration arity mismatch";
+  std::vector<double> out(params_.size(), 0.0);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i]->cardinality() > 0) {
+      out[i] = params_[i]->value_at(
+          static_cast<std::uint64_t>(config.index(i)));
+    } else {
+      out[i] = config.real(i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> ConfigurationSpace::values_int(
+    const Configuration& config) const {
+  std::vector<std::int64_t> out;
+  for (double v : values(config)) {
+    out.push_back(static_cast<std::int64_t>(std::llround(v)));
+  }
+  return out;
+}
+
+Configuration ConfigurationSpace::from_values(
+    const std::vector<double>& values) const {
+  TVMBO_CHECK_EQ(values.size(), params_.size())
+      << "value arity mismatch in from_values";
+  Configuration config = default_configuration();
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Hyperparameter& param = *params_[i];
+    switch (param.kind()) {
+      case ParamKind::kOrdinal: {
+        const auto& ordinal =
+            static_cast<const OrdinalHyperparameter&>(param);
+        const auto index = ordinal.index_of(values[i]);
+        TVMBO_CHECK(index.has_value())
+            << "value " << values[i] << " not in the domain of '"
+            << param.name() << "'";
+        config.set_index(i, static_cast<std::int64_t>(*index));
+        break;
+      }
+      case ParamKind::kCategorical:
+      case ParamKind::kInteger: {
+        bool found = false;
+        for (std::uint64_t index = 0; index < param.cardinality();
+             ++index) {
+          if (param.value_at(index) == values[i]) {
+            config.set_index(i, static_cast<std::int64_t>(index));
+            found = true;
+            break;
+          }
+        }
+        TVMBO_CHECK(found) << "value " << values[i]
+                           << " not in the domain of '" << param.name()
+                           << "'";
+        break;
+      }
+      case ParamKind::kFloat: {
+        const auto& f =
+            static_cast<const UniformFloatHyperparameter&>(param);
+        TVMBO_CHECK(values[i] >= f.lower() && values[i] <= f.upper())
+            << "value " << values[i] << " outside the range of '"
+            << param.name() << "'";
+        config.set_real(i, values[i]);
+        break;
+      }
+    }
+  }
+  return config;
+}
+
+std::string ConfigurationSpace::to_string(
+    const Configuration& config) const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << params_[i]->name() << "=";
+    if (params_[i]->cardinality() > 0) {
+      out << params_[i]->str_at(static_cast<std::uint64_t>(config.index(i)));
+    } else {
+      out << format_double(config.real(i), 4);
+    }
+    if (!is_active(i, config)) out << " (inactive)";
+  }
+  return out.str();
+}
+
+}  // namespace tvmbo::cs

@@ -1,0 +1,211 @@
+// Parameter-space definition, mirroring the Python ConfigSpace package the
+// paper uses (§4): ordinal hyperparameters over tile-factor sequences,
+// categoricals, uniform integers/floats, plus simple equals-conditions.
+//
+// A Configuration is a compact vector of per-parameter choices. Discrete
+// parameters store an index into their domain; continuous parameters store
+// the real value directly. The full space supports:
+//   * exact cardinality (the paper's Table 1 column),
+//   * mixed-radix flat-index <-> configuration conversion (GridSearch),
+//   * uniform sampling,
+//   * neighbourhood moves (GA mutation, BO candidate refinement).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tvmbo::cs {
+
+class ConfigurationSpace;
+
+/// One point of a ConfigurationSpace. `index(i)` for discrete parameters,
+/// `real(i)` for continuous ones; inactive conditional parameters keep
+/// index 0 / the domain lower bound.
+class Configuration {
+ public:
+  Configuration() = default;
+  Configuration(std::vector<std::int64_t> indices,
+                std::vector<double> reals)
+      : indices_(std::move(indices)), reals_(std::move(reals)) {}
+
+  std::size_t size() const { return indices_.size(); }
+  std::int64_t index(std::size_t param) const;
+  void set_index(std::size_t param, std::int64_t index);
+  double real(std::size_t param) const;
+  void set_real(std::size_t param, double value);
+
+  bool operator==(const Configuration& other) const {
+    return indices_ == other.indices_ && reals_ == other.reals_;
+  }
+
+  /// Stable hash for dedup sets.
+  std::uint64_t hash() const;
+
+ private:
+  std::vector<std::int64_t> indices_;
+  std::vector<double> reals_;
+};
+
+enum class ParamKind { kOrdinal, kCategorical, kInteger, kFloat };
+
+class Hyperparameter {
+ public:
+  Hyperparameter(ParamKind kind, std::string name)
+      : kind_(kind), name_(std::move(name)) {}
+  virtual ~Hyperparameter() = default;
+
+  ParamKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  /// Number of distinct choices; 0 means continuous.
+  virtual std::uint64_t cardinality() const = 0;
+  /// Numeric value of the i-th choice (discrete only).
+  virtual double value_at(std::uint64_t index) const = 0;
+  /// Display string of the i-th choice.
+  virtual std::string str_at(std::uint64_t index) const;
+
+ private:
+  ParamKind kind_;
+  std::string name_;
+};
+
+/// CSH.OrdinalHyperparameter: an explicitly ordered numeric sequence (the
+/// paper's tile-factor lists).
+class OrdinalHyperparameter final : public Hyperparameter {
+ public:
+  OrdinalHyperparameter(std::string name, std::vector<double> sequence);
+  std::uint64_t cardinality() const override { return sequence_.size(); }
+  double value_at(std::uint64_t index) const override;
+  const std::vector<double>& sequence() const { return sequence_; }
+  /// Index of a value; nullopt when absent.
+  std::optional<std::uint64_t> index_of(double value) const;
+
+ private:
+  std::vector<double> sequence_;
+};
+
+/// CSH.CategoricalHyperparameter: unordered string choices. value_at
+/// returns the choice index itself (categoricals have no magnitude).
+class CategoricalHyperparameter final : public Hyperparameter {
+ public:
+  CategoricalHyperparameter(std::string name,
+                            std::vector<std::string> choices);
+  std::uint64_t cardinality() const override { return choices_.size(); }
+  double value_at(std::uint64_t index) const override;
+  std::string str_at(std::uint64_t index) const override;
+  const std::vector<std::string>& choices() const { return choices_; }
+
+ private:
+  std::vector<std::string> choices_;
+};
+
+/// CSH.UniformIntegerHyperparameter over [lower, upper].
+class UniformIntegerHyperparameter final : public Hyperparameter {
+ public:
+  UniformIntegerHyperparameter(std::string name, std::int64_t lower,
+                               std::int64_t upper);
+  std::uint64_t cardinality() const override {
+    return static_cast<std::uint64_t>(upper_ - lower_ + 1);
+  }
+  double value_at(std::uint64_t index) const override;
+  std::int64_t lower() const { return lower_; }
+  std::int64_t upper() const { return upper_; }
+
+ private:
+  std::int64_t lower_;
+  std::int64_t upper_;
+};
+
+/// CSH.UniformFloatHyperparameter over [lower, upper] (continuous).
+class UniformFloatHyperparameter final : public Hyperparameter {
+ public:
+  UniformFloatHyperparameter(std::string name, double lower, double upper);
+  std::uint64_t cardinality() const override { return 0; }
+  double value_at(std::uint64_t index) const override;
+  double lower() const { return lower_; }
+  double upper() const { return upper_; }
+
+ private:
+  double lower_;
+  double upper_;
+};
+
+/// child is active iff parent's chosen index equals `parent_index`.
+struct EqualsCondition {
+  std::size_t child;
+  std::size_t parent;
+  std::int64_t parent_index;
+};
+
+class ConfigurationSpace {
+ public:
+  /// Adds a hyperparameter; returns its position.
+  std::size_t add(std::shared_ptr<Hyperparameter> param);
+
+  /// Declares `child` conditional on `parent == parent_index`. The parent
+  /// must have been added before the child.
+  void add_condition(const std::string& child, const std::string& parent,
+                     std::int64_t parent_index);
+
+  std::size_t num_params() const { return params_.size(); }
+  const Hyperparameter& param(std::size_t index) const;
+  const Hyperparameter& param(const std::string& name) const;
+  std::size_t param_index(const std::string& name) const;
+
+  /// Product of discrete cardinalities (continuous parameters are excluded,
+  /// matching how the paper counts its spaces). Checked against overflow.
+  std::uint64_t cardinality() const;
+
+  /// True when all parameters are discrete.
+  bool fully_discrete() const;
+
+  /// Whether a parameter is active under the conditions.
+  bool is_active(std::size_t param, const Configuration& config) const;
+
+  /// Uniform sample (parents drawn before conditional children).
+  Configuration sample(Rng& rng) const;
+
+  /// Default configuration: index 0 / lower bound everywhere.
+  Configuration default_configuration() const;
+
+  /// Mixed-radix conversions for grid enumeration. The space must be fully
+  /// discrete. The first parameter is the most significant digit.
+  Configuration from_flat_index(std::uint64_t flat) const;
+  std::uint64_t to_flat_index(const Configuration& config) const;
+
+  /// A random neighbour: one active parameter changed — ordinals/integers
+  /// move +-1 step (locality), categoricals resample, floats take a
+  /// Gaussian step of 10% range.
+  Configuration neighbor(const Configuration& config, Rng& rng) const;
+
+  /// Numeric values of all parameters (value_at for discrete, the real for
+  /// continuous). For tile spaces this is the tile-size vector.
+  std::vector<double> values(const Configuration& config) const;
+
+  /// Integer tile vector (values rounded); the common case in this repo.
+  std::vector<std::int64_t> values_int(const Configuration& config) const;
+
+  /// Inverse of values(): reconstructs a configuration from per-parameter
+  /// numeric values (used to warm-start searches from saved performance
+  /// databases). Throws CheckError when a value is not in a parameter's
+  /// domain.
+  Configuration from_values(const std::vector<double>& values) const;
+
+  /// Human-readable "P0=400, P1=50" string.
+  std::string to_string(const Configuration& config) const;
+
+  const std::vector<EqualsCondition>& conditions() const {
+    return conditions_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<Hyperparameter>> params_;
+  std::vector<EqualsCondition> conditions_;
+};
+
+}  // namespace tvmbo::cs

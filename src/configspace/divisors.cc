@@ -1,0 +1,35 @@
+#include "configspace/divisors.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tvmbo::cs {
+
+std::vector<std::int64_t> divisors(std::int64_t n) {
+  TVMBO_CHECK_GT(n, 0) << "divisors of non-positive value";
+  std::vector<std::int64_t> low;
+  std::vector<std::int64_t> high;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d != 0) continue;
+    low.push_back(d);
+    if (d != n / d) high.push_back(n / d);
+  }
+  low.insert(low.end(), high.rbegin(), high.rend());
+  return low;
+}
+
+std::uint64_t divisor_count(std::int64_t n) {
+  return divisors(n).size();
+}
+
+std::shared_ptr<OrdinalHyperparameter> tile_factor_param(
+    const std::string& name, std::int64_t extent) {
+  std::vector<double> sequence;
+  for (std::int64_t d : divisors(extent)) {
+    sequence.push_back(static_cast<double>(d));
+  }
+  return std::make_shared<OrdinalHyperparameter>(name, std::move(sequence));
+}
+
+}  // namespace tvmbo::cs

@@ -1,0 +1,27 @@
+// Divisor-set utilities. The paper's tile-factor sequences are exactly the
+// sorted divisor sets of the matrix extents ("we use the common factors of
+// each matrix rank to define a set of candidate values for each tunable
+// parameter"), which is what makes Table 1's space sizes reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "configspace/configspace.h"
+
+namespace tvmbo::cs {
+
+/// All positive divisors of n, ascending. n must be positive.
+std::vector<std::int64_t> divisors(std::int64_t n);
+
+/// Number of positive divisors of n.
+std::uint64_t divisor_count(std::int64_t n);
+
+/// An OrdinalHyperparameter whose sequence is divisors(n) — one paper-style
+/// tile-factor parameter.
+std::shared_ptr<OrdinalHyperparameter> tile_factor_param(
+    const std::string& name, std::int64_t extent);
+
+}  // namespace tvmbo::cs

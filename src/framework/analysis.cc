@@ -1,0 +1,142 @@
+#include "framework/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace tvmbo::framework {
+
+StrategySummary summarize(const SessionResult& result) {
+  StrategySummary summary;
+  summary.strategy = result.strategy;
+  summary.evaluations = result.evaluations;
+  summary.total_time_s = result.total_time_s;
+
+  std::vector<double> runtimes;
+  for (const runtime::TrialRecord& record : result.db.records()) {
+    if (!record.valid) continue;
+    runtimes.push_back(record.runtime_s);
+  }
+  summary.valid_evaluations = runtimes.size();
+  if (runtimes.empty()) return summary;
+
+  summary.best_runtime_s = min_value(runtimes);
+  summary.worst_runtime_s = max_value(runtimes);
+  summary.mean_runtime_s = mean(runtimes);
+  summary.median_runtime_s = median(runtimes);
+
+  const double threshold = summary.best_runtime_s * 1.05;
+  int index = 0;
+  for (const runtime::TrialRecord& record : result.db.records()) {
+    ++index;
+    if (!record.valid) continue;
+    if (record.runtime_s <= threshold &&
+        summary.evals_to_within_5pct < 0) {
+      summary.evals_to_within_5pct = index;
+    }
+    if (record.runtime_s == summary.best_runtime_s) {
+      summary.time_to_best_s = record.elapsed_s;
+    }
+  }
+  return summary;
+}
+
+CsvTable summary_table(const std::vector<SessionResult>& results) {
+  CsvTable table({"strategy", "evals", "valid", "best_s", "median_s",
+                  "mean_s", "worst_s", "evals_to_5pct", "time_to_best_s",
+                  "process_time_s"});
+  for (const SessionResult& result : results) {
+    const StrategySummary s = summarize(result);
+    table.add_row({s.strategy, std::to_string(s.evaluations),
+                   std::to_string(s.valid_evaluations),
+                   format_double(s.best_runtime_s, 4),
+                   format_double(s.median_runtime_s, 4),
+                   format_double(s.mean_runtime_s, 4),
+                   format_double(s.worst_runtime_s, 4),
+                   std::to_string(s.evals_to_within_5pct),
+                   format_double(s.time_to_best_s, 1),
+                   format_double(s.total_time_s, 1)});
+  }
+  return table;
+}
+
+int evaluations_to_reach(const SessionResult& result,
+                         double target_runtime_s) {
+  int index = 0;
+  for (const runtime::TrialRecord& record : result.db.records()) {
+    ++index;
+    if (record.valid && record.runtime_s <= target_runtime_s) return index;
+  }
+  return -1;
+}
+
+std::string ascii_scatter(const std::vector<SessionResult>& results,
+                          int width, int height) {
+  TVMBO_CHECK(width >= 20 && height >= 6) << "scatter canvas too small";
+  static const char kGlyphs[] = {'g', 'r', 'G', 'x', 'y',
+                                 '1', '2', '3', '4', '5'};
+
+  double min_runtime = std::numeric_limits<double>::infinity();
+  double max_runtime = 0.0;
+  double max_elapsed = 0.0;
+  for (const SessionResult& result : results) {
+    for (const auto& record : result.db.records()) {
+      if (!record.valid || record.runtime_s <= 0.0) continue;
+      min_runtime = std::min(min_runtime, record.runtime_s);
+      max_runtime = std::max(max_runtime, record.runtime_s);
+      max_elapsed = std::max(max_elapsed, record.elapsed_s);
+    }
+  }
+  if (!(max_runtime > 0.0)) return "(no valid evaluations to plot)\n";
+  // Log y-scale with a hair of margin.
+  const double log_lo = std::log(min_runtime) - 0.01;
+  const double log_hi = std::log(max_runtime) + 0.01;
+
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(height),
+      std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    const char glyph = kGlyphs[s % sizeof(kGlyphs)];
+    for (const auto& record : results[s].db.records()) {
+      if (!record.valid || record.runtime_s <= 0.0) continue;
+      const int col = static_cast<int>(
+          record.elapsed_s / std::max(max_elapsed, 1e-12) * (width - 1));
+      const double frac =
+          (std::log(record.runtime_s) - log_lo) / (log_hi - log_lo);
+      const int row = (height - 1) -
+                      static_cast<int>(frac * (height - 1));
+      canvas[static_cast<std::size_t>(std::clamp(row, 0, height - 1))]
+            [static_cast<std::size_t>(std::clamp(col, 0, width - 1))] =
+                glyph;
+    }
+  }
+
+  std::ostringstream out;
+  out << format_double(max_runtime, 2) << " s (log scale)\n";
+  for (const std::string& line : canvas) {
+    out << "  |" << line << "\n";
+  }
+  out << "  +" << std::string(static_cast<std::size_t>(width), '-')
+      << "\n   0";
+  const std::string end_label =
+      format_double(max_elapsed, 0) + " s autotuning process time";
+  out << std::string(
+             std::max<std::size_t>(
+                 1, static_cast<std::size_t>(width) - end_label.size() - 1),
+             ' ')
+      << end_label << "\n";
+  out << "  legend:";
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    out << " " << kGlyphs[s % sizeof(kGlyphs)] << "="
+        << results[s].strategy;
+  }
+  out << " | bottom = " << format_double(min_runtime, 3) << " s\n";
+  return out.str();
+}
+
+}  // namespace tvmbo::framework

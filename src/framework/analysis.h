@@ -1,0 +1,48 @@
+// Analytics over tuning results: per-strategy summary statistics,
+// convergence metrics (how fast a strategy reaches the neighbourhood of
+// its final best), and ASCII scatter rendering of the paper's
+// process-over-time figures for terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "framework/session.h"
+
+namespace tvmbo::framework {
+
+struct StrategySummary {
+  std::string strategy;
+  std::size_t evaluations = 0;
+  std::size_t valid_evaluations = 0;
+  double best_runtime_s = 0.0;
+  double median_runtime_s = 0.0;
+  double mean_runtime_s = 0.0;
+  double worst_runtime_s = 0.0;
+  double total_time_s = 0.0;
+  /// 1-based evaluation index at which the running best first came within
+  /// 5% of the strategy's final best (-1 when there is no valid trial).
+  int evals_to_within_5pct = -1;
+  /// Process-clock time at which the final best was found.
+  double time_to_best_s = 0.0;
+};
+
+StrategySummary summarize(const SessionResult& result);
+
+/// One row per strategy, ready for reports.
+CsvTable summary_table(const std::vector<SessionResult>& results);
+
+/// 1-based evaluation index at which the running best first reached
+/// `target_runtime_s` or better; -1 when it never did.
+int evaluations_to_reach(const SessionResult& result,
+                         double target_runtime_s);
+
+/// Text scatter plot of (elapsed_s, runtime_s) for every strategy, each
+/// drawn with its own glyph — a terminal rendition of the paper's
+/// process-over-time figures. The y axis is log-scaled (runtimes span
+/// orders of magnitude); invalid evaluations are skipped.
+std::string ascii_scatter(const std::vector<SessionResult>& results,
+                          int width = 72, int height = 18);
+
+}  // namespace tvmbo::framework

@@ -1,0 +1,53 @@
+#include "framework/code_mold.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tvmbo::framework {
+
+CodeMold::CodeMold(std::string text, const cs::ConfigurationSpace* space)
+    : text_(std::move(text)), space_(space) {
+  TVMBO_CHECK(space_ != nullptr) << "code mold requires a space";
+  placeholders_ = find_placeholders(text_);
+  TVMBO_CHECK(!placeholders_.empty())
+      << "code mold contains no #P placeholders";
+  for (const std::string& name : placeholders_) {
+    // Throws via TVMBO_CHECK if the space has no such parameter.
+    space_->param_index(name.substr(1));
+  }
+}
+
+std::string CodeMold::render(const cs::Configuration& config) const {
+  std::map<std::string, std::string> bindings;
+  for (const std::string& placeholder : placeholders_) {
+    const std::string param_name = placeholder.substr(1);  // drop '#'
+    const std::size_t index = space_->param_index(param_name);
+    const auto& param = space_->param(index);
+    bindings[placeholder] =
+        param.cardinality() > 0
+            ? param.str_at(static_cast<std::uint64_t>(config.index(index)))
+            : format_double(config.real(index), 6);
+  }
+  return substitute_placeholders(text_, bindings);
+}
+
+std::string paper_3mm_mold() {
+  return R"(# 3mm code mold (paper section 4); #P0..#P5 are the tunable tile factors
+E = te.compute((N, M), lambda i, j: te.sum(A[i, k] * B[k, j], axis=k), name="E")
+F = te.compute((M, P), lambda i, j: te.sum(C[i, l] * D[l, j], axis=l), name="F")
+G = te.compute((N, P), lambda i, j: te.sum(E[i, m] * F[m, j], axis=m), name="G")
+yo, yi = s1[E].split(y, #P0)
+xo, xi = s1[E].split(x, #P1)
+yo1, yi1 = s2[F].split(y1, #P2)
+xo1, xi1 = s2[F].split(x1, #P3)
+yo2, yi2 = s3[G].split(y2, #P4)
+xo2, xi2 = s3[G].split(x2, #P5)
+s1[E].reorder(yo, xo, k, yi, xi)
+s2[F].reorder(yo1, xo1, l, yi1, xi1)
+s3[G].reorder(yo2, xo2, m, yi2, xi2)
+)";
+}
+
+}  // namespace tvmbo::framework

@@ -1,0 +1,44 @@
+// Code molds: the textual parameterization step of the ytopt flow.
+//
+// The paper turns a TE kernel into a "code mold" by replacing the tunable
+// statements with #P0..#Pn placeholders; each evaluation substitutes the
+// selected configuration's values to generate a concrete TE program
+// (Step 2). This class reproduces that text-level machinery; it is used by
+// the examples to show the generated code and by tests to verify the
+// substitution rules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "configspace/configspace.h"
+
+namespace tvmbo::framework {
+
+class CodeMold {
+ public:
+  /// `text` contains #P<k> markers; each must correspond to the parameter
+  /// of the same name in `space`.
+  CodeMold(std::string text, const cs::ConfigurationSpace* space);
+
+  /// Placeholder names present in the mold, sorted.
+  const std::vector<std::string>& placeholders() const {
+    return placeholders_;
+  }
+
+  /// Substitutes the configuration's values to produce concrete code.
+  std::string render(const cs::Configuration& config) const;
+
+  const std::string& text() const { return text_; }
+
+ private:
+  std::string text_;
+  const cs::ConfigurationSpace* space_;
+  std::vector<std::string> placeholders_;
+};
+
+/// The paper's 3mm TE code mold (§4), with the six split statements
+/// parameterized; useful for examples/demos.
+std::string paper_3mm_mold();
+
+}  // namespace tvmbo::framework

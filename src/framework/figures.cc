@@ -1,0 +1,150 @@
+#include "framework/figures.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace tvmbo::framework {
+
+CsvTable process_over_time_table(
+    const std::vector<SessionResult>& results) {
+  CsvTable table({"strategy", "eval", "elapsed_s", "runtime_s", "valid"});
+  for (const SessionResult& result : results) {
+    for (const runtime::TrialRecord& record : result.db.records()) {
+      table.add_row({result.strategy, std::to_string(record.eval_index),
+                     format_double(record.elapsed_s, 3),
+                     format_double(record.runtime_s, 4),
+                     record.valid ? "1" : "0"});
+    }
+  }
+  return table;
+}
+
+CsvTable minimum_runtimes_table(const std::vector<SessionResult>& results) {
+  CsvTable table({"strategy", "best_runtime_s", "best_config", "evals",
+                  "process_time_s"});
+  for (const SessionResult& result : results) {
+    std::string best_runtime = "n/a";
+    std::string best_config = "n/a";
+    if (result.best) {
+      best_runtime = format_double(result.best->runtime_s, 4);
+      best_config = tiles_to_string(result.best->tiles);
+    }
+    table.add_row({result.strategy, best_runtime, best_config,
+                   std::to_string(result.evaluations),
+                   format_double(result.total_time_s, 1)});
+  }
+  return table;
+}
+
+CsvTable best_so_far_table(const std::vector<SessionResult>& results) {
+  CsvTable table({"strategy", "eval", "best_so_far_s"});
+  for (const SessionResult& result : results) {
+    std::vector<double> runtimes;
+    for (const runtime::TrialRecord& record : result.db.records()) {
+      runtimes.push_back(record.valid
+                             ? record.runtime_s
+                             : std::numeric_limits<double>::infinity());
+    }
+    const std::vector<double> best = running_min(runtimes);
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      table.add_row({result.strategy, std::to_string(i),
+                     format_double(best[i], 4)});
+    }
+  }
+  return table;
+}
+
+CsvTable ytopt_results_table(const SessionResult& result,
+                             const cs::ConfigurationSpace& space) {
+  std::vector<std::string> header;
+  for (std::size_t p = 0; p < space.num_params(); ++p) {
+    header.push_back(space.param(p).name());
+  }
+  header.push_back("objective");
+  header.push_back("elapsed_sec");
+  CsvTable table(header);
+  for (const runtime::TrialRecord& record : result.db.records()) {
+    std::vector<std::string> row;
+    for (std::int64_t tile : record.tiles) {
+      row.push_back(std::to_string(tile));
+    }
+    row.push_back(format_double(record.runtime_s, 6));
+    row.push_back(format_double(record.elapsed_s, 3));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string tiles_to_string(const std::vector<std::int64_t>& tiles) {
+  auto pair = [](std::int64_t y, std::int64_t x) {
+    return std::to_string(y) + "x" + std::to_string(x);
+  };
+  if (tiles.size() == 2) return pair(tiles[0], tiles[1]);
+  if (tiles.size() % 2 == 0 && !tiles.empty()) {
+    std::string out = "(";
+    for (std::size_t i = 0; i < tiles.size(); i += 2) {
+      if (i > 0) out += ", ";
+      out += pair(tiles[i], tiles[i + 1]);
+    }
+    return out + ")";
+  }
+  std::string out = "(";
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(tiles[i]);
+  }
+  return out + ")";
+}
+
+std::string render_table(const CsvTable& table) {
+  std::vector<std::size_t> widths(table.num_columns());
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    widths[c] = table.header()[c].size();
+  }
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t c = 0; c < table.num_columns(); ++c) {
+      widths[c] = std::max(widths[c], table.row(r)[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "| " << cells[c]
+          << std::string(widths[c] - cells[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit_row(table.header());
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    out << "|" << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    emit_row(table.row(r));
+  }
+  return out.str();
+}
+
+std::string render_minimum_summary(
+    const std::vector<SessionResult>& results, const std::string& title,
+    double paper_best_runtime_s) {
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  out << render_table(minimum_runtimes_table(results));
+  if (paper_best_runtime_s > 0.0) {
+    double ours = std::numeric_limits<double>::infinity();
+    for (const SessionResult& result : results) {
+      if (result.best) ours = std::min(ours, result.best->runtime_s);
+    }
+    out << "paper best runtime: " << format_double(paper_best_runtime_s, 3)
+        << " s | our best runtime: " << format_double(ours, 3)
+        << " s | ratio: " << format_double(ours / paper_best_runtime_s, 3)
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tvmbo::framework

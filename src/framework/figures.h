@@ -1,0 +1,44 @@
+// Figure/table exporters: turn SessionResults into the data series behind
+// every figure in the paper's §5, as CSV files and console tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "framework/session.h"
+
+namespace tvmbo::framework {
+
+/// Process-over-time series (Figs 4, 6, 8, 10, 12): one row per
+/// evaluation with columns strategy, eval, elapsed_s (x) and runtime_s (y).
+CsvTable process_over_time_table(const std::vector<SessionResult>& results);
+
+/// Minimum-runtime summary (Figs 5, 7, 9, 11, 13): per strategy, the best
+/// runtime, the winning configuration ("tensor size"), the number of
+/// evaluations completed, and the total autotuning process time.
+CsvTable minimum_runtimes_table(const std::vector<SessionResult>& results);
+
+/// Best-so-far trajectory: per evaluation, the running minimum runtime.
+CsvTable best_so_far_table(const std::vector<SessionResult>& results);
+
+/// "400x50"-style rendering of a tile vector (the paper's tensor sizes);
+/// six-element vectors render as "(y0xX0, y1xX1, y2xX2)".
+std::string tiles_to_string(const std::vector<std::int64_t>& tiles);
+
+/// Fixed-width console rendering of a CSV table.
+std::string render_table(const CsvTable& table);
+
+/// Writes one strategy's trials in the CSV layout ytopt itself produces
+/// (one column per parameter, then objective and elapsed_sec), so
+/// existing ytopt post-processing scripts can consume tvmbo output.
+CsvTable ytopt_results_table(const SessionResult& result,
+                             const cs::ConfigurationSpace& space);
+
+/// Prints the minimum-runtime summary with a paper-reported reference
+/// value (0 disables the reference row).
+std::string render_minimum_summary(const std::vector<SessionResult>& results,
+                                   const std::string& title,
+                                   double paper_best_runtime_s);
+
+}  // namespace tvmbo::framework

@@ -1,0 +1,235 @@
+#include "framework/session.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace tvmbo::framework {
+
+const char* strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kYtopt: return "ytopt";
+    case StrategyKind::kAutotvmRandom: return "autotvm-random";
+    case StrategyKind::kAutotvmGridSearch: return "autotvm-gridsearch";
+    case StrategyKind::kAutotvmGa: return "autotvm-ga";
+    case StrategyKind::kAutotvmXgb: return "autotvm-xgb";
+  }
+  return "?";
+}
+
+const char* objective_name(Objective objective) {
+  switch (objective) {
+    case Objective::kRuntime: return "runtime";
+    case Objective::kEnergy: return "energy";
+    case Objective::kEnergyDelay: return "energy-delay";
+  }
+  return "?";
+}
+
+std::vector<StrategyKind> all_strategies() {
+  return {StrategyKind::kAutotvmGa, StrategyKind::kAutotvmRandom,
+          StrategyKind::kAutotvmGridSearch, StrategyKind::kAutotvmXgb,
+          StrategyKind::kYtopt};
+}
+
+AutotuningSession::AutotuningSession(const autotvm::Task* task,
+                                     runtime::Device* device,
+                                     SessionOptions options)
+    : task_(task), device_(device), options_(options) {
+  TVMBO_CHECK(task_ != nullptr && device_ != nullptr)
+      << "session requires a task and a device";
+  TVMBO_CHECK_GT(options_.max_evaluations, 0u)
+      << "max_evaluations must be positive";
+  TVMBO_CHECK_GT(options_.batch_size, 0u) << "batch_size must be positive";
+}
+
+std::unique_ptr<tuners::Tuner> AutotuningSession::make_strategy(
+    StrategyKind kind) const {
+  const cs::ConfigurationSpace* space = &task_->config.space();
+  // Derive a per-strategy seed so strategies are independent but the whole
+  // experiment is reproducible from options_.seed.
+  const std::uint64_t seed =
+      hash_combine(options_.seed, static_cast<std::uint64_t>(kind) + 17);
+  switch (kind) {
+    case StrategyKind::kYtopt:
+      return std::make_unique<ytopt::BayesianOptimizer>(space, seed,
+                                                        options_.bo);
+    case StrategyKind::kAutotvmRandom:
+      return autotvm::create_tuner(autotvm::TunerType::kRandom, space, seed);
+    case StrategyKind::kAutotvmGridSearch:
+      return autotvm::create_tuner(autotvm::TunerType::kGridSearch, space,
+                                   seed);
+    case StrategyKind::kAutotvmGa:
+      return autotvm::create_tuner(autotvm::TunerType::kGa, space, seed);
+    case StrategyKind::kAutotvmXgb: {
+      autotvm::TunerFactoryOptions factory;
+      factory.xgb_paper_eval_cap = options_.xgb_paper_eval_cap;
+      return autotvm::create_tuner(autotvm::TunerType::kXgb, space, seed,
+                                   factory);
+    }
+  }
+  TVMBO_CHECK(false) << "unknown strategy";
+  return nullptr;
+}
+
+double AutotuningSession::modeled_overhead_s(
+    StrategyKind kind, std::size_t observed,
+    std::size_t batch_members) const {
+  if (!options_.charge_strategy_overhead) return 0.0;
+  const double n = static_cast<double>(observed);
+  const double members = static_cast<double>(batch_members);
+  switch (kind) {
+    case StrategyKind::kYtopt:
+      // Surrogate refit grows with observations, plus driver overhead
+      // (ytopt regenerates + evaluates the code mold per iteration).
+      return 0.9 + 0.012 * n;
+    case StrategyKind::kAutotvmRandom:
+    case StrategyKind::kAutotvmGridSearch:
+      // Trivial proposal; only the per-evaluation measure RPC overhead.
+      return 0.05 + 0.15 * members;
+    case StrategyKind::kAutotvmGa:
+      return 0.25 + 0.15 * members;
+    case StrategyKind::kAutotvmXgb:
+      // Cost-model (re)training + simulated-annealing proposal per batch.
+      return 0.8 + 0.05 * n + 0.15 * members;
+  }
+  return 0.0;
+}
+
+std::uint64_t AutotuningSession::strategy_seed(int salt) const {
+  return hash_combine(options_.seed, static_cast<std::uint64_t>(salt) + 17);
+}
+
+SessionResult AutotuningSession::run(StrategyKind kind) {
+  std::unique_ptr<tuners::Tuner> strategy = make_strategy(kind);
+  StrategyTraits traits;
+  traits.repeat = kind == StrategyKind::kYtopt ? options_.ytopt_repeat
+                                               : options_.autotvm_repeat;
+  traits.batch_size =
+      kind == StrategyKind::kYtopt ? 1 : options_.batch_size;
+  traits.parallel_build = kind != StrategyKind::kYtopt;
+  traits.overhead = [this, kind](std::size_t observed, std::size_t batch) {
+    return modeled_overhead_s(kind, observed, batch);
+  };
+  return run_strategy(*strategy, traits);
+}
+
+SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
+                                              const StrategyTraits& traits) {
+  TVMBO_CHECK_GT(traits.batch_size, 0u) << "batch_size must be positive";
+  TVMBO_CHECK_GT(traits.repeat, 0) << "repeat must be positive";
+
+  SessionResult result;
+  result.strategy = strategy.name();
+
+  runtime::MeasureOption measure;
+  measure.repeat = traits.repeat;
+  const std::size_t batch_size = traits.batch_size;
+  const bool parallel_build = traits.parallel_build;
+
+  double clock = 0.0;
+  std::size_t evaluations = 0;
+  while (evaluations < options_.max_evaluations && strategy.has_next()) {
+    if (options_.max_time_s > 0.0 && clock >= options_.max_time_s) break;
+    const std::size_t want = std::min(
+        batch_size, options_.max_evaluations - evaluations);
+    const std::vector<cs::Configuration> batch = strategy.next_batch(want);
+    if (batch.empty()) break;
+
+    std::vector<tuners::Trial> trials;
+    std::vector<double> compiles;
+    trials.reserve(batch.size());
+    compiles.reserve(batch.size());
+    double batch_compile_sum = 0.0;
+    double batch_compile_max = 0.0;
+    double batch_run = 0.0;
+    std::vector<double> energies;
+    std::vector<double> runtimes;
+    energies.reserve(batch.size());
+    runtimes.reserve(batch.size());
+    for (const cs::Configuration& config : batch) {
+      const runtime::MeasureInput input = task_->measure_input(config);
+      const runtime::MeasureResult measured =
+          device_->measure(input, measure);
+      batch_compile_sum += measured.compile_s;
+      batch_compile_max = std::max(batch_compile_max, measured.compile_s);
+      batch_run +=
+          measured.runtime_s * static_cast<double>(measure.repeat);
+      compiles.push_back(measured.compile_s);
+      energies.push_back(measured.energy_j);
+      runtimes.push_back(measured.runtime_s);
+      // The strategy minimizes the configured objective; runtime/energy
+      // are both recorded regardless.
+      double metric = measured.runtime_s;
+      if (options_.objective == Objective::kEnergy) {
+        metric = measured.energy_j;
+      } else if (options_.objective == Objective::kEnergyDelay) {
+        metric = measured.energy_j * measured.runtime_s;
+      }
+      bool valid = measured.valid;
+      if (options_.objective != Objective::kRuntime &&
+          measured.energy_j <= 0.0) {
+        valid = false;  // device has no power model
+      }
+      trials.push_back({config, metric, valid});
+    }
+    // Process-time accounting: parallel builder for AutoTVM batches,
+    // strictly sequential compile for ytopt.
+    clock += parallel_build ? batch_compile_max : batch_compile_sum;
+    clock += batch_run;
+    if (traits.overhead) {
+      clock += traits.overhead(strategy.history().size(), batch.size());
+    }
+
+    // Record each trial at the batch completion time, spreading runs
+    // across the batch window in measurement order for a faithful
+    // per-evaluation timeline.
+    double within = clock - batch_run;
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      within += runtimes[i] * static_cast<double>(measure.repeat);
+      runtime::TrialRecord record;
+      record.eval_index = static_cast<int>(evaluations + i);
+      record.strategy = result.strategy;
+      record.workload_id = task_->workload.id();
+      record.tiles = task_->config.space().values_int(trials[i].config);
+      record.runtime_s = runtimes[i];
+      record.energy_j = energies[i];
+      record.compile_s = compiles[i];
+      record.elapsed_s = within;
+      record.valid = trials[i].valid;
+      result.db.add(record);
+    }
+    evaluations += trials.size();
+    strategy.update(trials);
+  }
+
+  result.total_time_s = clock;
+  result.evaluations = evaluations;
+  // Best record by the configured objective.
+  double best_metric = std::numeric_limits<double>::infinity();
+  for (const runtime::TrialRecord& record : result.db.records()) {
+    if (!record.valid) continue;
+    double metric = record.runtime_s;
+    if (options_.objective == Objective::kEnergy) {
+      metric = record.energy_j;
+    } else if (options_.objective == Objective::kEnergyDelay) {
+      metric = record.energy_j * record.runtime_s;
+    }
+    if (metric < best_metric) {
+      best_metric = metric;
+      result.best = record;
+    }
+  }
+  return result;
+}
+
+std::vector<SessionResult> AutotuningSession::run_all() {
+  std::vector<SessionResult> results;
+  for (StrategyKind kind : all_strategies()) {
+    results.push_back(run(kind));
+  }
+  return results;
+}
+
+}  // namespace tvmbo::framework

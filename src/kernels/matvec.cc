@@ -1,0 +1,307 @@
+#include "kernels/matvec.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tvmbo::kernels {
+
+namespace {
+struct View2 {
+  double* data;
+  std::int64_t cols;
+  double& operator()(std::int64_t i, std::int64_t j) {
+    return data[i * cols + j];
+  }
+  double operator()(std::int64_t i, std::int64_t j) const {
+    return data[i * cols + j];
+  }
+};
+View2 view(NDArray& a) { return {a.f64().data(), a.shape()[1]}; }
+View2 view(const NDArray& a) {
+  return {const_cast<double*>(a.f64().data()), a.shape()[1]};
+}
+std::int64_t clamp_tile(std::int64_t tile, std::int64_t extent) {
+  return std::clamp<std::int64_t>(tile, 1, extent);
+}
+}  // namespace
+
+// --- atax -------------------------------------------------------------------
+
+void init_atax(NDArray& a, NDArray& x) {
+  const std::int64_t m = a.shape()[0], n = a.shape()[1];
+  TVMBO_CHECK_EQ(x.shape()[0], n) << "atax x must have N elements";
+  auto va = view(a);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      va(i, j) = static_cast<double>((i + j) % n) /
+                 (5.0 * static_cast<double>(m));
+  auto vx = x.f64();
+  for (std::int64_t j = 0; j < n; ++j)
+    vx[static_cast<std::size_t>(j)] =
+        1.0 + static_cast<double>(j) / static_cast<double>(n);
+}
+
+void ref_atax(const NDArray& a, const NDArray& x, NDArray& tmp,
+              NDArray& y) {
+  const std::int64_t m = a.shape()[0], n = a.shape()[1];
+  const auto va = view(a);
+  const auto vx = x.f64();
+  auto vtmp = tmp.f64();
+  auto vy = y.f64();
+  for (std::int64_t j = 0; j < n; ++j) vy[static_cast<std::size_t>(j)] = 0.0;
+  for (std::int64_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      acc += va(i, j) * vx[static_cast<std::size_t>(j)];
+    }
+    vtmp[static_cast<std::size_t>(i)] = acc;
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    const double t = vtmp[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < n; ++j) {
+      vy[static_cast<std::size_t>(j)] += va(i, j) * t;
+    }
+  }
+}
+
+void atax_tiled(const NDArray& a, const NDArray& x, NDArray& tmp,
+                NDArray& y, std::int64_t ti, std::int64_t tj) {
+  const std::int64_t m = a.shape()[0], n = a.shape()[1];
+  const auto va = view(a);
+  const auto vx = x.f64();
+  auto vtmp = tmp.f64();
+  auto vy = y.f64();
+  const std::int64_t bi = clamp_tile(ti, m);
+  const std::int64_t bj = clamp_tile(tj, n);
+  for (std::int64_t i = 0; i < m; ++i) vtmp[static_cast<std::size_t>(i)] = 0.0;
+  for (std::int64_t j = 0; j < n; ++j) vy[static_cast<std::size_t>(j)] = 0.0;
+  // tmp = A x, blocked (io, jo, ii, ji).
+  for (std::int64_t io = 0; io < m; io += bi) {
+    const std::int64_t i_end = std::min(io + bi, m);
+    for (std::int64_t jo = 0; jo < n; jo += bj) {
+      const std::int64_t j_end = std::min(jo + bj, n);
+      for (std::int64_t i = io; i < i_end; ++i) {
+        double acc = 0.0;
+        for (std::int64_t j = jo; j < j_end; ++j) {
+          acc += va(i, j) * vx[static_cast<std::size_t>(j)];
+        }
+        vtmp[static_cast<std::size_t>(i)] += acc;
+      }
+    }
+  }
+  // y = A^T tmp, blocked the same way.
+  for (std::int64_t io = 0; io < m; io += bi) {
+    const std::int64_t i_end = std::min(io + bi, m);
+    for (std::int64_t jo = 0; jo < n; jo += bj) {
+      const std::int64_t j_end = std::min(jo + bj, n);
+      for (std::int64_t i = io; i < i_end; ++i) {
+        const double t = vtmp[static_cast<std::size_t>(i)];
+        for (std::int64_t j = jo; j < j_end; ++j) {
+          vy[static_cast<std::size_t>(j)] += va(i, j) * t;
+        }
+      }
+    }
+  }
+}
+
+// --- bicg -------------------------------------------------------------------
+
+void init_bicg(NDArray& a, NDArray& p, NDArray& r) {
+  const std::int64_t n = a.shape()[0], m = a.shape()[1];
+  auto va = view(a);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < m; ++j)
+      va(i, j) = static_cast<double>((i * (j + 1)) % n) /
+                 static_cast<double>(n);
+  auto vp = p.f64();
+  for (std::int64_t j = 0; j < m; ++j)
+    vp[static_cast<std::size_t>(j)] =
+        static_cast<double>(j % m) / static_cast<double>(m);
+  auto vr = r.f64();
+  for (std::int64_t i = 0; i < n; ++i)
+    vr[static_cast<std::size_t>(i)] =
+        static_cast<double>(i % n) / static_cast<double>(n);
+}
+
+void ref_bicg(const NDArray& a, const NDArray& p, const NDArray& r,
+              NDArray& s, NDArray& q) {
+  const std::int64_t n = a.shape()[0], m = a.shape()[1];
+  const auto va = view(a);
+  const auto vp = p.f64();
+  const auto vr = r.f64();
+  auto vs = s.f64();
+  auto vq = q.f64();
+  for (std::int64_t j = 0; j < m; ++j) vs[static_cast<std::size_t>(j)] = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < m; ++j) {
+      vs[static_cast<std::size_t>(j)] +=
+          vr[static_cast<std::size_t>(i)] * va(i, j);
+      acc += va(i, j) * vp[static_cast<std::size_t>(j)];
+    }
+    vq[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+void bicg_tiled(const NDArray& a, const NDArray& p, const NDArray& r,
+                NDArray& s, NDArray& q, std::int64_t ti, std::int64_t tj) {
+  const std::int64_t n = a.shape()[0], m = a.shape()[1];
+  const auto va = view(a);
+  const auto vp = p.f64();
+  const auto vr = r.f64();
+  auto vs = s.f64();
+  auto vq = q.f64();
+  const std::int64_t bi = clamp_tile(ti, n);
+  const std::int64_t bj = clamp_tile(tj, m);
+  for (std::int64_t j = 0; j < m; ++j) vs[static_cast<std::size_t>(j)] = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) vq[static_cast<std::size_t>(i)] = 0.0;
+  for (std::int64_t io = 0; io < n; io += bi) {
+    const std::int64_t i_end = std::min(io + bi, n);
+    for (std::int64_t jo = 0; jo < m; jo += bj) {
+      const std::int64_t j_end = std::min(jo + bj, m);
+      for (std::int64_t i = io; i < i_end; ++i) {
+        const double ri = vr[static_cast<std::size_t>(i)];
+        double acc = 0.0;
+        for (std::int64_t j = jo; j < j_end; ++j) {
+          vs[static_cast<std::size_t>(j)] += ri * va(i, j);
+          acc += va(i, j) * vp[static_cast<std::size_t>(j)];
+        }
+        vq[static_cast<std::size_t>(i)] += acc;
+      }
+    }
+  }
+}
+
+// --- mvt --------------------------------------------------------------------
+
+void init_mvt(NDArray& a, NDArray& x1, NDArray& x2, NDArray& y1,
+              NDArray& y2) {
+  const std::int64_t n = a.shape()[0];
+  auto va = view(a);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      va(i, j) = static_cast<double>((i * j) % n) / static_cast<double>(n);
+  auto write = [n](NDArray& v, double scale, double offset) {
+    auto view1 = v.f64();
+    for (std::int64_t i = 0; i < n; ++i) {
+      view1[static_cast<std::size_t>(i)] =
+          (static_cast<double>(i) + offset) * scale /
+          static_cast<double>(n);
+    }
+  };
+  write(x1, 1.0, 0.0);
+  write(x2, 1.0, 1.0);
+  write(y1, 2.0, 3.0);
+  write(y2, 4.0, 5.0);
+}
+
+void ref_mvt(const NDArray& a, NDArray& x1, NDArray& x2,
+             const NDArray& y1, const NDArray& y2) {
+  const std::int64_t n = a.shape()[0];
+  const auto va = view(a);
+  auto vx1 = x1.f64();
+  auto vx2 = x2.f64();
+  const auto vy1 = y1.f64();
+  const auto vy2 = y2.f64();
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      vx1[static_cast<std::size_t>(i)] +=
+          va(i, j) * vy1[static_cast<std::size_t>(j)];
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      vx2[static_cast<std::size_t>(i)] +=
+          va(j, i) * vy2[static_cast<std::size_t>(j)];
+}
+
+void mvt_tiled(const NDArray& a, NDArray& x1, NDArray& x2,
+               const NDArray& y1, const NDArray& y2, std::int64_t ti,
+               std::int64_t tj) {
+  const std::int64_t n = a.shape()[0];
+  const auto va = view(a);
+  auto vx1 = x1.f64();
+  auto vx2 = x2.f64();
+  const auto vy1 = y1.f64();
+  const auto vy2 = y2.f64();
+  const std::int64_t bi = clamp_tile(ti, n);
+  const std::int64_t bj = clamp_tile(tj, n);
+  for (std::int64_t io = 0; io < n; io += bi) {
+    const std::int64_t i_end = std::min(io + bi, n);
+    for (std::int64_t jo = 0; jo < n; jo += bj) {
+      const std::int64_t j_end = std::min(jo + bj, n);
+      for (std::int64_t i = io; i < i_end; ++i) {
+        double acc = 0.0;
+        for (std::int64_t j = jo; j < j_end; ++j) {
+          acc += va(i, j) * vy1[static_cast<std::size_t>(j)];
+        }
+        vx1[static_cast<std::size_t>(i)] += acc;
+      }
+    }
+  }
+  // x2 += A^T y2: traverse A row-wise for locality, scatter into x2.
+  for (std::int64_t jo = 0; jo < n; jo += bj) {
+    const std::int64_t j_end = std::min(jo + bj, n);
+    for (std::int64_t io = 0; io < n; io += bi) {
+      const std::int64_t i_end = std::min(io + bi, n);
+      for (std::int64_t j = jo; j < j_end; ++j) {
+        const double y = vy2[static_cast<std::size_t>(j)];
+        for (std::int64_t i = io; i < i_end; ++i) {
+          vx2[static_cast<std::size_t>(i)] += va(j, i) * y;
+        }
+      }
+    }
+  }
+}
+
+// --- TE atax ------------------------------------------------------------------
+
+AtaxTensors make_atax(std::int64_t m, std::int64_t n) {
+  using namespace te;
+  AtaxTensors t;
+  t.m = m;
+  t.n = n;
+  t.A = placeholder({m, n}, "A");
+  t.X = placeholder({n}, "x");
+  auto j = reduce_axis(n, "j");
+  t.Tmp = compute(
+      {m}, "tmp",
+      [&](const std::vector<Var>& i) {
+        return sum(access(t.A, {i[0], j->var}) * access(t.X, {j->var}),
+                   {j->var});
+      },
+      {j});
+  auto i2 = reduce_axis(m, "i2");
+  t.Y = compute(
+      {n}, "y",
+      [&](const std::vector<Var>& jv) {
+        return sum(access(t.A, {i2->var, jv[0]}) *
+                       access(t.Tmp, {i2->var}),
+                   {i2->var});
+      },
+      {i2});
+  return t;
+}
+
+te::Schedule schedule_atax(const AtaxTensors& t, std::int64_t ti,
+                           std::int64_t tj) {
+  te::Schedule sched({t.Y});
+  {
+    te::Stage& stage = sched[t.Tmp];
+    auto [io, ii] =
+        stage.split(stage.op_axis()[0], std::min(ti, t.m));
+    auto [jo, ji] =
+        stage.split(stage.op_reduce_axis()[0], std::min(tj, t.n));
+    stage.reorder({io, jo, ii, ji});
+  }
+  {
+    te::Stage& stage = sched[t.Y];
+    auto [jo, ji] =
+        stage.split(stage.op_axis()[0], std::min(tj, t.n));
+    auto [io, ii] =
+        stage.split(stage.op_reduce_axis()[0], std::min(ti, t.m));
+    stage.reorder({jo, io, ji, ii});
+  }
+  return sched;
+}
+
+}  // namespace tvmbo::kernels

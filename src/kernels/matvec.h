@@ -1,0 +1,67 @@
+// Matrix-vector PolyBench kernels: atax, bicg, and mvt — the
+// memory-bandwidth-bound complement to the paper's matmul-chain and
+// factorization kernels. Each ships in the same three forms as the rest
+// of the kernel library: reference loops, TE definitions, and parametric
+// tiled native implementations where (ti, tj) block the (row, reduction)
+// loops of the matrix traversals.
+//
+//   atax:  y = A^T (A x)          A is M x N
+//   bicg:  s = A^T r,  q = A p    A is N x M
+//   mvt:   x1 += A y1, x2 += A^T y2,  A is N x N
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/buffer.h"
+#include "te/schedule.h"
+#include "te/tensor.h"
+
+namespace tvmbo::kernels {
+
+using runtime::NDArray;
+
+// --- references ---------------------------------------------------------
+
+void init_atax(NDArray& a, NDArray& x);
+void ref_atax(const NDArray& a, const NDArray& x, NDArray& tmp,
+              NDArray& y);
+
+void init_bicg(NDArray& a, NDArray& p, NDArray& r);
+void ref_bicg(const NDArray& a, const NDArray& p, const NDArray& r,
+              NDArray& s, NDArray& q);
+
+void init_mvt(NDArray& a, NDArray& x1, NDArray& x2, NDArray& y1,
+              NDArray& y2);
+void ref_mvt(const NDArray& a, NDArray& x1, NDArray& x2,
+             const NDArray& y1, const NDArray& y2);
+
+// --- tiled native kernels -------------------------------------------------
+
+/// atax with (ti, tj) blocking both matrix traversals.
+void atax_tiled(const NDArray& a, const NDArray& x, NDArray& tmp,
+                NDArray& y, std::int64_t ti, std::int64_t tj);
+
+void bicg_tiled(const NDArray& a, const NDArray& p, const NDArray& r,
+                NDArray& s, NDArray& q, std::int64_t ti, std::int64_t tj);
+
+void mvt_tiled(const NDArray& a, NDArray& x1, NDArray& x2,
+               const NDArray& y1, const NDArray& y2, std::int64_t ti,
+               std::int64_t tj);
+
+// --- TE definitions ---------------------------------------------------------
+
+struct AtaxTensors {
+  std::int64_t m, n;
+  te::Tensor A, X;    ///< inputs: A(M,N), x(N)
+  te::Tensor Tmp, Y;  ///< tmp = A*x (M); y = A^T*tmp (N)
+};
+
+AtaxTensors make_atax(std::int64_t m, std::int64_t n);
+
+/// Splits each stage's data axis by ti and its reduction axis by tj, with
+/// reorder {io, jo, ii, ji} — reduction tiling, which the matmul kernels'
+/// schedules don't exercise.
+te::Schedule schedule_atax(const AtaxTensors& t, std::int64_t ti,
+                           std::int64_t tj);
+
+}  // namespace tvmbo::kernels

@@ -1,0 +1,167 @@
+#include "kernels/native.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tvmbo::kernels {
+
+namespace {
+struct View2 {
+  double* data;
+  std::int64_t cols;
+  double& operator()(std::int64_t i, std::int64_t j) {
+    return data[i * cols + j];
+  }
+  double operator()(std::int64_t i, std::int64_t j) const {
+    return data[i * cols + j];
+  }
+};
+
+View2 view(NDArray& a) { return {a.f64().data(), a.shape()[1]}; }
+View2 view(const NDArray& a) {
+  return {const_cast<double*>(a.f64().data()), a.shape()[1]};
+}
+
+std::int64_t clamp_tile(std::int64_t tile, std::int64_t extent) {
+  return std::clamp<std::int64_t>(tile, 1, extent);
+}
+}  // namespace
+
+void matmul_tiled(const NDArray& a, const NDArray& b, NDArray& c,
+                  std::int64_t ty, std::int64_t tx) {
+  const std::int64_t m = a.shape()[0], k = a.shape()[1];
+  const std::int64_t n = b.shape()[1];
+  TVMBO_CHECK_EQ(b.shape()[0], k) << "matmul inner-dim mismatch";
+  TVMBO_CHECK(c.shape()[0] == m && c.shape()[1] == n)
+      << "matmul output shape mismatch";
+  ty = clamp_tile(ty, m);
+  tx = clamp_tile(tx, n);
+  const auto va = view(a);
+  const auto vb = view(b);
+  auto vc = view(c);
+  c.fill(0.0);
+  // Loop structure mirrors the lowered schedule:
+  //   for yo, xo, k, yi, xi  (split y/x by ty/tx, reduce between).
+  for (std::int64_t yo = 0; yo < m; yo += ty) {
+    const std::int64_t y_end = std::min(yo + ty, m);
+    for (std::int64_t xo = 0; xo < n; xo += tx) {
+      const std::int64_t x_end = std::min(xo + tx, n);
+      for (std::int64_t p = 0; p < k; ++p) {
+        for (std::int64_t i = yo; i < y_end; ++i) {
+          const double av = va(i, p);
+          for (std::int64_t j = xo; j < x_end; ++j) {
+            vc(i, j) += av * vb(p, j);
+          }
+        }
+      }
+    }
+  }
+}
+
+void threemm_tiled(const NDArray& a, const NDArray& b, const NDArray& c,
+                   const NDArray& d, NDArray& e, NDArray& f, NDArray& g,
+                   const std::int64_t tiles[6]) {
+  matmul_tiled(a, b, e, tiles[0], tiles[1]);
+  matmul_tiled(c, d, f, tiles[2], tiles[3]);
+  matmul_tiled(e, f, g, tiles[4], tiles[5]);
+}
+
+void twomm_tiled(const NDArray& a, const NDArray& b, const NDArray& c,
+                 NDArray& tmp, NDArray& d, const std::int64_t tiles[4]) {
+  matmul_tiled(a, b, tmp, tiles[0], tiles[1]);
+  matmul_tiled(tmp, c, d, tiles[2], tiles[3]);
+}
+
+void syrk_tiled(const NDArray& a, NDArray& c, std::int64_t ty,
+                std::int64_t tx, double alpha, double beta) {
+  const std::int64_t n = a.shape()[0], m = a.shape()[1];
+  TVMBO_CHECK(c.shape()[0] == n && c.shape()[1] == n)
+      << "syrk C must be N x N";
+  ty = clamp_tile(ty, n);
+  tx = clamp_tile(tx, n);
+  const auto va = view(a);
+  auto vc = view(c);
+  // Scale epilogue first, then accumulate the blocked A*A^T contribution,
+  // k innermost per block (mirrors the scheduled reorder).
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j <= i; ++j) vc(i, j) *= beta;
+  for (std::int64_t io = 0; io < n; io += ty) {
+    const std::int64_t i_end = std::min(io + ty, n);
+    for (std::int64_t jo = 0; jo <= i_end - 1; jo += tx) {
+      const std::int64_t j_end = std::min(jo + tx, n);
+      for (std::int64_t k = 0; k < m; ++k) {
+        for (std::int64_t i = io; i < i_end; ++i) {
+          const double aik = alpha * va(i, k);
+          const std::int64_t j_stop = std::min(j_end, i + 1);
+          for (std::int64_t j = jo; j < j_stop; ++j) {
+            vc(i, j) += aik * va(j, k);
+          }
+        }
+      }
+    }
+  }
+}
+
+void lu_tiled(NDArray& a, std::int64_t ty, std::int64_t tx) {
+  const std::int64_t n = a.shape()[0];
+  TVMBO_CHECK_EQ(a.shape()[1], n) << "LU requires a square matrix";
+  ty = clamp_tile(ty, n);
+  tx = clamp_tile(tx, n);
+  auto va = view(a);
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double pivot = va(k, k);
+    TVMBO_CHECK(std::fabs(pivot) > 1e-12)
+        << "zero pivot at step " << k << " (LU without pivoting)";
+    for (std::int64_t i = k + 1; i < n; ++i) va(i, k) /= pivot;
+    // Blocked trailing rank-1 update.
+    for (std::int64_t io = k + 1; io < n; io += ty) {
+      const std::int64_t i_end = std::min(io + ty, n);
+      for (std::int64_t jo = k + 1; jo < n; jo += tx) {
+        const std::int64_t j_end = std::min(jo + tx, n);
+        for (std::int64_t i = io; i < i_end; ++i) {
+          const double lik = va(i, k);
+          for (std::int64_t j = jo; j < j_end; ++j) {
+            va(i, j) -= lik * va(k, j);
+          }
+        }
+      }
+    }
+  }
+}
+
+void cholesky_tiled(NDArray& a, std::int64_t ty, std::int64_t tx) {
+  const std::int64_t n = a.shape()[0];
+  TVMBO_CHECK_EQ(a.shape()[1], n) << "Cholesky requires a square matrix";
+  ty = clamp_tile(ty, n);
+  tx = clamp_tile(tx, n);
+  auto va = view(a);
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double diag = va(k, k);
+    TVMBO_CHECK_GT(diag, 0.0)
+        << "matrix not positive definite at step " << k;
+    const double pivot = std::sqrt(diag);
+    va(k, k) = pivot;
+    for (std::int64_t i = k + 1; i < n; ++i) va(i, k) /= pivot;
+    // Blocked symmetric trailing update (lower triangle only).
+    for (std::int64_t io = k + 1; io < n; io += ty) {
+      const std::int64_t i_end = std::min(io + ty, n);
+      for (std::int64_t jo = k + 1; jo < n; jo += tx) {
+        if (jo > io + ty - 1) break;  // tile fully above the diagonal
+        const std::int64_t j_end = std::min(jo + tx, n);
+        for (std::int64_t i = io; i < i_end; ++i) {
+          const double lik = va(i, k);
+          const std::int64_t j_stop = std::min(j_end, i + 1);
+          for (std::int64_t j = jo; j < j_stop; ++j) {
+            va(i, j) -= lik * va(j, k);
+          }
+        }
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i + 1; j < n; ++j) va(i, j) = 0.0;
+}
+
+}  // namespace tvmbo::kernels

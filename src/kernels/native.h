@@ -1,0 +1,40 @@
+// Parametric tiled native kernels: the executable artifacts a configured
+// schedule compiles to on the CPU path. The (ty, tx) arguments are the
+// same tile factors the schedules and the paper's parameter spaces use —
+// they block the loops for real, so CpuDevice measurements respond to the
+// configuration exactly like a TVM build would.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/buffer.h"
+
+namespace tvmbo::kernels {
+
+using runtime::NDArray;
+
+/// C = A * B with (ty, tx) output blocking and a fixed reduction chunk.
+void matmul_tiled(const NDArray& a, const NDArray& b, NDArray& c,
+                  std::int64_t ty, std::int64_t tx);
+
+/// 3mm with per-stage tiles {y0,x0, y1,x1, y2,x2}.
+void threemm_tiled(const NDArray& a, const NDArray& b, const NDArray& c,
+                   const NDArray& d, NDArray& e, NDArray& f, NDArray& g,
+                   const std::int64_t tiles[6]);
+
+/// 2mm with per-stage tiles {y0,x0, y1,x1}.
+void twomm_tiled(const NDArray& a, const NDArray& b, const NDArray& c,
+                 NDArray& tmp, NDArray& d, const std::int64_t tiles[4]);
+
+/// syrk with (ty, tx) blocking of the triangular output update.
+void syrk_tiled(const NDArray& a, NDArray& c, std::int64_t ty,
+                std::int64_t tx, double alpha = 1.5, double beta = 1.2);
+
+/// In-place LU without pivoting; (ty, tx) block the trailing rank-1
+/// update's (i, j) loops.
+void lu_tiled(NDArray& a, std::int64_t ty, std::int64_t tx);
+
+/// In-place Cholesky; (ty, tx) block the symmetric trailing update.
+void cholesky_tiled(NDArray& a, std::int64_t ty, std::int64_t tx);
+
+}  // namespace tvmbo::kernels

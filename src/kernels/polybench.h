@@ -1,0 +1,72 @@
+// PolyBench 4.2 dataset sizes, workload descriptors, and the paper's exact
+// parameter spaces for 3mm, LU, and Cholesky (plus gemm/2mm extensions).
+//
+// The paper derives each tile-factor candidate list from the divisors of
+// the matrix extents; Table 1's space sizes follow:
+//   3mm   large 74,649,600 | extralarge 228,614,400
+//   LU    large 400        | extralarge 576
+//   Cholesky large 400     | extralarge 576
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autotvm/autotvm.h"
+#include "configspace/configspace.h"
+#include "runtime/measure.h"
+
+namespace tvmbo::kernels {
+
+enum class Dataset { kMini, kSmall, kMedium, kLarge, kExtraLarge };
+
+const char* dataset_name(Dataset dataset);
+Dataset dataset_from_name(const std::string& name);
+
+/// PolyBench 4.2 extents. 3mm returns {N, L, M, O, P}; lu/cholesky {N};
+/// gemm {NI, NJ, NK}; 2mm {NI, NJ, NK, NL}.
+std::vector<std::int64_t> polybench_dims(const std::string& kernel,
+                                         Dataset dataset);
+
+/// Nominal floating-point work of a kernel instance.
+double kernel_flops(const std::string& kernel,
+                    const std::vector<std::int64_t>& dims);
+
+/// Workload descriptor (kernel + dataset + dims + flops).
+runtime::Workload make_workload(const std::string& kernel, Dataset dataset);
+runtime::Workload make_workload(const std::string& kernel,
+                                const std::string& size_name,
+                                std::vector<std::int64_t> dims);
+
+/// The paper's ytopt parameter space for a kernel instance:
+///   3mm: P0..P5 ordinals over divisor sets of {M, N, P, M, P, N}
+///        (exactly the sequences listed in §4),
+///   lu/cholesky: P0, P1 over divisors(N),
+///   gemm: P0, P1 over divisors(NI)/divisors(NJ),
+///   2mm: P0..P3 over divisors of the stage extents.
+cs::ConfigurationSpace build_space(const std::string& kernel,
+                                   const std::vector<std::int64_t>& dims);
+
+/// An AutoTVM task for the same kernel instance: knobs match the ytopt
+/// space candidate-for-candidate (as in the paper, where both frameworks
+/// tune the same predefined space). `executable` additionally wires a
+/// real CPU runnable (needed for CpuDevice; simulated devices don't use
+/// it and skipping it avoids allocating the matrices).
+autotvm::Task make_task(const std::string& kernel, Dataset dataset,
+                        bool executable = false);
+autotvm::Task make_task(const std::string& kernel,
+                        const std::string& size_name,
+                        std::vector<std::int64_t> dims,
+                        bool executable = false);
+
+/// All (kernel, dataset) pairs evaluated in the paper's §5.
+struct PaperExperiment {
+  std::string kernel;
+  Dataset dataset;
+  const char* figure_process;  ///< process-over-time figure, "" if none
+  const char* figure_minimum;  ///< minimum-runtimes figure, "" if none
+  double paper_best_runtime_s;  ///< best runtime the paper reports (0 = n/a)
+};
+std::vector<PaperExperiment> paper_experiments();
+
+}  // namespace tvmbo::kernels

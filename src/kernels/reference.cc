@@ -1,0 +1,245 @@
+#include "kernels/reference.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tvmbo::kernels {
+
+namespace {
+// Raw row-major views keep the reference kernels readable.
+struct View2 {
+  double* data;
+  std::int64_t cols;
+  double& operator()(std::int64_t i, std::int64_t j) {
+    return data[i * cols + j];
+  }
+  double operator()(std::int64_t i, std::int64_t j) const {
+    return data[i * cols + j];
+  }
+};
+
+View2 view(NDArray& a) {
+  TVMBO_CHECK_EQ(a.ndim(), 2u) << "2-D array expected";
+  return {a.f64().data(), a.shape()[1]};
+}
+
+const View2 view(const NDArray& a) {
+  TVMBO_CHECK_EQ(a.ndim(), 2u) << "2-D array expected";
+  return {const_cast<double*>(a.f64().data()), a.shape()[1]};
+}
+}  // namespace
+
+void init_3mm(NDArray& a, NDArray& b, NDArray& c, NDArray& d) {
+  const std::int64_t ni = a.shape()[0], nk = a.shape()[1];
+  const std::int64_t nj = b.shape()[1];
+  const std::int64_t nm = c.shape()[1];
+  const std::int64_t nl = d.shape()[1];
+  TVMBO_CHECK_EQ(b.shape()[0], nk) << "3mm shape mismatch (A,B)";
+  TVMBO_CHECK_EQ(d.shape()[0], nm) << "3mm shape mismatch (C,D)";
+  auto va = view(a);
+  for (std::int64_t i = 0; i < ni; ++i)
+    for (std::int64_t j = 0; j < nk; ++j)
+      va(i, j) = static_cast<double>((i * j + 1) % ni) /
+                 (5.0 * static_cast<double>(ni));
+  auto vb = view(b);
+  for (std::int64_t i = 0; i < nk; ++i)
+    for (std::int64_t j = 0; j < nj; ++j)
+      vb(i, j) = static_cast<double>((i * (j + 1) + 2) % nj) /
+                 (5.0 * static_cast<double>(nj));
+  auto vc = view(c);
+  const std::int64_t c_rows = c.shape()[0];
+  for (std::int64_t i = 0; i < c_rows; ++i)
+    for (std::int64_t j = 0; j < nm; ++j)
+      vc(i, j) = static_cast<double>(i * (j + 3) % nl) /
+                 (5.0 * static_cast<double>(nl));
+  auto vd = view(d);
+  for (std::int64_t i = 0; i < nm; ++i)
+    for (std::int64_t j = 0; j < nl; ++j)
+      vd(i, j) = static_cast<double>((i * (j + 2) + 2) % nk) /
+                 (5.0 * static_cast<double>(nk));
+}
+
+void init_gemm(NDArray& a, NDArray& b) {
+  const std::int64_t m = a.shape()[0], k = a.shape()[1];
+  const std::int64_t n = b.shape()[1];
+  auto va = view(a);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < k; ++j)
+      va(i, j) = static_cast<double>((i * j + 1) % m) /
+                 static_cast<double>(m);
+  auto vb = view(b);
+  for (std::int64_t i = 0; i < k; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      vb(i, j) = static_cast<double>((i * j + 2) % n) /
+                 static_cast<double>(n);
+}
+
+void init_spd(NDArray& a) {
+  const std::int64_t n = a.shape()[0];
+  TVMBO_CHECK_EQ(a.shape()[1], n) << "SPD init requires a square matrix";
+  auto va = view(a);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double base =
+          static_cast<double>((i * j + 7) % n) / static_cast<double>(n);
+      va(i, j) = 0.5 * (base + static_cast<double>((j * i + 7) % n) /
+                                   static_cast<double>(n));
+    }
+    // Diagonal dominance guarantees positive definiteness.
+    va(i, i) = static_cast<double>(n) + 1.0;
+  }
+}
+
+void init_lu(NDArray& a) {
+  const std::int64_t n = a.shape()[0];
+  TVMBO_CHECK_EQ(a.shape()[1], n) << "LU init requires a square matrix";
+  auto va = view(a);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      va(i, j) =
+          static_cast<double>((i * (j + 1) + 3) % n) /
+          static_cast<double>(n);
+    }
+    va(i, i) = static_cast<double>(n);  // no-pivoting stability
+  }
+}
+
+void ref_matmul(const NDArray& a, const NDArray& b, NDArray& c) {
+  const std::int64_t m = a.shape()[0], k = a.shape()[1];
+  const std::int64_t n = b.shape()[1];
+  TVMBO_CHECK_EQ(b.shape()[0], k) << "matmul inner-dim mismatch";
+  TVMBO_CHECK(c.shape()[0] == m && c.shape()[1] == n)
+      << "matmul output shape mismatch";
+  const auto va = view(a);
+  const auto vb = view(b);
+  auto vc = view(c);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) acc += va(i, p) * vb(p, j);
+      vc(i, j) = acc;
+    }
+  }
+}
+
+void ref_3mm(const NDArray& a, const NDArray& b, const NDArray& c,
+             const NDArray& d, NDArray& e, NDArray& f, NDArray& g) {
+  ref_matmul(a, b, e);
+  ref_matmul(c, d, f);
+  ref_matmul(e, f, g);
+}
+
+void ref_2mm(const NDArray& a, const NDArray& b, const NDArray& c,
+             NDArray& tmp, NDArray& d) {
+  ref_matmul(a, b, tmp);
+  ref_matmul(tmp, c, d);
+}
+
+void init_syrk(NDArray& a, NDArray& c) {
+  const std::int64_t n = a.shape()[0], m = a.shape()[1];
+  TVMBO_CHECK(c.shape()[0] == n && c.shape()[1] == n)
+      << "syrk C must be N x N";
+  auto va = view(a);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < m; ++j)
+      va(i, j) = static_cast<double>((i * j + 1) % n) /
+                 static_cast<double>(n);
+  auto vc = view(c);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      vc(i, j) = static_cast<double>((i * j + 2) % m) /
+                 static_cast<double>(m);
+}
+
+void ref_syrk(const NDArray& a, NDArray& c, double alpha, double beta) {
+  const std::int64_t n = a.shape()[0], m = a.shape()[1];
+  TVMBO_CHECK(c.shape()[0] == n && c.shape()[1] == n)
+      << "syrk C must be N x N";
+  const auto va = view(a);
+  auto vc = view(c);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < m; ++k) acc += va(i, k) * va(j, k);
+      vc(i, j) = beta * vc(i, j) + alpha * acc;
+    }
+  }
+}
+
+void ref_lu(NDArray& a) {
+  const std::int64_t n = a.shape()[0];
+  TVMBO_CHECK_EQ(a.shape()[1], n) << "LU requires a square matrix";
+  auto va = view(a);
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double pivot = va(k, k);
+    TVMBO_CHECK(std::fabs(pivot) > 1e-12)
+        << "zero pivot at step " << k << " (LU without pivoting)";
+    for (std::int64_t i = k + 1; i < n; ++i) va(i, k) /= pivot;
+    for (std::int64_t i = k + 1; i < n; ++i) {
+      const double lik = va(i, k);
+      for (std::int64_t j = k + 1; j < n; ++j) {
+        va(i, j) -= lik * va(k, j);
+      }
+    }
+  }
+}
+
+void ref_cholesky(NDArray& a) {
+  const std::int64_t n = a.shape()[0];
+  TVMBO_CHECK_EQ(a.shape()[1], n) << "Cholesky requires a square matrix";
+  auto va = view(a);
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double diag = va(k, k);
+    TVMBO_CHECK_GT(diag, 0.0)
+        << "matrix not positive definite at step " << k;
+    const double pivot = std::sqrt(diag);
+    va(k, k) = pivot;
+    for (std::int64_t i = k + 1; i < n; ++i) va(i, k) /= pivot;
+    for (std::int64_t i = k + 1; i < n; ++i) {
+      for (std::int64_t j = k + 1; j <= i; ++j) {
+        va(i, j) -= va(i, k) * va(j, k);
+      }
+    }
+  }
+  // Zero the strict upper triangle, as PolyBench's kernel leaves L only.
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i + 1; j < n; ++j) va(i, j) = 0.0;
+}
+
+double lu_residual(const NDArray& factored, const NDArray& original) {
+  const std::int64_t n = factored.shape()[0];
+  const auto vf = view(factored);
+  const auto vo = view(original);
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      // (L*U)[i,j] with unit-diagonal L stored below the diagonal.
+      double acc = 0.0;
+      const std::int64_t limit = std::min(i, j);
+      for (std::int64_t k = 0; k <= limit; ++k) {
+        const double l = (k == i) ? 1.0 : vf(i, k);
+        acc += l * vf(k, j);
+      }
+      worst = std::max(worst, std::fabs(acc - vo(i, j)));
+    }
+  }
+  return worst;
+}
+
+double cholesky_residual(const NDArray& factored, const NDArray& original) {
+  const std::int64_t n = factored.shape()[0];
+  const auto vf = view(factored);
+  const auto vo = view(original);
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k <= j; ++k) acc += vf(i, k) * vf(j, k);
+      worst = std::max(worst, std::fabs(acc - vo(i, j)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace tvmbo::kernels

@@ -1,0 +1,70 @@
+// Reference implementations of the PolyBench 4.2 kernels the paper tunes
+// (3mm, LU, Cholesky) plus the gemm/2mm extensions. Straight loop nests
+// transcribed from the PolyBench C sources; these are the numerical ground
+// truth every scheduled/tiled variant is validated against, and the
+// "baseline" the paper's §4 refers to.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/buffer.h"
+
+namespace tvmbo::kernels {
+
+using runtime::NDArray;
+
+// --- PolyBench-style deterministic initialization ---------------------------
+
+/// 3mm inputs (PolyBench init_array): A(N,L), B(L,M), C(M,O), D(O,P).
+void init_3mm(NDArray& a, NDArray& b, NDArray& c, NDArray& d);
+
+/// gemm inputs: A(M,K), B(K,N).
+void init_gemm(NDArray& a, NDArray& b);
+
+/// Strictly diagonally dominant SPD matrix for Cholesky (PolyBench builds
+/// one via B*B^T; diagonal dominance is equivalent for our purposes and
+/// keeps init O(n^2)).
+void init_spd(NDArray& a);
+
+/// Diagonally dominant matrix so LU without pivoting is stable.
+void init_lu(NDArray& a);
+
+// --- kernels ----------------------------------------------------------------
+
+/// C = A * B.
+void ref_matmul(const NDArray& a, const NDArray& b, NDArray& c);
+
+/// 3mm: E = A*B, F = C*D, G = E*F.
+void ref_3mm(const NDArray& a, const NDArray& b, const NDArray& c,
+             const NDArray& d, NDArray& e, NDArray& f, NDArray& g);
+
+/// 2mm (simplified alpha=beta=1): tmp = A*B, D = tmp*C.
+void ref_2mm(const NDArray& a, const NDArray& b, const NDArray& c,
+             NDArray& tmp, NDArray& d);
+
+/// syrk (PolyBench): C = alpha*A*A^T + beta*C on the lower triangle
+/// (strict upper triangle untouched). A is N x M, C is N x N.
+void ref_syrk(const NDArray& a, NDArray& c, double alpha = 1.5,
+              double beta = 1.2);
+
+/// syrk inputs: A(N,M) and symmetric-ish C(N,N), PolyBench init style.
+void init_syrk(NDArray& a, NDArray& c);
+
+/// In-place LU decomposition without pivoting (PolyBench lu): on return,
+/// the strict lower triangle holds L (unit diagonal implied) and the upper
+/// triangle holds U.
+void ref_lu(NDArray& a);
+
+/// In-place Cholesky (PolyBench cholesky): on return the lower triangle
+/// holds L with A = L*L^T; the strict upper triangle is zeroed.
+void ref_cholesky(NDArray& a);
+
+// --- validation helpers -----------------------------------------------------
+
+/// Max |(L*U) - original| over all elements.
+double lu_residual(const NDArray& factored, const NDArray& original);
+
+/// Max |(L*L^T) - original| over the lower triangle.
+double cholesky_residual(const NDArray& factored, const NDArray& original);
+
+}  // namespace tvmbo::kernels

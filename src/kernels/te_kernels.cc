@@ -1,0 +1,279 @@
+#include "kernels/te_kernels.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tvmbo::kernels {
+
+using te::access;
+using te::Tensor;
+using te::Var;
+
+ThreeMmTensors make_3mm(std::int64_t n, std::int64_t l, std::int64_t m,
+                        std::int64_t o, std::int64_t p) {
+  ThreeMmTensors t;
+  t.n = n;
+  t.l = l;
+  t.m = m;
+  t.o = o;
+  t.p = p;
+  t.A = te::placeholder({n, l}, "A");
+  t.B = te::placeholder({l, m}, "B");
+  t.C = te::placeholder({m, o}, "C");
+  t.D = te::placeholder({o, p}, "D");
+
+  auto k = te::reduce_axis(l, "k");
+  t.E = te::compute(
+      {n, m}, "E",
+      [&](const std::vector<Var>& i) {
+        return te::sum(access(t.A, {i[0], k->var}) *
+                           access(t.B, {k->var, i[1]}),
+                       {k->var});
+      },
+      {k});
+  auto lax = te::reduce_axis(o, "l");
+  t.F = te::compute(
+      {m, p}, "F",
+      [&](const std::vector<Var>& i) {
+        return te::sum(access(t.C, {i[0], lax->var}) *
+                           access(t.D, {lax->var, i[1]}),
+                       {lax->var});
+      },
+      {lax});
+  auto mm = te::reduce_axis(m, "m");
+  t.G = te::compute(
+      {n, p}, "G",
+      [&](const std::vector<Var>& i) {
+        return te::sum(access(t.E, {i[0], mm->var}) *
+                           access(t.F, {mm->var, i[1]}),
+                       {mm->var});
+      },
+      {mm});
+  return t;
+}
+
+te::Schedule schedule_3mm(const ThreeMmTensors& t,
+                          std::span<const std::int64_t> tiles) {
+  TVMBO_CHECK_EQ(tiles.size(), 6u) << "3mm takes six tile factors";
+  te::Schedule sched({t.G});
+  const Tensor stages[3] = {t.E, t.F, t.G};
+  for (int s = 0; s < 3; ++s) {
+    te::Stage& stage = sched[stages[s]];
+    const auto& axis = stage.op_axis();
+    const auto& reduce = stage.op_reduce_axis();
+    // Tile factors larger than the axis extent are clamped (the paper's
+    // cross-matrix divisor sets make this legal input).
+    const std::int64_t ty =
+        std::min(tiles[2 * s], axis[0]->extent);
+    const std::int64_t tx =
+        std::min(tiles[2 * s + 1], axis[1]->extent);
+    auto [yo, yi] = stage.split(axis[0], ty);
+    auto [xo, xi] = stage.split(axis[1], tx);
+    stage.reorder({yo, xo, reduce[0], yi, xi});
+  }
+  return sched;
+}
+
+GemmTensors make_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
+  GemmTensors t;
+  t.m = m;
+  t.n = n;
+  t.k = k;
+  t.A = te::placeholder({m, k}, "A");
+  t.B = te::placeholder({k, n}, "B");
+  auto kk = te::reduce_axis(k, "k");
+  t.C = te::compute(
+      {m, n}, "C",
+      [&](const std::vector<Var>& i) {
+        return te::sum(access(t.A, {i[0], kk->var}) *
+                           access(t.B, {kk->var, i[1]}),
+                       {kk->var});
+      },
+      {kk});
+  return t;
+}
+
+te::Schedule schedule_gemm(const GemmTensors& t, std::int64_t ty,
+                           std::int64_t tx) {
+  te::Schedule sched({t.C});
+  te::Stage& stage = sched[t.C];
+  const auto& axis = stage.op_axis();
+  auto [yo, yi] = stage.split(axis[0], std::min(ty, t.m));
+  auto [xo, xi] = stage.split(axis[1], std::min(tx, t.n));
+  stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
+  return sched;
+}
+
+TwoMmTensors make_2mm(std::int64_t ni, std::int64_t nj, std::int64_t nk,
+                      std::int64_t nl) {
+  TwoMmTensors t;
+  t.ni = ni;
+  t.nj = nj;
+  t.nk = nk;
+  t.nl = nl;
+  t.A = te::placeholder({ni, nk}, "A");
+  t.B = te::placeholder({nk, nj}, "B");
+  t.C = te::placeholder({nj, nl}, "C");
+  auto k = te::reduce_axis(nk, "k");
+  t.Tmp = te::compute(
+      {ni, nj}, "tmp",
+      [&](const std::vector<Var>& i) {
+        return te::sum(access(t.A, {i[0], k->var}) *
+                           access(t.B, {k->var, i[1]}),
+                       {k->var});
+      },
+      {k});
+  auto j = te::reduce_axis(nj, "j");
+  t.D = te::compute(
+      {ni, nl}, "D",
+      [&](const std::vector<Var>& i) {
+        return te::sum(access(t.Tmp, {i[0], j->var}) *
+                           access(t.C, {j->var, i[1]}),
+                       {j->var});
+      },
+      {j});
+  return t;
+}
+
+te::Schedule schedule_2mm(const TwoMmTensors& t,
+                          std::span<const std::int64_t> tiles) {
+  TVMBO_CHECK_EQ(tiles.size(), 4u) << "2mm takes four tile factors";
+  te::Schedule sched({t.D});
+  const Tensor stages[2] = {t.Tmp, t.D};
+  for (int s = 0; s < 2; ++s) {
+    te::Stage& stage = sched[stages[s]];
+    const auto& axis = stage.op_axis();
+    auto [yo, yi] =
+        stage.split(axis[0], std::min(tiles[2 * s], axis[0]->extent));
+    auto [xo, xi] =
+        stage.split(axis[1], std::min(tiles[2 * s + 1], axis[1]->extent));
+    stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
+  }
+  return sched;
+}
+
+SyrkTensors make_syrk(std::int64_t n, std::int64_t m, double alpha,
+                      double beta) {
+  SyrkTensors t;
+  t.n = n;
+  t.m = m;
+  t.A = te::placeholder({n, m}, "A");
+  t.Cin = te::placeholder({n, n}, "Cin");
+  auto k = te::reduce_axis(m, "k");
+  t.S = te::compute(
+      {n, n}, "S",
+      [&](const std::vector<Var>& i) {
+        return te::sum(access(t.A, {i[0], k->var}) *
+                           access(t.A, {i[1], k->var}),
+                       {k->var});
+      },
+      {k});
+  t.Cout = te::compute({n, n}, "Cout", [&](const std::vector<Var>& i) {
+    te::Expr updated = te::make_float(beta) * access(t.Cin, {i[0], i[1]}) +
+                       te::make_float(alpha) * access(t.S, {i[0], i[1]});
+    return te::select(te::le(i[1], i[0]), updated,
+                      access(t.Cin, {i[0], i[1]}));
+  });
+  return t;
+}
+
+te::Schedule schedule_syrk(const SyrkTensors& t, std::int64_t ty,
+                           std::int64_t tx) {
+  te::Schedule sched({t.Cout});
+  te::Stage& stage = sched[t.S];
+  const auto& axis = stage.op_axis();
+  auto [yo, yi] = stage.split(axis[0], std::min(ty, t.n));
+  auto [xo, xi] = stage.split(axis[1], std::min(tx, t.n));
+  stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
+  return sched;
+}
+
+FactorizationProgram build_lu(const te::Tensor& a, std::int64_t n) {
+  TVMBO_CHECK(a->is_placeholder() && a->shape.size() == 2 &&
+              a->shape[0] == n && a->shape[1] == n)
+      << "LU program requires an n x n placeholder";
+  using namespace te;
+  Var k = make_var("k");
+  Var i = make_var("i");
+  Var j = make_var("j");
+
+  // Column scale: A[i,k] /= A[k,k] for i > k.
+  Stmt scale = make_if(
+      gt(i, k),
+      make_store(a, {i, k}, access(a, {i, k}) / access(a, {k, k})));
+  Stmt scale_loop = make_for(i, n, ForKind::kSerial, scale);
+
+  // Trailing update: A[i,j] -= A[i,k] * A[k,j] for i, j > k.
+  Var i2 = make_var("i2");
+  Stmt update = make_if(
+      logical_and(gt(i2, k), gt(j, k)),
+      make_store(a, {i2, j},
+                 access(a, {i2, j}) -
+                     access(a, {i2, k}) * access(a, {k, j})));
+  Stmt update_loops =
+      make_for(i2, n, ForKind::kSerial, make_for(j, n, ForKind::kSerial,
+                                                 update));
+
+  FactorizationProgram program;
+  program.stmt = make_for(k, n, ForKind::kSerial,
+                          make_seq({scale_loop, update_loops}));
+  program.k = k;
+  program.scale_i = i;
+  program.update_i = i2;
+  program.update_j = j;
+  return program;
+}
+
+te::Stmt build_lu_program(const te::Tensor& a, std::int64_t n) {
+  return build_lu(a, n).stmt;
+}
+
+FactorizationProgram build_cholesky(const te::Tensor& a, std::int64_t n) {
+  TVMBO_CHECK(a->is_placeholder() && a->shape.size() == 2 &&
+              a->shape[0] == n && a->shape[1] == n)
+      << "Cholesky program requires an n x n placeholder";
+  using namespace te;
+  Var k = make_var("k");
+  Var d = make_var("d");
+
+  // Diagonal: A[k,k] = sqrt(A[k,k]). A single-iteration loop keeps the
+  // statement inside the IR's loop structure (d is unused in the body).
+  Stmt diag = make_for(
+      d, 1, ForKind::kSerial,
+      make_store(a, {k, k}, sqrt_expr(access(a, {k, k}))));
+
+  Var i = make_var("i");
+  Stmt scale = make_if(
+      gt(i, k),
+      make_store(a, {i, k}, access(a, {i, k}) / access(a, {k, k})));
+  Stmt scale_loop = make_for(i, n, ForKind::kSerial, scale);
+
+  // Symmetric trailing update on the lower triangle: for i > k, k < j <= i:
+  // A[i,j] -= A[i,k] * A[j,k].
+  Var i2 = make_var("i2");
+  Var j = make_var("j");
+  Stmt update = make_if(
+      logical_and(gt(i2, k), logical_and(gt(j, k), le(j, i2))),
+      make_store(a, {i2, j},
+                 access(a, {i2, j}) -
+                     access(a, {i2, k}) * access(a, {j, k})));
+  Stmt update_loops =
+      make_for(i2, n, ForKind::kSerial, make_for(j, n, ForKind::kSerial,
+                                                 update));
+
+  FactorizationProgram program;
+  program.stmt = make_for(k, n, ForKind::kSerial,
+                          make_seq({diag, scale_loop, update_loops}));
+  program.k = k;
+  program.scale_i = i;
+  program.update_i = i2;
+  program.update_j = j;
+  return program;
+}
+
+te::Stmt build_cholesky_program(const te::Tensor& a, std::int64_t n) {
+  return build_cholesky(a, n).stmt;
+}
+
+}  // namespace tvmbo::kernels

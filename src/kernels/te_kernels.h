@@ -1,0 +1,104 @@
+// TE-language definitions of the paper's kernels.
+//
+// 3mm/gemm/2mm are pure tensor contractions and are expressed exactly like
+// the paper's §4 listing: placeholders, reduce axes, te.compute chains, and
+// a schedule that splits each stage's (y, x) axes by the tunable tile
+// factors and reorders to {yo, xo, k, yi, xi}.
+//
+// LU and Cholesky are sequential factorizations (loop-carried dependence
+// across the k steps), which TE compute chains cannot express; like the
+// paper we drop to the loop level for them: build_lu_program /
+// build_cholesky_program construct the factorization directly in the loop
+// IR (in-place updates on a placeholder, triangular bounds via guards).
+// The interpreter runs these as the semantics oracle for the tiled native
+// kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "te/interp.h"
+#include "te/lower.h"
+#include "te/schedule.h"
+#include "te/tensor.h"
+
+namespace tvmbo::kernels {
+
+struct ThreeMmTensors {
+  std::int64_t n, l, m, o, p;
+  te::Tensor A, B, C, D;  ///< inputs
+  te::Tensor E, F, G;     ///< E = A*B, F = C*D, G = E*F
+};
+
+/// Builds the 3mm compute DAG (the paper's 3mm_basic without schedules).
+ThreeMmTensors make_3mm(std::int64_t n, std::int64_t l, std::int64_t m,
+                        std::int64_t o, std::int64_t p);
+
+/// Applies the paper's schedule: per-stage split of (y, x) by
+/// tiles = {P0..P5} and reorder to {yo, xo, reduce, yi, xi}.
+te::Schedule schedule_3mm(const ThreeMmTensors& t,
+                          std::span<const std::int64_t> tiles);
+
+struct GemmTensors {
+  std::int64_t m, n, k;
+  te::Tensor A, B, C;  ///< C = A*B
+};
+
+GemmTensors make_gemm(std::int64_t m, std::int64_t n, std::int64_t k);
+
+te::Schedule schedule_gemm(const GemmTensors& t, std::int64_t ty,
+                           std::int64_t tx);
+
+struct TwoMmTensors {
+  std::int64_t ni, nj, nk, nl;
+  te::Tensor A, B, C;  ///< inputs
+  te::Tensor Tmp, D;   ///< Tmp = A*B, D = Tmp*C
+};
+
+TwoMmTensors make_2mm(std::int64_t ni, std::int64_t nj, std::int64_t nk,
+                      std::int64_t nl);
+
+te::Schedule schedule_2mm(const TwoMmTensors& t,
+                          std::span<const std::int64_t> tiles);
+
+struct SyrkTensors {
+  std::int64_t n, m;
+  te::Tensor A;     ///< N x M input
+  te::Tensor Cin;   ///< N x N input
+  te::Tensor S;     ///< S = A * A^T (full matrix; the naive TE form)
+  te::Tensor Cout;  ///< select(j <= i, beta*Cin + alpha*S, Cin)
+};
+
+/// PolyBench syrk as a TE pipeline. The triangular update is expressed
+/// with a select over the full output domain (TE has no triangular
+/// iteration spaces — the same shape a naive TVM TE port uses).
+SyrkTensors make_syrk(std::int64_t n, std::int64_t m, double alpha = 1.5,
+                      double beta = 1.2);
+
+/// Tiles the S = A*A^T stage by (ty, tx) with the paper's reorder.
+te::Schedule schedule_syrk(const SyrkTensors& t, std::int64_t ty,
+                           std::int64_t tx);
+
+/// A factorization program plus handles to its loops, so TIR-level
+/// schedule transforms (te/loop_transform.h) can tile it.
+struct FactorizationProgram {
+  te::Stmt stmt;
+  te::Var k;         ///< sequential elimination step
+  te::Var scale_i;   ///< pivot-column scale loop
+  te::Var update_i;  ///< trailing-update row loop
+  te::Var update_j;  ///< trailing-update column loop
+};
+
+FactorizationProgram build_lu(const te::Tensor& a, std::int64_t n);
+FactorizationProgram build_cholesky(const te::Tensor& a, std::int64_t n);
+
+/// In-place LU without pivoting on placeholder `a` (n x n), built directly
+/// in the loop IR with triangular guards.
+te::Stmt build_lu_program(const te::Tensor& a, std::int64_t n);
+
+/// In-place Cholesky on placeholder `a` (n x n). The strict upper triangle
+/// is left untouched (callers compare the lower triangle only, like
+/// PolyBench).
+te::Stmt build_cholesky_program(const te::Tensor& a, std::int64_t n);
+
+}  // namespace tvmbo::kernels

@@ -1,0 +1,173 @@
+#include "runtime/buffer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace tvmbo::runtime {
+
+std::size_t dtype_bytes(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32: return 4;
+    case DType::kFloat64: return 8;
+  }
+  return 0;
+}
+
+std::string dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32: return "float32";
+    case DType::kFloat64: return "float64";
+  }
+  return "?";
+}
+
+NDArray::NDArray(std::vector<std::int64_t> shape, DType dtype)
+    : shape_(std::move(shape)), dtype_(dtype) {
+  TVMBO_CHECK(!shape_.empty()) << "NDArray requires at least one dimension";
+  num_elements_ = 1;
+  for (std::int64_t extent : shape_) {
+    TVMBO_CHECK_GT(extent, 0) << "NDArray extents must be positive";
+    num_elements_ *= extent;
+  }
+  strides_.assign(shape_.size(), 1);
+  for (std::size_t i = shape_.size() - 1; i > 0; --i) {
+    strides_[i - 1] = strides_[i] * shape_[i];
+  }
+  allocate();
+}
+
+namespace {
+inline void* align64(std::byte* p) {
+  auto addr = reinterpret_cast<std::uintptr_t>(p);
+  return reinterpret_cast<void*>((addr + 63) & ~std::uintptr_t{63});
+}
+}  // namespace
+
+void NDArray::allocate() {
+  const std::size_t bytes =
+      static_cast<std::size_t>(num_elements_) * dtype_bytes(dtype_);
+  // Over-allocate to guarantee a 64-byte aligned base pointer.
+  storage_ = std::make_unique<std::byte[]>(bytes + 64);
+  std::memset(storage_.get(), 0, bytes + 64);
+}
+
+void* NDArray::data() { return align64(storage_.get()); }
+const void* NDArray::data() const { return align64(storage_.get()); }
+
+NDArray::NDArray(const NDArray& other)
+    : shape_(other.shape_),
+      strides_(other.strides_),
+      dtype_(other.dtype_),
+      num_elements_(other.num_elements_) {
+  allocate();
+  const std::size_t bytes =
+      static_cast<std::size_t>(num_elements_) * dtype_bytes(dtype_);
+  std::memcpy(align64(storage_.get()), align64(other.storage_.get()), bytes);
+}
+
+NDArray& NDArray::operator=(const NDArray& other) {
+  if (this == &other) return *this;
+  NDArray copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+std::span<double> NDArray::f64() {
+  TVMBO_CHECK(dtype_ == DType::kFloat64) << "dtype mismatch: expected f64";
+  return {static_cast<double*>(align64(storage_.get())),
+          static_cast<std::size_t>(num_elements_)};
+}
+
+std::span<const double> NDArray::f64() const {
+  TVMBO_CHECK(dtype_ == DType::kFloat64) << "dtype mismatch: expected f64";
+  return {static_cast<const double*>(align64(storage_.get())),
+          static_cast<std::size_t>(num_elements_)};
+}
+
+std::span<float> NDArray::f32() {
+  TVMBO_CHECK(dtype_ == DType::kFloat32) << "dtype mismatch: expected f32";
+  return {static_cast<float*>(align64(storage_.get())),
+          static_cast<std::size_t>(num_elements_)};
+}
+
+std::span<const float> NDArray::f32() const {
+  TVMBO_CHECK(dtype_ == DType::kFloat32) << "dtype mismatch: expected f32";
+  return {static_cast<const float*>(align64(storage_.get())),
+          static_cast<std::size_t>(num_elements_)};
+}
+
+std::int64_t NDArray::flat_index(std::span<const std::int64_t> indices) const {
+  TVMBO_CHECK_EQ(indices.size(), shape_.size())
+      << "index rank mismatch on NDArray access";
+  std::int64_t flat = 0;
+  for (std::size_t d = 0; d < indices.size(); ++d) {
+    TVMBO_CHECK(indices[d] >= 0 && indices[d] < shape_[d])
+        << "index " << indices[d] << " out of bounds for extent "
+        << shape_[d] << " (dim " << d << ")";
+    flat += indices[d] * strides_[d];
+  }
+  return flat;
+}
+
+double NDArray::read(std::span<const std::int64_t> indices) const {
+  const std::int64_t flat = flat_index(indices);
+  if (dtype_ == DType::kFloat64) return f64()[static_cast<std::size_t>(flat)];
+  return static_cast<double>(f32()[static_cast<std::size_t>(flat)]);
+}
+
+void NDArray::write(std::span<const std::int64_t> indices, double value) {
+  const std::int64_t flat = flat_index(indices);
+  if (dtype_ == DType::kFloat64) {
+    f64()[static_cast<std::size_t>(flat)] = value;
+  } else {
+    f32()[static_cast<std::size_t>(flat)] = static_cast<float>(value);
+  }
+}
+
+double NDArray::at2(std::int64_t i, std::int64_t j) const {
+  const std::int64_t idx[2] = {i, j};
+  return read(idx);
+}
+
+void NDArray::set2(std::int64_t i, std::int64_t j, double value) {
+  const std::int64_t idx[2] = {i, j};
+  write(idx, value);
+}
+
+void NDArray::fill(double value) {
+  if (dtype_ == DType::kFloat64) {
+    auto view = f64();
+    std::fill(view.begin(), view.end(), value);
+  } else {
+    auto view = f32();
+    std::fill(view.begin(), view.end(), static_cast<float>(value));
+  }
+}
+
+double NDArray::max_abs_diff(const NDArray& other) const {
+  TVMBO_CHECK(shape_ == other.shape_) << "shape mismatch in max_abs_diff";
+  double worst = 0.0;
+  for (std::int64_t flat = 0; flat < num_elements_; ++flat) {
+    double a, b;
+    if (dtype_ == DType::kFloat64) {
+      a = f64()[static_cast<std::size_t>(flat)];
+    } else {
+      a = static_cast<double>(f32()[static_cast<std::size_t>(flat)]);
+    }
+    if (other.dtype_ == DType::kFloat64) {
+      b = other.f64()[static_cast<std::size_t>(flat)];
+    } else {
+      b = static_cast<double>(other.f32()[static_cast<std::size_t>(flat)]);
+    }
+    worst = std::max(worst, std::fabs(a - b));
+  }
+  return worst;
+}
+
+bool NDArray::allclose(const NDArray& other, double tolerance) const {
+  if (shape_ != other.shape_) return false;
+  return max_abs_diff(other) <= tolerance;
+}
+
+}  // namespace tvmbo::runtime

@@ -1,0 +1,87 @@
+// Dense n-dimensional arrays used by the TE interpreter, the native
+// kernels, and the numerical validation helpers.
+//
+// Value-semantic (shared ownership of the storage would invite aliasing
+// bugs in the interpreter): copying an NDArray copies its data. Storage is
+// 64-byte aligned so the native kernels can assume cacheline-aligned rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tvmbo::runtime {
+
+enum class DType {
+  kFloat32,
+  kFloat64,
+};
+
+/// Size in bytes of one element.
+std::size_t dtype_bytes(DType dtype);
+/// Human-readable name ("float32" / "float64").
+std::string dtype_name(DType dtype);
+
+class NDArray {
+ public:
+  /// Allocates a zero-initialized array.
+  NDArray(std::vector<std::int64_t> shape, DType dtype = DType::kFloat64);
+
+  NDArray(const NDArray& other);
+  NDArray& operator=(const NDArray& other);
+  NDArray(NDArray&&) noexcept = default;
+  NDArray& operator=(NDArray&&) noexcept = default;
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::size_t ndim() const { return shape_.size(); }
+  DType dtype() const { return dtype_; }
+  /// Total number of elements.
+  std::int64_t num_elements() const { return num_elements_; }
+
+  /// Raw storage (dtype-erased, 64-byte aligned).
+  void* data();
+  const void* data() const;
+
+  /// Typed element views. TVMBO_CHECK on dtype mismatch.
+  std::span<double> f64();
+  std::span<const double> f64() const;
+  std::span<float> f32();
+  std::span<const float> f32() const;
+
+  /// Row-major flat offset of a multi-index (checked in debug).
+  std::int64_t flat_index(std::span<const std::int64_t> indices) const;
+
+  /// Reads element at a multi-index as double (converts from float32).
+  double read(std::span<const std::int64_t> indices) const;
+  /// Writes element at a multi-index from double.
+  void write(std::span<const std::int64_t> indices, double value);
+
+  /// Convenience 2-D accessors used pervasively by the matrix kernels.
+  double at2(std::int64_t i, std::int64_t j) const;
+  void set2(std::int64_t i, std::int64_t j, double value);
+
+  /// Sets every element to `value`.
+  void fill(double value);
+
+  /// Max-absolute-difference against another array of identical shape.
+  double max_abs_diff(const NDArray& other) const;
+
+  /// True when shapes, dtypes, and all elements match within `tolerance`.
+  bool allclose(const NDArray& other, double tolerance = 1e-9) const;
+
+ private:
+  void allocate();
+
+  std::vector<std::int64_t> shape_;
+  std::vector<std::int64_t> strides_;  // row-major, in elements
+  DType dtype_;
+  std::int64_t num_elements_ = 0;
+  std::unique_ptr<std::byte[]> storage_;
+};
+
+}  // namespace tvmbo::runtime

@@ -1,0 +1,43 @@
+#include "runtime/cpu_device.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace tvmbo::runtime {
+
+MeasureResult CpuDevice::measure(const MeasureInput& input,
+                                 const MeasureOption& option) {
+  TVMBO_CHECK(static_cast<bool>(input.run))
+      << "CpuDevice requires a runnable kernel";
+  TVMBO_CHECK_GT(option.repeat, 0) << "repeat must be positive";
+
+  MeasureResult result;
+  try {
+    if (input.prepare) {
+      Stopwatch compile_timer;
+      input.prepare();
+      result.compile_s = compile_timer.elapsed_seconds();
+    }
+    for (int i = 0; i < option.warmup; ++i) input.run();
+    double total = 0.0;
+    for (int i = 0; i < option.repeat; ++i) {
+      Stopwatch run_timer;
+      input.run();
+      const double elapsed = run_timer.elapsed_seconds();
+      if (option.timeout_s > 0.0 && elapsed > option.timeout_s) {
+        result.valid = false;
+        result.error = "timeout";
+        result.runtime_s = elapsed;
+        return result;
+      }
+      total += elapsed;
+    }
+    result.runtime_s = total / static_cast<double>(option.repeat);
+  } catch (const std::exception& e) {
+    result.valid = false;
+    result.error = e.what();
+  }
+  return result;
+}
+
+}  // namespace tvmbo::runtime

@@ -1,0 +1,23 @@
+// Host-CPU measurement device: actually prepares and times the configured
+// kernel. Used by the examples and the real-execution tests; the paper's
+// figure benches use SwingSimDevice instead (no GPU available here).
+#pragma once
+
+#include "runtime/measure.h"
+
+namespace tvmbo::runtime {
+
+class CpuDevice final : public Device {
+ public:
+  std::string name() const override { return "cpu"; }
+
+  /// Times input.prepare() as the compile phase, then runs input.run()
+  /// `option.warmup` untimed + `option.repeat` timed iterations and reports
+  /// the mean. If a timed run exceeds option.timeout_s (when > 0) the
+  /// result is marked invalid with a "timeout" error, mirroring AutoTVM's
+  /// measure-timeout handling.
+  MeasureResult measure(const MeasureInput& input,
+                        const MeasureOption& option) override;
+};
+
+}  // namespace tvmbo::runtime

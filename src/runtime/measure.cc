@@ -1,0 +1,18 @@
+#include "runtime/measure.h"
+
+#include <sstream>
+
+namespace tvmbo::runtime {
+
+std::string Workload::id() const {
+  std::ostringstream out;
+  out << kernel << "/" << size_name << "[";
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) out << "x";
+    out << dims[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace tvmbo::runtime

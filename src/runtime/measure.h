@@ -1,0 +1,78 @@
+// Measurement abstraction shared by every search strategy.
+//
+// A search strategy never runs kernels directly; it asks a Device to
+// measure a (workload, tile-configuration) pair, mirroring the paper's
+// Step3-Step5 loop (compile -> execute -> report runtime). Two devices are
+// provided:
+//
+//  * CpuDevice      — actually builds and times the configured native
+//                     kernel on the host (cpu_device.h).
+//  * SwingSimDevice — analytic model of the Swing A100 node used in the
+//                     paper, so the full evaluation regenerates quickly and
+//                     deterministically without the cluster (swing_sim.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tvmbo::runtime {
+
+/// Static description of a kernel instance being tuned.
+struct Workload {
+  std::string kernel;           ///< "lu", "cholesky", "3mm", "gemm", ...
+  std::string size_name;        ///< PolyBench dataset name: "large", ...
+  std::vector<std::int64_t> dims;  ///< problem extents (kernel-specific)
+  double flops = 0.0;           ///< nominal floating-point work
+
+  /// Stable identity string, e.g. "lu/large[2000]".
+  std::string id() const;
+};
+
+/// How to measure: AutoTVM-style repeats vs ytopt's single evaluation.
+struct MeasureOption {
+  int repeat = 3;          ///< timed runs per evaluation (best-of is not
+                           ///< used; the mean is reported, as in AutoTVM)
+  int warmup = 0;          ///< untimed warmup runs (CpuDevice only)
+  double timeout_s = 0.0;  ///< 0 disables the timeout check
+};
+
+/// One configured kernel instance handed to a device.
+struct MeasureInput {
+  Workload workload;
+  std::vector<std::int64_t> tiles;  ///< tile factors, in parameter order
+
+  /// Prepares an executable for this configuration (CpuDevice only; the
+  /// simulated device never invokes it). May be empty when there is no
+  /// separate compile step.
+  std::function<void()> prepare;
+  /// Runs the configured kernel once (CpuDevice only).
+  std::function<void()> run;
+};
+
+/// Outcome of one evaluation.
+struct MeasureResult {
+  double runtime_s = 0.0;  ///< mean kernel runtime (the paper's y-axis)
+  double compile_s = 0.0;  ///< build/prepare time
+  double energy_j = 0.0;   ///< energy per execution (0 when the device has
+                           ///< no power meter, e.g. CpuDevice)
+  bool valid = true;
+  std::string error;
+
+  /// Wall-clock charged to the autotuning process for this evaluation
+  /// (compile once + `repeat` timed runs).
+  double evaluation_cost_s(const MeasureOption& option) const {
+    return compile_s + runtime_s * static_cast<double>(option.repeat);
+  }
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+  virtual std::string name() const = 0;
+  virtual MeasureResult measure(const MeasureInput& input,
+                                const MeasureOption& option) = 0;
+};
+
+}  // namespace tvmbo::runtime

@@ -1,0 +1,144 @@
+#include "runtime/perf_db.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tvmbo::runtime {
+
+Json TrialRecord::to_json() const {
+  Json tiles_json = Json::array();
+  for (std::int64_t t : tiles) tiles_json.push_back(Json(t));
+  Json out = Json::object();
+  out.set("i", Json(eval_index));
+  out.set("strategy", Json(strategy));
+  out.set("workload", Json(workload_id));
+  out.set("config", std::move(tiles_json));
+  out.set("runtime_s", Json(runtime_s));
+  out.set("energy_j", Json(energy_j));
+  out.set("compile_s", Json(compile_s));
+  out.set("elapsed_s", Json(elapsed_s));
+  out.set("valid", Json(valid));
+  return out;
+}
+
+TrialRecord TrialRecord::from_json(const Json& json) {
+  TrialRecord record;
+  record.eval_index = static_cast<int>(json.at("i").as_int());
+  record.strategy = json.at("strategy").as_string();
+  record.workload_id = json.at("workload").as_string();
+  for (const Json& t : json.at("config").as_array()) {
+    record.tiles.push_back(t.as_int());
+  }
+  record.runtime_s = json.at("runtime_s").as_double();
+  if (json.contains("energy_j")) {
+    record.energy_j = json.at("energy_j").as_double();
+  }
+  record.compile_s = json.at("compile_s").as_double();
+  record.elapsed_s = json.at("elapsed_s").as_double();
+  record.valid = json.at("valid").as_bool();
+  return record;
+}
+
+void PerfDatabase::add(TrialRecord record) {
+  records_.push_back(std::move(record));
+}
+
+const TrialRecord& PerfDatabase::record(std::size_t index) const {
+  TVMBO_CHECK_LT(index, records_.size()) << "record index out of range";
+  return records_[index];
+}
+
+std::optional<TrialRecord> PerfDatabase::best() const {
+  std::optional<TrialRecord> best_record;
+  double best_runtime = std::numeric_limits<double>::infinity();
+  for (const auto& record : records_) {
+    if (record.valid && record.runtime_s < best_runtime) {
+      best_runtime = record.runtime_s;
+      best_record = record;
+    }
+  }
+  return best_record;
+}
+
+std::optional<TrialRecord> PerfDatabase::best_for(
+    const std::string& strategy) const {
+  std::optional<TrialRecord> best_record;
+  double best_runtime = std::numeric_limits<double>::infinity();
+  for (const auto& record : records_) {
+    if (record.strategy == strategy && record.valid &&
+        record.runtime_s < best_runtime) {
+      best_runtime = record.runtime_s;
+      best_record = record;
+    }
+  }
+  return best_record;
+}
+
+std::vector<TrialRecord> PerfDatabase::by_strategy(
+    const std::string& strategy) const {
+  std::vector<TrialRecord> out;
+  for (const auto& record : records_) {
+    if (record.strategy == strategy) out.push_back(record);
+  }
+  return out;
+}
+
+std::vector<std::string> PerfDatabase::strategies() const {
+  std::vector<std::string> out;
+  for (const auto& record : records_) {
+    bool seen = false;
+    for (const auto& s : out) {
+      if (s == record.strategy) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(record.strategy);
+  }
+  return out;
+}
+
+double PerfDatabase::total_time_for(const std::string& strategy) const {
+  double last = 0.0;
+  for (const auto& record : records_) {
+    if (record.strategy == strategy) last = record.elapsed_s;
+  }
+  return last;
+}
+
+std::string PerfDatabase::to_json_lines() const {
+  std::string out;
+  for (const auto& record : records_) {
+    out += record.to_json().dump();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+PerfDatabase PerfDatabase::from_json_lines(const std::string& text) {
+  PerfDatabase db;
+  for (const Json& json : Json::parse_lines(text)) {
+    db.add(TrialRecord::from_json(json));
+  }
+  return db;
+}
+
+void PerfDatabase::save(const std::string& path) const {
+  std::ofstream stream(path, std::ios::trunc);
+  TVMBO_CHECK(stream.good()) << "cannot open '" << path << "' for writing";
+  stream << to_json_lines();
+  TVMBO_CHECK(stream.good()) << "write to '" << path << "' failed";
+}
+
+PerfDatabase PerfDatabase::load(const std::string& path) {
+  std::ifstream stream(path);
+  TVMBO_CHECK(stream.good()) << "cannot open '" << path << "' for reading";
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return from_json_lines(buffer.str());
+}
+
+}  // namespace tvmbo::runtime

@@ -1,0 +1,72 @@
+// Performance database: the record store the paper's Step 5 appends to and
+// the final "query the performance database to output the optimization
+// specification for the best configuration" reads from.
+//
+// Records serialize as one JSON object per line, mirroring TVM's tuning-log
+// format closely enough that the same tooling habits apply.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "runtime/measure.h"
+
+namespace tvmbo::runtime {
+
+/// One completed evaluation.
+struct TrialRecord {
+  int eval_index = 0;               ///< 0-based evaluation number
+  std::string strategy;             ///< "ytopt", "autotvm-ga", ...
+  std::string workload_id;          ///< Workload::id()
+  std::vector<std::int64_t> tiles;  ///< the evaluated configuration
+  double runtime_s = 0.0;           ///< measured kernel runtime
+  double energy_j = 0.0;            ///< measured energy (0 = no meter)
+  double compile_s = 0.0;
+  double elapsed_s = 0.0;  ///< cumulative autotuning process time at the
+                           ///< moment this evaluation finished (x-axis of
+                           ///< the paper's process-over-time figures)
+  bool valid = true;
+
+  Json to_json() const;
+  static TrialRecord from_json(const Json& json);
+};
+
+class PerfDatabase {
+ public:
+  void add(TrialRecord record);
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const std::vector<TrialRecord>& records() const { return records_; }
+  const TrialRecord& record(std::size_t index) const;
+
+  /// Best (lowest valid runtime) record, if any valid record exists.
+  std::optional<TrialRecord> best() const;
+
+  /// Best among records of one strategy.
+  std::optional<TrialRecord> best_for(const std::string& strategy) const;
+
+  /// All records of one strategy, in insertion order.
+  std::vector<TrialRecord> by_strategy(const std::string& strategy) const;
+
+  /// Distinct strategies present, in first-appearance order.
+  std::vector<std::string> strategies() const;
+
+  /// Total autotuning process time for a strategy (its last elapsed_s).
+  double total_time_for(const std::string& strategy) const;
+
+  /// Serialization: one JSON record per line (TVM tuning-log style).
+  std::string to_json_lines() const;
+  static PerfDatabase from_json_lines(const std::string& text);
+
+  void save(const std::string& path) const;
+  static PerfDatabase load(const std::string& path);
+
+ private:
+  std::vector<TrialRecord> records_;
+};
+
+}  // namespace tvmbo::runtime

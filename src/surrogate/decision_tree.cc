@@ -1,0 +1,176 @@
+#include "surrogate/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace tvmbo::surrogate {
+
+DecisionTree::DecisionTree(TreeOptions options) : options_(options) {
+  TVMBO_CHECK_GT(options_.max_depth, 0) << "max_depth must be positive";
+  TVMBO_CHECK_GE(options_.min_samples_leaf, 1)
+      << "min_samples_leaf must be >= 1";
+}
+
+void DecisionTree::fit(const Dataset& data,
+                       std::span<const std::size_t> rows, Rng* rng) {
+  TVMBO_CHECK(!data.x.empty()) << "fit on empty dataset";
+  TVMBO_CHECK_EQ(data.x.size(), data.y.size()) << "dataset size mismatch";
+  nodes_.clear();
+  std::vector<std::size_t> working;
+  if (rows.empty()) {
+    working.resize(data.size());
+    std::iota(working.begin(), working.end(), std::size_t{0});
+  } else {
+    working.assign(rows.begin(), rows.end());
+  }
+  if (options_.max_features > 0) {
+    TVMBO_CHECK(rng != nullptr)
+        << "random feature subsetting requires an Rng";
+  }
+  build(data, working, 0, working.size(), 0, rng);
+}
+
+int DecisionTree::build(const Dataset& data,
+                        std::vector<std::size_t>& rows, std::size_t begin,
+                        std::size_t end, int depth, Rng* rng) {
+  TVMBO_CHECK_LT(begin, end) << "empty node range";
+  const std::size_t count = end - begin;
+
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double y = data.y[rows[i]];
+    sum += y;
+    sum_sq += y * y;
+  }
+  const double node_mean = sum / static_cast<double>(count);
+  const double node_var =
+      sum_sq / static_cast<double>(count) - node_mean * node_mean;
+
+  auto make_leaf = [&]() -> int {
+    Node leaf;
+    leaf.value = node_mean;
+    nodes_.push_back(leaf);
+    return static_cast<int>(nodes_.size()) - 1;
+  };
+
+  if (depth >= options_.max_depth ||
+      count < static_cast<std::size_t>(options_.min_samples_split) ||
+      node_var <= 1e-24) {
+    return make_leaf();
+  }
+
+  // Candidate features: all, or a random subset.
+  const std::size_t num_features = data.num_features();
+  std::vector<std::size_t> features(num_features);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  if (options_.max_features > 0 &&
+      static_cast<std::size_t>(options_.max_features) < num_features) {
+    rng->shuffle(features);
+    features.resize(static_cast<std::size_t>(options_.max_features));
+  }
+
+  // Exact best split: for each candidate feature, sort this node's rows by
+  // the feature and scan split points between distinct values.
+  double best_gain = options_.min_variance_decrease;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::size_t> sorted(rows.begin() + begin, rows.begin() + end);
+  const double total_sum = sum;
+  for (std::size_t feature : features) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) {
+                return data.x[a][feature] < data.x[b][feature];
+              });
+    double left_sum = 0.0;
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      left_sum += data.y[sorted[i]];
+      const double v = data.x[sorted[i]][feature];
+      const double v_next = data.x[sorted[i + 1]][feature];
+      if (v == v_next) continue;
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = count - left_n;
+      if (left_n < static_cast<std::size_t>(options_.min_samples_leaf) ||
+          right_n < static_cast<std::size_t>(options_.min_samples_leaf)) {
+        continue;
+      }
+      const double right_sum = total_sum - left_sum;
+      // Variance reduction up to constants: sum^2/n terms.
+      const double gain =
+          left_sum * left_sum / static_cast<double>(left_n) +
+          right_sum * right_sum / static_cast<double>(right_n) -
+          total_sum * total_sum / static_cast<double>(count);
+      if (gain / static_cast<double>(count) > best_gain) {
+        best_gain = gain / static_cast<double>(count);
+        best_feature = static_cast<int>(feature);
+        best_threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition rows in place around the chosen split.
+  const auto middle = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) {
+        return data.x[row][static_cast<std::size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const std::size_t split =
+      static_cast<std::size_t>(middle - rows.begin());
+  TVMBO_CHECK(split > begin && split < end)
+      << "degenerate partition in tree build";
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(node_index)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_index)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(node_index)].value = node_mean;
+
+  const int left = build(data, rows, begin, split, depth + 1, rng);
+  const int right = build(data, rows, split, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_index)].left = left;
+  nodes_[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+double DecisionTree::predict(std::span<const double> features) const {
+  TVMBO_CHECK(fitted()) << "predict before fit";
+  const Node* node = &nodes_[0];
+  while (!node->is_leaf()) {
+    TVMBO_CHECK_LT(static_cast<std::size_t>(node->feature), features.size())
+        << "feature arity mismatch in predict";
+    node = features[static_cast<std::size_t>(node->feature)] <=
+                   node->threshold
+               ? &nodes_[static_cast<std::size_t>(node->left)]
+               : &nodes_[static_cast<std::size_t>(node->right)];
+  }
+  return node->value;
+}
+
+std::size_t DecisionTree::num_leaves() const {
+  std::size_t leaves = 0;
+  for (const Node& node : nodes_) {
+    if (node.is_leaf()) ++leaves;
+  }
+  return leaves;
+}
+
+std::size_t DecisionTree::depth_below(int node) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.is_leaf()) return 1;
+  return 1 + std::max(depth_below(n.left), depth_below(n.right));
+}
+
+std::size_t DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  return depth_below(0);
+}
+
+}  // namespace tvmbo::surrogate

@@ -1,0 +1,50 @@
+// Gradient-boosted regression trees (squared loss) — the cost model behind
+// AutoTVM's XGBTuner ("train a XGBoost model to predict the runtime of
+// lowered IR and pick the next batch according to the prediction").
+//
+// Squared-error boosting: each round fits a shallow tree to the current
+// residuals and adds it with shrinkage; optional row subsampling
+// (stochastic gradient boosting) matches XGBoost's subsample parameter.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "surrogate/decision_tree.h"
+
+namespace tvmbo::surrogate {
+
+struct GbtOptions {
+  int num_rounds = 80;
+  double learning_rate = 0.15;
+  double subsample = 0.8;  ///< row fraction per round (without replacement)
+  TreeOptions tree{.max_depth = 4, .min_samples_split = 2,
+                   .min_samples_leaf = 2};
+  /// Early stop when the training RMSE improves by less than this over a
+  /// round (0 disables).
+  double early_stop_tolerance = 0.0;
+};
+
+class GradientBoostedTrees {
+ public:
+  explicit GradientBoostedTrees(GbtOptions options = {});
+
+  void fit(const Dataset& data, Rng& rng);
+
+  bool fitted() const { return fitted_; }
+  std::size_t num_rounds_used() const { return trees_.size(); }
+
+  double predict(std::span<const double> features) const;
+
+  /// Training RMSE after the final round (model-quality diagnostics).
+  double training_rmse() const { return training_rmse_; }
+
+ private:
+  GbtOptions options_;
+  double base_score_ = 0.0;
+  double training_rmse_ = 0.0;
+  bool fitted_ = false;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace tvmbo::surrogate

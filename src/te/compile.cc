@@ -1,0 +1,364 @@
+#include "te/compile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tvmbo::te {
+
+namespace {
+
+using Regs = std::int64_t*;
+using FExpr = std::function<double(Regs)>;
+using FIndex = std::function<std::int64_t(Regs)>;
+using FStmt = std::function<void(Regs)>;
+
+/// Compile-time context: register allocation and buffer resolution.
+struct Compiler {
+  std::vector<const VarNode*> registers;
+  std::vector<std::pair<const TensorNode*, double*>> buffers;
+  std::vector<std::pair<const TensorNode*, std::vector<std::int64_t>>>
+      strides;
+  std::vector<std::shared_ptr<runtime::NDArray>> owned;
+
+  std::size_t slot_of(const VarNode* var) const {
+    for (std::size_t i = 0; i < registers.size(); ++i) {
+      if (registers[i] == var) return i;
+    }
+    TVMBO_CHECK(false) << "unbound variable '" << var->name
+                       << "' at compile time";
+    return 0;
+  }
+
+  std::size_t bind_var(const VarNode* var) {
+    registers.push_back(var);
+    return registers.size() - 1;
+  }
+
+  void bind_buffer(const TensorNode* tensor, runtime::NDArray* array) {
+    TVMBO_CHECK(array->dtype() == runtime::DType::kFloat64)
+        << "compiled programs support float64 buffers only";
+    TVMBO_CHECK(tensor->shape == array->shape())
+        << "shape mismatch binding tensor '" << tensor->name << "'";
+    buffers.emplace_back(tensor, array->f64().data());
+    std::vector<std::int64_t> s(tensor->shape.size(), 1);
+    for (std::size_t d = tensor->shape.size() - 1; d > 0; --d) {
+      s[d - 1] = s[d] * tensor->shape[d];
+    }
+    strides.emplace_back(tensor, std::move(s));
+  }
+
+  double* base_of(const TensorNode* tensor) const {
+    for (const auto& [t, base] : buffers) {
+      if (t == tensor) return base;
+    }
+    TVMBO_CHECK(false) << "tensor '" << tensor->name
+                       << "' not bound at compile time";
+    return nullptr;
+  }
+
+  const std::vector<std::int64_t>& strides_of(
+      const TensorNode* tensor) const {
+    for (const auto& [t, s] : strides) {
+      if (t == tensor) return s;
+    }
+    TVMBO_CHECK(false) << "tensor '" << tensor->name
+                       << "' not bound at compile time";
+    static const std::vector<std::int64_t> empty;
+    return empty;
+  }
+
+  FIndex compile_flat_index(const TensorAccessNode* node);
+  FIndex compile_index(const ExprNode* expr);
+  FExpr compile_value(const ExprNode* expr);
+  FStmt compile_stmt(const StmtNode* stmt);
+};
+
+FIndex Compiler::compile_index(const ExprNode* expr) {
+  switch (expr->kind()) {
+    case ExprKind::kIntImm: {
+      const std::int64_t value =
+          static_cast<const IntImmNode*>(expr)->value;
+      return [value](Regs) { return value; };
+    }
+    case ExprKind::kVar: {
+      const std::size_t slot = slot_of(static_cast<const VarNode*>(expr));
+      return [slot](Regs regs) { return regs[slot]; };
+    }
+    case ExprKind::kBinary: {
+      const auto* node = static_cast<const BinaryNode*>(expr);
+      FIndex a = compile_index(node->a.get());
+      FIndex b = compile_index(node->b.get());
+      switch (node->op) {
+        case BinaryOp::kAdd:
+          return [a, b](Regs r) { return a(r) + b(r); };
+        case BinaryOp::kSub:
+          return [a, b](Regs r) { return a(r) - b(r); };
+        case BinaryOp::kMul:
+          return [a, b](Regs r) { return a(r) * b(r); };
+        case BinaryOp::kDiv:
+          return [a, b](Regs r) { return a(r) / b(r); };
+        case BinaryOp::kFloorDiv:
+          return [a, b](Regs r) {
+            const std::int64_t x = a(r), y = b(r);
+            std::int64_t q = x / y;
+            if ((x % y != 0) && ((x < 0) != (y < 0))) --q;
+            return q;
+          };
+        case BinaryOp::kMod:
+          return [a, b](Regs r) {
+            const std::int64_t x = a(r), y = b(r);
+            std::int64_t q = x / y;
+            if ((x % y != 0) && ((x < 0) != (y < 0))) --q;
+            return x - q * y;
+          };
+        case BinaryOp::kMin:
+          return [a, b](Regs r) { return std::min(a(r), b(r)); };
+        case BinaryOp::kMax:
+          return [a, b](Regs r) { return std::max(a(r), b(r)); };
+      }
+      break;
+    }
+    case ExprKind::kCompare: {
+      const auto* node = static_cast<const CompareNode*>(expr);
+      FIndex a = compile_index(node->a.get());
+      FIndex b = compile_index(node->b.get());
+      switch (node->op) {
+        case CmpOp::kLt:
+          return [a, b](Regs r) -> std::int64_t { return a(r) < b(r); };
+        case CmpOp::kLe:
+          return [a, b](Regs r) -> std::int64_t { return a(r) <= b(r); };
+        case CmpOp::kGt:
+          return [a, b](Regs r) -> std::int64_t { return a(r) > b(r); };
+        case CmpOp::kGe:
+          return [a, b](Regs r) -> std::int64_t { return a(r) >= b(r); };
+        case CmpOp::kEq:
+          return [a, b](Regs r) -> std::int64_t { return a(r) == b(r); };
+        case CmpOp::kNe:
+          return [a, b](Regs r) -> std::int64_t { return a(r) != b(r); };
+      }
+      break;
+    }
+    case ExprKind::kSelect: {
+      const auto* node = static_cast<const SelectNode*>(expr);
+      FIndex c = compile_index(node->condition.get());
+      FIndex t = compile_index(node->true_value.get());
+      FIndex f = compile_index(node->false_value.get());
+      return [c, t, f](Regs r) { return c(r) != 0 ? t(r) : f(r); };
+    }
+    default:
+      break;
+  }
+  TVMBO_CHECK(false) << "expression is not integer-compilable";
+  return {};
+}
+
+FIndex Compiler::compile_flat_index(const TensorAccessNode* node) {
+  const auto& s = strides_of(node->tensor.get());
+  std::vector<FIndex> dims;
+  dims.reserve(node->indices.size());
+  for (const Expr& index : node->indices) {
+    dims.push_back(compile_index(index.get()));
+  }
+  std::vector<std::int64_t> stride_copy = s;
+  return [dims, stride_copy](Regs r) {
+    std::int64_t flat = 0;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      flat += dims[d](r) * stride_copy[d];
+    }
+    return flat;
+  };
+}
+
+FExpr Compiler::compile_value(const ExprNode* expr) {
+  switch (expr->kind()) {
+    case ExprKind::kIntImm: {
+      const double value = static_cast<double>(
+          static_cast<const IntImmNode*>(expr)->value);
+      return [value](Regs) { return value; };
+    }
+    case ExprKind::kFloatImm: {
+      const double value = static_cast<const FloatImmNode*>(expr)->value;
+      return [value](Regs) { return value; };
+    }
+    case ExprKind::kVar: {
+      const std::size_t slot = slot_of(static_cast<const VarNode*>(expr));
+      return [slot](Regs r) { return static_cast<double>(r[slot]); };
+    }
+    case ExprKind::kBinary: {
+      const auto* node = static_cast<const BinaryNode*>(expr);
+      FExpr a = compile_value(node->a.get());
+      FExpr b = compile_value(node->b.get());
+      switch (node->op) {
+        case BinaryOp::kAdd:
+          return [a, b](Regs r) { return a(r) + b(r); };
+        case BinaryOp::kSub:
+          return [a, b](Regs r) { return a(r) - b(r); };
+        case BinaryOp::kMul:
+          return [a, b](Regs r) { return a(r) * b(r); };
+        case BinaryOp::kDiv:
+          return [a, b](Regs r) { return a(r) / b(r); };
+        case BinaryOp::kFloorDiv:
+          return [a, b](Regs r) { return std::floor(a(r) / b(r)); };
+        case BinaryOp::kMod:
+          return [a, b](Regs r) {
+            const double x = a(r), y = b(r);
+            return x - std::floor(x / y) * y;
+          };
+        case BinaryOp::kMin:
+          return [a, b](Regs r) { return std::min(a(r), b(r)); };
+        case BinaryOp::kMax:
+          return [a, b](Regs r) { return std::max(a(r), b(r)); };
+      }
+      break;
+    }
+    case ExprKind::kUnary: {
+      const auto* node = static_cast<const UnaryNode*>(expr);
+      FExpr x = compile_value(node->operand.get());
+      switch (node->op) {
+        case UnaryOp::kNeg: return [x](Regs r) { return -x(r); };
+        case UnaryOp::kAbs:
+          return [x](Regs r) { return std::fabs(x(r)); };
+        case UnaryOp::kSqrt:
+          return [x](Regs r) { return std::sqrt(x(r)); };
+        case UnaryOp::kExp:
+          return [x](Regs r) { return std::exp(x(r)); };
+        case UnaryOp::kLog:
+          return [x](Regs r) { return std::log(x(r)); };
+      }
+      break;
+    }
+    case ExprKind::kCompare: {
+      FIndex c = compile_index(expr);
+      return [c](Regs r) { return static_cast<double>(c(r)); };
+    }
+    case ExprKind::kSelect: {
+      const auto* node = static_cast<const SelectNode*>(expr);
+      FIndex c = compile_index(node->condition.get());
+      FExpr t = compile_value(node->true_value.get());
+      FExpr f = compile_value(node->false_value.get());
+      return [c, t, f](Regs r) { return c(r) != 0 ? t(r) : f(r); };
+    }
+    case ExprKind::kTensorAccess: {
+      const auto* node = static_cast<const TensorAccessNode*>(expr);
+      double* base = base_of(node->tensor.get());
+      FIndex flat = compile_flat_index(node);
+      return [base, flat](Regs r) { return base[flat(r)]; };
+    }
+    case ExprKind::kReduce:
+      break;
+  }
+  TVMBO_CHECK(false) << "expression is not value-compilable";
+  return {};
+}
+
+FStmt Compiler::compile_stmt(const StmtNode* stmt) {
+  switch (stmt->kind()) {
+    case StmtKind::kFor: {
+      const auto* node = static_cast<const ForNode*>(stmt);
+      const std::size_t slot = bind_var(node->var.get());
+      FStmt body = compile_stmt(node->body.get());
+      registers.pop_back();
+      const std::int64_t extent = node->extent;
+      return [slot, extent, body](Regs r) {
+        for (std::int64_t i = 0; i < extent; ++i) {
+          r[slot] = i;
+          body(r);
+        }
+      };
+    }
+    case StmtKind::kStore: {
+      const auto* node = static_cast<const StoreNode*>(stmt);
+      double* base = base_of(node->tensor.get());
+      // Reuse the access-compilation path for the destination.
+      TensorAccessNode destination(node->tensor, node->indices);
+      FIndex flat = compile_flat_index(&destination);
+      FExpr value = compile_value(node->value.get());
+      return [base, flat, value](Regs r) { base[flat(r)] = value(r); };
+    }
+    case StmtKind::kSeq: {
+      const auto* node = static_cast<const SeqNode*>(stmt);
+      std::vector<FStmt> children;
+      children.reserve(node->stmts.size());
+      for (const Stmt& child : node->stmts) {
+        children.push_back(compile_stmt(child.get()));
+      }
+      return [children](Regs r) {
+        for (const FStmt& child : children) child(r);
+      };
+    }
+    case StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const IfThenElseNode*>(stmt);
+      FIndex condition = compile_index(node->condition.get());
+      FStmt then_case = compile_stmt(node->then_case.get());
+      if (node->else_case) {
+        FStmt else_case = compile_stmt(node->else_case.get());
+        return [condition, then_case, else_case](Regs r) {
+          if (condition(r) != 0) {
+            then_case(r);
+          } else {
+            else_case(r);
+          }
+        };
+      }
+      return [condition, then_case](Regs r) {
+        if (condition(r) != 0) then_case(r);
+      };
+    }
+    case StmtKind::kRealize: {
+      const auto* node = static_cast<const RealizeNode*>(stmt);
+      // Intermediates get a compile-time-allocated buffer the program
+      // owns; re-zero it on entry each run (the init nest normally
+      // overwrites it anyway, but fresh state matches the interpreter).
+      auto buffer = std::make_shared<runtime::NDArray>(node->tensor->shape);
+      owned.push_back(buffer);
+      bind_buffer(node->tensor.get(), buffer.get());
+      FStmt body = compile_stmt(node->body.get());
+      buffers.pop_back();
+      strides.pop_back();
+      runtime::NDArray* raw = buffer.get();
+      return [raw, body](Regs r) {
+        raw->fill(0.0);
+        body(r);
+      };
+    }
+  }
+  TVMBO_CHECK(false) << "uncompilable statement";
+  return {};
+}
+
+}  // namespace
+
+CompiledProgram CompiledProgram::compile(
+    const Stmt& stmt,
+    const std::vector<std::pair<Tensor, runtime::NDArray*>>& bindings) {
+  TVMBO_CHECK(stmt != nullptr) << "compile of null statement";
+  Compiler compiler;
+  for (const auto& [tensor, array] : bindings) {
+    TVMBO_CHECK(tensor != nullptr && array != nullptr)
+        << "null binding passed to compile";
+    compiler.bind_buffer(tensor.get(), array);
+  }
+  CompiledProgram program;
+  // Register count upper bound: loop depth; measure via a pre-pass.
+  program.num_registers_ = loop_depth(stmt);
+  FStmt body = compiler.compile_stmt(stmt.get());
+  program.owned_ = std::move(compiler.owned);
+  const std::size_t registers = std::max<std::size_t>(
+      1, program.num_registers_);
+  program.entry_ = [body, registers](std::int64_t* scratch) {
+    (void)registers;
+    body(scratch);
+  };
+  return program;
+}
+
+void CompiledProgram::run() const {
+  TVMBO_CHECK(static_cast<bool>(entry_)) << "run of empty program";
+  std::vector<std::int64_t> scratch(std::max<std::size_t>(
+      1, num_registers_));
+  entry_(scratch.data());
+}
+
+}  // namespace tvmbo::te

@@ -1,0 +1,50 @@
+// Closure compilation backend for lowered loop IR — the middle ground
+// between the tree-walking interpreter (semantics oracle, slow) and the
+// hand-specialized native kernels (fast, fixed shape).
+//
+// compile() resolves everything resolvable ahead of time:
+//   * every loop variable gets a fixed register slot (no environment
+//     scans at run time),
+//   * every tensor access is reduced to base pointer + precomputed
+//     strides (buffers must be bound at compile time; Realize regions
+//     allocate owned buffers),
+//   * every expression/statement becomes one std::function node — no kind
+//     dispatch per visit.
+//
+// The compiled program is reusable: run() executes against the buffers
+// captured at compile time. Only float64 buffers are supported.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/buffer.h"
+#include "te/ir.h"
+
+namespace tvmbo::te {
+
+class CompiledProgram {
+ public:
+  /// Compiles `stmt` against the given tensor -> array bindings
+  /// (placeholders and outputs; intermediates come from Realize regions).
+  static CompiledProgram compile(
+      const Stmt& stmt,
+      const std::vector<std::pair<Tensor, runtime::NDArray*>>& bindings);
+
+  /// Executes the program.
+  void run() const;
+
+  /// Number of registers (loop variables) the program uses.
+  std::size_t num_registers() const { return num_registers_; }
+
+ private:
+  CompiledProgram() = default;
+
+  std::function<void(std::int64_t*)> entry_;
+  std::size_t num_registers_ = 0;
+  /// Buffers owned by the program (Realize-allocated intermediates).
+  std::vector<std::shared_ptr<runtime::NDArray>> owned_;
+};
+
+}  // namespace tvmbo::te

@@ -1,0 +1,362 @@
+#include "te/expr.h"
+
+#include <atomic>
+#include <cmath>
+
+namespace tvmbo::te {
+
+namespace {
+std::atomic<std::uint64_t> g_next_var_id{1};
+
+const IntImmNode* as_int(const Expr& expr) {
+  return expr->kind() == ExprKind::kIntImm
+             ? static_cast<const IntImmNode*>(expr.get())
+             : nullptr;
+}
+
+const FloatImmNode* as_float(const Expr& expr) {
+  return expr->kind() == ExprKind::kFloatImm
+             ? static_cast<const FloatImmNode*>(expr.get())
+             : nullptr;
+}
+
+std::int64_t floordiv_i(std::int64_t a, std::int64_t b) {
+  TVMBO_CHECK_NE(b, 0) << "floor_div by zero";
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t floormod_i(std::int64_t a, std::int64_t b) {
+  return a - floordiv_i(a, b) * b;
+}
+
+}  // namespace
+
+VarNode::VarNode(std::string name)
+    : ExprNode(ExprKind::kVar), name(std::move(name)),
+      id(g_next_var_id.fetch_add(1)) {}
+
+Expr make_int(std::int64_t value) {
+  return std::make_shared<IntImmNode>(value);
+}
+
+Expr make_float(double value) {
+  return std::make_shared<FloatImmNode>(value);
+}
+
+Var make_var(const std::string& name) {
+  return std::make_shared<VarNode>(name);
+}
+
+Expr binary(BinaryOp op, Expr a, Expr b) {
+  TVMBO_CHECK(a && b) << "binary on null expression";
+  TVMBO_CHECK(a->kind() != ExprKind::kReduce &&
+              b->kind() != ExprKind::kReduce)
+      << "reduction markers may only appear at the top of a compute body";
+  // Constant folding.
+  const auto* ia = as_int(a);
+  const auto* ib = as_int(b);
+  if (ia && ib) {
+    const std::int64_t x = ia->value, y = ib->value;
+    switch (op) {
+      case BinaryOp::kAdd: return make_int(x + y);
+      case BinaryOp::kSub: return make_int(x - y);
+      case BinaryOp::kMul: return make_int(x * y);
+      case BinaryOp::kDiv:
+        TVMBO_CHECK_NE(y, 0) << "integer division by zero";
+        return make_int(x / y);
+      case BinaryOp::kFloorDiv: return make_int(floordiv_i(x, y));
+      case BinaryOp::kMod: return make_int(floormod_i(x, y));
+      case BinaryOp::kMin: return make_int(std::min(x, y));
+      case BinaryOp::kMax: return make_int(std::max(x, y));
+    }
+  }
+  const auto* fa = as_float(a);
+  const auto* fb = as_float(b);
+  if ((fa || ia) && (fb || ib)) {
+    const double x = fa ? fa->value : static_cast<double>(ia->value);
+    const double y = fb ? fb->value : static_cast<double>(ib->value);
+    switch (op) {
+      case BinaryOp::kAdd: return make_float(x + y);
+      case BinaryOp::kSub: return make_float(x - y);
+      case BinaryOp::kMul: return make_float(x * y);
+      case BinaryOp::kDiv: return make_float(x / y);
+      case BinaryOp::kMin: return make_float(std::min(x, y));
+      case BinaryOp::kMax: return make_float(std::max(x, y));
+      default: break;  // floor_div/mod stay symbolic on floats
+    }
+  }
+  // Algebraic identities that keep lowered loop bodies tidy.
+  if (ia) {
+    if (ia->value == 0 && op == BinaryOp::kAdd) return b;
+    if (ia->value == 0 && op == BinaryOp::kMul) return make_int(0);
+    if (ia->value == 1 && op == BinaryOp::kMul) return b;
+  }
+  if (ib) {
+    if (ib->value == 0 &&
+        (op == BinaryOp::kAdd || op == BinaryOp::kSub)) {
+      return a;
+    }
+    if (ib->value == 0 && op == BinaryOp::kMul) return make_int(0);
+    if (ib->value == 1 &&
+        (op == BinaryOp::kMul || op == BinaryOp::kDiv ||
+         op == BinaryOp::kFloorDiv)) {
+      return a;
+    }
+  }
+  return std::make_shared<BinaryNode>(op, std::move(a), std::move(b));
+}
+
+Expr unary(UnaryOp op, Expr operand) {
+  TVMBO_CHECK(operand != nullptr) << "unary on null expression";
+  TVMBO_CHECK(operand->kind() != ExprKind::kReduce)
+      << "reduction markers may only appear at the top of a compute body";
+  const auto* fo = as_float(operand);
+  const auto* io = as_int(operand);
+  if (fo || io) {
+    const double x = fo ? fo->value : static_cast<double>(io->value);
+    switch (op) {
+      case UnaryOp::kNeg: return make_float(-x);
+      case UnaryOp::kAbs: return make_float(std::fabs(x));
+      case UnaryOp::kSqrt: return make_float(std::sqrt(x));
+      case UnaryOp::kExp: return make_float(std::exp(x));
+      case UnaryOp::kLog: return make_float(std::log(x));
+    }
+  }
+  return std::make_shared<UnaryNode>(op, std::move(operand));
+}
+
+Expr neg(Expr operand) { return unary(UnaryOp::kNeg, std::move(operand)); }
+Expr abs_expr(Expr operand) {
+  return unary(UnaryOp::kAbs, std::move(operand));
+}
+Expr sqrt_expr(Expr operand) {
+  return unary(UnaryOp::kSqrt, std::move(operand));
+}
+Expr exp_expr(Expr operand) {
+  return unary(UnaryOp::kExp, std::move(operand));
+}
+Expr log_expr(Expr operand) {
+  return unary(UnaryOp::kLog, std::move(operand));
+}
+
+Expr compare(CmpOp op, Expr a, Expr b) {
+  TVMBO_CHECK(a && b) << "compare on null expression";
+  const auto* ia = as_int(a);
+  const auto* ib = as_int(b);
+  if (ia && ib) {
+    const std::int64_t x = ia->value, y = ib->value;
+    bool result = false;
+    switch (op) {
+      case CmpOp::kLt: result = x < y; break;
+      case CmpOp::kLe: result = x <= y; break;
+      case CmpOp::kGt: result = x > y; break;
+      case CmpOp::kGe: result = x >= y; break;
+      case CmpOp::kEq: result = x == y; break;
+      case CmpOp::kNe: result = x != y; break;
+    }
+    return make_int(result ? 1 : 0);
+  }
+  return std::make_shared<CompareNode>(op, std::move(a), std::move(b));
+}
+
+Expr select(Expr condition, Expr true_value, Expr false_value) {
+  if (const auto* c = as_int(condition)) {
+    return c->value != 0 ? true_value : false_value;
+  }
+  return std::make_shared<SelectNode>(
+      std::move(condition), std::move(true_value), std::move(false_value));
+}
+
+Expr access(Tensor tensor, std::vector<Expr> indices) {
+  TVMBO_CHECK(tensor != nullptr) << "access of null tensor";
+  return std::make_shared<TensorAccessNode>(std::move(tensor),
+                                            std::move(indices));
+}
+
+Expr operator+(Expr a, Expr b) {
+  return binary(BinaryOp::kAdd, std::move(a), std::move(b));
+}
+Expr operator-(Expr a, Expr b) {
+  return binary(BinaryOp::kSub, std::move(a), std::move(b));
+}
+Expr operator*(Expr a, Expr b) {
+  return binary(BinaryOp::kMul, std::move(a), std::move(b));
+}
+Expr operator/(Expr a, Expr b) {
+  return binary(BinaryOp::kDiv, std::move(a), std::move(b));
+}
+Expr floor_div(Expr a, Expr b) {
+  return binary(BinaryOp::kFloorDiv, std::move(a), std::move(b));
+}
+Expr floor_mod(Expr a, Expr b) {
+  return binary(BinaryOp::kMod, std::move(a), std::move(b));
+}
+Expr min_expr(Expr a, Expr b) {
+  return binary(BinaryOp::kMin, std::move(a), std::move(b));
+}
+Expr max_expr(Expr a, Expr b) {
+  return binary(BinaryOp::kMax, std::move(a), std::move(b));
+}
+Expr lt(Expr a, Expr b) { return compare(CmpOp::kLt, std::move(a), std::move(b)); }
+Expr le(Expr a, Expr b) { return compare(CmpOp::kLe, std::move(a), std::move(b)); }
+Expr gt(Expr a, Expr b) { return compare(CmpOp::kGt, std::move(a), std::move(b)); }
+Expr ge(Expr a, Expr b) { return compare(CmpOp::kGe, std::move(a), std::move(b)); }
+Expr eq(Expr a, Expr b) { return compare(CmpOp::kEq, std::move(a), std::move(b)); }
+Expr ne(Expr a, Expr b) { return compare(CmpOp::kNe, std::move(a), std::move(b)); }
+
+Expr logical_and(Expr a, Expr b) {
+  return select(std::move(a), std::move(b), make_int(0));
+}
+
+namespace {
+Expr make_reduce(ReduceKind kind, Expr source, std::vector<Var> axes) {
+  TVMBO_CHECK(source != nullptr) << "reduction of null expression";
+  TVMBO_CHECK(!axes.empty()) << "reduction requires at least one axis";
+  TVMBO_CHECK(source->kind() != ExprKind::kReduce)
+      << "nested reductions are not supported";
+  return std::make_shared<ReduceNode>(kind, std::move(source),
+                                      std::move(axes));
+}
+}  // namespace
+
+Expr sum(Expr source, std::vector<Var> axes) {
+  return make_reduce(ReduceKind::kSum, std::move(source), std::move(axes));
+}
+Expr max_reduce(Expr source, std::vector<Var> axes) {
+  return make_reduce(ReduceKind::kMax, std::move(source), std::move(axes));
+}
+Expr min_reduce(Expr source, std::vector<Var> axes) {
+  return make_reduce(ReduceKind::kMin, std::move(source), std::move(axes));
+}
+
+bool is_const_int(const Expr& expr, std::int64_t value) {
+  const auto* node = as_int(expr);
+  return node != nullptr && node->value == value;
+}
+
+Expr substitute(const Expr& expr,
+                const std::vector<std::pair<Var, Expr>>& replacements) {
+  TVMBO_CHECK(expr != nullptr) << "substitute on null expression";
+  switch (expr->kind()) {
+    case ExprKind::kIntImm:
+    case ExprKind::kFloatImm:
+      return expr;
+    case ExprKind::kVar: {
+      for (const auto& [var, replacement] : replacements) {
+        if (var.get() == expr.get()) return replacement;
+      }
+      return expr;
+    }
+    case ExprKind::kBinary: {
+      const auto* node = static_cast<const BinaryNode*>(expr.get());
+      Expr a = substitute(node->a, replacements);
+      Expr b = substitute(node->b, replacements);
+      if (a.get() == node->a.get() && b.get() == node->b.get()) return expr;
+      return binary(node->op, std::move(a), std::move(b));
+    }
+    case ExprKind::kUnary: {
+      const auto* node = static_cast<const UnaryNode*>(expr.get());
+      Expr operand = substitute(node->operand, replacements);
+      if (operand.get() == node->operand.get()) return expr;
+      return unary(node->op, std::move(operand));
+    }
+    case ExprKind::kCompare: {
+      const auto* node = static_cast<const CompareNode*>(expr.get());
+      Expr a = substitute(node->a, replacements);
+      Expr b = substitute(node->b, replacements);
+      if (a.get() == node->a.get() && b.get() == node->b.get()) return expr;
+      return compare(node->op, std::move(a), std::move(b));
+    }
+    case ExprKind::kSelect: {
+      const auto* node = static_cast<const SelectNode*>(expr.get());
+      Expr c = substitute(node->condition, replacements);
+      Expr t = substitute(node->true_value, replacements);
+      Expr f = substitute(node->false_value, replacements);
+      return select(std::move(c), std::move(t), std::move(f));
+    }
+    case ExprKind::kTensorAccess: {
+      const auto* node = static_cast<const TensorAccessNode*>(expr.get());
+      std::vector<Expr> indices;
+      indices.reserve(node->indices.size());
+      bool changed = false;
+      for (const Expr& index : node->indices) {
+        Expr replaced = substitute(index, replacements);
+        changed = changed || replaced.get() != index.get();
+        indices.push_back(std::move(replaced));
+      }
+      if (!changed) return expr;
+      return access(node->tensor, std::move(indices));
+    }
+    case ExprKind::kReduce: {
+      const auto* node = static_cast<const ReduceNode*>(expr.get());
+      Expr source = substitute(node->source, replacements);
+      return std::make_shared<ReduceNode>(node->reduce_kind,
+                                          std::move(source), node->axes);
+    }
+  }
+  return expr;
+}
+
+namespace {
+void collect_tensors_into(const Expr& expr, std::vector<Tensor>& out) {
+  switch (expr->kind()) {
+    case ExprKind::kIntImm:
+    case ExprKind::kFloatImm:
+    case ExprKind::kVar:
+      return;
+    case ExprKind::kBinary: {
+      const auto* node = static_cast<const BinaryNode*>(expr.get());
+      collect_tensors_into(node->a, out);
+      collect_tensors_into(node->b, out);
+      return;
+    }
+    case ExprKind::kUnary:
+      collect_tensors_into(
+          static_cast<const UnaryNode*>(expr.get())->operand, out);
+      return;
+    case ExprKind::kCompare: {
+      const auto* node = static_cast<const CompareNode*>(expr.get());
+      collect_tensors_into(node->a, out);
+      collect_tensors_into(node->b, out);
+      return;
+    }
+    case ExprKind::kSelect: {
+      const auto* node = static_cast<const SelectNode*>(expr.get());
+      collect_tensors_into(node->condition, out);
+      collect_tensors_into(node->true_value, out);
+      collect_tensors_into(node->false_value, out);
+      return;
+    }
+    case ExprKind::kTensorAccess: {
+      const auto* node = static_cast<const TensorAccessNode*>(expr.get());
+      bool seen = false;
+      for (const Tensor& t : out) {
+        if (t.get() == node->tensor.get()) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) out.push_back(node->tensor);
+      for (const Expr& index : node->indices) {
+        collect_tensors_into(index, out);
+      }
+      return;
+    }
+    case ExprKind::kReduce: {
+      const auto* node = static_cast<const ReduceNode*>(expr.get());
+      collect_tensors_into(node->source, out);
+      return;
+    }
+  }
+}
+}  // namespace
+
+std::vector<Tensor> collect_tensors(const Expr& expr) {
+  std::vector<Tensor> out;
+  collect_tensors_into(expr, out);
+  return out;
+}
+
+}  // namespace tvmbo::te

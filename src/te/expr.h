@@ -1,0 +1,189 @@
+// Expression IR of the tensor-expression (TE) language.
+//
+// Mirrors the slice of Apache TVM's `tir::PrimExpr` that TE kernels need:
+// integer/float immediates, loop variables, arithmetic, min/max, compares,
+// select, and reads of tensor elements. Expressions are immutable DAG nodes
+// held by shared_ptr; all helper constructors fold constants eagerly.
+//
+// A `sum(expr, {k...})` expression may appear only as the top-level body of
+// a compute definition (exactly like te.sum in TVM); tensor.h consumes it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tvmbo::te {
+
+class TensorNode;
+using Tensor = std::shared_ptr<const TensorNode>;
+
+enum class ExprKind {
+  kIntImm,
+  kFloatImm,
+  kVar,
+  kBinary,
+  kUnary,
+  kCompare,
+  kSelect,
+  kTensorAccess,
+  kReduce,
+};
+
+class ExprNode;
+using Expr = std::shared_ptr<const ExprNode>;
+
+class ExprNode {
+ public:
+  explicit ExprNode(ExprKind kind) : kind_(kind) {}
+  virtual ~ExprNode() = default;
+  ExprKind kind() const { return kind_; }
+
+ private:
+  ExprKind kind_;
+};
+
+class IntImmNode final : public ExprNode {
+ public:
+  explicit IntImmNode(std::int64_t value)
+      : ExprNode(ExprKind::kIntImm), value(value) {}
+  std::int64_t value;
+};
+
+class FloatImmNode final : public ExprNode {
+ public:
+  explicit FloatImmNode(double value)
+      : ExprNode(ExprKind::kFloatImm), value(value) {}
+  double value;
+};
+
+/// A named integer variable (loop index). Identity is the node address;
+/// `id` provides a stable ordering for printing and maps.
+class VarNode final : public ExprNode {
+ public:
+  explicit VarNode(std::string name);
+  std::string name;
+  std::uint64_t id;
+};
+using Var = std::shared_ptr<const VarNode>;
+
+enum class BinaryOp { kAdd, kSub, kMul, kDiv, kFloorDiv, kMod, kMin, kMax };
+
+class BinaryNode final : public ExprNode {
+ public:
+  BinaryNode(BinaryOp op, Expr a, Expr b)
+      : ExprNode(ExprKind::kBinary), op(op), a(std::move(a)),
+        b(std::move(b)) {}
+  BinaryOp op;
+  Expr a;
+  Expr b;
+};
+
+enum class UnaryOp { kNeg, kAbs, kSqrt, kExp, kLog };
+
+class UnaryNode final : public ExprNode {
+ public:
+  UnaryNode(UnaryOp op, Expr operand)
+      : ExprNode(ExprKind::kUnary), op(op), operand(std::move(operand)) {}
+  UnaryOp op;
+  Expr operand;
+};
+
+enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+class CompareNode final : public ExprNode {
+ public:
+  CompareNode(CmpOp op, Expr a, Expr b)
+      : ExprNode(ExprKind::kCompare), op(op), a(std::move(a)),
+        b(std::move(b)) {}
+  CmpOp op;
+  Expr a;
+  Expr b;
+};
+
+class SelectNode final : public ExprNode {
+ public:
+  SelectNode(Expr condition, Expr true_value, Expr false_value)
+      : ExprNode(ExprKind::kSelect), condition(std::move(condition)),
+        true_value(std::move(true_value)),
+        false_value(std::move(false_value)) {}
+  Expr condition;
+  Expr true_value;
+  Expr false_value;
+};
+
+class TensorAccessNode final : public ExprNode {
+ public:
+  TensorAccessNode(Tensor tensor, std::vector<Expr> indices)
+      : ExprNode(ExprKind::kTensorAccess), tensor(std::move(tensor)),
+        indices(std::move(indices)) {}
+  Tensor tensor;
+  std::vector<Expr> indices;
+};
+
+enum class ReduceKind { kSum, kMax, kMin };
+
+/// Reduction marker produced by sum()/max_reduce()/min_reduce(). Only valid
+/// as the outermost node of a compute body.
+class ReduceNode final : public ExprNode {
+ public:
+  ReduceNode(ReduceKind kind, Expr source, std::vector<Var> axes)
+      : ExprNode(ExprKind::kReduce), reduce_kind(kind),
+        source(std::move(source)), axes(std::move(axes)) {}
+  ReduceKind reduce_kind;
+  Expr source;
+  std::vector<Var> axes;
+};
+
+// --- constructors (with constant folding) ----------------------------------
+
+Expr make_int(std::int64_t value);
+Expr make_float(double value);
+Var make_var(const std::string& name);
+Expr binary(BinaryOp op, Expr a, Expr b);
+Expr unary(UnaryOp op, Expr operand);
+Expr neg(Expr operand);
+Expr abs_expr(Expr operand);
+Expr sqrt_expr(Expr operand);
+Expr exp_expr(Expr operand);
+Expr log_expr(Expr operand);
+Expr compare(CmpOp op, Expr a, Expr b);
+Expr select(Expr condition, Expr true_value, Expr false_value);
+Expr access(Tensor tensor, std::vector<Expr> indices);
+
+Expr operator+(Expr a, Expr b);
+Expr operator-(Expr a, Expr b);
+Expr operator*(Expr a, Expr b);
+Expr operator/(Expr a, Expr b);
+Expr floor_div(Expr a, Expr b);
+Expr floor_mod(Expr a, Expr b);
+Expr min_expr(Expr a, Expr b);
+Expr max_expr(Expr a, Expr b);
+Expr lt(Expr a, Expr b);
+Expr le(Expr a, Expr b);
+Expr gt(Expr a, Expr b);
+Expr ge(Expr a, Expr b);
+Expr eq(Expr a, Expr b);
+Expr ne(Expr a, Expr b);
+Expr logical_and(Expr a, Expr b);  // lowered as select(a, b, 0)
+
+/// te.sum(source, axes) — reduction over the given reduce axes.
+Expr sum(Expr source, std::vector<Var> axes);
+Expr max_reduce(Expr source, std::vector<Var> axes);
+Expr min_reduce(Expr source, std::vector<Var> axes);
+
+/// True if the expression is an IntImm with the given value.
+bool is_const_int(const Expr& expr, std::int64_t value);
+
+/// Structural substitution of variables (used by lowering).
+Expr substitute(const Expr& expr,
+                const std::vector<std::pair<Var, Expr>>& replacements);
+
+/// Collects tensors read by the expression (transitively through Select
+/// etc., not through tensor bodies).
+std::vector<Tensor> collect_tensors(const Expr& expr);
+
+}  // namespace tvmbo::te

@@ -1,0 +1,237 @@
+#include "te/interp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvmbo::te {
+
+void Interpreter::bind(const Tensor& tensor, runtime::NDArray* array) {
+  TVMBO_CHECK(tensor != nullptr && array != nullptr)
+      << "bind of null tensor or array";
+  TVMBO_CHECK(tensor->shape == array->shape())
+      << "shape mismatch binding tensor '" << tensor->name << "'";
+  for (auto& [existing, buffer] : buffers_) {
+    if (existing == tensor.get()) {
+      buffer = array;
+      return;
+    }
+  }
+  buffers_.emplace_back(tensor.get(), array);
+}
+
+runtime::NDArray* Interpreter::buffer_for(const TensorNode* tensor) {
+  for (const auto& [existing, buffer] : buffers_) {
+    if (existing == tensor) return buffer;
+  }
+  TVMBO_CHECK(false) << "tensor '" << tensor->name
+                     << "' is not bound (placeholder/output missing, or "
+                        "intermediate outside its Realize region)";
+  return nullptr;
+}
+
+std::int64_t* Interpreter::var_slot(const VarNode* var) {
+  // Innermost binding wins (loop vars are unique, but scan back to front
+  // keeps semantics obvious).
+  for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+    if (it->var == var) return &it->value;
+  }
+  TVMBO_CHECK(false) << "unbound variable '" << var->name << "'";
+  return nullptr;
+}
+
+std::int64_t Interpreter::eval_i(const ExprNode* expr) {
+  switch (expr->kind()) {
+    case ExprKind::kIntImm:
+      return static_cast<const IntImmNode*>(expr)->value;
+    case ExprKind::kVar:
+      return *var_slot(static_cast<const VarNode*>(expr));
+    case ExprKind::kBinary: {
+      const auto* node = static_cast<const BinaryNode*>(expr);
+      const std::int64_t a = eval_i(node->a.get());
+      const std::int64_t b = eval_i(node->b.get());
+      switch (node->op) {
+        case BinaryOp::kAdd: return a + b;
+        case BinaryOp::kSub: return a - b;
+        case BinaryOp::kMul: return a * b;
+        case BinaryOp::kDiv:
+          TVMBO_CHECK_NE(b, 0) << "division by zero";
+          return a / b;
+        case BinaryOp::kFloorDiv: {
+          TVMBO_CHECK_NE(b, 0) << "floor_div by zero";
+          std::int64_t q = a / b;
+          if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+          return q;
+        }
+        case BinaryOp::kMod: {
+          TVMBO_CHECK_NE(b, 0) << "mod by zero";
+          std::int64_t q = a / b;
+          if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+          return a - q * b;
+        }
+        case BinaryOp::kMin: return std::min(a, b);
+        case BinaryOp::kMax: return std::max(a, b);
+      }
+      return 0;
+    }
+    case ExprKind::kCompare: {
+      const auto* node = static_cast<const CompareNode*>(expr);
+      const std::int64_t a = eval_i(node->a.get());
+      const std::int64_t b = eval_i(node->b.get());
+      switch (node->op) {
+        case CmpOp::kLt: return a < b;
+        case CmpOp::kLe: return a <= b;
+        case CmpOp::kGt: return a > b;
+        case CmpOp::kGe: return a >= b;
+        case CmpOp::kEq: return a == b;
+        case CmpOp::kNe: return a != b;
+      }
+      return 0;
+    }
+    case ExprKind::kSelect: {
+      const auto* node = static_cast<const SelectNode*>(expr);
+      return eval_i(node->condition.get()) != 0
+                 ? eval_i(node->true_value.get())
+                 : eval_i(node->false_value.get());
+    }
+    default:
+      TVMBO_CHECK(false) << "expression is not integer-valued";
+      return 0;
+  }
+}
+
+double Interpreter::eval_f(const ExprNode* expr) {
+  switch (expr->kind()) {
+    case ExprKind::kIntImm:
+      return static_cast<double>(
+          static_cast<const IntImmNode*>(expr)->value);
+    case ExprKind::kFloatImm:
+      return static_cast<const FloatImmNode*>(expr)->value;
+    case ExprKind::kVar:
+      return static_cast<double>(
+          *var_slot(static_cast<const VarNode*>(expr)));
+    case ExprKind::kBinary: {
+      const auto* node = static_cast<const BinaryNode*>(expr);
+      const double a = eval_f(node->a.get());
+      const double b = eval_f(node->b.get());
+      switch (node->op) {
+        case BinaryOp::kAdd: return a + b;
+        case BinaryOp::kSub: return a - b;
+        case BinaryOp::kMul: return a * b;
+        case BinaryOp::kDiv: return a / b;
+        case BinaryOp::kFloorDiv: return std::floor(a / b);
+        case BinaryOp::kMod: return a - std::floor(a / b) * b;
+        case BinaryOp::kMin: return std::min(a, b);
+        case BinaryOp::kMax: return std::max(a, b);
+      }
+      return 0.0;
+    }
+    case ExprKind::kUnary: {
+      const auto* node = static_cast<const UnaryNode*>(expr);
+      const double x = eval_f(node->operand.get());
+      switch (node->op) {
+        case UnaryOp::kNeg: return -x;
+        case UnaryOp::kAbs: return std::fabs(x);
+        case UnaryOp::kSqrt: return std::sqrt(x);
+        case UnaryOp::kExp: return std::exp(x);
+        case UnaryOp::kLog: return std::log(x);
+      }
+      return 0.0;
+    }
+    case ExprKind::kCompare:
+      return static_cast<double>(eval_i(expr));
+    case ExprKind::kSelect: {
+      const auto* node = static_cast<const SelectNode*>(expr);
+      return eval_i(node->condition.get()) != 0
+                 ? eval_f(node->true_value.get())
+                 : eval_f(node->false_value.get());
+    }
+    case ExprKind::kTensorAccess: {
+      const auto* node = static_cast<const TensorAccessNode*>(expr);
+      runtime::NDArray* buffer = buffer_for(node->tensor.get());
+      std::vector<std::int64_t> indices;
+      indices.reserve(node->indices.size());
+      for (const Expr& index : node->indices) {
+        indices.push_back(eval_i(index.get()));
+      }
+      return buffer->read(indices);
+    }
+    case ExprKind::kReduce:
+      TVMBO_CHECK(false) << "reduce marker survived lowering";
+      return 0.0;
+  }
+  return 0.0;
+}
+
+void Interpreter::exec(const StmtNode* stmt) {
+  switch (stmt->kind()) {
+    case StmtKind::kFor: {
+      const auto* node = static_cast<const ForNode*>(stmt);
+      env_.push_back({node->var.get(), 0});
+      const std::size_t slot = env_.size() - 1;
+      for (std::int64_t i = 0; i < node->extent; ++i) {
+        env_[slot].value = i;
+        exec(node->body.get());
+      }
+      env_.pop_back();
+      return;
+    }
+    case StmtKind::kStore: {
+      const auto* node = static_cast<const StoreNode*>(stmt);
+      runtime::NDArray* buffer = buffer_for(node->tensor.get());
+      std::vector<std::int64_t> indices;
+      indices.reserve(node->indices.size());
+      for (const Expr& index : node->indices) {
+        indices.push_back(eval_i(index.get()));
+      }
+      buffer->write(indices, eval_f(node->value.get()));
+      ++store_count_;
+      return;
+    }
+    case StmtKind::kSeq: {
+      for (const Stmt& child : static_cast<const SeqNode*>(stmt)->stmts) {
+        exec(child.get());
+      }
+      return;
+    }
+    case StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const IfThenElseNode*>(stmt);
+      if (eval_i(node->condition.get()) != 0) {
+        exec(node->then_case.get());
+      } else if (node->else_case) {
+        exec(node->else_case.get());
+      }
+      return;
+    }
+    case StmtKind::kRealize: {
+      const auto* node = static_cast<const RealizeNode*>(stmt);
+      // Allocate fresh storage for the intermediate, scoped to the region.
+      auto array = std::make_unique<runtime::NDArray>(node->tensor->shape);
+      buffers_.emplace_back(node->tensor.get(), array.get());
+      realized_.push_back(std::move(array));
+      exec(node->body.get());
+      buffers_.pop_back();
+      realized_.pop_back();
+      return;
+    }
+  }
+}
+
+void Interpreter::run(const Stmt& stmt) {
+  TVMBO_CHECK(stmt != nullptr) << "run of null statement";
+  store_count_ = 0;
+  exec(stmt.get());
+}
+
+Stmt run_schedule(
+    const Schedule& schedule,
+    const std::vector<std::pair<Tensor, runtime::NDArray*>>& bindings) {
+  Stmt program = lower(schedule);
+  Interpreter interp;
+  for (const auto& [tensor, array] : bindings) {
+    interp.bind(tensor, array);
+  }
+  interp.run(program);
+  return program;
+}
+
+}  // namespace tvmbo::te

@@ -1,0 +1,57 @@
+// Reference interpreter for lowered loop IR.
+//
+// Executes a Stmt against NDArray buffers. Placeholders and schedule
+// outputs must be bound by the caller; Realize regions allocate
+// intermediates automatically. All loop kinds run serially — annotations
+// are performance hints for native backends, and running them serially is
+// exactly what makes the interpreter a semantics oracle: a schedule is
+// correct iff its lowered program produces the same values as the
+// unscheduled one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/buffer.h"
+#include "te/ir.h"
+#include "te/lower.h"
+
+namespace tvmbo::te {
+
+class Interpreter {
+ public:
+  /// Binds a tensor to caller-owned storage. The array shape must match
+  /// the tensor shape.
+  void bind(const Tensor& tensor, runtime::NDArray* array);
+
+  /// Executes the statement.
+  void run(const Stmt& stmt);
+
+  /// Number of Store executions in the last run (used by tests to verify
+  /// guard behaviour on non-exact splits).
+  std::uint64_t store_count() const { return store_count_; }
+
+ private:
+  void exec(const StmtNode* stmt);
+  double eval_f(const ExprNode* expr);
+  std::int64_t eval_i(const ExprNode* expr);
+  runtime::NDArray* buffer_for(const TensorNode* tensor);
+  std::int64_t* var_slot(const VarNode* var);
+
+  struct VarBinding {
+    const VarNode* var;
+    std::int64_t value;
+  };
+  std::vector<VarBinding> env_;
+  std::vector<std::pair<const TensorNode*, runtime::NDArray*>> buffers_;
+  std::vector<std::unique_ptr<runtime::NDArray>> realized_;
+  std::uint64_t store_count_ = 0;
+};
+
+/// Convenience: lowers the schedule and runs it with the given bindings
+/// (pairs of tensor, array). Returns the lowered program for inspection.
+Stmt run_schedule(
+    const Schedule& schedule,
+    const std::vector<std::pair<Tensor, runtime::NDArray*>>& bindings);
+
+}  // namespace tvmbo::te

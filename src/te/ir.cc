@@ -1,0 +1,140 @@
+#include "te/ir.h"
+
+#include <algorithm>
+
+namespace tvmbo::te {
+
+Stmt make_for(Var var, std::int64_t extent, ForKind kind, Stmt body) {
+  TVMBO_CHECK(var != nullptr) << "for with null var";
+  TVMBO_CHECK_GT(extent, 0) << "for extent must be positive";
+  TVMBO_CHECK(body != nullptr) << "for with null body";
+  return std::make_shared<ForNode>(std::move(var), extent, kind,
+                                   std::move(body));
+}
+
+Stmt make_store(Tensor tensor, std::vector<Expr> indices, Expr value) {
+  TVMBO_CHECK(tensor != nullptr) << "store to null tensor";
+  TVMBO_CHECK_EQ(indices.size(), tensor->shape.size())
+      << "store index rank mismatch for tensor '" << tensor->name << "'";
+  TVMBO_CHECK(value != nullptr) << "store of null value";
+  return std::make_shared<StoreNode>(std::move(tensor), std::move(indices),
+                                     std::move(value));
+}
+
+Stmt make_seq(std::vector<Stmt> stmts) {
+  TVMBO_CHECK(!stmts.empty()) << "empty statement sequence";
+  for (const Stmt& stmt : stmts) {
+    TVMBO_CHECK(stmt != nullptr) << "null statement in sequence";
+  }
+  if (stmts.size() == 1) return stmts[0];
+  return std::make_shared<SeqNode>(std::move(stmts));
+}
+
+Stmt make_if(Expr condition, Stmt then_case, Stmt else_case) {
+  TVMBO_CHECK(condition != nullptr && then_case != nullptr)
+      << "if with null condition or body";
+  // Fold statically known guards.
+  if (condition->kind() == ExprKind::kIntImm) {
+    const auto* imm = static_cast<const IntImmNode*>(condition.get());
+    if (imm->value != 0) return then_case;
+    return else_case;  // may be null; caller handles
+  }
+  return std::make_shared<IfThenElseNode>(
+      std::move(condition), std::move(then_case), std::move(else_case));
+}
+
+Stmt make_realize(Tensor tensor, Stmt body) {
+  TVMBO_CHECK(tensor != nullptr && body != nullptr)
+      << "realize with null tensor or body";
+  return std::make_shared<RealizeNode>(std::move(tensor), std::move(body));
+}
+
+std::size_t count_stmts(const Stmt& stmt, StmtKind kind) {
+  if (stmt == nullptr) return 0;
+  std::size_t count = stmt->kind() == kind ? 1 : 0;
+  switch (stmt->kind()) {
+    case StmtKind::kFor:
+      count += count_stmts(
+          static_cast<const ForNode*>(stmt.get())->body, kind);
+      break;
+    case StmtKind::kSeq:
+      for (const Stmt& child :
+           static_cast<const SeqNode*>(stmt.get())->stmts) {
+        count += count_stmts(child, kind);
+      }
+      break;
+    case StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const IfThenElseNode*>(stmt.get());
+      count += count_stmts(node->then_case, kind);
+      count += count_stmts(node->else_case, kind);
+      break;
+    }
+    case StmtKind::kRealize:
+      count += count_stmts(
+          static_cast<const RealizeNode*>(stmt.get())->body, kind);
+      break;
+    case StmtKind::kStore:
+      break;
+  }
+  return count;
+}
+
+std::size_t loop_depth(const Stmt& stmt) {
+  if (stmt == nullptr) return 0;
+  switch (stmt->kind()) {
+    case StmtKind::kFor:
+      return 1 + loop_depth(static_cast<const ForNode*>(stmt.get())->body);
+    case StmtKind::kSeq: {
+      std::size_t depth = 0;
+      for (const Stmt& child :
+           static_cast<const SeqNode*>(stmt.get())->stmts) {
+        depth = std::max(depth, loop_depth(child));
+      }
+      return depth;
+    }
+    case StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const IfThenElseNode*>(stmt.get());
+      return std::max(loop_depth(node->then_case),
+                      loop_depth(node->else_case));
+    }
+    case StmtKind::kRealize:
+      return loop_depth(static_cast<const RealizeNode*>(stmt.get())->body);
+    case StmtKind::kStore:
+      return 0;
+  }
+  return 0;
+}
+
+std::vector<Var> leftmost_loop_vars(const Stmt& stmt) {
+  std::vector<Var> vars;
+  const StmtNode* cursor = stmt.get();
+  while (cursor != nullptr) {
+    switch (cursor->kind()) {
+      case StmtKind::kFor: {
+        const auto* node = static_cast<const ForNode*>(cursor);
+        vars.push_back(node->var);
+        cursor = node->body.get();
+        break;
+      }
+      case StmtKind::kSeq: {
+        const auto* node = static_cast<const SeqNode*>(cursor);
+        cursor = node->stmts.empty() ? nullptr : node->stmts[0].get();
+        break;
+      }
+      case StmtKind::kIfThenElse: {
+        cursor = static_cast<const IfThenElseNode*>(cursor)->then_case.get();
+        break;
+      }
+      case StmtKind::kRealize: {
+        cursor = static_cast<const RealizeNode*>(cursor)->body.get();
+        break;
+      }
+      case StmtKind::kStore:
+        cursor = nullptr;
+        break;
+    }
+  }
+  return vars;
+}
+
+}  // namespace tvmbo::te

@@ -1,0 +1,109 @@
+// Loop-level statement IR — the analogue of TVM's TIR that schedules are
+// lowered into and that the interpreter executes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "te/expr.h"
+#include "te/tensor.h"
+
+namespace tvmbo::te {
+
+enum class StmtKind {
+  kFor,
+  kStore,
+  kSeq,
+  kIfThenElse,
+  kRealize,
+};
+
+class StmtNode;
+using Stmt = std::shared_ptr<const StmtNode>;
+
+class StmtNode {
+ public:
+  explicit StmtNode(StmtKind kind) : kind_(kind) {}
+  virtual ~StmtNode() = default;
+  StmtKind kind() const { return kind_; }
+
+ private:
+  StmtKind kind_;
+};
+
+/// Loop annotation carried from schedule primitives. The interpreter runs
+/// all kinds serially (vectorize/unroll/parallel are performance hints the
+/// native backends honour); the printer shows them, and tests assert they
+/// survive lowering.
+enum class ForKind { kSerial, kParallel, kUnrolled, kVectorized };
+
+class ForNode final : public StmtNode {
+ public:
+  ForNode(Var var, std::int64_t extent, ForKind for_kind, Stmt body)
+      : StmtNode(StmtKind::kFor), var(std::move(var)), extent(extent),
+        for_kind(for_kind), body(std::move(body)) {}
+  Var var;
+  std::int64_t extent;
+  ForKind for_kind;
+  Stmt body;
+};
+
+/// tensor[indices...] = value, or a reduction update when `reduce_update`
+/// is set (value then reads the same element).
+class StoreNode final : public StmtNode {
+ public:
+  StoreNode(Tensor tensor, std::vector<Expr> indices, Expr value)
+      : StmtNode(StmtKind::kStore), tensor(std::move(tensor)),
+        indices(std::move(indices)), value(std::move(value)) {}
+  Tensor tensor;
+  std::vector<Expr> indices;
+  Expr value;
+};
+
+class SeqNode final : public StmtNode {
+ public:
+  explicit SeqNode(std::vector<Stmt> stmts)
+      : StmtNode(StmtKind::kSeq), stmts(std::move(stmts)) {}
+  std::vector<Stmt> stmts;
+};
+
+class IfThenElseNode final : public StmtNode {
+ public:
+  IfThenElseNode(Expr condition, Stmt then_case, Stmt else_case = nullptr)
+      : StmtNode(StmtKind::kIfThenElse), condition(std::move(condition)),
+        then_case(std::move(then_case)), else_case(std::move(else_case)) {}
+  Expr condition;
+  Stmt then_case;
+  Stmt else_case;  ///< may be null
+};
+
+/// Marks the region where an intermediate tensor's buffer is live; the
+/// interpreter allocates it on entry.
+class RealizeNode final : public StmtNode {
+ public:
+  RealizeNode(Tensor tensor, Stmt body)
+      : StmtNode(StmtKind::kRealize), tensor(std::move(tensor)),
+        body(std::move(body)) {}
+  Tensor tensor;
+  Stmt body;
+};
+
+Stmt make_for(Var var, std::int64_t extent, ForKind kind, Stmt body);
+Stmt make_store(Tensor tensor, std::vector<Expr> indices, Expr value);
+Stmt make_seq(std::vector<Stmt> stmts);
+Stmt make_if(Expr condition, Stmt then_case, Stmt else_case = nullptr);
+Stmt make_realize(Tensor tensor, Stmt body);
+
+/// Counts nodes of a given kind (used by structural tests).
+std::size_t count_stmts(const Stmt& stmt, StmtKind kind);
+
+/// Depth of the deepest loop nest.
+std::size_t loop_depth(const Stmt& stmt);
+
+/// Loop variables in outermost-to-innermost order along the leftmost path
+/// of nested loops (ignores Seq branching after the first divergence).
+std::vector<Var> leftmost_loop_vars(const Stmt& stmt);
+
+}  // namespace tvmbo::te

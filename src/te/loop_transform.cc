@@ -1,0 +1,166 @@
+#include "te/loop_transform.h"
+
+#include <algorithm>
+
+#include "te/transform.h"
+
+namespace tvmbo::te {
+
+namespace {
+
+// Generic bottom-up rewriter: applies `fn` to every For node; `fn` returns
+// nullptr to keep the (already child-rewritten) node unchanged.
+template <typename Fn>
+Stmt rewrite(const Stmt& stmt, const Fn& fn) {
+  switch (stmt->kind()) {
+    case StmtKind::kFor: {
+      const auto* node = static_cast<const ForNode*>(stmt.get());
+      Stmt body = rewrite(node->body, fn);
+      Stmt rebuilt =
+          body.get() == node->body.get()
+              ? stmt
+              : make_for(node->var, node->extent, node->for_kind, body);
+      Stmt replaced = fn(static_cast<const ForNode*>(rebuilt.get()));
+      return replaced ? replaced : rebuilt;
+    }
+    case StmtKind::kSeq: {
+      const auto* node = static_cast<const SeqNode*>(stmt.get());
+      std::vector<Stmt> stmts;
+      stmts.reserve(node->stmts.size());
+      bool changed = false;
+      for (const Stmt& child : node->stmts) {
+        Stmt rewritten = rewrite(child, fn);
+        changed = changed || rewritten.get() != child.get();
+        stmts.push_back(std::move(rewritten));
+      }
+      return changed ? make_seq(std::move(stmts)) : stmt;
+    }
+    case StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const IfThenElseNode*>(stmt.get());
+      Stmt then_case = rewrite(node->then_case, fn);
+      Stmt else_case =
+          node->else_case ? rewrite(node->else_case, fn) : nullptr;
+      if (then_case.get() == node->then_case.get() &&
+          else_case.get() == node->else_case.get()) {
+        return stmt;
+      }
+      return std::make_shared<IfThenElseNode>(node->condition, then_case,
+                                              else_case);
+    }
+    case StmtKind::kRealize: {
+      const auto* node = static_cast<const RealizeNode*>(stmt.get());
+      Stmt body = rewrite(node->body, fn);
+      return body.get() == node->body.get()
+                 ? stmt
+                 : make_realize(node->tensor, body);
+    }
+    case StmtKind::kStore:
+      return stmt;
+  }
+  return stmt;
+}
+
+}  // namespace
+
+const ForNode* find_loop(const Stmt& stmt, const Var& var) {
+  const ForNode* found = nullptr;
+  switch (stmt->kind()) {
+    case StmtKind::kFor: {
+      const auto* node = static_cast<const ForNode*>(stmt.get());
+      if (node->var.get() == var.get()) return node;
+      return find_loop(node->body, var);
+    }
+    case StmtKind::kSeq:
+      for (const Stmt& child :
+           static_cast<const SeqNode*>(stmt.get())->stmts) {
+        found = find_loop(child, var);
+        if (found) return found;
+      }
+      return nullptr;
+    case StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const IfThenElseNode*>(stmt.get());
+      found = find_loop(node->then_case, var);
+      if (found) return found;
+      return node->else_case ? find_loop(node->else_case, var) : nullptr;
+    }
+    case StmtKind::kRealize:
+      return find_loop(static_cast<const RealizeNode*>(stmt.get())->body,
+                       var);
+    case StmtKind::kStore:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+Stmt split_loop(const Stmt& stmt, const Var& var, std::int64_t factor,
+                Var* outer, Var* inner) {
+  TVMBO_CHECK(stmt != nullptr && var != nullptr) << "split of null input";
+  TVMBO_CHECK_GT(factor, 0) << "split factor must be positive";
+  TVMBO_CHECK(find_loop(stmt, var) != nullptr)
+      << "no loop over '" << var->name << "' to split";
+
+  Var outer_var = make_var(var->name + ".outer");
+  Var inner_var = make_var(var->name + ".inner");
+  if (outer) *outer = outer_var;
+  if (inner) *inner = inner_var;
+
+  Stmt result = rewrite(stmt, [&](const ForNode* node) -> Stmt {
+    if (node->var.get() != var.get()) return nullptr;
+    const std::int64_t extent = node->extent;
+    const std::int64_t outer_extent = (extent + factor - 1) / factor;
+    const std::int64_t inner_extent = std::min(factor, extent);
+    Expr reconstructed =
+        Expr(outer_var) * make_int(factor) + Expr(inner_var);
+    Stmt body = substitute_stmt(node->body, {{var, reconstructed}});
+    if (extent % factor != 0) {
+      body = make_if(lt(reconstructed, make_int(extent)), std::move(body));
+    }
+    return make_for(
+        outer_var, outer_extent, node->for_kind,
+        make_for(inner_var, inner_extent, ForKind::kSerial,
+                 std::move(body)));
+  });
+  return result;
+}
+
+Stmt interchange_loops(const Stmt& stmt, const Var& outer_var,
+                       const Var& inner_var) {
+  TVMBO_CHECK(stmt != nullptr) << "interchange of null statement";
+  bool applied = false;
+  Stmt result = rewrite(stmt, [&](const ForNode* node) -> Stmt {
+    if (node->var.get() != outer_var.get()) return nullptr;
+    // Walk through guard Ifs between the two loops. Such guards cannot
+    // reference the inner loop's variable (it is not yet in scope), so
+    // hoisting the inner loop above them is always sound; the guards stay
+    // attached to the outer loop's body.
+    std::vector<Expr> guards;
+    const StmtNode* cursor = node->body.get();
+    while (cursor->kind() == StmtKind::kIfThenElse) {
+      const auto* guard = static_cast<const IfThenElseNode*>(cursor);
+      TVMBO_CHECK(guard->else_case == nullptr)
+          << "interchange cannot cross an if/else";
+      guards.push_back(guard->condition);
+      cursor = guard->then_case.get();
+    }
+    TVMBO_CHECK(cursor->kind() == StmtKind::kFor)
+        << "interchange requires perfect nesting: the body of '"
+        << outer_var->name << "' is not a single (guarded) loop";
+    const auto* inner = static_cast<const ForNode*>(cursor);
+    TVMBO_CHECK(inner->var.get() == inner_var.get())
+        << "loop '" << inner_var->name << "' is not directly inside '"
+        << outer_var->name << "'";
+    applied = true;
+    Stmt body = inner->body;
+    for (auto it = guards.rbegin(); it != guards.rend(); ++it) {
+      body = make_if(*it, std::move(body));
+    }
+    return make_for(inner->var, inner->extent, inner->for_kind,
+                    make_for(node->var, node->extent, node->for_kind,
+                             std::move(body)));
+  });
+  TVMBO_CHECK(applied) << "no loop over '" << outer_var->name
+                       << "' found for interchange";
+  return result;
+}
+
+}  // namespace tvmbo::te

@@ -1,0 +1,43 @@
+// Schedule primitives applied directly to lowered loop IR — the TIR-level
+// counterparts of split and reorder.
+//
+// The TE schedule API covers compute DAGs; LU and Cholesky, however, are
+// built straight in the loop IR (kernels/te_kernels.h) because of their
+// loop-carried k dependence. These transforms tile such programs after
+// the fact:
+//
+//   Stmt lu = build_lu_program(a, n);
+//   Var io, ii, jo, ji;
+//   lu = split_loop(lu, i2, ty, &io, &ii);     // i2 -> io, ii
+//   lu = split_loop(lu, j, tx, &jo, &ji);      // j  -> jo, ji
+//   lu = interchange_loops(lu, ii, jo);        // {io, jo, ii, ji}
+//
+// Every transform is semantics-preserving by construction: split guards
+// the tail when the factor doesn't divide, and interchange refuses
+// non-perfectly-nested pairs. Legality with respect to data dependences is
+// the caller's responsibility (as with TVM schedule primitives).
+#pragma once
+
+#include "te/ir.h"
+
+namespace tvmbo::te {
+
+/// Splits the loop over `var` by `factor`:
+///   for var in extent -> for outer in ceil(extent/factor):
+///                          for inner in min(factor, extent):
+/// with var := outer*factor + inner substituted in the body, guarded when
+/// factor does not divide the extent. The new loop variables are returned
+/// through `outer` / `inner` (when non-null). Throws CheckError when no
+/// loop over `var` exists.
+Stmt split_loop(const Stmt& stmt, const Var& var, std::int64_t factor,
+                Var* outer = nullptr, Var* inner = nullptr);
+
+/// Interchanges two loops where `inner_var`'s loop is the *direct* body of
+/// `outer_var`'s loop (perfect nesting). Throws CheckError otherwise.
+Stmt interchange_loops(const Stmt& stmt, const Var& outer_var,
+                       const Var& inner_var);
+
+/// Finds the loop over `var`; nullptr when absent (search helper).
+const ForNode* find_loop(const Stmt& stmt, const Var& var);
+
+}  // namespace tvmbo::te

@@ -1,0 +1,597 @@
+#include "te/lower.h"
+
+#include <algorithm>
+
+namespace tvmbo::te {
+
+namespace {
+
+// Maps every original axis var of the stage to an expression over the
+// final leaf vars, and builds the guard condition for non-exact splits.
+struct AxisReconstruction {
+  std::vector<std::pair<Var, Expr>> substitution;  // original var -> expr
+  Expr guard;  // null when no guard needed
+};
+
+AxisReconstruction reconstruct_axes(const Stage& stage) {
+  // Start from the leaves: each leaf var maps to itself.
+  std::vector<std::pair<const IterVarNode*, Expr>> values;
+  for (const IterVar& leaf : stage.leaf_iter_vars()) {
+    values.emplace_back(leaf.get(), leaf->var);
+  }
+  auto lookup = [&values](const IterVar& iter) -> Expr {
+    for (const auto& [node, expr] : values) {
+      if (node == iter.get()) return expr;
+    }
+    return nullptr;
+  };
+
+  // Relations were appended in creation order; children are created after
+  // their parents, so one reverse pass resolves everything. Splits and
+  // fuses interleave in program order; replay both lists by walking a
+  // merged reverse timeline (split and fuse vectors are individually
+  // ordered; a var consumed by a later relation is produced by an earlier
+  // one, so repeatedly sweeping until a fixpoint is simplest and cheap).
+  AxisReconstruction result;
+  Expr guard;  // conjunction of tail conditions
+
+  bool progress = true;
+  std::vector<const SplitRelation*> pending_splits;
+  for (const SplitRelation& rel : stage.split_relations()) {
+    pending_splits.push_back(&rel);
+  }
+  std::vector<const FuseRelation*> pending_fuses;
+  for (const FuseRelation& rel : stage.fuse_relations()) {
+    pending_fuses.push_back(&rel);
+  }
+  while (progress && (!pending_splits.empty() || !pending_fuses.empty())) {
+    progress = false;
+    for (auto it = pending_splits.begin(); it != pending_splits.end();) {
+      const SplitRelation& rel = **it;
+      Expr outer = lookup(rel.outer);
+      Expr inner = lookup(rel.inner);
+      if (outer && inner) {
+        Expr parent_value = outer * make_int(rel.factor) + inner;
+        if (!rel.exact) {
+          Expr in_bounds = lt(parent_value, make_int(rel.parent->extent));
+          guard = guard ? logical_and(guard, in_bounds) : in_bounds;
+        }
+        values.emplace_back(rel.parent.get(), std::move(parent_value));
+        it = pending_splits.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = pending_fuses.begin(); it != pending_fuses.end();) {
+      const FuseRelation& rel = **it;
+      Expr fused = lookup(rel.fused);
+      if (fused) {
+        values.emplace_back(
+            rel.outer.get(),
+            floor_div(fused, make_int(rel.inner->extent)));
+        values.emplace_back(
+            rel.inner.get(),
+            floor_mod(fused, make_int(rel.inner->extent)));
+        it = pending_fuses.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  TVMBO_CHECK(pending_splits.empty() && pending_fuses.empty())
+      << "unresolvable split/fuse relations in stage '"
+      << stage.tensor()->name << "'";
+
+  for (const IterVar& axis : stage.op_axis()) {
+    Expr expr = lookup(axis);
+    TVMBO_CHECK(expr != nullptr)
+        << "data axis '" << axis->var->name << "' not reconstructible";
+    result.substitution.emplace_back(axis->var, std::move(expr));
+  }
+  for (const IterVar& axis : stage.op_reduce_axis()) {
+    Expr expr = lookup(axis);
+    TVMBO_CHECK(expr != nullptr)
+        << "reduce axis '" << axis->var->name << "' not reconstructible";
+    result.substitution.emplace_back(axis->var, std::move(expr));
+  }
+  result.guard = std::move(guard);
+  return result;
+}
+
+// Replaces reads of inlined tensors with their bodies, the producer's
+// axis vars substituted by the access indices. Applied to fixpoint so
+// chains of inlined stages collapse.
+Expr inline_reads(const Expr& expr, const Schedule& schedule) {
+  switch (expr->kind()) {
+    case ExprKind::kIntImm:
+    case ExprKind::kFloatImm:
+    case ExprKind::kVar:
+      return expr;
+    case ExprKind::kBinary: {
+      const auto* node = static_cast<const BinaryNode*>(expr.get());
+      return binary(node->op, inline_reads(node->a, schedule),
+                    inline_reads(node->b, schedule));
+    }
+    case ExprKind::kUnary: {
+      const auto* node = static_cast<const UnaryNode*>(expr.get());
+      return unary(node->op, inline_reads(node->operand, schedule));
+    }
+    case ExprKind::kCompare: {
+      const auto* node = static_cast<const CompareNode*>(expr.get());
+      return compare(node->op, inline_reads(node->a, schedule),
+                     inline_reads(node->b, schedule));
+    }
+    case ExprKind::kSelect: {
+      const auto* node = static_cast<const SelectNode*>(expr.get());
+      return select(inline_reads(node->condition, schedule),
+                    inline_reads(node->true_value, schedule),
+                    inline_reads(node->false_value, schedule));
+    }
+    case ExprKind::kTensorAccess: {
+      const auto* node = static_cast<const TensorAccessNode*>(expr.get());
+      std::vector<Expr> indices;
+      indices.reserve(node->indices.size());
+      for (const Expr& index : node->indices) {
+        indices.push_back(inline_reads(index, schedule));
+      }
+      const Tensor& tensor = node->tensor;
+      if (tensor->is_compute() && schedule[tensor].inlined()) {
+        std::vector<std::pair<Var, Expr>> bindings;
+        bindings.reserve(tensor->axis.size());
+        for (std::size_t d = 0; d < tensor->axis.size(); ++d) {
+          bindings.emplace_back(tensor->axis[d]->var, indices[d]);
+        }
+        // The producer's body may itself read inlined tensors.
+        return inline_reads(substitute(tensor->body, bindings), schedule);
+      }
+      return access(tensor, std::move(indices));
+    }
+    case ExprKind::kReduce: {
+      const auto* node = static_cast<const ReduceNode*>(expr.get());
+      return std::make_shared<ReduceNode>(
+          node->reduce_kind, inline_reads(node->source, schedule),
+          node->axes);
+    }
+  }
+  return expr;
+}
+
+// --- compute_at region inference --------------------------------------------
+
+// Affine decomposition of an index expression: constant + sum coeff * var.
+struct AffineForm {
+  bool affine = true;
+  std::int64_t constant = 0;
+  std::vector<std::pair<const VarNode*, std::int64_t>> terms;
+
+  void add_term(const VarNode* var, std::int64_t coefficient) {
+    for (auto& [existing, coeff] : terms) {
+      if (existing == var) {
+        coeff += coefficient;
+        return;
+      }
+    }
+    terms.emplace_back(var, coefficient);
+  }
+};
+
+AffineForm analyze_affine(const ExprNode* expr) {
+  AffineForm form;
+  switch (expr->kind()) {
+    case ExprKind::kIntImm:
+      form.constant = static_cast<const IntImmNode*>(expr)->value;
+      return form;
+    case ExprKind::kVar:
+      form.add_term(static_cast<const VarNode*>(expr), 1);
+      return form;
+    case ExprKind::kBinary: {
+      const auto* node = static_cast<const BinaryNode*>(expr);
+      AffineForm a = analyze_affine(node->a.get());
+      AffineForm b = analyze_affine(node->b.get());
+      if (!a.affine || !b.affine) break;
+      switch (node->op) {
+        case BinaryOp::kAdd:
+          form = a;
+          form.constant += b.constant;
+          for (const auto& [var, coeff] : b.terms) form.add_term(var, coeff);
+          return form;
+        case BinaryOp::kSub:
+          form = a;
+          form.constant -= b.constant;
+          for (const auto& [var, coeff] : b.terms) {
+            form.add_term(var, -coeff);
+          }
+          return form;
+        case BinaryOp::kMul:
+          // One side must be a pure constant.
+          if (b.terms.empty()) {
+            form = a;
+            form.constant *= b.constant;
+            for (auto& [var, coeff] : form.terms) coeff *= b.constant;
+            return form;
+          }
+          if (a.terms.empty()) {
+            form = b;
+            form.constant *= a.constant;
+            for (auto& [var, coeff] : form.terms) coeff *= a.constant;
+            return form;
+          }
+          break;
+        default:
+          break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  form.affine = false;
+  return form;
+}
+
+Expr combine(ReduceKind kind, Expr current, Expr update) {
+  switch (kind) {
+    case ReduceKind::kSum:
+      return std::move(current) + std::move(update);
+    case ReduceKind::kMax:
+      return max_expr(std::move(current), std::move(update));
+    case ReduceKind::kMin:
+      return min_expr(std::move(current), std::move(update));
+  }
+  return current;
+}
+
+/// The region of one producer dimension needed by one consumer access,
+/// with loops outside the attachment point symbolic.
+struct DimRegion {
+  Expr lo;                 ///< symbolic lower bound (in outer vars)
+  std::int64_t width = 0;  ///< static upper bound on (hi - lo + 1)
+  bool full = false;       ///< fall back to [0, extent)
+};
+
+DimRegion infer_dim_region(
+    const Expr& index,
+    const std::vector<std::pair<const VarNode*, std::int64_t>>& inner_vars,
+    const std::vector<std::pair<const VarNode*, Var>>& var_handles) {
+  DimRegion region;
+  const AffineForm form = analyze_affine(index.get());
+  if (!form.affine) {
+    region.full = true;
+    return region;
+  }
+  // Outer vars stay symbolic in lo; inner vars contribute their span to
+  // the width and their extreme to lo.
+  Expr lo = make_int(form.constant);
+  std::int64_t width = 1;
+  for (const auto& [var, coeff] : form.terms) {
+    std::int64_t inner_extent = -1;
+    for (const auto& [inner, extent] : inner_vars) {
+      if (inner == var) {
+        inner_extent = extent;
+        break;
+      }
+    }
+    if (inner_extent < 0) {
+      // Outer (symbolic) variable: rebuild from its owning handle.
+      Var handle;
+      for (const auto& [raw, owning] : var_handles) {
+        if (raw == var) {
+          handle = owning;
+          break;
+        }
+      }
+      if (handle == nullptr) {
+        region.full = true;  // variable we cannot re-own: widen
+        return region;
+      }
+      lo = lo + Expr(handle) * make_int(coeff);
+    } else {
+      // Inner variable spanning [0, extent-1].
+      if (coeff >= 0) {
+        width += coeff * (inner_extent - 1);
+      } else {
+        lo = lo + make_int(coeff * (inner_extent - 1));
+        width += -coeff * (inner_extent - 1);
+      }
+    }
+  }
+  region.lo = std::move(lo);
+  region.width = width;
+  return region;
+}
+
+// Collects all accesses to `target` in an expression.
+void collect_accesses(const ExprNode* expr, const TensorNode* target,
+                      std::vector<const TensorAccessNode*>& out) {
+  switch (expr->kind()) {
+    case ExprKind::kIntImm:
+    case ExprKind::kFloatImm:
+    case ExprKind::kVar:
+      return;
+    case ExprKind::kBinary: {
+      const auto* node = static_cast<const BinaryNode*>(expr);
+      collect_accesses(node->a.get(), target, out);
+      collect_accesses(node->b.get(), target, out);
+      return;
+    }
+    case ExprKind::kUnary:
+      collect_accesses(static_cast<const UnaryNode*>(expr)->operand.get(),
+                       target, out);
+      return;
+    case ExprKind::kCompare: {
+      const auto* node = static_cast<const CompareNode*>(expr);
+      collect_accesses(node->a.get(), target, out);
+      collect_accesses(node->b.get(), target, out);
+      return;
+    }
+    case ExprKind::kSelect: {
+      const auto* node = static_cast<const SelectNode*>(expr);
+      collect_accesses(node->condition.get(), target, out);
+      collect_accesses(node->true_value.get(), target, out);
+      collect_accesses(node->false_value.get(), target, out);
+      return;
+    }
+    case ExprKind::kTensorAccess: {
+      const auto* node = static_cast<const TensorAccessNode*>(expr);
+      if (node->tensor.get() == target) out.push_back(node);
+      for (const Expr& index : node->indices) {
+        collect_accesses(index.get(), target, out);
+      }
+      return;
+    }
+    case ExprKind::kReduce:
+      collect_accesses(static_cast<const ReduceNode*>(expr)->source.get(),
+                       target, out);
+      return;
+  }
+}
+
+/// Emits the attached producer's computation over the inferred region.
+/// `consumer_value` is the consumer's already-substituted body; loops
+/// strictly deeper than the attachment point are listed in `inner_vars`
+/// with their extents.
+Stmt emit_attached_producer(
+    const Schedule& schedule, const Tensor& producer,
+    const Expr& consumer_value,
+    const std::vector<std::pair<const VarNode*, std::int64_t>>& inner_vars,
+    const std::vector<std::pair<const VarNode*, Var>>& var_handles) {
+  std::vector<const TensorAccessNode*> accesses;
+  collect_accesses(consumer_value.get(), producer.get(), accesses);
+  TVMBO_CHECK(!accesses.empty())
+      << "compute_at: consumer does not read tensor '" << producer->name
+      << "'";
+
+  const std::size_t rank = producer->shape.size();
+  std::vector<DimRegion> regions(rank);
+  for (std::size_t d = 0; d < rank; ++d) {
+    regions[d] =
+        infer_dim_region(accesses[0]->indices[d], inner_vars, var_handles);
+    // Multiple distinct access sites: widen conservatively to full.
+    for (std::size_t a = 1; a < accesses.size(); ++a) {
+      // Cheap structural identity check via printer-free pointer compare
+      // is too strict; conservatively widen unless it is the same node.
+      if (accesses[a]->indices[d].get() != accesses[0]->indices[d].get()) {
+        regions[d].full = true;
+      }
+    }
+    if (regions[d].full || regions[d].width >= producer->shape[d]) {
+      regions[d].full = true;
+      regions[d].lo = make_int(0);
+      regions[d].width = producer->shape[d];
+    }
+  }
+
+  // Fresh region loop vars; producer axis var := lo_d + p_d.
+  std::vector<Var> region_vars;
+  std::vector<std::pair<Var, Expr>> axis_binding;
+  Expr guard;  // within-extent guard for non-full regions
+  for (std::size_t d = 0; d < rank; ++d) {
+    Var p = make_var(producer->name + "_r" + std::to_string(d));
+    region_vars.push_back(p);
+    Expr axis_value = regions[d].lo + Expr(p);
+    if (!regions[d].full) {
+      Expr in_bounds = logical_and(
+          ge(axis_value, make_int(0)),
+          lt(axis_value, make_int(producer->shape[d])));
+      guard = guard ? logical_and(guard, in_bounds) : in_bounds;
+    }
+    axis_binding.emplace_back(producer->axis[d]->var,
+                              std::move(axis_value));
+  }
+
+  std::vector<Expr> store_indices;
+  for (const auto& [axis_var, value] : axis_binding) {
+    store_indices.push_back(value);
+  }
+
+  auto wrap_region_loops = [&](Stmt body) {
+    for (std::size_t d = rank; d > 0; --d) {
+      body = make_for(region_vars[d - 1], regions[d - 1].width,
+                      ForKind::kSerial, std::move(body));
+    }
+    return body;
+  };
+
+  const Expr producer_body =
+      substitute(inline_reads(producer->body, schedule), axis_binding);
+  if (!producer->is_reduction) {
+    Stmt store = make_store(producer, store_indices, producer_body);
+    if (guard) store = make_if(guard, std::move(store));
+    return wrap_region_loops(std::move(store));
+  }
+  // Reduction producer: init the region, then run the full reduce loops.
+  Stmt init = make_store(producer, store_indices,
+                         make_float(producer->reduce_identity()));
+  Stmt update = make_store(
+      producer, store_indices,
+      combine(producer->reduce_kind, access(producer, store_indices),
+              producer_body));
+  for (std::size_t r = producer->reduce_axes.size(); r > 0; --r) {
+    const IterVar& axis = producer->reduce_axes[r - 1];
+    update = make_for(axis->var, axis->extent, ForKind::kSerial,
+                      std::move(update));
+  }
+  Stmt both = make_seq({std::move(init), std::move(update)});
+  if (guard) both = make_if(guard, std::move(both));
+  return wrap_region_loops(std::move(both));
+}
+
+Stmt wrap_loops(const Stage& stage, Stmt body,
+                const std::vector<std::pair<const IterVarNode*, Stmt>>&
+                    attachments = {}) {
+  const auto& leaves = stage.leaf_iter_vars();
+  for (std::size_t i = leaves.size(); i > 0; --i) {
+    const IterVar& leaf = leaves[i - 1];
+    for (const auto& [attach_leaf, producer_stmt] : attachments) {
+      if (attach_leaf == leaf.get()) {
+        body = make_seq({producer_stmt, std::move(body)});
+      }
+    }
+    body = make_for(leaf->var, leaf->extent, stage.annotation(leaf),
+                    std::move(body));
+  }
+  return body;
+}
+
+}  // namespace
+
+Stmt lower_stage(const Schedule& schedule, const Stage& stage,
+                 bool is_output, const LowerOptions& options) {
+  const Tensor& tensor = stage.tensor();
+  AxisReconstruction axes = reconstruct_axes(stage);
+
+  // Output element indices, in terms of leaf vars.
+  std::vector<Expr> store_indices;
+  store_indices.reserve(stage.op_axis().size());
+  for (const IterVar& axis : stage.op_axis()) {
+    store_indices.push_back(
+        substitute(axis->var, axes.substitution));
+  }
+  Expr value = substitute(inline_reads(tensor->body, schedule),
+                          axes.substitution);
+
+  // Producers attached to this stage with compute_at: emit their
+  // region-restricted computation just inside the attachment loop.
+  std::vector<std::pair<const IterVarNode*, Stmt>> attachments;
+  {
+    const auto& leaves = stage.leaf_iter_vars();
+    std::vector<std::pair<const VarNode*, Var>> var_handles;
+    for (const IterVar& leaf : leaves) {
+      var_handles.emplace_back(leaf->var.get(), leaf->var);
+    }
+    for (const Tensor& candidate : schedule.tensors()) {
+      if (!candidate->is_compute()) continue;
+      const Stage& producer_stage = schedule[candidate];
+      if (!producer_stage.attached() ||
+          producer_stage.attach_stage() != &stage) {
+        continue;
+      }
+      // Loops strictly deeper than the attachment leaf are "inner".
+      std::size_t attach_pos = leaves.size();
+      for (std::size_t i = 0; i < leaves.size(); ++i) {
+        if (leaves[i].get() == producer_stage.attach_leaf().get()) {
+          attach_pos = i;
+          break;
+        }
+      }
+      TVMBO_CHECK_LT(attach_pos, leaves.size())
+          << "compute_at leaf of '" << candidate->name
+          << "' is no longer a leaf of '" << tensor->name
+          << "' (reorder/split it before attaching)";
+      std::vector<std::pair<const VarNode*, std::int64_t>> inner_vars;
+      for (std::size_t i = attach_pos + 1; i < leaves.size(); ++i) {
+        inner_vars.emplace_back(leaves[i]->var.get(), leaves[i]->extent);
+      }
+      attachments.emplace_back(
+          producer_stage.attach_leaf().get(),
+          emit_attached_producer(schedule, candidate, value, inner_vars,
+                                 var_handles));
+    }
+  }
+
+  Stmt result;
+  if (!tensor->is_reduction) {
+    Stmt store = make_store(tensor, store_indices, std::move(value));
+    if (axes.guard) store = make_if(axes.guard, std::move(store));
+    result = wrap_loops(stage, std::move(store), attachments);
+  } else {
+    // Init nest over the *original* data axes (unaffected by scheduling,
+    // as TVM initializes the full output domain).
+    Stmt init = make_store(
+        tensor,
+        [&] {
+          std::vector<Expr> idx;
+          for (const IterVar& axis : stage.op_axis()) {
+            idx.push_back(axis->var);
+          }
+          return idx;
+        }(),
+        make_float(tensor->reduce_identity()));
+    for (std::size_t i = stage.op_axis().size(); i > 0; --i) {
+      const IterVar& axis = stage.op_axis()[i - 1];
+      init = make_for(axis->var, axis->extent, ForKind::kSerial,
+                      std::move(init));
+    }
+
+    Expr current = access(tensor, store_indices);
+    Stmt update = make_store(
+        tensor, store_indices,
+        combine(tensor->reduce_kind, std::move(current), std::move(value)));
+    if (axes.guard) update = make_if(axes.guard, std::move(update));
+    result = make_seq(
+        {std::move(init), wrap_loops(stage, std::move(update), attachments)});
+  }
+
+  return result;
+}
+
+Stmt lower(const Schedule& schedule, const LowerOptions& options) {
+  std::vector<Stmt> stmts;
+  std::vector<Tensor> intermediates;
+  for (const Tensor& tensor : schedule.tensors()) {
+    if (!tensor->is_compute()) continue;
+    const bool is_output = std::any_of(
+        schedule.outputs().begin(), schedule.outputs().end(),
+        [&](const Tensor& out) { return out.get() == tensor.get(); });
+    if (schedule[tensor].inlined()) {
+      TVMBO_CHECK(!is_output)
+          << "cannot inline schedule output '" << tensor->name << "'";
+      continue;  // substituted into consumers; no loops, no buffer
+    }
+    if (schedule[tensor].attached()) {
+      TVMBO_CHECK(!is_output)
+          << "cannot compute_at schedule output '" << tensor->name << "'";
+      // Emitted inside the consumer's nest; the Realize below still
+      // allocates its (full) buffer. Verify the single-consumer rule.
+      int consumers = 0;
+      for (const Tensor& other : schedule.tensors()) {
+        if (!other->is_compute()) continue;
+        for (const Tensor& input : other->inputs()) {
+          if (input.get() == tensor.get()) ++consumers;
+        }
+      }
+      TVMBO_CHECK_EQ(consumers, 1)
+          << "compute_at stage '" << tensor->name
+          << "' must have exactly one consumer";
+      intermediates.push_back(tensor);
+      continue;
+    }
+    if (!is_output) intermediates.push_back(tensor);
+    stmts.push_back(lower_stage(schedule, schedule[tensor], is_output,
+                                options));
+  }
+  TVMBO_CHECK(!stmts.empty()) << "schedule has no compute stages";
+  Stmt result = make_seq(std::move(stmts));
+  // Realize regions must cover both the producing stage and every consumer
+  // stage, so intermediates wrap the whole program.
+  if (options.emit_realize) {
+    for (auto it = intermediates.rbegin(); it != intermediates.rend(); ++it) {
+      result = make_realize(*it, std::move(result));
+    }
+  }
+  return result;
+}
+
+}  // namespace tvmbo::te

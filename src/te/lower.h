@@ -1,0 +1,31 @@
+// Lowering: Schedule -> loop IR (the analogue of tvm.lower).
+//
+// For every compute stage, in topological order:
+//   * rebuilds each original axis variable as an expression of the stage's
+//     final leaf variables by walking the split/fuse relations backwards,
+//   * emits the leaf loop nest with schedule annotations,
+//   * emits `T[i...] = body` stores (reductions get an init nest over the
+//     data axes followed by the update nest over all leaves),
+//   * guards the store when a non-exact split could push an index past its
+//     extent,
+//   * wraps intermediate (non-output) tensors in Realize regions.
+#pragma once
+
+#include "te/ir.h"
+#include "te/schedule.h"
+
+namespace tvmbo::te {
+
+struct LowerOptions {
+  /// Emit Realize regions for intermediates (the interpreter needs them).
+  bool emit_realize = true;
+};
+
+Stmt lower(const Schedule& schedule, const LowerOptions& options = {});
+
+/// Lowers a single stage (exposed for tests). Inlined producers in the
+/// schedule are substituted into the stage's body.
+Stmt lower_stage(const Schedule& schedule, const Stage& stage,
+                 bool is_output, const LowerOptions& options = {});
+
+}  // namespace tvmbo::te

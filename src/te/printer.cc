@@ -1,0 +1,213 @@
+#include "te/printer.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace tvmbo::te {
+
+namespace {
+
+const char* binary_symbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return " + ";
+    case BinaryOp::kSub: return " - ";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kFloorDiv: return "//";
+    case BinaryOp::kMod: return " % ";
+    case BinaryOp::kMin: return nullptr;  // functional form
+    case BinaryOp::kMax: return nullptr;
+  }
+  return "?";
+}
+
+const char* compare_symbol(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return " < ";
+    case CmpOp::kLe: return " <= ";
+    case CmpOp::kGt: return " > ";
+    case CmpOp::kGe: return " >= ";
+    case CmpOp::kEq: return " == ";
+    case CmpOp::kNe: return " != ";
+  }
+  return "?";
+}
+
+void print_expr(const ExprNode* expr, std::ostringstream& out) {
+  switch (expr->kind()) {
+    case ExprKind::kIntImm:
+      out << static_cast<const IntImmNode*>(expr)->value;
+      return;
+    case ExprKind::kFloatImm: {
+      const double v = static_cast<const FloatImmNode*>(expr)->value;
+      out << format_double(v, v == static_cast<std::int64_t>(v) ? 1 : 6);
+      return;
+    }
+    case ExprKind::kVar:
+      out << static_cast<const VarNode*>(expr)->name;
+      return;
+    case ExprKind::kBinary: {
+      const auto* node = static_cast<const BinaryNode*>(expr);
+      const char* symbol = binary_symbol(node->op);
+      if (symbol == nullptr) {
+        out << (node->op == BinaryOp::kMin ? "min(" : "max(");
+        print_expr(node->a.get(), out);
+        out << ", ";
+        print_expr(node->b.get(), out);
+        out << ")";
+        return;
+      }
+      out << "(";
+      print_expr(node->a.get(), out);
+      out << symbol;
+      print_expr(node->b.get(), out);
+      out << ")";
+      return;
+    }
+    case ExprKind::kUnary: {
+      const auto* node = static_cast<const UnaryNode*>(expr);
+      switch (node->op) {
+        case UnaryOp::kNeg: out << "neg("; break;
+        case UnaryOp::kAbs: out << "abs("; break;
+        case UnaryOp::kSqrt: out << "sqrt("; break;
+        case UnaryOp::kExp: out << "exp("; break;
+        case UnaryOp::kLog: out << "log("; break;
+      }
+      print_expr(node->operand.get(), out);
+      out << ")";
+      return;
+    }
+    case ExprKind::kCompare: {
+      const auto* node = static_cast<const CompareNode*>(expr);
+      out << "(";
+      print_expr(node->a.get(), out);
+      out << compare_symbol(node->op);
+      print_expr(node->b.get(), out);
+      out << ")";
+      return;
+    }
+    case ExprKind::kSelect: {
+      const auto* node = static_cast<const SelectNode*>(expr);
+      out << "select(";
+      print_expr(node->condition.get(), out);
+      out << ", ";
+      print_expr(node->true_value.get(), out);
+      out << ", ";
+      print_expr(node->false_value.get(), out);
+      out << ")";
+      return;
+    }
+    case ExprKind::kTensorAccess: {
+      const auto* node = static_cast<const TensorAccessNode*>(expr);
+      out << node->tensor->name << "[";
+      for (std::size_t i = 0; i < node->indices.size(); ++i) {
+        if (i > 0) out << ", ";
+        print_expr(node->indices[i].get(), out);
+      }
+      out << "]";
+      return;
+    }
+    case ExprKind::kReduce: {
+      const auto* node = static_cast<const ReduceNode*>(expr);
+      switch (node->reduce_kind) {
+        case ReduceKind::kSum: out << "sum("; break;
+        case ReduceKind::kMax: out << "max("; break;
+        case ReduceKind::kMin: out << "min("; break;
+      }
+      print_expr(node->source.get(), out);
+      out << ", axis=[";
+      for (std::size_t i = 0; i < node->axes.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << node->axes[i]->name;
+      }
+      out << "])";
+      return;
+    }
+  }
+}
+
+void indent_to(std::ostringstream& out, int depth) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+}
+
+void print_stmt(const StmtNode* stmt, std::ostringstream& out, int depth) {
+  switch (stmt->kind()) {
+    case StmtKind::kFor: {
+      const auto* node = static_cast<const ForNode*>(stmt);
+      indent_to(out, depth);
+      switch (node->for_kind) {
+        case ForKind::kSerial: out << "for "; break;
+        case ForKind::kParallel: out << "parallel "; break;
+        case ForKind::kUnrolled: out << "unroll "; break;
+        case ForKind::kVectorized: out << "vectorize "; break;
+      }
+      out << node->var->name << " in range(" << node->extent << "):\n";
+      print_stmt(node->body.get(), out, depth + 1);
+      return;
+    }
+    case StmtKind::kStore: {
+      const auto* node = static_cast<const StoreNode*>(stmt);
+      indent_to(out, depth);
+      out << node->tensor->name << "[";
+      for (std::size_t i = 0; i < node->indices.size(); ++i) {
+        if (i > 0) out << ", ";
+        print_expr(node->indices[i].get(), out);
+      }
+      out << "] = ";
+      print_expr(node->value.get(), out);
+      out << "\n";
+      return;
+    }
+    case StmtKind::kSeq: {
+      for (const Stmt& child : static_cast<const SeqNode*>(stmt)->stmts) {
+        print_stmt(child.get(), out, depth);
+      }
+      return;
+    }
+    case StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const IfThenElseNode*>(stmt);
+      indent_to(out, depth);
+      out << "if ";
+      print_expr(node->condition.get(), out);
+      out << ":\n";
+      print_stmt(node->then_case.get(), out, depth + 1);
+      if (node->else_case) {
+        indent_to(out, depth);
+        out << "else:\n";
+        print_stmt(node->else_case.get(), out, depth + 1);
+      }
+      return;
+    }
+    case StmtKind::kRealize: {
+      const auto* node = static_cast<const RealizeNode*>(stmt);
+      indent_to(out, depth);
+      out << "realize " << node->tensor->name << "(";
+      for (std::size_t i = 0; i < node->tensor->shape.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << node->tensor->shape[i];
+      }
+      out << "):\n";
+      print_stmt(node->body.get(), out, depth + 1);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Expr& expr) {
+  TVMBO_CHECK(expr != nullptr) << "print of null expression";
+  std::ostringstream out;
+  print_expr(expr.get(), out);
+  return out.str();
+}
+
+std::string to_string(const Stmt& stmt) {
+  TVMBO_CHECK(stmt != nullptr) << "print of null statement";
+  std::ostringstream out;
+  print_stmt(stmt.get(), out, 0);
+  return out.str();
+}
+
+}  // namespace tvmbo::te

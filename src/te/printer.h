@@ -1,0 +1,15 @@
+// Pretty-printer for TE expressions and lowered loop IR, in a Python-like
+// syntax resembling TVM's script printer. Used by examples ("show me the
+// lowered code"), error messages, and golden structural tests.
+#pragma once
+
+#include <string>
+
+#include "te/ir.h"
+
+namespace tvmbo::te {
+
+std::string to_string(const Expr& expr);
+std::string to_string(const Stmt& stmt);
+
+}  // namespace tvmbo::te

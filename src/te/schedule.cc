@@ -1,0 +1,179 @@
+#include "te/schedule.h"
+
+#include <algorithm>
+#include <array>
+
+namespace tvmbo::te {
+
+Stage::Stage(Tensor tensor) : tensor_(std::move(tensor)) {
+  TVMBO_CHECK(tensor_->is_compute())
+      << "only compute tensors have schedulable stages";
+  // Initial leaf order: data axes outermost, then reduction axes —
+  // matching TVM's default nest for create_schedule.
+  leaves_ = tensor_->axis;
+  leaves_.insert(leaves_.end(), tensor_->reduce_axes.begin(),
+                 tensor_->reduce_axes.end());
+}
+
+std::size_t Stage::leaf_position(const IterVar& iter) const {
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    if (leaves_[i].get() == iter.get()) return i;
+  }
+  TVMBO_CHECK(false) << "iter var '" << (iter ? iter->var->name : "<null>")
+                     << "' is not a current leaf of stage '"
+                     << tensor_->name << "'";
+  return 0;
+}
+
+std::pair<IterVar, IterVar> Stage::split(const IterVar& parent,
+                                         std::int64_t factor) {
+  TVMBO_CHECK_GT(factor, 0) << "split factor must be positive";
+  const std::size_t pos = leaf_position(parent);
+  const std::int64_t extent = parent->extent;
+  const std::int64_t outer_extent = (extent + factor - 1) / factor;
+
+  SplitRelation rel;
+  rel.parent = parent;
+  rel.factor = factor;
+  rel.exact = (extent % factor == 0);
+  rel.outer = make_iter(parent->var->name + ".outer", outer_extent,
+                        parent->kind);
+  rel.inner = make_iter(parent->var->name + ".inner",
+                        std::min(factor, extent), parent->kind);
+  // Replace the parent leaf with (outer, inner) in place.
+  leaves_[pos] = rel.outer;
+  leaves_.insert(leaves_.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+                 rel.inner);
+  splits_.push_back(rel);
+  return {rel.outer, rel.inner};
+}
+
+IterVar Stage::fuse(const IterVar& outer, const IterVar& inner) {
+  const std::size_t pos_outer = leaf_position(outer);
+  const std::size_t pos_inner = leaf_position(inner);
+  TVMBO_CHECK_EQ(pos_inner, pos_outer + 1)
+      << "fuse requires adjacent leaves (outer immediately before inner)";
+  TVMBO_CHECK(outer->kind == inner->kind)
+      << "cannot fuse a data axis with a reduction axis";
+
+  FuseRelation rel;
+  rel.outer = outer;
+  rel.inner = inner;
+  rel.fused = make_iter(outer->var->name + "." + inner->var->name +
+                            ".fused",
+                        outer->extent * inner->extent, outer->kind);
+  leaves_[pos_outer] = rel.fused;
+  leaves_.erase(leaves_.begin() + static_cast<std::ptrdiff_t>(pos_inner));
+  fuses_.push_back(rel);
+  return rel.fused;
+}
+
+void Stage::reorder(const std::vector<IterVar>& order) {
+  TVMBO_CHECK(!order.empty()) << "reorder with empty order";
+  // Gather the current positions of the named leaves.
+  std::vector<std::size_t> positions;
+  positions.reserve(order.size());
+  for (const IterVar& iter : order) {
+    const std::size_t pos = leaf_position(iter);
+    TVMBO_CHECK(std::find(positions.begin(), positions.end(), pos) ==
+                positions.end())
+        << "duplicate iter var in reorder";
+    positions.push_back(pos);
+  }
+  std::vector<std::size_t> sorted = positions;
+  std::sort(sorted.begin(), sorted.end());
+  // Place the i-th named var at the i-th smallest of the occupied slots.
+  std::vector<IterVar> new_leaves = leaves_;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    new_leaves[sorted[i]] = order[i];
+  }
+  leaves_ = std::move(new_leaves);
+}
+
+std::array<IterVar, 4> Stage::tile(const IterVar& y, const IterVar& x,
+                                   std::int64_t y_factor,
+                                   std::int64_t x_factor) {
+  auto [yo, yi] = split(y, y_factor);
+  auto [xo, xi] = split(x, x_factor);
+  reorder({yo, xo, yi, xi});
+  return {yo, xo, yi, xi};
+}
+
+void Stage::compute_inline() {
+  TVMBO_CHECK(!tensor_->is_reduction)
+      << "cannot inline reduction stage '" << tensor_->name << "'";
+  inlined_ = true;
+}
+
+void Stage::compute_at(const Stage& consumer, const IterVar& leaf) {
+  TVMBO_CHECK(!inlined_) << "stage is already inlined";
+  TVMBO_CHECK(&consumer != this) << "cannot attach a stage to itself";
+  // The leaf must currently be a leaf of the consumer.
+  bool found = false;
+  for (const IterVar& candidate : consumer.leaf_iter_vars()) {
+    if (candidate.get() == leaf.get()) {
+      found = true;
+      break;
+    }
+  }
+  TVMBO_CHECK(found) << "iter var '" << (leaf ? leaf->var->name : "<null>")
+                     << "' is not a leaf of stage '"
+                     << consumer.tensor()->name << "'";
+  attach_stage_ = &consumer;
+  attach_leaf_ = leaf;
+}
+
+void Stage::unroll(const IterVar& iter) {
+  leaf_position(iter);  // validity check
+  annotations_.emplace_back(iter, ForKind::kUnrolled);
+}
+
+void Stage::vectorize(const IterVar& iter) {
+  const std::size_t pos = leaf_position(iter);
+  TVMBO_CHECK_EQ(pos, leaves_.size() - 1)
+      << "vectorize applies to the innermost loop only";
+  annotations_.emplace_back(iter, ForKind::kVectorized);
+}
+
+void Stage::parallel(const IterVar& iter) {
+  leaf_position(iter);
+  annotations_.emplace_back(iter, ForKind::kParallel);
+}
+
+ForKind Stage::annotation(const IterVar& iter) const {
+  for (const auto& [annotated, kind] : annotations_) {
+    if (annotated.get() == iter.get()) return kind;
+  }
+  return ForKind::kSerial;
+}
+
+bool Stage::needs_guard() const {
+  return std::any_of(splits_.begin(), splits_.end(),
+                     [](const SplitRelation& rel) { return !rel.exact; });
+}
+
+Schedule::Schedule(std::vector<Tensor> outputs)
+    : outputs_(std::move(outputs)) {
+  TVMBO_CHECK(!outputs_.empty()) << "schedule requires at least one output";
+  tensors_ = topo_sort(outputs_);
+  for (const Tensor& tensor : tensors_) {
+    if (tensor->is_compute()) {
+      stages_.push_back(std::make_unique<Stage>(tensor));
+    }
+  }
+}
+
+Stage& Schedule::operator[](const Tensor& tensor) {
+  for (const auto& stage : stages_) {
+    if (stage->tensor().get() == tensor.get()) return *stage;
+  }
+  TVMBO_CHECK(false) << "tensor '" << (tensor ? tensor->name : "<null>")
+                     << "' has no stage in this schedule";
+  return *stages_[0];
+}
+
+const Stage& Schedule::operator[](const Tensor& tensor) const {
+  return const_cast<Schedule&>(*this)[tensor];
+}
+
+}  // namespace tvmbo::te

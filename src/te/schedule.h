@@ -1,0 +1,145 @@
+// Schedules: loop-level transformation plans for compute tensors.
+//
+// Mirrors the TVM schedule primitives the paper's kernels use —
+// create_schedule, split, reorder, fuse, plus unroll/vectorize/parallel
+// annotations. A Stage owns the evolving list of leaf iteration variables
+// for one compute op; lower.h turns the final state into loop IR.
+//
+//   Schedule sched({G});
+//   Stage& sg = sched[G];
+//   auto [yo, yi] = sg.split(sg.op_axis()[0], ty);
+//   auto [xo, xi] = sg.split(sg.op_axis()[1], tx);
+//   sg.reorder({yo, xo, sg.op_reduce_axis()[0], yi, xi});
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "te/ir.h"
+#include "te/tensor.h"
+
+namespace tvmbo::te {
+
+/// parent -> outer*factor + inner. `exact` records whether factor divides
+/// the parent extent (if not, lowering emits a bounds guard).
+struct SplitRelation {
+  IterVar parent;
+  IterVar outer;
+  IterVar inner;
+  std::int64_t factor = 0;
+  bool exact = true;
+};
+
+/// (outer, inner) -> fused; outer = fused / inner.extent,
+/// inner = fused % inner.extent.
+struct FuseRelation {
+  IterVar outer;
+  IterVar inner;
+  IterVar fused;
+};
+
+class Stage {
+ public:
+  explicit Stage(Tensor tensor);
+
+  const Tensor& tensor() const { return tensor_; }
+
+  /// Original data axes of the compute op (s[C].op.axis).
+  const std::vector<IterVar>& op_axis() const { return tensor_->axis; }
+  /// Original reduction axes (s[C].op.reduce_axis).
+  const std::vector<IterVar>& op_reduce_axis() const {
+    return tensor_->reduce_axes;
+  }
+
+  /// Current loop order, outermost first.
+  const std::vector<IterVar>& leaf_iter_vars() const { return leaves_; }
+
+  /// Splits `parent` by `factor`, returning {outer, inner}. The parent must
+  /// currently be a leaf. Non-dividing factors are allowed; lowering then
+  /// guards the tail (TVM does the same).
+  std::pair<IterVar, IterVar> split(const IterVar& parent,
+                                    std::int64_t factor);
+
+  /// Fuses two adjacent leaves (outer immediately before inner) into one.
+  IterVar fuse(const IterVar& outer, const IterVar& inner);
+
+  /// Places the given leaves in the given order at their current positions
+  /// (exact TVM semantics: other leaves do not move).
+  void reorder(const std::vector<IterVar>& order);
+
+  /// 2-D convenience: split both axes and reorder to
+  /// {y_outer, x_outer, y_inner, x_inner} (TVM's s[C].tile).
+  std::array<IterVar, 4> tile(const IterVar& y, const IterVar& x,
+                              std::int64_t y_factor, std::int64_t x_factor);
+
+  /// Marks this stage for inlining: its body is substituted into every
+  /// consumer at lowering time and no loops/buffer are emitted for it
+  /// (TVM's compute_inline). Only non-reduction computes can be inlined,
+  /// and an inlined stage must not be a schedule output.
+  void compute_inline();
+  bool inlined() const { return inlined_; }
+
+  /// Moves this stage's computation inside `consumer`'s loop nest, right
+  /// after the loop over `leaf` (TVM's compute_at). At lowering time the
+  /// region of this tensor the consumer needs under the fixed outer loops
+  /// is inferred by symbolic interval analysis and only that region is
+  /// (re)computed per outer iteration. The stage must feed exactly one
+  /// consumer and must not be a schedule output.
+  void compute_at(const Stage& consumer, const IterVar& leaf);
+  bool attached() const { return attach_stage_ != nullptr; }
+  const Stage* attach_stage() const { return attach_stage_; }
+  const IterVar& attach_leaf() const { return attach_leaf_; }
+
+  void unroll(const IterVar& iter);
+  void vectorize(const IterVar& iter);
+  void parallel(const IterVar& iter);
+
+  /// Annotation for a leaf (kSerial when none set).
+  ForKind annotation(const IterVar& iter) const;
+
+  const std::vector<SplitRelation>& split_relations() const {
+    return splits_;
+  }
+  const std::vector<FuseRelation>& fuse_relations() const { return fuses_; }
+
+  /// True when any split along the derivation of any original axis is
+  /// non-exact, i.e. lowering must emit a guard.
+  bool needs_guard() const;
+
+ private:
+  std::size_t leaf_position(const IterVar& iter) const;
+
+  Tensor tensor_;
+  std::vector<IterVar> leaves_;
+  std::vector<SplitRelation> splits_;
+  std::vector<FuseRelation> fuses_;
+  std::vector<std::pair<IterVar, ForKind>> annotations_;
+  bool inlined_ = false;
+  const Stage* attach_stage_ = nullptr;
+  IterVar attach_leaf_;
+};
+
+/// A schedule for the DAG that produces `outputs` (te.create_schedule).
+/// Holds one Stage per compute tensor, in topological order.
+class Schedule {
+ public:
+  explicit Schedule(std::vector<Tensor> outputs);
+
+  const std::vector<Tensor>& outputs() const { return outputs_; }
+  /// All tensors in topo order (placeholders included).
+  const std::vector<Tensor>& tensors() const { return tensors_; }
+
+  /// Stage lookup (s[C]); the tensor must be a compute in this DAG.
+  Stage& operator[](const Tensor& tensor);
+  const Stage& operator[](const Tensor& tensor) const;
+
+ private:
+  std::vector<Tensor> outputs_;
+  std::vector<Tensor> tensors_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+}  // namespace tvmbo::te

@@ -1,0 +1,123 @@
+#include "te/tensor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tvmbo::te {
+
+IterVar make_iter(const std::string& name, std::int64_t extent,
+                  IterKind kind) {
+  TVMBO_CHECK_GT(extent, 0) << "iter var '" << name
+                            << "' requires positive extent";
+  auto node = std::make_shared<IterVarNode>();
+  node->var = make_var(name);
+  node->extent = extent;
+  node->kind = kind;
+  return node;
+}
+
+IterVar reduce_axis(std::int64_t extent, const std::string& name) {
+  return make_iter(name, extent, IterKind::kReduce);
+}
+
+std::vector<Tensor> TensorNode::inputs() const {
+  if (!is_compute()) return {};
+  return collect_tensors(body);
+}
+
+double TensorNode::reduce_identity() const {
+  switch (reduce_kind) {
+    case ReduceKind::kSum: return 0.0;
+    case ReduceKind::kMax: return -std::numeric_limits<double>::infinity();
+    case ReduceKind::kMin: return std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+Tensor placeholder(std::vector<std::int64_t> shape,
+                   const std::string& name) {
+  TVMBO_CHECK(!shape.empty()) << "placeholder requires at least one dim";
+  for (std::int64_t extent : shape) {
+    TVMBO_CHECK_GT(extent, 0) << "placeholder extents must be positive";
+  }
+  auto node = std::make_shared<TensorNode>();
+  node->tensor_kind = TensorKind::kPlaceholder;
+  node->name = name;
+  node->shape = std::move(shape);
+  return node;
+}
+
+Tensor compute(std::vector<std::int64_t> shape, const std::string& name,
+               const std::function<Expr(const std::vector<Var>&)>& fcompute,
+               std::vector<IterVar> reduce_axes) {
+  TVMBO_CHECK(!shape.empty()) << "compute requires at least one dim";
+  auto node = std::make_shared<TensorNode>();
+  node->tensor_kind = TensorKind::kCompute;
+  node->name = name;
+  node->shape = shape;
+  std::vector<Var> vars;
+  for (std::size_t d = 0; d < shape.size(); ++d) {
+    TVMBO_CHECK_GT(shape[d], 0) << "compute extents must be positive";
+    IterVar axis = make_iter(name + "_i" + std::to_string(d), shape[d],
+                             IterKind::kData);
+    vars.push_back(axis->var);
+    node->axis.push_back(std::move(axis));
+  }
+  Expr body = fcompute(vars);
+  TVMBO_CHECK(body != nullptr) << "compute body is null";
+
+  if (body->kind() == ExprKind::kReduce) {
+    const auto* reduce = static_cast<const ReduceNode*>(body.get());
+    TVMBO_CHECK(!reduce_axes.empty())
+        << "compute '" << name
+        << "' has a reduction body but no reduce_axes were declared";
+    // The reduce marker must reference exactly the declared axes.
+    TVMBO_CHECK_EQ(reduce->axes.size(), reduce_axes.size())
+        << "reduction axis count mismatch in compute '" << name << "'";
+    for (const Var& axis_var : reduce->axes) {
+      const bool declared = std::any_of(
+          reduce_axes.begin(), reduce_axes.end(),
+          [&](const IterVar& iv) { return iv->var.get() == axis_var.get(); });
+      TVMBO_CHECK(declared) << "reduction axis '" << axis_var->name
+                            << "' was not declared in compute '" << name
+                            << "'";
+    }
+    node->is_reduction = true;
+    node->reduce_kind = reduce->reduce_kind;
+    node->body = reduce->source;
+    node->reduce_axes = std::move(reduce_axes);
+  } else {
+    TVMBO_CHECK(reduce_axes.empty())
+        << "compute '" << name
+        << "' declared reduce_axes but its body has no reduction";
+    node->body = std::move(body);
+  }
+  return node;
+}
+
+namespace {
+void topo_visit(const Tensor& tensor, std::vector<Tensor>& order,
+                std::vector<const TensorNode*>& visited) {
+  if (std::find(visited.begin(), visited.end(), tensor.get()) !=
+      visited.end()) {
+    return;
+  }
+  visited.push_back(tensor.get());
+  for (const Tensor& input : tensor->inputs()) {
+    topo_visit(input, order, visited);
+  }
+  order.push_back(tensor);
+}
+}  // namespace
+
+std::vector<Tensor> topo_sort(const std::vector<Tensor>& outputs) {
+  std::vector<Tensor> order;
+  std::vector<const TensorNode*> visited;
+  for (const Tensor& output : outputs) {
+    TVMBO_CHECK(output != nullptr) << "null output tensor";
+    topo_visit(output, order, visited);
+  }
+  return order;
+}
+
+}  // namespace tvmbo::te

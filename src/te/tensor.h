@@ -1,0 +1,86 @@
+// Tensors and compute operations of the TE language.
+//
+// Two flavours, as in TVM:
+//   placeholder(shape, name)           — an input bound at execution time
+//   compute(shape, name, fcompute)     — defined by an expression of its
+//                                        data axes (and optional reduction
+//                                        axes created with reduce_axis()).
+//
+// Example (the paper's 3mm, §4):
+//   auto A = placeholder({N, L}, "A");
+//   auto B = placeholder({L, M}, "B");
+//   auto k = reduce_axis(L, "k");
+//   auto E = compute({N, M}, "E", [&](const std::vector<Var>& i) {
+//     return sum(access(A, {i[0], k->var}) * access(B, {k->var, i[1]}),
+//                {k->var});
+//   }, {k});
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "te/expr.h"
+
+namespace tvmbo::te {
+
+enum class IterKind { kData, kReduce };
+
+/// One iteration axis: a variable plus its (static) extent.
+struct IterVarNode {
+  Var var;
+  std::int64_t extent = 0;
+  IterKind kind = IterKind::kData;
+};
+using IterVar = std::shared_ptr<IterVarNode>;
+
+IterVar make_iter(const std::string& name, std::int64_t extent,
+                  IterKind kind);
+
+/// Creates a reduction axis of the given extent (te.reduce_axis).
+IterVar reduce_axis(std::int64_t extent, const std::string& name);
+
+enum class TensorKind { kPlaceholder, kCompute };
+
+class TensorNode {
+ public:
+  TensorKind tensor_kind;
+  std::string name;
+  std::vector<std::int64_t> shape;
+
+  // Compute-only fields:
+  std::vector<IterVar> axis;         ///< data axes, one per shape dim
+  std::vector<IterVar> reduce_axes;  ///< reduction axes referenced by body
+  Expr body;                         ///< value expression (reduce unwrapped)
+  ReduceKind reduce_kind = ReduceKind::kSum;
+  bool is_reduction = false;
+
+  bool is_placeholder() const {
+    return tensor_kind == TensorKind::kPlaceholder;
+  }
+  bool is_compute() const { return tensor_kind == TensorKind::kCompute; }
+
+  /// Tensors this compute reads (empty for placeholders).
+  std::vector<Tensor> inputs() const;
+
+  /// Identity element of the reduction (0 for sum, -inf/+inf for max/min).
+  double reduce_identity() const;
+};
+
+/// Declares an input tensor.
+Tensor placeholder(std::vector<std::int64_t> shape, const std::string& name);
+
+/// Declares a computed tensor. `fcompute` receives one Var per output
+/// dimension and returns the value expression; a reduction body must be a
+/// single sum()/max_reduce()/min_reduce() whose axes exactly match the vars
+/// of `reduce_axes`.
+Tensor compute(std::vector<std::int64_t> shape, const std::string& name,
+               const std::function<Expr(const std::vector<Var>&)>& fcompute,
+               std::vector<IterVar> reduce_axes = {});
+
+/// Topological order of the compute DAG ending at `outputs` (inputs first).
+std::vector<Tensor> topo_sort(const std::vector<Tensor>& outputs);
+
+}  // namespace tvmbo::te

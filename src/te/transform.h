@@ -1,0 +1,54 @@
+// Loop-IR transformation and analysis passes — the slice of TVM's TIR
+// pass pipeline this reproduction needs:
+//
+//   substitute_stmt   variable substitution through whole programs
+//   simplify          constant folding, If-folding, extent-1 loop inlining,
+//                     nested-Seq flattening
+//   unroll_loops      expands ForKind::kUnrolled loops into straight-line
+//                     sequences (what the schedule's unroll() means)
+//   validate          structural verifier: every variable is bound by an
+//                     enclosing loop, every tensor access matches rank,
+//                     Realize regions cover intermediate uses
+//   estimate_ops      static operation counts (loads/stores/flops) from
+//                     loop extents — the cheap cost signal a compiler-side
+//                     cost model starts from
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "te/ir.h"
+
+namespace tvmbo::te {
+
+/// Substitutes variables in every expression of the statement tree.
+Stmt substitute_stmt(const Stmt& stmt,
+                     const std::vector<std::pair<Var, Expr>>& replacements);
+
+/// Simplification pass. Applied transformations:
+///  * expressions are rebuilt through the folding constructors,
+///  * `if` with a constant condition folds to a branch (or vanishes),
+///  * loops of extent 1 are inlined with their var replaced by 0,
+///  * single-statement and nested sequences are flattened.
+Stmt simplify(const Stmt& stmt);
+
+/// Expands every kUnrolled loop with constant extent <= `max_extent` into
+/// a Seq of bodies (larger unrolled loops are left intact, like TVM's
+/// auto_max_step guard).
+Stmt unroll_loops(const Stmt& stmt, std::int64_t max_extent = 64);
+
+/// Structural verification; throws CheckError with a diagnostic on the
+/// first violation. Returns the number of statements visited.
+std::size_t validate(const Stmt& stmt);
+
+/// Static operation counts, multiplying through loop extents. Guards are
+/// counted as if always taken (upper bound).
+struct OpCounts {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t arithmetic = 0;  ///< binary/unary float ops
+  std::uint64_t loop_iterations = 0;
+};
+OpCounts estimate_ops(const Stmt& stmt);
+
+}  // namespace tvmbo::te

@@ -1,0 +1,146 @@
+#include "tuners/ga_tuner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tvmbo::tuners {
+
+GaTuner::GaTuner(const cs::ConfigurationSpace* space, std::uint64_t seed,
+                 GaOptions options)
+    : Tuner(space, seed), options_(options) {
+  TVMBO_CHECK_GE(options_.population_size, 2u)
+      << "population must have at least two individuals";
+  TVMBO_CHECK_LT(options_.elite_count, options_.population_size)
+      << "elite_count must be smaller than the population";
+  seed_population();
+}
+
+cs::Configuration GaTuner::fresh_random() {
+  // Sample an unvisited configuration; falls back to a visited one when
+  // the space is nearly exhausted (it will be filtered by mark_visited).
+  for (int attempt = 0; attempt < 128; ++attempt) {
+    cs::Configuration config = space_->sample(rng_);
+    if (!is_visited(config)) return config;
+  }
+  return space_->sample(rng_);
+}
+
+void GaTuner::seed_population() {
+  population_.clear();
+  pending_.clear();
+  for (std::size_t i = 0; i < options_.population_size; ++i) {
+    population_.push_back({fresh_random(), -1.0});
+    pending_.push_back(i);
+  }
+}
+
+std::vector<cs::Configuration> GaTuner::next_batch(std::size_t n) {
+  std::vector<cs::Configuration> batch;
+  while (batch.size() < n) {
+    if (pending_.empty()) {
+      // Current generation fully handed out; breed the next one. Guard
+      // against spaces smaller than the population where evolution cannot
+      // mint new unvisited members.
+      if (space_->fully_discrete() &&
+          num_visited() >= space_->cardinality()) {
+        break;
+      }
+      evolve();
+      if (pending_.empty()) break;
+    }
+    const std::size_t member = pending_.front();
+    pending_.pop_front();
+    cs::Configuration config = population_[member].config;
+    if (mark_visited(config)) batch.push_back(std::move(config));
+  }
+  return batch;
+}
+
+void GaTuner::update(std::span<const Trial> trials) {
+  Tuner::update(trials);
+  for (const Trial& trial : trials) {
+    // Attach fitness to the matching unmeasured population member.
+    for (Individual& individual : population_) {
+      if (individual.fitness < 0.0 &&
+          individual.config == trial.config) {
+        individual.fitness =
+            trial.valid && trial.runtime_s > 0.0 ? 1.0 / trial.runtime_s
+                                                 : 0.0;
+        break;
+      }
+    }
+  }
+}
+
+const cs::Configuration& GaTuner::roulette_pick(double total_fitness) {
+  if (total_fitness <= 0.0) {
+    return population_[static_cast<std::size_t>(rng_.uniform_int(
+                           static_cast<std::int64_t>(population_.size())))]
+        .config;
+  }
+  double ticket = rng_.uniform() * total_fitness;
+  for (const Individual& individual : population_) {
+    ticket -= std::max(individual.fitness, 0.0);
+    if (ticket <= 0.0) return individual.config;
+  }
+  return population_.back().config;
+}
+
+cs::Configuration GaTuner::crossover_and_mutate(
+    const cs::Configuration& a, const cs::Configuration& b) {
+  cs::Configuration child = a;
+  for (std::size_t p = 0; p < space_->num_params(); ++p) {
+    if (rng_.bernoulli(0.5)) {
+      child.set_index(p, b.index(p));
+      if (space_->param(p).cardinality() == 0) {
+        child.set_real(p, b.real(p));
+      }
+    }
+  }
+  if (rng_.bernoulli(options_.mutation_prob)) {
+    child = space_->neighbor(child, rng_);
+  }
+  return child;
+}
+
+void GaTuner::evolve() {
+  ++generation_;
+  // Rank current generation: measured individuals by fitness descending.
+  std::vector<Individual> ranked = population_;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Individual& a, const Individual& b) {
+              return a.fitness > b.fitness;
+            });
+  double total_fitness = 0.0;
+  for (const Individual& individual : population_) {
+    total_fitness += std::max(individual.fitness, 0.0);
+  }
+
+  std::vector<Individual> next;
+  // Elites survive with their known fitness (not re-measured).
+  for (std::size_t i = 0;
+       i < options_.elite_count && ranked[i].fitness > 0.0; ++i) {
+    next.push_back(ranked[i]);
+  }
+  // Offspring fill the rest.
+  int stale_attempts = 0;
+  while (next.size() < options_.population_size) {
+    const cs::Configuration& parent_a = roulette_pick(total_fitness);
+    const cs::Configuration& parent_b = roulette_pick(total_fitness);
+    cs::Configuration child = crossover_and_mutate(parent_a, parent_b);
+    if (is_visited(child)) {
+      if (++stale_attempts < 64) continue;
+      child = fresh_random();  // inject diversity when inbred
+      stale_attempts = 0;
+    }
+    next.push_back({std::move(child), -1.0});
+  }
+  population_ = std::move(next);
+  pending_.clear();
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    if (population_[i].fitness < 0.0) pending_.push_back(i);
+  }
+}
+
+}  // namespace tvmbo::tuners

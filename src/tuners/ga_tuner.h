@@ -1,0 +1,49 @@
+// GATuner: genetic-algorithm search over the knob space, following
+// AutoTVM's tuner of the same name: a fixed-size population whose genes
+// are the per-knob indices, roulette-wheel selection on fitness
+// (1 / runtime), per-knob uniform crossover, point mutation, and elitism.
+#pragma once
+
+#include <deque>
+
+#include "tuners/tuner.h"
+
+namespace tvmbo::tuners {
+
+struct GaOptions {
+  std::size_t population_size = 16;
+  std::size_t elite_count = 3;
+  double mutation_prob = 0.10;
+};
+
+class GaTuner final : public Tuner {
+ public:
+  GaTuner(const cs::ConfigurationSpace* space, std::uint64_t seed,
+          GaOptions options = {});
+
+  std::string name() const override { return "autotvm-ga"; }
+  std::vector<cs::Configuration> next_batch(std::size_t n) override;
+  void update(std::span<const Trial> trials) override;
+
+  std::size_t generation() const { return generation_; }
+
+ private:
+  struct Individual {
+    cs::Configuration config;
+    double fitness = -1.0;  ///< < 0 means not yet measured
+  };
+
+  void seed_population();
+  void evolve();
+  cs::Configuration crossover_and_mutate(const cs::Configuration& a,
+                                         const cs::Configuration& b);
+  const cs::Configuration& roulette_pick(double total_fitness);
+  cs::Configuration fresh_random();
+
+  GaOptions options_;
+  std::vector<Individual> population_;
+  std::deque<std::size_t> pending_;  ///< population members to measure
+  std::size_t generation_ = 0;
+};
+
+}  // namespace tvmbo::tuners

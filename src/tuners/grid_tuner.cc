@@ -1,0 +1,28 @@
+#include "tuners/grid_tuner.h"
+
+#include "common/logging.h"
+
+namespace tvmbo::tuners {
+
+GridSearchTuner::GridSearchTuner(const cs::ConfigurationSpace* space,
+                                 std::uint64_t seed)
+    : Tuner(space, seed) {
+  TVMBO_CHECK(space->fully_discrete())
+      << "grid search requires a fully discrete space";
+}
+
+std::vector<cs::Configuration> GridSearchTuner::next_batch(std::size_t n) {
+  std::vector<cs::Configuration> batch;
+  const std::uint64_t total = space_->cardinality();
+  while (batch.size() < n && cursor_ < total) {
+    cs::Configuration config = space_->from_flat_index(cursor_++);
+    if (mark_visited(config)) batch.push_back(std::move(config));
+  }
+  return batch;
+}
+
+bool GridSearchTuner::has_next() const {
+  return cursor_ < space_->cardinality();
+}
+
+}  // namespace tvmbo::tuners

@@ -1,0 +1,23 @@
+// GridSearchTuner: "enumerate the space in a grid search order" —
+// lexicographic flat-index enumeration. With 100 evaluations over spaces
+// of 4e2..2e8 configurations this only ever explores a corner of the grid,
+// which is exactly why the paper finds it performs worst everywhere.
+#pragma once
+
+#include "tuners/tuner.h"
+
+namespace tvmbo::tuners {
+
+class GridSearchTuner final : public Tuner {
+ public:
+  GridSearchTuner(const cs::ConfigurationSpace* space, std::uint64_t seed);
+
+  std::string name() const override { return "autotvm-gridsearch"; }
+  std::vector<cs::Configuration> next_batch(std::size_t n) override;
+  bool has_next() const override;
+
+ private:
+  std::uint64_t cursor_ = 0;
+};
+
+}  // namespace tvmbo::tuners

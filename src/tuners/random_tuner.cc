@@ -1,0 +1,37 @@
+#include "tuners/random_tuner.h"
+
+namespace tvmbo::tuners {
+
+RandomTuner::RandomTuner(const cs::ConfigurationSpace* space,
+                         std::uint64_t seed)
+    : Tuner(space, seed) {}
+
+std::vector<cs::Configuration> RandomTuner::next_batch(std::size_t n) {
+  std::vector<cs::Configuration> batch;
+  // Rejection sampling against the visited set. The retry budget covers
+  // the endgame where most of a small space is already visited; a full
+  // linear sweep finishes the space exactly.
+  const bool discrete = space_->fully_discrete();
+  std::size_t rejects = 0;
+  const std::size_t max_rejects = 64 * (n + 1);
+  while (batch.size() < n) {
+    if (discrete && num_visited() >= space_->cardinality()) break;
+    cs::Configuration config = space_->sample(rng_);
+    if (mark_visited(config)) {
+      batch.push_back(std::move(config));
+      rejects = 0;
+    } else if (++rejects >= max_rejects) {
+      if (!discrete) break;
+      // Dense endgame: walk the whole space once for the leftovers.
+      for (std::uint64_t flat = 0;
+           flat < space_->cardinality() && batch.size() < n; ++flat) {
+        cs::Configuration config = space_->from_flat_index(flat);
+        if (mark_visited(config)) batch.push_back(std::move(config));
+      }
+      break;
+    }
+  }
+  return batch;
+}
+
+}  // namespace tvmbo::tuners

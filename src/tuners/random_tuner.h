@@ -1,0 +1,17 @@
+// RandomTuner: "enumerate the space in a random order" — uniform sampling
+// without replacement.
+#pragma once
+
+#include "tuners/tuner.h"
+
+namespace tvmbo::tuners {
+
+class RandomTuner final : public Tuner {
+ public:
+  RandomTuner(const cs::ConfigurationSpace* space, std::uint64_t seed);
+
+  std::string name() const override { return "autotvm-random"; }
+  std::vector<cs::Configuration> next_batch(std::size_t n) override;
+};
+
+}  // namespace tvmbo::tuners

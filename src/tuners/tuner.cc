@@ -1,0 +1,46 @@
+#include "tuners/tuner.h"
+
+#include "common/logging.h"
+
+namespace tvmbo::tuners {
+
+Tuner::Tuner(const cs::ConfigurationSpace* space, std::uint64_t seed)
+    : space_(space), rng_(seed) {
+  TVMBO_CHECK(space_ != nullptr) << "tuner requires a configuration space";
+  TVMBO_CHECK_GT(space_->num_params(), 0u)
+      << "tuner requires a non-empty space";
+}
+
+void Tuner::update(std::span<const Trial> trials) {
+  for (const Trial& trial : trials) {
+    history_.push_back(trial);
+    if (trial.valid &&
+        (best_index_ == SIZE_MAX ||
+         trial.runtime_s < history_[best_index_].runtime_s)) {
+      best_index_ = history_.size() - 1;
+    }
+  }
+}
+
+bool Tuner::has_next() const {
+  // Discrete spaces are exhausted once every configuration was proposed.
+  if (space_->fully_discrete()) {
+    return num_visited() < space_->cardinality();
+  }
+  return true;
+}
+
+const Trial* Tuner::best() const {
+  if (best_index_ == SIZE_MAX) return nullptr;
+  return &history_[best_index_];
+}
+
+bool Tuner::mark_visited(const cs::Configuration& config) {
+  return visited_.insert(config.hash()).second;
+}
+
+bool Tuner::is_visited(const cs::Configuration& config) const {
+  return visited_.contains(config.hash());
+}
+
+}  // namespace tvmbo::tuners

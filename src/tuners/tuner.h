@@ -1,0 +1,65 @@
+// AutoTVM-style tuner interface.
+//
+// AutoTVM tuners are batch-oriented: the driver asks for the next batch of
+// candidate configurations, measures them on the device, and feeds the
+// results back (tuner.update). The four concrete tuners mirror the paper's
+// §3 list: RandomTuner, GridSearchTuner, GATuner, XgbTuner.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "configspace/configspace.h"
+
+namespace tvmbo::tuners {
+
+/// One measured configuration fed back into a tuner.
+struct Trial {
+  cs::Configuration config;
+  double runtime_s = 0.0;
+  bool valid = true;
+};
+
+class Tuner {
+ public:
+  Tuner(const cs::ConfigurationSpace* space, std::uint64_t seed);
+  virtual ~Tuner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Proposes up to `n` configurations to measure next. May return fewer
+  /// when the tuner exhausts its candidates; empty means done.
+  virtual std::vector<cs::Configuration> next_batch(std::size_t n) = 0;
+
+  /// Feeds back measured results (base implementation records history and
+  /// the best-so-far; subclasses extend).
+  virtual void update(std::span<const Trial> trials);
+
+  /// False once the tuner cannot propose any more configurations.
+  virtual bool has_next() const;
+
+  const std::vector<Trial>& history() const { return history_; }
+  /// Best valid trial so far (lowest runtime); nullptr when none.
+  const Trial* best() const;
+
+ protected:
+  /// Marks a configuration as proposed; returns false when it had already
+  /// been proposed (dedup across batches).
+  bool mark_visited(const cs::Configuration& config);
+  bool is_visited(const cs::Configuration& config) const;
+  std::uint64_t num_visited() const { return visited_.size(); }
+
+  const cs::ConfigurationSpace* space_;
+  Rng rng_;
+  std::vector<Trial> history_;
+
+ private:
+  std::unordered_set<std::uint64_t> visited_;  // Configuration::hash values
+  std::size_t best_index_ = SIZE_MAX;
+};
+
+}  // namespace tvmbo::tuners

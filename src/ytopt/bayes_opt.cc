@@ -1,0 +1,192 @@
+#include "ytopt/bayes_opt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tvmbo::ytopt {
+
+BayesianOptimizer::BayesianOptimizer(const cs::ConfigurationSpace* space,
+                                     std::uint64_t seed, BoOptions options)
+    : Tuner(space, seed), options_(options), encoder_(space),
+      forest_(options.forest) {
+  TVMBO_CHECK_GT(options_.initial_points, 0u)
+      << "initial design must have at least one point";
+  TVMBO_CHECK_GT(options_.candidates_per_iteration, 0u)
+      << "candidate pool must be non-empty";
+  TVMBO_CHECK(options_.local_fraction >= 0.0 &&
+              options_.local_fraction <= 1.0)
+      << "local_fraction must be in [0, 1]";
+}
+
+cs::Configuration BayesianOptimizer::sample_unvisited() {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    cs::Configuration config = space_->sample(rng_);
+    if (!is_visited(config)) return config;
+  }
+  // Near-exhausted small space: sweep for any leftover configuration.
+  if (space_->fully_discrete()) {
+    for (std::uint64_t flat = 0; flat < space_->cardinality(); ++flat) {
+      cs::Configuration config = space_->from_flat_index(flat);
+      if (!is_visited(config)) return config;
+    }
+  }
+  return space_->sample(rng_);
+}
+
+void BayesianOptimizer::refit() {
+  surrogate::Dataset data;
+  double worst = 0.0;
+  for (const tuners::Trial& trial : history_) {
+    if (trial.valid) worst = std::max(worst, trial.runtime_s);
+  }
+  for (const tuners::Trial& trial : history_) {
+    // Failed measurements are informative: penalize, don't discard
+    // (skopt-style imputation with a value worse than anything seen).
+    const double runtime =
+        trial.valid && trial.runtime_s > 0.0 ? trial.runtime_s
+                                             : std::max(worst * 2.0, 1.0);
+    data.add(encoder_.encode(trial.config), std::log(runtime));
+  }
+  if (data.size() < 2) return;
+  forest_.fit(data, rng_);
+  fitted_on_ = history_.size();
+}
+
+surrogate::Prediction BayesianOptimizer::predict(
+    const cs::Configuration& config) const {
+  TVMBO_CHECK(forest_.fitted()) << "surrogate not fitted yet";
+  surrogate::Prediction log_pred =
+      forest_.predict_with_std(encoder_.encode(config));
+  // Report in seconds: exp(mean) with the std scaled by the derivative
+  // (first-order delta method).
+  surrogate::Prediction out;
+  out.mean = std::exp(log_pred.mean);
+  out.std = out.mean * log_pred.std;
+  return out;
+}
+
+double BayesianOptimizer::acquisition(
+    const cs::Configuration& config) const {
+  TVMBO_CHECK(forest_.fitted()) << "surrogate not fitted yet";
+  const surrogate::Prediction pred =
+      forest_.predict_with_std(encoder_.encode(config));
+  return pred.mean - options_.kappa * pred.std;
+}
+
+cs::Configuration BayesianOptimizer::ask() {
+  std::vector<cs::Configuration> batch = propose(1);
+  TVMBO_CHECK(!batch.empty()) << "search space exhausted";
+  return batch[0];
+}
+
+std::vector<cs::Configuration> BayesianOptimizer::propose(std::size_t n) {
+  TVMBO_CHECK_GT(n, 0u) << "propose of zero configurations";
+  std::vector<cs::Configuration> batch;
+
+  // Warmup phase (or surrogate unavailable): random design.
+  auto random_fill = [&] {
+    while (batch.size() < n) {
+      if (space_->fully_discrete() &&
+          num_visited() >= space_->cardinality()) {
+        break;
+      }
+      cs::Configuration config = sample_unvisited();
+      if (mark_visited(config)) batch.push_back(std::move(config));
+    }
+  };
+  if (history_.size() < options_.initial_points || history_.size() < 2) {
+    random_fill();
+    return batch;
+  }
+  if (!forest_.fitted() ||
+      history_.size() >= fitted_on_ + options_.refit_interval) {
+    refit();
+  }
+  if (!forest_.fitted()) {
+    random_fill();
+    return batch;
+  }
+
+  // Candidate pool: mostly uniform exploration, plus neighbours of the
+  // best configurations seen (local exploitation).
+  std::vector<cs::Configuration> candidates;
+  candidates.reserve(options_.candidates_per_iteration);
+  const auto num_local = static_cast<std::size_t>(
+      options_.local_fraction *
+      static_cast<double>(options_.candidates_per_iteration));
+
+  std::vector<const tuners::Trial*> ranked;
+  for (const tuners::Trial& trial : history_) {
+    if (trial.valid) ranked.push_back(&trial);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const tuners::Trial* a, const tuners::Trial* b) {
+              return a->runtime_s < b->runtime_s;
+            });
+  const std::size_t seeds = std::min(options_.local_seeds, ranked.size());
+  for (std::size_t i = 0; i < num_local && seeds > 0; ++i) {
+    const cs::Configuration& seed_config = ranked[i % seeds]->config;
+    cs::Configuration candidate = space_->neighbor(seed_config, rng_);
+    // A couple of extra hops diversify the local cloud.
+    if (rng_.bernoulli(0.5)) candidate = space_->neighbor(candidate, rng_);
+    if (!is_visited(candidate)) candidates.push_back(std::move(candidate));
+  }
+  while (candidates.size() < options_.candidates_per_iteration) {
+    cs::Configuration candidate = space_->sample(rng_);
+    if (!is_visited(candidate)) {
+      candidates.push_back(std::move(candidate));
+    } else if (space_->fully_discrete() &&
+               num_visited() >= space_->cardinality()) {
+      break;
+    }
+  }
+  if (candidates.empty()) {
+    random_fill();
+    return batch;
+  }
+
+  // qLCB: rank the whole pool by the acquisition and take the n best
+  // distinct candidates (multi-point generalization of the single pick).
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const surrogate::Prediction pred =
+        forest_.predict_with_std(encoder_.encode(candidates[i]));
+    scored.emplace_back(pred.mean - options_.kappa * pred.std, i);
+  }
+  std::sort(scored.begin(), scored.end());
+  for (const auto& [lcb, index] : scored) {
+    if (batch.size() >= n) break;
+    cs::Configuration config = candidates[index];
+    if (mark_visited(config)) batch.push_back(std::move(config));
+  }
+  if (batch.size() < n) random_fill();
+  return batch;
+}
+
+std::vector<cs::Configuration> BayesianOptimizer::next_batch(
+    std::size_t n) {
+  if (n == 0 || !has_next()) return {};
+  return propose(n);
+}
+
+void BayesianOptimizer::tell(const cs::Configuration& config,
+                             double runtime_s, bool valid) {
+  tuners::Trial trial{config, runtime_s, valid};
+  Tuner::update({&trial, 1});
+}
+
+void BayesianOptimizer::update(std::span<const tuners::Trial> trials) {
+  Tuner::update(trials);
+}
+
+void BayesianOptimizer::warm_start(std::span<const tuners::Trial> prior) {
+  for (const tuners::Trial& trial : prior) {
+    mark_visited(trial.config);
+  }
+  Tuner::update(prior);
+}
+
+}  // namespace tvmbo::ytopt

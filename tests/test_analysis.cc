@@ -1,0 +1,139 @@
+#include "framework/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+
+namespace tvmbo::framework {
+namespace {
+
+SessionResult synthetic_result() {
+  SessionResult result;
+  result.strategy = "demo";
+  result.evaluations = 5;
+  result.total_time_s = 50.0;
+  const double runtimes[5] = {4.0, 3.0, 10.0, 2.0, 2.05};
+  for (int i = 0; i < 5; ++i) {
+    runtime::TrialRecord record;
+    record.eval_index = i;
+    record.strategy = "demo";
+    record.workload_id = "lu/large[2000]";
+    record.tiles = {400, 50};
+    record.runtime_s = runtimes[i];
+    record.elapsed_s = 10.0 * (i + 1);
+    record.valid = i != 2 ? true : true;  // all valid here
+    result.db.add(record);
+  }
+  result.best = result.db.best();
+  return result;
+}
+
+TEST(Analysis, SummaryStatistics) {
+  const StrategySummary s = summarize(synthetic_result());
+  EXPECT_EQ(s.strategy, "demo");
+  EXPECT_EQ(s.evaluations, 5u);
+  EXPECT_EQ(s.valid_evaluations, 5u);
+  EXPECT_DOUBLE_EQ(s.best_runtime_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.worst_runtime_s, 10.0);
+  EXPECT_DOUBLE_EQ(s.median_runtime_s, 3.0);
+  // Within 5% of the final best (2.1): first reached at evaluation 4.
+  EXPECT_EQ(s.evals_to_within_5pct, 4);
+  EXPECT_DOUBLE_EQ(s.time_to_best_s, 40.0);
+}
+
+TEST(Analysis, SummaryOfEmptyResult) {
+  SessionResult empty;
+  empty.strategy = "none";
+  const StrategySummary s = summarize(empty);
+  EXPECT_EQ(s.valid_evaluations, 0u);
+  EXPECT_EQ(s.evals_to_within_5pct, -1);
+}
+
+TEST(Analysis, SummaryIgnoresInvalidTrials) {
+  SessionResult result = synthetic_result();
+  runtime::TrialRecord bogus;
+  bogus.eval_index = 5;
+  bogus.strategy = "demo";
+  bogus.workload_id = "lu/large[2000]";
+  bogus.tiles = {1, 1};
+  bogus.runtime_s = 0.001;  // would be "best" if not invalid
+  bogus.valid = false;
+  result.db.add(bogus);
+  const StrategySummary s = summarize(result);
+  EXPECT_DOUBLE_EQ(s.best_runtime_s, 2.0);
+  EXPECT_EQ(s.valid_evaluations, 5u);
+}
+
+TEST(Analysis, EvaluationsToReach) {
+  const SessionResult result = synthetic_result();
+  EXPECT_EQ(evaluations_to_reach(result, 3.5), 2);
+  EXPECT_EQ(evaluations_to_reach(result, 2.0), 4);
+  EXPECT_EQ(evaluations_to_reach(result, 0.5), -1);
+}
+
+TEST(Analysis, SummaryTableHasOneRowPerStrategy) {
+  std::vector<SessionResult> results{synthetic_result(),
+                                     synthetic_result()};
+  results[1].strategy = "other";
+  const CsvTable table = summary_table(results);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.cell(1, "strategy"), "other");
+  EXPECT_EQ(table.cell(0, "best_s").substr(0, 6), "2.0000");
+}
+
+TEST(Analysis, AsciiScatterContainsLegendAndAxes) {
+  const std::vector<SessionResult> results{synthetic_result()};
+  const std::string plot = ascii_scatter(results);
+  EXPECT_NE(plot.find("legend: g=demo"), std::string::npos);
+  EXPECT_NE(plot.find("autotuning process time"), std::string::npos);
+  EXPECT_NE(plot.find("log scale"), std::string::npos);
+  // At least one data glyph landed on the canvas.
+  EXPECT_NE(plot.find('g'), std::string::npos);
+}
+
+TEST(Analysis, AsciiScatterEmptyInput) {
+  SessionResult empty;
+  empty.strategy = "none";
+  const std::string plot = ascii_scatter({empty});
+  EXPECT_NE(plot.find("no valid evaluations"), std::string::npos);
+}
+
+TEST(Analysis, AsciiScatterTooSmallCanvasThrows) {
+  const std::vector<SessionResult> results{synthetic_result()};
+  EXPECT_THROW(ascii_scatter(results, 5, 2), CheckError);
+}
+
+TEST(Analysis, EndToEndSummaryOrderingMatchesPaperShape) {
+  // On the real experiment, the summary's evals_to_5pct for ytopt must be
+  // well below the 100-eval budget (it converges), and grid search's best
+  // must be the worst of the five.
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice device(2023);
+  SessionOptions options;
+  options.max_evaluations = 100;
+  options.xgb_paper_eval_cap = 56;
+  AutotuningSession session(&task, &device, options);
+  const auto results = session.run_all();
+
+  double grid_best = 0.0;
+  std::vector<double> others;
+  for (const auto& result : results) {
+    const StrategySummary s = summarize(result);
+    EXPECT_GT(s.evals_to_within_5pct, 0) << result.strategy;
+    if (result.strategy == "autotvm-gridsearch") {
+      grid_best = s.best_runtime_s;
+    } else {
+      others.push_back(s.best_runtime_s);
+    }
+  }
+  int beaten = 0;
+  for (double other : others) {
+    if (other <= grid_best) ++beaten;
+  }
+  EXPECT_GE(beaten, 3);
+}
+
+}  // namespace
+}  // namespace tvmbo::framework

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "autoscheduler/evolutionary.h"
+#include "autoscheduler/sketch.h"
+#include "configspace/divisors.h"
+#include "kernels/polybench.h"
+#include "kernels/reference.h"
+#include "kernels/te_kernels.h"
+#include "te/interp.h"
+#include "tuners/random_tuner.h"
+
+namespace tvmbo::autoscheduler {
+namespace {
+
+TEST(Sketch, GemmSpaceDerivedFromExtents) {
+  const auto gemm = kernels::make_gemm(24, 36, 16);
+  SketchGenerator sketch({gemm.C});
+  ASSERT_EQ(sketch.stages().size(), 1u);
+  // y over divisors(24) = 8 values, x over divisors(36) = 9 values.
+  EXPECT_EQ(sketch.space().cardinality(), 72u);
+  EXPECT_EQ(sketch.space().param(0).name(), "S0_y");
+  EXPECT_EQ(sketch.space().param(1).name(), "S0_x");
+}
+
+TEST(Sketch, ThreeMmGeneratesSixParameters) {
+  const auto t = kernels::make_3mm(8, 9, 10, 11, 12);
+  SketchGenerator sketch({t.G});
+  EXPECT_EQ(sketch.stages().size(), 3u);
+  EXPECT_EQ(sketch.space().num_params(), 6u);
+  // Stage E is N x M = 8 x 10: y factors from divisors(8), x from
+  // divisors(10) — analysis of the computation, not a hand-written list.
+  EXPECT_EQ(sketch.space().param("S0_y").cardinality(),
+            cs::divisor_count(8));
+  EXPECT_EQ(sketch.space().param("S0_x").cardinality(),
+            cs::divisor_count(10));
+}
+
+TEST(Sketch, AutoSpaceMatchesPaperCardinalityButNotAssignment) {
+  // The paper's handmade 3mm space assigns each stage's split the divisor
+  // set of a *different* matrix extent; the analyzed space uses each
+  // stage's own extents. The per-parameter domains therefore differ, but
+  // the total cardinality coincides (the divisor-count multiset is just
+  // permuted: 20*21*36*20*36*21 = 21*20*20*36*21*36).
+  const auto dims = kernels::polybench_dims(
+      "3mm", kernels::Dataset::kExtraLarge);
+  const auto t = kernels::make_3mm(dims[0], dims[1], dims[2], dims[3],
+                                   dims[4]);
+  SketchGenerator sketch({t.G});
+  const auto handmade = kernels::build_space("3mm", dims);
+  EXPECT_EQ(handmade.cardinality(), 228614400u);
+  EXPECT_EQ(sketch.space().cardinality(),
+            cs::divisor_count(1600) * cs::divisor_count(2000) *
+                cs::divisor_count(2000) * cs::divisor_count(2400) *
+                cs::divisor_count(1600) * cs::divisor_count(2400));
+}
+
+TEST(Sketch, AppliedScheduleComputesCorrectValues) {
+  const auto t = kernels::make_3mm(6, 7, 8, 5, 4);
+  SketchGenerator sketch({t.G});
+  runtime::NDArray a({6, 7}), b({7, 8}), c({8, 5}), d({5, 4});
+  kernels::init_3mm(a, b, c, d);
+  runtime::NDArray e({6, 8}), f({8, 4}), expected({6, 4});
+  kernels::ref_3mm(a, b, c, d, e, f, expected);
+
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const cs::Configuration config = sketch.space().sample(rng);
+    te::Schedule sched = sketch.apply(config);
+    runtime::NDArray g({6, 4});
+    te::run_schedule(sched,
+                     {{t.A, &a}, {t.B, &b}, {t.C, &c}, {t.D, &d},
+                      {t.G, &g}});
+    EXPECT_TRUE(g.allclose(expected, 1e-10))
+        << sketch.space().to_string(config);
+  }
+}
+
+TEST(Sketch, TilesInStageOrder) {
+  const auto gemm = kernels::make_gemm(8, 8, 8);
+  SketchGenerator sketch({gemm.C});
+  cs::Configuration config = sketch.space().default_configuration();
+  config.set_index(0, 2);  // divisors(8)[2] == 4
+  config.set_index(1, 1);  // divisors(8)[1] == 2
+  EXPECT_EQ(sketch.tiles(config), (std::vector<std::int64_t>{4, 2}));
+}
+
+TEST(Sketch, RejectsNonReductionDag) {
+  auto a = te::placeholder({4, 4}, "A");
+  auto b = te::compute({4, 4}, "B", [&](const std::vector<te::Var>& i) {
+    return te::access(a, {i[0], i[1]}) + te::make_float(1.0);
+  });
+  EXPECT_THROW(SketchGenerator({b}), CheckError);
+}
+
+// --- evolutionary search ----------------------------------------------------
+
+cs::ConfigurationSpace synthetic_space() {
+  cs::ConfigurationSpace space;
+  space.add(cs::tile_factor_param("P0", 2000));
+  space.add(cs::tile_factor_param("P1", 2000));
+  return space;
+}
+
+double synthetic_runtime(const cs::Configuration& config) {
+  const double i0 = static_cast<double>(config.index(0));
+  const double i1 = static_cast<double>(config.index(1));
+  return 1.0 + 0.01 * ((i0 - 16.0) * (i0 - 16.0) +
+                       (i1 - 9.0) * (i1 - 9.0));
+}
+
+double drive(tuners::Tuner& tuner, std::size_t budget) {
+  std::size_t evals = 0;
+  while (evals < budget && tuner.has_next()) {
+    const auto batch = tuner.next_batch(std::min<std::size_t>(
+        8, budget - evals));
+    if (batch.empty()) break;
+    std::vector<tuners::Trial> trials;
+    for (const auto& config : batch) {
+      trials.push_back({config, synthetic_runtime(config), true});
+    }
+    tuner.update(trials);
+    evals += trials.size();
+  }
+  return tuner.best()->runtime_s;
+}
+
+TEST(Evolutionary, WarmupThenModel) {
+  const auto space = synthetic_space();
+  EvolutionarySearch evo(&space, 1);
+  EXPECT_FALSE(evo.model_ready());
+  drive(evo, 40);
+  EXPECT_TRUE(evo.model_ready());
+}
+
+TEST(Evolutionary, NoDuplicateProposals) {
+  const auto space = synthetic_space();
+  EvolutionarySearch evo(&space, 2);
+  std::set<std::uint64_t> seen;
+  for (int round = 0; round < 12; ++round) {
+    const auto batch = evo.next_batch(8);
+    std::vector<tuners::Trial> trials;
+    for (const auto& config : batch) {
+      EXPECT_TRUE(seen.insert(config.hash()).second);
+      trials.push_back({config, synthetic_runtime(config), true});
+    }
+    evo.update(trials);
+  }
+}
+
+TEST(Evolutionary, ConvergesNearOptimum) {
+  const auto space = synthetic_space();
+  EvolutionarySearch evo(&space, 3);
+  const double best = drive(evo, 96);
+  EXPECT_LT(best, 1.10);  // optimum is 1.0
+}
+
+TEST(Evolutionary, CompetitiveWithRandomAtEqualBudget) {
+  const auto space = synthetic_space();
+  double evo_total = 0.0, random_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    EvolutionarySearch evo(&space, seed);
+    evo_total += drive(evo, 64);
+    tuners::RandomTuner random(&space, seed);
+    random_total += drive(random, 64);
+  }
+  EXPECT_LE(evo_total, random_total + 0.05);
+}
+
+TEST(Evolutionary, InvalidOptionsThrow) {
+  const auto space = synthetic_space();
+  EvoOptions bad;
+  bad.population = 1;
+  EXPECT_THROW(EvolutionarySearch(&space, 1, bad), CheckError);
+  EvoOptions bad2;
+  bad2.random_fraction = 2.0;
+  EXPECT_THROW(EvolutionarySearch(&space, 1, bad2), CheckError);
+}
+
+}  // namespace
+}  // namespace tvmbo::autoscheduler

@@ -1,0 +1,107 @@
+#include "autotvm/autotvm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace tvmbo::autotvm {
+namespace {
+
+ConfigEntity paper_knobs() {
+  ConfigEntity cfg;
+  cfg.define_knob("tile_y", {1, 2, 4, 5, 8, 10, 16, 20, 25, 40, 50, 80,
+                             100, 125, 200, 250, 400, 500, 1000, 2000});
+  cfg.define_knob("tile_x", {1, 2, 4, 5, 8, 10, 16, 20, 25, 40, 50, 80,
+                             100, 125, 200, 250, 400, 500, 1000, 2000});
+  return cfg;
+}
+
+TEST(ConfigEntity, KnobSpaceMatchesDefinitions) {
+  const ConfigEntity cfg = paper_knobs();
+  EXPECT_EQ(cfg.num_knobs(), 2u);
+  EXPECT_EQ(cfg.space().cardinality(), 400u);
+}
+
+TEST(ConfigEntity, ValReadsBoundConfiguration) {
+  ConfigEntity cfg = paper_knobs();
+  cs::Configuration config = cfg.space().default_configuration();
+  config.set_index(0, 16);  // 400
+  config.set_index(1, 10);   // 50
+  cfg.bind(config);
+  EXPECT_EQ(cfg.val("tile_y"), 400);
+  EXPECT_EQ(cfg.val("tile_x"), 50);
+  EXPECT_EQ(cfg.values(), (std::vector<std::int64_t>{400, 50}));
+}
+
+TEST(ConfigEntity, ValBeforeBindThrows) {
+  ConfigEntity cfg = paper_knobs();
+  EXPECT_THROW(cfg.val("tile_y"), CheckError);
+}
+
+TEST(ConfigEntity, DefineAfterBindThrows) {
+  ConfigEntity cfg = paper_knobs();
+  cfg.bind(cfg.space().default_configuration());
+  EXPECT_THROW(cfg.define_knob("late", {1, 2}), CheckError);
+}
+
+TEST(ConfigEntity, EmptyCandidatesThrow) {
+  ConfigEntity cfg;
+  EXPECT_THROW(cfg.define_knob("empty", {}), CheckError);
+}
+
+TEST(Task, MeasureInputUsesInstantiateWhenPresent) {
+  Task task;
+  task.name = "demo";
+  task.workload.kernel = "lu";
+  task.workload.size_name = "mini";
+  task.workload.dims = {8};
+  task.config.define_knob("tile_y", {1, 2, 4, 8});
+  task.config.define_knob("tile_x", {1, 2, 4, 8});
+  std::vector<std::int64_t> captured;
+  task.instantiate = [&](const std::vector<std::int64_t>& knobs) {
+    captured = knobs;
+    runtime::MeasureInput input;
+    input.workload = task.workload;
+    input.tiles = knobs;
+    input.run = [] {};
+    return input;
+  };
+  cs::Configuration config = task.config.space().default_configuration();
+  config.set_index(0, 3);
+  config.set_index(1, 1);
+  const runtime::MeasureInput input = task.measure_input(config);
+  EXPECT_EQ(captured, (std::vector<std::int64_t>{8, 2}));
+  EXPECT_EQ(input.tiles, captured);
+}
+
+TEST(TunerFactory, CreatesAllFourTuners) {
+  const ConfigEntity cfg = paper_knobs();
+  for (TunerType type : {TunerType::kRandom, TunerType::kGridSearch,
+                         TunerType::kGa, TunerType::kXgb}) {
+    auto tuner = create_tuner(type, &cfg.space(), 1);
+    ASSERT_NE(tuner, nullptr);
+    EXPECT_EQ(tuner->name(), tuner_type_name(type));
+    EXPECT_TRUE(tuner->has_next());
+    EXPECT_FALSE(tuner->next_batch(4).empty());
+  }
+}
+
+TEST(TunerFactory, XgbQuirkFlagPropagates) {
+  const ConfigEntity cfg = paper_knobs();
+  TunerFactoryOptions options;
+  options.xgb_paper_eval_cap = 56;
+  auto tuner = create_tuner(TunerType::kXgb, &cfg.space(), 1, options);
+  std::size_t total = 0;
+  while (tuner->has_next()) {
+    const auto batch = tuner->next_batch(10);
+    if (batch.empty()) break;
+    std::vector<tuners::Trial> trials;
+    for (const auto& config : batch) trials.push_back({config, 1.0, true});
+    tuner->update(trials);
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 56u);
+}
+
+}  // namespace
+}  // namespace tvmbo::autotvm

@@ -1,0 +1,109 @@
+#include "runtime/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace tvmbo::runtime {
+namespace {
+
+TEST(NDArray, AllocatesZeroInitialized) {
+  NDArray a({3, 4});
+  EXPECT_EQ(a.num_elements(), 12);
+  for (double v : a.f64()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(NDArray, RowMajorLayout) {
+  NDArray a({2, 3});
+  a.set2(1, 2, 7.5);
+  EXPECT_DOUBLE_EQ(a.f64()[5], 7.5);
+  a.set2(0, 1, -1.0);
+  EXPECT_DOUBLE_EQ(a.f64()[1], -1.0);
+}
+
+TEST(NDArray, MultiDimIndexing) {
+  NDArray a({2, 3, 4});
+  const std::int64_t idx[3] = {1, 2, 3};
+  a.write(idx, 9.0);
+  EXPECT_DOUBLE_EQ(a.read(idx), 9.0);
+  EXPECT_DOUBLE_EQ(a.f64()[1 * 12 + 2 * 4 + 3], 9.0);
+}
+
+TEST(NDArray, OutOfBoundsThrows) {
+  NDArray a({2, 2});
+  const std::int64_t bad[2] = {2, 0};
+  EXPECT_THROW(a.read(bad), tvmbo::CheckError);
+  const std::int64_t wrong_rank[1] = {0};
+  EXPECT_THROW(a.read(wrong_rank), tvmbo::CheckError);
+}
+
+TEST(NDArray, NonPositiveExtentThrows) {
+  EXPECT_THROW(NDArray({0, 3}), tvmbo::CheckError);
+  EXPECT_THROW(NDArray({-1}), tvmbo::CheckError);
+}
+
+TEST(NDArray, CopyIsDeep) {
+  NDArray a({2, 2});
+  a.set2(0, 0, 1.0);
+  NDArray b = a;
+  b.set2(0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(a.at2(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(b.at2(0, 0), 2.0);
+}
+
+TEST(NDArray, CopyAssignReplacesContents) {
+  NDArray a({2, 2});
+  a.fill(3.0);
+  NDArray b({2, 2});
+  b = a;
+  EXPECT_DOUBLE_EQ(b.at2(1, 1), 3.0);
+}
+
+TEST(NDArray, FillAndAllclose) {
+  NDArray a({4, 4});
+  NDArray b({4, 4});
+  a.fill(1.5);
+  b.fill(1.5);
+  EXPECT_TRUE(a.allclose(b));
+  b.set2(2, 2, 1.5 + 1e-6);
+  EXPECT_FALSE(a.allclose(b, 1e-9));
+  EXPECT_TRUE(a.allclose(b, 1e-3));
+}
+
+TEST(NDArray, MaxAbsDiff) {
+  NDArray a({2, 2});
+  NDArray b({2, 2});
+  b.set2(1, 0, -4.0);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 4.0);
+}
+
+TEST(NDArray, AllcloseShapeMismatchIsFalse) {
+  NDArray a({2, 2});
+  NDArray b({2, 3});
+  EXPECT_FALSE(a.allclose(b));
+}
+
+TEST(NDArray, Float32Storage) {
+  NDArray a({2, 2}, DType::kFloat32);
+  a.set2(0, 1, 1.25);
+  EXPECT_FLOAT_EQ(a.f32()[1], 1.25f);
+  EXPECT_DOUBLE_EQ(a.at2(0, 1), 1.25);
+  EXPECT_THROW(a.f64(), tvmbo::CheckError);
+}
+
+TEST(NDArray, AlignedBasePointer) {
+  NDArray a({7});
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.f64().data()) % 64, 0u);
+}
+
+TEST(NDArray, DtypeHelpers) {
+  EXPECT_EQ(dtype_bytes(DType::kFloat32), 4u);
+  EXPECT_EQ(dtype_bytes(DType::kFloat64), 8u);
+  EXPECT_EQ(dtype_name(DType::kFloat32), "float32");
+  EXPECT_EQ(dtype_name(DType::kFloat64), "float64");
+}
+
+}  // namespace
+}  // namespace tvmbo::runtime

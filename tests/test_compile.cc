@@ -1,0 +1,187 @@
+// Closure-compilation backend: must agree exactly with the interpreter on
+// every kernel and schedule shape, and be reusable across runs.
+#include <gtest/gtest.h>
+
+#include "kernels/reference.h"
+#include "kernels/te_kernels.h"
+#include "te/compile.h"
+#include "te/interp.h"
+#include "te/loop_transform.h"
+
+namespace tvmbo::te {
+namespace {
+
+using runtime::NDArray;
+
+TEST(Compile, MatmulMatchesInterpreter) {
+  kernels::GemmTensors t = kernels::make_gemm(9, 7, 11);
+  NDArray a({9, 11}), b({11, 7});
+  kernels::init_gemm(a, b);
+  Schedule sched = kernels::schedule_gemm(t, 4, 3);
+  const Stmt program = lower(sched);
+
+  NDArray via_interp({9, 7});
+  Interpreter interp;
+  interp.bind(t.A, &a);
+  interp.bind(t.B, &b);
+  interp.bind(t.C, &via_interp);
+  interp.run(program);
+
+  NDArray via_compile({9, 7});
+  const CompiledProgram compiled = CompiledProgram::compile(
+      program, {{t.A, &a}, {t.B, &b}, {t.C, &via_compile}});
+  compiled.run();
+  EXPECT_TRUE(via_compile.allclose(via_interp, 0.0));  // bit-identical
+}
+
+TEST(Compile, ThreeMmWithRealizeMatchesReference) {
+  const std::int64_t n = 6, l = 7, m = 8, o = 5, p = 4;
+  kernels::ThreeMmTensors t = kernels::make_3mm(n, l, m, o, p);
+  NDArray a({n, l}), b({l, m}), c({m, o}), d({o, p});
+  kernels::init_3mm(a, b, c, d);
+  NDArray e({n, m}), f({m, p}), expected({n, p});
+  kernels::ref_3mm(a, b, c, d, e, f, expected);
+
+  const std::int64_t tiles[6] = {3, 5, 7, 3, 2, 3};
+  Schedule sched = kernels::schedule_3mm(t, tiles);
+  const Stmt program = lower(sched);
+  NDArray g({n, p});
+  const CompiledProgram compiled = CompiledProgram::compile(
+      program, {{t.A, &a}, {t.B, &b}, {t.C, &c}, {t.D, &d}, {t.G, &g}});
+  compiled.run();
+  EXPECT_TRUE(g.allclose(expected, 1e-10));
+}
+
+TEST(Compile, CompiledProgramIsReusable) {
+  kernels::GemmTensors t = kernels::make_gemm(6, 6, 6);
+  NDArray a({6, 6}), b({6, 6}), c({6, 6});
+  kernels::init_gemm(a, b);
+  Schedule sched = kernels::schedule_gemm(t, 2, 3);
+  const CompiledProgram compiled = CompiledProgram::compile(
+      lower(sched), {{t.A, &a}, {t.B, &b}, {t.C, &c}});
+  compiled.run();
+  const NDArray first = c;
+  // Mutate an input; the second run must see the new values (the program
+  // binds buffers, not snapshots).
+  a.fill(1.0);
+  compiled.run();
+  EXPECT_FALSE(c.allclose(first, 1e-12));
+  NDArray expected({6, 6});
+  kernels::ref_matmul(a, b, expected);
+  EXPECT_TRUE(c.allclose(expected, 1e-12));
+}
+
+TEST(Compile, LuProgramWithGuardsMatchesReference) {
+  const std::int64_t n = 12;
+  Tensor a = placeholder({n, n}, "A");
+  kernels::FactorizationProgram lu = kernels::build_lu(a, n);
+  // Tile the update at the IR level first — exercises guards + splits.
+  Var io, ii, jo, ji;
+  Stmt tiled = split_loop(lu.stmt, lu.update_i, 5, &io, &ii);
+  tiled = split_loop(tiled, lu.update_j, 3, &jo, &ji);
+  tiled = interchange_loops(tiled, ii, jo);
+
+  NDArray work({n, n});
+  kernels::init_lu(work);
+  NDArray expected = work;
+  kernels::ref_lu(expected);
+
+  const CompiledProgram compiled =
+      CompiledProgram::compile(tiled, {{a, &work}});
+  compiled.run();
+  EXPECT_TRUE(work.allclose(expected, 1e-10));
+}
+
+TEST(Compile, CholeskyUsesSqrtClosure) {
+  const std::int64_t n = 10;
+  Tensor a = placeholder({n, n}, "A");
+  const Stmt program = kernels::build_cholesky_program(a, n);
+  NDArray work({n, n});
+  kernels::init_spd(work);
+  NDArray expected = work;
+  kernels::ref_cholesky(expected);
+  const CompiledProgram compiled =
+      CompiledProgram::compile(program, {{a, &work}});
+  compiled.run();
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j <= i; ++j)
+      EXPECT_NEAR(work.at2(i, j), expected.at2(i, j), 1e-10);
+}
+
+TEST(Compile, SyrkSelectPipelineMatchesReference) {
+  const std::int64_t n = 8, m = 6;
+  kernels::SyrkTensors t = kernels::make_syrk(n, m, 2.0, 3.0);
+  NDArray a({n, m}), cin({n, n});
+  kernels::init_syrk(a, cin);
+  NDArray expected = cin;
+  kernels::ref_syrk(a, expected, 2.0, 3.0);
+  Schedule sched = kernels::schedule_syrk(t, 4, 2);
+  NDArray out({n, n});
+  const CompiledProgram compiled = CompiledProgram::compile(
+      lower(sched), {{t.A, &a}, {t.Cin, &cin}, {t.Cout, &out}});
+  compiled.run();
+  EXPECT_TRUE(out.allclose(expected, 1e-10));
+}
+
+TEST(Compile, UnboundTensorThrows) {
+  kernels::GemmTensors t = kernels::make_gemm(4, 4, 4);
+  Schedule sched = kernels::schedule_gemm(t, 2, 2);
+  NDArray a({4, 4}), c({4, 4});
+  EXPECT_THROW(
+      CompiledProgram::compile(lower(sched), {{t.A, &a}, {t.C, &c}}),
+      CheckError);
+}
+
+TEST(Compile, Float32BufferRejected) {
+  Tensor a = placeholder({4}, "A");
+  Var i = make_var("i");
+  Stmt program = make_for(i, 4, ForKind::kSerial,
+                          make_store(a, {i}, make_float(1.0)));
+  NDArray f32({4}, runtime::DType::kFloat32);
+  EXPECT_THROW(CompiledProgram::compile(program, {{a, &f32}}), CheckError);
+}
+
+TEST(Compile, RegisterCountEqualsLoopDepth) {
+  kernels::GemmTensors t = kernels::make_gemm(8, 8, 8);
+  Schedule sched = kernels::schedule_gemm(t, 4, 2);
+  NDArray a({8, 8}), b({8, 8}), c({8, 8});
+  const CompiledProgram compiled = CompiledProgram::compile(
+      lower(sched), {{t.A, &a}, {t.B, &b}, {t.C, &c}});
+  EXPECT_EQ(compiled.num_registers(), 5u);  // yo,xo,k,yi,xi nest
+}
+
+class CompileVsInterpSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CompileVsInterpSweep, BitIdenticalAcrossTilePairs) {
+  const auto [ty, tx] = GetParam();
+  kernels::GemmTensors t = kernels::make_gemm(12, 10, 7);
+  NDArray a({12, 7}), b({7, 10});
+  kernels::init_gemm(a, b);
+  Schedule sched = kernels::schedule_gemm(t, ty, tx);
+  const Stmt program = lower(sched);
+
+  NDArray via_interp({12, 10});
+  Interpreter interp;
+  interp.bind(t.A, &a);
+  interp.bind(t.B, &b);
+  interp.bind(t.C, &via_interp);
+  interp.run(program);
+
+  NDArray via_compile({12, 10});
+  CompiledProgram::compile(program,
+                           {{t.A, &a}, {t.B, &b}, {t.C, &via_compile}})
+      .run();
+  EXPECT_TRUE(via_compile.allclose(via_interp, 0.0))
+      << "ty=" << ty << " tx=" << tx;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiles, CompileVsInterpSweep,
+    ::testing::Values(std::pair<int, int>{1, 1}, std::pair<int, int>{3, 4},
+                      std::pair<int, int>{5, 3},
+                      std::pair<int, int>{12, 10},
+                      std::pair<int, int>{7, 7}));
+
+}  // namespace
+}  // namespace tvmbo::te

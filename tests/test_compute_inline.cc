@@ -1,0 +1,162 @@
+// compute_inline: inlined stages disappear from the lowered program (no
+// loops, no Realize) and their values are substituted into consumers.
+#include <gtest/gtest.h>
+
+#include "kernels/reference.h"
+#include "te/interp.h"
+#include "te/printer.h"
+
+namespace tvmbo::te {
+namespace {
+
+using runtime::NDArray;
+
+struct Pipeline {
+  Tensor a, scaled, shifted;
+
+  Pipeline() {
+    a = placeholder({4, 4}, "A");
+    scaled = compute({4, 4}, "scaled", [&](const std::vector<Var>& i) {
+      return access(a, {i[0], i[1]}) * make_float(2.0);
+    });
+    shifted = compute({4, 4}, "shifted", [&](const std::vector<Var>& i) {
+      return access(scaled, {i[0], i[1]}) + make_float(1.0);
+    });
+  }
+};
+
+TEST(ComputeInline, RemovesStageAndRealize) {
+  Pipeline fx;
+  Schedule sched({fx.shifted});
+  sched[fx.scaled].compute_inline();
+  const Stmt program = lower(sched);
+  EXPECT_EQ(count_stmts(program, StmtKind::kRealize), 0u);
+  EXPECT_EQ(count_stmts(program, StmtKind::kStore), 1u);
+  // The inlined multiply appears in the consumer's store.
+  EXPECT_NE(to_string(program).find("*2.0"), std::string::npos);
+}
+
+TEST(ComputeInline, ValuesUnchanged) {
+  Pipeline fx;
+  NDArray in({4, 4});
+  in.fill(3.0);
+
+  Schedule plain({fx.shifted});
+  NDArray out_plain({4, 4});
+  run_schedule(plain, {{fx.a, &in}, {fx.shifted, &out_plain}});
+
+  Schedule inlined({fx.shifted});
+  inlined[fx.scaled].compute_inline();
+  NDArray out_inlined({4, 4});
+  run_schedule(inlined, {{fx.a, &in}, {fx.shifted, &out_inlined}});
+
+  EXPECT_TRUE(out_plain.allclose(out_inlined));
+  EXPECT_DOUBLE_EQ(out_inlined.at2(0, 0), 7.0);  // 3*2 + 1
+}
+
+TEST(ComputeInline, ChainOfInlinedStagesCollapses) {
+  Tensor a = placeholder({4}, "A");
+  Tensor b = compute({4}, "B", [&](const std::vector<Var>& i) {
+    return access(a, {i[0]}) + make_float(1.0);
+  });
+  Tensor c = compute({4}, "C", [&](const std::vector<Var>& i) {
+    return access(b, {i[0]}) * make_float(3.0);
+  });
+  Tensor d = compute({4}, "D", [&](const std::vector<Var>& i) {
+    return access(c, {i[0]}) - make_float(2.0);
+  });
+  Schedule sched({d});
+  sched[b].compute_inline();
+  sched[c].compute_inline();
+  const Stmt program = lower(sched);
+  EXPECT_EQ(count_stmts(program, StmtKind::kStore), 1u);
+  NDArray in({4});
+  in.fill(5.0);
+  NDArray out({4});
+  Interpreter interp;
+  interp.bind(a, &in);
+  interp.bind(d, &out);
+  interp.run(program);
+  for (double v : out.f64()) EXPECT_DOUBLE_EQ(v, (5.0 + 1.0) * 3.0 - 2.0);
+}
+
+TEST(ComputeInline, InlineIntoReductionConsumer) {
+  // B = A + 1 inlined into a matmul-like reduction over B.
+  Tensor a = placeholder({3, 5}, "A");
+  Tensor b = compute({3, 5}, "B", [&](const std::vector<Var>& i) {
+    return access(a, {i[0], i[1]}) + make_float(1.0);
+  });
+  IterVar k = reduce_axis(5, "k");
+  Tensor c = compute(
+      {3}, "C",
+      [&](const std::vector<Var>& i) {
+        return sum(access(b, {i[0], k->var}), {k->var});
+      },
+      {k});
+  Schedule sched({c});
+  sched[b].compute_inline();
+  NDArray in({3, 5});
+  in.fill(2.0);
+  NDArray out({3});
+  run_schedule(sched, {{a, &in}, {c, &out}});
+  for (double v : out.f64()) EXPECT_DOUBLE_EQ(v, 5.0 * 3.0);  // 5*(2+1)
+}
+
+TEST(ComputeInline, IndexExpressionsSubstituteCorrectly) {
+  // The consumer reads the producer transposed; indices must follow.
+  Tensor a = placeholder({3, 4}, "A");
+  Tensor b = compute({3, 4}, "B", [&](const std::vector<Var>& i) {
+    return access(a, {i[0], i[1]}) * make_float(10.0);
+  });
+  Tensor c = compute({4, 3}, "C", [&](const std::vector<Var>& i) {
+    return access(b, {i[1], i[0]});  // transpose read
+  });
+  Schedule sched({c});
+  sched[b].compute_inline();
+  NDArray in({3, 4});
+  for (std::int64_t i = 0; i < 3; ++i)
+    for (std::int64_t j = 0; j < 4; ++j)
+      in.set2(i, j, static_cast<double>(10 * i + j));
+  NDArray out({4, 3});
+  run_schedule(sched, {{a, &in}, {c, &out}});
+  for (std::int64_t i = 0; i < 4; ++i)
+    for (std::int64_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(out.at2(i, j), 10.0 * (10 * j + i));
+}
+
+TEST(ComputeInline, RejectsReductionStage) {
+  Tensor a = placeholder({4}, "A");
+  IterVar k = reduce_axis(4, "k");
+  Tensor s = compute(
+      {1}, "S",
+      [&](const std::vector<Var>&) {
+        return sum(access(a, {k->var}), {k->var});
+      },
+      {k});
+  Tensor c = compute({1}, "C", [&](const std::vector<Var>& i) {
+    return access(s, {i[0]}) * make_float(2.0);
+  });
+  Schedule sched({c});
+  EXPECT_THROW(sched[s].compute_inline(), CheckError);
+}
+
+TEST(ComputeInline, RejectsInliningOutput) {
+  Pipeline fx;
+  Schedule sched({fx.shifted});
+  sched[fx.shifted].compute_inline();
+  EXPECT_THROW(lower(sched), CheckError);
+}
+
+TEST(ComputeInline, InlinedProducerKeepsOwnSchedulesIrrelevant) {
+  // Splitting an inlined stage has no effect on the lowered program.
+  Pipeline fx;
+  Schedule sched({fx.shifted});
+  Stage& stage = sched[fx.scaled];
+  stage.split(stage.op_axis()[0], 2);
+  stage.compute_inline();
+  const Stmt program = lower(sched);
+  EXPECT_EQ(count_stmts(program, StmtKind::kFor), 2u);  // consumer only
+}
+
+}  // namespace
+}  // namespace tvmbo::te

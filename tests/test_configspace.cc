@@ -1,0 +1,198 @@
+#include "configspace/configspace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "configspace/divisors.h"
+
+namespace tvmbo::cs {
+namespace {
+
+ConfigurationSpace paper_lu_space() {
+  // Two tile factors over divisors(2000) — the paper's LU-large space.
+  ConfigurationSpace space;
+  space.add(tile_factor_param("P0", 2000));
+  space.add(tile_factor_param("P1", 2000));
+  return space;
+}
+
+TEST(Divisors, KnownSets) {
+  EXPECT_EQ(divisors(12),
+            (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(divisor_count(2000), 20u);   // paper LU-large per-param
+  EXPECT_EQ(divisor_count(4000), 24u);   // paper LU-extralarge per-param
+  EXPECT_EQ(divisor_count(1600), 21u);
+  EXPECT_EQ(divisor_count(2400), 36u);
+}
+
+TEST(Divisors, SortedAndDividing) {
+  const auto set = divisors(2400);
+  for (std::size_t i = 1; i < set.size(); ++i) {
+    EXPECT_LT(set[i - 1], set[i]);
+  }
+  for (std::int64_t d : set) EXPECT_EQ(2400 % d, 0);
+}
+
+TEST(Divisors, NonPositiveThrows) {
+  EXPECT_THROW(divisors(0), CheckError);
+  EXPECT_THROW(divisors(-4), CheckError);
+}
+
+TEST(ConfigSpace, CardinalityIsProduct) {
+  const ConfigurationSpace space = paper_lu_space();
+  EXPECT_EQ(space.cardinality(), 400u);  // Table 1: LU large
+}
+
+TEST(ConfigSpace, DuplicateNameThrows) {
+  ConfigurationSpace space;
+  space.add(tile_factor_param("P0", 8));
+  EXPECT_THROW(space.add(tile_factor_param("P0", 8)), CheckError);
+}
+
+TEST(ConfigSpace, FlatIndexRoundTrip) {
+  const ConfigurationSpace space = paper_lu_space();
+  for (std::uint64_t flat : {0u, 1u, 19u, 20u, 399u}) {
+    const Configuration config = space.from_flat_index(flat);
+    EXPECT_EQ(space.to_flat_index(config), flat);
+  }
+  EXPECT_THROW(space.from_flat_index(400), CheckError);
+}
+
+TEST(ConfigSpace, FlatIndexFirstParamMostSignificant) {
+  const ConfigurationSpace space = paper_lu_space();
+  const Configuration config = space.from_flat_index(20);  // = 1*20 + 0
+  EXPECT_EQ(config.index(0), 1);
+  EXPECT_EQ(config.index(1), 0);
+}
+
+TEST(ConfigSpace, ValuesMapIndicesToTileSizes) {
+  const ConfigurationSpace space = paper_lu_space();
+  Configuration config = space.default_configuration();
+  config.set_index(0, 16);  // divisors(2000)[16] == 400
+  config.set_index(1, 10);  // divisors(2000)[10] == 50
+  EXPECT_EQ(space.values_int(config),
+            (std::vector<std::int64_t>{400, 50}));
+}
+
+TEST(ConfigSpace, SamplingIsUniformish) {
+  const ConfigurationSpace space = paper_lu_space();
+  Rng rng(5);
+  std::map<std::int64_t, int> histogram;
+  for (int i = 0; i < 20000; ++i) {
+    histogram[space.sample(rng).index(0)]++;
+  }
+  EXPECT_EQ(histogram.size(), 20u);
+  for (const auto& [index, count] : histogram) {
+    EXPECT_NEAR(count, 1000, 150);
+  }
+}
+
+TEST(ConfigSpace, NeighborChangesExactlyOneParam) {
+  const ConfigurationSpace space = paper_lu_space();
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Configuration config = space.sample(rng);
+    const Configuration moved = space.neighbor(config, rng);
+    int changed = 0;
+    for (std::size_t p = 0; p < space.num_params(); ++p) {
+      if (config.index(p) != moved.index(p)) ++changed;
+    }
+    EXPECT_EQ(changed, 1);
+  }
+}
+
+TEST(ConfigSpace, NeighborOrdinalMovesOneStep) {
+  const ConfigurationSpace space = paper_lu_space();
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Configuration config = space.sample(rng);
+    const Configuration moved = space.neighbor(config, rng);
+    for (std::size_t p = 0; p < space.num_params(); ++p) {
+      const std::int64_t delta =
+          std::abs(moved.index(p) - config.index(p));
+      EXPECT_LE(delta, 2);  // 1 normally, 2 only via edge reflection
+    }
+  }
+}
+
+TEST(ConfigSpace, CategoricalParam) {
+  ConfigurationSpace space;
+  space.add(std::make_shared<CategoricalHyperparameter>(
+      "algo", std::vector<std::string>{"lu", "cholesky", "3mm"}));
+  EXPECT_EQ(space.cardinality(), 3u);
+  EXPECT_EQ(space.param("algo").str_at(1), "cholesky");
+  Rng rng(1);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(space.sample(rng).index(0));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ConfigSpace, IntegerParam) {
+  ConfigurationSpace space;
+  space.add(std::make_shared<UniformIntegerHyperparameter>("n", 3, 7));
+  EXPECT_EQ(space.cardinality(), 5u);
+  EXPECT_DOUBLE_EQ(space.param("n").value_at(0), 3.0);
+  EXPECT_DOUBLE_EQ(space.param("n").value_at(4), 7.0);
+}
+
+TEST(ConfigSpace, FloatParamMakesSpaceContinuous) {
+  ConfigurationSpace space;
+  space.add(tile_factor_param("P0", 8));
+  space.add(std::make_shared<UniformFloatHyperparameter>("lr", 0.0, 1.0));
+  EXPECT_FALSE(space.fully_discrete());
+  EXPECT_EQ(space.cardinality(), 4u);  // continuous params excluded
+  Rng rng(3);
+  const Configuration config = space.sample(rng);
+  EXPECT_GE(config.real(1), 0.0);
+  EXPECT_LE(config.real(1), 1.0);
+  EXPECT_THROW(space.from_flat_index(0), CheckError);
+}
+
+TEST(ConfigSpace, ConditionsDeactivateChildren) {
+  ConfigurationSpace space;
+  space.add(std::make_shared<CategoricalHyperparameter>(
+      "use_split", std::vector<std::string>{"no", "yes"}));
+  space.add(tile_factor_param("P0", 8));
+  space.add_condition("P0", "use_split", 1);
+  Configuration config = space.default_configuration();
+  config.set_index(0, 0);
+  EXPECT_FALSE(space.is_active(1, config));
+  config.set_index(0, 1);
+  EXPECT_TRUE(space.is_active(1, config));
+}
+
+TEST(ConfigSpace, ConditionParentMustPrecedeChild) {
+  ConfigurationSpace space;
+  space.add(tile_factor_param("P0", 8));
+  space.add(std::make_shared<CategoricalHyperparameter>(
+      "flag", std::vector<std::string>{"a", "b"}));
+  EXPECT_THROW(space.add_condition("P0", "flag", 0), CheckError);
+}
+
+TEST(ConfigSpace, ToStringShowsNamesAndValues) {
+  const ConfigurationSpace space = paper_lu_space();
+  Configuration config = space.default_configuration();
+  config.set_index(0, 16);
+  config.set_index(1, 10);
+  EXPECT_EQ(space.to_string(config), "P0=400, P1=50");
+}
+
+TEST(ConfigSpace, HashDistinguishesConfigs) {
+  const ConfigurationSpace space = paper_lu_space();
+  const Configuration a = space.from_flat_index(0);
+  const Configuration b = space.from_flat_index(1);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), space.from_flat_index(0).hash());
+}
+
+TEST(ConfigSpace, UnknownParamNameThrows) {
+  const ConfigurationSpace space = paper_lu_space();
+  EXPECT_THROW(space.param_index("nope"), CheckError);
+}
+
+}  // namespace
+}  // namespace tvmbo::cs

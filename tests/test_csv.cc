@@ -1,0 +1,86 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tvmbo {
+namespace {
+
+TEST(Csv, BasicSerialize) {
+  CsvTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  table.add_row({"x", "y"});
+  EXPECT_EQ(table.to_string(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  CsvTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), CheckError);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvTable table({"v"});
+  table.add_row({"with,comma"});
+  table.add_row({"with\"quote"});
+  table.add_row({"with\nnewline"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, ParseRoundTripWithQuoting) {
+  CsvTable table({"name", "value"});
+  table.add_row({"plain", "1"});
+  table.add_row({"tricky, \"stuff\"", "2\n3"});
+  const CsvTable parsed = CsvTable::parse(table.to_string());
+  ASSERT_EQ(parsed.num_rows(), 2u);
+  EXPECT_EQ(parsed.cell(1, "name"), "tricky, \"stuff\"");
+  EXPECT_EQ(parsed.cell(1, "value"), "2\n3");
+}
+
+TEST(Csv, ParseToleratesCrLf) {
+  const CsvTable parsed = CsvTable::parse("a,b\r\n1,2\r\n");
+  ASSERT_EQ(parsed.num_rows(), 1u);
+  EXPECT_EQ(parsed.cell(0, "b"), "2");
+}
+
+TEST(Csv, CellByUnknownColumnThrows) {
+  CsvTable table({"a"});
+  table.add_row({"1"});
+  EXPECT_THROW(table.cell(0, "nope"), CheckError);
+  EXPECT_THROW(table.row(1), CheckError);
+}
+
+TEST(Csv, AddRowDoublesFormats) {
+  CsvTable table({"x", "y"});
+  table.add_row_doubles({1.5, 2.0}, 2);
+  EXPECT_EQ(table.cell(0, "x"), "1.50");
+  EXPECT_EQ(table.cell(0, "y"), "2.00");
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tvmbo_csv_test.csv")
+          .string();
+  CsvTable table({"k", "v"});
+  table.add_row({"lu", "1.659"});
+  table.write_file(path);
+  std::ifstream stream(path);
+  std::stringstream buffer;
+  buffer << stream.rdbuf();
+  EXPECT_EQ(buffer.str(), table.to_string());
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EmptyHeaderThrows) {
+  EXPECT_THROW(CsvTable(std::vector<std::string>{}), CheckError);
+}
+
+}  // namespace
+}  // namespace tvmbo

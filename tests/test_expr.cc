@@ -1,0 +1,143 @@
+#include "te/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "te/printer.h"
+#include "te/tensor.h"
+
+namespace tvmbo::te {
+namespace {
+
+std::int64_t as_int_value(const Expr& e) {
+  EXPECT_EQ(e->kind(), ExprKind::kIntImm);
+  return static_cast<const IntImmNode*>(e.get())->value;
+}
+
+double as_float_value(const Expr& e) {
+  EXPECT_EQ(e->kind(), ExprKind::kFloatImm);
+  return static_cast<const FloatImmNode*>(e.get())->value;
+}
+
+TEST(Expr, IntConstantFolding) {
+  EXPECT_EQ(as_int_value(make_int(3) + make_int(4)), 7);
+  EXPECT_EQ(as_int_value(make_int(10) - make_int(4)), 6);
+  EXPECT_EQ(as_int_value(make_int(3) * make_int(4)), 12);
+  EXPECT_EQ(as_int_value(make_int(7) / make_int(2)), 3);
+  EXPECT_EQ(as_int_value(min_expr(make_int(3), make_int(5))), 3);
+  EXPECT_EQ(as_int_value(max_expr(make_int(3), make_int(5))), 5);
+}
+
+TEST(Expr, FloorSemanticsForNegatives) {
+  EXPECT_EQ(as_int_value(floor_div(make_int(-7), make_int(2))), -4);
+  EXPECT_EQ(as_int_value(floor_mod(make_int(-7), make_int(2))), 1);
+  EXPECT_EQ(as_int_value(floor_div(make_int(7), make_int(2))), 3);
+  EXPECT_EQ(as_int_value(floor_mod(make_int(7), make_int(2))), 1);
+}
+
+TEST(Expr, MixedFloatFolding) {
+  EXPECT_DOUBLE_EQ(as_float_value(make_float(1.5) + make_int(2)), 3.5);
+  EXPECT_DOUBLE_EQ(as_float_value(make_float(3.0) * make_float(0.5)), 1.5);
+}
+
+TEST(Expr, AlgebraicIdentities) {
+  Var x = make_var("x");
+  EXPECT_EQ((x + make_int(0)).get(), x.get());
+  EXPECT_EQ((make_int(0) + Expr(x)).get(), x.get());
+  EXPECT_EQ((x * make_int(1)).get(), x.get());
+  EXPECT_TRUE(is_const_int(x * make_int(0), 0));
+  EXPECT_EQ((x - make_int(0)).get(), x.get());
+  EXPECT_EQ((x / make_int(1)).get(), x.get());
+}
+
+TEST(Expr, DivisionByZeroThrows) {
+  EXPECT_THROW(make_int(1) / make_int(0), CheckError);
+  EXPECT_THROW(floor_div(make_int(1), make_int(0)), CheckError);
+}
+
+TEST(Expr, CompareFolding) {
+  EXPECT_TRUE(is_const_int(lt(make_int(1), make_int(2)), 1));
+  EXPECT_TRUE(is_const_int(ge(make_int(1), make_int(2)), 0));
+  EXPECT_TRUE(is_const_int(eq(make_int(3), make_int(3)), 1));
+  Var x = make_var("x");
+  EXPECT_EQ(lt(x, make_int(2))->kind(), ExprKind::kCompare);
+}
+
+TEST(Expr, SelectFoldsConstantCondition) {
+  Var x = make_var("x");
+  Var y = make_var("y");
+  EXPECT_EQ(select(make_int(1), x, y).get(), x.get());
+  EXPECT_EQ(select(make_int(0), x, y).get(), y.get());
+  EXPECT_EQ(select(lt(x, y), x, y)->kind(), ExprKind::kSelect);
+}
+
+TEST(Expr, UnaryFolding) {
+  EXPECT_DOUBLE_EQ(as_float_value(sqrt_expr(make_float(9.0))), 3.0);
+  EXPECT_DOUBLE_EQ(as_float_value(neg(make_float(2.0))), -2.0);
+  EXPECT_DOUBLE_EQ(as_float_value(abs_expr(make_float(-4.0))), 4.0);
+  Var x = make_var("x");
+  EXPECT_EQ(sqrt_expr(x)->kind(), ExprKind::kUnary);
+}
+
+TEST(Expr, VarsHaveUniqueIds) {
+  Var a = make_var("i");
+  Var b = make_var("i");
+  EXPECT_NE(a->id, b->id);
+}
+
+TEST(Expr, SubstituteReplacesOnlyTargetVar) {
+  Var i = make_var("i");
+  Var j = make_var("j");
+  Expr e = i * make_int(4) + j;
+  Expr replaced = substitute(e, {{i, make_int(2)}});
+  // 2*4 + j folds to 8 + j.
+  EXPECT_EQ(to_string(replaced), "(8 + j)");
+}
+
+TEST(Expr, SubstituteIsNoopWithoutMatches) {
+  Var i = make_var("i");
+  Var other = make_var("z");
+  Expr e = i + make_int(1);
+  Expr replaced = substitute(e, {{other, make_int(5)}});
+  EXPECT_EQ(replaced.get(), e.get());
+}
+
+TEST(Expr, SubstituteInsideTensorAccess) {
+  Tensor a = placeholder({4, 4}, "A");
+  Var i = make_var("i");
+  Var j = make_var("j");
+  Expr e = access(a, {i, j});
+  Expr replaced = substitute(e, {{i, make_int(3)}});
+  EXPECT_EQ(to_string(replaced), "A[3, j]");
+}
+
+TEST(Expr, SumRequiresAxes) {
+  Var k = make_var("k");
+  EXPECT_THROW(sum(Expr(k), {}), CheckError);
+}
+
+TEST(Expr, NestedReduceRejected) {
+  Var k = make_var("k");
+  Expr inner = sum(Expr(k), {k});
+  EXPECT_THROW(sum(inner, {k}), CheckError);
+  EXPECT_THROW(inner + make_int(1), CheckError);
+}
+
+TEST(Expr, CollectTensorsDeduplicates) {
+  Tensor a = placeholder({2}, "A");
+  Tensor b = placeholder({2}, "B");
+  Var i = make_var("i");
+  Expr e = access(a, {i}) * access(b, {i}) + access(a, {i});
+  const auto tensors = collect_tensors(e);
+  EXPECT_EQ(tensors.size(), 2u);
+}
+
+TEST(Expr, LogicalAndShortCircuitShape) {
+  Var x = make_var("x");
+  // logical_and(true, e) folds to e; logical_and(false, e) folds to 0.
+  Expr e = lt(x, make_int(5));
+  EXPECT_EQ(logical_and(make_int(1), e).get(), e.get());
+  EXPECT_TRUE(is_const_int(logical_and(make_int(0), e), 0));
+}
+
+}  // namespace
+}  // namespace tvmbo::te

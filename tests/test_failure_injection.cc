@@ -1,0 +1,138 @@
+// Failure injection: real autotuning runs see failed measurements
+// (compile errors, timeouts, crashed runs). These tests wrap the
+// simulated device in a fault injector and assert that every search
+// strategy keeps making progress and never crowns an invalid result.
+#include <gtest/gtest.h>
+
+#include "framework/session.h"
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+
+namespace tvmbo {
+namespace {
+
+/// Decorator device: fails a deterministic fraction of measurements.
+class FlakyDevice final : public runtime::Device {
+ public:
+  FlakyDevice(runtime::Device* inner, double failure_rate,
+              std::uint64_t seed)
+      : inner_(inner), failure_rate_(failure_rate), rng_(seed) {}
+
+  std::string name() const override { return "flaky(" + inner_->name() + ")"; }
+
+  runtime::MeasureResult measure(
+      const runtime::MeasureInput& input,
+      const runtime::MeasureOption& option) override {
+    ++measurements_;
+    if (rng_.bernoulli(failure_rate_)) {
+      ++failures_;
+      runtime::MeasureResult result;
+      result.valid = false;
+      result.error = "injected failure";
+      // A failed build still burns builder time.
+      result.compile_s = 1.0;
+      return result;
+    }
+    return inner_->measure(input, option);
+  }
+
+  int measurements() const { return measurements_; }
+  int failures() const { return failures_; }
+
+ private:
+  runtime::Device* inner_;
+  double failure_rate_;
+  Rng rng_;
+  int measurements_ = 0;
+  int failures_ = 0;
+};
+
+framework::SessionOptions fast_options() {
+  framework::SessionOptions options;
+  options.max_evaluations = 60;
+  options.seed = 3;
+  return options;
+}
+
+TEST(FailureInjection, AllStrategiesSurviveThirtyPercentFailures) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  for (framework::StrategyKind kind : framework::all_strategies()) {
+    runtime::SwingSimDevice inner(5);
+    FlakyDevice device(&inner, 0.30, 7);
+    framework::AutotuningSession session(&task, &device, fast_options());
+    const auto result = session.run(kind);
+    ASSERT_TRUE(result.best.has_value())
+        << framework::strategy_name(kind);
+    EXPECT_TRUE(result.best->valid);
+    EXPECT_GT(device.failures(), 0);
+    // A valid best still lands in a sane runtime range.
+    EXPECT_LT(result.best->runtime_s, 20.0);
+  }
+}
+
+TEST(FailureInjection, InvalidTrialsNeverBecomeBest) {
+  const autotvm::Task task =
+      kernels::make_task("cholesky", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice inner(11);
+  FlakyDevice device(&inner, 0.5, 13);
+  framework::AutotuningSession session(&task, &device, fast_options());
+  const auto result = session.run(framework::StrategyKind::kYtopt);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_TRUE(result.best->valid);
+  int invalid = 0;
+  for (const auto& record : result.db.records()) {
+    if (!record.valid) ++invalid;
+  }
+  EXPECT_GT(invalid, 10);  // the injector really fired
+}
+
+TEST(FailureInjection, TotalFailureYieldsNoBest) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice inner(17);
+  FlakyDevice device(&inner, 1.0, 19);
+  framework::AutotuningSession session(&task, &device, fast_options());
+  const auto result = session.run(framework::StrategyKind::kAutotvmRandom);
+  EXPECT_FALSE(result.best.has_value());
+  EXPECT_EQ(result.evaluations, 60u);  // it still ran the budget
+}
+
+TEST(FailureInjection, BoSurrogateToleratesFailuresInHistory) {
+  // The BO refit imputes penalties for failed points; search quality
+  // should degrade gracefully, not collapse.
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice clean_inner(23);
+  framework::SessionOptions options = fast_options();
+  options.max_evaluations = 80;
+
+  FlakyDevice flaky(&clean_inner, 0.25, 29);
+  framework::AutotuningSession flaky_session(&task, &flaky, options);
+  const auto flaky_result =
+      flaky_session.run(framework::StrategyKind::kYtopt);
+
+  runtime::SwingSimDevice clean(23);
+  framework::AutotuningSession clean_session(&task, &clean, options);
+  const auto clean_result =
+      clean_session.run(framework::StrategyKind::kYtopt);
+
+  ASSERT_TRUE(flaky_result.best.has_value());
+  // Within 25% of the failure-free run's best despite losing a quarter of
+  // all measurements.
+  EXPECT_LT(flaky_result.best->runtime_s,
+            clean_result.best->runtime_s * 1.25);
+}
+
+TEST(FailureInjection, ProcessClockStillChargesFailedBuilds) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice inner(31);
+  FlakyDevice device(&inner, 1.0, 37);
+  framework::AutotuningSession session(&task, &device, fast_options());
+  const auto result = session.run(framework::StrategyKind::kAutotvmGa);
+  EXPECT_GT(result.total_time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace tvmbo

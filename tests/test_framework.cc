@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "configspace/divisors.h"
+#include "framework/code_mold.h"
+#include "framework/figures.h"
+#include "framework/session.h"
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+
+namespace tvmbo::framework {
+namespace {
+
+SessionOptions fast_options(std::size_t evals = 30) {
+  SessionOptions options;
+  options.max_evaluations = evals;
+  options.seed = 7;
+  return options;
+}
+
+TEST(Session, RunsRequestedEvaluations) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice device;
+  AutotuningSession session(&task, &device, fast_options());
+  const SessionResult result = session.run(StrategyKind::kYtopt);
+  EXPECT_EQ(result.evaluations, 30u);
+  EXPECT_EQ(result.db.size(), 30u);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_GT(result.total_time_s, 0.0);
+  EXPECT_EQ(result.strategy, "ytopt");
+}
+
+TEST(Session, ElapsedTimeMonotonicPerStrategy) {
+  const autotvm::Task task =
+      kernels::make_task("cholesky", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice device;
+  AutotuningSession session(&task, &device, fast_options());
+  for (StrategyKind kind :
+       {StrategyKind::kYtopt, StrategyKind::kAutotvmGa}) {
+    const SessionResult result = session.run(kind);
+    double previous = 0.0;
+    for (const auto& record : result.db.records()) {
+      EXPECT_GE(record.elapsed_s, previous);
+      previous = record.elapsed_s;
+    }
+    EXPECT_NEAR(result.total_time_s, previous, result.total_time_s * 0.2);
+  }
+}
+
+TEST(Session, BestMatchesDatabaseMinimum) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice device;
+  AutotuningSession session(&task, &device, fast_options());
+  const SessionResult result = session.run(StrategyKind::kAutotvmRandom);
+  double minimum = std::numeric_limits<double>::infinity();
+  for (const auto& record : result.db.records()) {
+    minimum = std::min(minimum, record.runtime_s);
+  }
+  EXPECT_DOUBLE_EQ(result.best->runtime_s, minimum);
+}
+
+TEST(Session, XgbQuirkCapsEvaluations) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice device;
+  SessionOptions options = fast_options(100);
+  options.xgb_paper_eval_cap = 56;
+  AutotuningSession session(&task, &device, options);
+  const SessionResult result = session.run(StrategyKind::kAutotvmXgb);
+  EXPECT_EQ(result.evaluations, 56u);
+}
+
+TEST(Session, ReproducibleForSameSeed) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice device_a(99), device_b(99);
+  AutotuningSession a(&task, &device_a, fast_options());
+  AutotuningSession b(&task, &device_b, fast_options());
+  const SessionResult ra = a.run(StrategyKind::kYtopt);
+  const SessionResult rb = b.run(StrategyKind::kYtopt);
+  ASSERT_EQ(ra.db.size(), rb.db.size());
+  for (std::size_t i = 0; i < ra.db.size(); ++i) {
+    EXPECT_EQ(ra.db.record(i).tiles, rb.db.record(i).tiles);
+    EXPECT_DOUBLE_EQ(ra.db.record(i).runtime_s, rb.db.record(i).runtime_s);
+  }
+}
+
+TEST(Session, MaxTimeBudgetStopsEarly) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kExtraLarge);
+  runtime::SwingSimDevice device;
+  SessionOptions options = fast_options(100);
+  options.max_time_s = 200.0;  // a handful of XL evaluations at most
+  AutotuningSession session(&task, &device, options);
+  const SessionResult result = session.run(StrategyKind::kAutotvmRandom);
+  EXPECT_LT(result.evaluations, 100u);
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(Session, RunAllCoversFiveStrategies) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice device;
+  AutotuningSession session(&task, &device, fast_options(20));
+  const auto results = session.run_all();
+  ASSERT_EQ(results.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& result : results) names.insert(result.strategy);
+  EXPECT_EQ(names.size(), 5u);
+  EXPECT_TRUE(names.contains("ytopt"));
+  EXPECT_TRUE(names.contains("autotvm-xgb"));
+}
+
+TEST(Session, StrategyNameMapping) {
+  EXPECT_STREQ(strategy_name(StrategyKind::kYtopt), "ytopt");
+  EXPECT_STREQ(strategy_name(StrategyKind::kAutotvmGridSearch),
+               "autotvm-gridsearch");
+  EXPECT_EQ(all_strategies().size(), 5u);
+}
+
+TEST(Figures, ProcessTableHasRowPerEvaluation) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice device;
+  AutotuningSession session(&task, &device, fast_options(10));
+  std::vector<SessionResult> results{session.run(StrategyKind::kYtopt),
+                                     session.run(StrategyKind::kAutotvmGa)};
+  const CsvTable table = process_over_time_table(results);
+  EXPECT_EQ(table.num_rows(), 20u);
+  EXPECT_EQ(table.header()[0], "strategy");
+  EXPECT_EQ(table.cell(0, "strategy"), "ytopt");
+}
+
+TEST(Figures, MinimumTableOneRowPerStrategy) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice device;
+  AutotuningSession session(&task, &device, fast_options(10));
+  const auto results = session.run_all();
+  const CsvTable table = minimum_runtimes_table(results);
+  EXPECT_EQ(table.num_rows(), 5u);
+}
+
+TEST(Figures, BestSoFarIsNonIncreasing) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice device;
+  AutotuningSession session(&task, &device, fast_options(15));
+  std::vector<SessionResult> results{
+      session.run(StrategyKind::kAutotvmRandom)};
+  const CsvTable table = best_so_far_table(results);
+  double previous = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const double value = std::stod(table.cell(r, "best_so_far_s"));
+    EXPECT_LE(value, previous + 1e-12);
+    previous = value;
+  }
+}
+
+TEST(Figures, TilesToString) {
+  EXPECT_EQ(tiles_to_string({400, 50}), "400x50");
+  EXPECT_EQ(tiles_to_string({1000, 32, 600, 2, 15, 40}),
+            "(1000x32, 600x2, 15x40)");
+  EXPECT_EQ(tiles_to_string({1, 2, 3}), "(1, 2, 3)");
+}
+
+TEST(Figures, RenderTableAlignsColumns) {
+  CsvTable table({"a", "long_header"});
+  table.add_row({"x", "1"});
+  const std::string text = render_table(table);
+  EXPECT_NE(text.find("| a "), std::string::npos);
+  EXPECT_NE(text.find("| long_header "), std::string::npos);
+}
+
+TEST(Figures, YtoptResultsTableLayout) {
+  const autotvm::Task task =
+      kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice device;
+  AutotuningSession session(&task, &device, fast_options(8));
+  const SessionResult result = session.run(StrategyKind::kYtopt);
+  const CsvTable table =
+      ytopt_results_table(result, task.config.space());
+  EXPECT_EQ(table.num_rows(), 8u);
+  ASSERT_EQ(table.num_columns(), 4u);  // tile_y, tile_x, objective, elapsed
+  EXPECT_EQ(table.header().back(), "elapsed_sec");
+  // Tile values must be members of the divisor domain.
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const long long tile = std::stoll(table.row(r)[0]);
+    EXPECT_EQ(2000 % tile, 0) << "tile " << tile;
+  }
+  // elapsed_sec is non-decreasing (sequential ytopt evaluations).
+  double previous = 0.0;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const double elapsed = std::stod(table.cell(r, "elapsed_sec"));
+    EXPECT_GE(elapsed, previous);
+    previous = elapsed;
+  }
+}
+
+TEST(CodeMold, RendersPaperMold) {
+  const auto dims = kernels::polybench_dims(
+      "3mm", kernels::Dataset::kExtraLarge);
+  const cs::ConfigurationSpace space = kernels::build_space("3mm", dims);
+  CodeMold mold(paper_3mm_mold(), &space);
+  EXPECT_EQ(mold.placeholders().size(), 6u);
+  cs::Configuration config = space.default_configuration();
+  config.set_index(0, 16);  // P0 -> 400
+  const std::string code = mold.render(config);
+  EXPECT_NE(code.find("split(y, 400)"), std::string::npos);
+  EXPECT_EQ(code.find("#P"), std::string::npos);  // fully substituted
+}
+
+TEST(CodeMold, UnknownPlaceholderThrows) {
+  cs::ConfigurationSpace space;
+  space.add(cs::tile_factor_param("P0", 8));
+  EXPECT_THROW(CodeMold("split(y, #P7)", &space), CheckError);
+}
+
+TEST(CodeMold, MoldWithoutPlaceholdersThrows) {
+  cs::ConfigurationSpace space;
+  space.add(cs::tile_factor_param("P0", 8));
+  EXPECT_THROW(CodeMold("no placeholders here", &space), CheckError);
+}
+
+}  // namespace
+}  // namespace tvmbo::framework

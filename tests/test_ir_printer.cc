@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "te/interp.h"
+#include "te/printer.h"
+
+namespace tvmbo::te {
+namespace {
+
+TEST(Ir, MakeSeqFlattensSingleton) {
+  Tensor a = placeholder({2}, "A");
+  Var i = make_var("i");
+  Stmt store = make_store(a, {i}, make_float(1.0));
+  EXPECT_EQ(make_seq({store}).get(), store.get());
+}
+
+TEST(Ir, MakeIfFoldsConstantCondition) {
+  Tensor a = placeholder({2}, "A");
+  Var i = make_var("i");
+  Stmt store = make_store(a, {i}, make_float(1.0));
+  EXPECT_EQ(make_if(make_int(1), store).get(), store.get());
+  EXPECT_EQ(make_if(make_int(0), store), nullptr);
+}
+
+TEST(Ir, StoreRankMismatchThrows) {
+  Tensor a = placeholder({2, 2}, "A");
+  Var i = make_var("i");
+  EXPECT_THROW(make_store(a, {i}, make_float(1.0)), CheckError);
+}
+
+TEST(Ir, CountAndDepthHelpers) {
+  Tensor a = placeholder({4}, "A");
+  Var i = make_var("i");
+  Var j = make_var("j");
+  Stmt inner = make_for(j, 2, ForKind::kSerial,
+                        make_store(a, {i}, make_float(0.0)));
+  Stmt loop = make_for(i, 4, ForKind::kParallel, inner);
+  EXPECT_EQ(count_stmts(loop, StmtKind::kFor), 2u);
+  EXPECT_EQ(count_stmts(loop, StmtKind::kStore), 1u);
+  EXPECT_EQ(loop_depth(loop), 2u);
+  const auto vars = leftmost_loop_vars(loop);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0].get(), i.get());
+  EXPECT_EQ(vars[1].get(), j.get());
+}
+
+TEST(Printer, ExprRendering) {
+  Var i = make_var("i");
+  Var j = make_var("j");
+  Tensor a = placeholder({4, 4}, "A");
+  EXPECT_EQ(to_string(access(a, {i, j}) * make_float(2.0)),
+            "(A[i, j]*2.0)");
+  EXPECT_EQ(to_string(min_expr(i, j)), "min(i, j)");
+  EXPECT_EQ(to_string(lt(i, make_int(5))), "(i < 5)");
+  EXPECT_EQ(to_string(sqrt_expr(Expr(i))), "sqrt(i)");
+  EXPECT_EQ(to_string(floor_div(i, make_int(2))), "(i//2)");
+}
+
+TEST(Printer, StmtRenderingShowsAnnotationsAndStructure) {
+  Tensor a = placeholder({4}, "A");
+  Var i = make_var("i");
+  Stmt body = make_store(a, {i}, make_float(1.0));
+  Stmt guarded = make_if(lt(i, make_int(3)), body);
+  Stmt loop = make_for(i, 4, ForKind::kParallel, guarded);
+  const std::string text = to_string(loop);
+  EXPECT_NE(text.find("parallel i in range(4):"), std::string::npos);
+  EXPECT_NE(text.find("if (i < 3):"), std::string::npos);
+  EXPECT_NE(text.find("A[i] = 1.0"), std::string::npos);
+}
+
+TEST(Printer, RealizeRendering) {
+  Tensor t = placeholder({2, 3}, "T");
+  Var i = make_var("i");
+  Var j = make_var("j");
+  Stmt store = make_store(t, {i, j}, make_float(0.0));
+  Stmt realize = make_realize(
+      t, make_for(i, 2, ForKind::kSerial,
+                  make_for(j, 3, ForKind::kSerial, store)));
+  const std::string text = to_string(realize);
+  EXPECT_NE(text.find("realize T(2, 3):"), std::string::npos);
+}
+
+TEST(Printer, ReduceMarkerRendering) {
+  Tensor a = placeholder({4}, "A");
+  Var k = make_var("k");
+  Expr body = sum(access(a, {k}), {k});
+  EXPECT_EQ(to_string(body), "sum(A[k], axis=[k])");
+}
+
+TEST(Printer, LoweredMatmulIsReadable) {
+  Tensor a = placeholder({4, 4}, "A");
+  Tensor b = placeholder({4, 4}, "B");
+  IterVar k = reduce_axis(4, "k");
+  Tensor c = compute(
+      {4, 4}, "C",
+      [&](const std::vector<Var>& i) {
+        return sum(access(a, {i[0], k->var}) * access(b, {k->var, i[1]}),
+                   {k->var});
+      },
+      {k});
+  Schedule sched({c});
+  const std::string text = to_string(lower(sched));
+  // Init to 0 then accumulate.
+  EXPECT_NE(text.find("= 0.0"), std::string::npos);
+  EXPECT_NE(text.find("C["), std::string::npos);
+  EXPECT_NE(text.find("for "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tvmbo::te

@@ -1,0 +1,121 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace tvmbo {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_double(), 3.25);
+  EXPECT_EQ(Json::parse("-17").as_int(), -17);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseScientificNotation) {
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5E-2").as_double(), -0.025);
+}
+
+TEST(Json, ParseNestedStructure) {
+  const Json doc = Json::parse(
+      R"({"config": [400, 50], "runtime": 1.659, "valid": true,
+          "meta": {"kernel": "lu"}})");
+  EXPECT_EQ(doc.at("config").at(0).as_int(), 400);
+  EXPECT_EQ(doc.at("config").at(1).as_int(), 50);
+  EXPECT_DOUBLE_EQ(doc.at("runtime").as_double(), 1.659);
+  EXPECT_TRUE(doc.at("valid").as_bool());
+  EXPECT_EQ(doc.at("meta").at("kernel").as_string(), "lu");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("z", Json(1));
+  obj.set("a", Json(2));
+  EXPECT_EQ(obj.dump(), R"({"z":1,"a":2})");
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  Json obj = Json::object();
+  obj.set("k", Json(1));
+  obj.set("k", Json(2));
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.at("k").as_int(), 2);
+}
+
+TEST(Json, RoundTripCompact) {
+  const std::string text =
+      R"({"a":[1,2.5,"x"],"b":{"c":null,"d":false},"e":"q\"uote"})";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(Json::parse(doc.dump()), doc);
+}
+
+TEST(Json, StringEscapes) {
+  const Json doc = Json::parse(R"("line\nbreak\ttabA")");
+  EXPECT_EQ(doc.as_string(), "line\nbreak\ttabA");
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  const Json doc(std::string("a\nb\"c"));
+  EXPECT_EQ(doc.dump(), R"("a\nb\"c")");
+}
+
+TEST(Json, TrailingGarbageThrows) {
+  EXPECT_THROW(Json::parse("1 2"), JsonParseError);
+  EXPECT_THROW(Json::parse("{} x"), JsonParseError);
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW(Json::parse("{"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonParseError);
+  EXPECT_THROW(Json::parse("tru"), JsonParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+}
+
+TEST(Json, TypeMismatchChecks) {
+  const Json doc = Json::parse("[1]");
+  EXPECT_THROW(doc.as_object(), CheckError);
+  EXPECT_THROW(doc.at("k"), CheckError);
+  EXPECT_THROW(doc.at(5), CheckError);
+}
+
+TEST(Json, ContainsOnlyTrueForPresentKeys) {
+  const Json doc = Json::parse(R"({"a":1})");
+  EXPECT_TRUE(doc.contains("a"));
+  EXPECT_FALSE(doc.contains("b"));
+  EXPECT_FALSE(Json(1).contains("a"));
+}
+
+TEST(Json, ParseLinesSkipsBlanks) {
+  const auto records = Json::parse_lines("{\"i\":0}\n\n{\"i\":1}\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].at("i").as_int(), 0);
+  EXPECT_EQ(records[1].at("i").as_int(), 1);
+}
+
+TEST(Json, PrettyPrintIsReparseable) {
+  const Json doc = Json::parse(R"({"a":[1,2],"b":{"c":3}})");
+  const std::string pretty = doc.dump_pretty();
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), doc);
+}
+
+TEST(Json, IntegersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(Json(42.0).dump(), "42");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+TEST(Json, ArrayPushBack) {
+  Json arr = Json::array();
+  arr.push_back(Json(1));
+  arr.push_back(Json("two"));
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.dump(), R"([1,"two"])");
+}
+
+}  // namespace
+}  // namespace tvmbo

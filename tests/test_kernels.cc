@@ -1,0 +1,266 @@
+// Numerical-correctness tests for the kernel library: references vs. TE
+// programs vs. tiled native kernels, including property sweeps over tile
+// factors (the invariant the autotuner depends on: configuration changes
+// performance, never results).
+#include <gtest/gtest.h>
+
+#include "kernels/native.h"
+#include "kernels/reference.h"
+#include "kernels/te_kernels.h"
+#include "te/interp.h"
+
+namespace tvmbo::kernels {
+namespace {
+
+using runtime::NDArray;
+
+TEST(Reference, LuResidualSmall) {
+  const std::int64_t n = 24;
+  NDArray a({n, n});
+  init_lu(a);
+  const NDArray original = a;
+  ref_lu(a);
+  EXPECT_LT(lu_residual(a, original), 1e-9);
+}
+
+TEST(Reference, CholeskyResidualSmall) {
+  const std::int64_t n = 24;
+  NDArray a({n, n});
+  init_spd(a);
+  const NDArray original = a;
+  ref_cholesky(a);
+  EXPECT_LT(cholesky_residual(a, original), 1e-9);
+}
+
+TEST(Reference, CholeskyZeroesUpperTriangle) {
+  const std::int64_t n = 8;
+  NDArray a({n, n});
+  init_spd(a);
+  ref_cholesky(a);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i + 1; j < n; ++j)
+      EXPECT_DOUBLE_EQ(a.at2(i, j), 0.0);
+}
+
+TEST(Reference, LuRejectsSingularMatrix) {
+  NDArray a({4, 4});  // all zeros -> zero pivot
+  EXPECT_THROW(ref_lu(a), CheckError);
+}
+
+TEST(Reference, CholeskyRejectsNonSpd) {
+  NDArray a({4, 4});
+  a.fill(0.0);
+  a.set2(0, 0, -1.0);
+  EXPECT_THROW(ref_cholesky(a), CheckError);
+}
+
+TEST(Reference, ThreeMmMatchesManualComposition) {
+  const std::int64_t n = 5, l = 6, m = 7, o = 4, p = 3;
+  NDArray a({n, l}), b({l, m}), c({m, o}), d({o, p});
+  init_3mm(a, b, c, d);
+  NDArray e({n, m}), f({m, p}), g({n, p});
+  ref_3mm(a, b, c, d, e, f, g);
+  NDArray g2({n, p});
+  ref_matmul(e, f, g2);
+  EXPECT_TRUE(g.allclose(g2, 1e-12));
+}
+
+// --- tiled native kernels vs references -------------------------------------
+
+class LuTileSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LuTileSweep, TiledLuMatchesReference) {
+  const auto [ty, tx] = GetParam();
+  const std::int64_t n = 20;
+  NDArray reference({n, n});
+  init_lu(reference);
+  NDArray tiled = reference;
+  ref_lu(reference);
+  lu_tiled(tiled, ty, tx);
+  EXPECT_TRUE(tiled.allclose(reference, 1e-10))
+      << "ty=" << ty << " tx=" << tx;
+}
+
+class CholTileSweep : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(CholTileSweep, TiledCholeskyMatchesReference) {
+  const auto [ty, tx] = GetParam();
+  const std::int64_t n = 20;
+  NDArray reference({n, n});
+  init_spd(reference);
+  NDArray tiled = reference;
+  ref_cholesky(reference);
+  cholesky_tiled(tiled, ty, tx);
+  EXPECT_TRUE(tiled.allclose(reference, 1e-10))
+      << "ty=" << ty << " tx=" << tx;
+}
+
+std::vector<std::pair<int, int>> factorization_tiles() {
+  // Divisors, non-divisors, degenerate, and over-sized tiles.
+  return {{1, 1},  {1, 20}, {20, 1}, {4, 5},  {5, 4},
+          {3, 7},  {20, 20}, {64, 64}, {2, 10}, {7, 3}};
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, LuTileSweep,
+                         ::testing::ValuesIn(factorization_tiles()));
+INSTANTIATE_TEST_SUITE_P(Tiles, CholTileSweep,
+                         ::testing::ValuesIn(factorization_tiles()));
+
+TEST(Native, MatmulTiledMatchesReference) {
+  const std::int64_t m = 17, n = 13, k = 9;
+  NDArray a({m, k}), b({k, n});
+  init_gemm(a, b);
+  NDArray expected({m, n});
+  ref_matmul(a, b, expected);
+  for (const auto [ty, tx] : factorization_tiles()) {
+    NDArray c({m, n});
+    matmul_tiled(a, b, c, ty, tx);
+    EXPECT_TRUE(c.allclose(expected, 1e-10)) << "ty=" << ty << " tx=" << tx;
+  }
+}
+
+TEST(Native, ThreeMmTiledMatchesReference) {
+  const std::int64_t n = 8, l = 9, m = 10, o = 11, p = 12;
+  NDArray a({n, l}), b({l, m}), c({m, o}), d({o, p});
+  init_3mm(a, b, c, d);
+  NDArray e({n, m}), f({m, p}), g({n, p});
+  ref_3mm(a, b, c, d, e, f, g);
+  NDArray e2({n, m}), f2({m, p}), g2({n, p});
+  const std::int64_t tiles[6] = {3, 5, 2, 7, 4, 6};
+  threemm_tiled(a, b, c, d, e2, f2, g2, tiles);
+  EXPECT_TRUE(g2.allclose(g, 1e-10));
+}
+
+TEST(Native, TwoMmTiledMatchesReference) {
+  const std::int64_t ni = 7, nj = 8, nk = 9, nl = 6;
+  NDArray a({ni, nk}), b({nk, nj}), c({nj, nl});
+  init_gemm(a, b);
+  NDArray c_init({nj, nl});
+  for (std::int64_t i = 0; i < nj; ++i)
+    for (std::int64_t j = 0; j < nl; ++j)
+      c_init.set2(i, j, static_cast<double>((i + 2 * j) % 5) / 5.0);
+  c = c_init;
+  NDArray tmp({ni, nj}), d({ni, nl});
+  ref_2mm(a, b, c, tmp, d);
+  NDArray tmp2({ni, nj}), d2({ni, nl});
+  const std::int64_t tiles[4] = {2, 3, 5, 2};
+  twomm_tiled(a, b, c, tmp2, d2, tiles);
+  EXPECT_TRUE(d2.allclose(d, 1e-10));
+}
+
+// --- TE programs vs references ----------------------------------------------
+
+TEST(TeKernels, ThreeMmUnscheduledMatchesReference) {
+  const std::int64_t n = 6, l = 7, m = 8, o = 5, p = 4;
+  ThreeMmTensors t = make_3mm(n, l, m, o, p);
+  NDArray a({n, l}), b({l, m}), c({m, o}), d({o, p});
+  init_3mm(a, b, c, d);
+  NDArray e({n, m}), f({m, p}), expected({n, p});
+  ref_3mm(a, b, c, d, e, f, expected);
+
+  te::Schedule sched({t.G});
+  NDArray g({n, p});
+  te::run_schedule(sched,
+                   {{t.A, &a}, {t.B, &b}, {t.C, &c}, {t.D, &d}, {t.G, &g}});
+  EXPECT_TRUE(g.allclose(expected, 1e-10));
+}
+
+class ThreeMmScheduleSweep
+    : public ::testing::TestWithParam<std::array<std::int64_t, 6>> {};
+
+TEST_P(ThreeMmScheduleSweep, ScheduledMatchesReference) {
+  const auto tiles = GetParam();
+  const std::int64_t n = 6, l = 7, m = 8, o = 5, p = 4;
+  ThreeMmTensors t = make_3mm(n, l, m, o, p);
+  NDArray a({n, l}), b({l, m}), c({m, o}), d({o, p});
+  init_3mm(a, b, c, d);
+  NDArray e({n, m}), f({m, p}), expected({n, p});
+  ref_3mm(a, b, c, d, e, f, expected);
+
+  te::Schedule sched = schedule_3mm(t, tiles);
+  NDArray g({n, p});
+  te::run_schedule(sched,
+                   {{t.A, &a}, {t.B, &b}, {t.C, &c}, {t.D, &d}, {t.G, &g}});
+  EXPECT_TRUE(g.allclose(expected, 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileVectors, ThreeMmScheduleSweep,
+    ::testing::Values(std::array<std::int64_t, 6>{1, 1, 1, 1, 1, 1},
+                      std::array<std::int64_t, 6>{2, 4, 4, 2, 3, 2},
+                      std::array<std::int64_t, 6>{3, 5, 7, 3, 2, 3},
+                      std::array<std::int64_t, 6>{6, 8, 8, 4, 6, 4},
+                      std::array<std::int64_t, 6>{100, 100, 100, 100, 100,
+                                                  100},
+                      std::array<std::int64_t, 6>{5, 3, 6, 2, 4, 3}));
+
+TEST(TeKernels, GemmScheduledMatchesReference) {
+  GemmTensors t = make_gemm(9, 7, 11);
+  NDArray a({9, 11}), b({11, 7});
+  init_gemm(a, b);
+  NDArray expected({9, 7});
+  ref_matmul(a, b, expected);
+  te::Schedule sched = schedule_gemm(t, 4, 3);
+  NDArray c({9, 7});
+  te::run_schedule(sched, {{t.A, &a}, {t.B, &b}, {t.C, &c}});
+  EXPECT_TRUE(c.allclose(expected, 1e-10));
+}
+
+TEST(TeKernels, TwoMmScheduledMatchesReference) {
+  TwoMmTensors t = make_2mm(6, 7, 8, 5);
+  NDArray a({6, 8}), b({8, 7}), c({7, 5});
+  init_gemm(a, b);
+  for (std::int64_t i = 0; i < 7; ++i)
+    for (std::int64_t j = 0; j < 5; ++j)
+      c.set2(i, j, static_cast<double>((3 * i + j) % 4));
+  NDArray tmp({6, 7}), expected({6, 5});
+  ref_2mm(a, b, c, tmp, expected);
+  const std::int64_t tiles[4] = {2, 3, 3, 2};
+  te::Schedule sched = schedule_2mm(t, tiles);
+  NDArray d({6, 5});
+  te::run_schedule(sched, {{t.A, &a}, {t.B, &b}, {t.C, &c}, {t.D, &d}});
+  EXPECT_TRUE(d.allclose(expected, 1e-10));
+}
+
+TEST(TeKernels, LuProgramMatchesReference) {
+  const std::int64_t n = 12;
+  te::Tensor a = te::placeholder({n, n}, "A");
+  const te::Stmt program = build_lu_program(a, n);
+  NDArray work({n, n});
+  init_lu(work);
+  NDArray expected = work;
+  ref_lu(expected);
+  te::Interpreter interp;
+  interp.bind(a, &work);
+  interp.run(program);
+  EXPECT_TRUE(work.allclose(expected, 1e-10));
+}
+
+TEST(TeKernels, CholeskyProgramMatchesReferenceLowerTriangle) {
+  const std::int64_t n = 12;
+  te::Tensor a = te::placeholder({n, n}, "A");
+  const te::Stmt program = build_cholesky_program(a, n);
+  NDArray work({n, n});
+  init_spd(work);
+  NDArray expected = work;
+  ref_cholesky(expected);
+  te::Interpreter interp;
+  interp.bind(a, &work);
+  interp.run(program);
+  // The IR program leaves the upper triangle untouched; compare lower.
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j <= i; ++j)
+      EXPECT_NEAR(work.at2(i, j), expected.at2(i, j), 1e-10)
+          << "(" << i << "," << j << ")";
+}
+
+TEST(TeKernels, LuProgramRejectsWrongShape) {
+  te::Tensor a = te::placeholder({4, 5}, "A");
+  EXPECT_THROW(build_lu_program(a, 4), CheckError);
+  te::Tensor square = te::placeholder({4, 4}, "A");
+  EXPECT_THROW(build_lu_program(square, 5), CheckError);
+}
+
+}  // namespace
+}  // namespace tvmbo::kernels

@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace tvmbo {
+namespace {
+
+TEST(Logging, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(TVMBO_CHECK(true) << "never shown");
+}
+
+TEST(Logging, CheckThrowsWithMessage) {
+  try {
+    TVMBO_CHECK(1 == 2) << "context " << 42;
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Logging, ComparisonMacros) {
+  EXPECT_NO_THROW(TVMBO_CHECK_EQ(3, 3));
+  EXPECT_NO_THROW(TVMBO_CHECK_LT(1, 2));
+  EXPECT_NO_THROW(TVMBO_CHECK_GE(2, 2));
+  EXPECT_THROW(TVMBO_CHECK_EQ(1, 2), CheckError);
+  EXPECT_THROW(TVMBO_CHECK_GT(1, 2), CheckError);
+  EXPECT_THROW(TVMBO_CHECK_NE(5, 5), CheckError);
+}
+
+TEST(Logging, LogLevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Suppressed log must not throw or crash.
+  TVMBO_LOG(Debug) << "suppressed";
+  set_log_level(original);
+}
+
+TEST(Logging, CheckConditionNotDoubleEvaluated) {
+  int evaluations = 0;
+  auto condition = [&] {
+    ++evaluations;
+    return true;
+  };
+  TVMBO_CHECK(condition());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace tvmbo

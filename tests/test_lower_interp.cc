@@ -1,0 +1,228 @@
+// Semantics tests for lowering + interpretation: any legal combination of
+// split/reorder/fuse/annotations must compute exactly the same values as
+// the unscheduled program. These are the oracle tests that make tuning
+// over schedules trustworthy.
+#include <gtest/gtest.h>
+
+#include "kernels/reference.h"
+#include "te/interp.h"
+#include "te/printer.h"
+
+namespace tvmbo::te {
+namespace {
+
+using runtime::NDArray;
+
+struct MatmulFixture {
+  std::int64_t m, n, k;
+  Tensor a, b, c;
+  NDArray ma, mb, expected;
+
+  MatmulFixture(std::int64_t m, std::int64_t n, std::int64_t k)
+      : m(m), n(n), k(k), ma({m, k}), mb({k, n}), expected({m, n}) {
+    a = placeholder({m, k}, "A");
+    b = placeholder({k, n}, "B");
+    IterVar kk = reduce_axis(k, "k");
+    c = compute(
+        {m, n}, "C",
+        [&](const std::vector<Var>& i) {
+          return sum(access(a, {i[0], kk->var}) *
+                         access(b, {kk->var, i[1]}),
+                     {kk->var});
+        },
+        {kk});
+    kernels::init_gemm(ma, mb);
+    kernels::ref_matmul(ma, mb, expected);
+  }
+
+  NDArray run(Schedule& sched) {
+    NDArray out({m, n});
+    run_schedule(sched, {{a, &ma}, {b, &mb}, {c, &out}});
+    return out;
+  }
+};
+
+TEST(LowerInterp, UnscheduledMatmulMatchesReference) {
+  MatmulFixture fx(6, 5, 7);
+  Schedule sched({fx.c});
+  const NDArray out = fx.run(sched);
+  EXPECT_TRUE(out.allclose(fx.expected, 1e-12));
+}
+
+TEST(LowerInterp, PaperScheduleMatchesReference) {
+  MatmulFixture fx(8, 8, 8);
+  Schedule sched({fx.c});
+  Stage& stage = sched[fx.c];
+  auto [yo, yi] = stage.split(stage.op_axis()[0], 4);
+  auto [xo, xi] = stage.split(stage.op_axis()[1], 2);
+  stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
+  const NDArray out = fx.run(sched);
+  EXPECT_TRUE(out.allclose(fx.expected, 1e-12));
+}
+
+TEST(LowerInterp, NonExactSplitGuardProtectsBounds) {
+  MatmulFixture fx(10, 7, 5);
+  Schedule sched({fx.c});
+  Stage& stage = sched[fx.c];
+  auto [yo, yi] = stage.split(stage.op_axis()[0], 3);   // 10 % 3 != 0
+  auto [xo, xi] = stage.split(stage.op_axis()[1], 4);   // 7 % 4 != 0
+  stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
+  const NDArray out = fx.run(sched);
+  EXPECT_TRUE(out.allclose(fx.expected, 1e-12));
+}
+
+TEST(LowerInterp, SplitReduceAxis) {
+  MatmulFixture fx(4, 4, 12);
+  Schedule sched({fx.c});
+  Stage& stage = sched[fx.c];
+  auto [ko, ki] = stage.split(stage.op_reduce_axis()[0], 4);
+  stage.reorder({ko, stage.op_axis()[0], stage.op_axis()[1], ki});
+  const NDArray out = fx.run(sched);
+  EXPECT_TRUE(out.allclose(fx.expected, 1e-12));
+}
+
+TEST(LowerInterp, FuseDataAxes) {
+  MatmulFixture fx(6, 4, 3);
+  Schedule sched({fx.c});
+  Stage& stage = sched[fx.c];
+  stage.fuse(stage.op_axis()[0], stage.op_axis()[1]);
+  const NDArray out = fx.run(sched);
+  EXPECT_TRUE(out.allclose(fx.expected, 1e-12));
+}
+
+TEST(LowerInterp, FuseThenSplit) {
+  MatmulFixture fx(6, 4, 3);
+  Schedule sched({fx.c});
+  Stage& stage = sched[fx.c];
+  IterVar fused = stage.fuse(stage.op_axis()[0], stage.op_axis()[1]);
+  auto [fo, fi] = stage.split(fused, 5);  // 24 % 5 != 0 -> guard via fuse+split
+  const NDArray out = fx.run(sched);
+  EXPECT_TRUE(out.allclose(fx.expected, 1e-12));
+}
+
+TEST(LowerInterp, AnnotationsDoNotChangeSemantics) {
+  MatmulFixture fx(8, 8, 4);
+  Schedule sched({fx.c});
+  Stage& stage = sched[fx.c];
+  auto [yo, yi] = stage.split(stage.op_axis()[0], 2);
+  stage.parallel(yo);
+  stage.unroll(yi);
+  stage.vectorize(stage.leaf_iter_vars().back());
+  const NDArray out = fx.run(sched);
+  EXPECT_TRUE(out.allclose(fx.expected, 1e-12));
+}
+
+// Property sweep: every divisor pair and several non-divisors must agree
+// with the reference (the exact situation the tuners create).
+class SplitSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SplitSweep, MatmulCorrectForAllTilePairs) {
+  const auto [ty, tx] = GetParam();
+  MatmulFixture fx(12, 18, 7);
+  Schedule sched({fx.c});
+  Stage& stage = sched[fx.c];
+  auto [yo, yi] = stage.split(stage.op_axis()[0], ty);
+  auto [xo, xi] = stage.split(stage.op_axis()[1], tx);
+  stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
+  const NDArray out = fx.run(sched);
+  EXPECT_TRUE(out.allclose(fx.expected, 1e-12))
+      << "ty=" << ty << " tx=" << tx
+      << " max diff " << out.max_abs_diff(fx.expected);
+}
+
+std::vector<std::pair<int, int>> tile_pairs() {
+  std::vector<std::pair<int, int>> pairs;
+  for (int ty : {1, 2, 3, 4, 5, 6, 12}) {
+    for (int tx : {1, 2, 5, 6, 9, 18, 7}) {
+      pairs.emplace_back(ty, tx);
+    }
+  }
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTilePairs, SplitSweep,
+                         ::testing::ValuesIn(tile_pairs()));
+
+TEST(LowerInterp, MultiStagePipelineRealizesIntermediates) {
+  // B = A + 1; C = B * B (elementwise) — realize must cover both stages.
+  Tensor a = placeholder({4, 4}, "A");
+  Tensor b = compute({4, 4}, "B", [&](const std::vector<Var>& i) {
+    return access(a, {i[0], i[1]}) + make_float(1.0);
+  });
+  Tensor c = compute({4, 4}, "C", [&](const std::vector<Var>& i) {
+    return access(b, {i[0], i[1]}) * access(b, {i[0], i[1]});
+  });
+  Schedule sched({c});
+  NDArray in({4, 4});
+  in.fill(2.0);
+  NDArray out({4, 4});
+  const Stmt program = run_schedule(sched, {{a, &in}, {c, &out}});
+  EXPECT_EQ(count_stmts(program, StmtKind::kRealize), 1u);
+  for (double v : out.f64()) EXPECT_DOUBLE_EQ(v, 9.0);
+}
+
+TEST(LowerInterp, UnboundPlaceholderThrows) {
+  Tensor a = placeholder({2}, "A");
+  Tensor b = compute({2}, "B", [&](const std::vector<Var>& i) {
+    return access(a, {i[0]}) + make_float(1.0);
+  });
+  Schedule sched({b});
+  NDArray out({2});
+  Interpreter interp;
+  interp.bind(b, &out);
+  EXPECT_THROW(interp.run(lower(sched)), CheckError);
+}
+
+TEST(LowerInterp, BindShapeMismatchThrows) {
+  Tensor a = placeholder({2, 2}, "A");
+  NDArray wrong({3, 3});
+  Interpreter interp;
+  EXPECT_THROW(interp.bind(a, &wrong), CheckError);
+}
+
+TEST(LowerInterp, StoreCountReflectsGuards) {
+  // Exact split: stores == m*n (init) + m*n*k (updates).
+  MatmulFixture fx(4, 4, 2);
+  Schedule exact({fx.c});
+  Stage& stage = exact[fx.c];
+  auto [yo, yi] = stage.split(stage.op_axis()[0], 2);
+  NDArray out({4, 4});
+  Interpreter interp;
+  interp.bind(fx.a, &fx.ma);
+  interp.bind(fx.b, &fx.mb);
+  interp.bind(fx.c, &out);
+  interp.run(lower(exact));
+  EXPECT_EQ(interp.store_count(), 16u + 32u);
+}
+
+TEST(LowerInterp, GuardSkipsOutOfBoundsStores) {
+  MatmulFixture fx(5, 4, 2);  // split 5 by 2 -> 1 padded row skipped
+  Schedule sched({fx.c});
+  Stage& stage = sched[fx.c];
+  stage.split(stage.op_axis()[0], 2);
+  NDArray out({5, 4});
+  Interpreter interp;
+  interp.bind(fx.a, &fx.ma);
+  interp.bind(fx.b, &fx.mb);
+  interp.bind(fx.c, &out);
+  interp.run(lower(sched));
+  // init 20 + updates 5*4*2 = 40 (not 6*4*2 = 48: guard skipped 8).
+  EXPECT_EQ(interp.store_count(), 20u + 40u);
+}
+
+TEST(LowerInterp, LoweredProgramStructure) {
+  MatmulFixture fx(8, 8, 8);
+  Schedule sched({fx.c});
+  Stage& stage = sched[fx.c];
+  auto [yo, yi] = stage.split(stage.op_axis()[0], 4);
+  auto [xo, xi] = stage.split(stage.op_axis()[1], 2);
+  stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
+  const Stmt program = lower(sched);
+  // init nest (2 loops) + update nest (5 loops); deepest is 5.
+  EXPECT_EQ(loop_depth(program), 5u);
+  EXPECT_EQ(count_stmts(program, StmtKind::kStore), 2u);
+  EXPECT_EQ(count_stmts(program, StmtKind::kIfThenElse), 0u);  // exact
+}
+
+}  // namespace
+}  // namespace tvmbo::te

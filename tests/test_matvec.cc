@@ -1,0 +1,178 @@
+// Matrix-vector kernels (atax, bicg, mvt): references vs tiled native vs
+// TE, plus space/simulator/task wiring. These exercise reduction-axis
+// tiling, which the matmul kernels' schedules don't.
+#include <gtest/gtest.h>
+
+#include "configspace/divisors.h"
+#include "kernels/matvec.h"
+#include "kernels/polybench.h"
+#include "framework/session.h"
+#include "runtime/swing_sim.h"
+#include "te/compile.h"
+#include "te/interp.h"
+
+namespace tvmbo::kernels {
+namespace {
+
+using runtime::NDArray;
+
+TEST(Atax, ReferenceMatchesManualComposition) {
+  const std::int64_t m = 7, n = 9;
+  NDArray a({m, n}), x({n}), tmp({m}), y({n});
+  init_atax(a, x);
+  ref_atax(a, x, tmp, y);
+  // y[j] = sum_i A[i,j] * (sum_k A[i,k] x[k])
+  for (std::int64_t j = 0; j < n; ++j) {
+    double expected = 0.0;
+    for (std::int64_t i = 0; i < m; ++i) {
+      double inner = 0.0;
+      for (std::int64_t k = 0; k < n; ++k) {
+        inner += a.at2(i, k) * x.f64()[static_cast<std::size_t>(k)];
+      }
+      expected += a.at2(i, j) * inner;
+    }
+    EXPECT_NEAR(y.f64()[static_cast<std::size_t>(j)], expected, 1e-10);
+  }
+}
+
+class MatvecTileSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MatvecTileSweep, AtaxTiledMatchesReference) {
+  const auto [ti, tj] = GetParam();
+  const std::int64_t m = 19, n = 23;
+  NDArray a({m, n}), x({n});
+  init_atax(a, x);
+  NDArray tmp_ref({m}), y_ref({n}), tmp_tiled({m}), y_tiled({n});
+  ref_atax(a, x, tmp_ref, y_ref);
+  atax_tiled(a, x, tmp_tiled, y_tiled, ti, tj);
+  EXPECT_TRUE(y_tiled.allclose(y_ref, 1e-10)) << "ti=" << ti << " tj=" << tj;
+}
+
+TEST_P(MatvecTileSweep, BicgTiledMatchesReference) {
+  const auto [ti, tj] = GetParam();
+  const std::int64_t n = 21, m = 17;
+  NDArray a({n, m}), p({m}), r({n});
+  init_bicg(a, p, r);
+  NDArray s_ref({m}), q_ref({n}), s_tiled({m}), q_tiled({n});
+  ref_bicg(a, p, r, s_ref, q_ref);
+  bicg_tiled(a, p, r, s_tiled, q_tiled, ti, tj);
+  EXPECT_TRUE(s_tiled.allclose(s_ref, 1e-10)) << "ti=" << ti << " tj=" << tj;
+  EXPECT_TRUE(q_tiled.allclose(q_ref, 1e-10));
+}
+
+TEST_P(MatvecTileSweep, MvtTiledMatchesReference) {
+  const auto [ti, tj] = GetParam();
+  const std::int64_t n = 18;
+  NDArray a({n, n}), x1({n}), x2({n}), y1({n}), y2({n});
+  init_mvt(a, x1, x2, y1, y2);
+  NDArray x1_ref = x1, x2_ref = x2;
+  ref_mvt(a, x1_ref, x2_ref, y1, y2);
+  mvt_tiled(a, x1, x2, y1, y2, ti, tj);
+  EXPECT_TRUE(x1.allclose(x1_ref, 1e-10)) << "ti=" << ti << " tj=" << tj;
+  EXPECT_TRUE(x2.allclose(x2_ref, 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiles, MatvecTileSweep,
+    ::testing::Values(std::pair<int, int>{1, 1}, std::pair<int, int>{4, 6},
+                      std::pair<int, int>{5, 5},
+                      std::pair<int, int>{64, 64},
+                      std::pair<int, int>{3, 11},
+                      std::pair<int, int>{7, 2}));
+
+TEST(Atax, TeScheduleWithReductionSplitMatchesReference) {
+  const std::int64_t m = 10, n = 12;
+  AtaxTensors t = make_atax(m, n);
+  NDArray a({m, n}), x({n});
+  init_atax(a, x);
+  NDArray tmp_ref({m}), y_ref({n});
+  ref_atax(a, x, tmp_ref, y_ref);
+
+  for (const auto [ti, tj] : {std::pair<std::int64_t, std::int64_t>{2, 3},
+                              {5, 4},
+                              {10, 12},
+                              {3, 7}}) {
+    te::Schedule sched = schedule_atax(t, ti, tj);
+    NDArray y({n});
+    te::run_schedule(sched, {{t.A, &a}, {t.X, &x}, {t.Y, &y}});
+    EXPECT_TRUE(y.allclose(y_ref, 1e-10)) << "ti=" << ti << " tj=" << tj;
+  }
+}
+
+TEST(Atax, CompiledBackendAgrees) {
+  const std::int64_t m = 10, n = 12;
+  AtaxTensors t = make_atax(m, n);
+  NDArray a({m, n}), x({n});
+  init_atax(a, x);
+  NDArray tmp_ref({m}), y_ref({n});
+  ref_atax(a, x, tmp_ref, y_ref);
+  te::Schedule sched = schedule_atax(t, 4, 5);
+  NDArray y({n});
+  te::CompiledProgram::compile(te::lower(sched),
+                               {{t.A, &a}, {t.X, &x}, {t.Y, &y}})
+      .run();
+  EXPECT_TRUE(y.allclose(y_ref, 1e-10));
+}
+
+TEST(Matvec, SpacesAndWorkloads) {
+  const auto atax_dims = polybench_dims("atax", Dataset::kLarge);
+  EXPECT_EQ(atax_dims, (std::vector<std::int64_t>{1900, 2100}));
+  const auto space = build_space("atax", atax_dims);
+  EXPECT_EQ(space.cardinality(),
+            cs::divisor_count(1900) * cs::divisor_count(2100));
+  EXPECT_DOUBLE_EQ(make_workload("mvt", Dataset::kLarge).flops,
+                   4.0 * 2000 * 2000);
+}
+
+TEST(Matvec, SimulatedSurfacesRespondToTiles) {
+  runtime::SwingSimDevice device;
+  for (const char* kernel : {"atax", "bicg", "mvt"}) {
+    const auto workload = make_workload(kernel, Dataset::kLarge);
+    const std::int64_t good[2] = {4, 96};
+    const std::int64_t bad[2] = {workload.dims[0], 1};
+    EXPECT_LT(device.surface_runtime(workload, good),
+              device.surface_runtime(workload, bad))
+        << kernel;
+  }
+}
+
+TEST(Matvec, MatvecCheaperThanFactorizationAtSameN) {
+  // 4*N^2 flops vs ~2/3*N^3: mvt must be far cheaper than LU at N=2000.
+  runtime::SwingSimDevice device;
+  const std::int64_t tiles[2] = {8, 96};
+  EXPECT_LT(device.model_runtime(make_workload("mvt", Dataset::kLarge),
+                                 tiles) *
+                20.0,
+            device.model_runtime(make_workload("lu", Dataset::kLarge),
+                                 tiles));
+}
+
+TEST(Matvec, ExecutableTasksRunOnCpu) {
+  for (const char* kernel : {"atax", "mvt"}) {
+    autotvm::Task task =
+        make_task(kernel, "mini", polybench_dims(kernel, Dataset::kMini),
+                  /*executable=*/true);
+    cs::Configuration config =
+        task.config.space().default_configuration();
+    config.set_index(0, 1);
+    const auto input = task.measure_input(config);
+    ASSERT_TRUE(static_cast<bool>(input.run)) << kernel;
+    input.run();  // must not throw
+  }
+}
+
+TEST(Matvec, FullSessionOnAtax) {
+  const autotvm::Task task = make_task("atax", Dataset::kLarge);
+  runtime::SwingSimDevice device(3);
+  framework::SessionOptions options;
+  options.max_evaluations = 40;
+  framework::AutotuningSession session(&task, &device, options);
+  const auto result = session.run(framework::StrategyKind::kYtopt);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(result.evaluations, 40u);
+  EXPECT_GT(result.best->runtime_s, 0.0);
+}
+
+}  // namespace
+}  // namespace tvmbo::kernels

@@ -1,0 +1,122 @@
+#include "runtime/perf_db.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.h"
+
+namespace tvmbo::runtime {
+namespace {
+
+TrialRecord make_record(int index, const std::string& strategy,
+                        double runtime, bool valid = true) {
+  TrialRecord record;
+  record.eval_index = index;
+  record.strategy = strategy;
+  record.workload_id = "lu/large[2000]";
+  record.tiles = {400, 50};
+  record.runtime_s = runtime;
+  record.compile_s = 2.5;
+  record.elapsed_s = 10.0 * (index + 1);
+  record.valid = valid;
+  return record;
+}
+
+TEST(PerfDb, BestPicksLowestValidRuntime) {
+  PerfDatabase db;
+  db.add(make_record(0, "ytopt", 3.0));
+  db.add(make_record(1, "ytopt", 1.5));
+  db.add(make_record(2, "ytopt", 0.5, /*valid=*/false));
+  const auto best = db.best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->runtime_s, 1.5);
+  EXPECT_EQ(best->eval_index, 1);
+}
+
+TEST(PerfDb, BestOfEmptyIsNullopt) {
+  PerfDatabase db;
+  EXPECT_FALSE(db.best().has_value());
+  db.add(make_record(0, "x", 1.0, /*valid=*/false));
+  EXPECT_FALSE(db.best().has_value());
+}
+
+TEST(PerfDb, BestForStrategy) {
+  PerfDatabase db;
+  db.add(make_record(0, "ytopt", 2.0));
+  db.add(make_record(0, "autotvm-ga", 1.0));
+  db.add(make_record(1, "ytopt", 1.8));
+  const auto best = db.best_for("ytopt");
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->runtime_s, 1.8);
+  EXPECT_FALSE(db.best_for("nope").has_value());
+}
+
+TEST(PerfDb, StrategiesInFirstAppearanceOrder) {
+  PerfDatabase db;
+  db.add(make_record(0, "b", 1.0));
+  db.add(make_record(0, "a", 1.0));
+  db.add(make_record(1, "b", 1.0));
+  const auto strategies = db.strategies();
+  ASSERT_EQ(strategies.size(), 2u);
+  EXPECT_EQ(strategies[0], "b");
+  EXPECT_EQ(strategies[1], "a");
+}
+
+TEST(PerfDb, TotalTimeIsLastElapsed) {
+  PerfDatabase db;
+  db.add(make_record(0, "ytopt", 2.0));
+  db.add(make_record(1, "ytopt", 2.0));
+  EXPECT_DOUBLE_EQ(db.total_time_for("ytopt"), 20.0);
+  EXPECT_DOUBLE_EQ(db.total_time_for("nope"), 0.0);
+}
+
+TEST(PerfDb, JsonLinesRoundTrip) {
+  PerfDatabase db;
+  db.add(make_record(0, "ytopt", 1.659));
+  db.add(make_record(1, "autotvm-xgb", 2.25, /*valid=*/false));
+  const std::string text = db.to_json_lines();
+  const PerfDatabase restored = PerfDatabase::from_json_lines(text);
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.record(0).strategy, "ytopt");
+  EXPECT_DOUBLE_EQ(restored.record(0).runtime_s, 1.659);
+  EXPECT_EQ(restored.record(0).tiles, (std::vector<std::int64_t>{400, 50}));
+  EXPECT_FALSE(restored.record(1).valid);
+  EXPECT_EQ(restored.record(1).workload_id, "lu/large[2000]");
+}
+
+TEST(PerfDb, SaveLoadFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tvmbo_perfdb_test.jsonl")
+          .string();
+  PerfDatabase db;
+  db.add(make_record(0, "ytopt", 1.0));
+  db.save(path);
+  const PerfDatabase loaded = PerfDatabase::load(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PerfDb, LoadMissingFileThrows) {
+  EXPECT_THROW(PerfDatabase::load("/nonexistent/path.jsonl"),
+               tvmbo::CheckError);
+}
+
+TEST(PerfDb, RecordIndexOutOfRangeThrows) {
+  PerfDatabase db;
+  EXPECT_THROW(db.record(0), tvmbo::CheckError);
+}
+
+TEST(PerfDb, ByStrategyFilters) {
+  PerfDatabase db;
+  db.add(make_record(0, "a", 1.0));
+  db.add(make_record(0, "b", 2.0));
+  db.add(make_record(1, "a", 3.0));
+  const auto records = db.by_strategy("a");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records[1].runtime_s, 3.0);
+}
+
+}  // namespace
+}  // namespace tvmbo::runtime

@@ -1,0 +1,150 @@
+#include "kernels/polybench.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "runtime/cpu_device.h"
+
+namespace tvmbo::kernels {
+namespace {
+
+TEST(Polybench, DatasetNamesRoundTrip) {
+  for (Dataset d : {Dataset::kMini, Dataset::kSmall, Dataset::kMedium,
+                    Dataset::kLarge, Dataset::kExtraLarge}) {
+    EXPECT_EQ(dataset_from_name(dataset_name(d)), d);
+  }
+  EXPECT_THROW(dataset_from_name("huge"), CheckError);
+}
+
+TEST(Polybench, PaperDatasetDims) {
+  EXPECT_EQ(polybench_dims("3mm", Dataset::kLarge),
+            (std::vector<std::int64_t>{800, 900, 1000, 1100, 1200}));
+  EXPECT_EQ(polybench_dims("3mm", Dataset::kExtraLarge),
+            (std::vector<std::int64_t>{1600, 1800, 2000, 2200, 2400}));
+  EXPECT_EQ(polybench_dims("lu", Dataset::kLarge),
+            (std::vector<std::int64_t>{2000}));
+  EXPECT_EQ(polybench_dims("cholesky", Dataset::kExtraLarge),
+            (std::vector<std::int64_t>{4000}));
+}
+
+TEST(Polybench, Table1SpaceSizes) {
+  // The paper's Table 1, exactly.
+  struct Row {
+    const char* kernel;
+    Dataset dataset;
+    std::uint64_t expected;
+  };
+  for (const Row& row :
+       {Row{"3mm", Dataset::kLarge, 74649600ull},
+        Row{"3mm", Dataset::kExtraLarge, 228614400ull},
+        Row{"cholesky", Dataset::kLarge, 400ull},
+        Row{"cholesky", Dataset::kExtraLarge, 576ull},
+        Row{"lu", Dataset::kLarge, 400ull},
+        Row{"lu", Dataset::kExtraLarge, 576ull}}) {
+    const auto dims = polybench_dims(row.kernel, row.dataset);
+    const auto space = build_space(row.kernel, dims);
+    EXPECT_EQ(space.cardinality(), row.expected)
+        << row.kernel << "/" << dataset_name(row.dataset);
+  }
+}
+
+TEST(Polybench, PaperP0SequenceFor3mmXl) {
+  // §4 lists P0's sequence for 3mm-extralarge: the divisors of 2000.
+  const auto space =
+      build_space("3mm", polybench_dims("3mm", Dataset::kExtraLarge));
+  const auto& p0 =
+      static_cast<const cs::OrdinalHyperparameter&>(space.param("P0"));
+  EXPECT_EQ(p0.sequence(),
+            (std::vector<double>{1, 2, 4, 5, 8, 10, 16, 20, 25, 40, 50, 80,
+                                 100, 125, 200, 250, 400, 500, 1000, 2000}));
+  // And P1 = divisors(1600), 21 values ending in 1600.
+  const auto& p1 =
+      static_cast<const cs::OrdinalHyperparameter&>(space.param("P1"));
+  EXPECT_EQ(p1.sequence().size(), 21u);
+  EXPECT_DOUBLE_EQ(p1.sequence().back(), 1600.0);
+}
+
+TEST(Polybench, FlopsFormulas) {
+  EXPECT_DOUBLE_EQ(kernel_flops("lu", {100}), 2.0 / 3.0 * 1e6);
+  EXPECT_DOUBLE_EQ(kernel_flops("cholesky", {100}), 1.0 / 3.0 * 1e6);
+  EXPECT_DOUBLE_EQ(kernel_flops("gemm", {10, 20, 30}), 2.0 * 6000);
+  // 3mm: 2*(N*M*L + M*P*O + N*P*M)
+  EXPECT_DOUBLE_EQ(kernel_flops("3mm", {2, 3, 4, 5, 6}),
+                   2.0 * (2 * 4 * 3 + 4 * 6 * 5 + 2 * 6 * 4));
+}
+
+TEST(Polybench, WorkloadDescriptor) {
+  const auto w = make_workload("lu", Dataset::kLarge);
+  EXPECT_EQ(w.kernel, "lu");
+  EXPECT_EQ(w.size_name, "large");
+  EXPECT_EQ(w.dims, (std::vector<std::int64_t>{2000}));
+  EXPECT_GT(w.flops, 5e9);
+}
+
+TEST(Polybench, UnknownKernelThrows) {
+  EXPECT_THROW(polybench_dims("fft", Dataset::kLarge), CheckError);
+  EXPECT_THROW(kernel_flops("fft", {1}), CheckError);
+}
+
+TEST(Polybench, TaskKnobsMatchSpace) {
+  const autotvm::Task task = make_task("lu", Dataset::kLarge);
+  EXPECT_EQ(task.name, "lu_large");
+  EXPECT_EQ(task.config.space().cardinality(), 400u);
+  EXPECT_EQ(task.config.num_knobs(), 2u);
+}
+
+TEST(Polybench, NonExecutableTaskStillMeasurable) {
+  const autotvm::Task task = make_task("lu", Dataset::kLarge);
+  cs::Configuration config =
+      task.config.space().default_configuration();
+  const runtime::MeasureInput input = task.measure_input(config);
+  EXPECT_EQ(input.workload.kernel, "lu");
+  EXPECT_EQ(input.tiles.size(), 2u);
+  EXPECT_FALSE(static_cast<bool>(input.run));
+}
+
+TEST(Polybench, ExecutableTaskRunsOnCpu) {
+  // Mini dataset so the real execution stays fast.
+  autotvm::Task task =
+      make_task("lu", "mini", polybench_dims("lu", Dataset::kMini),
+                /*executable=*/true);
+  cs::Configuration config =
+      task.config.space().default_configuration();
+  config.set_index(0, 2);
+  config.set_index(1, 1);
+  const runtime::MeasureInput input = task.measure_input(config);
+  ASSERT_TRUE(static_cast<bool>(input.run));
+  runtime::CpuDevice device;
+  runtime::MeasureOption option;
+  option.repeat = 1;
+  const auto result = device.measure(input, option);
+  EXPECT_TRUE(result.valid);
+  EXPECT_GT(result.runtime_s, 0.0);
+}
+
+TEST(Polybench, Executable3mmTaskRunsOnCpu) {
+  autotvm::Task task =
+      make_task("3mm", "mini", polybench_dims("3mm", Dataset::kMini),
+                /*executable=*/true);
+  cs::Configuration config =
+      task.config.space().default_configuration();
+  const runtime::MeasureInput input = task.measure_input(config);
+  ASSERT_TRUE(static_cast<bool>(input.run));
+  runtime::CpuDevice device;
+  runtime::MeasureOption option;
+  option.repeat = 1;
+  EXPECT_TRUE(device.measure(input, option).valid);
+}
+
+TEST(Polybench, PaperExperimentIndexCoversAllFigures) {
+  const auto experiments = paper_experiments();
+  EXPECT_EQ(experiments.size(), 6u);
+  int figures = 0;
+  for (const auto& e : experiments) {
+    if (e.figure_process[0] != '\0') figures += 2;  // process + minimum
+  }
+  EXPECT_EQ(figures, 10);  // Figs 4-13
+}
+
+}  // namespace
+}  // namespace tvmbo::kernels

@@ -1,0 +1,215 @@
+// Randomized property tests ("fuzz-lite"): random schedule pipelines must
+// preserve kernel semantics; random JSON/CSV documents must round-trip;
+// parallel and serial Random-Forest fits must be bit-identical.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "kernels/reference.h"
+#include "surrogate/random_forest.h"
+#include "te/interp.h"
+#include "te/transform.h"
+
+namespace tvmbo {
+namespace {
+
+// --- random schedule pipelines on a matmul ----------------------------------
+
+struct RandomScheduleCase {
+  std::uint64_t seed;
+};
+
+class RandomSchedules : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSchedules, AnyLegalPipelinePreservesMatmulSemantics) {
+  Rng rng(GetParam());
+  const std::int64_t m = 6 + rng.uniform_int(8);   // 6..13
+  const std::int64_t n = 6 + rng.uniform_int(8);
+  const std::int64_t k = 4 + rng.uniform_int(8);
+
+  te::Tensor a = te::placeholder({m, k}, "A");
+  te::Tensor b = te::placeholder({k, n}, "B");
+  te::IterVar kk = te::reduce_axis(k, "k");
+  te::Tensor c = te::compute(
+      {m, n}, "C",
+      [&](const std::vector<te::Var>& i) {
+        return te::sum(te::access(a, {i[0], kk->var}) *
+                           te::access(b, {kk->var, i[1]}),
+                       {kk->var});
+      },
+      {kk});
+
+  te::Schedule sched({c});
+  te::Stage& stage = sched[c];
+
+  // Random pipeline: a few split/reorder/annotate actions on live leaves.
+  const int actions = 1 + static_cast<int>(rng.uniform_int(4));
+  for (int act = 0; act < actions; ++act) {
+    const auto& leaves = stage.leaf_iter_vars();
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(leaves.size())));
+    const te::IterVar target = leaves[pick];
+    switch (rng.uniform_int(3)) {
+      case 0: {  // split by a random factor (dividing or not)
+        const std::int64_t factor = 1 + rng.uniform_int(target->extent + 2);
+        stage.split(target, factor);
+        break;
+      }
+      case 1: {  // reorder a random shuffle of all leaves
+        std::vector<te::IterVar> order = stage.leaf_iter_vars();
+        rng.shuffle(order);
+        stage.reorder(order);
+        break;
+      }
+      case 2: {  // annotate (never changes interpreter semantics)
+        if (rng.bernoulli(0.5)) {
+          stage.unroll(target);
+        } else {
+          stage.parallel(target);
+        }
+        break;
+      }
+    }
+  }
+
+  runtime::NDArray ma({m, k}), mb({k, n});
+  kernels::init_gemm(ma, mb);
+  runtime::NDArray expected({m, n});
+  kernels::ref_matmul(ma, mb, expected);
+
+  // Lower, then push through the full pass pipeline.
+  te::Stmt program = te::lower(sched);
+  te::validate(program);
+  program = te::unroll_loops(te::simplify(program));
+  te::validate(program);
+
+  runtime::NDArray out({m, n});
+  te::Interpreter interp;
+  interp.bind(a, &ma);
+  interp.bind(b, &mb);
+  interp.bind(c, &out);
+  interp.run(program);
+  EXPECT_TRUE(out.allclose(expected, 1e-10))
+      << "seed " << GetParam() << " (m,n,k)=(" << m << "," << n << ","
+      << k << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSchedules,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+// --- serialization round trips ----------------------------------------------
+
+Json random_json(Rng& rng, int depth) {
+  const std::int64_t kind = rng.uniform_int(depth > 2 ? 4 : 6);
+  switch (kind) {
+    case 0: return Json(nullptr);
+    case 1: return Json(rng.bernoulli(0.5));
+    case 2:
+      return Json(rng.bernoulli(0.3)
+                      ? static_cast<double>(rng.uniform_int(-1000, 1000))
+                      : rng.uniform(-1e6, 1e6));
+    case 3: {
+      std::string text;
+      const std::int64_t length = rng.uniform_int(12);
+      for (std::int64_t i = 0; i < length; ++i) {
+        // Mix printable ASCII with characters that need escaping.
+        const char pool[] = "abcXYZ019 ,\"\\\n\t{}[]";
+        text.push_back(pool[rng.uniform_int(sizeof(pool) - 1)]);
+      }
+      return Json(text);
+    }
+    case 4: {
+      Json array = Json::array();
+      const std::int64_t size = rng.uniform_int(5);
+      for (std::int64_t i = 0; i < size; ++i) {
+        array.push_back(random_json(rng, depth + 1));
+      }
+      return array;
+    }
+    default: {
+      Json object = Json::object();
+      const std::int64_t size = rng.uniform_int(5);
+      for (std::int64_t i = 0; i < size; ++i) {
+        object.set("k" + std::to_string(i), random_json(rng, depth + 1));
+      }
+      return object;
+    }
+  }
+}
+
+TEST(PropertyFuzz, JsonRoundTripsRandomDocuments) {
+  Rng rng(404);
+  for (int i = 0; i < 300; ++i) {
+    const Json document = random_json(rng, 0);
+    EXPECT_EQ(Json::parse(document.dump()), document) << document.dump();
+    EXPECT_EQ(Json::parse(document.dump_pretty()), document);
+  }
+}
+
+TEST(PropertyFuzz, CsvRoundTripsRandomTables) {
+  Rng rng(505);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t columns =
+        1 + static_cast<std::size_t>(rng.uniform_int(5));
+    std::vector<std::string> header;
+    for (std::size_t c = 0; c < columns; ++c) {
+      header.push_back("col" + std::to_string(c));
+    }
+    CsvTable table(header);
+    const std::int64_t rows = rng.uniform_int(6);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      for (std::size_t c = 0; c < columns; ++c) {
+        std::string cell;
+        const std::int64_t length = rng.uniform_int(8);
+        for (std::int64_t i = 0; i < length; ++i) {
+          const char pool[] = "ab1 ,\"\n";
+          cell.push_back(pool[rng.uniform_int(sizeof(pool) - 1)]);
+        }
+        row.push_back(std::move(cell));
+      }
+      table.add_row(row);
+    }
+    const CsvTable parsed = CsvTable::parse(table.to_string());
+    ASSERT_EQ(parsed.num_rows(), table.num_rows()) << trial;
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      EXPECT_EQ(parsed.row(r), table.row(r)) << trial;
+    }
+  }
+}
+
+// --- parallel determinism ----------------------------------------------------
+
+TEST(PropertyFuzz, ParallelForestFitIsBitIdenticalToSerial) {
+  Rng data_rng(606);
+  surrogate::Dataset data;
+  for (int i = 0; i < 120; ++i) {
+    const double x0 = data_rng.uniform(), x1 = data_rng.uniform();
+    data.add({x0, x1}, x0 * x0 + 0.3 * x1 + data_rng.normal(0.0, 0.01));
+  }
+  surrogate::ForestOptions serial_options;
+  serial_options.num_trees = 24;
+  surrogate::ForestOptions parallel_options = serial_options;
+  parallel_options.parallel_fit = true;
+
+  surrogate::RandomForest serial(serial_options);
+  surrogate::RandomForest parallel(parallel_options);
+  Rng ra(7), rb(7);
+  serial.fit(data, ra);
+  parallel.fit(data, rb);
+
+  Rng probe(8);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x{probe.uniform(), probe.uniform()};
+    const auto ps = serial.predict_with_std(x);
+    const auto pp = parallel.predict_with_std(x);
+    EXPECT_DOUBLE_EQ(ps.mean, pp.mean);
+    EXPECT_DOUBLE_EQ(ps.std, pp.std);
+  }
+}
+
+}  // namespace
+}  // namespace tvmbo

@@ -1,0 +1,210 @@
+#include "te/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace tvmbo::te {
+namespace {
+
+Tensor simple_matmul(std::int64_t m, std::int64_t n, std::int64_t k,
+                     Tensor* a_out = nullptr, Tensor* b_out = nullptr,
+                     IterVar* k_out = nullptr) {
+  Tensor a = placeholder({m, k}, "A");
+  Tensor b = placeholder({k, n}, "B");
+  IterVar kk = reduce_axis(k, "k");
+  Tensor c = compute(
+      {m, n}, "C",
+      [&](const std::vector<Var>& i) {
+        return sum(access(a, {i[0], kk->var}) * access(b, {kk->var, i[1]}),
+                   {kk->var});
+      },
+      {kk});
+  if (a_out) *a_out = a;
+  if (b_out) *b_out = b;
+  if (k_out) *k_out = kk;
+  return c;
+}
+
+TEST(Schedule, InitialLeafOrderIsAxesThenReduce) {
+  Tensor c = simple_matmul(4, 6, 8);
+  Schedule sched({c});
+  const auto& leaves = sched[c].leaf_iter_vars();
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_EQ(leaves[0]->kind, IterKind::kData);
+  EXPECT_EQ(leaves[1]->kind, IterKind::kData);
+  EXPECT_EQ(leaves[2]->kind, IterKind::kReduce);
+  EXPECT_EQ(leaves[2]->extent, 8);
+}
+
+TEST(Schedule, SplitExactExtents) {
+  Tensor c = simple_matmul(8, 6, 4);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  auto [outer, inner] = stage.split(stage.op_axis()[0], 2);
+  EXPECT_EQ(outer->extent, 4);
+  EXPECT_EQ(inner->extent, 2);
+  const auto& leaves = stage.leaf_iter_vars();
+  ASSERT_EQ(leaves.size(), 4u);
+  EXPECT_EQ(leaves[0].get(), outer.get());
+  EXPECT_EQ(leaves[1].get(), inner.get());
+  EXPECT_FALSE(stage.needs_guard());
+}
+
+TEST(Schedule, SplitNonExactNeedsGuard) {
+  Tensor c = simple_matmul(10, 6, 4);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  auto [outer, inner] = stage.split(stage.op_axis()[0], 3);
+  EXPECT_EQ(outer->extent, 4);  // ceil(10/3)
+  EXPECT_EQ(inner->extent, 3);
+  EXPECT_TRUE(stage.needs_guard());
+}
+
+TEST(Schedule, SplitFactorLargerThanExtentClampsInner) {
+  Tensor c = simple_matmul(4, 6, 4);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  auto [outer, inner] = stage.split(stage.op_axis()[0], 100);
+  EXPECT_EQ(outer->extent, 1);
+  EXPECT_EQ(inner->extent, 4);
+}
+
+TEST(Schedule, ChainedSplits) {
+  Tensor c = simple_matmul(16, 6, 4);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  auto [outer, inner] = stage.split(stage.op_axis()[0], 8);
+  auto [oo, oi] = stage.split(outer, 2);
+  EXPECT_EQ(oo->extent, 1);
+  EXPECT_EQ(oi->extent, 2);
+  EXPECT_EQ(stage.leaf_iter_vars().size(), 5u);
+}
+
+TEST(Schedule, SplitNonLeafThrows) {
+  Tensor c = simple_matmul(8, 6, 4);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  auto [outer, inner] = stage.split(stage.op_axis()[0], 2);
+  EXPECT_THROW(stage.split(stage.op_axis()[0], 2), CheckError);
+}
+
+TEST(Schedule, ReorderPaperPattern) {
+  // The paper's reorder(yo, xo, k, yi, xi).
+  Tensor c = simple_matmul(8, 8, 4);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  auto [yo, yi] = stage.split(stage.op_axis()[0], 2);
+  auto [xo, xi] = stage.split(stage.op_axis()[1], 2);
+  const IterVar k = stage.op_reduce_axis()[0];
+  stage.reorder({yo, xo, k, yi, xi});
+  const auto& leaves = stage.leaf_iter_vars();
+  ASSERT_EQ(leaves.size(), 5u);
+  EXPECT_EQ(leaves[0].get(), yo.get());
+  EXPECT_EQ(leaves[1].get(), xo.get());
+  EXPECT_EQ(leaves[2].get(), k.get());
+  EXPECT_EQ(leaves[3].get(), yi.get());
+  EXPECT_EQ(leaves[4].get(), xi.get());
+}
+
+TEST(Schedule, PartialReorderKeepsOtherPositions) {
+  Tensor c = simple_matmul(8, 8, 4);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  const IterVar y = stage.op_axis()[0];
+  const IterVar x = stage.op_axis()[1];
+  const IterVar k = stage.op_reduce_axis()[0];
+  stage.reorder({k, y});  // swap k into y's slot and vice versa; x stays
+  const auto& leaves = stage.leaf_iter_vars();
+  EXPECT_EQ(leaves[0].get(), k.get());
+  EXPECT_EQ(leaves[1].get(), x.get());
+  EXPECT_EQ(leaves[2].get(), y.get());
+}
+
+TEST(Schedule, ReorderDuplicateThrows) {
+  Tensor c = simple_matmul(8, 8, 4);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  const IterVar y = stage.op_axis()[0];
+  EXPECT_THROW(stage.reorder({y, y}), CheckError);
+}
+
+TEST(Schedule, FuseAdjacentLeaves) {
+  Tensor c = simple_matmul(4, 6, 8);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  IterVar fused = stage.fuse(stage.op_axis()[0], stage.op_axis()[1]);
+  EXPECT_EQ(fused->extent, 24);
+  EXPECT_EQ(stage.leaf_iter_vars().size(), 2u);
+  EXPECT_EQ(stage.leaf_iter_vars()[0].get(), fused.get());
+}
+
+TEST(Schedule, FuseNonAdjacentThrows) {
+  Tensor c = simple_matmul(4, 6, 8);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  // y and k are not adjacent (x sits between them).
+  EXPECT_THROW(stage.fuse(stage.op_axis()[0], stage.op_reduce_axis()[0]),
+               CheckError);
+}
+
+TEST(Schedule, FuseDataWithReduceThrows) {
+  Tensor c = simple_matmul(4, 6, 8);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  // x and k are adjacent but of different kinds.
+  EXPECT_THROW(stage.fuse(stage.op_axis()[1], stage.op_reduce_axis()[0]),
+               CheckError);
+}
+
+TEST(Schedule, TileConvenience) {
+  Tensor c = simple_matmul(8, 8, 4);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  const auto tiled =
+      stage.tile(stage.op_axis()[0], stage.op_axis()[1], 4, 2);
+  const auto& leaves = stage.leaf_iter_vars();
+  ASSERT_EQ(leaves.size(), 5u);
+  EXPECT_EQ(leaves[0].get(), tiled[0].get());  // y_outer
+  EXPECT_EQ(leaves[1].get(), tiled[1].get());  // x_outer
+  EXPECT_EQ(leaves[2].get(), tiled[2].get());  // y_inner
+  EXPECT_EQ(leaves[3].get(), tiled[3].get());  // x_inner
+}
+
+TEST(Schedule, Annotations) {
+  Tensor c = simple_matmul(8, 8, 4);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  const IterVar y = stage.op_axis()[0];
+  const IterVar x = stage.op_axis()[1];
+  stage.parallel(y);
+  EXPECT_EQ(stage.annotation(y), ForKind::kParallel);
+  EXPECT_EQ(stage.annotation(x), ForKind::kSerial);
+  // vectorize must target the innermost leaf.
+  EXPECT_THROW(stage.vectorize(y), CheckError);
+  stage.vectorize(stage.leaf_iter_vars().back());
+}
+
+TEST(Schedule, StageLookupUnknownTensorThrows) {
+  Tensor c = simple_matmul(4, 4, 4);
+  Tensor other = simple_matmul(4, 4, 4);
+  Schedule sched({c});
+  EXPECT_THROW(sched[other], CheckError);
+}
+
+TEST(Schedule, PlaceholdersHaveNoStage) {
+  Tensor a = placeholder({4}, "A");
+  Tensor b = compute({4}, "B", [&](const std::vector<Var>& i) {
+    return access(a, {i[0]}) + make_float(1.0);
+  });
+  Schedule sched({b});
+  EXPECT_THROW(sched[a], CheckError);
+}
+
+TEST(Schedule, SplitZeroFactorThrows) {
+  Tensor c = simple_matmul(4, 4, 4);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  EXPECT_THROW(stage.split(stage.op_axis()[0], 0), CheckError);
+}
+
+}  // namespace
+}  // namespace tvmbo::te

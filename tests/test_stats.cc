@@ -1,0 +1,109 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tvmbo {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> values{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(values), 2.5);
+  EXPECT_DOUBLE_EQ(variance(values), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(values), std::sqrt(1.25));
+}
+
+TEST(Stats, EmptyMeanIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+}
+
+TEST(Stats, MinMaxArg) {
+  const std::vector<double> values{3.0, 1.0, 4.0, 1.5};
+  EXPECT_DOUBLE_EQ(min_value(values), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(values), 4.0);
+  EXPECT_EQ(argmin(values), 1u);
+  EXPECT_EQ(argmax(values), 2u);
+}
+
+TEST(Stats, MinOfEmptyThrows) {
+  EXPECT_THROW(min_value({}), CheckError);
+  EXPECT_THROW(argmin({}), CheckError);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(median(values), 5.0);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> values{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(values), 3.0);
+}
+
+TEST(Stats, QuantileOutOfRangeThrows) {
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(quantile(values, 1.5), CheckError);
+}
+
+TEST(Stats, RunningMinMonotone) {
+  const std::vector<double> values{5, 7, 3, 9, 2, 8};
+  const std::vector<double> expected{5, 5, 3, 3, 2, 2};
+  EXPECT_EQ(running_min(values), expected);
+}
+
+TEST(Stats, PrefixSum) {
+  const std::vector<double> values{1, 2, 3};
+  const std::vector<double> expected{1, 3, 6};
+  EXPECT_EQ(prefix_sum(values), expected);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::vector<double> c{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  const std::vector<double> a{1, 1, 1};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Stats, SpearmanMonotoneNonlinear) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{1, 8, 27, 64, 125};  // monotone, nonlinear
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanHandlesTies) {
+  const std::vector<double> a{1, 2, 2, 3};
+  const std::vector<double> b{10, 20, 20, 30};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, RSquaredPerfectAndBaseline) {
+  const std::vector<double> targets{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r_squared(targets, targets), 1.0);
+  const std::vector<double> mean_pred{2.5, 2.5, 2.5, 2.5};
+  EXPECT_DOUBLE_EQ(r_squared(mean_pred, targets), 0.0);
+}
+
+TEST(Stats, SizeMismatchThrows) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1};
+  EXPECT_THROW(pearson(a, b), CheckError);
+  EXPECT_THROW(r_squared(a, b), CheckError);
+}
+
+}  // namespace
+}  // namespace tvmbo

@@ -1,0 +1,137 @@
+#include "te/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tvmbo::te {
+namespace {
+
+TEST(Tensor, PlaceholderBasics) {
+  Tensor a = placeholder({3, 4}, "A");
+  EXPECT_TRUE(a->is_placeholder());
+  EXPECT_FALSE(a->is_compute());
+  EXPECT_EQ(a->name, "A");
+  EXPECT_EQ(a->shape, (std::vector<std::int64_t>{3, 4}));
+  EXPECT_TRUE(a->inputs().empty());
+}
+
+TEST(Tensor, PlaceholderRejectsBadShape) {
+  EXPECT_THROW(placeholder({}, "A"), CheckError);
+  EXPECT_THROW(placeholder({0}, "A"), CheckError);
+}
+
+TEST(Tensor, ElementwiseCompute) {
+  Tensor a = placeholder({4, 4}, "A");
+  Tensor b = compute({4, 4}, "B", [&](const std::vector<Var>& i) {
+    return access(a, {i[0], i[1]}) * make_float(2.0);
+  });
+  EXPECT_TRUE(b->is_compute());
+  EXPECT_FALSE(b->is_reduction);
+  EXPECT_EQ(b->axis.size(), 2u);
+  EXPECT_EQ(b->axis[0]->extent, 4);
+  ASSERT_EQ(b->inputs().size(), 1u);
+  EXPECT_EQ(b->inputs()[0].get(), a.get());
+}
+
+TEST(Tensor, ReductionCompute) {
+  Tensor a = placeholder({3, 5}, "A");
+  Tensor b = placeholder({5, 2}, "B");
+  IterVar k = reduce_axis(5, "k");
+  Tensor c = compute(
+      {3, 2}, "C",
+      [&](const std::vector<Var>& i) {
+        return sum(access(a, {i[0], k->var}) * access(b, {k->var, i[1]}),
+                   {k->var});
+      },
+      {k});
+  EXPECT_TRUE(c->is_reduction);
+  EXPECT_EQ(c->reduce_kind, ReduceKind::kSum);
+  ASSERT_EQ(c->reduce_axes.size(), 1u);
+  EXPECT_EQ(c->reduce_axes[0].get(), k.get());
+  EXPECT_DOUBLE_EQ(c->reduce_identity(), 0.0);
+}
+
+TEST(Tensor, MaxReductionIdentity) {
+  Tensor a = placeholder({4}, "A");
+  IterVar k = reduce_axis(4, "k");
+  Tensor m = compute(
+      {1}, "M",
+      [&](const std::vector<Var>&) {
+        return max_reduce(access(a, {k->var}), {k->var});
+      },
+      {k});
+  EXPECT_EQ(m->reduce_kind, ReduceKind::kMax);
+  EXPECT_TRUE(std::isinf(m->reduce_identity()));
+  EXPECT_LT(m->reduce_identity(), 0.0);
+}
+
+TEST(Tensor, UndeclaredReduceAxisThrows) {
+  Tensor a = placeholder({4}, "A");
+  IterVar k = reduce_axis(4, "k");
+  EXPECT_THROW(compute({1}, "S",
+                       [&](const std::vector<Var>&) {
+                         return sum(access(a, {k->var}), {k->var});
+                       }),
+               CheckError);
+}
+
+TEST(Tensor, DeclaredAxisWithoutReductionThrows) {
+  Tensor a = placeholder({4}, "A");
+  IterVar k = reduce_axis(4, "k");
+  EXPECT_THROW(
+      compute(
+          {4}, "B",
+          [&](const std::vector<Var>& i) { return access(a, {i[0]}); },
+          {k}),
+      CheckError);
+}
+
+TEST(Tensor, MismatchedReduceAxisThrows) {
+  Tensor a = placeholder({4}, "A");
+  IterVar k = reduce_axis(4, "k");
+  IterVar other = reduce_axis(4, "o");
+  EXPECT_THROW(compute({1}, "S",
+                       [&](const std::vector<Var>&) {
+                         return sum(access(a, {k->var}), {k->var});
+                       },
+                       {other}),
+               CheckError);
+}
+
+TEST(Tensor, TopoSortProducerBeforeConsumer) {
+  Tensor a = placeholder({2, 2}, "A");
+  Tensor b = compute({2, 2}, "B", [&](const std::vector<Var>& i) {
+    return access(a, {i[0], i[1]}) + make_float(1.0);
+  });
+  Tensor c = compute({2, 2}, "C", [&](const std::vector<Var>& i) {
+    return access(b, {i[0], i[1]}) * make_float(3.0);
+  });
+  const auto order = topo_sort({c});
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].get(), a.get());
+  EXPECT_EQ(order[1].get(), b.get());
+  EXPECT_EQ(order[2].get(), c.get());
+}
+
+TEST(Tensor, TopoSortDiamondVisitsOnce) {
+  Tensor a = placeholder({2}, "A");
+  Tensor left = compute({2}, "L", [&](const std::vector<Var>& i) {
+    return access(a, {i[0]}) + make_float(1.0);
+  });
+  Tensor right = compute({2}, "R", [&](const std::vector<Var>& i) {
+    return access(a, {i[0]}) * make_float(2.0);
+  });
+  Tensor top = compute({2}, "T", [&](const std::vector<Var>& i) {
+    return access(left, {i[0]}) + access(right, {i[0]});
+  });
+  const auto order = topo_sort({top});
+  EXPECT_EQ(order.size(), 4u);  // a, left, right, top — no duplicates
+}
+
+TEST(Tensor, ReduceAxisRequiresPositiveExtent) {
+  EXPECT_THROW(reduce_axis(0, "k"), CheckError);
+}
+
+}  // namespace
+}  // namespace tvmbo::te

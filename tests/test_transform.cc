@@ -1,0 +1,175 @@
+#include "te/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/reference.h"
+#include "te/interp.h"
+#include "te/printer.h"
+
+namespace tvmbo::te {
+namespace {
+
+using runtime::NDArray;
+
+struct MatmulProgram {
+  Tensor a, b, c;
+  Stmt program;
+  NDArray ma, mb, expected;
+
+  explicit MatmulProgram(std::int64_t n, std::int64_t ty, std::int64_t tx,
+                         bool unroll_inner = false)
+      : ma({n, n}), mb({n, n}), expected({n, n}) {
+    a = placeholder({n, n}, "A");
+    b = placeholder({n, n}, "B");
+    IterVar k = reduce_axis(n, "k");
+    c = compute(
+        {n, n}, "C",
+        [&](const std::vector<Var>& i) {
+          return sum(access(a, {i[0], k->var}) * access(b, {k->var, i[1]}),
+                     {k->var});
+        },
+        {k});
+    Schedule sched({c});
+    Stage& stage = sched[c];
+    auto [yo, yi] = stage.split(stage.op_axis()[0], ty);
+    auto [xo, xi] = stage.split(stage.op_axis()[1], tx);
+    stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
+    if (unroll_inner) stage.unroll(xi);
+    program = lower(sched);
+    kernels::init_gemm(ma, mb);
+    kernels::ref_matmul(ma, mb, expected);
+  }
+
+  NDArray run(const Stmt& stmt) const {
+    NDArray out({ma.shape()[0], ma.shape()[0]});
+    Interpreter interp;
+    interp.bind(a, const_cast<NDArray*>(&ma));
+    interp.bind(b, const_cast<NDArray*>(&mb));
+    interp.bind(c, &out);
+    interp.run(stmt);
+    return out;
+  }
+};
+
+TEST(Transform, SubstituteStmtReplacesEverywhere) {
+  Tensor t = placeholder({8}, "T");
+  Var i = make_var("i");
+  Stmt store = make_store(t, {i}, access(t, {i}) + make_float(1.0));
+  Stmt replaced = substitute_stmt(store, {{i, make_int(3)}});
+  EXPECT_EQ(to_string(replaced), "T[3] = (T[3] + 1.0)\n");
+}
+
+TEST(Transform, SimplifyInlinesExtentOneLoops) {
+  // Splitting an axis by its full extent yields outer loops of extent 1.
+  MatmulProgram fx(8, 8, 8);
+  const std::size_t loops_before = count_stmts(fx.program, StmtKind::kFor);
+  const Stmt simplified = simplify(fx.program);
+  const std::size_t loops_after = count_stmts(simplified, StmtKind::kFor);
+  EXPECT_LT(loops_after, loops_before);  // yo/xo (extent 1) inlined
+  EXPECT_TRUE(fx.run(simplified).allclose(fx.expected, 1e-12));
+}
+
+TEST(Transform, SimplifyPreservesSemanticsWithGuards) {
+  MatmulProgram fx(10, 3, 4);  // non-exact splits -> guards
+  const Stmt simplified = simplify(fx.program);
+  EXPECT_TRUE(fx.run(simplified).allclose(fx.expected, 1e-12));
+}
+
+TEST(Transform, SimplifyFoldsConstantIf) {
+  Tensor t = placeholder({4}, "T");
+  Var i = make_var("i");
+  Stmt store = make_store(t, {i}, make_float(1.0));
+  Stmt wrapped = make_for(
+      i, 4, ForKind::kSerial,
+      std::make_shared<IfThenElseNode>(lt(make_int(1), make_int(2)), store,
+                                       nullptr));
+  const Stmt simplified = simplify(wrapped);
+  EXPECT_EQ(count_stmts(simplified, StmtKind::kIfThenElse), 0u);
+}
+
+TEST(Transform, SimplifyDropsDeadBranch) {
+  Tensor t = placeholder({4}, "T");
+  Var i = make_var("i");
+  Stmt store = make_store(t, {i}, make_float(1.0));
+  Stmt dead = std::make_shared<IfThenElseNode>(make_int(0), store, nullptr);
+  Stmt loop = make_for(i, 4, ForKind::kSerial,
+                       make_seq({store, dead}));
+  const Stmt simplified = simplify(loop);
+  EXPECT_EQ(count_stmts(simplified, StmtKind::kStore), 1u);
+}
+
+TEST(Transform, UnrollExpandsAnnotatedLoops) {
+  MatmulProgram fx(8, 2, 4, /*unroll_inner=*/true);
+  const Stmt unrolled = unroll_loops(fx.program);
+  // The xi loop (extent 4, unrolled) disappears; 4 stores appear in its
+  // place inside the update nest.
+  EXPECT_LT(count_stmts(unrolled, StmtKind::kFor),
+            count_stmts(fx.program, StmtKind::kFor));
+  EXPECT_GT(count_stmts(unrolled, StmtKind::kStore),
+            count_stmts(fx.program, StmtKind::kStore));
+  EXPECT_TRUE(fx.run(unrolled).allclose(fx.expected, 1e-12));
+}
+
+TEST(Transform, UnrollRespectsMaxExtent) {
+  MatmulProgram fx(8, 2, 8, /*unroll_inner=*/true);
+  const Stmt untouched = unroll_loops(fx.program, /*max_extent=*/4);
+  EXPECT_EQ(count_stmts(untouched, StmtKind::kFor),
+            count_stmts(fx.program, StmtKind::kFor));
+}
+
+TEST(Transform, ValidateAcceptsLoweredPrograms) {
+  MatmulProgram fx(6, 2, 3);
+  EXPECT_GT(validate(fx.program), 5u);
+  EXPECT_GT(validate(simplify(fx.program)), 0u);
+  EXPECT_GT(validate(unroll_loops(fx.program)), 0u);
+}
+
+TEST(Transform, ValidateCatchesUnboundVariable) {
+  Tensor t = placeholder({4}, "T");
+  Var stray = make_var("stray");
+  Stmt bad = make_store(t, {stray}, make_float(0.0));
+  EXPECT_THROW(validate(bad), CheckError);
+}
+
+TEST(Transform, ValidateCatchesShadowing) {
+  Tensor t = placeholder({4}, "T");
+  Var i = make_var("i");
+  Stmt inner = make_for(i, 2, ForKind::kSerial,
+                        make_store(t, {i}, make_float(0.0)));
+  Stmt outer = make_for(i, 4, ForKind::kSerial, inner);
+  EXPECT_THROW(validate(outer), CheckError);
+}
+
+TEST(Transform, EstimateOpsMatmul) {
+  MatmulProgram fx(8, 2, 4);
+  const OpCounts counts = estimate_ops(fx.program);
+  // Update nest: 8*8*8 iterations x (1 store, 3 loads: C, A, B).
+  // Init nest: 8*8 stores. Total stores 512 + 64.
+  EXPECT_EQ(counts.stores, 512u + 64u);
+  EXPECT_EQ(counts.loads, 3u * 512u);
+  // Arithmetic: per update at least mul + add (plus index arithmetic).
+  EXPECT_GE(counts.arithmetic, 2u * 512u);
+}
+
+TEST(Transform, EstimateOpsScalesWithExtents) {
+  MatmulProgram small(4, 2, 2);
+  MatmulProgram large(8, 2, 2);
+  const OpCounts cs = estimate_ops(small.program);
+  const OpCounts cl = estimate_ops(large.program);
+  EXPECT_EQ(cl.stores - 64, (cs.stores - 16) * 8);  // update nest ~ n^3
+}
+
+TEST(Transform, SimplifiedProgramStillValidatesAndRuns) {
+  for (int ty : {1, 3, 8}) {
+    for (int tx : {1, 5, 8}) {
+      MatmulProgram fx(8, ty, tx);
+      const Stmt pipeline = unroll_loops(simplify(fx.program));
+      validate(pipeline);
+      EXPECT_TRUE(fx.run(pipeline).allclose(fx.expected, 1e-12))
+          << "ty=" << ty << " tx=" << tx;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tvmbo::te

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "configspace/divisors.h"
+#include "tuners/ga_tuner.h"
+#include "tuners/grid_tuner.h"
+#include "tuners/random_tuner.h"
+#include "tuners/xgb_tuner.h"
+
+namespace tvmbo::tuners {
+namespace {
+
+cs::ConfigurationSpace small_space(std::int64_t extent = 2000) {
+  cs::ConfigurationSpace space;
+  space.add(cs::tile_factor_param("P0", extent));
+  space.add(cs::tile_factor_param("P1", extent));
+  return space;
+}
+
+// Smooth synthetic runtime surface with the optimum at indices (16, 9)
+// (tiles 400x50 for extent 2000) — lower is better.
+double synthetic_runtime(const cs::ConfigurationSpace& space,
+                         const cs::Configuration& config) {
+  const double i0 = static_cast<double>(config.index(0));
+  const double i1 = static_cast<double>(config.index(1));
+  return 1.0 + 0.01 * ((i0 - 16.0) * (i0 - 16.0) +
+                       (i1 - 9.0) * (i1 - 9.0));
+}
+
+// Drives a tuner against the synthetic surface for `budget` evaluations.
+double drive(Tuner& tuner, const cs::ConfigurationSpace& space,
+             std::size_t budget, std::size_t batch = 8) {
+  std::size_t evals = 0;
+  while (evals < budget && tuner.has_next()) {
+    const auto configs =
+        tuner.next_batch(std::min(batch, budget - evals));
+    if (configs.empty()) break;
+    std::vector<Trial> trials;
+    for (const auto& config : configs) {
+      trials.push_back({config, synthetic_runtime(space, config), true});
+    }
+    tuner.update(trials);
+    evals += trials.size();
+  }
+  return tuner.best() ? tuner.best()->runtime_s
+                      : std::numeric_limits<double>::infinity();
+}
+
+TEST(RandomTuner, NoDuplicateProposals) {
+  const auto space = small_space();
+  RandomTuner tuner(&space, 1);
+  std::set<std::uint64_t> seen;
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& config : tuner.next_batch(16)) {
+      EXPECT_TRUE(seen.insert(config.hash()).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 160u);
+}
+
+TEST(RandomTuner, ExhaustsSmallSpaceExactly) {
+  const auto space = small_space(8);  // 4x4 = 16 configs
+  RandomTuner tuner(&space, 2);
+  std::set<std::uint64_t> seen;
+  while (tuner.has_next()) {
+    const auto batch = tuner.next_batch(5);
+    if (batch.empty()) break;
+    for (const auto& config : batch) seen.insert(config.hash());
+  }
+  EXPECT_EQ(seen.size(), 16u);
+  EXPECT_FALSE(tuner.has_next());
+  EXPECT_TRUE(tuner.next_batch(4).empty());
+}
+
+TEST(RandomTuner, TracksBest) {
+  const auto space = small_space();
+  RandomTuner tuner(&space, 3);
+  const double best = drive(tuner, space, 100);
+  ASSERT_NE(tuner.best(), nullptr);
+  EXPECT_DOUBLE_EQ(tuner.best()->runtime_s, best);
+  EXPECT_EQ(tuner.history().size(), 100u);
+}
+
+TEST(GridSearchTuner, EnumeratesLexicographically) {
+  const auto space = small_space();
+  GridSearchTuner tuner(&space, 1);
+  const auto batch = tuner.next_batch(25);
+  ASSERT_EQ(batch.size(), 25u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(space.to_flat_index(batch[i]), i);
+  }
+}
+
+TEST(GridSearchTuner, With100EvalsOnlyExploresCorner) {
+  // The paper's structural reason grid search loses: 100 evals over a
+  // 400-config space never move the most significant parameter past
+  // index 5.
+  const auto space = small_space();
+  GridSearchTuner tuner(&space, 1);
+  const auto batch = tuner.next_batch(100);
+  for (const auto& config : batch) {
+    EXPECT_LT(config.index(0), 5);
+  }
+}
+
+TEST(GridSearchTuner, ExhaustionSetsHasNextFalse) {
+  const auto space = small_space(8);
+  GridSearchTuner tuner(&space, 1);
+  EXPECT_EQ(tuner.next_batch(100).size(), 16u);
+  EXPECT_FALSE(tuner.has_next());
+}
+
+TEST(GaTuner, EvolvesTowardOptimum) {
+  const auto space = small_space();
+  GaTuner tuner(&space, 4);
+  const double best = drive(tuner, space, 120, 16);
+  // Random exploration of 120/400 configs should be beaten handily by GA
+  // with elitism; optimum is 1.0.
+  EXPECT_LT(best, 1.15);
+  EXPECT_GT(tuner.generation(), 3u);
+}
+
+TEST(GaTuner, ProposalsNeverRepeat) {
+  const auto space = small_space();
+  GaTuner tuner(&space, 5);
+  std::set<std::uint64_t> seen;
+  for (int round = 0; round < 12; ++round) {
+    const auto batch = tuner.next_batch(16);
+    std::vector<Trial> trials;
+    for (const auto& config : batch) {
+      EXPECT_TRUE(seen.insert(config.hash()).second);
+      trials.push_back({config, synthetic_runtime(space, config), true});
+    }
+    tuner.update(trials);
+  }
+}
+
+TEST(GaTuner, HandlesSpaceSmallerThanPopulation) {
+  const auto space = small_space(4);  // 3x3 = 9 configs
+  GaTuner tuner(&space, 6, GaOptions{.population_size = 16});
+  std::set<std::uint64_t> seen;
+  for (int round = 0; round < 10; ++round) {
+    const auto batch = tuner.next_batch(8);
+    if (batch.empty()) break;
+    std::vector<Trial> trials;
+    for (const auto& config : batch) {
+      seen.insert(config.hash());
+      trials.push_back({config, synthetic_runtime(space, config), true});
+    }
+    tuner.update(trials);
+  }
+  EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(GaTuner, InvalidOptionsThrow) {
+  const auto space = small_space();
+  EXPECT_THROW(GaTuner(&space, 1, GaOptions{.population_size = 1}),
+               CheckError);
+  EXPECT_THROW(GaTuner(&space, 1,
+                       GaOptions{.population_size = 4, .elite_count = 4}),
+               CheckError);
+}
+
+TEST(XgbTuner, TrainsModelAfterWarmup) {
+  const auto space = small_space();
+  XgbTuner tuner(&space, 7);
+  EXPECT_FALSE(tuner.model_ready());
+  drive(tuner, space, 40);
+  EXPECT_TRUE(tuner.model_ready());
+}
+
+TEST(XgbTuner, ModelGuidedSearchBeatsPureRandom) {
+  const auto space = small_space();
+  XgbTuner xgb(&space, 8);
+  const double xgb_best = drive(xgb, space, 64);
+  RandomTuner random(&space, 8);
+  const double random_best = drive(random, space, 64);
+  EXPECT_LE(xgb_best, random_best + 0.05);
+  EXPECT_LT(xgb_best, 1.2);
+}
+
+TEST(XgbTuner, PredictionCorrelatesWithSurface) {
+  const auto space = small_space();
+  XgbTuner tuner(&space, 9);
+  drive(tuner, space, 80);
+  ASSERT_TRUE(tuner.model_ready());
+  Rng rng(10);
+  double err = 0.0;
+  int count = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto config = space.sample(rng);
+    err += std::fabs(tuner.predicted_runtime(config) -
+                     synthetic_runtime(space, config));
+    ++count;
+  }
+  EXPECT_LT(err / count, 0.5);
+}
+
+TEST(XgbTuner, PaperEvalCapQuirk) {
+  const auto space = small_space();
+  XgbOptions options;
+  options.paper_eval_cap = 56;  // the paper's observed artifact
+  XgbTuner tuner(&space, 10, options);
+  std::size_t total = 0;
+  while (tuner.has_next()) {
+    const auto batch = tuner.next_batch(8);
+    if (batch.empty()) break;
+    std::vector<Trial> trials;
+    for (const auto& config : batch) {
+      trials.push_back({config, synthetic_runtime(space, config), true});
+    }
+    tuner.update(trials);
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 56u);
+  EXPECT_FALSE(tuner.has_next());
+}
+
+TEST(Tuner, UpdateTracksBestAcrossInvalid) {
+  const auto space = small_space();
+  RandomTuner tuner(&space, 11);
+  const auto configs = tuner.next_batch(3);
+  std::vector<Trial> trials{{configs[0], 5.0, true},
+                            {configs[1], 1.0, false},
+                            {configs[2], 3.0, true}};
+  tuner.update(trials);
+  ASSERT_NE(tuner.best(), nullptr);
+  EXPECT_DOUBLE_EQ(tuner.best()->runtime_s, 3.0);
+}
+
+TEST(Tuner, NullSpaceThrows) {
+  EXPECT_THROW(RandomTuner(nullptr, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace tvmbo::tuners

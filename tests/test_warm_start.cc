@@ -1,0 +1,154 @@
+// Transfer-learning tests: ConfigurationSpace::from_values round trips and
+// BayesianOptimizer::warm_start seeded from a saved performance database.
+#include <gtest/gtest.h>
+
+#include "configspace/divisors.h"
+#include "kernels/polybench.h"
+#include "runtime/perf_db.h"
+#include "runtime/swing_sim.h"
+#include "ytopt/bayes_opt.h"
+
+namespace tvmbo {
+namespace {
+
+TEST(FromValues, RoundTripsThroughValues) {
+  const auto space = kernels::build_space("lu", {2000});
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const cs::Configuration config = space.sample(rng);
+    const cs::Configuration restored =
+        space.from_values(space.values(config));
+    EXPECT_TRUE(restored == config);
+  }
+}
+
+TEST(FromValues, RejectsOutOfDomainValue) {
+  const auto space = kernels::build_space("lu", {2000});
+  EXPECT_THROW(space.from_values({3.0, 50.0}), CheckError);  // 3 ∤ 2000
+  EXPECT_THROW(space.from_values({400.0}), CheckError);      // arity
+}
+
+TEST(FromValues, HandlesMixedParameterKinds) {
+  cs::ConfigurationSpace space;
+  space.add(std::make_shared<cs::CategoricalHyperparameter>(
+      "mode", std::vector<std::string>{"a", "b", "c"}));
+  space.add(std::make_shared<cs::UniformIntegerHyperparameter>("n", 2, 6));
+  space.add(std::make_shared<cs::UniformFloatHyperparameter>("lr", 0.0,
+                                                             1.0));
+  const cs::Configuration config = space.from_values({2.0, 5.0, 0.25});
+  EXPECT_EQ(config.index(0), 2);
+  EXPECT_EQ(config.index(1), 3);  // 5 - lower(2)
+  EXPECT_DOUBLE_EQ(config.real(2), 0.25);
+}
+
+TEST(WarmStart, PriorPointsAreNeverReproposed) {
+  const auto space = kernels::build_space("lu", {2000});
+  ytopt::BayesianOptimizer bo(&space, 7);
+  std::vector<tuners::Trial> prior;
+  for (std::uint64_t flat = 0; flat < 40; ++flat) {
+    prior.push_back({space.from_flat_index(flat), 5.0, true});
+  }
+  bo.warm_start(prior);
+  for (int i = 0; i < 60; ++i) {
+    const auto config = bo.ask();
+    EXPECT_GE(space.to_flat_index(config), 40u) << "re-proposed a prior";
+    bo.tell(config, 4.0);
+  }
+}
+
+TEST(WarmStart, SurrogateTrainsFromPriorAlone) {
+  const auto space = kernels::build_space("lu", {2000});
+  ytopt::BayesianOptimizer bo(&space, 8);
+  Rng rng(9);
+  std::vector<tuners::Trial> prior;
+  for (int i = 0; i < 30; ++i) {
+    const auto config = space.sample(rng);
+    const double runtime =
+        1.0 + 0.05 * static_cast<double>(config.index(0));
+    prior.push_back({config, runtime, true});
+  }
+  bo.warm_start(prior);
+  // The very first ask after warm start skips the random init design and
+  // goes straight to the surrogate.
+  bo.ask();
+  EXPECT_TRUE(bo.surrogate_ready());
+}
+
+TEST(WarmStart, SpeedsConvergenceOnTheSwingSurface) {
+  const auto workload = kernels::make_workload(
+      "lu", kernels::Dataset::kLarge);
+  const auto space = kernels::build_space("lu", workload.dims);
+  runtime::SwingSimDevice device;
+
+  auto measure = [&](const cs::Configuration& config) {
+    return device.surface_runtime(workload, space.values_int(config));
+  };
+
+  // A previous tuning run's database (40 random points).
+  Rng rng(11);
+  std::vector<tuners::Trial> prior;
+  for (int i = 0; i < 40; ++i) {
+    const auto config = space.sample(rng);
+    prior.push_back({config, measure(config), true});
+  }
+
+  double warm_sum = 0.0, cold_sum = 0.0;
+  const int budget = 12;  // a short new run; warm start should help here
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    ytopt::BayesianOptimizer warm(&space, seed);
+    warm.warm_start(prior);
+    for (int i = 0; i < budget; ++i) {
+      const auto config = warm.ask();
+      warm.tell(config, measure(config));
+    }
+    // Only count what the *new* run found (exclude prior trials).
+    double warm_best = 1e300;
+    for (std::size_t i = prior.size(); i < warm.history().size(); ++i) {
+      warm_best = std::min(warm_best, warm.history()[i].runtime_s);
+    }
+    warm_sum += warm_best;
+
+    ytopt::BayesianOptimizer cold(&space, seed);
+    for (int i = 0; i < budget; ++i) {
+      const auto config = cold.ask();
+      cold.tell(config, measure(config));
+    }
+    cold_sum += cold.best()->runtime_s;
+  }
+  EXPECT_LE(warm_sum, cold_sum * 1.02);
+}
+
+TEST(WarmStart, FromPerfDatabaseRecords) {
+  // End-to-end: save a database, reload it, reconstruct configurations
+  // with from_values, and warm-start a fresh optimizer.
+  const auto space = kernels::build_space("lu", {2000});
+  runtime::PerfDatabase db;
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    const auto config = space.sample(rng);
+    runtime::TrialRecord record;
+    record.eval_index = i;
+    record.strategy = "ytopt";
+    record.workload_id = "lu/large[2000]";
+    record.tiles = space.values_int(config);
+    record.runtime_s = 2.0 + 0.1 * i;
+    db.add(record);
+  }
+  const auto restored =
+      runtime::PerfDatabase::from_json_lines(db.to_json_lines());
+
+  ytopt::BayesianOptimizer bo(&space, 17);
+  std::vector<tuners::Trial> prior;
+  for (const auto& record : restored.records()) {
+    std::vector<double> values(record.tiles.begin(), record.tiles.end());
+    prior.push_back(
+        {space.from_values(values), record.runtime_s, record.valid});
+  }
+  bo.warm_start(prior);
+  EXPECT_EQ(bo.history().size(), 10u);
+  ASSERT_NE(bo.best(), nullptr);
+  EXPECT_DOUBLE_EQ(bo.best()->runtime_s, 2.0);
+}
+
+}  // namespace
+}  // namespace tvmbo

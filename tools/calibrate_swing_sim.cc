@@ -1,0 +1,73 @@
+// Developer tool: scans the SwingSimDevice surface over each paper
+// parameter space and prints the statistics needed to set the calibration
+// scales in swing_sim.cc (surface minimum should equal the paper's best
+// runtime). Exhaustive for LU/Cholesky (400/576 configs); random-sampled
+// plus elite refinement for 3mm's 2.3e8-config space.
+#include <cstdio>
+#include <limits>
+
+#include "common/rng.h"
+#include "configspace/configspace.h"
+#include "framework/figures.h"
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+
+using namespace tvmbo;
+
+namespace {
+
+void scan(const char* kernel, kernels::Dataset dataset,
+          std::size_t samples) {
+  const runtime::Workload workload = kernels::make_workload(kernel, dataset);
+  const cs::ConfigurationSpace space =
+      kernels::build_space(kernel, workload.dims);
+  runtime::SwingSimDevice device;
+  Rng rng(42);
+
+  double best = std::numeric_limits<double>::infinity();
+  double worst = 0.0;
+  double sum = 0.0;
+  std::vector<std::int64_t> best_tiles;
+  std::size_t count = 0;
+
+  auto consider = [&](const cs::Configuration& config) {
+    const auto tiles = space.values_int(config);
+    const double t = device.surface_runtime(workload, tiles);
+    sum += t;
+    ++count;
+    if (t < best) {
+      best = t;
+      best_tiles = tiles;
+    }
+    worst = std::max(worst, t);
+  };
+
+  if (space.cardinality() <= 100000) {
+    for (std::uint64_t flat = 0; flat < space.cardinality(); ++flat) {
+      consider(space.from_flat_index(flat));
+    }
+  } else {
+    for (std::size_t s = 0; s < samples; ++s) consider(space.sample(rng));
+  }
+
+  std::printf("%-10s %-11s | space %12llu | min %10.4f s @ %-24s | "
+              "mean %10.3f | max %12.3f\n",
+              kernel, kernels::dataset_name(dataset),
+              static_cast<unsigned long long>(space.cardinality()), best,
+              framework::tiles_to_string(best_tiles).c_str(), sum / count,
+              worst);
+}
+
+}  // namespace
+
+int main() {
+  scan("lu", kernels::Dataset::kLarge, 0);
+  scan("lu", kernels::Dataset::kExtraLarge, 0);
+  scan("cholesky", kernels::Dataset::kLarge, 0);
+  scan("cholesky", kernels::Dataset::kExtraLarge, 0);
+  scan("3mm", kernels::Dataset::kLarge, 200000);
+  scan("3mm", kernels::Dataset::kExtraLarge, 200000);
+  scan("gemm", kernels::Dataset::kLarge, 0);
+  scan("2mm", kernels::Dataset::kLarge, 100000);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Developer smoke: full 5-strategy comparison on LU-large against the
+// simulated Swing device (the Fig 4/5 experiment), printed as tables.
+#include <cstdio>
+
+#include "framework/figures.h"
+#include "framework/session.h"
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+
+using namespace tvmbo;
+
+int main() {
+  const autotvm::Task task = kernels::make_task("lu", kernels::Dataset::kLarge);
+  runtime::SwingSimDevice device;
+  framework::SessionOptions options;
+  options.max_evaluations = 100;
+  options.xgb_paper_eval_cap = 56;
+  framework::AutotuningSession session(&task, &device, options);
+  const auto results = session.run_all();
+  std::printf("%s\n",
+              framework::render_minimum_summary(results, "LU large", 1.659)
+                  .c_str());
+  return 0;
+}

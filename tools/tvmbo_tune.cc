@@ -1,0 +1,146 @@
+// tvmbo_tune: command-line autotuner.
+//
+//   tvmbo_tune --kernel lu --size large --strategy all --evals 100
+//              --seed 2023 --device sim --objective runtime --out lu_run
+//
+// Options:
+//   --kernel    lu | cholesky | 3mm | gemm | 2mm | syrk      (default lu)
+//   --size      mini | small | medium | large | extralarge   (default large)
+//   --strategy  ytopt | random | gridsearch | ga | xgb | all (default all)
+//   --evals     evaluations per strategy                     (default 100)
+//   --seed      RNG seed                                     (default 2023)
+//   --device    sim | cpu    (cpu actually executes the kernel; keep the
+//                             size small for that)           (default sim)
+//   --objective runtime | energy | edp                       (default runtime)
+//   --xgb-cap   reproduce the paper's 56-eval XGB artifact   (default 56)
+//   --out       prefix for <out>_process.csv / <out>_db.jsonl (optional)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "framework/figures.h"
+#include "framework/session.h"
+#include "kernels/polybench.h"
+#include "runtime/cpu_device.h"
+#include "runtime/swing_sim.h"
+
+using namespace tvmbo;
+
+namespace {
+
+struct Args {
+  std::string kernel = "lu";
+  std::string size = "large";
+  std::string strategy = "all";
+  std::size_t evals = 100;
+  std::uint64_t seed = 2023;
+  std::string device = "sim";
+  std::string objective = "runtime";
+  std::size_t xgb_cap = 56;
+  std::string out;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--kernel K] [--size S] [--strategy T] "
+               "[--evals N] [--seed N] [--device sim|cpu] "
+               "[--objective runtime|energy|edp] [--xgb-cap N] "
+               "[--out PREFIX]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--kernel") args.kernel = value();
+    else if (flag == "--size") args.size = value();
+    else if (flag == "--strategy") args.strategy = value();
+    else if (flag == "--evals") args.evals = std::stoul(value());
+    else if (flag == "--seed") args.seed = std::stoull(value());
+    else if (flag == "--device") args.device = value();
+    else if (flag == "--objective") args.objective = value();
+    else if (flag == "--xgb-cap") args.xgb_cap = std::stoul(value());
+    else if (flag == "--out") args.out = value();
+    else usage(argv[0]);
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  const kernels::Dataset dataset = kernels::dataset_from_name(args.size);
+  const bool executable = args.device == "cpu";
+  const autotvm::Task task =
+      kernels::make_task(args.kernel, dataset, executable);
+
+  runtime::SwingSimDevice sim(args.seed);
+  runtime::CpuDevice cpu;
+  runtime::Device* device = nullptr;
+  if (args.device == "sim") device = &sim;
+  else if (args.device == "cpu") device = &cpu;
+  else usage(argv[0]);
+
+  framework::SessionOptions options;
+  options.max_evaluations = args.evals;
+  options.seed = args.seed;
+  options.xgb_paper_eval_cap = args.xgb_cap;
+  if (args.objective == "runtime") {
+    options.objective = framework::Objective::kRuntime;
+  } else if (args.objective == "energy") {
+    options.objective = framework::Objective::kEnergy;
+  } else if (args.objective == "edp") {
+    options.objective = framework::Objective::kEnergyDelay;
+  } else {
+    usage(argv[0]);
+  }
+  framework::AutotuningSession session(&task, device, options);
+
+  std::vector<framework::SessionResult> results;
+  if (args.strategy == "all") {
+    results = session.run_all();
+  } else {
+    framework::StrategyKind kind;
+    if (args.strategy == "ytopt") kind = framework::StrategyKind::kYtopt;
+    else if (args.strategy == "random")
+      kind = framework::StrategyKind::kAutotvmRandom;
+    else if (args.strategy == "gridsearch")
+      kind = framework::StrategyKind::kAutotvmGridSearch;
+    else if (args.strategy == "ga")
+      kind = framework::StrategyKind::kAutotvmGa;
+    else if (args.strategy == "xgb")
+      kind = framework::StrategyKind::kAutotvmXgb;
+    else usage(argv[0]);
+    results.push_back(session.run(kind));
+  }
+
+  const std::string title = args.kernel + " / " + args.size + " (" +
+                            args.device + ", objective " + args.objective +
+                            ")";
+  std::printf("%s", framework::render_minimum_summary(results, title, 0.0)
+                        .c_str());
+
+  if (!args.out.empty()) {
+    framework::process_over_time_table(results).write_file(
+        args.out + "_process.csv");
+    framework::minimum_runtimes_table(results).write_file(
+        args.out + "_minimum.csv");
+    runtime::PerfDatabase merged;
+    for (const auto& result : results) {
+      for (const auto& record : result.db.records()) merged.add(record);
+    }
+    merged.save(args.out + "_db.jsonl");
+    std::printf("wrote %s_process.csv, %s_minimum.csv, %s_db.jsonl\n",
+                args.out.c_str(), args.out.c_str(), args.out.c_str());
+  }
+  return 0;
+}
