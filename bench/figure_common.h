@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "framework/session.h"
 #include "kernels/polybench.h"
 #include "runtime/swing_sim.h"
+#include "runtime/trace_log.h"
 
 namespace tvmbo::bench {
 
@@ -40,11 +43,26 @@ inline int run_figure_experiment(const FigureSpec& spec) {
   options.max_evaluations = spec.evaluations;
   options.xgb_paper_eval_cap = 56;  // reproduce the paper's XGB artifact
   options.seed = spec.seed;
-  framework::AutotuningSession session(&task, &device, options);
-  const std::vector<framework::SessionResult> results = session.run_all();
+  // Figures require bit-identical reproduction: keep the measurement
+  // engine on its serial fallback (the simulated device is serialized by
+  // the runner even in parallel mode, but be explicit about the contract).
+  options.measure.parallel = false;
 
   const std::string name =
       spec.kernel + "-" + kernels::dataset_name(spec.dataset);
+
+  // Opt-in per-trial provenance: TVMBO_TRACE_DIR=<dir> appends a
+  // JSON-lines event log per figure without touching the CSV outputs.
+  std::unique_ptr<runtime::TraceLog> trace;
+  if (const char* trace_dir = std::getenv("TVMBO_TRACE_DIR")) {
+    std::filesystem::create_directories(trace_dir);
+    trace = std::make_unique<runtime::TraceLog>(
+        std::string(trace_dir) + "/" + name + "_trace.jsonl");
+    options.measure.trace = trace.get();
+  }
+
+  framework::AutotuningSession session(&task, &device, options);
+  const std::vector<framework::SessionResult> results = session.run_all();
   std::printf("=================================================="
               "==============\n");
   std::printf("%s & %s: %s, %s dataset (workload %s)\n",

@@ -37,17 +37,35 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::in_worker_thread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& worker : workers_) {
+    if (worker.get_id() == self) return true;
+  }
+  return false;
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (count == 1 || num_threads() == 1) {
+  if (count == 1 || num_threads() == 1 || in_worker_thread()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  // One contiguous chunk per worker, not one task per item: bounds queue
+  // pressure and keeps per-item dispatch overhead off the hot path.
+  const std::size_t chunks = std::min(count, num_threads());
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    futures.push_back(submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+    begin = end;
   }
   for (auto& future : futures) future.get();
 }

@@ -29,6 +29,11 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers. Used to
+  /// run nested parallel work inline instead of deadlocking the pool
+  /// (every worker blocked waiting on tasks no one is left to run).
+  bool in_worker_thread() const;
+
   /// Enqueues a task; the returned future yields its result (or rethrows
   /// its exception).
   template <typename F>
@@ -45,7 +50,11 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, count) across the pool and blocks until all
-  /// complete. Exceptions from tasks are rethrown (first one wins).
+  /// complete. Work is split into at most num_threads() contiguous chunks
+  /// (one task each, not one per item). Exceptions from tasks are
+  /// rethrown (first chunk wins). Calls from inside a worker thread run
+  /// inline — dispatching would deadlock once every worker blocks in
+  /// get() on tasks still sitting in the queue.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 

@@ -106,9 +106,13 @@ SessionResult AutotuningSession::run(StrategyKind kind) {
   StrategyTraits traits;
   traits.repeat = kind == StrategyKind::kYtopt ? options_.ytopt_repeat
                                                : options_.autotvm_repeat;
-  traits.batch_size =
-      kind == StrategyKind::kYtopt ? 1 : options_.batch_size;
-  traits.parallel_build = kind != StrategyKind::kYtopt;
+  traits.batch_size = kind == StrategyKind::kYtopt
+                          ? std::max<std::size_t>(1, options_.ytopt_batch_size)
+                          : options_.batch_size;
+  // ytopt's paper configuration (batch 1) compiles strictly sequentially;
+  // qLCB batches (> 1) get the parallel builder farm like AutoTVM.
+  traits.parallel_build =
+      kind != StrategyKind::kYtopt || traits.batch_size > 1;
   traits.overhead = [this, kind](std::size_t observed, std::size_t batch) {
     return modeled_overhead_s(kind, observed, batch);
   };
@@ -127,6 +131,13 @@ SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
   measure.repeat = traits.repeat;
   const std::size_t batch_size = traits.batch_size;
   const bool parallel_build = traits.parallel_build;
+
+  // All measurement goes through the runner: fault isolation, retries,
+  // trace events, and (when enabled) parallel batch execution. The
+  // default options reproduce the historical sequential loop exactly.
+  runtime::MeasureRunnerOptions runner_options = options_.measure;
+  runner_options.strategy = result.strategy;
+  runtime::MeasureRunner runner(device_, runner_options);
 
   double clock = 0.0;
   std::size_t evaluations = 0;
@@ -148,10 +159,16 @@ SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
     std::vector<double> runtimes;
     energies.reserve(batch.size());
     runtimes.reserve(batch.size());
+    std::vector<runtime::MeasureInput> inputs;
+    inputs.reserve(batch.size());
     for (const cs::Configuration& config : batch) {
-      const runtime::MeasureInput input = task_->measure_input(config);
-      const runtime::MeasureResult measured =
-          device_->measure(input, measure);
+      inputs.push_back(task_->measure_input(config));
+    }
+    const std::vector<runtime::MeasureResult> measured_batch =
+        runner.measure_batch(inputs, measure);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const cs::Configuration& config = batch[i];
+      const runtime::MeasureResult& measured = measured_batch[i];
       batch_compile_sum += measured.compile_s;
       batch_compile_max = std::max(batch_compile_max, measured.compile_s);
       batch_run +=

@@ -27,6 +27,7 @@
 
 #include "autotvm/autotvm.h"
 #include "runtime/measure.h"
+#include "runtime/measure_runner.h"
 #include "runtime/perf_db.h"
 #include "ytopt/bayes_opt.h"
 
@@ -69,6 +70,20 @@ struct SessionOptions {
   /// Metric the strategies minimize (SessionResult.best is by this too).
   Objective objective = Objective::kRuntime;
   ytopt::BoOptions bo;  ///< ytopt settings (kappa, forest, init design)
+  /// Measurement engine (runtime::MeasureRunner). The default — serial,
+  /// no retries, no trace — is bit-identical to the historical sequential
+  /// measure loop, so SwingSimDevice figure reproductions stay
+  /// deterministic. Set `measure.parallel = true` to execute batch
+  /// members concurrently on the shared thread pool (per-trial fault
+  /// isolation and submission-order results either way), `measure.trace`
+  /// to emit the JSON-lines per-trial event log, and `measure.retry` to
+  /// re-run transiently failing trials.
+  runtime::MeasureRunnerOptions measure;
+  /// ytopt proposal batch size. 1 reproduces the paper's strictly
+  /// sequential AMBS loop; > 1 proposes qLCB batches
+  /// (BayesianOptimizer::next_batch) so a parallel measurement engine can
+  /// evaluate several configurations at once.
+  std::size_t ytopt_batch_size = 1;
 };
 
 struct SessionResult {

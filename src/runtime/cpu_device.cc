@@ -18,19 +18,37 @@ MeasureResult CpuDevice::measure(const MeasureInput& input,
       input.prepare();
       result.compile_s = compile_timer.elapsed_seconds();
     }
-    for (int i = 0; i < option.warmup; ++i) input.run();
+    // Warmup runs honor the timeout too: a pathological configuration
+    // must not stall the tuning loop before the first timed run.
+    for (int i = 0; i < option.warmup; ++i) {
+      Stopwatch warmup_timer;
+      input.run();
+      const double elapsed = warmup_timer.elapsed_seconds();
+      if (option.timeout_s > 0.0 && elapsed > option.timeout_s) {
+        result.valid = false;
+        result.error = "timeout (warmup run " + std::to_string(i + 1) + ")";
+        result.runtime_s = elapsed;
+        return result;
+      }
+    }
     double total = 0.0;
+    int completed = 0;
     for (int i = 0; i < option.repeat; ++i) {
       Stopwatch run_timer;
       input.run();
       const double elapsed = run_timer.elapsed_seconds();
       if (option.timeout_s > 0.0 && elapsed > option.timeout_s) {
         result.valid = false;
-        result.error = "timeout";
-        result.runtime_s = elapsed;
+        result.error = "timeout (run " + std::to_string(i + 1) + " of " +
+                       std::to_string(option.repeat) + ")";
+        // Completed repeats are still the best runtime estimate; only the
+        // first timed run falls back to the offending elapsed time.
+        result.runtime_s =
+            completed > 0 ? total / static_cast<double>(completed) : elapsed;
         return result;
       }
       total += elapsed;
+      ++completed;
     }
     result.runtime_s = total / static_cast<double>(option.repeat);
   } catch (const std::exception& e) {

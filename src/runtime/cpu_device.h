@@ -13,11 +13,18 @@ class CpuDevice final : public Device {
 
   /// Times input.prepare() as the compile phase, then runs input.run()
   /// `option.warmup` untimed + `option.repeat` timed iterations and reports
-  /// the mean. If a timed run exceeds option.timeout_s (when > 0) the
-  /// result is marked invalid with a "timeout" error, mirroring AutoTVM's
-  /// measure-timeout handling.
+  /// the mean. If any run — warmup included — exceeds option.timeout_s
+  /// (when > 0) the result is marked invalid with a "timeout ..." error,
+  /// mirroring AutoTVM's measure-timeout handling; the runtime reported on
+  /// a timeout is the mean of the repeats completed before it (falling
+  /// back to the offending run's elapsed time when none completed).
   MeasureResult measure(const MeasureInput& input,
                         const MeasureOption& option) override;
+
+  /// Stateless between calls: measurements may run concurrently (each
+  /// MeasureInput owns its buffers). Concurrent timing shares cores, so
+  /// per-run noise rises, but batch wall-clock drops on multi-core hosts.
+  std::size_t max_concurrent_measurements() const override { return 0; }
 };
 
 }  // namespace tvmbo::runtime

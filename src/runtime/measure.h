@@ -60,10 +60,14 @@ struct MeasureResult {
   bool valid = true;
   std::string error;
 
-  /// Wall-clock charged to the autotuning process for this evaluation
-  /// (compile once + `repeat` timed runs).
+  /// Wall-clock charged to the autotuning process for this evaluation:
+  /// compile once + every execution the device performed — `warmup`
+  /// untimed runs cost the same wall-clock as the `repeat` timed ones, so
+  /// they are charged too (omitting them undercharged any strategy
+  /// measuring with warmup > 0).
   double evaluation_cost_s(const MeasureOption& option) const {
-    return compile_s + runtime_s * static_cast<double>(option.repeat);
+    return compile_s +
+           runtime_s * static_cast<double>(option.warmup + option.repeat);
   }
 };
 
@@ -73,6 +77,13 @@ class Device {
   virtual std::string name() const = 0;
   virtual MeasureResult measure(const MeasureInput& input,
                                 const MeasureOption& option) = 0;
+
+  /// How many measure() calls may safely run concurrently. The default 1
+  /// declares the device stateful/order-sensitive (e.g. SwingSimDevice's
+  /// sequential jitter RNG): MeasureRunner then drives it strictly in
+  /// submission order, keeping results independent of the execution mode.
+  /// 0 means unlimited (thread-safe, order-independent).
+  virtual std::size_t max_concurrent_measurements() const { return 1; }
 };
 
 }  // namespace tvmbo::runtime

@@ -1,0 +1,164 @@
+#include "runtime/measure_runner.h"
+
+#include <algorithm>
+#include <future>
+
+#include "common/logging.h"
+
+namespace tvmbo::runtime {
+
+namespace {
+
+bool is_timeout(const MeasureResult& result) {
+  return result.error.rfind("timeout", 0) == 0;
+}
+
+}  // namespace
+
+MeasureRunner::MeasureRunner(Device* device, MeasureRunnerOptions options,
+                             ThreadPool* pool)
+    : device_(device), options_(std::move(options)),
+      pool_(pool != nullptr ? pool : &default_thread_pool()) {
+  TVMBO_CHECK(device_ != nullptr) << "measure runner requires a device";
+  TVMBO_CHECK_GE(options_.retry.max_retries, 0)
+      << "max_retries must be non-negative";
+}
+
+void MeasureRunner::set_strategy(std::string strategy) {
+  options_.strategy = std::move(strategy);
+}
+
+Json MeasureRunner::event(const char* name, std::size_t trial) const {
+  Json e = Json::object();
+  e.set("event", name);
+  e.set("trial", trial);
+  if (!options_.strategy.empty()) e.set("strategy", options_.strategy);
+  return e;
+}
+
+void MeasureRunner::trace_proposed(const MeasureInput& input,
+                                   std::size_t trial) {
+  Json e = event("proposed", trial);
+  e.set("workload", input.workload.id());
+  Json tiles = Json::array();
+  for (std::int64_t t : input.tiles) tiles.push_back(t);
+  e.set("tiles", std::move(tiles));
+  options_.trace->record(std::move(e));
+}
+
+MeasureResult MeasureRunner::attempt_once(const MeasureInput& input,
+                                          const MeasureOption& option) {
+  try {
+    return device_->measure(input, option);
+  } catch (const std::exception& e) {
+    MeasureResult result;
+    result.valid = false;
+    result.error = e.what();
+    return result;
+  } catch (...) {
+    MeasureResult result;
+    result.valid = false;
+    result.error = "unknown measurement error";
+    return result;
+  }
+}
+
+MeasureResult MeasureRunner::run_trial(const MeasureInput& input,
+                                       const MeasureOption& option,
+                                       std::size_t trial) {
+  MeasureResult result;
+  const int attempts = 1 + options_.retry.max_retries;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    result = attempt_once(input, option);
+    if (options_.trace != nullptr) {
+      Json compile = event("compile", trial);
+      compile.set("attempt", attempt);
+      compile.set("compile_s", result.compile_s);
+      options_.trace->record(std::move(compile));
+      Json run = event("run", trial);
+      run.set("attempt", attempt);
+      run.set("runtime_s", result.runtime_s);
+      run.set("repeat", option.repeat);
+      run.set("warmup", option.warmup);
+      options_.trace->record(std::move(run));
+    }
+    if (result.valid) break;
+    const bool retryable = is_timeout(result)
+                               ? options_.retry.retry_timeouts
+                               : options_.retry.retry_errors;
+    if (!retryable || attempt + 1 >= attempts) break;
+    if (options_.trace != nullptr) {
+      Json retry = event("retry", trial);
+      retry.set("attempt", attempt);
+      retry.set("error", result.error);
+      options_.trace->record(std::move(retry));
+    }
+  }
+  if (options_.trace != nullptr) {
+    Json done = event("result", trial);
+    done.set("valid", result.valid);
+    done.set("runtime_s", result.runtime_s);
+    done.set("compile_s", result.compile_s);
+    done.set("energy_j", result.energy_j);
+    done.set("cost_s", result.evaluation_cost_s(option));
+    if (!result.error.empty()) done.set("error", result.error);
+    options_.trace->record(std::move(done));
+  }
+  return result;
+}
+
+std::size_t MeasureRunner::concurrency_limit(std::size_t batch) const {
+  std::size_t limit = batch;
+  const std::size_t device_limit = device_->max_concurrent_measurements();
+  if (device_limit > 0) limit = std::min(limit, device_limit);
+  if (options_.max_concurrency > 0) {
+    limit = std::min(limit, options_.max_concurrency);
+  }
+  limit = std::min(limit, pool_->num_threads());
+  return std::max<std::size_t>(1, limit);
+}
+
+std::vector<MeasureResult> MeasureRunner::measure_batch(
+    std::span<const MeasureInput> inputs, const MeasureOption& option) {
+  std::vector<MeasureResult> results(inputs.size());
+  if (inputs.empty()) return results;
+  const std::size_t base = next_trial_.fetch_add(inputs.size());
+  if (options_.trace != nullptr) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      trace_proposed(inputs[i], base + i);
+    }
+  }
+  // Serial path: submission order, inline. Also taken when the device
+  // bounds concurrency to one, or when already on a pool worker (a nested
+  // dispatch would block a worker on its own queue).
+  const std::size_t limit = concurrency_limit(inputs.size());
+  if (!options_.parallel || limit <= 1 || inputs.size() == 1 ||
+      pool_->in_worker_thread()) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      results[i] = run_trial(inputs[i], option, base + i);
+    }
+    return results;
+  }
+  // Parallel path: waves of at most `limit` in-flight trials; each trial
+  // writes its own slot, so completion order never reorders results.
+  for (std::size_t start = 0; start < inputs.size(); start += limit) {
+    const std::size_t end = std::min(start + limit, inputs.size());
+    std::vector<std::future<void>> futures;
+    futures.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      futures.push_back(pool_->submit([this, &inputs, &option, &results,
+                                       base, i] {
+        results[i] = run_trial(inputs[i], option, base + i);
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  return results;
+}
+
+MeasureResult MeasureRunner::measure_one(const MeasureInput& input,
+                                         const MeasureOption& option) {
+  return measure_batch({&input, 1}, option)[0];
+}
+
+}  // namespace tvmbo::runtime

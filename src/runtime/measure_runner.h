@@ -1,0 +1,112 @@
+// MeasureRunner: the batched measurement engine behind every search
+// strategy's Step 3–5 loop (compile -> execute -> report).
+//
+// Strategies propose batches (AutoTVM batches of 8, ytopt's qLCB
+// multi-point proposals); the runner executes a whole batch against one
+// Device with
+//
+//  * deterministic result ordering — results come back in submission
+//    order no matter which trial finishes first;
+//  * per-trial fault isolation — an exception (or timeout) in one trial
+//    yields an invalid MeasureResult for that slot instead of poisoning
+//    the batch or unwinding the tuning loop;
+//  * a configurable retry policy for transiently-failing trials;
+//  * an optional JSON-lines trace (trace_log.h) recording proposed /
+//    compile / run / retry / result per trial with strategy attribution.
+//
+// Two execution modes:
+//
+//  * serial (default) — trials run inline in submission order. This is
+//    bit-identical to the historical sequential measure loop, which keeps
+//    stateful devices (SwingSimDevice's jitter RNG) and therefore the
+//    paper-figure CSVs deterministic.
+//  * parallel — trials are dispatched onto the shared ThreadPool, capped
+//    by Device::max_concurrent_measurements() (a device that is stateful
+//    or order-sensitive reports 1 and is automatically driven serially,
+//    so SwingSimDevice results are identical either way, while CpuDevice
+//    batches really overlap on a multi-core host).
+//
+// This is the substrate for future multi-device / sharded measurement:
+// a Device that fans out to N executors just reports a higher
+// concurrency bound.
+#pragma once
+
+#include <atomic>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "runtime/measure.h"
+#include "runtime/trace_log.h"
+
+namespace tvmbo::runtime {
+
+/// When to re-run a failed trial. A retry replaces the failed attempt's
+/// result; the last attempt's result is reported either way.
+struct RetryPolicy {
+  int max_retries = 0;          ///< extra attempts per trial after the first
+  bool retry_errors = true;     ///< retry thrown / invalid measurements
+  bool retry_timeouts = false;  ///< timeouts are usually persistent
+};
+
+struct MeasureRunnerOptions {
+  /// Execute batch members concurrently (see the header comment for the
+  /// serial-fallback determinism contract).
+  bool parallel = false;
+  /// Extra cap on in-flight trials; 0 defers to the device/pool bounds.
+  std::size_t max_concurrency = 0;
+  RetryPolicy retry;
+  /// Optional JSON-lines event log (not owned; may be null).
+  TraceLog* trace = nullptr;
+  /// Strategy attribution stamped on every trace event.
+  std::string strategy;
+};
+
+class MeasureRunner {
+ public:
+  /// The device (and trace log, when set) must outlive the runner. A null
+  /// pool means the process-wide default pool.
+  explicit MeasureRunner(Device* device, MeasureRunnerOptions options = {},
+                         ThreadPool* pool = nullptr);
+
+  /// Measures every input; results[i] always corresponds to inputs[i].
+  /// Never throws for per-trial failures: a trial that throws or times
+  /// out is reported as an invalid MeasureResult carrying its error.
+  std::vector<MeasureResult> measure_batch(
+      std::span<const MeasureInput> inputs, const MeasureOption& option);
+
+  /// Single-trial convenience with the same isolation/retry/trace
+  /// behaviour as a batch of one.
+  MeasureResult measure_one(const MeasureInput& input,
+                            const MeasureOption& option);
+
+  /// Re-attributes subsequent trace events (e.g. per-strategy sessions).
+  void set_strategy(std::string strategy);
+
+  Device* device() const { return device_; }
+  const MeasureRunnerOptions& options() const { return options_; }
+  /// Total trials submitted over the runner's lifetime.
+  std::size_t trials_submitted() const { return next_trial_; }
+
+ private:
+  /// In-flight cap for one batch: min of batch size, device concurrency
+  /// bound, pool width, and the configured cap (all where > 0).
+  std::size_t concurrency_limit(std::size_t batch) const;
+  /// One trial end-to-end: attempts + retries + trace events. Never
+  /// throws.
+  MeasureResult run_trial(const MeasureInput& input,
+                          const MeasureOption& option, std::size_t trial);
+  /// One device->measure call with fault isolation. Never throws.
+  MeasureResult attempt_once(const MeasureInput& input,
+                             const MeasureOption& option);
+  void trace_proposed(const MeasureInput& input, std::size_t trial);
+  Json event(const char* name, std::size_t trial) const;
+
+  Device* device_;
+  MeasureRunnerOptions options_;
+  ThreadPool* pool_;
+  std::atomic<std::size_t> next_trial_{0};
+};
+
+}  // namespace tvmbo::runtime

@@ -1,0 +1,37 @@
+#include "runtime/trace_log.h"
+
+#include "common/logging.h"
+
+namespace tvmbo::runtime {
+
+TraceLog::TraceLog(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::app)),
+      out_(owned_.get()) {
+  TVMBO_CHECK(owned_->good()) << "cannot open trace log " << path;
+}
+
+TraceLog::TraceLog(std::ostream* out) : out_(out) {
+  TVMBO_CHECK(out_ != nullptr) << "trace log requires a stream";
+}
+
+void TraceLog::record(Json event) {
+  TVMBO_CHECK(event.is_object()) << "trace events must be JSON objects";
+  // Build {"ts": ..., ...event} so the timestamp leads every line.
+  Json line = Json::object();
+  line.set("ts", clock_.elapsed_seconds());
+  for (const auto& [key, value] : event.as_object()) {
+    line.set(key, value);
+  }
+  const std::string text = line.dump();
+  std::lock_guard<std::mutex> lock(mutex_);
+  (*out_) << text << '\n';
+  out_->flush();  // per-line: the trace must survive a crashed trial
+  ++num_events_;
+}
+
+std::size_t TraceLog::num_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_events_;
+}
+
+}  // namespace tvmbo::runtime

@@ -1,0 +1,50 @@
+// Structured JSON-lines trace of the measurement engine.
+//
+// Every MeasureRunner event — proposed / compile / run / retry / result —
+// is one JSON object per line, stamped with seconds-since-trace-start and
+// the strategy that proposed the trial, so a tuning run can be replayed or
+// audited offline (which trial failed, how often it was retried, how the
+// batch interleaved). The format mirrors TVM's measure-callback logs and
+// CATBench's per-trial provenance records.
+//
+// The logger is thread-safe: parallel batch members append whole lines
+// under a mutex, so concurrent trials never interleave within a line.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "common/json.h"
+#include "common/timer.h"
+
+namespace tvmbo::runtime {
+
+class TraceLog {
+ public:
+  /// Appends to `path` (created if absent); throws CheckError when the
+  /// file cannot be opened.
+  explicit TraceLog(const std::string& path);
+  /// Writes to a caller-owned stream (kept alive by the caller).
+  explicit TraceLog(std::ostream* out);
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  /// Serializes `event` (an object) on one line, prefixing a "ts" member
+  /// with seconds since the logger was constructed.
+  void record(Json event);
+
+  std::size_t num_events() const;
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+  Stopwatch clock_;
+  mutable std::mutex mutex_;
+  std::size_t num_events_ = 0;
+};
+
+}  // namespace tvmbo::runtime

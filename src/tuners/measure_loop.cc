@@ -1,0 +1,46 @@
+#include "tuners/measure_loop.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tvmbo::tuners {
+
+MeasureLoopResult run_measure_loop(Tuner& tuner,
+                                   runtime::MeasureRunner& runner,
+                                   const MeasureInputFn& make_input,
+                                   const MeasureLoopOptions& options) {
+  TVMBO_CHECK(static_cast<bool>(make_input))
+      << "measure loop requires an input builder";
+  TVMBO_CHECK_GT(options.batch_size, 0u) << "batch_size must be positive";
+
+  MeasureLoopResult out;
+  while (out.evaluations < options.max_evaluations && tuner.has_next()) {
+    const std::size_t want = std::min(
+        options.batch_size, options.max_evaluations - out.evaluations);
+    const std::vector<cs::Configuration> batch = tuner.next_batch(want);
+    if (batch.empty()) break;
+
+    std::vector<runtime::MeasureInput> inputs;
+    inputs.reserve(batch.size());
+    for (const cs::Configuration& config : batch) {
+      inputs.push_back(make_input(config));
+    }
+    const std::vector<runtime::MeasureResult> measured =
+        runner.measure_batch(inputs, options.measure);
+
+    std::vector<Trial> trials;
+    trials.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      trials.push_back(
+          {batch[i], measured[i].runtime_s, measured[i].valid});
+    }
+    tuner.update(trials);
+    out.trials.insert(out.trials.end(), trials.begin(), trials.end());
+    out.results.insert(out.results.end(), measured.begin(), measured.end());
+    out.evaluations += batch.size();
+  }
+  return out;
+}
+
+}  // namespace tvmbo::tuners

@@ -1,0 +1,46 @@
+// The batched measure loop shared by AutoTVM-style drivers: repeatedly
+// ask a Tuner for its next batch (Step 1), measure every member through a
+// MeasureRunner (Steps 2–4: serial or parallel, fault-isolated, traced),
+// and feed the results back (Step 5), until the evaluation budget is
+// spent or the tuner exhausts its space.
+//
+// AutotuningSession wraps this same shape with the paper's process-time
+// model; this standalone loop is for callers that want real measurements
+// without the modeled clock (examples, tools, custom drivers).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "runtime/measure_runner.h"
+#include "tuners/tuner.h"
+
+namespace tvmbo::tuners {
+
+/// Builds the MeasureInput for a proposed configuration (Step 2: bind the
+/// code mold / native kernel to concrete tiles).
+using MeasureInputFn =
+    std::function<runtime::MeasureInput(const cs::Configuration&)>;
+
+struct MeasureLoopOptions {
+  std::size_t max_evaluations = 100;
+  std::size_t batch_size = 8;
+  runtime::MeasureOption measure;
+};
+
+struct MeasureLoopResult {
+  /// One entry per evaluation, in measurement order; trials[i] and
+  /// results[i] describe the same configuration.
+  std::vector<Trial> trials;
+  std::vector<runtime::MeasureResult> results;
+  std::size_t evaluations = 0;
+};
+
+/// Runs the loop to completion. Per-trial failures never abort the loop:
+/// they come back as invalid trials (the tuner sees valid=false).
+MeasureLoopResult run_measure_loop(Tuner& tuner,
+                                   runtime::MeasureRunner& runner,
+                                   const MeasureInputFn& make_input,
+                                   const MeasureLoopOptions& options = {});
+
+}  // namespace tvmbo::tuners

@@ -85,15 +85,26 @@ std::vector<cs::Configuration> BayesianOptimizer::propose(std::size_t n) {
   TVMBO_CHECK_GT(n, 0u) << "propose of zero configurations";
   std::vector<cs::Configuration> batch;
 
-  // Warmup phase (or surrogate unavailable): random design.
+  // Warmup phase (or surrogate unavailable): random design. Bounded
+  // rejections: on an effectively exhausted space that is not fully
+  // discrete (e.g. a conditional float pinned to its bound),
+  // sample_unvisited's fallback keeps returning visited configurations
+  // that mark_visited rejects — return a short batch instead of looping
+  // forever.
   auto random_fill = [&] {
-    while (batch.size() < n) {
+    int rejected = 0;
+    while (batch.size() < n && rejected < 256) {
       if (space_->fully_discrete() &&
           num_visited() >= space_->cardinality()) {
         break;
       }
       cs::Configuration config = sample_unvisited();
-      if (mark_visited(config)) batch.push_back(std::move(config));
+      if (mark_visited(config)) {
+        batch.push_back(std::move(config));
+        rejected = 0;
+      } else {
+        ++rejected;
+      }
     }
   };
   if (history_.size() < options_.initial_points || history_.size() < 2) {
@@ -133,13 +144,20 @@ std::vector<cs::Configuration> BayesianOptimizer::propose(std::size_t n) {
     if (rng_.bernoulli(0.5)) candidate = space_->neighbor(candidate, rng_);
     if (!is_visited(candidate)) candidates.push_back(std::move(candidate));
   }
-  while (candidates.size() < options_.candidates_per_iteration) {
+  // Same bounded-rejection guard as random_fill: a near-exhausted space
+  // may reject every uniform draw.
+  int rejected = 0;
+  while (candidates.size() < options_.candidates_per_iteration &&
+         rejected < 256) {
     cs::Configuration candidate = space_->sample(rng_);
     if (!is_visited(candidate)) {
       candidates.push_back(std::move(candidate));
+      rejected = 0;
     } else if (space_->fully_discrete() &&
                num_visited() >= space_->cardinality()) {
       break;
+    } else {
+      ++rejected;
     }
   }
   if (candidates.empty()) {

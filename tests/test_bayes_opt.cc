@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include "configspace/divisors.h"
@@ -177,6 +178,34 @@ TEST(BayesOpt, ExhaustsTinySpace) {
   }
   EXPECT_EQ(seen.size(), 9u);
   EXPECT_FALSE(bo.has_next());
+}
+
+TEST(BayesOpt, ExhaustedNonDiscreteSpaceReturnsShortBatch) {
+  // Regression: a space containing a continuous parameter is never
+  // "fully discrete", so the exhaustion break in random_fill never
+  // fires — but a continuous parameter can still be effectively
+  // exhausted (here: a float range holding exactly two representable
+  // doubles). Once every distinct configuration is visited,
+  // sample_unvisited's fallback returns visited configs forever and
+  // next_batch used to spin in random_fill without terminating.
+  cs::ConfigurationSpace space;
+  space.add(std::make_shared<cs::OrdinalHyperparameter>(
+      "P0", std::vector<double>{1.0, 2.0, 4.0}));
+  space.add(std::make_shared<cs::UniformFloatHyperparameter>(
+      "F", 1.0, 1.0 + 0x1.0p-52));
+  ASSERT_FALSE(space.fully_discrete());
+
+  BayesianOptimizer bo(&space, 21);
+  const auto first = bo.next_batch(16);
+  // Short batch: the ~6 distinct configurations, not the requested 16.
+  EXPECT_GE(first.size(), 3u);
+  EXPECT_LE(first.size(), 6u);
+  for (const auto& config : first) {
+    bo.tell(config, 1.0 + static_cast<double>(config.index(0)));
+  }
+  // Space exhausted: must terminate with an empty batch, not hang.
+  const auto second = bo.next_batch(16);
+  EXPECT_TRUE(second.empty());
 }
 
 TEST(BayesOpt, KappaZeroIsPureExploitation) {

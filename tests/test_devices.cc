@@ -59,7 +59,70 @@ TEST(CpuDevice, TimeoutMarksInvalid) {
   option.timeout_s = 0.001;
   const MeasureResult result = device.measure(input, option);
   EXPECT_FALSE(result.valid);
-  EXPECT_EQ(result.error, "timeout");
+  EXPECT_EQ(result.error.rfind("timeout", 0), 0u);
+}
+
+TEST(CpuDevice, WarmupRunsHonorTimeout) {
+  // Regression: a pathological configuration used to stall the tuning
+  // loop through untimed warmup runs, which ignored timeout_s entirely.
+  CpuDevice device;
+  MeasureInput input;
+  input.workload = lu_workload(8);
+  int runs = 0;
+  input.run = [&runs] {
+    ++runs;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  };
+  MeasureOption option;
+  option.repeat = 3;
+  option.warmup = 5;
+  option.timeout_s = 0.002;
+  const MeasureResult result = device.measure(input, option);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.error.rfind("timeout", 0), 0u);
+  EXPECT_NE(result.error.find("warmup"), std::string::npos);
+  EXPECT_EQ(runs, 1);  // aborted on the first warmup run
+}
+
+TEST(CpuDevice, TimeoutReportsMeanOfCompletedRuns) {
+  // Regression: a late timeout used to report only the offending run's
+  // elapsed time, discarding every completed repeat.
+  CpuDevice device;
+  MeasureInput input;
+  input.workload = lu_workload(8);
+  int calls = 0;
+  input.run = [&calls] {
+    ++calls;
+    // Two fast runs, then one far over the timeout.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(calls <= 2 ? 1 : 50));
+  };
+  MeasureOption option;
+  option.repeat = 3;
+  option.timeout_s = 0.02;
+  const MeasureResult result = device.measure(input, option);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.error.rfind("timeout", 0), 0u);
+  // The mean of the two completed ~1 ms runs, not the ~50 ms outlier.
+  EXPECT_LT(result.runtime_s, 0.02);
+  EXPECT_GT(result.runtime_s, 0.0);
+}
+
+TEST(CpuDevice, FirstRunTimeoutFallsBackToElapsed) {
+  CpuDevice device;
+  MeasureInput input;
+  input.workload = lu_workload(8);
+  input.run = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  };
+  MeasureOption option;
+  option.repeat = 3;
+  option.timeout_s = 0.005;
+  const MeasureResult result = device.measure(input, option);
+  EXPECT_FALSE(result.valid);
+  // No completed repeats: the offending run's elapsed time is the only
+  // available estimate.
+  EXPECT_GE(result.runtime_s, 0.02);
 }
 
 TEST(CpuDevice, ExceptionInKernelIsCaptured) {
@@ -207,6 +270,19 @@ TEST(MeasureResult, EvaluationCostCombinesCompileAndRepeats) {
   MeasureOption option;
   option.repeat = 3;
   EXPECT_DOUBLE_EQ(result.evaluation_cost_s(option), 2.5 + 3 * 1.5);
+}
+
+TEST(MeasureResult, EvaluationCostChargesWarmupRuns) {
+  // Regression: warmup executions burn the same wall-clock as timed ones
+  // but used to be omitted, undercharging any warmup > 0 strategy.
+  MeasureResult result;
+  result.compile_s = 2.5;
+  result.runtime_s = 1.5;
+  MeasureOption option;
+  option.repeat = 3;
+  option.warmup = 2;
+  EXPECT_DOUBLE_EQ(result.evaluation_cost_s(option),
+                   2.5 + (2 + 3) * 1.5);
 }
 
 TEST(SwingSim, PlateauExponentCompressesSpread) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -70,6 +71,61 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }  // destructor joins; all enqueued tasks must have run
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Regression: parallel_for from inside a worker used to enqueue tasks
+  // and block in future.get(); with every worker doing the same, no one
+  // was left to drain the queue. Nested calls now run inline.
+  ThreadPool pool(2);
+  std::atomic<int> inner_hits{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { inner_hits.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_hits.load(), 32);
+}
+
+TEST(ThreadPool, NestedSubmitParallelForCompletes) {
+  ThreadPool pool(2);
+  auto future = pool.submit([&pool] {
+    int sum = 0;
+    std::mutex m;
+    pool.parallel_for(16, [&](std::size_t i) {
+      std::lock_guard<std::mutex> lock(m);
+      sum += static_cast<int>(i);
+    });
+    return sum;
+  });
+  EXPECT_EQ(future.get(), 120);
+}
+
+TEST(ThreadPool, ParallelForChunksCoverLargeCounts) {
+  // Work is chunked per thread (not one task per item): the queue must
+  // not see 10k entries, and every index still runs exactly once.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForStillPropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("chunk boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, InWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.in_worker_thread());
+  auto future = pool.submit([&pool] { return pool.in_worker_thread(); });
+  EXPECT_TRUE(future.get());
 }
 
 TEST(ThreadPool, DefaultPoolIsSingleton) {

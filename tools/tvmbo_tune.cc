@@ -14,9 +14,17 @@
 //   --objective runtime | energy | edp                       (default runtime)
 //   --xgb-cap   reproduce the paper's 56-eval XGB artifact   (default 56)
 //   --out       prefix for <out>_process.csv / <out>_db.jsonl (optional)
+//   --parallel  measure batch members concurrently on the thread pool
+//               (per-trial fault isolation; results stay in submission
+//               order; stateful devices like sim are auto-serialized)
+//   --ytopt-batch N  qLCB proposal batch for ytopt (default 1 = paper's
+//               sequential AMBS; pair N>1 with --parallel)
+//   --retries N re-run transiently failing trials up to N times
+//   --trace F   append the per-trial JSON-lines event log to file F
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "framework/figures.h"
@@ -24,6 +32,7 @@
 #include "kernels/polybench.h"
 #include "runtime/cpu_device.h"
 #include "runtime/swing_sim.h"
+#include "runtime/trace_log.h"
 
 using namespace tvmbo;
 
@@ -39,6 +48,10 @@ struct Args {
   std::string objective = "runtime";
   std::size_t xgb_cap = 56;
   std::string out;
+  bool parallel = false;
+  std::size_t ytopt_batch = 1;
+  int retries = 0;
+  std::string trace;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -46,7 +59,8 @@ struct Args {
                "usage: %s [--kernel K] [--size S] [--strategy T] "
                "[--evals N] [--seed N] [--device sim|cpu] "
                "[--objective runtime|energy|edp] [--xgb-cap N] "
-               "[--out PREFIX]\n",
+               "[--out PREFIX] [--parallel] [--ytopt-batch N] "
+               "[--retries N] [--trace FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -68,6 +82,10 @@ Args parse(int argc, char** argv) {
     else if (flag == "--objective") args.objective = value();
     else if (flag == "--xgb-cap") args.xgb_cap = std::stoul(value());
     else if (flag == "--out") args.out = value();
+    else if (flag == "--parallel") args.parallel = true;
+    else if (flag == "--ytopt-batch") args.ytopt_batch = std::stoul(value());
+    else if (flag == "--retries") args.retries = std::stoi(value());
+    else if (flag == "--trace") args.trace = value();
     else usage(argv[0]);
   }
   return args;
@@ -102,6 +120,14 @@ int main(int argc, char** argv) {
     options.objective = framework::Objective::kEnergyDelay;
   } else {
     usage(argv[0]);
+  }
+  options.measure.parallel = args.parallel;
+  options.measure.retry.max_retries = args.retries;
+  options.ytopt_batch_size = args.ytopt_batch;
+  std::unique_ptr<runtime::TraceLog> trace;
+  if (!args.trace.empty()) {
+    trace = std::make_unique<runtime::TraceLog>(args.trace);
+    options.measure.trace = trace.get();
   }
   framework::AutotuningSession session(&task, device, options);
 
