@@ -3,12 +3,13 @@
 // there is no reference runtime — this bench completes the Table 1 grid.
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   tvmbo::bench::FigureSpec spec;
   spec.kernel = "3mm";
   spec.dataset = tvmbo::kernels::Dataset::kLarge;
   spec.process_figure = "Table1-row1";
   spec.minimum_figure = "Table1-row1";
   spec.paper_best_runtime_s = 0.0;
+  tvmbo::bench::parse_figure_args(argc, argv, &spec);
   return tvmbo::bench::run_figure_experiment(spec);
 }

@@ -3,7 +3,7 @@
 // tensor size 400x50 with the smallest runtime, 1.659 s.
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   tvmbo::bench::FigureSpec spec;
   spec.kernel = "lu";
   spec.dataset = tvmbo::kernels::Dataset::kLarge;
@@ -11,5 +11,6 @@ int main() {
   spec.minimum_figure = "Fig5";
   spec.paper_best_runtime_s = 1.659;
   spec.paper_best_config = "400x50 (ytopt)";
+  tvmbo::bench::parse_figure_args(argc, argv, &spec);
   return tvmbo::bench::run_figure_experiment(spec);
 }

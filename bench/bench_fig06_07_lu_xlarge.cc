@@ -3,7 +3,7 @@
 // identifies tensor size 40x32 with the smallest runtime, 13.77 s.
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   tvmbo::bench::FigureSpec spec;
   spec.kernel = "lu";
   spec.dataset = tvmbo::kernels::Dataset::kExtraLarge;
@@ -11,5 +11,6 @@ int main() {
   spec.minimum_figure = "Fig7";
   spec.paper_best_runtime_s = 13.77;
   spec.paper_best_config = "40x32 (ytopt)";
+  tvmbo::bench::parse_figure_args(argc, argv, &spec);
   return tvmbo::bench::run_figure_experiment(spec);
 }

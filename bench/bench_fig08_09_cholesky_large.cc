@@ -3,7 +3,7 @@
 // 1.66 s at 125x50 while finishing its evaluations in much less time.
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   tvmbo::bench::FigureSpec spec;
   spec.kernel = "cholesky";
   spec.dataset = tvmbo::kernels::Dataset::kLarge;
@@ -11,5 +11,6 @@ int main() {
   spec.minimum_figure = "Fig9";
   spec.paper_best_runtime_s = 1.65;
   spec.paper_best_config = "50x50 (GA, 1.65 s) / 125x50 (ytopt, 1.66 s)";
+  tvmbo::bench::parse_figure_args(argc, argv, &spec);
   return tvmbo::bench::run_figure_experiment(spec);
 }

@@ -3,7 +3,7 @@
 // identifies tensor size 80x32 with the smallest runtime, 13.99 s.
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   tvmbo::bench::FigureSpec spec;
   spec.kernel = "cholesky";
   spec.dataset = tvmbo::kernels::Dataset::kExtraLarge;
@@ -11,5 +11,6 @@ int main() {
   spec.minimum_figure = "Fig11";
   spec.paper_best_runtime_s = 13.99;
   spec.paper_best_config = "80x32 (ytopt)";
+  tvmbo::bench::parse_figure_args(argc, argv, &spec);
   return tvmbo::bench::run_figure_experiment(spec);
 }

@@ -5,7 +5,7 @@
 // configurations within 0.4% in runtime (the broad plateau).
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   tvmbo::bench::FigureSpec spec;
   spec.kernel = "3mm";
   spec.dataset = tvmbo::kernels::Dataset::kExtraLarge;
@@ -15,5 +15,6 @@ int main() {
   spec.paper_best_config =
       "(1000x32, 600x2, 15x40) (XGB, 30.99 s) / (1x5, 120x25, 60x100) "
       "(ytopt, 31.1 s)";
+  tvmbo::bench::parse_figure_args(argc, argv, &spec);
   return tvmbo::bench::run_figure_experiment(spec);
 }

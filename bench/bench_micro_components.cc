@@ -4,6 +4,7 @@
 // and the tiled native kernels.
 #include <benchmark/benchmark.h>
 
+#include "codegen/jit_program.h"
 #include "configspace/divisors.h"
 #include "kernels/native.h"
 #include "kernels/polybench.h"
@@ -165,6 +166,26 @@ void BM_TeCompiledMatmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_TeCompiledMatmul)->Arg(16)->Arg(32);
+
+void BM_TeJitMatmul(benchmark::State& state) {
+  if (!codegen::JitProgram::toolchain_available()) {
+    state.SkipWithError("no C compiler available for the jit backend");
+    return;
+  }
+  const std::int64_t n = state.range(0);
+  const auto t = kernels::make_gemm(n, n, n);
+  te::Schedule sched = kernels::schedule_gemm(t, 4, 4);
+  const te::Stmt program = te::lower(sched);
+  runtime::NDArray a({n, n}), b({n, n}), c({n, n});
+  kernels::init_gemm(a, b);
+  const codegen::JitProgram jit = codegen::JitProgram::compile(
+      program, {{t.A, &a}, {t.B, &b}, {t.C, &c}});
+  for (auto _ : state) {
+    jit.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_TeJitMatmul)->Arg(16)->Arg(32);
 
 void BM_NativeMatmulTiled(benchmark::State& state) {
   const std::int64_t n = state.range(0);

@@ -15,10 +15,13 @@
 #include <string>
 #include <vector>
 
+#include "codegen/artifact_cache.h"
 #include "framework/analysis.h"
 #include "framework/figures.h"
 #include "framework/session.h"
 #include "kernels/polybench.h"
+#include "runtime/cpu_device.h"
+#include "runtime/exec_backend.h"
 #include "runtime/swing_sim.h"
 #include "runtime/trace_log.h"
 
@@ -33,11 +36,62 @@ struct FigureSpec {
   std::string paper_best_config;   ///< the paper's reported tensor size
   std::size_t evaluations = 100;   ///< per strategy, as in §5
   std::uint64_t seed = 2023;
+  /// "sim" reproduces the paper's figures deterministically (default);
+  /// "cpu" executes the kernel for real through `backend`.
+  std::string device = "sim";
+  runtime::ExecBackend backend = runtime::ExecBackend::kNative;
+  codegen::JitOptions jit_options;  ///< cache dir etc. for kJit
 };
 
+/// Optional per-bench overrides so every figure binary can rerun its
+/// experiment on real hardware:
+///   --device sim|cpu   --backend native|interp|closure|jit
+///   --size S           --evals N   --seed N   --jit-cache DIR
+/// Exits with usage on unknown flags.
+inline void parse_figure_args(int argc, char** argv, FigureSpec* spec) {
+  auto usage = [&]() {
+    std::fprintf(stderr,
+                 "usage: %s [--device sim|cpu] "
+                 "[--backend native|interp|closure|jit] [--size S] "
+                 "[--evals N] [--seed N] [--jit-cache DIR]\n",
+                 argv[0]);
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) usage();
+    const std::string value = argv[++i];
+    if (flag == "--device") {
+      if (value != "sim" && value != "cpu") usage();
+      spec->device = value;
+    } else if (flag == "--backend") {
+      const auto backend = runtime::exec_backend_from_name(value);
+      if (!backend.has_value()) usage();
+      spec->backend = *backend;
+    } else if (flag == "--size") {
+      spec->dataset = kernels::dataset_from_name(value);
+    } else if (flag == "--evals") {
+      spec->evaluations = std::stoul(value);
+    } else if (flag == "--seed") {
+      spec->seed = std::stoull(value);
+    } else if (flag == "--jit-cache") {
+      spec->jit_options.cache_dir = value;
+    } else {
+      usage();
+    }
+  }
+}
+
 inline int run_figure_experiment(const FigureSpec& spec) {
-  const autotvm::Task task = kernels::make_task(spec.kernel, spec.dataset);
-  runtime::SwingSimDevice device(spec.seed);
+  const bool cpu = spec.device == "cpu";
+  const autotvm::Task task =
+      cpu ? kernels::make_task(spec.kernel, spec.dataset, spec.backend,
+                               spec.jit_options)
+          : kernels::make_task(spec.kernel, spec.dataset);
+  runtime::SwingSimDevice sim_device(spec.seed);
+  runtime::CpuDevice cpu_device;
+  runtime::Device& device = cpu ? static_cast<runtime::Device&>(cpu_device)
+                                : sim_device;
 
   framework::SessionOptions options;
   options.max_evaluations = spec.evaluations;
@@ -124,6 +178,17 @@ inline int run_figure_experiment(const FigureSpec& spec) {
   std::printf("CSV series written to bench_out/%s_{process,minimum,"
               "best_so_far}.csv\n",
               name.c_str());
+
+  if (cpu && spec.backend == runtime::ExecBackend::kJit) {
+    codegen::ArtifactCache& cache =
+        codegen::ArtifactCache::shared(spec.jit_options);
+    const codegen::CacheStats stats = cache.stats();
+    std::printf("jit cache: %zu hit(s), %zu miss(es), %zu failure(s), "
+                "hit rate %.1f%%, %.2f s compiling, dir %s\n",
+                stats.hits, stats.misses, stats.failures,
+                100.0 * stats.hit_rate(), stats.compile_s,
+                cache.dir().c_str());
+  }
   return 0;
 }
 

@@ -1,0 +1,34 @@
+// C-source emission from lowered loop IR — the front half of the JIT
+// backend (the analogue of TVM's C codegen target).
+//
+// emit_c_source() prints a te::Stmt as one standalone, dependency-free C
+// translation unit exporting
+//
+//   void <fn_name>(double** bufs);
+//
+// where bufs[i] is the storage of params[i] (row-major, float64, shapes
+// baked in as constant strides). Realize regions become calloc'd scoped
+// buffers, matching the interpreter's fresh-zero allocation semantics.
+// Integer expressions (indices, conditions) are emitted as int64_t
+// arithmetic with floor division/modulo helpers, value expressions as
+// double arithmetic — both mirror te::Interpreter operation for operation,
+// so a -ffp-contract=off build of the emitted source is bit-identical to
+// the interpreter on the same buffers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "te/ir.h"
+
+namespace tvmbo::codegen {
+
+/// Emits a C translation unit computing `stmt`. `params` lists every
+/// externally bound tensor (placeholders and outputs) in bufs[] order;
+/// tensors not listed must be enclosed in Realize regions. Throws
+/// CheckError on free tensors or non-lowered expressions (Reduce markers).
+std::string emit_c_source(const te::Stmt& stmt,
+                          const std::vector<te::Tensor>& params,
+                          const std::string& fn_name = "tvmbo_kernel");
+
+}  // namespace tvmbo::codegen

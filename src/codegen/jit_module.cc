@@ -1,0 +1,37 @@
+#include "codegen/jit_module.h"
+
+#include <dlfcn.h>
+
+#include "common/logging.h"
+
+namespace tvmbo::codegen {
+
+JitModule::JitModule(void* handle, std::string path)
+    : handle_(handle), path_(std::move(path)) {}
+
+std::shared_ptr<JitModule> JitModule::load(const std::string& path) {
+  void* handle = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* error = ::dlerror();
+    TVMBO_CHECK(false) << "dlopen(" << path
+                       << ") failed: " << (error ? error : "unknown error");
+  }
+  return std::shared_ptr<JitModule>(new JitModule(handle, path));
+}
+
+JitModule::~JitModule() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+void* JitModule::symbol(const std::string& name) const {
+  ::dlerror();  // clear any stale error
+  void* address = ::dlsym(handle_, name.c_str());
+  if (address == nullptr) {
+    const char* error = ::dlerror();
+    TVMBO_CHECK(false) << "dlsym(" << name << ") failed in " << path_ << ": "
+                       << (error ? error : "symbol is null");
+  }
+  return address;
+}
+
+}  // namespace tvmbo::codegen

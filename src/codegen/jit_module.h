@@ -1,0 +1,33 @@
+// RAII wrapper around a dlopen'd shared object produced by the artifact
+// cache. Modules are shared_ptr-held so every JitProgram built from the
+// same artifact keeps the object mapped for as long as any of them runs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace tvmbo::codegen {
+
+class JitModule {
+ public:
+  /// Loads `path` (RTLD_NOW | RTLD_LOCAL). Throws CheckError when the
+  /// object cannot be loaded.
+  static std::shared_ptr<JitModule> load(const std::string& path);
+
+  JitModule(const JitModule&) = delete;
+  JitModule& operator=(const JitModule&) = delete;
+  ~JitModule();
+
+  /// Resolves an exported symbol; throws CheckError when absent.
+  void* symbol(const std::string& name) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  JitModule(void* handle, std::string path);
+
+  void* handle_;
+  std::string path_;
+};
+
+}  // namespace tvmbo::codegen

@@ -1,0 +1,86 @@
+#include "codegen/jit_program.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "codegen/c_emitter.h"
+#include "common/logging.h"
+
+namespace tvmbo::codegen {
+
+namespace {
+constexpr const char* kKernelSymbol = "tvmbo_kernel";
+}  // namespace
+
+JitProgram JitProgram::compile(
+    const te::Stmt& stmt,
+    const std::vector<std::pair<te::Tensor, runtime::NDArray*>>& bindings,
+    const JitOptions& options) {
+  TVMBO_CHECK(stmt != nullptr) << "compile of null statement";
+
+  std::vector<te::Tensor> params;
+  std::vector<double*> args;
+  params.reserve(bindings.size());
+  args.reserve(bindings.size());
+  for (const auto& [tensor, array] : bindings) {
+    TVMBO_CHECK(tensor != nullptr && array != nullptr)
+        << "null binding passed to JIT compile";
+    TVMBO_CHECK(array->dtype() == runtime::DType::kFloat64)
+        << "JIT programs support float64 buffers only";
+    TVMBO_CHECK(tensor->shape == array->shape())
+        << "shape mismatch binding tensor '" << tensor->name << "'";
+    params.push_back(tensor);
+    args.push_back(array->f64().data());
+  }
+
+  JitProgram program;
+  program.source_ = std::make_shared<const std::string>(
+      emit_c_source(stmt, params, kKernelSymbol));
+  const Artifact artifact = ArtifactCache::shared(options).get_or_compile(
+      *program.source_, options.resolved_compiler(), options.flags);
+  program.cache_hit_ = artifact.cache_hit;
+  program.compile_s_ = artifact.compile_s;
+  program.module_ = JitModule::load(artifact.so_path);
+  program.fn_ = reinterpret_cast<KernelFn>(
+      program.module_->symbol(kKernelSymbol));
+  program.args_ = std::move(args);
+  return program;
+}
+
+void JitProgram::run() const {
+  TVMBO_CHECK(fn_ != nullptr) << "run of empty JIT program";
+  // The generated kernel only reads the pointer array; const_cast keeps
+  // the emitted double** signature simple.
+  fn_(const_cast<double**>(args_.data()));
+}
+
+bool JitProgram::toolchain_available(const JitOptions& options) {
+  // One probe per (compiler, flags, cache dir): build and load a trivial
+  // kernel through the full emit -> cc -> dlopen -> dlsym pipeline.
+  static std::mutex mutex;
+  static std::unordered_map<std::string, bool>* probed =
+      new std::unordered_map<std::string, bool>();
+  const std::string key = options.resolved_compiler() + "\x1f" +
+                          options.flags + "\x1f" +
+                          options.resolved_cache_dir();
+  std::lock_guard<std::mutex> lock(mutex);
+  if (auto it = probed->find(key); it != probed->end()) return it->second;
+  bool ok = false;
+  try {
+    const te::Tensor out = te::placeholder({1}, "probe");
+    const te::Var i = te::make_var("i");
+    const te::Stmt stmt = te::make_for(
+        i, 1, te::ForKind::kSerial,
+        te::make_store(out, {i}, te::make_float(1.0)));
+    runtime::NDArray buffer({1});
+    JitProgram probe = JitProgram::compile(stmt, {{out, &buffer}}, options);
+    probe.run();
+    ok = buffer.f64()[0] == 1.0;
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  (*probed)[key] = ok;
+  return ok;
+}
+
+}  // namespace tvmbo::codegen

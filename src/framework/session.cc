@@ -52,9 +52,15 @@ std::unique_ptr<tuners::Tuner> AutotuningSession::make_strategy(
   const std::uint64_t seed =
       hash_combine(options_.seed, static_cast<std::uint64_t>(kind) + 17);
   switch (kind) {
-    case StrategyKind::kYtopt:
-      return std::make_unique<ytopt::BayesianOptimizer>(space, seed,
-                                                        options_.bo);
+    case StrategyKind::kYtopt: {
+      auto bo = std::make_unique<ytopt::BayesianOptimizer>(space, seed,
+                                                           options_.bo);
+      if (options_.warm_start != nullptr) {
+        const std::vector<tuners::Trial> prior = warm_start_trials();
+        if (!prior.empty()) bo->warm_start(prior);
+      }
+      return bo;
+    }
     case StrategyKind::kAutotvmRandom:
       return autotvm::create_tuner(autotvm::TunerType::kRandom, space, seed);
     case StrategyKind::kAutotvmGridSearch:
@@ -71,6 +77,41 @@ std::unique_ptr<tuners::Tuner> AutotuningSession::make_strategy(
   }
   TVMBO_CHECK(false) << "unknown strategy";
   return nullptr;
+}
+
+std::vector<tuners::Trial> AutotuningSession::warm_start_trials() const {
+  std::vector<tuners::Trial> prior;
+  if (options_.warm_start == nullptr) return prior;
+  const cs::ConfigurationSpace& space = task_->config.space();
+  const std::string workload_id = task_->workload.id();
+  for (const runtime::TrialRecord& record :
+       options_.warm_start->records()) {
+    if (record.workload_id != workload_id) continue;
+    std::vector<double> values;
+    values.reserve(record.tiles.size());
+    for (std::int64_t tile : record.tiles) {
+      values.push_back(static_cast<double>(tile));
+    }
+    cs::Configuration config;
+    try {
+      config = space.from_values(values);
+    } catch (const CheckError&) {
+      continue;  // saved under a different space (size/kernel drift)
+    }
+    double metric = record.runtime_s;
+    bool valid = record.valid;
+    if (options_.objective == Objective::kEnergy) {
+      metric = record.energy_j;
+    } else if (options_.objective == Objective::kEnergyDelay) {
+      metric = record.energy_j * record.runtime_s;
+    }
+    if (options_.objective != Objective::kRuntime &&
+        record.energy_j <= 0.0) {
+      valid = false;
+    }
+    prior.push_back({config, metric, valid});
+  }
+  return prior;
 }
 
 double AutotuningSession::modeled_overhead_s(

@@ -84,6 +84,14 @@ struct SessionOptions {
   /// (BayesianOptimizer::next_batch) so a parallel measurement engine can
   /// evaluate several configurations at once.
   std::size_t ytopt_batch_size = 1;
+  /// Transfer learning: prior measurements (e.g. a performance database
+  /// saved by an earlier run) seed the ytopt Bayesian optimizer before the
+  /// search starts — prior points count toward the initial design, train
+  /// the first surrogate, and are never re-proposed. Only records whose
+  /// workload_id matches the task and whose tiles lie in the task's space
+  /// are used; AutoTVM strategies ignore this. Not owned; must outlive
+  /// the session.
+  const runtime::PerfDatabase* warm_start = nullptr;
 };
 
 struct SessionResult {
@@ -132,6 +140,10 @@ class AutotuningSession {
 
  private:
   std::unique_ptr<tuners::Tuner> make_strategy(StrategyKind kind) const;
+  /// Converts options_.warm_start records into trials in the task's space
+  /// (skipping other workloads and out-of-space tiles), with the metric
+  /// chosen by options_.objective.
+  std::vector<tuners::Trial> warm_start_trials() const;
   double modeled_overhead_s(StrategyKind kind, std::size_t observed,
                             std::size_t batch_members) const;
 

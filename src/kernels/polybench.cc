@@ -7,6 +7,7 @@
 #include "kernels/matvec.h"
 #include "kernels/native.h"
 #include "kernels/reference.h"
+#include "kernels/te_programs.h"
 
 namespace tvmbo::kernels {
 
@@ -389,6 +390,40 @@ autotvm::Task make_task(const std::string& kernel,
           };
     }
   }
+  return task;
+}
+
+autotvm::Task make_task(const std::string& kernel, Dataset dataset,
+                        runtime::ExecBackend backend,
+                        const codegen::JitOptions& jit_options) {
+  return make_task(kernel, dataset_name(dataset),
+                   polybench_dims(kernel, dataset), backend, jit_options);
+}
+
+autotvm::Task make_task(const std::string& kernel,
+                        const std::string& size_name,
+                        std::vector<std::int64_t> dims,
+                        runtime::ExecBackend backend,
+                        const codegen::JitOptions& jit_options) {
+  if (backend == runtime::ExecBackend::kNative) {
+    return make_task(kernel, size_name, std::move(dims), /*executable=*/true);
+  }
+  TVMBO_CHECK(te_backend_supported(kernel))
+      << "kernel '" << kernel << "' has no TE program; only the native "
+      << "backend can run it";
+
+  // Start from the non-executable task to reuse the space/knob setup,
+  // then swap in the TE-backed instantiate.
+  autotvm::Task task = make_task(kernel, size_name, dims,
+                                 /*executable=*/false);
+  const runtime::Workload workload = task.workload;
+  auto data = make_te_kernel_data(kernel, dims);
+  task.instantiate =
+      [workload, data, backend,
+       jit_options](const std::vector<std::int64_t>& tiles) {
+        return make_te_measure_input(data, workload, tiles, backend,
+                                     jit_options);
+      };
   return task;
 }
 

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "autotvm/autotvm.h"
+#include "codegen/artifact_cache.h"
 #include "configspace/configspace.h"
+#include "runtime/exec_backend.h"
 #include "runtime/measure.h"
 
 namespace tvmbo::kernels {
@@ -58,6 +60,22 @@ autotvm::Task make_task(const std::string& kernel,
                         const std::string& size_name,
                         std::vector<std::int64_t> dims,
                         bool executable = false);
+
+/// Backend-selecting overloads. kNative builds the executable task above
+/// (hand-written tiled kernels); the other tiers route every configuration
+/// through the TE program path (te_programs.h) — the schedule is lowered
+/// and compiled in MeasureInput::prepare so CpuDevice charges real compile
+/// time, and `jit_options` picks the kJit compiler/flags/cache directory.
+/// Throws CheckError when the kernel has no TE program and backend is not
+/// kNative.
+autotvm::Task make_task(const std::string& kernel, Dataset dataset,
+                        runtime::ExecBackend backend,
+                        const codegen::JitOptions& jit_options = {});
+autotvm::Task make_task(const std::string& kernel,
+                        const std::string& size_name,
+                        std::vector<std::int64_t> dims,
+                        runtime::ExecBackend backend,
+                        const codegen::JitOptions& jit_options = {});
 
 /// All (kernel, dataset) pairs evaluated in the paper's §5.
 struct PaperExperiment {

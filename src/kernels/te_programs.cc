@@ -1,0 +1,256 @@
+#include "kernels/te_programs.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "kernels/reference.h"
+#include "kernels/te_kernels.h"
+#include "te/compile.h"
+#include "te/interp.h"
+#include "te/loop_transform.h"
+#include "te/lower.h"
+
+namespace tvmbo::kernels {
+
+bool te_backend_supported(const std::string& kernel) {
+  return kernel == "3mm" || kernel == "gemm" || kernel == "2mm" ||
+         kernel == "syrk" || kernel == "lu" || kernel == "cholesky";
+}
+
+std::size_t te_num_tiles(const std::string& kernel) {
+  if (kernel == "3mm") return 6;
+  if (kernel == "2mm") return 4;
+  return 2;
+}
+
+namespace {
+
+// PolyBench-style deterministic init for the 2mm C operand (reference.h
+// covers the A/B pair via init_gemm).
+void init_2mm_c(runtime::NDArray& c) {
+  const std::int64_t nj = c.shape()[0], nl = c.shape()[1];
+  for (std::int64_t i = 0; i < nj; ++i) {
+    for (std::int64_t j = 0; j < nl; ++j) {
+      c.set2(i, j, static_cast<double>((i * (j + 3) + 1) % nl) /
+                       static_cast<double>(nl));
+    }
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<TeKernelData> make_te_kernel_data(
+    const std::string& kernel, const std::vector<std::int64_t>& dims) {
+  TVMBO_CHECK(te_backend_supported(kernel))
+      << "kernel '" << kernel << "' has no TE program";
+  auto data = std::make_shared<TeKernelData>();
+  data->kernel = kernel;
+  data->dims = dims;
+  if (kernel == "3mm") {
+    TVMBO_CHECK_EQ(dims.size(), 5u) << "3mm dims must be {N,L,M,O,P}";
+    const std::int64_t n = dims[0], l = dims[1], m = dims[2], o = dims[3],
+                       p = dims[4];
+    data->inputs.emplace_back(std::vector<std::int64_t>{n, l});
+    data->inputs.emplace_back(std::vector<std::int64_t>{l, m});
+    data->inputs.emplace_back(std::vector<std::int64_t>{m, o});
+    data->inputs.emplace_back(std::vector<std::int64_t>{o, p});
+    init_3mm(data->inputs[0], data->inputs[1], data->inputs[2],
+             data->inputs[3]);
+  } else if (kernel == "gemm") {
+    TVMBO_CHECK_EQ(dims.size(), 3u) << "gemm dims must be {NI,NJ,NK}";
+    data->inputs.emplace_back(std::vector<std::int64_t>{dims[0], dims[2]});
+    data->inputs.emplace_back(std::vector<std::int64_t>{dims[2], dims[1]});
+    init_gemm(data->inputs[0], data->inputs[1]);
+  } else if (kernel == "2mm") {
+    TVMBO_CHECK_EQ(dims.size(), 4u) << "2mm dims must be {NI,NJ,NK,NL}";
+    data->inputs.emplace_back(std::vector<std::int64_t>{dims[0], dims[2]});
+    data->inputs.emplace_back(std::vector<std::int64_t>{dims[2], dims[1]});
+    data->inputs.emplace_back(std::vector<std::int64_t>{dims[1], dims[3]});
+    init_gemm(data->inputs[0], data->inputs[1]);
+    init_2mm_c(data->inputs[2]);
+  } else if (kernel == "syrk") {
+    TVMBO_CHECK_EQ(dims.size(), 2u) << "syrk dims must be {N, M}";
+    data->inputs.emplace_back(std::vector<std::int64_t>{dims[0], dims[1]});
+    data->inputs.emplace_back(std::vector<std::int64_t>{dims[0], dims[0]});
+    init_syrk(data->inputs[0], data->inputs[1]);
+  } else {  // lu / cholesky
+    TVMBO_CHECK_EQ(dims.size(), 1u) << kernel << " dims must be {N}";
+    data->inputs.emplace_back(std::vector<std::int64_t>{dims[0], dims[0]});
+    if (kernel == "cholesky") {
+      init_spd(data->inputs[0]);
+    } else {
+      init_lu(data->inputs[0]);
+    }
+  }
+  return data;
+}
+
+TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
+                                     std::span<const std::int64_t> tiles)
+    : data_(std::move(data)) {
+  TVMBO_CHECK(data_ != nullptr) << "null kernel data";
+  const std::string& kernel = data_->kernel;
+  const std::vector<std::int64_t>& dims = data_->dims;
+  TVMBO_CHECK_EQ(tiles.size(), te_num_tiles(kernel))
+      << "wrong tile count for " << kernel;
+
+  auto own = [&](std::vector<std::int64_t> shape) {
+    owned_.push_back(std::make_unique<runtime::NDArray>(std::move(shape)));
+    return owned_.back().get();
+  };
+
+  if (kernel == "3mm") {
+    ThreeMmTensors t = make_3mm(dims[0], dims[1], dims[2], dims[3], dims[4]);
+    stmt_ = te::lower(schedule_3mm(t, tiles));
+    output_ = own({dims[0], dims[4]});
+    bindings_ = {{t.A, &data_->inputs[0]},
+                 {t.B, &data_->inputs[1]},
+                 {t.C, &data_->inputs[2]},
+                 {t.D, &data_->inputs[3]},
+                 {t.G, output_}};
+  } else if (kernel == "gemm") {
+    GemmTensors t = make_gemm(dims[0], dims[1], dims[2]);
+    stmt_ = te::lower(schedule_gemm(t, tiles[0], tiles[1]));
+    output_ = own({dims[0], dims[1]});
+    bindings_ = {{t.A, &data_->inputs[0]},
+                 {t.B, &data_->inputs[1]},
+                 {t.C, output_}};
+  } else if (kernel == "2mm") {
+    TwoMmTensors t = make_2mm(dims[0], dims[1], dims[2], dims[3]);
+    stmt_ = te::lower(schedule_2mm(t, tiles));
+    output_ = own({dims[0], dims[3]});
+    bindings_ = {{t.A, &data_->inputs[0]},
+                 {t.B, &data_->inputs[1]},
+                 {t.C, &data_->inputs[2]},
+                 {t.D, output_}};
+  } else if (kernel == "syrk") {
+    SyrkTensors t = make_syrk(dims[0], dims[1]);
+    stmt_ = te::lower(schedule_syrk(t, tiles[0], tiles[1]));
+    output_ = own({dims[0], dims[0]});
+    bindings_ = {{t.A, &data_->inputs[0]},
+                 {t.Cin, &data_->inputs[1]},
+                 {t.Cout, output_}};
+  } else {  // lu / cholesky: in-place factorization of a work copy
+    const std::int64_t n = dims[0];
+    te::Tensor a = te::placeholder({n, n}, "A");
+    FactorizationProgram program =
+        kernel == "lu" ? build_lu(a, n) : build_cholesky(a, n);
+    const std::int64_t ty = std::clamp<std::int64_t>(tiles[0], 1, n);
+    const std::int64_t tx = std::clamp<std::int64_t>(tiles[1], 1, n);
+    te::Var io, ii, jo, ji;
+    te::Stmt stmt =
+        te::split_loop(program.stmt, program.update_i, ty, &io, &ii);
+    stmt = te::split_loop(stmt, program.update_j, tx, &jo, &ji);
+    // Non-exact splits guard the tail, breaking the perfect nesting the
+    // interchange needs; the divisor-derived spaces always split exactly.
+    if (n % ty == 0 && n % tx == 0) {
+      stmt = te::interchange_loops(stmt, ii, jo);
+    }
+    stmt_ = stmt;
+    output_ = own({n, n});
+    pristine_ = &data_->inputs[0];
+    bindings_ = {{a, output_}};
+    reset();
+  }
+}
+
+void TeProgramInstance::reset() {
+  if (pristine_ == nullptr) return;
+  // Element-wise copy: compiled programs hold the base pointer, so the
+  // work array must be refilled, never reallocated.
+  std::span<const double> src = pristine_->f64();
+  std::span<double> dst = output_->f64();
+  TVMBO_CHECK_EQ(src.size(), dst.size()) << "work/pristine shape mismatch";
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+namespace {
+
+/// Execution state shared between a MeasureInput's prepare and run
+/// closures. prepare() fills it; run() executes it.
+struct TeExecState {
+  std::unique_ptr<TeProgramInstance> instance;
+  std::optional<te::CompiledProgram> closure;
+  std::optional<codegen::JitProgram> jit;
+};
+
+void prepare_state(TeExecState& state,
+                   const std::shared_ptr<TeKernelData>& data,
+                   const std::vector<std::int64_t>& tiles,
+                   runtime::ExecBackend backend,
+                   const codegen::JitOptions& jit_options) {
+  state.instance = std::make_unique<TeProgramInstance>(data, tiles);
+  switch (backend) {
+    case runtime::ExecBackend::kInterp:
+      break;  // the interpreter walks the IR directly; nothing to compile
+    case runtime::ExecBackend::kClosure:
+      state.closure = te::CompiledProgram::compile(
+          state.instance->stmt(), state.instance->bindings());
+      break;
+    case runtime::ExecBackend::kJit:
+      state.jit = codegen::JitProgram::compile(
+          state.instance->stmt(), state.instance->bindings(), jit_options);
+      break;
+    case runtime::ExecBackend::kNative:
+      TVMBO_CHECK(false) << "native backend has no TE program path";
+  }
+}
+
+void run_state(TeExecState& state, runtime::ExecBackend backend) {
+  TVMBO_CHECK(state.instance != nullptr) << "run before prepare";
+  state.instance->reset();
+  switch (backend) {
+    case runtime::ExecBackend::kInterp: {
+      te::Interpreter interp;
+      for (const auto& [tensor, array] : state.instance->bindings()) {
+        interp.bind(tensor, array);
+      }
+      interp.run(state.instance->stmt());
+      break;
+    }
+    case runtime::ExecBackend::kClosure:
+      state.closure->run();
+      break;
+    case runtime::ExecBackend::kJit:
+      state.jit->run();
+      break;
+    case runtime::ExecBackend::kNative:
+      TVMBO_CHECK(false) << "native backend has no TE program path";
+  }
+}
+
+}  // namespace
+
+runtime::MeasureInput make_te_measure_input(
+    std::shared_ptr<TeKernelData> data, const runtime::Workload& workload,
+    const std::vector<std::int64_t>& tiles, runtime::ExecBackend backend,
+    const codegen::JitOptions& jit_options) {
+  TVMBO_CHECK(backend != runtime::ExecBackend::kNative)
+      << "native backend does not use TE measure inputs";
+  runtime::MeasureInput input;
+  input.workload = workload;
+  input.tiles = tiles;
+  auto state = std::make_shared<TeExecState>();
+  input.prepare = [state, data = std::move(data), tiles, backend,
+                   jit_options] {
+    prepare_state(*state, data, tiles, backend, jit_options);
+  };
+  input.run = [state, backend] { run_state(*state, backend); };
+  return input;
+}
+
+runtime::NDArray run_te_backend(const std::shared_ptr<TeKernelData>& data,
+                                std::span<const std::int64_t> tiles,
+                                runtime::ExecBackend backend,
+                                const codegen::JitOptions& jit_options) {
+  TeExecState state;
+  prepare_state(state, data,
+                std::vector<std::int64_t>(tiles.begin(), tiles.end()),
+                backend, jit_options);
+  run_state(state, backend);
+  return state.instance->output();
+}
+
+}  // namespace tvmbo::kernels

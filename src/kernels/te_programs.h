@@ -1,0 +1,109 @@
+// Backend-agnostic TE program instances for the PolyBench kernels — the
+// bridge between the kernel definitions (te_kernels.h) and the three
+// IR-level execution tiers (interpreter, closure compiler, JIT).
+//
+// A TeKernelData holds the initialized *input* arrays for one kernel
+// instance, shared read-only across every configuration tried during a
+// tuning run (and across concurrent measurement threads). A
+// TeProgramInstance is one configured program: schedule applied for a
+// concrete tile vector, lowered to loop IR, with per-instance output/work
+// buffers so parallel trials never alias each other's writes.
+//
+// make_te_measure_input() wires an instance into the runtime's measurement
+// contract: `prepare` lowers + compiles for the chosen backend (CpuDevice
+// times it into MeasureResult::compile_s), `run` executes it. This is what
+// kernels::make_task uses for every backend other than the hand-written
+// native kernels.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codegen/jit_program.h"
+#include "runtime/buffer.h"
+#include "runtime/exec_backend.h"
+#include "runtime/measure.h"
+#include "te/ir.h"
+
+namespace tvmbo::kernels {
+
+/// Kernels with a TE/loop-IR program: 3mm, gemm, 2mm, syrk, lu, cholesky.
+bool te_backend_supported(const std::string& kernel);
+
+/// Tile-vector length the kernel's schedule expects (3mm: 6, 2mm: 4,
+/// others: 2). Matches build_space's parameter count for these kernels.
+std::size_t te_num_tiles(const std::string& kernel);
+
+/// Initialized input arrays for one kernel instance (PolyBench-style
+/// deterministic init). Shared across configurations and threads; every
+/// backend only reads them.
+struct TeKernelData {
+  std::string kernel;
+  std::vector<std::int64_t> dims;
+  std::vector<runtime::NDArray> inputs;  ///< kernel-specific order
+};
+
+/// Builds + initializes the shared inputs. Throws CheckError for kernels
+/// without a TE program (see te_backend_supported).
+std::shared_ptr<TeKernelData> make_te_kernel_data(
+    const std::string& kernel, const std::vector<std::int64_t>& dims);
+
+/// One configured, lowered program plus its buffer bindings.
+class TeProgramInstance {
+ public:
+  /// Applies the kernel's schedule for `tiles` and lowers to loop IR.
+  /// Output/work arrays are freshly allocated per instance; inputs alias
+  /// the shared TeKernelData.
+  TeProgramInstance(std::shared_ptr<TeKernelData> data,
+                    std::span<const std::int64_t> tiles);
+
+  const te::Stmt& stmt() const { return stmt_; }
+
+  /// Tensor -> array bindings for the program's parameters (inputs plus
+  /// outputs; Realize intermediates are not bound). Stable for the
+  /// lifetime of the instance — compiled programs capture the base
+  /// pointers, so the arrays are never reallocated, only refilled.
+  const std::vector<std::pair<te::Tensor, runtime::NDArray*>>& bindings()
+      const {
+    return bindings_;
+  }
+
+  /// Restores in-place-factorized buffers (lu/cholesky) to their pristine
+  /// contents by copying element-wise — never reallocates (see bindings()).
+  /// No-op for the pure compute kernels, whose lowered programs
+  /// re-initialize their outputs on every run.
+  void reset();
+
+  /// The kernel's primary output (G, C, D, Cout, or the factored matrix),
+  /// for differential comparison across backends.
+  const runtime::NDArray& output() const { return *output_; }
+
+ private:
+  std::shared_ptr<TeKernelData> data_;
+  te::Stmt stmt_;
+  std::vector<std::pair<te::Tensor, runtime::NDArray*>> bindings_;
+  std::vector<std::unique_ptr<runtime::NDArray>> owned_;
+  runtime::NDArray* output_ = nullptr;
+  const runtime::NDArray* pristine_ = nullptr;  ///< reset() source, or null
+};
+
+/// Builds a MeasureInput whose `prepare` instantiates + compiles the
+/// configured program for `backend` (kInterp skips compilation) and whose
+/// `run` executes it once. kNative is not valid here — native kernels
+/// don't go through the TE program path.
+runtime::MeasureInput make_te_measure_input(
+    std::shared_ptr<TeKernelData> data, const runtime::Workload& workload,
+    const std::vector<std::int64_t>& tiles, runtime::ExecBackend backend,
+    const codegen::JitOptions& jit_options = {});
+
+/// Differential-test helper: instantiate, execute once via `backend`, and
+/// return a copy of the output array.
+runtime::NDArray run_te_backend(const std::shared_ptr<TeKernelData>& data,
+                                std::span<const std::int64_t> tiles,
+                                runtime::ExecBackend backend,
+                                const codegen::JitOptions& jit_options = {});
+
+}  // namespace tvmbo::kernels

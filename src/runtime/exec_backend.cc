@@ -1,0 +1,23 @@
+#include "runtime/exec_backend.h"
+
+namespace tvmbo::runtime {
+
+const char* exec_backend_name(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::kNative: return "native";
+    case ExecBackend::kInterp: return "interp";
+    case ExecBackend::kClosure: return "closure";
+    case ExecBackend::kJit: return "jit";
+  }
+  return "?";
+}
+
+std::optional<ExecBackend> exec_backend_from_name(const std::string& name) {
+  if (name == "native") return ExecBackend::kNative;
+  if (name == "interp") return ExecBackend::kInterp;
+  if (name == "closure") return ExecBackend::kClosure;
+  if (name == "jit") return ExecBackend::kJit;
+  return std::nullopt;
+}
+
+}  // namespace tvmbo::runtime

@@ -1,0 +1,33 @@
+// Execution-backend selection for real (CpuDevice) measurement — which of
+// the execution tiers runs a configured kernel:
+//
+//   kNative  — hand-specialized tiled C++ kernels (kernels/native.h);
+//              fastest, but only for the fixed kernel menu.
+//   kInterp  — the tree-walking loop-IR interpreter (te/interp.h);
+//              the semantics oracle, orders of magnitude slower.
+//   kClosure — the ahead-of-time closure compiler (te/compile.h);
+//              a few times faster than the interpreter.
+//   kJit     — C-source codegen + system compiler + dlopen
+//              (codegen/jit_program.h); hardware speed for any TE kernel,
+//              with a persistent artifact cache amortizing compiles.
+//
+// The backend is fixed per task (kernels::make_task) and the compile phase
+// of each tier is charged to MeasureResult::compile_s through the
+// MeasureInput::prepare hook, so process-time figures price compilation
+// consistently across backends.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace tvmbo::runtime {
+
+enum class ExecBackend { kNative, kInterp, kClosure, kJit };
+
+/// "native" | "interp" | "closure" | "jit".
+const char* exec_backend_name(ExecBackend backend);
+
+/// Inverse of exec_backend_name; nullopt for unknown names.
+std::optional<ExecBackend> exec_backend_from_name(const std::string& name);
+
+}  // namespace tvmbo::runtime

@@ -1,0 +1,148 @@
+// Differential testing of the execution tiers: every PolyBench TE kernel,
+// on randomly sampled tile configurations, must produce bit-comparable
+// float64 outputs through the interpreter, the closure compiler, and the
+// JIT. The interpreter is the semantics oracle; agreement is exact (==),
+// not within a tolerance — the JIT is compiled with -ffp-contract=off so
+// the C compiler cannot reassociate or fuse what the oracle does not.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "codegen/jit_program.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "kernels/polybench.h"
+#include "kernels/te_programs.h"
+#include "runtime/exec_backend.h"
+
+namespace tvmbo::kernels {
+namespace {
+
+using runtime::ExecBackend;
+
+codegen::JitOptions test_options() {
+  codegen::JitOptions options;
+  options.cache_dir = testing::TempDir() + "tvmbo-differential-cache";
+  return options;
+}
+
+/// Exact element-wise comparison with a first-mismatch diagnostic.
+void expect_identical(const runtime::NDArray& a, const runtime::NDArray& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.shape(), b.shape()) << label;
+  std::span<const double> av = a.f64(), bv = b.f64();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    ASSERT_EQ(av[i], bv[i])
+        << label << ": first mismatch at flat index " << i;
+  }
+}
+
+/// Samples `count` configurations from the kernel's paper space and runs
+/// each through all three IR-level backends.
+void run_differential(const std::string& kernel, int count,
+                      std::uint64_t seed) {
+  const codegen::JitOptions options = test_options();
+  const bool jit = codegen::JitProgram::toolchain_available(options);
+  const std::vector<std::int64_t> dims =
+      polybench_dims(kernel, Dataset::kMini);
+  const cs::ConfigurationSpace space = build_space(kernel, dims);
+  const auto data = make_te_kernel_data(kernel, dims);
+
+  Rng rng(seed);
+  for (int trial = 0; trial < count; ++trial) {
+    const std::vector<std::int64_t> tiles =
+        space.values_int(space.sample(rng));
+    const std::string label = kernel + " trial " + std::to_string(trial);
+
+    const runtime::NDArray oracle =
+        run_te_backend(data, tiles, ExecBackend::kInterp);
+    const runtime::NDArray closure =
+        run_te_backend(data, tiles, ExecBackend::kClosure);
+    expect_identical(oracle, closure, label + " (closure)");
+    if (jit) {
+      const runtime::NDArray jitted =
+          run_te_backend(data, tiles, ExecBackend::kJit, options);
+      expect_identical(oracle, jitted, label + " (jit)");
+    }
+  }
+  if (!jit) {
+    GTEST_SKIP() << "no C toolchain; interpreter/closure agreement checked";
+  }
+}
+
+TEST(BackendDifferential, ThreeMm) { run_differential("3mm", 4, 101); }
+TEST(BackendDifferential, Gemm) { run_differential("gemm", 4, 102); }
+TEST(BackendDifferential, TwoMm) { run_differential("2mm", 4, 103); }
+TEST(BackendDifferential, Syrk) { run_differential("syrk", 4, 104); }
+TEST(BackendDifferential, Lu) { run_differential("lu", 4, 105); }
+TEST(BackendDifferential, Cholesky) { run_differential("cholesky", 4, 106); }
+
+TEST(BackendDifferential, JitBeatsInterpreterOn3mm) {
+  const codegen::JitOptions options = test_options();
+  if (!codegen::JitProgram::toolchain_available(options)) {
+    GTEST_SKIP() << "no C toolchain";
+  }
+  const std::vector<std::int64_t> dims =
+      polybench_dims("3mm", Dataset::kSmall);
+  const auto data = make_te_kernel_data("3mm", dims);
+  const std::vector<std::int64_t> tiles = {10, 8, 10, 8, 10, 8};
+
+  // Time run() only — compile time is accounted separately (and the
+  // acceptance bar is about steady-state execution speed).
+  runtime::MeasureInput interp = make_te_measure_input(
+      data, make_workload("3mm", Dataset::kSmall), tiles,
+      ExecBackend::kInterp);
+  runtime::MeasureInput jit = make_te_measure_input(
+      data, make_workload("3mm", Dataset::kSmall), tiles, ExecBackend::kJit,
+      options);
+  interp.prepare();
+  jit.prepare();
+
+  Stopwatch interp_timer;
+  interp.run();
+  const double interp_s = interp_timer.elapsed_seconds();
+
+  jit.run();  // warm up (first call touches the freshly mapped pages)
+  constexpr int kJitRuns = 10;
+  Stopwatch jit_timer;
+  for (int i = 0; i < kJitRuns; ++i) jit.run();
+  const double jit_s = jit_timer.elapsed_seconds() / kJitRuns;
+
+  EXPECT_GE(interp_s / jit_s, 10.0)
+      << "interp " << interp_s << " s vs jit " << jit_s << " s";
+}
+
+TEST(BackendDifferential, SecondTuningPassHitsTheArtifactCache) {
+  codegen::JitOptions options;
+  options.cache_dir = testing::TempDir() + "tvmbo-differential-secondpass";
+  if (!codegen::JitProgram::toolchain_available(options)) {
+    GTEST_SKIP() << "no C toolchain";
+  }
+  const std::vector<std::int64_t> dims =
+      polybench_dims("gemm", Dataset::kMini);
+  const cs::ConfigurationSpace space = build_space("gemm", dims);
+  const auto data = make_te_kernel_data("gemm", dims);
+
+  std::vector<std::vector<std::int64_t>> configs;
+  Rng rng(7);
+  for (int i = 0; i < 6; ++i) {
+    configs.push_back(space.values_int(space.sample(rng)));
+  }
+
+  codegen::ArtifactCache& cache = codegen::ArtifactCache::shared(options);
+  for (const auto& tiles : configs) {
+    run_te_backend(data, tiles, ExecBackend::kJit, options);
+  }
+  cache.reset_stats();  // second pass starts from a warm cache
+
+  for (const auto& tiles : configs) {
+    run_te_backend(data, tiles, ExecBackend::kJit, options);
+  }
+  const codegen::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_GE(stats.hit_rate(), 0.9);
+}
+
+}  // namespace
+}  // namespace tvmbo::kernels

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "codegen/artifact_cache.h"
+#include "codegen/c_emitter.h"
+#include "codegen/jit_program.h"
+#include "common/logging.h"
+#include "kernels/te_kernels.h"
+#include "te/interp.h"
+#include "te/lower.h"
+
+namespace tvmbo::codegen {
+namespace {
+
+JitOptions test_options(const std::string& subdir) {
+  JitOptions options;
+  options.cache_dir = testing::TempDir() + "tvmbo-codegen-" + subdir;
+  // Hit/miss assertions assume a cold cache; wipe leftovers from prior
+  // test runs (the dir is stable across runs by construction).
+  std::filesystem::remove_all(options.cache_dir);
+  return options;
+}
+
+TEST(Fnv1a, DeterministicAndSensitive) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("abc"), fnv1a64("abc"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("ab"));
+}
+
+TEST(CEmitter, EmitsKernelSignatureAndHelpers) {
+  const te::Tensor out = te::placeholder({4}, "out");
+  const te::Var i = te::make_var("i");
+  const te::Stmt stmt = te::make_for(
+      i, 4, te::ForKind::kSerial, te::make_store(out, {i}, te::make_float(2.5)));
+  const std::string source = emit_c_source(stmt, {out});
+  EXPECT_NE(source.find("void tvmbo_kernel(double** bufs)"),
+            std::string::npos);
+  EXPECT_NE(source.find("bufs[0]"), std::string::npos);
+  EXPECT_NE(source.find("tvmbo_fdiv"), std::string::npos);
+  // Float constants are emitted as hexfloat so the value round-trips
+  // bit-exactly through the C compiler.
+  EXPECT_NE(source.find("0x1.4p+1"), std::string::npos);
+  EXPECT_NE(source.find("for (int64_t"), std::string::npos);
+}
+
+TEST(CEmitter, RealizeRegionsAllocateAndFree) {
+  // A scheduled 3mm has two Realize intermediates (E and F).
+  kernels::ThreeMmTensors t = kernels::make_3mm(4, 5, 6, 7, 8);
+  const std::int64_t tiles[6] = {2, 2, 2, 2, 2, 2};
+  const te::Stmt stmt = te::lower(kernels::schedule_3mm(t, tiles));
+  const std::string source =
+      emit_c_source(stmt, {t.A, t.B, t.C, t.D, t.G});
+  EXPECT_NE(source.find("calloc"), std::string::npos);
+  EXPECT_NE(source.find("free("), std::string::npos);
+  EXPECT_NE(source.find("/* realize E */"), std::string::npos);
+  EXPECT_NE(source.find("/* realize F */"), std::string::npos);
+}
+
+TEST(CEmitter, RejectsUnboundTensor) {
+  const te::Tensor out = te::placeholder({4}, "out");
+  const te::Var i = te::make_var("i");
+  const te::Stmt stmt = te::make_for(
+      i, 4, te::ForKind::kSerial, te::make_store(out, {i}, te::make_float(0.0)));
+  EXPECT_THROW(emit_c_source(stmt, {}), CheckError);
+}
+
+TEST(JitProgram, CompilesRunsAndMatchesInterpreter) {
+  const JitOptions options = test_options("basic");
+  if (!JitProgram::toolchain_available(options)) {
+    GTEST_SKIP() << "no C toolchain";
+  }
+  kernels::GemmTensors t = kernels::make_gemm(6, 7, 5);
+  const te::Stmt stmt =
+      te::lower(kernels::schedule_gemm(t, 3, 4));
+
+  runtime::NDArray a({6, 5}), b({5, 7}), c_jit({6, 7}), c_ref({6, 7});
+  for (std::int64_t i = 0; i < a.num_elements(); ++i) {
+    a.f64()[i] = 0.25 * static_cast<double>(i % 11) - 1.0;
+  }
+  for (std::int64_t i = 0; i < b.num_elements(); ++i) {
+    b.f64()[i] = 0.5 * static_cast<double>(i % 7) - 1.5;
+  }
+
+  JitProgram program = JitProgram::compile(
+      stmt, {{t.A, &a}, {t.B, &b}, {t.C, &c_jit}}, options);
+  program.run();
+
+  te::Interpreter interp;
+  interp.bind(t.A, &a);
+  interp.bind(t.B, &b);
+  interp.bind(t.C, &c_ref);
+  interp.run(stmt);
+
+  for (std::int64_t i = 0; i < c_ref.num_elements(); ++i) {
+    EXPECT_EQ(c_jit.f64()[i], c_ref.f64()[i]) << "element " << i;
+  }
+  EXPECT_FALSE(program.source().empty());
+  EXPECT_FALSE(program.artifact_path().empty());
+}
+
+TEST(JitProgram, ValidatesBindings) {
+  const te::Tensor out = te::placeholder({4}, "out");
+  const te::Var i = te::make_var("i");
+  const te::Stmt stmt = te::make_for(
+      i, 4, te::ForKind::kSerial, te::make_store(out, {i}, te::make_float(0.0)));
+  runtime::NDArray wrong_shape({5});
+  EXPECT_THROW(
+      JitProgram::compile(stmt, {{out, &wrong_shape}}, test_options("val")),
+      CheckError);
+}
+
+TEST(ArtifactCache, SecondCompileIsACacheHit) {
+  const JitOptions options = test_options("hits");
+  if (!JitProgram::toolchain_available(options)) {
+    GTEST_SKIP() << "no C toolchain";
+  }
+  const te::Tensor out = te::placeholder({3}, "out");
+  const te::Var i = te::make_var("i");
+  const te::Stmt stmt = te::make_for(
+      i, 3, te::ForKind::kSerial, te::make_store(out, {i}, te::make_float(7.0)));
+  runtime::NDArray buffer({3});
+
+  ArtifactCache& cache = ArtifactCache::shared(options);
+  cache.reset_stats();
+
+  JitProgram first = JitProgram::compile(stmt, {{out, &buffer}}, options);
+  JitProgram second = JitProgram::compile(stmt, {{out, &buffer}}, options);
+  EXPECT_TRUE(second.cache_hit());
+  EXPECT_EQ(second.compile_s(), 0.0);
+  EXPECT_EQ(first.artifact_path(), second.artifact_path());
+
+  const CacheStats stats = cache.stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+  // Different flags -> different key, even for identical source.
+  JitOptions debug = options;
+  debug.flags = "-O0 -shared -fPIC -ffp-contract=off -std=c11";
+  JitProgram third = JitProgram::compile(stmt, {{out, &buffer}}, debug);
+  EXPECT_FALSE(third.cache_hit());
+  EXPECT_NE(third.artifact_path(), first.artifact_path());
+}
+
+TEST(ArtifactCache, CompileFailureReportsLog) {
+  const JitOptions options = test_options("fail");
+  if (!JitProgram::toolchain_available(options)) {
+    GTEST_SKIP() << "no C toolchain";
+  }
+  ArtifactCache& cache = ArtifactCache::shared(options);
+  cache.reset_stats();
+  EXPECT_THROW(cache.get_or_compile("this is not C\n",
+                                    options.resolved_compiler(),
+                                    options.flags),
+               CheckError);
+  EXPECT_EQ(cache.stats().failures, 1u);
+}
+
+TEST(ArtifactCache, ConcurrentIdenticalRequestsCompileOnce) {
+  const JitOptions options = test_options("threads");
+  if (!JitProgram::toolchain_available(options)) {
+    GTEST_SKIP() << "no C toolchain";
+  }
+  ArtifactCache& cache = ArtifactCache::shared(options);
+  cache.reset_stats();
+  const std::string source =
+      "void tvmbo_kernel(double** bufs) { bufs[0][0] = 42.0; }\n";
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  std::vector<std::string> paths(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        paths[i] = cache
+                       .get_or_compile(source, options.resolved_compiler(),
+                                       options.flags)
+                       .so_path;
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(paths[i], paths[0]);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups(), static_cast<std::size_t>(kThreads));
+  // The per-key mutex serializes identical requests: exactly one miss.
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::size_t>(kThreads - 1));
+}
+
+}  // namespace
+}  // namespace tvmbo::codegen

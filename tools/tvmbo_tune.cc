@@ -21,16 +21,30 @@
 //               sequential AMBS; pair N>1 with --parallel)
 //   --retries N re-run transiently failing trials up to N times
 //   --trace F   append the per-trial JSON-lines event log to file F
+//   --backend B execution tier for --device cpu: native (hand-written
+//               tiled kernels, default) | interp | closure | jit. The jit
+//               backend emits C, invokes the system compiler, and caches
+//               shared objects content-addressed, so repeated
+//               configurations — and whole repeated runs — skip
+//               compilation; a jit_cache_stats summary is printed (and
+//               traced with --trace) at the end
+//   --jit-cache D  artifact-cache directory for --backend jit
+//               (default $TVMBO_JIT_CACHE, else <tmp>/tvmbo-jit-cache)
+//   --warm-start F seed ytopt with the records of a prior run's perf
+//               database (the <out>_db.jsonl of that run); records for
+//               other workloads or spaces are skipped
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "codegen/artifact_cache.h"
 #include "framework/figures.h"
 #include "framework/session.h"
 #include "kernels/polybench.h"
 #include "runtime/cpu_device.h"
+#include "runtime/exec_backend.h"
 #include "runtime/swing_sim.h"
 #include "runtime/trace_log.h"
 
@@ -52,6 +66,9 @@ struct Args {
   std::size_t ytopt_batch = 1;
   int retries = 0;
   std::string trace;
+  std::string backend = "native";
+  std::string jit_cache;
+  std::string warm_start;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -60,7 +77,9 @@ struct Args {
                "[--evals N] [--seed N] [--device sim|cpu] "
                "[--objective runtime|energy|edp] [--xgb-cap N] "
                "[--out PREFIX] [--parallel] [--ytopt-batch N] "
-               "[--retries N] [--trace FILE]\n",
+               "[--retries N] [--trace FILE] "
+               "[--backend native|interp|closure|jit] [--jit-cache DIR] "
+               "[--warm-start DB.jsonl]\n",
                argv0);
   std::exit(2);
 }
@@ -86,6 +105,9 @@ Args parse(int argc, char** argv) {
     else if (flag == "--ytopt-batch") args.ytopt_batch = std::stoul(value());
     else if (flag == "--retries") args.retries = std::stoi(value());
     else if (flag == "--trace") args.trace = value();
+    else if (flag == "--backend") args.backend = value();
+    else if (flag == "--jit-cache") args.jit_cache = value();
+    else if (flag == "--warm-start") args.warm_start = value();
     else usage(argv[0]);
   }
   return args;
@@ -97,9 +119,17 @@ int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
 
   const kernels::Dataset dataset = kernels::dataset_from_name(args.size);
-  const bool executable = args.device == "cpu";
+  const auto backend = runtime::exec_backend_from_name(args.backend);
+  if (!backend.has_value()) usage(argv[0]);
+  codegen::JitOptions jit_options;
+  jit_options.cache_dir = args.jit_cache;
+
+  // Simulated devices never execute the kernel; only a cpu device needs a
+  // backend-configured executable task.
   const autotvm::Task task =
-      kernels::make_task(args.kernel, dataset, executable);
+      args.device == "cpu"
+          ? kernels::make_task(args.kernel, dataset, *backend, jit_options)
+          : kernels::make_task(args.kernel, dataset, /*executable=*/false);
 
   runtime::SwingSimDevice sim(args.seed);
   runtime::CpuDevice cpu;
@@ -129,6 +159,13 @@ int main(int argc, char** argv) {
     trace = std::make_unique<runtime::TraceLog>(args.trace);
     options.measure.trace = trace.get();
   }
+  runtime::PerfDatabase warm_db;
+  if (!args.warm_start.empty()) {
+    warm_db = runtime::PerfDatabase::load(args.warm_start);
+    options.warm_start = &warm_db;
+    std::printf("warm start: %zu prior record(s) from %s\n", warm_db.size(),
+                args.warm_start.c_str());
+  }
   framework::AutotuningSession session(&task, device, options);
 
   std::vector<framework::SessionResult> results;
@@ -154,6 +191,27 @@ int main(int argc, char** argv) {
                             ")";
   std::printf("%s", framework::render_minimum_summary(results, title, 0.0)
                         .c_str());
+
+  if (args.device == "cpu" && *backend == runtime::ExecBackend::kJit) {
+    codegen::ArtifactCache& cache = codegen::ArtifactCache::shared(jit_options);
+    const codegen::CacheStats stats = cache.stats();
+    std::printf(
+        "jit cache: %zu hit(s), %zu miss(es), %zu failure(s), "
+        "hit rate %.1f%%, %.2f s compiling, dir %s\n",
+        stats.hits, stats.misses, stats.failures, 100.0 * stats.hit_rate(),
+        stats.compile_s, cache.dir().c_str());
+    if (trace != nullptr) {
+      Json event = Json::object();
+      event.set("event", "jit_cache_stats");
+      event.set("hits", stats.hits);
+      event.set("misses", stats.misses);
+      event.set("failures", stats.failures);
+      event.set("hit_rate", stats.hit_rate());
+      event.set("compile_s", stats.compile_s);
+      event.set("dir", cache.dir());
+      trace->record(std::move(event));
+    }
+  }
 
   if (!args.out.empty()) {
     framework::process_over_time_table(results).write_file(
