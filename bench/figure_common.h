@@ -41,19 +41,24 @@ struct FigureSpec {
   std::string device = "sim";
   runtime::ExecBackend backend = runtime::ExecBackend::kNative;
   codegen::JitOptions jit_options;  ///< cache dir etc. for kJit
+  /// Thread-count cap for the parallel-schedule knobs on cpu TE-program
+  /// backends: 1 (default) keeps the space serial, 0 = all cores, N caps
+  /// the candidates at N.
+  std::int64_t threads = 1;
 };
 
 /// Optional per-bench overrides so every figure binary can rerun its
 /// experiment on real hardware:
 ///   --device sim|cpu   --backend native|interp|closure|jit
 ///   --size S           --evals N   --seed N   --jit-cache DIR
+///   --threads N        (parallel-schedule knobs; see FigureSpec::threads)
 /// Exits with usage on unknown flags.
 inline void parse_figure_args(int argc, char** argv, FigureSpec* spec) {
   auto usage = [&]() {
     std::fprintf(stderr,
                  "usage: %s [--device sim|cpu] "
                  "[--backend native|interp|closure|jit] [--size S] "
-                 "[--evals N] [--seed N] [--jit-cache DIR]\n",
+                 "[--evals N] [--seed N] [--jit-cache DIR] [--threads N]\n",
                  argv[0]);
     std::exit(2);
   };
@@ -76,6 +81,9 @@ inline void parse_figure_args(int argc, char** argv, FigureSpec* spec) {
       spec->seed = std::stoull(value);
     } else if (flag == "--jit-cache") {
       spec->jit_options.cache_dir = value;
+    } else if (flag == "--threads") {
+      spec->threads = std::stoll(value);
+      if (spec->threads < 0) usage();
     } else {
       usage();
     }
@@ -84,9 +92,12 @@ inline void parse_figure_args(int argc, char** argv, FigureSpec* spec) {
 
 inline int run_figure_experiment(const FigureSpec& spec) {
   const bool cpu = spec.device == "cpu";
+  kernels::ParallelKnobs parallel_knobs;
+  parallel_knobs.enabled = cpu && spec.threads != 1;
+  parallel_knobs.max_threads = spec.threads;
   const autotvm::Task task =
       cpu ? kernels::make_task(spec.kernel, spec.dataset, spec.backend,
-                               spec.jit_options)
+                               spec.jit_options, parallel_knobs)
           : kernels::make_task(spec.kernel, spec.dataset);
   runtime::SwingSimDevice sim_device(spec.seed);
   runtime::CpuDevice cpu_device;

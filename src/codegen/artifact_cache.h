@@ -38,6 +38,13 @@ struct JitOptions {
   /// Artifact-cache directory; empty resolves $TVMBO_JIT_CACHE, then
   /// <system temp>/tvmbo-jit-cache.
   std::string cache_dir;
+  /// Worker budget for kParallel loops: 1 (default) emits them serially,
+  /// 0 lets the OpenMP runtime pick (all cores), N >= 2 pins
+  /// num_threads(N). Any value other than 1 makes JitProgram emit OpenMP
+  /// pragmas and append -fopenmp when the toolchain supports it — both
+  /// the pragma text and the extra flag feed the cache key, so parallel
+  /// and serial builds of the same kernel never collide.
+  int parallel_threads = 1;
 
   /// Compiler after environment resolution.
   std::string resolved_compiler() const;

@@ -59,6 +59,7 @@ std::vector<std::int64_t> row_major_strides(
 
 struct Emitter {
   std::ostringstream out;
+  EmitOptions options;
   /// Tensor -> (C identifier, row-major strides). Realize entries are
   /// pushed/popped around their region, mirroring the interpreter's
   /// scoping.
@@ -300,9 +301,23 @@ void Emitter::emit_stmt(const StmtNode* stmt, int depth) {
     case StmtKind::kFor: {
       const auto* node = static_cast<const ForNode*>(stmt);
       const std::string v = var_name(node->var.get());
-      indent(depth);
       // Annotations are performance hints; the serial emission matches the
       // interpreter's iteration order (-O3 vectorizes/unrolls on its own).
+      // kParallel additionally gets an OpenMP pragma when requested: inner
+      // loop variables are declared inside the body, so they are
+      // thread-private automatically, and lowering guarantees chunks write
+      // disjoint elements. Without -fopenmp the unknown pragma is ignored
+      // and the loop runs serially.
+      if (options.parallel && node->for_kind == te::ForKind::kParallel &&
+          node->extent > 1) {
+        indent(depth);
+        out << "#pragma omp parallel for schedule(static)";
+        if (options.num_threads > 0) {
+          out << " num_threads(" << options.num_threads << ")";
+        }
+        out << "\n";
+      }
+      indent(depth);
       out << "for (int64_t " << v << " = 0; " << v << " < INT64_C("
           << node->extent << "); ++" << v << ") {\n";
       emit_stmt(node->body.get(), depth + 1);
@@ -380,9 +395,11 @@ void Emitter::emit_stmt(const StmtNode* stmt, int depth) {
 
 std::string emit_c_source(const te::Stmt& stmt,
                           const std::vector<te::Tensor>& params,
-                          const std::string& fn_name) {
+                          const std::string& fn_name,
+                          const EmitOptions& options) {
   TVMBO_CHECK(stmt != nullptr) << "emit of null statement";
   Emitter emitter;
+  emitter.options = options;
   emitter.out << "/* generated by tvmbo::codegen (do not edit) */\n"
               << "#include <math.h>\n"
               << "#include <stdint.h>\n"

@@ -23,12 +23,28 @@
 
 namespace tvmbo::codegen {
 
+/// Emission knobs.
+struct EmitOptions {
+  /// When set, loops annotated kParallel get a
+  /// `#pragma omp parallel for schedule(static)` above them. The pragma
+  /// is only meaningful under -fopenmp; without it the compiler ignores
+  /// the unknown pragma and the kernel runs serially — same float64 bits
+  /// either way, since parallel chunks write disjoint elements. Off by
+  /// default so serial emissions stay byte-identical to earlier releases
+  /// (stable artifact-cache keys).
+  bool parallel = false;
+  /// Thread count for the pragma's num_threads() clause; 0 omits the
+  /// clause (OpenMP runtime default, i.e. all cores).
+  int num_threads = 0;
+};
+
 /// Emits a C translation unit computing `stmt`. `params` lists every
 /// externally bound tensor (placeholders and outputs) in bufs[] order;
 /// tensors not listed must be enclosed in Realize regions. Throws
 /// CheckError on free tensors or non-lowered expressions (Reduce markers).
 std::string emit_c_source(const te::Stmt& stmt,
                           const std::vector<te::Tensor>& params,
-                          const std::string& fn_name = "tvmbo_kernel");
+                          const std::string& fn_name = "tvmbo_kernel",
+                          const EmitOptions& options = {});
 
 }  // namespace tvmbo::codegen

@@ -9,8 +9,11 @@ namespace tvmbo::codegen {
 JitModule::JitModule(void* handle, std::string path)
     : handle_(handle), path_(std::move(path)) {}
 
-std::shared_ptr<JitModule> JitModule::load(const std::string& path) {
-  void* handle = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+std::shared_ptr<JitModule> JitModule::load(const std::string& path,
+                                           bool pin) {
+  int flags = RTLD_NOW | RTLD_LOCAL;
+  if (pin) flags |= RTLD_NODELETE;
+  void* handle = ::dlopen(path.c_str(), flags);
   if (handle == nullptr) {
     const char* error = ::dlerror();
     TVMBO_CHECK(false) << "dlopen(" << path

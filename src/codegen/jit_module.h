@@ -11,8 +11,14 @@ namespace tvmbo::codegen {
 class JitModule {
  public:
   /// Loads `path` (RTLD_NOW | RTLD_LOCAL). Throws CheckError when the
-  /// object cannot be loaded.
-  static std::shared_ptr<JitModule> load(const std::string& path);
+  /// object cannot be loaded. `pin` adds RTLD_NODELETE, keeping the
+  /// object (and, crucially, its dependencies) mapped after the last
+  /// dlclose — required for OpenMP kernels: unloading the kernel can drop
+  /// the last reference to the OpenMP runtime and unmap it under its own
+  /// parked worker threads (not every libgomp build is protected by the
+  /// static-TLS no-unload rule).
+  static std::shared_ptr<JitModule> load(const std::string& path,
+                                         bool pin = false);
 
   JitModule(const JitModule&) = delete;
   JitModule& operator=(const JitModule&) = delete;

@@ -33,14 +33,31 @@ JitProgram JitProgram::compile(
     args.push_back(array->f64().data());
   }
 
+  // Parallel builds: emit OpenMP pragmas on kParallel loops and add
+  // -fopenmp when the toolchain supports it. The pragma goes in even
+  // without -fopenmp (the compiler ignores it -> serial fallback), so the
+  // source text alone already separates parallel from serial cache keys.
+  EmitOptions emit_options;
+  std::string flags = options.flags;
+  bool openmp = false;
+  if (options.parallel_threads != 1 && te::has_parallel_loop(stmt)) {
+    emit_options.parallel = true;
+    emit_options.num_threads =
+        options.parallel_threads > 0 ? options.parallel_threads : 0;
+    openmp = openmp_available(options);
+    if (openmp) flags += " -fopenmp";
+  }
+
   JitProgram program;
   program.source_ = std::make_shared<const std::string>(
-      emit_c_source(stmt, params, kKernelSymbol));
+      emit_c_source(stmt, params, kKernelSymbol, emit_options));
   const Artifact artifact = ArtifactCache::shared(options).get_or_compile(
-      *program.source_, options.resolved_compiler(), options.flags);
+      *program.source_, options.resolved_compiler(), flags);
   program.cache_hit_ = artifact.cache_hit;
   program.compile_s_ = artifact.compile_s;
-  program.module_ = JitModule::load(artifact.so_path);
+  // OpenMP kernels stay pinned: unmapping them can tear the OpenMP
+  // runtime out from under its parked worker threads (see JitModule::load).
+  program.module_ = JitModule::load(artifact.so_path, /*pin=*/openmp);
   program.fn_ = reinterpret_cast<KernelFn>(
       program.module_->symbol(kKernelSymbol));
   program.args_ = std::move(args);
@@ -76,6 +93,46 @@ bool JitProgram::toolchain_available(const JitOptions& options) {
     JitProgram probe = JitProgram::compile(stmt, {{out, &buffer}}, options);
     probe.run();
     ok = buffer.f64()[0] == 1.0;
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  (*probed)[key] = ok;
+  return ok;
+}
+
+bool JitProgram::openmp_available(const JitOptions& options) {
+  // One probe per (compiler, flags, cache dir): compile and run a real
+  // OpenMP reduction, verifying both -fopenmp acceptance and a working
+  // runtime (libgomp/libomp), not just flag parsing.
+  static std::mutex mutex;
+  static std::unordered_map<std::string, bool>* probed =
+      new std::unordered_map<std::string, bool>();
+  const std::string key = options.resolved_compiler() + "\x1f" +
+                          options.flags + "\x1f" +
+                          options.resolved_cache_dir();
+  std::lock_guard<std::mutex> lock(mutex);
+  if (auto it = probed->find(key); it != probed->end()) return it->second;
+  bool ok = false;
+  try {
+    // Hand-written probe source (not emit_c_source) so the probe does not
+    // recurse through compile(), which consults this function.
+    const std::string source =
+        "void tvmbo_kernel(double** bufs) {\n"
+        "  double acc = 0.0;\n"
+        "  #pragma omp parallel for reduction(+:acc) schedule(static)\n"
+        "  for (int i = 0; i < 64; ++i) acc += 1.0;\n"
+        "  bufs[0][0] = acc;\n"
+        "}\n";
+    const Artifact artifact = ArtifactCache::shared(options).get_or_compile(
+        source, options.resolved_compiler(), options.flags + " -fopenmp");
+    std::shared_ptr<JitModule> module =
+        JitModule::load(artifact.so_path, /*pin=*/true);
+    auto fn =
+        reinterpret_cast<KernelFn>(module->symbol(kKernelSymbol));
+    double value = 0.0;
+    double* buf = &value;
+    fn(&buf);
+    ok = value == 64.0;
   } catch (const std::exception&) {
     ok = false;
   }

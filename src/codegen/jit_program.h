@@ -50,6 +50,13 @@ class JitProgram {
   /// result of a one-time probe compile; tests use this to skip).
   static bool toolchain_available(const JitOptions& options = {});
 
+  /// True when the toolchain accepts -fopenmp and the resulting kernel
+  /// actually runs multithreaded OpenMP code correctly (one-time probe
+  /// compile, like toolchain_available). When false, parallel requests
+  /// fall back to serial builds (the pragma alone is ignored without
+  /// -fopenmp, so this only loses speed, never correctness).
+  static bool openmp_available(const JitOptions& options = {});
+
  private:
   JitProgram() = default;
 

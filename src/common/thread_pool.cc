@@ -47,14 +47,23 @@ bool ThreadPool::in_worker_thread() const {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunks(count, 0, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t count, std::size_t max_chunks,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
-  if (count == 1 || num_threads() == 1 || in_worker_thread()) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
+  if (max_chunks == 0) max_chunks = num_threads();
   // One contiguous chunk per worker, not one task per item: bounds queue
   // pressure and keeps per-item dispatch overhead off the hot path.
-  const std::size_t chunks = std::min(count, num_threads());
+  const std::size_t chunks = std::min({count, max_chunks, num_threads()});
+  if (count == 1 || chunks <= 1 || in_worker_thread()) {
+    fn(0, count);
+    return;
+  }
   const std::size_t base = count / chunks;
   const std::size_t extra = count % chunks;
   std::vector<std::future<void>> futures;
@@ -62,9 +71,7 @@ void ThreadPool::parallel_for(std::size_t count,
   std::size_t begin = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t end = begin + base + (c < extra ? 1 : 0);
-    futures.push_back(submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    }));
+    futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
     begin = end;
   }
   for (auto& future : futures) future.get();

@@ -58,6 +58,16 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Range-chunked variant: splits [0, count) into at most `max_chunks`
+  /// contiguous chunks (additionally capped by num_threads()) and runs
+  /// fn(begin, end) per chunk, blocking until all complete. `max_chunks`
+  /// of 0 means num_threads(). Degenerate cases (count <= 1, one chunk,
+  /// or a call from inside a worker thread) run fn(0, count) inline.
+  /// Exceptions from chunk tasks are rethrown (first chunk wins).
+  void parallel_for_chunks(
+      std::size_t count, std::size_t max_chunks,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
   void worker_loop();
 

@@ -1,6 +1,7 @@
 #include "configspace/divisors.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -28,6 +29,37 @@ std::shared_ptr<OrdinalHyperparameter> tile_factor_param(
   std::vector<double> sequence;
   for (std::int64_t d : divisors(extent)) {
     sequence.push_back(static_cast<double>(d));
+  }
+  return std::make_shared<OrdinalHyperparameter>(name, std::move(sequence));
+}
+
+std::vector<std::int64_t> thread_counts(std::int64_t max_threads) {
+  TVMBO_CHECK_GE(max_threads, 0) << "negative thread budget";
+  if (max_threads == 0) {
+    max_threads = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  }
+  std::vector<std::int64_t> counts;
+  for (std::int64_t t = 1; t <= max_threads; t *= 2) counts.push_back(t);
+  if (counts.back() != max_threads) counts.push_back(max_threads);
+  return counts;
+}
+
+std::shared_ptr<OrdinalHyperparameter> thread_count_param(
+    const std::string& name, std::int64_t max_threads) {
+  std::vector<double> sequence;
+  for (std::int64_t t : thread_counts(max_threads)) {
+    sequence.push_back(static_cast<double>(t));
+  }
+  return std::make_shared<OrdinalHyperparameter>(name, std::move(sequence));
+}
+
+std::shared_ptr<OrdinalHyperparameter> parallel_axis_param(
+    const std::string& name, std::int64_t num_axes) {
+  TVMBO_CHECK_GT(num_axes, 0) << "parallel-axis knob needs >= 1 axis";
+  std::vector<double> sequence;
+  for (std::int64_t a = 0; a <= num_axes; ++a) {
+    sequence.push_back(static_cast<double>(a));
   }
   return std::make_shared<OrdinalHyperparameter>(name, std::move(sequence));
 }

@@ -24,4 +24,19 @@ std::uint64_t divisor_count(std::int64_t n);
 std::shared_ptr<OrdinalHyperparameter> tile_factor_param(
     const std::string& name, std::int64_t extent);
 
+/// Candidate thread counts for a parallel-loop knob: 1 and every power of
+/// two up to max_threads, plus max_threads itself (CATBench-style
+/// first-class thread-count parameters). max_threads of 0 resolves to
+/// hardware_concurrency (min 1). Ascending, deduplicated.
+std::vector<std::int64_t> thread_counts(std::int64_t max_threads);
+
+/// An OrdinalHyperparameter over thread_counts(max_threads).
+std::shared_ptr<OrdinalHyperparameter> thread_count_param(
+    const std::string& name, std::int64_t max_threads);
+
+/// An OrdinalHyperparameter over {0, 1, ..., num_axes}: which schedule
+/// axis to annotate kParallel, 0 meaning fully serial.
+std::shared_ptr<OrdinalHyperparameter> parallel_axis_param(
+    const std::string& name, std::int64_t num_axes);
+
 }  // namespace tvmbo::cs

@@ -208,10 +208,25 @@ std::vector<std::int64_t> space_extents(
 
 cs::ConfigurationSpace build_space(const std::string& kernel,
                                    const std::vector<std::int64_t>& dims) {
+  return build_space(kernel, dims, ParallelKnobs{});
+}
+
+cs::ConfigurationSpace build_space(const std::string& kernel,
+                                   const std::vector<std::int64_t>& dims,
+                                   const ParallelKnobs& parallel) {
   cs::ConfigurationSpace space;
   const std::vector<std::int64_t> extents = space_extents(kernel, dims);
   for (std::size_t i = 0; i < extents.size(); ++i) {
     space.add(cs::tile_factor_param("P" + std::to_string(i), extents[i]));
+  }
+  if (parallel.enabled) {
+    TVMBO_CHECK(te_backend_supported(kernel))
+        << "parallel knobs require a TE program; kernel '" << kernel
+        << "' has none";
+    space.add(cs::parallel_axis_param(
+        "P_par",
+        static_cast<std::int64_t>(te_num_parallel_axes(kernel))));
+    space.add(cs::thread_count_param("P_threads", parallel.max_threads));
   }
   return space;
 }
@@ -424,6 +439,43 @@ autotvm::Task make_task(const std::string& kernel,
         return make_te_measure_input(data, workload, tiles, backend,
                                      jit_options);
       };
+  return task;
+}
+
+autotvm::Task make_task(const std::string& kernel, Dataset dataset,
+                        runtime::ExecBackend backend,
+                        const codegen::JitOptions& jit_options,
+                        const ParallelKnobs& parallel) {
+  return make_task(kernel, dataset_name(dataset),
+                   polybench_dims(kernel, dataset), backend, jit_options,
+                   parallel);
+}
+
+autotvm::Task make_task(const std::string& kernel,
+                        const std::string& size_name,
+                        std::vector<std::int64_t> dims,
+                        runtime::ExecBackend backend,
+                        const codegen::JitOptions& jit_options,
+                        const ParallelKnobs& parallel) {
+  if (!parallel.enabled) {
+    return make_task(kernel, size_name, std::move(dims), backend,
+                     jit_options);
+  }
+  TVMBO_CHECK(backend != runtime::ExecBackend::kNative)
+      << "parallel schedule knobs require a TE-program backend "
+      << "(interp/closure/jit); the native kernels are serial";
+  autotvm::Task task =
+      make_task(kernel, size_name, std::move(dims), backend, jit_options);
+  // Trailing knobs append to the instantiate tile vector in definition
+  // order, matching TeProgramInstance's extended [.., parallel_axis,
+  // threads] convention and build_space's P_par/P_threads.
+  std::vector<std::int64_t> axes;
+  for (std::int64_t a = 0;
+       a <= static_cast<std::int64_t>(te_num_parallel_axes(kernel)); ++a) {
+    axes.push_back(a);
+  }
+  task.config.define_knob("parallel_axis", std::move(axes));
+  task.config.define_knob("threads", cs::thread_counts(parallel.max_threads));
   return task;
 }
 

@@ -49,6 +49,23 @@ runtime::Workload make_workload(const std::string& kernel,
 cs::ConfigurationSpace build_space(const std::string& kernel,
                                    const std::vector<std::int64_t>& dims);
 
+/// Optional parallel-schedule knobs appended after the tile parameters
+/// (Wu et al. and CATBench both put parallelization in the same search
+/// space as tiling). Only meaningful for TE-program kernels executed on a
+/// non-native backend — the hand-written native kernels are serial.
+struct ParallelKnobs {
+  bool enabled = false;
+  /// Cap for the thread-count candidates; 0 = hardware_concurrency.
+  std::int64_t max_threads = 0;
+};
+
+/// build_space plus, when `parallel.enabled`, two trailing ordinals:
+/// P_par over {0..te_num_parallel_axes} (0 = serial) and P_threads over
+/// thread_counts(parallel.max_threads).
+cs::ConfigurationSpace build_space(const std::string& kernel,
+                                   const std::vector<std::int64_t>& dims,
+                                   const ParallelKnobs& parallel);
+
 /// An AutoTVM task for the same kernel instance: knobs match the ytopt
 /// space candidate-for-candidate (as in the paper, where both frameworks
 /// tune the same predefined space). `executable` additionally wires a
@@ -76,6 +93,22 @@ autotvm::Task make_task(const std::string& kernel,
                         std::vector<std::int64_t> dims,
                         runtime::ExecBackend backend,
                         const codegen::JitOptions& jit_options = {});
+
+/// Backend task plus, when `parallel.enabled`, two trailing knobs
+/// ("parallel_axis", "threads") matching build_space's P_par/P_threads
+/// candidate-for-candidate. The extended knob values flow straight into
+/// the TE instantiate path (TeProgramInstance's extended tile vector).
+/// Throws CheckError when parallel is enabled on the native backend.
+autotvm::Task make_task(const std::string& kernel, Dataset dataset,
+                        runtime::ExecBackend backend,
+                        const codegen::JitOptions& jit_options,
+                        const ParallelKnobs& parallel);
+autotvm::Task make_task(const std::string& kernel,
+                        const std::string& size_name,
+                        std::vector<std::int64_t> dims,
+                        runtime::ExecBackend backend,
+                        const codegen::JitOptions& jit_options,
+                        const ParallelKnobs& parallel);
 
 /// All (kernel, dataset) pairs evaluated in the paper's §5.
 struct PaperExperiment {

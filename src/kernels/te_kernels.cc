@@ -10,6 +10,24 @@ using te::access;
 using te::Tensor;
 using te::Var;
 
+namespace {
+
+// Shared par_axis encoding for the compute-DAG schedules: 0 = serial,
+// 1 = parallel over yo, 2 = parallel over xo. Both are data axes, so the
+// lowering-time disjointness invariant holds by construction.
+void annotate_parallel(te::Stage& stage, int par_axis, const te::IterVar& yo,
+                       const te::IterVar& xo) {
+  TVMBO_CHECK(par_axis >= 0 && par_axis <= 2)
+      << "par_axis must be 0 (serial), 1 (yo), or 2 (xo); got " << par_axis;
+  if (par_axis == 1) {
+    stage.parallel(yo);
+  } else if (par_axis == 2) {
+    stage.parallel(xo);
+  }
+}
+
+}  // namespace
+
 ThreeMmTensors make_3mm(std::int64_t n, std::int64_t l, std::int64_t m,
                         std::int64_t o, std::int64_t p) {
   ThreeMmTensors t;
@@ -54,7 +72,8 @@ ThreeMmTensors make_3mm(std::int64_t n, std::int64_t l, std::int64_t m,
 }
 
 te::Schedule schedule_3mm(const ThreeMmTensors& t,
-                          std::span<const std::int64_t> tiles) {
+                          std::span<const std::int64_t> tiles,
+                          int par_axis) {
   TVMBO_CHECK_EQ(tiles.size(), 6u) << "3mm takes six tile factors";
   te::Schedule sched({t.G});
   const Tensor stages[3] = {t.E, t.F, t.G};
@@ -71,6 +90,7 @@ te::Schedule schedule_3mm(const ThreeMmTensors& t,
     auto [yo, yi] = stage.split(axis[0], ty);
     auto [xo, xi] = stage.split(axis[1], tx);
     stage.reorder({yo, xo, reduce[0], yi, xi});
+    annotate_parallel(stage, par_axis, yo, xo);
   }
   return sched;
 }
@@ -95,13 +115,14 @@ GemmTensors make_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
 }
 
 te::Schedule schedule_gemm(const GemmTensors& t, std::int64_t ty,
-                           std::int64_t tx) {
+                           std::int64_t tx, int par_axis) {
   te::Schedule sched({t.C});
   te::Stage& stage = sched[t.C];
   const auto& axis = stage.op_axis();
   auto [yo, yi] = stage.split(axis[0], std::min(ty, t.m));
   auto [xo, xi] = stage.split(axis[1], std::min(tx, t.n));
   stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
+  annotate_parallel(stage, par_axis, yo, xo);
   return sched;
 }
 
@@ -137,7 +158,8 @@ TwoMmTensors make_2mm(std::int64_t ni, std::int64_t nj, std::int64_t nk,
 }
 
 te::Schedule schedule_2mm(const TwoMmTensors& t,
-                          std::span<const std::int64_t> tiles) {
+                          std::span<const std::int64_t> tiles,
+                          int par_axis) {
   TVMBO_CHECK_EQ(tiles.size(), 4u) << "2mm takes four tile factors";
   te::Schedule sched({t.D});
   const Tensor stages[2] = {t.Tmp, t.D};
@@ -149,6 +171,7 @@ te::Schedule schedule_2mm(const TwoMmTensors& t,
     auto [xo, xi] =
         stage.split(axis[1], std::min(tiles[2 * s + 1], axis[1]->extent));
     stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
+    annotate_parallel(stage, par_axis, yo, xo);
   }
   return sched;
 }
@@ -179,13 +202,14 @@ SyrkTensors make_syrk(std::int64_t n, std::int64_t m, double alpha,
 }
 
 te::Schedule schedule_syrk(const SyrkTensors& t, std::int64_t ty,
-                           std::int64_t tx) {
+                           std::int64_t tx, int par_axis) {
   te::Schedule sched({t.Cout});
   te::Stage& stage = sched[t.S];
   const auto& axis = stage.op_axis();
   auto [yo, yi] = stage.split(axis[0], std::min(ty, t.n));
   auto [xo, xi] = stage.split(axis[1], std::min(tx, t.n));
   stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
+  annotate_parallel(stage, par_axis, yo, xo);
   return sched;
 }
 

@@ -36,8 +36,12 @@ ThreeMmTensors make_3mm(std::int64_t n, std::int64_t l, std::int64_t m,
 
 /// Applies the paper's schedule: per-stage split of (y, x) by
 /// tiles = {P0..P5} and reorder to {yo, xo, reduce, yi, xi}.
+/// `par_axis` annotates an outer data axis of every stage as kParallel:
+/// 0 = serial (default), 1 = yo, 2 = xo. The same encoding applies to all
+/// compute-DAG schedules below.
 te::Schedule schedule_3mm(const ThreeMmTensors& t,
-                          std::span<const std::int64_t> tiles);
+                          std::span<const std::int64_t> tiles,
+                          int par_axis = 0);
 
 struct GemmTensors {
   std::int64_t m, n, k;
@@ -47,7 +51,7 @@ struct GemmTensors {
 GemmTensors make_gemm(std::int64_t m, std::int64_t n, std::int64_t k);
 
 te::Schedule schedule_gemm(const GemmTensors& t, std::int64_t ty,
-                           std::int64_t tx);
+                           std::int64_t tx, int par_axis = 0);
 
 struct TwoMmTensors {
   std::int64_t ni, nj, nk, nl;
@@ -59,7 +63,8 @@ TwoMmTensors make_2mm(std::int64_t ni, std::int64_t nj, std::int64_t nk,
                       std::int64_t nl);
 
 te::Schedule schedule_2mm(const TwoMmTensors& t,
-                          std::span<const std::int64_t> tiles);
+                          std::span<const std::int64_t> tiles,
+                          int par_axis = 0);
 
 struct SyrkTensors {
   std::int64_t n, m;
@@ -77,7 +82,7 @@ SyrkTensors make_syrk(std::int64_t n, std::int64_t m, double alpha = 1.5,
 
 /// Tiles the S = A*A^T stage by (ty, tx) with the paper's reorder.
 te::Schedule schedule_syrk(const SyrkTensors& t, std::int64_t ty,
-                           std::int64_t tx);
+                           std::int64_t tx, int par_axis = 0);
 
 /// A factorization program plus handles to its loops, so TIR-level
 /// schedule transforms (te/loop_transform.h) can tile it.

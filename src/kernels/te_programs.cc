@@ -25,6 +25,15 @@ std::size_t te_num_tiles(const std::string& kernel) {
   return 2;
 }
 
+std::size_t te_num_parallel_axes(const std::string& kernel) {
+  TVMBO_CHECK(te_backend_supported(kernel))
+      << "kernel '" << kernel << "' has no TE program";
+  // lu/cholesky expose only the trailing-update row loop (io); the
+  // compute-DAG kernels expose yo and xo of every scheduled stage.
+  if (kernel == "lu" || kernel == "cholesky") return 1;
+  return 2;
+}
+
 namespace {
 
 // PolyBench-style deterministic init for the 2mm C operand (reference.h
@@ -93,8 +102,24 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
   TVMBO_CHECK(data_ != nullptr) << "null kernel data";
   const std::string& kernel = data_->kernel;
   const std::vector<std::int64_t>& dims = data_->dims;
-  TVMBO_CHECK_EQ(tiles.size(), te_num_tiles(kernel))
-      << "wrong tile count for " << kernel;
+  const std::size_t base = te_num_tiles(kernel);
+  TVMBO_CHECK(tiles.size() == base || tiles.size() == base + 2)
+      << "wrong tile count for " << kernel << ": got " << tiles.size()
+      << ", want " << base << " or " << base + 2
+      << " (base tiles + [parallel_axis, threads])";
+
+  int par_axis = 0;
+  if (tiles.size() == base + 2) {
+    par_axis = static_cast<int>(tiles[base]);
+    TVMBO_CHECK(par_axis >= 0 &&
+                par_axis <= static_cast<int>(te_num_parallel_axes(kernel)))
+        << "parallel_axis " << par_axis << " out of range for " << kernel;
+    const std::int64_t threads = tiles[base + 1];
+    TVMBO_CHECK_GE(threads, 0)
+        << "thread budget must be >= 0 (0 = all cores)";
+    parallel_threads_ = static_cast<int>(threads);
+    tiles = tiles.first(base);
+  }
 
   auto own = [&](std::vector<std::int64_t> shape) {
     owned_.push_back(std::make_unique<runtime::NDArray>(std::move(shape)));
@@ -103,7 +128,7 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
 
   if (kernel == "3mm") {
     ThreeMmTensors t = make_3mm(dims[0], dims[1], dims[2], dims[3], dims[4]);
-    stmt_ = te::lower(schedule_3mm(t, tiles));
+    stmt_ = te::lower(schedule_3mm(t, tiles, par_axis));
     output_ = own({dims[0], dims[4]});
     bindings_ = {{t.A, &data_->inputs[0]},
                  {t.B, &data_->inputs[1]},
@@ -112,14 +137,14 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
                  {t.G, output_}};
   } else if (kernel == "gemm") {
     GemmTensors t = make_gemm(dims[0], dims[1], dims[2]);
-    stmt_ = te::lower(schedule_gemm(t, tiles[0], tiles[1]));
+    stmt_ = te::lower(schedule_gemm(t, tiles[0], tiles[1], par_axis));
     output_ = own({dims[0], dims[1]});
     bindings_ = {{t.A, &data_->inputs[0]},
                  {t.B, &data_->inputs[1]},
                  {t.C, output_}};
   } else if (kernel == "2mm") {
     TwoMmTensors t = make_2mm(dims[0], dims[1], dims[2], dims[3]);
-    stmt_ = te::lower(schedule_2mm(t, tiles));
+    stmt_ = te::lower(schedule_2mm(t, tiles, par_axis));
     output_ = own({dims[0], dims[3]});
     bindings_ = {{t.A, &data_->inputs[0]},
                  {t.B, &data_->inputs[1]},
@@ -127,7 +152,7 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
                  {t.D, output_}};
   } else if (kernel == "syrk") {
     SyrkTensors t = make_syrk(dims[0], dims[1]);
-    stmt_ = te::lower(schedule_syrk(t, tiles[0], tiles[1]));
+    stmt_ = te::lower(schedule_syrk(t, tiles[0], tiles[1], par_axis));
     output_ = own({dims[0], dims[0]});
     bindings_ = {{t.A, &data_->inputs[0]},
                  {t.Cin, &data_->inputs[1]},
@@ -147,6 +172,13 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
     // interchange needs; the divisor-derived spaces always split exactly.
     if (n % ty == 0 && n % tx == 0) {
       stmt = te::interchange_loops(stmt, ii, jo);
+    }
+    // par_axis 1 = io: distinct io chunks update disjoint rows of the
+    // trailing submatrix, and the pivot row/column read at step k is
+    // never written inside the update nest, so the parallel update is
+    // race-free and bit-identical to the serial order.
+    if (par_axis == 1) {
+      stmt = te::annotate_loop(stmt, io, te::ForKind::kParallel);
     }
     stmt_ = stmt;
     output_ = own({n, n});
@@ -185,14 +217,21 @@ void prepare_state(TeExecState& state,
   switch (backend) {
     case runtime::ExecBackend::kInterp:
       break;  // the interpreter walks the IR directly; nothing to compile
-    case runtime::ExecBackend::kClosure:
+    case runtime::ExecBackend::kClosure: {
+      te::CompileOptions compile_options;
+      compile_options.parallel_threads = state.instance->parallel_threads();
       state.closure = te::CompiledProgram::compile(
-          state.instance->stmt(), state.instance->bindings());
+          state.instance->stmt(), state.instance->bindings(),
+          compile_options);
       break;
-    case runtime::ExecBackend::kJit:
+    }
+    case runtime::ExecBackend::kJit: {
+      codegen::JitOptions options = jit_options;
+      options.parallel_threads = state.instance->parallel_threads();
       state.jit = codegen::JitProgram::compile(
-          state.instance->stmt(), state.instance->bindings(), jit_options);
+          state.instance->stmt(), state.instance->bindings(), options);
       break;
+    }
     case runtime::ExecBackend::kNative:
       TVMBO_CHECK(false) << "native backend has no TE program path";
   }

@@ -37,6 +37,13 @@ bool te_backend_supported(const std::string& kernel);
 /// others: 2). Matches build_space's parameter count for these kernels.
 std::size_t te_num_tiles(const std::string& kernel);
 
+/// Number of distinct parallel-axis choices (beyond 0 = serial) the
+/// kernel's schedule exposes: compute-DAG kernels offer 2 (1 = yo,
+/// 2 = xo per stage), lu/cholesky offer 1 (1 = the trailing-update row
+/// loop io). All choices are data axes, so every backend stays
+/// bit-identical to the interpreter.
+std::size_t te_num_parallel_axes(const std::string& kernel);
+
 /// Initialized input arrays for one kernel instance (PolyBench-style
 /// deterministic init). Shared across configurations and threads; every
 /// backend only reads them.
@@ -57,10 +64,20 @@ class TeProgramInstance {
   /// Applies the kernel's schedule for `tiles` and lowers to loop IR.
   /// Output/work arrays are freshly allocated per instance; inputs alias
   /// the shared TeKernelData.
+  ///
+  /// `tiles` is either the base tile vector (te_num_tiles entries, fully
+  /// serial) or the extended form with two trailing knobs appended:
+  /// [parallel_axis, threads]. parallel_axis in
+  /// [0, te_num_parallel_axes] selects the kParallel loop (0 = serial);
+  /// threads is the worker budget handed to the execution tier (1 =
+  /// serial dispatch, 0 = all cores, N >= 2 caps at N).
   TeProgramInstance(std::shared_ptr<TeKernelData> data,
                     std::span<const std::int64_t> tiles);
 
   const te::Stmt& stmt() const { return stmt_; }
+
+  /// Thread budget from the extended tile vector (1 when absent).
+  int parallel_threads() const { return parallel_threads_; }
 
   /// Tensor -> array bindings for the program's parameters (inputs plus
   /// outputs; Realize intermediates are not bound). Stable for the
@@ -88,6 +105,7 @@ class TeProgramInstance {
   std::vector<std::unique_ptr<runtime::NDArray>> owned_;
   runtime::NDArray* output_ = nullptr;
   const runtime::NDArray* pristine_ = nullptr;  ///< reset() source, or null
+  int parallel_threads_ = 1;
 };
 
 /// Builds a MeasureInput whose `prepare` instantiates + compiles the

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace tvmbo::te {
 
@@ -16,6 +17,11 @@ using FStmt = std::function<void(Regs)>;
 
 /// Compile-time context: register allocation and buffer resolution.
 struct Compiler {
+  /// Size of the run-time register file (set before compile_stmt); chunks
+  /// of a parallel loop copy it so each worker sees the outer indices.
+  std::size_t scratch_slots = 1;
+  /// Worker budget for kParallel loops (CompileOptions::parallel_threads).
+  int parallel_threads = 1;
   std::vector<const VarNode*> registers;
   std::vector<std::pair<const TensorNode*, double*>> buffers;
   std::vector<std::pair<const TensorNode*, std::vector<std::int64_t>>>
@@ -261,6 +267,29 @@ FStmt Compiler::compile_stmt(const StmtNode* stmt) {
       FStmt body = compile_stmt(node->body.get());
       registers.pop_back();
       const std::int64_t extent = node->extent;
+      if (node->for_kind == ForKind::kParallel && parallel_threads != 1 &&
+          extent > 1) {
+        const std::size_t slots = scratch_slots;
+        const int threads = parallel_threads;
+        return [slot, extent, body, slots, threads](Regs r) {
+          ThreadPool& pool = default_thread_pool();
+          const std::size_t max_chunks =
+              threads == 0 ? pool.num_threads()
+                           : static_cast<std::size_t>(threads);
+          pool.parallel_for_chunks(
+              static_cast<std::size_t>(extent), max_chunks,
+              [&](std::size_t begin, std::size_t end) {
+                // Private register-file copy per chunk: outer loop indices
+                // stay visible, inner loop slots never race. (Nested
+                // dispatch from a worker runs inline via the pool.)
+                std::vector<std::int64_t> local(r, r + slots);
+                for (std::size_t i = begin; i < end; ++i) {
+                  local[slot] = static_cast<std::int64_t>(i);
+                  body(local.data());
+                }
+              });
+        };
+      }
       return [slot, extent, body](Regs r) {
         for (std::int64_t i = 0; i < extent; ++i) {
           r[slot] = i;
@@ -332,7 +361,8 @@ FStmt Compiler::compile_stmt(const StmtNode* stmt) {
 
 CompiledProgram CompiledProgram::compile(
     const Stmt& stmt,
-    const std::vector<std::pair<Tensor, runtime::NDArray*>>& bindings) {
+    const std::vector<std::pair<Tensor, runtime::NDArray*>>& bindings,
+    const CompileOptions& options) {
   TVMBO_CHECK(stmt != nullptr) << "compile of null statement";
   Compiler compiler;
   for (const auto& [tensor, array] : bindings) {
@@ -343,6 +373,8 @@ CompiledProgram CompiledProgram::compile(
   CompiledProgram program;
   // Register count upper bound: loop depth; measure via a pre-pass.
   program.num_registers_ = loop_depth(stmt);
+  compiler.scratch_slots = std::max<std::size_t>(1, program.num_registers_);
+  compiler.parallel_threads = options.parallel_threads;
   FStmt body = compiler.compile_stmt(stmt.get());
   program.owned_ = std::move(compiler.owned);
   const std::size_t registers = std::max<std::size_t>(

@@ -24,13 +24,25 @@
 
 namespace tvmbo::te {
 
+/// Knobs for the closure compiler.
+struct CompileOptions {
+  /// Worker budget for kParallel loops: 1 (default) compiles them as
+  /// plain serial loops, 0 uses every default_thread_pool() worker, and
+  /// N >= 2 caps the dispatch at N static chunks. Parallel chunks write
+  /// disjoint output elements (lowering rejects anything else), so
+  /// float64 results are bit-identical to the serial interpreter at any
+  /// setting.
+  int parallel_threads = 1;
+};
+
 class CompiledProgram {
  public:
   /// Compiles `stmt` against the given tensor -> array bindings
   /// (placeholders and outputs; intermediates come from Realize regions).
   static CompiledProgram compile(
       const Stmt& stmt,
-      const std::vector<std::pair<Tensor, runtime::NDArray*>>& bindings);
+      const std::vector<std::pair<Tensor, runtime::NDArray*>>& bindings,
+      const CompileOptions& options = {});
 
   /// Executes the program.
   void run() const;

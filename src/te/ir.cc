@@ -105,6 +105,34 @@ std::size_t loop_depth(const Stmt& stmt) {
   return 0;
 }
 
+bool has_parallel_loop(const Stmt& stmt) {
+  if (stmt == nullptr) return false;
+  switch (stmt->kind()) {
+    case StmtKind::kFor: {
+      const auto* node = static_cast<const ForNode*>(stmt.get());
+      return node->for_kind == ForKind::kParallel ||
+             has_parallel_loop(node->body);
+    }
+    case StmtKind::kSeq:
+      for (const Stmt& child :
+           static_cast<const SeqNode*>(stmt.get())->stmts) {
+        if (has_parallel_loop(child)) return true;
+      }
+      return false;
+    case StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const IfThenElseNode*>(stmt.get());
+      return has_parallel_loop(node->then_case) ||
+             has_parallel_loop(node->else_case);
+    }
+    case StmtKind::kRealize:
+      return has_parallel_loop(
+          static_cast<const RealizeNode*>(stmt.get())->body);
+    case StmtKind::kStore:
+      return false;
+  }
+  return false;
+}
+
 std::vector<Var> leftmost_loop_vars(const Stmt& stmt) {
   std::vector<Var> vars;
   const StmtNode* cursor = stmt.get();

@@ -102,6 +102,11 @@ std::size_t count_stmts(const Stmt& stmt, StmtKind kind);
 /// Depth of the deepest loop nest.
 std::size_t loop_depth(const Stmt& stmt);
 
+/// True when any loop in the statement carries the kParallel annotation
+/// (used by the backends to decide whether a multithreaded build is
+/// worthwhile at all).
+bool has_parallel_loop(const Stmt& stmt);
+
 /// Loop variables in outermost-to-innermost order along the leftmost path
 /// of nested loops (ignores Seq branching after the first divergence).
 std::vector<Var> leftmost_loop_vars(const Stmt& stmt);

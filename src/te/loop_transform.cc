@@ -163,4 +163,18 @@ Stmt interchange_loops(const Stmt& stmt, const Var& outer_var,
   return result;
 }
 
+Stmt annotate_loop(const Stmt& stmt, const Var& var, ForKind kind) {
+  TVMBO_CHECK(stmt != nullptr && var != nullptr)
+      << "annotate of null input";
+  bool applied = false;
+  Stmt result = rewrite(stmt, [&](const ForNode* node) -> Stmt {
+    if (node->var.get() != var.get()) return nullptr;
+    applied = true;
+    if (node->for_kind == kind) return nullptr;
+    return make_for(node->var, node->extent, kind, node->body);
+  });
+  TVMBO_CHECK(applied) << "no loop over '" << var->name << "' to annotate";
+  return result;
+}
+
 }  // namespace tvmbo::te

@@ -40,4 +40,11 @@ Stmt interchange_loops(const Stmt& stmt, const Var& outer_var,
 /// Finds the loop over `var`; nullptr when absent (search helper).
 const ForNode* find_loop(const Stmt& stmt, const Var& var);
 
+/// Re-annotates the loop over `var` with `kind` (e.g. kParallel for the
+/// loop-IR-built LU/Cholesky programs, which never pass through
+/// Schedule/lower and so cannot use Stage::parallel). Legality is the
+/// caller's responsibility, as with the other loop-IR transforms. Throws
+/// CheckError when no loop over `var` exists.
+Stmt annotate_loop(const Stmt& stmt, const Var& var, ForKind kind);
+
 }  // namespace tvmbo::te

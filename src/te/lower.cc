@@ -442,6 +442,33 @@ Stmt wrap_loops(const Stage& stage, Stmt body,
                 const std::vector<std::pair<const IterVarNode*, Stmt>>&
                     attachments = {}) {
   const auto& leaves = stage.leaf_iter_vars();
+  // A kParallel annotation is only sound on data axes: distinct values of a
+  // data leaf reconstruct to distinct output elements, so chunks write
+  // disjoint memory and float64 results stay bit-identical to the serial
+  // interpreter. A parallel reduction axis would race on the shared
+  // accumulator element, and a compute_at producer attached at or inside a
+  // parallel loop would race on its shared intermediate buffer.
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const IterVar& leaf = leaves[i];
+    if (stage.annotation(leaf) != ForKind::kParallel) continue;
+    TVMBO_CHECK(leaf->kind == IterKind::kData)
+        << "parallel annotation on reduction axis '" << leaf->var->name
+        << "' of '" << stage.tensor()->name
+        << "': reductions stay serial per output element";
+    for (const auto& [attach_leaf, producer_stmt] : attachments) {
+      std::size_t attach_pos = leaves.size();
+      for (std::size_t j = 0; j < leaves.size(); ++j) {
+        if (leaves[j].get() == attach_leaf) {
+          attach_pos = j;
+          break;
+        }
+      }
+      TVMBO_CHECK(attach_pos < i)
+          << "compute_at producer attached at or inside parallel loop '"
+          << leaf->var->name << "' of '" << stage.tensor()->name
+          << "' would race on the producer's shared buffer";
+    }
+  }
   for (std::size_t i = leaves.size(); i > 0; --i) {
     const IterVar& leaf = leaves[i - 1];
     for (const auto& [attach_leaf, producer_stmt] : attachments) {

@@ -6,7 +6,9 @@
 // the C compiler cannot reassociate or fuse what the oracle does not.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "codegen/jit_program.h"
@@ -71,12 +73,86 @@ void run_differential(const std::string& kernel, int count,
   }
 }
 
+/// Parallel sweep: for each sampled tile configuration, annotate every
+/// legal parallel axis and run the closure and JIT tiers at 1, 2, and
+/// nproc threads. The serial interpreter on the un-annotated schedule is
+/// the oracle; parallel chunks write disjoint output elements, so the
+/// float64 results must stay bit-identical at every thread count.
+void run_parallel_differential(const std::string& kernel, int count,
+                               std::uint64_t seed) {
+  const codegen::JitOptions options = test_options();
+  const bool jit = codegen::JitProgram::toolchain_available(options);
+  const std::vector<std::int64_t> dims =
+      polybench_dims(kernel, Dataset::kMini);
+  const cs::ConfigurationSpace space = build_space(kernel, dims);
+  const auto data = make_te_kernel_data(kernel, dims);
+  const std::size_t num_axes = te_num_parallel_axes(kernel);
+
+  const std::int64_t nproc = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  std::vector<std::int64_t> thread_sweep{1, 2, nproc};
+  std::sort(thread_sweep.begin(), thread_sweep.end());
+  thread_sweep.erase(std::unique(thread_sweep.begin(), thread_sweep.end()),
+                     thread_sweep.end());
+
+  Rng rng(seed);
+  for (int trial = 0; trial < count; ++trial) {
+    const std::vector<std::int64_t> tiles =
+        space.values_int(space.sample(rng));
+    const runtime::NDArray oracle =
+        run_te_backend(data, tiles, ExecBackend::kInterp);
+
+    for (std::size_t axis = 1; axis <= num_axes; ++axis) {
+      for (std::int64_t threads : thread_sweep) {
+        std::vector<std::int64_t> extended = tiles;
+        extended.push_back(static_cast<std::int64_t>(axis));
+        extended.push_back(threads);
+        const std::string label = kernel + " trial " +
+                                  std::to_string(trial) + " axis " +
+                                  std::to_string(axis) + " threads " +
+                                  std::to_string(threads);
+
+        const runtime::NDArray closure =
+            run_te_backend(data, extended, ExecBackend::kClosure);
+        expect_identical(oracle, closure, label + " (closure)");
+        if (jit) {
+          const runtime::NDArray jitted =
+              run_te_backend(data, extended, ExecBackend::kJit, options);
+          expect_identical(oracle, jitted, label + " (jit)");
+        }
+      }
+    }
+  }
+  if (!jit) {
+    GTEST_SKIP() << "no C toolchain; interpreter/closure agreement checked";
+  }
+}
+
 TEST(BackendDifferential, ThreeMm) { run_differential("3mm", 4, 101); }
 TEST(BackendDifferential, Gemm) { run_differential("gemm", 4, 102); }
 TEST(BackendDifferential, TwoMm) { run_differential("2mm", 4, 103); }
 TEST(BackendDifferential, Syrk) { run_differential("syrk", 4, 104); }
 TEST(BackendDifferential, Lu) { run_differential("lu", 4, 105); }
 TEST(BackendDifferential, Cholesky) { run_differential("cholesky", 4, 106); }
+
+TEST(BackendDifferential, ParallelThreeMm) {
+  run_parallel_differential("3mm", 2, 201);
+}
+TEST(BackendDifferential, ParallelGemm) {
+  run_parallel_differential("gemm", 2, 202);
+}
+TEST(BackendDifferential, ParallelTwoMm) {
+  run_parallel_differential("2mm", 2, 203);
+}
+TEST(BackendDifferential, ParallelSyrk) {
+  run_parallel_differential("syrk", 2, 204);
+}
+TEST(BackendDifferential, ParallelLu) {
+  run_parallel_differential("lu", 2, 205);
+}
+TEST(BackendDifferential, ParallelCholesky) {
+  run_parallel_differential("cholesky", 2, 206);
+}
 
 TEST(BackendDifferential, JitBeatsInterpreterOn3mm) {
   const codegen::JitOptions options = test_options();

@@ -145,6 +145,56 @@ TEST(ArtifactCache, SecondCompileIsACacheHit) {
   EXPECT_NE(third.artifact_path(), first.artifact_path());
 }
 
+TEST(ArtifactCache, ParallelFlagsProduceDistinctKeysAndWarmHits) {
+  JitOptions base = test_options("parallel-keys");
+  if (!JitProgram::toolchain_available(base)) {
+    GTEST_SKIP() << "no C toolchain";
+  }
+  // One parallel-annotated schedule, three thread budgets. The pragma
+  // text (and num_threads clause) lands in the emitted source and the
+  // -fopenmp flag in the compile command, so each budget must get its own
+  // content-addressed artifact.
+  kernels::GemmTensors t = kernels::make_gemm(6, 7, 5);
+  const te::Stmt stmt =
+      te::lower(kernels::schedule_gemm(t, 3, 4, /*par_axis=*/1));
+  runtime::NDArray a({6, 5}), b({5, 7}), c({6, 7});
+  const std::vector<std::pair<te::Tensor, runtime::NDArray*>> bindings = {
+      {t.A, &a}, {t.B, &b}, {t.C, &c}};
+
+  const int budgets[] = {1, 2, 4};
+  std::vector<std::string> paths;
+  // Cold pass: compile every variant (the OpenMP probe fires lazily on
+  // the first parallel compile and costs one cache miss of its own, so it
+  // must happen before the stats reset below).
+  for (int threads : budgets) {
+    JitOptions options = base;
+    options.parallel_threads = threads;
+    paths.push_back(
+        JitProgram::compile(stmt, bindings, options).artifact_path());
+  }
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i], paths[j])
+          << "budgets " << budgets[i] << " and " << budgets[j];
+    }
+  }
+
+  // Warm pass: identical configs must be pure cache hits.
+  ArtifactCache& cache = ArtifactCache::shared(base);
+  cache.reset_stats();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    JitOptions options = base;
+    options.parallel_threads = budgets[i];
+    JitProgram warm = JitProgram::compile(stmt, bindings, options);
+    EXPECT_TRUE(warm.cache_hit()) << "budget " << budgets[i];
+    EXPECT_EQ(warm.artifact_path(), paths[i]);
+  }
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.hit_rate(), 1.0);
+}
+
 TEST(ArtifactCache, CompileFailureReportsLog) {
   const JitOptions options = test_options("fail");
   if (!JitProgram::toolchain_available(options)) {

@@ -3,12 +3,18 @@
 // parallel and serial Random-Forest fits must be bit-identical.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <sstream>
+#include <thread>
 
+#include "codegen/jit_program.h"
 #include "common/csv.h"
 #include "common/json.h"
 #include "common/rng.h"
+#include "kernels/polybench.h"
 #include "kernels/reference.h"
+#include "kernels/te_programs.h"
 #include "surrogate/random_forest.h"
 #include "te/interp.h"
 #include "te/transform.h"
@@ -65,7 +71,10 @@ TEST_P(RandomSchedules, AnyLegalPipelinePreservesMatmulSemantics) {
         break;
       }
       case 2: {  // annotate (never changes interpreter semantics)
-        if (rng.bernoulli(0.5)) {
+        // parallel is only legal on data axes (reductions stay serial per
+        // output element — the lowering pass enforces this); split children
+        // inherit the parent's kind, so the check is well-defined on leaves.
+        if (rng.bernoulli(0.5) || target->kind != te::IterKind::kData) {
           stage.unroll(target);
         } else {
           stage.parallel(target);
@@ -99,6 +108,78 @@ TEST_P(RandomSchedules, AnyLegalPipelinePreservesMatmulSemantics) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomSchedules,
                          ::testing::Range<std::uint64_t>(0, 30));
+
+// --- random (tile x parallel-axis x thread-count) combinations --------------
+
+// Every sampled combination must leave the closure (and, every third
+// trial, the JIT) bit-identical to the serial interpreter oracle. On
+// failure the assertion message is a one-line repro: re-run the same
+// kernel/tiles/axis/threads by appending [axis, threads] to the tile
+// vector of a TeProgramInstance.
+TEST(PropertyFuzz, ParallelScheduleComboFuzz) {
+  const std::vector<std::string> te_kernels = {"3mm", "gemm", "2mm",
+                                               "syrk", "lu", "cholesky"};
+  codegen::JitOptions jit_options;
+  jit_options.cache_dir = testing::TempDir() + "tvmbo-parallel-fuzz-cache";
+  const bool jit = codegen::JitProgram::toolchain_available(jit_options);
+  const std::int64_t nproc = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+
+  constexpr std::uint64_t kBaseSeed = 7100;
+  constexpr int kTrials = 12;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::uint64_t seed = kBaseSeed + static_cast<std::uint64_t>(trial);
+    Rng rng(seed);
+    const std::string kernel = te_kernels[static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(te_kernels.size())))];
+    const std::vector<std::int64_t> dims =
+        kernels::polybench_dims(kernel, kernels::Dataset::kMini);
+    const cs::ConfigurationSpace space = kernels::build_space(kernel, dims);
+    const auto data = kernels::make_te_kernel_data(kernel, dims);
+
+    std::vector<std::int64_t> tiles = space.values_int(space.sample(rng));
+    const std::int64_t axis = rng.uniform_int(
+        static_cast<std::int64_t>(kernels::te_num_parallel_axes(kernel)) + 1);
+    const std::vector<std::int64_t> thread_pool = {1, 2, 3, nproc};
+    const std::int64_t threads = thread_pool[static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(thread_pool.size())))];
+
+    std::ostringstream repro;
+    repro << "repro: kernel=" << kernel << " seed=" << seed << " tiles=[";
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+      repro << (i > 0 ? "," : "") << tiles[i];
+    }
+    repro << "] axis=" << axis << " threads=" << threads;
+
+    const runtime::NDArray oracle = kernels::run_te_backend(
+        data, tiles, runtime::ExecBackend::kInterp);
+    std::vector<std::int64_t> extended = tiles;
+    extended.push_back(axis);
+    extended.push_back(threads);
+
+    const runtime::NDArray closure = kernels::run_te_backend(
+        data, extended, runtime::ExecBackend::kClosure);
+    ASSERT_EQ(oracle.shape(), closure.shape()) << repro.str();
+    {
+      std::span<const double> ov = oracle.f64(), cv = closure.f64();
+      for (std::size_t i = 0; i < ov.size(); ++i) {
+        ASSERT_EQ(ov[i], cv[i])
+            << repro.str() << " (closure, flat index " << i << ")";
+      }
+    }
+
+    if (jit && trial % 3 == 0) {
+      const runtime::NDArray jitted = kernels::run_te_backend(
+          data, extended, runtime::ExecBackend::kJit, jit_options);
+      ASSERT_EQ(oracle.shape(), jitted.shape()) << repro.str();
+      std::span<const double> ov = oracle.f64(), jv = jitted.f64();
+      for (std::size_t i = 0; i < ov.size(); ++i) {
+        ASSERT_EQ(ov[i], jv[i])
+            << repro.str() << " (jit, flat index " << i << ")";
+      }
+    }
+  }
+}
 
 // --- serialization round trips ----------------------------------------------
 

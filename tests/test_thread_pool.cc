@@ -121,6 +121,62 @@ TEST(ThreadPool, ParallelForStillPropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForChunksCoversRangeWithBoundedChunks) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  std::vector<std::atomic<int>> hits(103);  // not a multiple of any chunking
+  pool.parallel_for_chunks(hits.size(), 3,
+                           [&](std::size_t begin, std::size_t end) {
+                             {
+                               std::lock_guard<std::mutex> lock(m);
+                               chunks.emplace_back(begin, end);
+                             }
+                             for (std::size_t i = begin; i < end; ++i) {
+                               hits[i].fetch_add(1);
+                             }
+                           });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+  // max_chunks caps the fan-out and chunks tile the range exactly.
+  EXPECT_LE(chunks.size(), 3u);
+  std::size_t covered = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_LT(begin, end);
+    covered += end - begin;
+  }
+  EXPECT_EQ(covered, hits.size());
+}
+
+TEST(ThreadPool, ParallelForChunksRunsInlineInsideWorker) {
+  // Chunked dispatch from a worker thread must fall back to a single
+  // inline chunk — same deadlock-avoidance contract as parallel_for.
+  ThreadPool pool(2);
+  auto future = pool.submit([&pool] {
+    int calls = 0;
+    std::size_t total = 0;
+    pool.parallel_for_chunks(32, 0, [&](std::size_t begin, std::size_t end) {
+      ++calls;
+      total += end - begin;
+    });
+    return std::make_pair(calls, total);
+  });
+  const auto [calls, total] = future.get();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(total, 32u);
+}
+
+TEST(ThreadPool, ParallelForChunksPropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for_chunks(64, 0,
+                               [](std::size_t begin, std::size_t) {
+                                 if (begin > 0) {
+                                   throw std::runtime_error("chunk boom");
+                                 }
+                               }),
+      std::runtime_error);
+}
+
 TEST(ThreadPool, InWorkerThreadDetection) {
   ThreadPool pool(2);
   EXPECT_FALSE(pool.in_worker_thread());

@@ -33,6 +33,15 @@
 //   --warm-start F seed ytopt with the records of a prior run's perf
 //               database (the <out>_db.jsonl of that run); records for
 //               other workloads or spaces are skipped
+//   --threads N add parallel-schedule knobs (parallel_axis, threads) to
+//               the tuned space for --device cpu with a TE-program backend
+//               (interp/closure/jit). N caps the thread-count candidates;
+//               0 means all cores; 1 (default) disables the knobs. The
+//               closure tier dispatches on the built-in thread pool, the
+//               jit tier emits OpenMP pragmas (compiled with -fopenmp when
+//               the toolchain supports it, serial fallback otherwise);
+//               float64 outputs stay bit-identical to the interpreter
+//               either way
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +49,7 @@
 #include <string>
 
 #include "codegen/artifact_cache.h"
+#include "codegen/jit_program.h"
 #include "framework/figures.h"
 #include "framework/session.h"
 #include "kernels/polybench.h"
@@ -69,6 +79,7 @@ struct Args {
   std::string backend = "native";
   std::string jit_cache;
   std::string warm_start;
+  std::int64_t threads = 1;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -79,7 +90,7 @@ struct Args {
                "[--out PREFIX] [--parallel] [--ytopt-batch N] "
                "[--retries N] [--trace FILE] "
                "[--backend native|interp|closure|jit] [--jit-cache DIR] "
-               "[--warm-start DB.jsonl]\n",
+               "[--warm-start DB.jsonl] [--threads N]\n",
                argv0);
   std::exit(2);
 }
@@ -108,6 +119,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--backend") args.backend = value();
     else if (flag == "--jit-cache") args.jit_cache = value();
     else if (flag == "--warm-start") args.warm_start = value();
+    else if (flag == "--threads") args.threads = std::stoll(value());
     else usage(argv[0]);
   }
   return args;
@@ -123,12 +135,23 @@ int main(int argc, char** argv) {
   if (!backend.has_value()) usage(argv[0]);
   codegen::JitOptions jit_options;
   jit_options.cache_dir = args.jit_cache;
+  if (args.threads < 0) usage(argv[0]);
+  kernels::ParallelKnobs parallel_knobs;
+  parallel_knobs.enabled = args.threads != 1;
+  parallel_knobs.max_threads = args.threads;
+  if (parallel_knobs.enabled && args.device != "cpu") {
+    std::fprintf(stderr,
+                 "note: --threads only affects --device cpu with a "
+                 "TE-program backend; ignoring\n");
+    parallel_knobs.enabled = false;
+  }
 
   // Simulated devices never execute the kernel; only a cpu device needs a
   // backend-configured executable task.
   const autotvm::Task task =
       args.device == "cpu"
-          ? kernels::make_task(args.kernel, dataset, *backend, jit_options)
+          ? kernels::make_task(args.kernel, dataset, *backend, jit_options,
+                               parallel_knobs)
           : kernels::make_task(args.kernel, dataset, /*executable=*/false);
 
   runtime::SwingSimDevice sim(args.seed);
@@ -209,6 +232,14 @@ int main(int argc, char** argv) {
       event.set("hit_rate", stats.hit_rate());
       event.set("compile_s", stats.compile_s);
       event.set("dir", cache.dir());
+      // The compile flags (and, when parallel knobs are on, the OpenMP
+      // probe result and thread cap) are part of the cache key, so record
+      // them with the stats.
+      event.set("flags", jit_options.flags);
+      if (parallel_knobs.enabled) {
+        event.set("threads", args.threads);
+        event.set("openmp", codegen::JitProgram::openmp_available(jit_options));
+      }
       trace->record(std::move(event));
     }
   }
