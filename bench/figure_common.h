@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "codegen/artifact_cache.h"
+#include "distd/proc_device.h"
 #include "framework/analysis.h"
 #include "framework/figures.h"
 #include "framework/session.h"
@@ -45,6 +46,12 @@ struct FigureSpec {
   /// backends: 1 (default) keeps the space serial, 0 = all cores, N caps
   /// the candidates at N.
   std::int64_t threads = 1;
+  /// Measurement runner for --device cpu: "local" measures in-process
+  /// (default), "proc" in out-of-process workers (src/distd/) with crash
+  /// isolation and hard timeouts.
+  std::string runner = "local";
+  /// Worker-fleet size for runner == "proc".
+  std::size_t workers = 2;
 };
 
 /// Optional per-bench overrides so every figure binary can rerun its
@@ -52,13 +59,15 @@ struct FigureSpec {
 ///   --device sim|cpu   --backend native|interp|closure|jit
 ///   --size S           --evals N   --seed N   --jit-cache DIR
 ///   --threads N        (parallel-schedule knobs; see FigureSpec::threads)
+///   --runner local|proc  --workers N  (out-of-process measurement)
 /// Exits with usage on unknown flags.
 inline void parse_figure_args(int argc, char** argv, FigureSpec* spec) {
   auto usage = [&]() {
     std::fprintf(stderr,
                  "usage: %s [--device sim|cpu] "
                  "[--backend native|interp|closure|jit] [--size S] "
-                 "[--evals N] [--seed N] [--jit-cache DIR] [--threads N]\n",
+                 "[--evals N] [--seed N] [--jit-cache DIR] [--threads N] "
+                 "[--runner local|proc] [--workers N]\n",
                  argv[0]);
     std::exit(2);
   };
@@ -84,9 +93,20 @@ inline void parse_figure_args(int argc, char** argv, FigureSpec* spec) {
     } else if (flag == "--threads") {
       spec->threads = std::stoll(value);
       if (spec->threads < 0) usage();
+    } else if (flag == "--runner") {
+      if (value != "local" && value != "proc") usage();
+      spec->runner = value;
+    } else if (flag == "--workers") {
+      spec->workers = std::stoul(value);
+      if (spec->workers == 0) usage();
     } else {
       usage();
     }
+  }
+  if (spec->runner == "proc" && spec->device != "cpu") {
+    std::fprintf(stderr,
+                 "error: --runner proc requires --device cpu\n");
+    std::exit(2);
   }
 }
 
@@ -99,10 +119,36 @@ inline int run_figure_experiment(const FigureSpec& spec) {
       cpu ? kernels::make_task(spec.kernel, spec.dataset, spec.backend,
                                spec.jit_options, parallel_knobs)
           : kernels::make_task(spec.kernel, spec.dataset);
+  const std::string name =
+      spec.kernel + "-" + kernels::dataset_name(spec.dataset);
+
+  // Opt-in per-trial provenance: TVMBO_TRACE_DIR=<dir> appends a
+  // JSON-lines event log per figure without touching the CSV outputs.
+  // Declared before the devices so a ProcDevice's worker pool can still
+  // emit its shutdown lifecycle events through it.
+  std::unique_ptr<runtime::TraceLog> trace;
+  if (const char* trace_dir = std::getenv("TVMBO_TRACE_DIR")) {
+    std::filesystem::create_directories(trace_dir);
+    trace = std::make_unique<runtime::TraceLog>(
+        std::string(trace_dir) + "/" + name + "_trace.jsonl");
+  }
+
   runtime::SwingSimDevice sim_device(spec.seed);
   runtime::CpuDevice cpu_device;
-  runtime::Device& device = cpu ? static_cast<runtime::Device&>(cpu_device)
-                                : sim_device;
+  std::unique_ptr<distd::ProcDevice> proc_device;
+  if (cpu && spec.runner == "proc") {
+    distd::ProcDeviceOptions proc_options;
+    proc_options.backend = spec.backend;
+    proc_options.jit = spec.jit_options;
+    proc_options.seed = spec.seed;
+    proc_options.pool.num_workers = spec.workers;
+    proc_options.pool.trace = trace.get();
+    proc_device = std::make_unique<distd::ProcDevice>(std::move(proc_options));
+  }
+  runtime::Device& device =
+      proc_device != nullptr
+          ? static_cast<runtime::Device&>(*proc_device)
+          : cpu ? static_cast<runtime::Device&>(cpu_device) : sim_device;
 
   framework::SessionOptions options;
   options.max_evaluations = spec.evaluations;
@@ -112,19 +158,7 @@ inline int run_figure_experiment(const FigureSpec& spec) {
   // engine on its serial fallback (the simulated device is serialized by
   // the runner even in parallel mode, but be explicit about the contract).
   options.measure.parallel = false;
-
-  const std::string name =
-      spec.kernel + "-" + kernels::dataset_name(spec.dataset);
-
-  // Opt-in per-trial provenance: TVMBO_TRACE_DIR=<dir> appends a
-  // JSON-lines event log per figure without touching the CSV outputs.
-  std::unique_ptr<runtime::TraceLog> trace;
-  if (const char* trace_dir = std::getenv("TVMBO_TRACE_DIR")) {
-    std::filesystem::create_directories(trace_dir);
-    trace = std::make_unique<runtime::TraceLog>(
-        std::string(trace_dir) + "/" + name + "_trace.jsonl");
-    options.measure.trace = trace.get();
-  }
+  if (trace != nullptr) options.measure.trace = trace.get();
 
   framework::AutotuningSession session(&task, &device, options);
   const std::vector<framework::SessionResult> results = session.run_all();

@@ -1,0 +1,73 @@
+#include "distd/fault_kernels.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tvmbo::distd {
+
+namespace {
+
+/// Benign path: a short, optimizer-proof busy loop so healthy
+/// configurations report a real (tiny) runtime.
+void benign_work() {
+  volatile double sink = 0.0;
+  for (int i = 0; i < 20000; ++i) sink = sink + 1.0 / (1.0 + i);
+}
+
+}  // namespace
+
+bool is_fault_kernel(const std::string& kernel) {
+  return starts_with(kernel, "fault.");
+}
+
+runtime::Workload make_fault_workload(const std::string& kernel) {
+  runtime::Workload workload;
+  workload.kernel = kernel;
+  workload.size_name = "test";
+  workload.dims = {1};
+  return workload;
+}
+
+runtime::MeasureInput make_fault_input(const runtime::Workload& workload,
+                                       std::vector<std::int64_t> tiles) {
+  TVMBO_CHECK(is_fault_kernel(workload.kernel))
+      << "not a fault kernel: " << workload.kernel;
+  TVMBO_CHECK(!tiles.empty()) << "fault kernels need at least one tile";
+  const std::string mode = workload.kernel.substr(6);
+  TVMBO_CHECK(mode == "segv" || mode == "abort" || mode == "spin" ||
+              mode == "exit")
+      << "unknown fault kernel: " << workload.kernel;
+
+  runtime::MeasureInput input;
+  input.workload = workload;
+  input.tiles = tiles;
+  const bool armed = tiles[0] == kFaultTrigger;
+  input.run = [mode, armed] {
+    if (!armed) {
+      benign_work();
+      return;
+    }
+    if (mode == "segv") {
+      // A genuine null store, opaque enough that no compiler folds it
+      // away: the process dies by SIGSEGV (the worker runs with
+      // sanitizer signal interception disabled so the signal stays raw).
+      volatile double* null_ptr = nullptr;
+      *null_ptr = 1.0;
+    } else if (mode == "abort") {
+      std::abort();
+    } else if (mode == "spin") {
+      // A single run that never returns: invisible to CpuDevice's
+      // between-runs cooperative timeout; only a hard external kill
+      // preempts it.
+      volatile std::uint64_t spins = 0;
+      for (;;) spins = spins + 1;
+    } else if (mode == "exit") {
+      std::_Exit(3);
+    }
+  };
+  return input;
+}
+
+}  // namespace tvmbo::distd

@@ -1,0 +1,43 @@
+// Hostile test kernels for crash/timeout isolation: measurable inputs
+// whose run() misbehaves — segfaults, aborts, spins forever, or exits —
+// under one specific configuration, and completes a tiny deterministic
+// workload under every other.
+//
+// These exist to prove the out-of-process runner's contract: a SIGSEGV or
+// an unbounded single run inside a *worker* must come back as one invalid
+// MeasureResult while the tuner process (and the rest of the batch)
+// survives. They are only safe to execute behind ProcDevice — run in
+// process they take the whole session down, which is exactly the gap the
+// distd subsystem closes (CpuDevice's cooperative timeout only checks
+// *between* runs and nothing catches signals).
+//
+// Naming: "fault.segv" | "fault.abort" | "fault.spin" | "fault.exit".
+// The fault triggers when tiles[0] == kFaultTrigger; any other leading
+// tile is benign, so one batch can mix healthy and hostile configurations
+// of the same kernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/measure.h"
+
+namespace tvmbo::distd {
+
+/// The tiles[0] value that arms the fault.
+inline constexpr std::int64_t kFaultTrigger = 13;
+
+/// True for the "fault.*" kernel names above.
+bool is_fault_kernel(const std::string& kernel);
+
+/// Workload descriptor for a fault kernel (dims are unused but kept for
+/// Workload::id() stability).
+runtime::Workload make_fault_workload(const std::string& kernel);
+
+/// Builds the measurable input. Throws CheckError for an unknown fault
+/// kernel name or an empty tile vector.
+runtime::MeasureInput make_fault_input(const runtime::Workload& workload,
+                                       std::vector<std::int64_t> tiles);
+
+}  // namespace tvmbo::distd

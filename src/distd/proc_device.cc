@@ -1,0 +1,37 @@
+#include "distd/proc_device.h"
+
+#include <utility>
+
+namespace tvmbo::distd {
+
+namespace {
+
+ProcDeviceOptions resolve(ProcDeviceOptions options) {
+  // Pin the cache directory before any worker starts: all workers (and
+  // the tuner's own stats reporting) must agree on one shared cache even
+  // if the environment changes underneath.
+  if (options.backend == runtime::ExecBackend::kJit) {
+    options.jit.cache_dir = options.jit.resolved_cache_dir();
+  }
+  return options;
+}
+
+}  // namespace
+
+ProcDevice::ProcDevice(ProcDeviceOptions options)
+    : options_(resolve(std::move(options))), pool_(options_.pool) {}
+
+runtime::MeasureResult ProcDevice::measure(
+    const runtime::MeasureInput& input,
+    const runtime::MeasureOption& option) {
+  MeasureRequest request;
+  request.workload = input.workload;
+  request.tiles = input.tiles;
+  request.backend = options_.backend;
+  request.jit = options_.jit;
+  request.option = option;
+  request.seed = options_.seed;
+  return pool_.measure(std::move(request));
+}
+
+}  // namespace tvmbo::distd

@@ -1,0 +1,70 @@
+// ProcDevice: a runtime::Device that executes every trial in an
+// out-of-process measurement worker (worker_pool.h) instead of the tuner
+// process. This is the `--runner proc` half of the local/process runner
+// split — the analogue of TVM's LocalRunner vs RPCRunner.
+//
+// It plugs in *behind* the existing MeasureRunner batch interface: the
+// session/measure-loop code is unchanged, and because the device reports
+// max_concurrent_measurements() == the fleet size, MeasureRunner's
+// parallel mode dispatches up to one in-flight trial per worker while
+// keeping results keyed by submission index. Crashes and hard timeouts
+// come back as ordinary invalid MeasureResults, so the retry policy (with
+// natural worker reassignment — a retry grabs whichever worker is free)
+// and the trace pipeline apply as-is.
+//
+// Serialization: the MeasureInput's prepare/run closures never cross the
+// process boundary. The device ships (workload, tiles, backend, JIT
+// options, measure option, seed) and the worker rebuilds the executable
+// via kernels::make_task — which is why the backend/JIT configuration is
+// fixed at device construction. The JIT artifact-cache directory is
+// resolved eagerly so every worker compiles into the same shared
+// content-addressed cache (per-key single compile + atomic rename make
+// cross-process sharing safe).
+#pragma once
+
+#include <cstdint>
+
+#include "codegen/artifact_cache.h"
+#include "distd/worker_pool.h"
+#include "runtime/exec_backend.h"
+#include "runtime/measure.h"
+
+namespace tvmbo::distd {
+
+struct ProcDeviceOptions {
+  /// Execution tier the workers run trials with.
+  runtime::ExecBackend backend = runtime::ExecBackend::kNative;
+  /// Compiler/flags/cache directory forwarded to every worker (kJit).
+  codegen::JitOptions jit;
+  /// Session seed forwarded in every request (provenance).
+  std::uint64_t seed = 0;
+  WorkerPoolOptions pool;
+};
+
+class ProcDevice final : public runtime::Device {
+ public:
+  /// Spawns the worker fleet eagerly; throws CheckError when the worker
+  /// binary cannot be started.
+  explicit ProcDevice(ProcDeviceOptions options);
+
+  std::string name() const override { return "proc"; }
+
+  /// Serializes the trial to a free worker and blocks for its reply (or
+  /// the crash/hard-timeout verdict). Thread-safe up to the fleet size.
+  runtime::MeasureResult measure(const runtime::MeasureInput& input,
+                                 const runtime::MeasureOption& option)
+      override;
+
+  /// One in-flight trial per worker.
+  std::size_t max_concurrent_measurements() const override {
+    return pool_.num_workers();
+  }
+
+  WorkerPool& pool() { return pool_; }
+
+ private:
+  ProcDeviceOptions options_;
+  WorkerPool pool_;
+};
+
+}  // namespace tvmbo::distd

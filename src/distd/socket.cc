@@ -1,0 +1,188 @@
+#include "distd/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tvmbo::distd {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw CheckError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  TVMBO_CHECK_LT(path.size(), sizeof(addr.sun_path))
+      << "unix socket path too long: " << path;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect(const std::string& endpoint) {
+  if (starts_with(endpoint, "unix:")) {
+    const std::string path = endpoint.substr(5);
+    const sockaddr_un addr = make_unix_addr(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      throw_errno("connect to " + endpoint);
+    }
+    return Socket(fd);
+  }
+  if (starts_with(endpoint, "tcp:")) {
+    const std::vector<std::string> parts = split(endpoint, ':');
+    TVMBO_CHECK_EQ(parts.size(), 3u)
+        << "tcp endpoint must be tcp:<ipv4>:<port>, got " << endpoint;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    TVMBO_CHECK_EQ(inet_pton(AF_INET, parts[1].c_str(), &addr.sin_addr), 1)
+        << "not a numeric IPv4 address: " << parts[1];
+    addr.sin_port = htons(static_cast<std::uint16_t>(std::stoi(parts[2])));
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      throw_errno("connect to " + endpoint);
+    }
+    return Socket(fd);
+  }
+  throw CheckError("unknown endpoint transport (want unix:/tcp:): " +
+                   endpoint);
+}
+
+ListenSocket::~ListenSocket() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
+}
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(other.fd_), endpoint_(std::move(other.endpoint_)),
+      unlink_path_(std::move(other.unlink_path_)) {
+  other.fd_ = -1;
+  other.unlink_path_.clear();
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
+    fd_ = other.fd_;
+    endpoint_ = std::move(other.endpoint_);
+    unlink_path_ = std::move(other.unlink_path_);
+    other.fd_ = -1;
+    other.unlink_path_.clear();
+  }
+  return *this;
+}
+
+ListenSocket ListenSocket::unix_domain(const std::string& path) {
+  const sockaddr_un addr = make_unix_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw_errno("bind " + path);
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw_errno("listen " + path);
+  }
+  ListenSocket out;
+  out.fd_ = fd;
+  out.endpoint_ = "unix:" + path;
+  out.unlink_path_ = path;
+  return out;
+}
+
+ListenSocket ListenSocket::tcp_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw_errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw_errno("listen 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw_errno("getsockname");
+  }
+  ListenSocket out;
+  out.fd_ = fd;
+  out.endpoint_ = "tcp:127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
+  return out;
+}
+
+std::optional<Socket> ListenSocket::accept(int timeout_ms) {
+  TVMBO_CHECK(valid()) << "accept on a closed listen socket";
+  pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) return std::nullopt;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll on listen socket");
+    }
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw_errno("accept");
+    }
+    return Socket(fd);
+  }
+}
+
+}  // namespace tvmbo::distd

@@ -1,0 +1,82 @@
+// Minimal POSIX stream-socket wrappers for the distributed measurement
+// subsystem (distd). Two transports:
+//
+//   unix:<path>        — Unix-domain stream socket (the WorkerPool default:
+//                        lowest overhead, no port allocation, private to
+//                        the host).
+//   tcp:<ip>:<port>    — loopback/remote TCP, so the same worker binary
+//                        can later connect from another host (the ISSUE's
+//                        RPCRunner direction). Only numeric IPv4 addresses
+//                        are resolved here; name resolution is the
+//                        caller's job.
+//
+// Both classes own their file descriptor (move-only, closed on
+// destruction). All waiting is poll(2)-based so every blocking operation
+// takes a millisecond deadline; SIGPIPE is never raised (MSG_NOSIGNAL).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace tvmbo::distd {
+
+/// A connected stream socket (move-only fd owner).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Connects to "unix:<path>" or "tcp:<ipv4>:<port>". Throws CheckError
+  /// on a malformed endpoint or connection failure.
+  static Socket connect(const std::string& endpoint);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket bound to a connectable endpoint string.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket();
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+
+  /// Binds + listens on a fresh Unix-domain socket at `path` (must not
+  /// exist; unlinked again on destruction). Throws CheckError on failure
+  /// (including paths longer than sockaddr_un allows).
+  static ListenSocket unix_domain(const std::string& path);
+
+  /// Binds + listens on 127.0.0.1:`port` (0 = ephemeral; the chosen port
+  /// is reflected in endpoint()). Throws CheckError on failure.
+  static ListenSocket tcp_loopback(int port = 0);
+
+  /// Accepts one connection, waiting at most `timeout_ms` (-1 = forever).
+  /// nullopt on timeout; throws CheckError on a socket error.
+  std::optional<Socket> accept(int timeout_ms);
+
+  /// The string a worker passes to Socket::connect.
+  const std::string& endpoint() const { return endpoint_; }
+
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string endpoint_;
+  std::string unlink_path_;  ///< unix socket file to remove on close
+};
+
+}  // namespace tvmbo::distd

@@ -1,0 +1,174 @@
+#include "distd/worker.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "autotvm/autotvm.h"
+#include "common/logging.h"
+#include "distd/fault_kernels.h"
+#include "distd/socket.h"
+#include "kernels/polybench.h"
+#include "runtime/cpu_device.h"
+
+namespace tvmbo::distd {
+
+namespace {
+
+/// Task cache key: everything that determines the rebuilt task except the
+/// tiles (which vary per trial).
+std::string task_key(const MeasureRequest& request) {
+  std::ostringstream key;
+  key << request.workload.kernel << '|' << request.workload.size_name;
+  for (std::int64_t d : request.workload.dims) key << ',' << d;
+  key << '|' << runtime::exec_backend_name(request.backend) << '|'
+      << request.jit.compiler << '|' << request.jit.flags << '|'
+      << request.jit.cache_dir << '|' << request.jit.parallel_threads;
+  return key.str();
+}
+
+runtime::MeasureInput build_input(const MeasureRequest& request) {
+  if (is_fault_kernel(request.workload.kernel)) {
+    return make_fault_input(request.workload, request.tiles);
+  }
+  static std::mutex cache_mutex;
+  static std::map<std::string, autotvm::Task> task_cache;
+  const std::string key = task_key(request);
+  autotvm::Task* task = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    auto it = task_cache.find(key);
+    if (it == task_cache.end()) {
+      autotvm::Task built =
+          request.backend == runtime::ExecBackend::kNative
+              ? kernels::make_task(request.workload.kernel,
+                                   request.workload.size_name,
+                                   request.workload.dims,
+                                   /*executable=*/true)
+              : kernels::make_task(request.workload.kernel,
+                                   request.workload.size_name,
+                                   request.workload.dims, request.backend,
+                                   request.jit);
+      it = task_cache.emplace(key, std::move(built)).first;
+    }
+    task = &it->second;
+  }
+  TVMBO_CHECK(static_cast<bool>(task->instantiate))
+      << "kernel '" << request.workload.kernel
+      << "' has no executable instantiation for backend "
+      << runtime::exec_backend_name(request.backend);
+  return task->instantiate(request.tiles);
+}
+
+}  // namespace
+
+MeasureReply handle_measure_request(const MeasureRequest& request) {
+  MeasureReply reply;
+  reply.trial = request.trial;
+  try {
+    const runtime::MeasureInput input = build_input(request);
+    runtime::CpuDevice device;
+    reply.result = device.measure(input, request.option);
+  } catch (const std::exception& e) {
+    reply.result.valid = false;
+    reply.result.error = e.what();
+  } catch (...) {
+    reply.result.valid = false;
+    reply.result.error = "unknown worker measurement error";
+  }
+  return reply;
+}
+
+int serve_worker(const WorkerConfig& config) {
+  Socket socket;
+  try {
+    socket = Socket::connect(config.endpoint);
+  } catch (const std::exception& e) {
+    TVMBO_LOG(Error) << "worker " << config.worker_id << ": " << e.what();
+    return 1;
+  }
+
+  // All writes (hello, heartbeats, results) share one mutex so frames
+  // from the heartbeat thread never interleave with a reply.
+  std::mutex write_mutex;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (write_frame(socket.fd(), hello_message(config.worker_id, getpid())) !=
+        FrameStatus::kOk) {
+      return 1;
+    }
+  }
+
+  // Heartbeats are sent only while a trial is executing: they prove the
+  // worker is alive-but-busy (vs. hung-and-killable), and an idle worker
+  // staying quiet means an undrained socket buffer can never fill up and
+  // block the writer.
+  std::atomic<bool> busy{false};
+  std::atomic<bool> stop{false};
+  std::mutex stop_mutex;
+  std::condition_variable stop_cv;
+  std::thread heartbeat;
+  if (config.heartbeat_ms > 0) {
+    heartbeat = std::thread([&] {
+      std::unique_lock<std::mutex> lock(stop_mutex);
+      while (!stop.load()) {
+        stop_cv.wait_for(lock,
+                         std::chrono::milliseconds(config.heartbeat_ms));
+        if (stop.load()) break;
+        if (!busy.load()) continue;
+        std::lock_guard<std::mutex> write_lock(write_mutex);
+        write_frame(socket.fd(), heartbeat_message(config.worker_id));
+      }
+    });
+  }
+
+  int exit_code = 0;
+  for (;;) {
+    Json message;
+    const FrameStatus status =
+        read_frame(socket.fd(), &message, /*timeout_ms=*/-1);
+    if (status == FrameStatus::kClosed) break;  // pool went away: done
+    if (status != FrameStatus::kOk) {
+      exit_code = 1;
+      break;
+    }
+    const std::string type = frame_type(message);
+    if (type == "shutdown") break;
+    if (type != "measure") continue;  // unknown frames are ignored
+    busy.store(true);
+    MeasureReply reply;
+    try {
+      reply = handle_measure_request(MeasureRequest::from_json(message));
+    } catch (const std::exception& e) {
+      // A malformed request still gets a reply so the pool's dispatch
+      // doesn't hang waiting for one.
+      reply.result.valid = false;
+      reply.result.error = std::string("malformed measure request: ") +
+                           e.what();
+    }
+    busy.store(false);
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (write_frame(socket.fd(), reply.to_json()) != FrameStatus::kOk) {
+      exit_code = 1;
+      break;
+    }
+  }
+
+  if (heartbeat.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(stop_mutex);
+      stop.store(true);
+    }
+    stop_cv.notify_all();
+    heartbeat.join();
+  }
+  return exit_code;
+}
+
+}  // namespace tvmbo::distd

@@ -1,0 +1,31 @@
+// Worker-side half of the distd measurement protocol: connect back to the
+// pool, announce (hello), then serve measure requests until a shutdown
+// frame or EOF. Used by tools/tvmbo_worker.cc; exposed as a library so
+// tests can exercise the request handling in-process.
+#pragma once
+
+#include <string>
+
+#include "distd/protocol.h"
+
+namespace tvmbo::distd {
+
+struct WorkerConfig {
+  std::string endpoint;    ///< "unix:<path>" or "tcp:<ipv4>:<port>"
+  int worker_id = 0;       ///< pool slot index, echoed in hello/heartbeats
+  int heartbeat_ms = 1000; ///< liveness interval while measuring (0 = off)
+};
+
+/// Rebuilds and measures one serialized trial with a local CpuDevice.
+/// Never throws: any reconstruction/measurement failure becomes an
+/// invalid reply carrying the error string. Tasks are cached across calls
+/// keyed by everything but the tiles, so repeated trials of one tuning
+/// run reuse the initialized kernel data.
+MeasureReply handle_measure_request(const MeasureRequest& request);
+
+/// Runs the serve loop to completion. Returns the process exit code:
+/// 0 on a clean shutdown (shutdown frame or orderly EOF), nonzero on
+/// connect/protocol failure.
+int serve_worker(const WorkerConfig& config);
+
+}  // namespace tvmbo::distd

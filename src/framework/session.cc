@@ -170,6 +170,7 @@ SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
 
   runtime::MeasureOption measure;
   measure.repeat = traits.repeat;
+  measure.timeout_s = options_.measure_timeout_s;
   const std::size_t batch_size = traits.batch_size;
   const bool parallel_build = traits.parallel_build;
 

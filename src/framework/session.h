@@ -79,6 +79,12 @@ struct SessionOptions {
   /// to emit the JSON-lines per-trial event log, and `measure.retry` to
   /// re-run transiently failing trials.
   runtime::MeasureRunnerOptions measure;
+  /// Per-run measurement timeout (MeasureOption::timeout_s; 0 disables).
+  /// On CpuDevice this is cooperative — checked between runs — so a
+  /// single hung run escapes it; the process runner (distd::ProcDevice)
+  /// additionally derives a hard wall-clock deadline from it and
+  /// SIGKILLs the worker when a run never returns.
+  double measure_timeout_s = 0.0;
   /// ytopt proposal batch size. 1 reproduces the paper's strictly
   /// sequential AMBS loop; > 1 proposes qLCB batches
   /// (BayesianOptimizer::next_batch) so a parallel measurement engine can

@@ -119,9 +119,36 @@ std::string PerfDatabase::to_json_lines() const {
 }
 
 PerfDatabase PerfDatabase::from_json_lines(const std::string& text) {
+  // Tolerant line-by-line load: a tuning run killed mid-write (or a
+  // corrupted disk) leaves a truncated/garbled record; skipping it with a
+  // warning keeps the remaining history usable (e.g. for --warm-start)
+  // instead of failing the whole load.
   PerfDatabase db;
-  for (const Json& json : Json::parse_lines(text)) {
-    db.add(TrialRecord::from_json(json));
+  std::size_t line_number = 0;
+  std::size_t skipped = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    try {
+      db.add(TrialRecord::from_json(Json::parse(line)));
+    } catch (const std::exception& e) {
+      ++skipped;
+      TVMBO_LOG(Warning) << "perf db: skipping malformed record at line "
+                         << line_number << ": " << e.what();
+    }
+  }
+  if (skipped > 0) {
+    TVMBO_LOG(Warning) << "perf db: skipped " << skipped
+                       << " malformed record(s), kept " << db.size();
   }
   return db;
 }

@@ -4,6 +4,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -95,6 +98,52 @@ TEST(PerfDb, SaveLoadFile) {
   db.save(path);
   const PerfDatabase loaded = PerfDatabase::load(path);
   EXPECT_EQ(loaded.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PerfDb, MalformedAndTruncatedLinesAreSkippedNotFatal) {
+  PerfDatabase db;
+  db.add(make_record(0, "ytopt", 1.0));
+  db.add(make_record(1, "ytopt", 2.0));
+  db.add(make_record(2, "ytopt", 3.0));
+  const std::string lines = db.to_json_lines();
+
+  // Corrupt the middle record (garbage), keep the others, and append a
+  // truncated final line — the shape a run killed mid-write leaves behind.
+  std::vector<std::string> split;
+  std::size_t start = 0;
+  for (std::size_t end = lines.find('\n'); end != std::string::npos;
+       start = end + 1, end = lines.find('\n', start)) {
+    split.push_back(lines.substr(start, end - start));
+  }
+  ASSERT_EQ(split.size(), 3u);
+  std::string corrupted = split[0] + "\n";
+  corrupted += "not json at all\n";
+  corrupted += split[1] + "\n";
+  corrupted += "{\"i\": 9, \"strategy\": \"x\"}\n";  // valid JSON, missing keys
+  corrupted += "\n";                                  // blank line: ignored
+  corrupted += split[2].substr(0, split[2].size() / 2);  // truncated tail
+
+  const PerfDatabase restored = PerfDatabase::from_json_lines(corrupted);
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_DOUBLE_EQ(restored.record(0).runtime_s, 1.0);
+  EXPECT_DOUBLE_EQ(restored.record(1).runtime_s, 2.0);
+}
+
+TEST(PerfDb, CorruptFileLoadKeepsValidRecords) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tvmbo_perfdb_corrupt.jsonl")
+          .string();
+  PerfDatabase db;
+  db.add(make_record(0, "ytopt", 1.0));
+  db.save(path);
+  {
+    std::ofstream append(path, std::ios::app);
+    append << "{\"i\": 1, \"strategy\": \"ytopt\", \"workload\"";  // truncated
+  }
+  const PerfDatabase loaded = PerfDatabase::load(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.record(0).runtime_s, 1.0);
   std::remove(path.c_str());
 }
 

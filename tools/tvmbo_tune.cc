@@ -42,6 +42,16 @@
 //               the toolchain supports it, serial fallback otherwise);
 //               float64 outputs stay bit-identical to the interpreter
 //               either way
+//   --runner R  measurement runner for --device cpu: local (in-process,
+//               default) | proc (trials execute in out-of-process workers
+//               with crash isolation and hard kill-based timeouts; see
+//               src/distd/). Worker-lifecycle events land in --trace.
+//   --workers N worker-fleet size for --runner proc (default 2); pair
+//               with --parallel to keep all workers busy
+//   --timeout S per-run measurement timeout in seconds (0 = off). With
+//               --runner local this is cooperative (checked between
+//               runs); with --runner proc a hung run is SIGKILLed at the
+//               derived hard deadline
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +60,7 @@
 
 #include "codegen/artifact_cache.h"
 #include "codegen/jit_program.h"
+#include "distd/proc_device.h"
 #include "framework/figures.h"
 #include "framework/session.h"
 #include "kernels/polybench.h"
@@ -80,6 +91,9 @@ struct Args {
   std::string jit_cache;
   std::string warm_start;
   std::int64_t threads = 1;
+  std::string runner = "local";
+  std::size_t workers = 2;
+  double timeout_s = 0.0;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -90,7 +104,8 @@ struct Args {
                "[--out PREFIX] [--parallel] [--ytopt-batch N] "
                "[--retries N] [--trace FILE] "
                "[--backend native|interp|closure|jit] [--jit-cache DIR] "
-               "[--warm-start DB.jsonl] [--threads N]\n",
+               "[--warm-start DB.jsonl] [--threads N] "
+               "[--runner local|proc] [--workers N] [--timeout S]\n",
                argv0);
   std::exit(2);
 }
@@ -120,6 +135,9 @@ Args parse(int argc, char** argv) {
     else if (flag == "--jit-cache") args.jit_cache = value();
     else if (flag == "--warm-start") args.warm_start = value();
     else if (flag == "--threads") args.threads = std::stoll(value());
+    else if (flag == "--runner") args.runner = value();
+    else if (flag == "--workers") args.workers = std::stoul(value());
+    else if (flag == "--timeout") args.timeout_s = std::stod(value());
     else usage(argv[0]);
   }
   return args;
@@ -154,12 +172,44 @@ int main(int argc, char** argv) {
                                parallel_knobs)
           : kernels::make_task(args.kernel, dataset, /*executable=*/false);
 
+  // The trace log outlives the device: a ProcDevice's worker pool emits
+  // lifecycle events (worker_exit on shutdown) through it from its
+  // destructor.
+  std::unique_ptr<runtime::TraceLog> trace;
+  if (!args.trace.empty()) {
+    trace = std::make_unique<runtime::TraceLog>(args.trace);
+  }
+
+  if (args.runner != "local" && args.runner != "proc") usage(argv[0]);
+  if (args.runner == "proc" && args.device != "cpu") {
+    std::fprintf(stderr,
+                 "error: --runner proc requires --device cpu (the sim "
+                 "device is a model, not a process)\n");
+    return 2;
+  }
+
   runtime::SwingSimDevice sim(args.seed);
   runtime::CpuDevice cpu;
+  std::unique_ptr<distd::ProcDevice> proc;
   runtime::Device* device = nullptr;
-  if (args.device == "sim") device = &sim;
-  else if (args.device == "cpu") device = &cpu;
-  else usage(argv[0]);
+  if (args.device == "sim") {
+    device = &sim;
+  } else if (args.device == "cpu") {
+    if (args.runner == "proc") {
+      distd::ProcDeviceOptions proc_options;
+      proc_options.backend = *backend;
+      proc_options.jit = jit_options;
+      proc_options.seed = args.seed;
+      proc_options.pool.num_workers = args.workers == 0 ? 1 : args.workers;
+      proc_options.pool.trace = trace.get();
+      proc = std::make_unique<distd::ProcDevice>(std::move(proc_options));
+      device = proc.get();
+    } else {
+      device = &cpu;
+    }
+  } else {
+    usage(argv[0]);
+  }
 
   framework::SessionOptions options;
   options.max_evaluations = args.evals;
@@ -177,11 +227,8 @@ int main(int argc, char** argv) {
   options.measure.parallel = args.parallel;
   options.measure.retry.max_retries = args.retries;
   options.ytopt_batch_size = args.ytopt_batch;
-  std::unique_ptr<runtime::TraceLog> trace;
-  if (!args.trace.empty()) {
-    trace = std::make_unique<runtime::TraceLog>(args.trace);
-    options.measure.trace = trace.get();
-  }
+  options.measure_timeout_s = args.timeout_s;
+  if (trace != nullptr) options.measure.trace = trace.get();
   runtime::PerfDatabase warm_db;
   if (!args.warm_start.empty()) {
     warm_db = runtime::PerfDatabase::load(args.warm_start);
