@@ -1,0 +1,360 @@
+#include "analysis/affine.h"
+
+#include <algorithm>
+
+namespace tvmbo::analysis {
+namespace {
+
+std::optional<std::int64_t> opt_min(std::optional<std::int64_t> a,
+                                    std::optional<std::int64_t> b) {
+  if (a.has_value() && b.has_value()) return std::min(*a, *b);
+  return a.has_value() ? a : b;
+}
+
+std::optional<std::int64_t> opt_max(std::optional<std::int64_t> a,
+                                    std::optional<std::int64_t> b) {
+  if (a.has_value() && b.has_value()) return std::max(*a, *b);
+  return a.has_value() ? a : b;
+}
+
+AffineForm affine_scale(const AffineForm& form, std::int64_t factor) {
+  AffineForm out;
+  out.affine = form.affine;
+  out.constant = form.constant * factor;
+  if (factor != 0) {
+    for (const auto& [var, coefficient] : form.terms) {
+      out.add_term(var, coefficient * factor);
+    }
+  }
+  return out;
+}
+
+// floor division matching the interpreter/emitter semantics (round toward
+// negative infinity; divisor known positive here).
+std::int64_t floor_div_positive(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b) != 0 && a < 0) --q;
+  return q;
+}
+
+}  // namespace
+
+void AffineForm::add_term(const te::VarNode* var, std::int64_t coefficient) {
+  if (coefficient == 0) return;
+  for (auto it = terms.begin(); it != terms.end(); ++it) {
+    if (it->first == var) {
+      it->second += coefficient;
+      if (it->second == 0) terms.erase(it);
+      return;
+    }
+  }
+  terms.emplace_back(var, coefficient);
+}
+
+std::int64_t AffineForm::coeff(const te::VarNode* var) const {
+  for (const auto& [v, c] : terms) {
+    if (v == var) return c;
+  }
+  return 0;
+}
+
+bool AffineForm::is_constant() const {
+  for (const auto& [v, c] : terms) {
+    (void)v;
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+AffineForm analyze_affine(const te::ExprNode* expr) {
+  AffineForm non_affine;
+  non_affine.affine = false;
+  if (expr == nullptr) return non_affine;
+  switch (expr->kind()) {
+    case te::ExprKind::kIntImm: {
+      AffineForm f;
+      f.constant = static_cast<const te::IntImmNode*>(expr)->value;
+      return f;
+    }
+    case te::ExprKind::kVar: {
+      AffineForm f;
+      f.add_term(static_cast<const te::VarNode*>(expr), 1);
+      return f;
+    }
+    case te::ExprKind::kBinary: {
+      const auto* node = static_cast<const te::BinaryNode*>(expr);
+      AffineForm a = analyze_affine(node->a.get());
+      AffineForm b = analyze_affine(node->b.get());
+      if (!a.affine || !b.affine) return non_affine;
+      switch (node->op) {
+        case te::BinaryOp::kAdd:
+          return affine_add(a, b);
+        case te::BinaryOp::kSub:
+          return affine_sub(a, b);
+        case te::BinaryOp::kMul:
+          if (a.is_constant()) return affine_scale(b, a.constant);
+          if (b.is_constant()) return affine_scale(a, b.constant);
+          return non_affine;
+        default:
+          return non_affine;
+      }
+    }
+    default:
+      return non_affine;
+  }
+}
+
+AffineForm affine_add(const AffineForm& a, const AffineForm& b) {
+  AffineForm out;
+  out.affine = a.affine && b.affine;
+  out.constant = a.constant + b.constant;
+  out.terms = a.terms;
+  for (const auto& [var, coefficient] : b.terms) {
+    out.add_term(var, coefficient);
+  }
+  return out;
+}
+
+AffineForm affine_sub(const AffineForm& a, const AffineForm& b) {
+  return affine_add(a, affine_scale(b, -1));
+}
+
+void VarRanges::bind(const te::VarNode* var, std::int64_t extent) {
+  entries_.emplace_back(var, extent);
+}
+
+void VarRanges::pop() { entries_.pop_back(); }
+
+const std::int64_t* VarRanges::extent_of(const te::VarNode* var) const {
+  // Backwards so an inner rebinding shadows an outer one.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->first == var) return &it->second;
+  }
+  return nullptr;
+}
+
+void collect_constraints(const te::Expr& condition,
+                         std::vector<AffineForm>& out) {
+  if (!condition) return;
+  switch (condition->kind()) {
+    case te::ExprKind::kCompare: {
+      const auto* node = static_cast<const te::CompareNode*>(condition.get());
+      AffineForm a = analyze_affine(node->a.get());
+      AffineForm b = analyze_affine(node->b.get());
+      if (!a.affine || !b.affine) return;
+      // Normalize each compare to `h >= 0`.
+      switch (node->op) {
+        case te::CmpOp::kLt: {  // a < b  ==>  b - a - 1 >= 0
+          AffineForm h = affine_sub(b, a);
+          h.constant -= 1;
+          out.push_back(std::move(h));
+          return;
+        }
+        case te::CmpOp::kLe:  // a <= b  ==>  b - a >= 0
+          out.push_back(affine_sub(b, a));
+          return;
+        case te::CmpOp::kGt: {  // a > b  ==>  a - b - 1 >= 0
+          AffineForm h = affine_sub(a, b);
+          h.constant -= 1;
+          out.push_back(std::move(h));
+          return;
+        }
+        case te::CmpOp::kGe:  // a >= b  ==>  a - b >= 0
+          out.push_back(affine_sub(a, b));
+          return;
+        case te::CmpOp::kEq:  // both directions
+          out.push_back(affine_sub(b, a));
+          out.push_back(affine_sub(a, b));
+          return;
+        case te::CmpOp::kNe:  // disjunction: no single affine constraint
+          return;
+      }
+      return;
+    }
+    case te::ExprKind::kSelect: {
+      // logical_and(a, b) lowers to select(a, b, 0): both conjuncts hold
+      // when the whole select is truthy.
+      const auto* node = static_cast<const te::SelectNode*>(condition.get());
+      if (te::is_const_int(node->false_value, 0)) {
+        collect_constraints(node->condition, out);
+        collect_constraints(node->true_value, out);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void collect_negated_constraints(const te::Expr& condition,
+                                 std::vector<AffineForm>& out) {
+  if (!condition) return;
+  if (condition->kind() != te::ExprKind::kCompare) {
+    // !(a && b) is a disjunction — nothing conservative to add.
+    return;
+  }
+  const auto* node = static_cast<const te::CompareNode*>(condition.get());
+  switch (node->op) {
+    case te::CmpOp::kLt:
+      collect_constraints(te::ge(node->a, node->b), out);
+      return;
+    case te::CmpOp::kLe:
+      collect_constraints(te::gt(node->a, node->b), out);
+      return;
+    case te::CmpOp::kGt:
+      collect_constraints(te::le(node->a, node->b), out);
+      return;
+    case te::CmpOp::kGe:
+      collect_constraints(te::lt(node->a, node->b), out);
+      return;
+    case te::CmpOp::kEq:  // negates to !=, which adds nothing
+      return;
+    case te::CmpOp::kNe:
+      collect_constraints(te::eq(node->a, node->b), out);
+      return;
+  }
+}
+
+Interval affine_range(const AffineForm& form, const VarRanges& ranges) {
+  if (!form.affine) return Interval::unbounded();
+  std::int64_t lo = form.constant;
+  std::int64_t hi = form.constant;
+  for (const auto& [var, coefficient] : form.terms) {
+    if (coefficient == 0) continue;
+    const std::int64_t* extent = ranges.extent_of(var);
+    if (extent == nullptr || *extent <= 0) return Interval::unbounded();
+    const std::int64_t span = *extent - 1;
+    if (coefficient > 0) {
+      hi += coefficient * span;
+    } else {
+      lo += coefficient * span;
+    }
+  }
+  return {lo, hi};
+}
+
+Interval constrained_range(const AffineForm& form, const VarRanges& ranges,
+                           const std::vector<AffineForm>& constraints) {
+  if (!form.affine) return Interval::unbounded();
+  Interval result = affine_range(form, ranges);
+  for (const AffineForm& h : constraints) {
+    if (!h.affine) continue;
+    // h >= 0, so form <= form + h <= max(form + h). Adding the forms first
+    // cancels shared terms symbolically, which is what makes guards like
+    // `yo*f + yi < extent` tighten `yo*f + yi` exactly (and bound it even
+    // when an outer var has no known extent).
+    const Interval upper = affine_range(affine_add(form, h), ranges);
+    if (upper.hi.has_value() &&
+        (!result.hi.has_value() || *upper.hi < *result.hi)) {
+      result.hi = upper.hi;
+    }
+    // Symmetrically, form >= form - h >= min(form - h).
+    const Interval lower = affine_range(affine_sub(form, h), ranges);
+    if (lower.lo.has_value() &&
+        (!result.lo.has_value() || *lower.lo > *result.lo)) {
+      result.lo = lower.lo;
+    }
+  }
+  return result;
+}
+
+Interval range_of_expr(const te::ExprNode* expr, const VarRanges& ranges,
+                       const std::vector<AffineForm>& constraints) {
+  if (expr == nullptr) return Interval::unbounded();
+  const AffineForm form = analyze_affine(expr);
+  if (form.affine) return constrained_range(form, ranges, constraints);
+  switch (expr->kind()) {
+    case te::ExprKind::kBinary: {
+      const auto* node = static_cast<const te::BinaryNode*>(expr);
+      const Interval a = range_of_expr(node->a.get(), ranges, constraints);
+      const Interval b = range_of_expr(node->b.get(), ranges, constraints);
+      switch (node->op) {
+        case te::BinaryOp::kAdd: {
+          Interval out;
+          if (a.lo && b.lo) out.lo = *a.lo + *b.lo;
+          if (a.hi && b.hi) out.hi = *a.hi + *b.hi;
+          return out;
+        }
+        case te::BinaryOp::kSub: {
+          Interval out;
+          if (a.lo && b.hi) out.lo = *a.lo - *b.hi;
+          if (a.hi && b.lo) out.hi = *a.hi - *b.lo;
+          return out;
+        }
+        case te::BinaryOp::kMul: {
+          if (!a.bounded() || !b.bounded()) return Interval::unbounded();
+          const std::int64_t products[4] = {*a.lo * *b.lo, *a.lo * *b.hi,
+                                            *a.hi * *b.lo, *a.hi * *b.hi};
+          return {*std::min_element(products, products + 4),
+                  *std::max_element(products, products + 4)};
+        }
+        case te::BinaryOp::kFloorDiv: {
+          // Fused-axis indices: floordiv by a positive constant extent.
+          const AffineForm divisor = analyze_affine(node->b.get());
+          if (!divisor.affine || !divisor.is_constant() ||
+              divisor.constant <= 0 || !a.bounded()) {
+            return Interval::unbounded();
+          }
+          return {floor_div_positive(*a.lo, divisor.constant),
+                  floor_div_positive(*a.hi, divisor.constant)};
+        }
+        case te::BinaryOp::kMod: {
+          const AffineForm divisor = analyze_affine(node->b.get());
+          if (!divisor.affine || !divisor.is_constant() ||
+              divisor.constant <= 0) {
+            return Interval::unbounded();
+          }
+          // Floor-mod with a positive modulus lands in [0, m-1]; keep the
+          // dividend's own range when it is already inside.
+          if (a.bounded() && *a.lo >= 0 && *a.hi < divisor.constant) return a;
+          return {0, divisor.constant - 1};
+        }
+        case te::BinaryOp::kMin: {
+          Interval out;
+          out.hi = opt_min(a.hi, b.hi);
+          if (a.lo && b.lo) out.lo = std::min(*a.lo, *b.lo);
+          return out;
+        }
+        case te::BinaryOp::kMax: {
+          Interval out;
+          out.lo = opt_max(a.lo, b.lo);
+          if (a.hi && b.hi) out.hi = std::max(*a.hi, *b.hi);
+          return out;
+        }
+        default:
+          return Interval::unbounded();
+      }
+    }
+    case te::ExprKind::kSelect: {
+      const auto* node = static_cast<const te::SelectNode*>(expr);
+      std::vector<AffineForm> then_constraints = constraints;
+      collect_constraints(node->condition, then_constraints);
+      const Interval t = range_of_expr(node->true_value.get(), ranges,
+                                       then_constraints);
+      std::vector<AffineForm> else_constraints = constraints;
+      collect_negated_constraints(node->condition, else_constraints);
+      const Interval f = range_of_expr(node->false_value.get(), ranges,
+                                       else_constraints);
+      Interval out;
+      if (t.lo && f.lo) out.lo = std::min(*t.lo, *f.lo);
+      if (t.hi && f.hi) out.hi = std::max(*t.hi, *f.hi);
+      return out;
+    }
+    case te::ExprKind::kCompare:
+      return {0, 1};
+    case te::ExprKind::kUnary: {
+      const auto* node = static_cast<const te::UnaryNode*>(expr);
+      if (node->op != te::UnaryOp::kNeg) return Interval::unbounded();
+      const Interval a =
+          range_of_expr(node->operand.get(), ranges, constraints);
+      Interval out;
+      if (a.hi) out.lo = -*a.hi;
+      if (a.lo) out.hi = -*a.lo;
+      return out;
+    }
+    default:
+      return Interval::unbounded();
+  }
+}
+
+}  // namespace tvmbo::analysis

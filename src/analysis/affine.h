@@ -1,0 +1,111 @@
+// Affine index maps and interval arithmetic over loop extents — the
+// numeric core shared by the IR verifier (verify.h) and the dependence
+// analyzer (dependence.h).
+//
+// The lowered loop IR indexes tensors almost exclusively with affine
+// expressions of loop variables (coefficient * var + offset): splits
+// produce outer*factor + inner, compute_at regions produce lo + p, and
+// reductions add nothing. analyze_affine() decomposes such an expression
+// into an AffineForm; affine_range() bounds it over the enclosing loop
+// extents; constrained_range() additionally tightens the bounds with the
+// guard conditions on the access path (split tail guards, compute_at
+// region guards, the triangular guards of LU/Cholesky), cancelling terms
+// symbolically so e.g. `yo*8 + yi` under the guard `yo*8 + yi < 10` gets
+// the exact bound 9 rather than the unguarded 15.
+//
+// Fused axes produce floordiv/mod indices that are not affine;
+// range_of_expr() falls back to structural recursion for those (and for
+// min/max/select), re-entering the affine path on subexpressions, so every
+// index the lowering pipeline can emit still gets a finite bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "te/expr.h"
+
+namespace tvmbo::analysis {
+
+/// Affine decomposition of an integer expression:
+///   constant + sum(coefficient_i * var_i)
+/// `affine` is false when the expression does not fit this shape.
+struct AffineForm {
+  bool affine = true;
+  std::int64_t constant = 0;
+  std::vector<std::pair<const te::VarNode*, std::int64_t>> terms;
+
+  /// Adds `coefficient * var`, merging with an existing term for the same
+  /// var (symbolic cancellation happens here: coefficients may sum to 0).
+  void add_term(const te::VarNode* var, std::int64_t coefficient);
+  /// Coefficient of `var` (0 when absent).
+  std::int64_t coeff(const te::VarNode* var) const;
+  /// True when the form has no variable with a non-zero coefficient.
+  bool is_constant() const;
+};
+
+/// Decomposes `expr` into an AffineForm (add/sub/mul-by-constant over vars
+/// and int immediates). Anything else yields `affine == false`.
+AffineForm analyze_affine(const te::ExprNode* expr);
+
+AffineForm affine_add(const AffineForm& a, const AffineForm& b);
+AffineForm affine_sub(const AffineForm& a, const AffineForm& b);
+
+/// Inclusive integer interval; a disengaged side is unbounded.
+struct Interval {
+  std::optional<std::int64_t> lo;
+  std::optional<std::int64_t> hi;
+
+  /// Fully unbounded interval.
+  static Interval unbounded() { return {}; }
+  static Interval point(std::int64_t v) { return {v, v}; }
+  bool bounded() const { return lo.has_value() && hi.has_value(); }
+};
+
+/// Loop-variable environment: var -> extent, meaning var in [0, extent-1].
+class VarRanges {
+ public:
+  void bind(const te::VarNode* var, std::int64_t extent);
+  void pop();
+  /// Extent of `var`, or nullptr when unbound.
+  const std::int64_t* extent_of(const te::VarNode* var) const;
+  bool contains(const te::VarNode* var) const {
+    return extent_of(var) != nullptr;
+  }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<const te::VarNode*, std::int64_t>> entries_;
+};
+
+/// Appends the affine constraints `h >= 0` implied by `condition` being
+/// true. Understands compares and the `select(a, b, 0)` encoding of
+/// logical_and; disjunctions, `!=`, and non-affine operands contribute
+/// nothing (conservative).
+void collect_constraints(const te::Expr& condition,
+                         std::vector<AffineForm>& out);
+
+/// Appends the constraints implied by `condition` being *false* (for else
+/// branches): the negation of a single compare. Conjunctions negate to
+/// disjunctions and contribute nothing.
+void collect_negated_constraints(const te::Expr& condition,
+                                 std::vector<AffineForm>& out);
+
+/// Range of `form` with every var spanning [0, extent-1]. A var with an
+/// unknown extent and a non-zero coefficient makes the interval unbounded.
+Interval affine_range(const AffineForm& form, const VarRanges& ranges);
+
+/// affine_range() tightened by guard constraints: for each `h >= 0`,
+///   form <= max(form + h)   and   form >= min(form - h),
+/// where the addition cancels shared terms symbolically first.
+Interval constrained_range(const AffineForm& form, const VarRanges& ranges,
+                           const std::vector<AffineForm>& constraints);
+
+/// Range of an arbitrary integer expression: the constrained affine path
+/// when the expression is affine, structural recursion otherwise
+/// (floordiv/mod by positive constants, min/max, select with
+/// branch-refined constraints, compares). Unbounded when nothing applies.
+Interval range_of_expr(const te::ExprNode* expr, const VarRanges& ranges,
+                       const std::vector<AffineForm>& constraints);
+
+}  // namespace tvmbo::analysis

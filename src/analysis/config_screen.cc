@@ -1,0 +1,48 @@
+#include "analysis/config_screen.h"
+
+#include <set>
+#include <sstream>
+
+namespace tvmbo::analysis {
+
+std::string ScreenResult::first_error() const {
+  if (violations.empty()) return {};
+  return violations.front().rule + ": " + violations.front().message;
+}
+
+ScreenResult screen_program(const te::Stmt& stmt,
+                            const std::vector<te::Tensor>& params,
+                            const VerifyOptions& options) {
+  ScreenResult result;
+  result.violations = verify_stmt(stmt, params, options);
+  return result;
+}
+
+void ScreenStats::add(const ScreenResult& result) {
+  ++screened;
+  if (result.ok()) return;
+  ++rejected;
+  std::set<std::string> rules;
+  for (const Violation& violation : result.violations) {
+    rules.insert(violation.rule);
+  }
+  for (const std::string& rule : rules) ++by_rule[rule];
+}
+
+std::string ScreenStats::summary() const {
+  std::ostringstream os;
+  os << "screened " << screened << " config(s), rejected " << rejected;
+  if (!by_rule.empty()) {
+    os << " (";
+    bool first = true;
+    for (const auto& [rule, count] : by_rule) {
+      if (!first) os << ", ";
+      first = false;
+      os << rule << ": " << count;
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace tvmbo::analysis

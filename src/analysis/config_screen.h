@@ -1,0 +1,43 @@
+// Config-space pre-screening: run the full verifier (structure + bounds +
+// races) over a candidate program before it is handed to a measurement
+// backend, so statically-illegal configs cost an analysis pass instead of
+// a worker. MeasureRunner consumes the result through
+// MeasureInput::static_check; tvmbo_lint aggregates ScreenStats over
+// whole config spaces.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/verify.h"
+
+namespace tvmbo::analysis {
+
+struct ScreenResult {
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// First violation as "rule: message" (the tuner-visible error string),
+  /// empty when the program screens clean.
+  std::string first_error() const;
+};
+
+/// Verifies one lowered program against the full rule catalogue.
+ScreenResult screen_program(const te::Stmt& stmt,
+                            const std::vector<te::Tensor>& params,
+                            const VerifyOptions& options = {});
+
+/// Aggregate counters for a sweep over many configs.
+struct ScreenStats {
+  std::size_t screened = 0;
+  std::size_t rejected = 0;
+  std::map<std::string, std::size_t> by_rule;
+
+  void add(const ScreenResult& result);
+  /// e.g. "screened 64 config(s), rejected 2 (out-of-bounds-access: 2)".
+  std::string summary() const;
+};
+
+}  // namespace tvmbo::analysis

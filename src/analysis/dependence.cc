@@ -1,0 +1,408 @@
+#include "analysis/dependence.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "analysis/affine.h"
+#include "common/logging.h"
+#include "te/printer.h"
+
+namespace tvmbo::analysis {
+namespace {
+
+/// One tensor access inside a proof-requiring loop, with everything the
+/// prover needs to instance it: affine index maps, the path constraints
+/// guarding it, and the inner loop vars (var, extent) it ranges over.
+struct Access {
+  const te::TensorNode* tensor = nullptr;
+  bool is_write = false;
+  std::vector<AffineForm> dims;
+  std::vector<AffineForm> constraints;
+  std::vector<std::pair<const te::VarNode*, std::int64_t>> inner_vars;
+  std::string text;  ///< pretty-printed, for failure messages
+};
+
+std::string describe_access(const te::Tensor& tensor,
+                            const std::vector<te::Expr>& indices,
+                            bool is_write) {
+  std::ostringstream os;
+  os << (is_write ? "write " : "read ") << tensor->name << "[";
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << te::to_string(indices[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+/// Collects every tensor access in the body of one proof-requiring loop.
+struct AccessCollector {
+  std::vector<Access> accesses;
+  std::vector<AffineForm> constraints;
+  std::vector<std::pair<const te::VarNode*, std::int64_t>> inner_vars;
+  std::vector<const te::TensorNode*> realized_inside;
+
+  void record(const te::Tensor& tensor, const std::vector<te::Expr>& indices,
+              bool is_write) {
+    Access access;
+    access.tensor = tensor.get();
+    access.is_write = is_write;
+    for (const te::Expr& index : indices) {
+      access.dims.push_back(analyze_affine(index.get()));
+    }
+    access.constraints = constraints;
+    access.inner_vars = inner_vars;
+    access.text = describe_access(tensor, indices, is_write);
+    accesses.push_back(std::move(access));
+  }
+
+  void collect_expr(const te::Expr& expr) {
+    if (!expr) return;
+    switch (expr->kind()) {
+      case te::ExprKind::kTensorAccess: {
+        const auto* node =
+            static_cast<const te::TensorAccessNode*>(expr.get());
+        record(node->tensor, node->indices, /*is_write=*/false);
+        for (const te::Expr& index : node->indices) collect_expr(index);
+        return;
+      }
+      case te::ExprKind::kBinary: {
+        const auto* node = static_cast<const te::BinaryNode*>(expr.get());
+        collect_expr(node->a);
+        collect_expr(node->b);
+        return;
+      }
+      case te::ExprKind::kUnary:
+        collect_expr(static_cast<const te::UnaryNode*>(expr.get())->operand);
+        return;
+      case te::ExprKind::kCompare: {
+        const auto* node = static_cast<const te::CompareNode*>(expr.get());
+        collect_expr(node->a);
+        collect_expr(node->b);
+        return;
+      }
+      case te::ExprKind::kSelect: {
+        const auto* node = static_cast<const te::SelectNode*>(expr.get());
+        collect_expr(node->condition);
+        collect_expr(node->true_value);
+        collect_expr(node->false_value);
+        return;
+      }
+      case te::ExprKind::kReduce:
+        collect_expr(static_cast<const te::ReduceNode*>(expr.get())->source);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void collect_stmt(const te::Stmt& stmt) {
+    if (!stmt) return;
+    switch (stmt->kind()) {
+      case te::StmtKind::kFor: {
+        const auto* node = static_cast<const te::ForNode*>(stmt.get());
+        inner_vars.emplace_back(node->var.get(), node->extent);
+        collect_stmt(node->body);
+        inner_vars.pop_back();
+        return;
+      }
+      case te::StmtKind::kStore: {
+        const auto* node = static_cast<const te::StoreNode*>(stmt.get());
+        record(node->tensor, node->indices, /*is_write=*/true);
+        for (const te::Expr& index : node->indices) collect_expr(index);
+        collect_expr(node->value);
+        return;
+      }
+      case te::StmtKind::kSeq: {
+        const auto* node = static_cast<const te::SeqNode*>(stmt.get());
+        for (const te::Stmt& sub : node->stmts) collect_stmt(sub);
+        return;
+      }
+      case te::StmtKind::kIfThenElse: {
+        const auto* node = static_cast<const te::IfThenElseNode*>(stmt.get());
+        collect_expr(node->condition);
+        const std::size_t before = constraints.size();
+        collect_constraints(node->condition, constraints);
+        collect_stmt(node->then_case);
+        constraints.resize(before);
+        if (node->else_case) {
+          collect_negated_constraints(node->condition, constraints);
+          collect_stmt(node->else_case);
+          constraints.resize(before);
+        }
+        return;
+      }
+      case te::StmtKind::kRealize: {
+        const auto* node = static_cast<const te::RealizeNode*>(stmt.get());
+        // A buffer realized inside the loop is NOT iteration-private: the
+        // closure tier allocates realize storage once at compile time and
+        // re-zeroes the shared buffer on every region entry, so concurrent
+        // iterations race on it no matter how disjoint the IR-level
+        // accesses look. Record it; the prover rejects the loop outright.
+        realized_inside.push_back(node->tensor.get());
+        collect_stmt(node->body);
+        return;
+      }
+    }
+  }
+};
+
+/// Per-side variable renaming (loop var + that access's inner vars map to
+/// fresh instance vars; shared outer vars pass through unchanged).
+struct Instance {
+  std::map<const te::VarNode*, const te::VarNode*> rename;
+
+  AffineForm apply(const AffineForm& form) const {
+    AffineForm out;
+    out.affine = form.affine;
+    out.constant = form.constant;
+    for (const auto& [var, coefficient] : form.terms) {
+      auto it = rename.find(var);
+      out.add_term(it == rename.end() ? var : it->second, coefficient);
+    }
+    return out;
+  }
+};
+
+/// The prover for a single loop. Keeps the fresh instance vars alive.
+class LoopProver {
+ public:
+  LoopProver(const te::ForNode* loop, const VarRanges& outer_ranges,
+             const std::vector<AffineForm>& outer_constraints)
+      : loop_(loop), outer_constraints_(outer_constraints) {
+    ranges_ = outer_ranges;
+  }
+
+  LoopProof prove() {
+    LoopProof proof;
+    proof.loop = loop_;
+    if (loop_->extent <= 1) {
+      proof.proven = true;
+      proof.detail = "single iteration, no concurrency";
+      return proof;
+    }
+    AccessCollector collector;
+    collector.collect_stmt(loop_->body);
+    if (!collector.realized_inside.empty()) {
+      proof.proven = false;
+      std::ostringstream os;
+      os << "loop '" << loop_->var->name << "': tensor '"
+         << collector.realized_inside.front()->name
+         << "' is realized inside the loop; intermediate buffers are "
+            "shared across iterations (the closure tier re-zeroes one "
+            "compile-time allocation on every entry), so per-iteration "
+            "recomputation races";
+      proof.detail = os.str();
+      return proof;
+    }
+    std::size_t pairs = 0;
+    for (const Access& write : collector.accesses) {
+      if (!write.is_write) continue;
+      for (const Access& other : collector.accesses) {
+        if (other.tensor != write.tensor) continue;
+        ++pairs;
+        std::string why;
+        if (!pair_disjoint(write, other, &why)) {
+          proof.proven = false;
+          std::ostringstream os;
+          os << "loop '" << loop_->var->name << "': " << write.text
+             << " may conflict with " << other.text
+             << " in another iteration (" << why << ")";
+          proof.detail = os.str();
+          return proof;
+        }
+      }
+    }
+    proof.proven = true;
+    std::ostringstream os;
+    os << "loop '" << loop_->var->name << "': " << pairs
+       << " access pair(s) proven disjoint across iterations";
+    proof.detail = os.str();
+    return proof;
+  }
+
+ private:
+  const te::VarNode* fresh(const te::VarNode* original, const char* side,
+                           std::int64_t extent) {
+    te::Var var = te::make_var(original->name + "." + side);
+    fresh_vars_.push_back(var);
+    ranges_.bind(var.get(), extent);
+    return var.get();
+  }
+
+  Instance instance_side(const Access& access, const char* side) {
+    Instance inst;
+    inst.rename[loop_->var.get()] =
+        fresh(loop_->var.get(), side, loop_->extent);
+    for (const auto& [var, extent] : access.inner_vars) {
+      inst.rename[var] = fresh(var, side, extent);
+    }
+    return inst;
+  }
+
+  /// True when no iteration pair p_a != p_b can make `a` and `b` hit the
+  /// same element of their tensor.
+  bool pair_disjoint(const Access& a, const Access& b, std::string* why) {
+    const std::size_t saved = ranges_.size();
+    const Instance inst_a = instance_side(a, "a");
+    const Instance inst_b = instance_side(b, "b");
+    std::vector<AffineForm> constraints = outer_constraints_;
+    for (const AffineForm& h : a.constraints) {
+      constraints.push_back(inst_a.apply(h));
+    }
+    for (const AffineForm& h : b.constraints) {
+      constraints.push_back(inst_b.apply(h));
+    }
+    bool disjoint = false;
+    std::ostringstream failure;
+    const std::size_t rank = std::min(a.dims.size(), b.dims.size());
+    for (std::size_t d = 0; d < rank && !disjoint; ++d) {
+      const AffineForm& fa = a.dims[d];
+      const AffineForm& fb = b.dims[d];
+      if (!fa.affine || !fb.affine) {
+        failure << (d > 0 ? "; " : "") << "dim " << d << " non-affine";
+        continue;
+      }
+      // Separation rule: the accesses never overlap in this dimension at
+      // all (e.g. triangular guards keep a written column past a read one).
+      const AffineForm gap =
+          affine_sub(inst_a.apply(fa), inst_b.apply(fb));
+      const Interval gap_range = constrained_range(gap, ranges_, constraints);
+      if ((gap_range.lo.has_value() && *gap_range.lo >= 1) ||
+          (gap_range.hi.has_value() && *gap_range.hi <= -1)) {
+        disjoint = true;
+        break;
+      }
+      // Coefficient rule: same non-zero coefficient c on the loop var and
+      // a residual difference strictly inside (-|c|, |c|) means distinct
+      // iterations land on distinct elements of this dimension.
+      const std::int64_t ca = fa.coeff(loop_->var.get());
+      const std::int64_t cb = fb.coeff(loop_->var.get());
+      if (ca == cb && ca != 0) {
+        AffineForm residual_a = fa;
+        residual_a.add_term(loop_->var.get(), -ca);
+        AffineForm residual_b = fb;
+        residual_b.add_term(loop_->var.get(), -cb);
+        const AffineForm residual =
+            affine_sub(inst_a.apply(residual_a), inst_b.apply(residual_b));
+        const Interval range =
+            constrained_range(residual, ranges_, constraints);
+        const std::int64_t magnitude = std::abs(ca);
+        if (range.bounded() && *range.lo > -magnitude &&
+            *range.hi < magnitude) {
+          disjoint = true;
+          break;
+        }
+        failure << (d > 0 ? "; " : "") << "dim " << d
+                << " residual not confined to the iteration's stride";
+        continue;
+      }
+      failure << (d > 0 ? "; " : "") << "dim " << d
+              << (ca == 0 && cb == 0
+                      ? " does not depend on the loop var"
+                      : " carries mismatched loop-var coefficients");
+    }
+    while (ranges_.size() > saved) ranges_.pop();
+    if (!disjoint && why != nullptr) *why = failure.str();
+    return disjoint;
+  }
+
+  const te::ForNode* loop_;
+  std::vector<AffineForm> outer_constraints_;
+  VarRanges ranges_;
+  std::vector<te::Var> fresh_vars_;
+};
+
+/// Walks from the root, proving each proof-requiring loop in the context
+/// of its enclosing loops and guards.
+void walk(const te::Stmt& stmt, VarRanges& ranges,
+          std::vector<AffineForm>& constraints,
+          std::vector<LoopProof>& out) {
+  if (!stmt) return;
+  switch (stmt->kind()) {
+    case te::StmtKind::kFor: {
+      const auto* node = static_cast<const te::ForNode*>(stmt.get());
+      if (kind_requires_race_proof(node->for_kind)) {
+        LoopProver prover(node, ranges, constraints);
+        out.push_back(prover.prove());
+      }
+      ranges.bind(node->var.get(), node->extent);
+      walk(node->body, ranges, constraints, out);
+      ranges.pop();
+      return;
+    }
+    case te::StmtKind::kSeq: {
+      const auto* node = static_cast<const te::SeqNode*>(stmt.get());
+      for (const te::Stmt& sub : node->stmts) {
+        walk(sub, ranges, constraints, out);
+      }
+      return;
+    }
+    case te::StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const te::IfThenElseNode*>(stmt.get());
+      const std::size_t before = constraints.size();
+      collect_constraints(node->condition, constraints);
+      walk(node->then_case, ranges, constraints, out);
+      constraints.resize(before);
+      if (node->else_case) {
+        collect_negated_constraints(node->condition, constraints);
+        walk(node->else_case, ranges, constraints, out);
+        constraints.resize(before);
+      }
+      return;
+    }
+    case te::StmtKind::kRealize:
+      walk(static_cast<const te::RealizeNode*>(stmt.get())->body, ranges,
+           constraints, out);
+      return;
+    case te::StmtKind::kStore:
+      return;
+  }
+}
+
+std::string truncate_ir(const std::string& text) {
+  constexpr std::size_t kMax = 400;
+  if (text.size() <= kMax) return text;
+  return text.substr(0, kMax) + "...";
+}
+
+}  // namespace
+
+bool kind_requires_race_proof(te::ForKind kind) {
+  return kind == te::ForKind::kParallel || kind == te::ForKind::kVectorized;
+}
+
+std::vector<LoopProof> analyze_parallel_loops(const te::Stmt& root) {
+  std::vector<LoopProof> proofs;
+  VarRanges ranges;
+  std::vector<AffineForm> constraints;
+  walk(root, ranges, constraints, proofs);
+  return proofs;
+}
+
+std::vector<const te::ForNode*> proven_parallel_loops(const te::Stmt& root) {
+  std::vector<const te::ForNode*> proven;
+  for (const LoopProof& proof : analyze_parallel_loops(root)) {
+    if (proof.proven && proof.loop->for_kind == te::ForKind::kParallel) {
+      proven.push_back(proof.loop);
+    }
+  }
+  return proven;
+}
+
+void require_race_free(const te::Stmt& root, const te::Var& loop_var,
+                       const std::string& context) {
+  for (const LoopProof& proof : analyze_parallel_loops(root)) {
+    if (proof.loop->var.get() != loop_var.get()) continue;
+    TVMBO_CHECK(proof.proven)
+        << "parallel-loop-race: " << context << ": loop '" << loop_var->name
+        << "' has no race-freedom proof — " << proof.detail << "\n"
+        << truncate_ir(te::to_string(root));
+    return;
+  }
+  // Loop not found or its kind needs no proof: nothing to check.
+}
+
+}  // namespace tvmbo::analysis

@@ -1,0 +1,65 @@
+// Affine dependence analysis: machine-checked race-freedom proofs for
+// concurrent loop annotations (kParallel, kVectorized).
+//
+// A loop is race-free when no two distinct iterations touch the same
+// tensor element with at least one write. For every write/access pair on
+// the same tensor (W-W and W-R, including the pair of an access with
+// itself) the prover tries, per tensor dimension:
+//
+//  * the **coefficient rule** — when both index maps carry the same
+//    non-zero coefficient `c` on the loop var, the index difference
+//    between iterations p_a != p_b is `c*(p_a - p_b) + R` with R the
+//    difference of the residual forms (inner loop vars freshly instanced
+//    per side); if R's range fits strictly inside (-|c|, |c|), the
+//    difference can never be zero. This is the proof for split axes:
+//    `ty*yo + yi` across yo iterations differs by at least ty - (ty-1).
+//
+//  * the **separation rule** — instance both sides and bound the plain
+//    index difference under each side's own path constraints; a range
+//    entirely >= 1 or <= -1 means the two accesses never overlap at all.
+//    This is the proof for the triangular guards of LU/Cholesky: a write
+//    to column j guarded by `j > k` cannot alias a read of column k.
+//
+// Tensors Realize'd *inside* the loop body are per-iteration private
+// buffers and are excluded. Shared outer loop vars are NOT instanced, so
+// symbolic cancellation keeps the proofs exact even when outer extents
+// are unknown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "te/ir.h"
+
+namespace tvmbo::analysis {
+
+/// Which loop annotations assert concurrent execution and therefore need
+/// a race-freedom proof (kParallel, kVectorized). kSerial and kUnrolled
+/// preserve sequential order and never do.
+bool kind_requires_race_proof(te::ForKind kind);
+
+/// Proof outcome for one proof-requiring loop.
+struct LoopProof {
+  const te::ForNode* loop = nullptr;
+  bool proven = false;
+  std::string detail;  ///< how it was proven, or the first failing pair
+};
+
+/// Proves (or fails to prove) race freedom for every loop in `root` whose
+/// kind requires it. Analysis runs from the root so outer loop vars keep
+/// their extents and guards.
+std::vector<LoopProof> analyze_parallel_loops(const te::Stmt& root);
+
+/// The kParallel loops of `root` with a successful race-freedom proof,
+/// identified by node address — codegen gates OpenMP pragma emission on
+/// membership.
+std::vector<const te::ForNode*> proven_parallel_loops(const te::Stmt& root);
+
+/// Throws CheckError (rule `parallel-loop-race`) unless the loop bound by
+/// `loop_var` in `root` is proven race-free. A loop whose kind needs no
+/// proof passes trivially. `context` names the caller (schedule primitive
+/// or lowering stage) in the error message.
+void require_race_free(const te::Stmt& root, const te::Var& loop_var,
+                       const std::string& context);
+
+}  // namespace tvmbo::analysis

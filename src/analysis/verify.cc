@@ -1,0 +1,342 @@
+#include "analysis/verify.h"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "analysis/affine.h"
+#include "analysis/dependence.h"
+#include "te/printer.h"
+
+namespace tvmbo::analysis {
+namespace {
+
+std::string truncate_ir(const std::string& text) {
+  constexpr std::size_t kMax = 400;
+  if (text.size() <= kMax) return text;
+  return text.substr(0, kMax) + "...";
+}
+
+void collect_vars(const te::ExprNode* expr,
+                  std::vector<const te::VarNode*>& out) {
+  if (expr == nullptr) return;
+  switch (expr->kind()) {
+    case te::ExprKind::kVar:
+      out.push_back(static_cast<const te::VarNode*>(expr));
+      return;
+    case te::ExprKind::kBinary: {
+      const auto* node = static_cast<const te::BinaryNode*>(expr);
+      collect_vars(node->a.get(), out);
+      collect_vars(node->b.get(), out);
+      return;
+    }
+    case te::ExprKind::kUnary:
+      collect_vars(static_cast<const te::UnaryNode*>(expr)->operand.get(),
+                   out);
+      return;
+    case te::ExprKind::kCompare: {
+      const auto* node = static_cast<const te::CompareNode*>(expr);
+      collect_vars(node->a.get(), out);
+      collect_vars(node->b.get(), out);
+      return;
+    }
+    case te::ExprKind::kSelect: {
+      const auto* node = static_cast<const te::SelectNode*>(expr);
+      collect_vars(node->condition.get(), out);
+      collect_vars(node->true_value.get(), out);
+      collect_vars(node->false_value.get(), out);
+      return;
+    }
+    case te::ExprKind::kTensorAccess: {
+      const auto* node = static_cast<const te::TensorAccessNode*>(expr);
+      for (const te::Expr& index : node->indices) {
+        collect_vars(index.get(), out);
+      }
+      return;
+    }
+    case te::ExprKind::kReduce:
+      collect_vars(static_cast<const te::ReduceNode*>(expr)->source.get(),
+                   out);
+      return;
+    default:
+      return;
+  }
+}
+
+/// Affine-form equality for the RMW rule (same constant, same term set).
+bool same_affine(const AffineForm& a, const AffineForm& b) {
+  if (!a.affine || !b.affine) return false;
+  if (a.constant != b.constant) return false;
+  for (const auto& [var, coefficient] : a.terms) {
+    if (b.coeff(var) != coefficient) return false;
+  }
+  for (const auto& [var, coefficient] : b.terms) {
+    if (a.coeff(var) != coefficient) return false;
+  }
+  return true;
+}
+
+class Verifier {
+ public:
+  Verifier(const std::vector<te::Tensor>& params,
+           const VerifyOptions& options)
+      : options_(options) {
+    for (const te::Tensor& param : params) available_.insert(param.get());
+  }
+
+  std::vector<Violation> run(const te::Stmt& stmt) {
+    visit_stmt(stmt);
+    if (options_.check_races) {
+      for (const LoopProof& proof : analyze_parallel_loops(stmt)) {
+        if (proof.proven) continue;
+        add("parallel-loop-race", proof.detail,
+            proof.loop->body ? te::to_string(proof.loop->body)
+                             : std::string());
+      }
+    }
+    return std::move(violations_);
+  }
+
+ private:
+  void add(const std::string& rule, const std::string& message,
+           const std::string& where) {
+    violations_.push_back({rule, message, truncate_ir(where)});
+  }
+
+  void visit_stmt(const te::Stmt& stmt) {
+    if (!stmt) return;
+    switch (stmt->kind()) {
+      case te::StmtKind::kFor: {
+        const auto* node = static_cast<const te::ForNode*>(stmt.get());
+        if (node->extent <= 0) {
+          std::ostringstream os;
+          os << "loop '" << node->var->name << "' has extent "
+             << node->extent << " (must be positive)";
+          add("nonpositive-extent", os.str(), te::to_string(stmt));
+        }
+        if (ranges_.contains(node->var.get())) {
+          std::ostringstream os;
+          os << "loop var '" << node->var->name
+             << "' is already bound by an enclosing loop";
+          add("duplicate-loop-var", os.str(), te::to_string(stmt));
+        }
+        ranges_.bind(node->var.get(), node->extent > 0 ? node->extent : 1);
+        visit_stmt(node->body);
+        ranges_.pop();
+        return;
+      }
+      case te::StmtKind::kStore: {
+        const auto* node = static_cast<const te::StoreNode*>(stmt.get());
+        check_access(node->tensor, node->indices, stmt);
+        visit_expr(node->value, stmt);
+        check_rmw(node, stmt);
+        return;
+      }
+      case te::StmtKind::kSeq: {
+        const auto* node = static_cast<const te::SeqNode*>(stmt.get());
+        for (const te::Stmt& sub : node->stmts) visit_stmt(sub);
+        return;
+      }
+      case te::StmtKind::kIfThenElse: {
+        const auto* node =
+            static_cast<const te::IfThenElseNode*>(stmt.get());
+        visit_expr(node->condition, stmt);
+        const std::size_t before = constraints_.size();
+        collect_constraints(node->condition, constraints_);
+        visit_stmt(node->then_case);
+        constraints_.resize(before);
+        if (node->else_case) {
+          collect_negated_constraints(node->condition, constraints_);
+          visit_stmt(node->else_case);
+          constraints_.resize(before);
+        }
+        return;
+      }
+      case te::StmtKind::kRealize: {
+        const auto* node = static_cast<const te::RealizeNode*>(stmt.get());
+        const bool already = available_.count(node->tensor.get()) != 0;
+        available_.insert(node->tensor.get());
+        visit_stmt(node->body);
+        if (!already) available_.erase(node->tensor.get());
+        return;
+      }
+    }
+  }
+
+  void visit_expr(const te::Expr& expr, const te::Stmt& at) {
+    if (!expr) return;
+    switch (expr->kind()) {
+      case te::ExprKind::kTensorAccess: {
+        const auto* node =
+            static_cast<const te::TensorAccessNode*>(expr.get());
+        check_access(node->tensor, node->indices, at);
+        for (const te::Expr& index : node->indices) visit_expr(index, at);
+        return;
+      }
+      case te::ExprKind::kBinary: {
+        const auto* node = static_cast<const te::BinaryNode*>(expr.get());
+        visit_expr(node->a, at);
+        visit_expr(node->b, at);
+        return;
+      }
+      case te::ExprKind::kUnary:
+        visit_expr(static_cast<const te::UnaryNode*>(expr.get())->operand,
+                   at);
+        return;
+      case te::ExprKind::kCompare: {
+        const auto* node = static_cast<const te::CompareNode*>(expr.get());
+        visit_expr(node->a, at);
+        visit_expr(node->b, at);
+        return;
+      }
+      case te::ExprKind::kSelect: {
+        const auto* node = static_cast<const te::SelectNode*>(expr.get());
+        visit_expr(node->condition, at);
+        visit_expr(node->true_value, at);
+        visit_expr(node->false_value, at);
+        return;
+      }
+      case te::ExprKind::kReduce:
+        add("reduce-marker",
+            "Reduce marker expression leaked into lowered IR (only valid "
+            "as the top-level body of a compute definition)",
+            te::to_string(at));
+        visit_expr(static_cast<const te::ReduceNode*>(expr.get())->source,
+                   at);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void check_access(const te::Tensor& tensor,
+                    const std::vector<te::Expr>& indices,
+                    const te::Stmt& at) {
+    if (available_.count(tensor.get()) == 0) {
+      std::ostringstream os;
+      os << "access to tensor '" << tensor->name
+         << "' outside its Realize region (and it is not a parameter)";
+      add("unrealized-access", os.str(), te::to_string(at));
+    }
+    if (indices.size() != tensor->shape.size()) {
+      std::ostringstream os;
+      os << "tensor '" << tensor->name << "' has rank "
+         << tensor->shape.size() << " but is accessed with "
+         << indices.size() << " index(es)";
+      add("access-arity", os.str(), te::to_string(at));
+      return;
+    }
+    for (std::size_t d = 0; d < indices.size(); ++d) {
+      std::vector<const te::VarNode*> vars;
+      collect_vars(indices[d].get(), vars);
+      bool all_bound = true;
+      for (const te::VarNode* var : vars) {
+        if (!ranges_.contains(var)) {
+          all_bound = false;
+          std::ostringstream os;
+          os << "index var '" << var->name << "' in dim " << d
+             << " of tensor '" << tensor->name
+             << "' is not bound by any enclosing loop";
+          add("unbound-var", os.str(), te::to_string(at));
+        }
+      }
+      if (!all_bound || !options_.check_bounds) continue;
+      const Interval range =
+          range_of_expr(indices[d].get(), ranges_, constraints_);
+      const std::int64_t limit = tensor->shape[d];
+      const bool proven_in = range.lo.has_value() && *range.lo >= 0 &&
+                             range.hi.has_value() && *range.hi < limit;
+      if (!proven_in) {
+        std::ostringstream os;
+        os << "index " << te::to_string(indices[d]) << " of tensor '"
+           << tensor->name << "' dim " << d << " has range [";
+        if (range.lo.has_value()) {
+          os << *range.lo;
+        } else {
+          os << "-inf";
+        }
+        os << ", ";
+        if (range.hi.has_value()) {
+          os << *range.hi;
+        } else {
+          os << "+inf";
+        }
+        os << "], not provably within [0, " << (limit - 1) << "]";
+        add("out-of-bounds-access", os.str(), te::to_string(at));
+      }
+    }
+  }
+
+  /// Reduction updates must read-modify-write the same element: when the
+  /// store's value combines (at top level, through unary ops) a read of
+  /// the stored tensor, that read's index map must equal the store's.
+  /// Deeper same-tensor reads (LU's A[i2,k] etc.) are the race analyzer's
+  /// concern, not this rule's.
+  void check_rmw(const te::StoreNode* store, const te::Stmt& at) {
+    const te::ExprNode* value = store->value.get();
+    while (value != nullptr && value->kind() == te::ExprKind::kUnary) {
+      value = static_cast<const te::UnaryNode*>(value)->operand.get();
+    }
+    const te::TensorAccessNode* self_read = nullptr;
+    if (value != nullptr && value->kind() == te::ExprKind::kBinary) {
+      const auto* combine = static_cast<const te::BinaryNode*>(value);
+      for (const te::Expr& operand : {combine->a, combine->b}) {
+        if (operand->kind() != te::ExprKind::kTensorAccess) continue;
+        const auto* read =
+            static_cast<const te::TensorAccessNode*>(operand.get());
+        if (read->tensor.get() == store->tensor.get()) {
+          self_read = read;
+          break;
+        }
+      }
+    } else if (value != nullptr &&
+               value->kind() == te::ExprKind::kTensorAccess) {
+      const auto* read = static_cast<const te::TensorAccessNode*>(value);
+      if (read->tensor.get() == store->tensor.get()) self_read = read;
+    }
+    if (self_read == nullptr) return;
+    if (self_read->indices.size() != store->indices.size()) return;
+    for (std::size_t d = 0; d < store->indices.size(); ++d) {
+      const AffineForm stored = analyze_affine(store->indices[d].get());
+      const AffineForm read = analyze_affine(self_read->indices[d].get());
+      if (!stored.affine || !read.affine) continue;  // conservative accept
+      if (!same_affine(stored, read)) {
+        std::ostringstream os;
+        os << "store to '" << store->tensor->name
+           << "' combines a read of the same tensor at a different "
+              "element (dim "
+           << d << ": " << te::to_string(store->indices[d]) << " vs "
+           << te::to_string(self_read->indices[d])
+           << ") — reduction updates must read-modify-write in place";
+        add("reduce-rmw-mismatch", os.str(), te::to_string(at));
+        return;
+      }
+    }
+  }
+
+  VerifyOptions options_;
+  std::set<const te::TensorNode*> available_;
+  VarRanges ranges_;
+  std::vector<AffineForm> constraints_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace
+
+std::vector<Violation> verify_stmt(const te::Stmt& stmt,
+                                   const std::vector<te::Tensor>& params,
+                                   const VerifyOptions& options) {
+  Verifier verifier(params, options);
+  return verifier.run(stmt);
+}
+
+std::string format_violations(const std::vector<Violation>& violations) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) os << "\n";
+    os << violations[i].rule << ": " << violations[i].message;
+  }
+  return os.str();
+}
+
+}  // namespace tvmbo::analysis

@@ -1,0 +1,51 @@
+// Structural well-formedness verifier for lowered loop IR.
+//
+// Rule catalogue (each violation carries its rule id):
+//   unbound-var          index var not bound by an enclosing For
+//   nonpositive-extent   For extent <= 0
+//   duplicate-loop-var   same Var bound by two nested loops
+//   unrealized-access    access to a tensor that is neither a parameter
+//                        nor inside its Realize region
+//   access-arity         index count != tensor rank
+//   reduce-marker        ReduceNode leaked into lowered IR
+//   reduce-rmw-mismatch  store combining a read of its own tensor at a
+//                        different element (reduction updates must RMW
+//                        the same element)
+//   out-of-bounds-access index range not provably inside [0, shape-1]
+//                        (guard conditions on the access path are used to
+//                        tighten the range; conservative — "cannot prove"
+//                        is a violation too)
+//   parallel-loop-race   a kParallel/kVectorized loop without a
+//                        race-freedom proof (see dependence.h)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "te/ir.h"
+
+namespace tvmbo::analysis {
+
+struct Violation {
+  std::string rule;     ///< rule id from the catalogue above
+  std::string message;  ///< human-readable description
+  std::string where;    ///< pretty-printed IR excerpt at the violation
+};
+
+struct VerifyOptions {
+  bool check_bounds = true;
+  bool check_races = true;
+};
+
+/// Verifies `stmt` against the rule catalogue. `params` are the tensors
+/// bound externally at execution time (inputs and outputs); everything
+/// else must be realized before use. Returns every violation found (empty
+/// = verified).
+std::vector<Violation> verify_stmt(const te::Stmt& stmt,
+                                   const std::vector<te::Tensor>& params,
+                                   const VerifyOptions& options = {});
+
+/// One line per violation: "rule: message".
+std::string format_violations(const std::vector<Violation>& violations);
+
+}  // namespace tvmbo::analysis

@@ -3,9 +3,11 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 
+#include "analysis/dependence.h"
 #include "common/logging.h"
 
 namespace tvmbo::codegen {
@@ -70,6 +72,12 @@ struct Emitter {
   };
   std::vector<Binding> tensors;
   int realize_count = 0;
+  /// kParallel loops with a race-freedom proof from the dependence
+  /// analyzer (node identity). Only these get the OpenMP pragma; an
+  /// unproven parallel loop is silently emitted serial. Populated only
+  /// when options.parallel is set, so serial emission never runs the
+  /// analyzer and stays byte-identical for cache keys.
+  std::set<const ForNode*> proven_parallel;
   /// Per-emission variable numbering. Global VarNode ids differ between
   /// otherwise-identical programs (every instantiation mints fresh Vars),
   /// which would make the emitted source — and therefore the artifact
@@ -303,13 +311,15 @@ void Emitter::emit_stmt(const StmtNode* stmt, int depth) {
       const std::string v = var_name(node->var.get());
       // Annotations are performance hints; the serial emission matches the
       // interpreter's iteration order (-O3 vectorizes/unrolls on its own).
-      // kParallel additionally gets an OpenMP pragma when requested: inner
-      // loop variables are declared inside the body, so they are
-      // thread-private automatically, and lowering guarantees chunks write
-      // disjoint elements. Without -fopenmp the unknown pragma is ignored
-      // and the loop runs serially.
+      // kParallel additionally gets an OpenMP pragma when requested, gated
+      // on a machine-checked race-freedom proof from the dependence
+      // analyzer (proven_parallel): inner loop variables are declared
+      // inside the body, so they are thread-private automatically, and the
+      // proof guarantees distinct iterations write disjoint elements.
+      // Without -fopenmp the unknown pragma is ignored and the loop runs
+      // serially.
       if (options.parallel && node->for_kind == te::ForKind::kParallel &&
-          node->extent > 1) {
+          node->extent > 1 && proven_parallel.count(node) != 0) {
         indent(depth);
         out << "#pragma omp parallel for schedule(static)";
         if (options.num_threads > 0) {
@@ -400,6 +410,12 @@ std::string emit_c_source(const te::Stmt& stmt,
   TVMBO_CHECK(stmt != nullptr) << "emit of null statement";
   Emitter emitter;
   emitter.options = options;
+  if (options.parallel) {
+    for (const te::ForNode* loop :
+         analysis::proven_parallel_loops(stmt)) {
+      emitter.proven_parallel.insert(loop);
+    }
+  }
   emitter.out << "/* generated by tvmbo::codegen (do not edit) */\n"
               << "#include <math.h>\n"
               << "#include <stdint.h>\n"

@@ -67,6 +67,16 @@ runtime::MeasureInput make_fault_input(const runtime::Workload& workload,
       std::_Exit(3);
     }
   };
+  // An armed fault config is, by construction, statically illegal: the
+  // pre-screener rejects it so a screening tuner never spends a worker on
+  // a config built to kill one. (distd workers deliberately skip this
+  // check for fault kernels — they exist to exercise the crash paths.)
+  input.static_check = [armed, mode]() -> std::string {
+    if (!armed) return {};
+    return std::string("fault-kernel: 'fault.") + mode +
+           "' armed by tiles[0]==" + std::to_string(kFaultTrigger) +
+           " would crash or hang the measurement process";
+  };
   return input;
 }
 

@@ -73,6 +73,20 @@ MeasureReply handle_measure_request(const MeasureRequest& request) {
   reply.trial = request.trial;
   try {
     const runtime::MeasureInput input = build_input(request);
+    // Workers re-verify frames before compiling them: the request arrived
+    // over a socket and nothing upstream is trusted to have screened it.
+    // Fault kernels are exempt — they exist to exercise the crash paths,
+    // and screening them here would blind the crash-isolation tests (the
+    // runner-side prescreen is the layer that keeps armed configs from
+    // being dispatched at all).
+    if (!is_fault_kernel(request.workload.kernel) && input.static_check) {
+      const std::string violation = input.static_check();
+      if (!violation.empty()) {
+        reply.result.valid = false;
+        reply.result.error = "analysis reject: " + violation;
+        return reply;
+      }
+    }
     runtime::CpuDevice device;
     reply.result = device.measure(input, request.option);
   } catch (const std::exception& e) {

@@ -265,6 +265,7 @@ SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
 
   result.total_time_s = clock;
   result.evaluations = evaluations;
+  result.analysis_rejects = runner.analysis_rejects();
   // Best record by the configured objective.
   double best_metric = std::numeric_limits<double>::infinity();
   for (const runtime::TrialRecord& record : result.db.records()) {

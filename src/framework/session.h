@@ -106,6 +106,9 @@ struct SessionResult {
   double total_time_s = 0.0;
   std::optional<runtime::TrialRecord> best;
   std::size_t evaluations = 0;
+  /// Configs rejected by the static pre-screener without spending a
+  /// worker (only non-zero when options.measure.prescreen is set).
+  std::size_t analysis_rejects = 0;
 };
 
 /// Per-strategy execution traits for run_strategy(): how many configs are

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "analysis/config_screen.h"
 #include "common/logging.h"
 #include "kernels/reference.h"
 #include "kernels/te_kernels.h"
@@ -175,8 +176,9 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
     }
     // par_axis 1 = io: distinct io chunks update disjoint rows of the
     // trailing submatrix, and the pivot row/column read at step k is
-    // never written inside the update nest, so the parallel update is
-    // race-free and bit-identical to the serial order.
+    // never written inside the update nest. That argument is now
+    // machine-checked: annotate_loop demands a race-freedom proof from
+    // the affine dependence analyzer and throws if it fails.
     if (par_axis == 1) {
       stmt = te::annotate_loop(stmt, io, te::ForKind::kParallel);
     }
@@ -272,11 +274,27 @@ runtime::MeasureInput make_te_measure_input(
   input.workload = workload;
   input.tiles = tiles;
   auto state = std::make_shared<TeExecState>();
-  input.prepare = [state, data = std::move(data), tiles, backend,
-                   jit_options] {
+  input.prepare = [state, data, tiles, backend, jit_options] {
     prepare_state(*state, data, tiles, backend, jit_options);
   };
   input.run = [state, backend] { run_state(*state, backend); };
+  // Static pre-screen: instantiate + lower the config (cheap, no
+  // execution) and run the full verifier. Construction itself may throw a
+  // CheckError whose message already names the violated rule (e.g.
+  // parallel-loop-race from annotate_loop); that surfaces as the
+  // violation string too.
+  input.static_check = [data = std::move(data), tiles]() -> std::string {
+    try {
+      TeProgramInstance instance(data, tiles);
+      std::vector<te::Tensor> params;
+      for (const auto& [tensor, array] : instance.bindings()) {
+        params.push_back(tensor);
+      }
+      return analysis::screen_program(instance.stmt(), params).first_error();
+    } catch (const std::exception& e) {
+      return e.what();
+    }
+  };
   return input;
 }
 

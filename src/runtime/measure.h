@@ -49,6 +49,12 @@ struct MeasureInput {
   std::function<void()> prepare;
   /// Runs the configured kernel once (CpuDevice only).
   std::function<void()> run;
+  /// Static pre-screen for this configuration (analysis/config_screen.h):
+  /// returns an empty string when the config is statically legal, or a
+  /// "rule-id: message" violation. Optional; when set, MeasureRunner
+  /// (with prescreen enabled) rejects the trial without dispatching it,
+  /// and distd workers re-verify frames before compiling them.
+  std::function<std::string()> static_check;
 };
 
 /// Outcome of one evaluation.

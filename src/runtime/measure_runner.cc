@@ -67,6 +67,41 @@ MeasureResult MeasureRunner::run_trial(const MeasureInput& input,
                                        const MeasureOption& option,
                                        std::size_t trial) {
   MeasureResult result;
+  // Static pre-screen: a config the analyzer rejects never reaches the
+  // device — the tuner sees an explicit invalid result (like a timeout)
+  // after only an analysis pass, not a wasted worker.
+  if (options_.prescreen && input.static_check) {
+    std::string violation;
+    try {
+      violation = input.static_check();
+    } catch (const std::exception& e) {
+      violation = e.what();
+    }
+    if (!violation.empty()) {
+      analysis_rejects_.fetch_add(1);
+      result.valid = false;
+      result.error = "analysis reject: " + violation;
+      if (options_.trace != nullptr) {
+        Json reject = event("analysis_reject", trial);
+        reject.set("workload", input.workload.id());
+        Json tiles = Json::array();
+        for (std::int64_t t : input.tiles) tiles.push_back(t);
+        reject.set("tiles", std::move(tiles));
+        reject.set("rule", violation.substr(0, violation.find(':')));
+        reject.set("error", result.error);
+        options_.trace->record(std::move(reject));
+        Json done = event("result", trial);
+        done.set("valid", false);
+        done.set("runtime_s", 0.0);
+        done.set("compile_s", 0.0);
+        done.set("energy_j", 0.0);
+        done.set("cost_s", 0.0);
+        done.set("error", result.error);
+        options_.trace->record(std::move(done));
+      }
+      return result;
+    }
+  }
   const int attempts = 1 + options_.retry.max_retries;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     result = attempt_once(input, option);

@@ -54,6 +54,11 @@ struct MeasureRunnerOptions {
   /// Execute batch members concurrently (see the header comment for the
   /// serial-fallback determinism contract).
   bool parallel = false;
+  /// Run MeasureInput::static_check before dispatching each trial; a
+  /// violation yields an invalid result ("analysis reject: rule: ...",
+  /// tuner-visible like a timeout) and an `analysis_reject` trace event
+  /// without ever spending a device/worker on the config.
+  bool prescreen = false;
   /// Extra cap on in-flight trials; 0 defers to the device/pool bounds.
   std::size_t max_concurrency = 0;
   RetryPolicy retry;
@@ -88,6 +93,8 @@ class MeasureRunner {
   const MeasureRunnerOptions& options() const { return options_; }
   /// Total trials submitted over the runner's lifetime.
   std::size_t trials_submitted() const { return next_trial_; }
+  /// Trials rejected by the static pre-screen (never dispatched).
+  std::size_t analysis_rejects() const { return analysis_rejects_; }
 
  private:
   /// In-flight cap for one batch: min of batch size, device concurrency
@@ -107,6 +114,7 @@ class MeasureRunner {
   MeasureRunnerOptions options_;
   ThreadPool* pool_;
   std::atomic<std::size_t> next_trial_{0};
+  std::atomic<std::size_t> analysis_rejects_{0};
 };
 
 }  // namespace tvmbo::runtime

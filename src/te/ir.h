@@ -34,9 +34,17 @@ class StmtNode {
 };
 
 /// Loop annotation carried from schedule primitives. The interpreter runs
-/// all kinds serially (vectorize/unroll/parallel are performance hints the
-/// native backends honour); the printer shows them, and tests assert they
+/// all kinds serially; the printer shows them, and tests assert they
 /// survive lowering.
+///
+/// Race-freedom contract: kParallel and kVectorized assert that distinct
+/// iterations may execute concurrently, so te::lower and te::annotate_loop
+/// demand a machine-checked proof from the affine dependence analyzer
+/// (analysis/dependence.h) that no two iterations touch the same tensor
+/// element with a write — a parallel/vectorized reduction axis is rejected
+/// with rule `parallel-loop-race`. kSerial and kUnrolled preserve the
+/// sequential iteration order (unrolling only rewrites control flow), so
+/// they carry no proof obligation and remain legal on reduction axes.
 enum class ForKind { kSerial, kParallel, kUnrolled, kVectorized };
 
 class ForNode final : public StmtNode {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/dependence.h"
 #include "te/transform.h"
 
 namespace tvmbo::te {
@@ -174,6 +175,9 @@ Stmt annotate_loop(const Stmt& stmt, const Var& var, ForKind kind) {
     return make_for(node->var, node->extent, kind, node->body);
   });
   TVMBO_CHECK(applied) << "no loop over '" << var->name << "' to annotate";
+  if (analysis::kind_requires_race_proof(kind)) {
+    analysis::require_race_free(result, var, "annotate_loop");
+  }
   return result;
 }
 

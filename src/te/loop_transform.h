@@ -42,9 +42,11 @@ const ForNode* find_loop(const Stmt& stmt, const Var& var);
 
 /// Re-annotates the loop over `var` with `kind` (e.g. kParallel for the
 /// loop-IR-built LU/Cholesky programs, which never pass through
-/// Schedule/lower and so cannot use Stage::parallel). Legality is the
-/// caller's responsibility, as with the other loop-IR transforms. Throws
-/// CheckError when no loop over `var` exists.
+/// Schedule/lower and so cannot use Stage::parallel). Annotations that
+/// assert concurrent execution (kParallel, kVectorized) are gated on a
+/// machine-checked race-freedom proof (analysis/dependence.h); the call
+/// throws CheckError with rule `parallel-loop-race` when the proof fails.
+/// Also throws when no loop over `var` exists.
 Stmt annotate_loop(const Stmt& stmt, const Var& var, ForKind kind);
 
 }  // namespace tvmbo::te

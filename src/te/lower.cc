@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "analysis/affine.h"
+#include "analysis/dependence.h"
+#include "te/printer.h"
+
 namespace tvmbo::te {
 
 namespace {
+
+using analysis::AffineForm;
+using analysis::analyze_affine;
 
 // Maps every original axis var of the stage to an expression over the
 // final leaf vars, and builds the guard condition for non-exact splits.
@@ -159,77 +166,8 @@ Expr inline_reads(const Expr& expr, const Schedule& schedule) {
 }
 
 // --- compute_at region inference --------------------------------------------
-
-// Affine decomposition of an index expression: constant + sum coeff * var.
-struct AffineForm {
-  bool affine = true;
-  std::int64_t constant = 0;
-  std::vector<std::pair<const VarNode*, std::int64_t>> terms;
-
-  void add_term(const VarNode* var, std::int64_t coefficient) {
-    for (auto& [existing, coeff] : terms) {
-      if (existing == var) {
-        coeff += coefficient;
-        return;
-      }
-    }
-    terms.emplace_back(var, coefficient);
-  }
-};
-
-AffineForm analyze_affine(const ExprNode* expr) {
-  AffineForm form;
-  switch (expr->kind()) {
-    case ExprKind::kIntImm:
-      form.constant = static_cast<const IntImmNode*>(expr)->value;
-      return form;
-    case ExprKind::kVar:
-      form.add_term(static_cast<const VarNode*>(expr), 1);
-      return form;
-    case ExprKind::kBinary: {
-      const auto* node = static_cast<const BinaryNode*>(expr);
-      AffineForm a = analyze_affine(node->a.get());
-      AffineForm b = analyze_affine(node->b.get());
-      if (!a.affine || !b.affine) break;
-      switch (node->op) {
-        case BinaryOp::kAdd:
-          form = a;
-          form.constant += b.constant;
-          for (const auto& [var, coeff] : b.terms) form.add_term(var, coeff);
-          return form;
-        case BinaryOp::kSub:
-          form = a;
-          form.constant -= b.constant;
-          for (const auto& [var, coeff] : b.terms) {
-            form.add_term(var, -coeff);
-          }
-          return form;
-        case BinaryOp::kMul:
-          // One side must be a pure constant.
-          if (b.terms.empty()) {
-            form = a;
-            form.constant *= b.constant;
-            for (auto& [var, coeff] : form.terms) coeff *= b.constant;
-            return form;
-          }
-          if (a.terms.empty()) {
-            form = b;
-            form.constant *= a.constant;
-            for (auto& [var, coeff] : form.terms) coeff *= a.constant;
-            return form;
-          }
-          break;
-        default:
-          break;
-      }
-      break;
-    }
-    default:
-      break;
-  }
-  form.affine = false;
-  return form;
-}
+// (Affine index decomposition now lives in analysis/affine.h, shared with
+// the verifier and the dependence analyzer.)
 
 Expr combine(ReduceKind kind, Expr current, Expr update) {
   switch (kind) {
@@ -442,33 +380,11 @@ Stmt wrap_loops(const Stage& stage, Stmt body,
                 const std::vector<std::pair<const IterVarNode*, Stmt>>&
                     attachments = {}) {
   const auto& leaves = stage.leaf_iter_vars();
-  // A kParallel annotation is only sound on data axes: distinct values of a
-  // data leaf reconstruct to distinct output elements, so chunks write
-  // disjoint memory and float64 results stay bit-identical to the serial
-  // interpreter. A parallel reduction axis would race on the shared
-  // accumulator element, and a compute_at producer attached at or inside a
-  // parallel loop would race on its shared intermediate buffer.
-  for (std::size_t i = 0; i < leaves.size(); ++i) {
-    const IterVar& leaf = leaves[i];
-    if (stage.annotation(leaf) != ForKind::kParallel) continue;
-    TVMBO_CHECK(leaf->kind == IterKind::kData)
-        << "parallel annotation on reduction axis '" << leaf->var->name
-        << "' of '" << stage.tensor()->name
-        << "': reductions stay serial per output element";
-    for (const auto& [attach_leaf, producer_stmt] : attachments) {
-      std::size_t attach_pos = leaves.size();
-      for (std::size_t j = 0; j < leaves.size(); ++j) {
-        if (leaves[j].get() == attach_leaf) {
-          attach_pos = j;
-          break;
-        }
-      }
-      TVMBO_CHECK(attach_pos < i)
-          << "compute_at producer attached at or inside parallel loop '"
-          << leaf->var->name << "' of '" << stage.tensor()->name
-          << "' would race on the producer's shared buffer";
-    }
-  }
+  // Concurrent-annotation legality (parallel reduction axes, compute_at
+  // producers racing on a shared buffer, ...) is no longer asserted here
+  // with hand-written rules: lower_stage() runs the affine dependence
+  // analyzer over the finished nest and demands a race-freedom proof for
+  // every kParallel/kVectorized loop.
   for (std::size_t i = leaves.size(); i > 0; --i) {
     const IterVar& leaf = leaves[i - 1];
     for (const auto& [attach_leaf, producer_stmt] : attachments) {
@@ -569,6 +485,24 @@ Stmt lower_stage(const Schedule& schedule, const Stage& stage,
     if (axes.guard) update = make_if(axes.guard, std::move(update));
     result = make_seq(
         {std::move(init), wrap_loops(stage, std::move(update), attachments)});
+  }
+
+  // Machine-checked legality: every loop whose annotation asserts
+  // concurrent execution must carry a race-freedom proof. This subsumes
+  // the old hand-written asserts (reduction axes, compute_at placement)
+  // and is *exact* where those were conservative — e.g. a producer
+  // attached inside a parallel loop is accepted when its per-iteration
+  // regions provably do not overlap.
+  for (const analysis::LoopProof& proof :
+       analysis::analyze_parallel_loops(result)) {
+    TVMBO_CHECK(proof.proven)
+        << "parallel-loop-race: stage '" << tensor->name << "': "
+        << proof.detail << "\n"
+        << [&] {
+             std::string ir = to_string(result);
+             constexpr std::size_t kMax = 400;
+             return ir.size() <= kMax ? ir : ir.substr(0, kMax) + "...";
+           }();
   }
 
   return result;

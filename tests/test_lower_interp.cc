@@ -105,9 +105,13 @@ TEST(LowerInterp, AnnotationsDoNotChangeSemantics) {
   Schedule sched({fx.c});
   Stage& stage = sched[fx.c];
   auto [yo, yi] = stage.split(stage.op_axis()[0], 2);
+  // Concurrent kinds (parallel, vectorize) go on data axes — the race
+  // prover rejects them on reduction axes — so interchange the x axis
+  // innermost past the reduction and vectorize it.
+  stage.reorder({yo, yi, stage.op_reduce_axis()[0], stage.op_axis()[1]});
   stage.parallel(yo);
   stage.unroll(yi);
-  stage.vectorize(stage.leaf_iter_vars().back());
+  stage.vectorize(stage.op_axis()[1]);
   const NDArray out = fx.run(sched);
   EXPECT_TRUE(out.allclose(fx.expected, 1e-12));
 }

@@ -1,0 +1,264 @@
+// tvmbo_lint: static config-space linter.
+//
+// Runs the loop-IR static analysis pipeline (src/analysis/: structural
+// verifier, affine bounds prover, parallel-race prover) over configured
+// kernel schedules WITHOUT executing anything — the same checks the
+// measurement engine's --screen pre-screener applies per trial, exposed as
+// a standalone CLI for auditing whole configuration spaces.
+//
+//   # Lint one configuration:
+//   tvmbo_lint --kernel 3mm --size mini --tiles 8,8,4,8,4,8
+//
+//   # Sample-sweep every kernel's parallel-extended space:
+//   tvmbo_lint --kernel all --size mini --sweep --samples 64
+//
+//   # Exhaustively lint a small space:
+//   tvmbo_lint --kernel lu --size mini --sweep --exhaustive
+//
+// Options:
+//   --kernel K     3mm | gemm | 2mm | syrk | lu | cholesky | all
+//                  (default all)
+//   --size S       mini | small | medium | large | extralarge
+//                  (default mini)
+//   --tiles a,b,.. lint exactly this tile vector (base form, or extended
+//                  with trailing [parallel_axis, threads]); requires a
+//                  single --kernel
+//   --sweep        lint many configurations from the kernel's tuned space
+//                  (tile ordinals plus the parallel_axis/threads knobs)
+//   --samples N    configurations sampled per kernel in --sweep mode
+//                  (default 64)
+//   --exhaustive   lint every configuration in the space instead of
+//                  sampling (refuses spaces larger than 1e6)
+//   --threads N    cap for the thread-count knob candidates in the swept
+//                  space (default 4; 0 = all hardware threads)
+//   --seed N       sampling seed (default 2023)
+//   --verbose      print the lowered IR for accepted configs too
+//
+// Exit status: 0 when every linted configuration is clean, 1 when any
+// violation was found, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/config_screen.h"
+#include "common/rng.h"
+#include "kernels/polybench.h"
+#include "kernels/te_programs.h"
+#include "te/printer.h"
+
+using namespace tvmbo;
+
+namespace {
+
+struct Args {
+  std::string kernel = "all";
+  std::string size = "mini";
+  std::vector<std::int64_t> tiles;
+  bool have_tiles = false;
+  bool sweep = false;
+  std::size_t samples = 64;
+  bool exhaustive = false;
+  std::int64_t threads = 4;
+  std::uint64_t seed = 2023;
+  bool verbose = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--kernel K|all] [--size S] [--tiles a,b,...] "
+               "[--sweep] [--samples N] [--exhaustive] [--threads N] "
+               "[--seed N] [--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::vector<std::int64_t> parse_tiles(const std::string& text) {
+  std::vector<std::int64_t> tiles;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t next = text.find(',', pos);
+    if (next == std::string::npos) next = text.size();
+    tiles.push_back(std::stoll(text.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return tiles;
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--kernel") args.kernel = value();
+    else if (flag == "--size") args.size = value();
+    else if (flag == "--tiles") {
+      args.tiles = parse_tiles(value());
+      args.have_tiles = true;
+    } else if (flag == "--sweep") args.sweep = true;
+    else if (flag == "--samples") args.samples = std::stoul(value());
+    else if (flag == "--exhaustive") args.exhaustive = true;
+    else if (flag == "--threads") args.threads = std::stoll(value());
+    else if (flag == "--seed") args.seed = std::stoull(value());
+    else if (flag == "--verbose") args.verbose = true;
+    else usage(argv[0]);
+  }
+  if (!args.have_tiles && !args.sweep) usage(argv[0]);
+  if (args.have_tiles && args.sweep) {
+    std::fprintf(stderr, "error: --tiles and --sweep are exclusive\n");
+    std::exit(2);
+  }
+  if (args.have_tiles && args.kernel == "all") {
+    std::fprintf(stderr, "error: --tiles requires a single --kernel\n");
+    std::exit(2);
+  }
+  return args;
+}
+
+std::string tiles_to_string(const std::vector<std::int64_t>& tiles) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(tiles[i]);
+  }
+  return out + "]";
+}
+
+std::string ir_excerpt(const te::Stmt& stmt) {
+  constexpr std::size_t kMax = 600;
+  std::string ir = te::to_string(stmt);
+  if (ir.size() > kMax) ir = ir.substr(0, kMax) + "...";
+  return ir;
+}
+
+/// Lints one tile vector: instantiates the schedule (construction failures
+/// — e.g. a rejected parallel axis — count as violations too) and runs the
+/// full verifier + race prover over the lowered IR. Returns the number of
+/// violations found and updates `stats`.
+std::size_t lint_config(const std::shared_ptr<kernels::TeKernelData>& data,
+                        const std::vector<std::int64_t>& tiles,
+                        analysis::ScreenStats& stats, bool verbose) {
+  const std::string label =
+      data->kernel + " tiles=" + tiles_to_string(tiles);
+  analysis::ScreenResult result;
+  std::string ir;
+  try {
+    kernels::TeProgramInstance instance(data, tiles);
+    std::vector<te::Tensor> params;
+    for (const auto& [tensor, array] : instance.bindings()) {
+      (void)array;
+      params.push_back(tensor);
+    }
+    result = analysis::screen_program(instance.stmt(), params);
+    ir = ir_excerpt(instance.stmt());
+  } catch (const std::exception& e) {
+    // Schedule construction itself rejected the config (annotate_loop's
+    // race gate, tile validation, ...). Attribute the message to its rule
+    // id when it carries one, else file it under schedule-reject.
+    analysis::Violation violation;
+    const std::string what = e.what();
+    const std::size_t colon = what.find(": ");
+    const bool has_rule =
+        colon != std::string::npos && what.find(' ') > colon;
+    violation.rule = has_rule ? what.substr(0, colon) : "schedule-reject";
+    violation.message = has_rule ? what.substr(colon + 2) : what;
+    result.violations.push_back(std::move(violation));
+  }
+  stats.add(result);
+  if (result.ok()) {
+    if (verbose) {
+      std::printf("OK   %s\n%s\n", label.c_str(), ir.c_str());
+    }
+    return 0;
+  }
+  std::printf("FAIL %s\n", label.c_str());
+  for (const analysis::Violation& violation : result.violations) {
+    std::printf("  [%s] %s\n", violation.rule.c_str(),
+                violation.message.c_str());
+    if (!violation.where.empty()) {
+      std::printf("    at: %s\n", violation.where.c_str());
+    }
+  }
+  if (!ir.empty()) std::printf("  IR:\n%s\n", ir.c_str());
+  return result.violations.size();
+}
+
+std::size_t lint_kernel(const Args& args, const std::string& kernel) {
+  const kernels::Dataset dataset = kernels::dataset_from_name(args.size);
+  const std::vector<std::int64_t> dims =
+      kernels::polybench_dims(kernel, dataset);
+  const std::shared_ptr<kernels::TeKernelData> data =
+      kernels::make_te_kernel_data(kernel, dims);
+
+  analysis::ScreenStats stats;
+  std::size_t violations = 0;
+
+  if (args.have_tiles) {
+    violations += lint_config(data, args.tiles, stats, /*verbose=*/true);
+  } else {
+    kernels::ParallelKnobs knobs;
+    knobs.enabled = true;
+    knobs.max_threads = args.threads;
+    const cs::ConfigurationSpace space =
+        kernels::build_space(kernel, dims, knobs);
+    if (args.exhaustive) {
+      constexpr std::uint64_t kExhaustiveLimit = 1000000;
+      if (!space.fully_discrete() ||
+          space.cardinality() > kExhaustiveLimit) {
+        std::fprintf(stderr,
+                     "error: %s space too large for --exhaustive "
+                     "(%llu configurations); use --samples\n",
+                     kernel.c_str(),
+                     static_cast<unsigned long long>(space.cardinality()));
+        std::exit(2);
+      }
+      for (std::uint64_t flat = 0; flat < space.cardinality(); ++flat) {
+        violations += lint_config(
+            data, space.values_int(space.from_flat_index(flat)), stats,
+            args.verbose);
+      }
+    } else {
+      Rng rng(args.seed);
+      for (std::size_t i = 0; i < args.samples; ++i) {
+        violations += lint_config(data, space.values_int(space.sample(rng)),
+                                  stats, args.verbose);
+      }
+    }
+  }
+
+  std::printf("%s (%s): %s\n", kernel.c_str(), args.size.c_str(),
+              stats.summary().c_str());
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  std::vector<std::string> kernel_list;
+  if (args.kernel == "all") {
+    kernel_list = {"3mm", "gemm", "2mm", "syrk", "lu", "cholesky"};
+  } else {
+    if (!kernels::te_backend_supported(args.kernel)) {
+      std::fprintf(stderr, "error: kernel '%s' has no TE program\n",
+                   args.kernel.c_str());
+      return 2;
+    }
+    kernel_list = {args.kernel};
+  }
+
+  std::size_t total_violations = 0;
+  for (const std::string& kernel : kernel_list) {
+    total_violations += lint_kernel(args, kernel);
+  }
+  if (total_violations > 0) {
+    std::printf("lint: %zu violation(s) found\n", total_violations);
+    return 1;
+  }
+  std::printf("lint: clean\n");
+  return 0;
+}

@@ -52,6 +52,12 @@
 //               --runner local this is cooperative (checked between
 //               runs); with --runner proc a hung run is SIGKILLed at the
 //               derived hard deadline
+//   --screen    statically pre-screen every candidate (src/analysis/)
+//               before dispatching it: configs that fail verification or
+//               the race prover come back invalid with an
+//               "analysis reject:" error and an analysis_reject trace
+//               event, without spending a measurement worker. A summary
+//               line reports rejects per strategy.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -94,6 +100,7 @@ struct Args {
   std::string runner = "local";
   std::size_t workers = 2;
   double timeout_s = 0.0;
+  bool screen = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -105,7 +112,8 @@ struct Args {
                "[--retries N] [--trace FILE] "
                "[--backend native|interp|closure|jit] [--jit-cache DIR] "
                "[--warm-start DB.jsonl] [--threads N] "
-               "[--runner local|proc] [--workers N] [--timeout S]\n",
+               "[--runner local|proc] [--workers N] [--timeout S] "
+               "[--screen]\n",
                argv0);
   std::exit(2);
 }
@@ -138,6 +146,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--runner") args.runner = value();
     else if (flag == "--workers") args.workers = std::stoul(value());
     else if (flag == "--timeout") args.timeout_s = std::stod(value());
+    else if (flag == "--screen") args.screen = true;
     else usage(argv[0]);
   }
   return args;
@@ -225,6 +234,7 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   }
   options.measure.parallel = args.parallel;
+  options.measure.prescreen = args.screen;
   options.measure.retry.max_retries = args.retries;
   options.ytopt_batch_size = args.ytopt_batch;
   options.measure_timeout_s = args.timeout_s;
@@ -261,6 +271,14 @@ int main(int argc, char** argv) {
                             ")";
   std::printf("%s", framework::render_minimum_summary(results, title, 0.0)
                         .c_str());
+
+  if (args.screen) {
+    for (const framework::SessionResult& result : results) {
+      std::printf("%s: analysis rejects: %zu of %zu evaluation(s)\n",
+                  result.strategy.c_str(), result.analysis_rejects,
+                  result.evaluations);
+    }
+  }
 
   if (args.device == "cpu" && *backend == runtime::ExecBackend::kJit) {
     codegen::ArtifactCache& cache = codegen::ArtifactCache::shared(jit_options);
