@@ -1,0 +1,115 @@
+// Async streaming vs batch/wave measurement throughput.
+//
+// Replays the same heterogeneous-latency trial set (a long-tailed mix
+// modeled on real tuning runs, where a handful of pathological tilings
+// run 10-50x longer than the rest) through the MeasureRunner's batch
+// path (waves of `slots`, each wave barriered on its slowest member) and
+// through the streaming submit/wait_any path (every slot refilled the
+// moment it frees). Prints wall-clock per mode and the speedup.
+//
+//   bench_async_throughput [--trials N] [--slots N] [--straggler-ms MS]
+//                          [--fast-ms MS] [--straggler-every N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "runtime/cpu_device.h"
+#include "runtime/measure_runner.h"
+
+using namespace tvmbo;
+
+namespace {
+
+struct Args {
+  std::size_t trials = 32;
+  std::size_t slots = 4;
+  int straggler_ms = 80;
+  int fast_ms = 4;
+  std::size_t straggler_every = 4;  ///< one straggler per this many trials
+};
+
+runtime::MeasureInput sleep_input(int ms) {
+  runtime::MeasureInput input;
+  input.workload.kernel = "sleep";
+  input.workload.size_name = std::to_string(ms) + "ms";
+  input.run = [ms] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--trials") == 0) {
+      args.trials = std::strtoul(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--slots") == 0) {
+      args.slots = std::strtoul(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--straggler-ms") == 0) {
+      args.straggler_ms = std::atoi(value());
+    } else if (std::strcmp(argv[i], "--fast-ms") == 0) {
+      args.fast_ms = std::atoi(value());
+    } else if (std::strcmp(argv[i], "--straggler-every") == 0) {
+      args.straggler_every = std::strtoul(value(), nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trials N] [--slots N] [--straggler-ms MS] "
+                   "[--fast-ms MS] [--straggler-every N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<runtime::MeasureInput> inputs;
+  for (std::size_t i = 0; i < args.trials; ++i) {
+    const bool straggler =
+        args.straggler_every > 0 && i % args.straggler_every == 0;
+    inputs.push_back(
+        sleep_input(straggler ? args.straggler_ms : args.fast_ms));
+  }
+
+  runtime::CpuDevice device;
+  runtime::MeasureRunnerOptions options;
+  options.parallel = true;
+  ThreadPool pool(args.slots);
+  runtime::MeasureRunner runner(&device, options, &pool);
+  runtime::MeasureOption option;
+  option.repeat = 1;
+
+  std::printf("async throughput: %zu trials, %zu slots, %d ms stragglers "
+              "(1 per %zu), %d ms fast\n",
+              args.trials, runner.async_slots(), args.straggler_ms,
+              args.straggler_every, args.fast_ms);
+
+  const Stopwatch batch_wall;
+  runner.measure_batch(inputs, option);
+  const double batch_s = batch_wall.elapsed_seconds();
+
+  const Stopwatch stream_wall;
+  for (const runtime::MeasureInput& input : inputs) {
+    runner.submit(input, option);
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) runner.wait_any();
+  const double stream_s = stream_wall.elapsed_seconds();
+
+  std::printf("  batch/wave : %.3f s\n", batch_s);
+  std::printf("  streaming  : %.3f s\n", stream_s);
+  std::printf("  speedup    : %.2fx\n",
+              stream_s > 0.0 ? batch_s / stream_s : 0.0);
+  return 0;
+}

@@ -277,10 +277,33 @@ void WorkerPool::spawn(Worker& worker) {
 
 WorkerPool::Worker* WorkerPool::acquire() {
   std::unique_lock<std::mutex> lock(free_mutex_);
-  free_cv_.wait(lock, [&] { return !free_.empty(); });
-  Worker* worker = free_.back();
-  free_.pop_back();
-  return worker;
+  for (;;) {
+    // Prefer a live worker. A dead slot (parked by a deferred respawn or
+    // with a failed spawn) is only handed out once its backoff deadline
+    // has passed; the dispatch path then retries its spawn.
+    Worker* cooling = nullptr;
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      Worker* candidate = *it;
+      if (candidate->socket.valid()) {
+        free_.erase(it);
+        return candidate;
+      }
+      if (cooling == nullptr || candidate->not_before < cooling->not_before) {
+        cooling = candidate;
+      }
+    }
+    if (cooling == nullptr) {
+      free_cv_.wait(lock, [&] { return !free_.empty(); });
+      continue;
+    }
+    if (Clock::now() >= cooling->not_before) {
+      free_.erase(std::find(free_.begin(), free_.end(), cooling));
+      return cooling;
+    }
+    // Every free slot is cooling: wake at the earliest deadline or when
+    // a live worker is released, whichever comes first.
+    free_cv_.wait_until(lock, cooling->not_before);
+  }
 }
 
 void WorkerPool::release(Worker* worker) {
@@ -317,21 +340,30 @@ std::string WorkerPool::collect_exit(Worker& worker, bool force_kill) {
   return description;
 }
 
+int WorkerPool::backoff_ms_for(const Worker& worker) const {
+  if (worker.consecutive_failures <= 1) return 0;
+  const int shift = std::min(worker.consecutive_failures - 2, 20);
+  return std::min(options_.max_respawn_backoff_ms, 100 << shift);
+}
+
 void WorkerPool::respawn_after_failure(Worker& worker) {
   worker.consecutive_failures += 1;
-  int backoff_ms = 0;
-  if (worker.consecutive_failures > 1) {
-    const int shift = std::min(worker.consecutive_failures - 2, 20);
-    backoff_ms = std::min(options_.max_respawn_backoff_ms, 100 << shift);
-  }
+  const int backoff_ms = backoff_ms_for(worker);
   Json event = Json::object();
   event.set("event", "worker_respawn");
   event.set("worker", worker.id);
   event.set("failures", worker.consecutive_failures);
   event.set("backoff_ms", backoff_ms);
+  event.set("deferred", backoff_ms > 0);
   trace(std::move(event));
   if (backoff_ms > 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    // Park the slot instead of sleeping: a sleep here blocks the thread
+    // that is dispatching trials, stalling the whole pipeline while the
+    // other workers sit idle. acquire() skips the slot until the
+    // deadline and the spawn is retried on its next dispatch.
+    worker.not_before =
+        Clock::now() + std::chrono::milliseconds(backoff_ms);
+    return;
   }
   try {
     spawn(worker);
@@ -342,13 +374,31 @@ void WorkerPool::respawn_after_failure(Worker& worker) {
   }
 }
 
+void WorkerPool::retry_spawn(Worker& worker) {
+  try {
+    spawn(worker);
+  } catch (const std::exception& e) {
+    // Apply the backoff again so a persistently unspawnable slot cannot
+    // spin hot through acquire().
+    worker.consecutive_failures += 1;
+    const int backoff_ms = backoff_ms_for(worker);
+    if (backoff_ms > 0) {
+      worker.not_before =
+          Clock::now() + std::chrono::milliseconds(backoff_ms);
+    }
+    TVMBO_LOG(Warning) << "worker " << worker.id
+                       << " respawn failed: " << e.what();
+  }
+}
+
 runtime::MeasureResult WorkerPool::measure_on(Worker& worker,
                                               const MeasureRequest& request) {
   runtime::MeasureResult result;
   if (!worker.socket.valid()) {
-    // The slot's last respawn failed; try once more before giving up on
-    // this trial.
-    respawn_after_failure(worker);
+    // The slot was parked by a deferred respawn (acquire() waited out
+    // its backoff) or its last spawn attempt failed; retry the spawn
+    // once before giving up on this trial.
+    retry_spawn(worker);
     if (!worker.socket.valid()) {
       result.valid = false;
       result.error = "worker spawn failed (slot " +

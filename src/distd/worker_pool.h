@@ -19,7 +19,11 @@
 //    runaway run, which CpuDevice's cooperative between-runs check cannot;
 //  * respawn backoff: consecutive failures of one worker slot back off
 //    exponentially (100 ms doubling, capped) so a persistently crashing
-//    environment cannot fork-bomb the host;
+//    environment cannot fork-bomb the host. The backoff never sleeps on
+//    the dispatching thread: the slot is parked with a not-before
+//    deadline and skipped by acquire() until the deadline passes (other
+//    live workers keep serving trials; the spawn is retried on the
+//    slot's next dispatch);
 //  * lifecycle tracing: worker_spawn / worker_dispatch / worker_heartbeat
 //    / worker_kill / worker_respawn / worker_exit events go through the
 //    same TraceLog as the per-trial measurement events.
@@ -30,6 +34,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -102,6 +107,10 @@ class WorkerPool {
     int generation = 0;  ///< how many processes have filled this slot
     Socket socket;
     int consecutive_failures = 0;
+    /// Respawn-backoff deadline: while in the future the slot is parked
+    /// (no process, skipped by acquire()). Written while the slot is
+    /// exclusively owned; read under free_mutex_ once it is released.
+    std::chrono::steady_clock::time_point not_before{};
   };
 
   void spawn(Worker& worker);  ///< fork/exec + wait for matching hello
@@ -111,6 +120,11 @@ class WorkerPool {
   /// description (e.g. "signal 11 (Segmentation fault)").
   std::string collect_exit(Worker& worker, bool force_kill);
   void respawn_after_failure(Worker& worker);
+  /// Exponential backoff for the slot's current failure count (0 for the
+  /// first failure).
+  int backoff_ms_for(const Worker& worker) const;
+  /// Spawn retry for a parked slot whose backoff deadline has passed.
+  void retry_spawn(Worker& worker);
   Worker* acquire();
   void release(Worker* worker);
   void shutdown_all();

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 
 #include "common/logging.h"
+#include "common/timer.h"
 
 namespace tvmbo::framework {
 
@@ -183,43 +185,41 @@ SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
 
   double clock = 0.0;
   std::size_t evaluations = 0;
-  while (evaluations < options_.max_evaluations && strategy.has_next()) {
-    if (options_.max_time_s > 0.0 && clock >= options_.max_time_s) break;
-    const std::size_t want = std::min(
-        batch_size, options_.max_evaluations - evaluations);
-    const std::vector<cs::Configuration> batch = strategy.next_batch(want);
-    if (batch.empty()) break;
+  if (options_.async) {
+    // Streaming path: completion-driven submit/wait_any with every slot
+    // refilled the moment it frees — no wave barrier. Trials overlap, so
+    // the modeled serial process clock does not apply; elapsed_s records
+    // real wall-clock completion times instead.
+    const Stopwatch wall;
+    std::unordered_map<runtime::MeasureRunner::Ticket, cs::Configuration>
+        in_flight;
+    const std::size_t slots = runner.async_slots();
+    std::size_t submitted = 0;
+    bool exhausted = false;
+    while (evaluations < options_.max_evaluations) {
+      if (options_.max_time_s > 0.0 &&
+          wall.elapsed_seconds() >= options_.max_time_s) {
+        exhausted = true;  // budget spent: drain, don't submit
+      }
+      while (!exhausted && in_flight.size() < slots &&
+             submitted < options_.max_evaluations && strategy.has_next()) {
+        std::vector<cs::Configuration> next = strategy.next_batch(1);
+        if (next.empty()) {
+          exhausted = true;
+          break;
+        }
+        const runtime::MeasureRunner::Ticket ticket =
+            runner.submit(task_->measure_input(next[0]), measure);
+        in_flight.emplace(ticket, std::move(next[0]));
+        ++submitted;
+      }
+      if (in_flight.empty()) break;
 
-    std::vector<tuners::Trial> trials;
-    std::vector<double> compiles;
-    trials.reserve(batch.size());
-    compiles.reserve(batch.size());
-    double batch_compile_sum = 0.0;
-    double batch_compile_max = 0.0;
-    double batch_run = 0.0;
-    std::vector<double> energies;
-    std::vector<double> runtimes;
-    energies.reserve(batch.size());
-    runtimes.reserve(batch.size());
-    std::vector<runtime::MeasureInput> inputs;
-    inputs.reserve(batch.size());
-    for (const cs::Configuration& config : batch) {
-      inputs.push_back(task_->measure_input(config));
-    }
-    const std::vector<runtime::MeasureResult> measured_batch =
-        runner.measure_batch(inputs, measure);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const cs::Configuration& config = batch[i];
-      const runtime::MeasureResult& measured = measured_batch[i];
-      batch_compile_sum += measured.compile_s;
-      batch_compile_max = std::max(batch_compile_max, measured.compile_s);
-      batch_run +=
-          measured.runtime_s * static_cast<double>(measure.repeat);
-      compiles.push_back(measured.compile_s);
-      energies.push_back(measured.energy_j);
-      runtimes.push_back(measured.runtime_s);
-      // The strategy minimizes the configured objective; runtime/energy
-      // are both recorded regardless.
+      runtime::MeasureRunner::Completion completion = runner.wait_any();
+      auto it = in_flight.find(completion.ticket);
+      TVMBO_CHECK(it != in_flight.end())
+          << "completion for unknown ticket " << completion.ticket;
+      const runtime::MeasureResult& measured = completion.result;
       double metric = measured.runtime_s;
       if (options_.objective == Objective::kEnergy) {
         metric = measured.energy_j;
@@ -231,36 +231,104 @@ SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
           measured.energy_j <= 0.0) {
         valid = false;  // device has no power model
       }
-      trials.push_back({config, metric, valid});
-    }
-    // Process-time accounting: parallel builder for AutoTVM batches,
-    // strictly sequential compile for ytopt.
-    clock += parallel_build ? batch_compile_max : batch_compile_sum;
-    clock += batch_run;
-    if (traits.overhead) {
-      clock += traits.overhead(strategy.history().size(), batch.size());
-    }
+      tuners::Trial trial{std::move(it->second), metric, valid};
+      in_flight.erase(it);
 
-    // Record each trial at the batch completion time, spreading runs
-    // across the batch window in measurement order for a faithful
-    // per-evaluation timeline.
-    double within = clock - batch_run;
-    for (std::size_t i = 0; i < trials.size(); ++i) {
-      within += runtimes[i] * static_cast<double>(measure.repeat);
       runtime::TrialRecord record;
-      record.eval_index = static_cast<int>(evaluations + i);
+      record.eval_index = static_cast<int>(evaluations);
       record.strategy = result.strategy;
       record.workload_id = task_->workload.id();
-      record.tiles = task_->config.space().values_int(trials[i].config);
-      record.runtime_s = runtimes[i];
-      record.energy_j = energies[i];
-      record.compile_s = compiles[i];
-      record.elapsed_s = within;
-      record.valid = trials[i].valid;
+      record.tiles = task_->config.space().values_int(trial.config);
+      record.runtime_s = measured.runtime_s;
+      record.energy_j = measured.energy_j;
+      record.compile_s = measured.compile_s;
+      record.elapsed_s = wall.elapsed_seconds();
+      record.valid = valid;
       result.db.add(record);
+      evaluations += 1;
+      strategy.update({&trial, 1});
     }
-    evaluations += trials.size();
-    strategy.update(trials);
+    clock = wall.elapsed_seconds();
+  } else {
+    while (evaluations < options_.max_evaluations && strategy.has_next()) {
+      if (options_.max_time_s > 0.0 && clock >= options_.max_time_s) break;
+      const std::size_t want = std::min(
+          batch_size, options_.max_evaluations - evaluations);
+      const std::vector<cs::Configuration> batch = strategy.next_batch(want);
+      if (batch.empty()) break;
+
+      std::vector<tuners::Trial> trials;
+      std::vector<double> compiles;
+      trials.reserve(batch.size());
+      compiles.reserve(batch.size());
+      double batch_compile_sum = 0.0;
+      double batch_compile_max = 0.0;
+      double batch_run = 0.0;
+      std::vector<double> energies;
+      std::vector<double> runtimes;
+      energies.reserve(batch.size());
+      runtimes.reserve(batch.size());
+      std::vector<runtime::MeasureInput> inputs;
+      inputs.reserve(batch.size());
+      for (const cs::Configuration& config : batch) {
+        inputs.push_back(task_->measure_input(config));
+      }
+      const std::vector<runtime::MeasureResult> measured_batch =
+          runner.measure_batch(inputs, measure);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const cs::Configuration& config = batch[i];
+        const runtime::MeasureResult& measured = measured_batch[i];
+        batch_compile_sum += measured.compile_s;
+        batch_compile_max = std::max(batch_compile_max, measured.compile_s);
+        batch_run +=
+            measured.runtime_s * static_cast<double>(measure.repeat);
+        compiles.push_back(measured.compile_s);
+        energies.push_back(measured.energy_j);
+        runtimes.push_back(measured.runtime_s);
+        // The strategy minimizes the configured objective; runtime/energy
+        // are both recorded regardless.
+        double metric = measured.runtime_s;
+        if (options_.objective == Objective::kEnergy) {
+          metric = measured.energy_j;
+        } else if (options_.objective == Objective::kEnergyDelay) {
+          metric = measured.energy_j * measured.runtime_s;
+        }
+        bool valid = measured.valid;
+        if (options_.objective != Objective::kRuntime &&
+            measured.energy_j <= 0.0) {
+          valid = false;  // device has no power model
+        }
+        trials.push_back({config, metric, valid});
+      }
+      // Process-time accounting: parallel builder for AutoTVM batches,
+      // strictly sequential compile for ytopt.
+      clock += parallel_build ? batch_compile_max : batch_compile_sum;
+      clock += batch_run;
+      if (traits.overhead) {
+        clock += traits.overhead(strategy.history().size(), batch.size());
+      }
+
+      // Record each trial at the batch completion time, spreading runs
+      // across the batch window in measurement order for a faithful
+      // per-evaluation timeline.
+      double within = clock - batch_run;
+      for (std::size_t i = 0; i < trials.size(); ++i) {
+        within += runtimes[i] * static_cast<double>(measure.repeat);
+        runtime::TrialRecord record;
+        record.eval_index = static_cast<int>(evaluations + i);
+        record.strategy = result.strategy;
+        record.workload_id = task_->workload.id();
+        record.tiles = task_->config.space().values_int(trials[i].config);
+        record.runtime_s = runtimes[i];
+        record.energy_j = energies[i];
+        record.compile_s = compiles[i];
+        record.elapsed_s = within;
+        record.valid = trials[i].valid;
+        result.db.add(record);
+      }
+      evaluations += trials.size();
+      strategy.update(trials);
+    }
   }
 
   result.total_time_s = clock;

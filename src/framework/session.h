@@ -79,6 +79,16 @@ struct SessionOptions {
   /// to emit the JSON-lines per-trial event log, and `measure.retry` to
   /// re-run transiently failing trials.
   runtime::MeasureRunnerOptions measure;
+  /// Completion-driven streaming measurement: the session keeps the
+  /// runner's async_slots() trials in flight (submit/wait_any), asking
+  /// the strategy for one more configuration the moment a slot frees and
+  /// telling each result back in completion order — no batch/wave
+  /// barrier. Process time switches from the modeled serial clock to
+  /// real wall-clock (overlap makes the serial model meaningless). With
+  /// a serial runner (measure.parallel == false) the schedule is strict
+  /// ask/measure/tell alternation: the fixed-seed deterministic mode,
+  /// trajectory-identical to the batch path at batch size 1.
+  bool async = false;
   /// Per-run measurement timeout (MeasureOption::timeout_s; 0 disables).
   /// On CpuDevice this is cooperative — checked between runs — so a
   /// single hung run escapes it; the process runner (distd::ProcDevice)

@@ -24,6 +24,15 @@ MeasureRunner::MeasureRunner(Device* device, MeasureRunnerOptions options,
       << "max_retries must be non-negative";
 }
 
+MeasureRunner::~MeasureRunner() {
+  // A streamed trial still running on the pool captures `this`; wait for
+  // every dispatched/queued job to finish before the members go away.
+  std::unique_lock<std::mutex> lock(async_mutex_);
+  async_cv_.wait(lock, [&] {
+    return async_running_ == 0 && async_queue_.empty();
+  });
+}
+
 void MeasureRunner::set_strategy(std::string strategy) {
   options_.strategy = std::move(strategy);
 }
@@ -194,6 +203,85 @@ std::vector<MeasureResult> MeasureRunner::measure_batch(
 MeasureResult MeasureRunner::measure_one(const MeasureInput& input,
                                          const MeasureOption& option) {
   return measure_batch({&input, 1}, option)[0];
+}
+
+std::size_t MeasureRunner::async_slots() const {
+  if (!options_.parallel) return 1;  // deterministic serial streaming
+  std::size_t limit = pool_->num_threads();
+  const std::size_t device_limit = device_->max_concurrent_measurements();
+  if (device_limit > 0) limit = std::min(limit, device_limit);
+  if (options_.max_concurrency > 0) {
+    limit = std::min(limit, options_.max_concurrency);
+  }
+  return std::max<std::size_t>(1, limit);
+}
+
+std::size_t MeasureRunner::in_flight() const {
+  std::lock_guard<std::mutex> lock(async_mutex_);
+  return async_outstanding_;
+}
+
+void MeasureRunner::dispatch_ready_locked() {
+  const std::size_t slots = async_slots();
+  while (async_running_ < slots && !async_queue_.empty()) {
+    AsyncJob job = std::move(async_queue_.front());
+    async_queue_.pop_front();
+    ++async_running_;
+    // The pool task owns the job; it reports back under the lock and
+    // refills the slot it just freed — this is where the pipeline beats
+    // the batch path's wave barrier.
+    pool_->submit([this, job = std::move(job)]() mutable {
+      if (options_.trace != nullptr) {
+        Json dispatch = event("dispatch", job.ticket);
+        dispatch.set("workload", job.input.workload.id());
+        options_.trace->record(std::move(dispatch));
+      }
+      MeasureResult result = run_trial(job.input, job.option, job.ticket);
+      if (options_.trace != nullptr) {
+        Json complete = event("complete", job.ticket);
+        complete.set("valid", result.valid);
+        if (!result.error.empty()) complete.set("error", result.error);
+        options_.trace->record(std::move(complete));
+      }
+      {
+        std::lock_guard<std::mutex> lock(async_mutex_);
+        --async_running_;
+        async_completed_.push_back({job.ticket, std::move(result)});
+        dispatch_ready_locked();
+        // Notify under the lock: the destructor may tear the condvar
+        // down the moment its predicate holds.
+        async_cv_.notify_all();
+      }
+    });
+  }
+}
+
+MeasureRunner::Ticket MeasureRunner::submit(MeasureInput input,
+                                            const MeasureOption& option) {
+  TVMBO_CHECK(!pool_->in_worker_thread())
+      << "submit must be driven from outside the runner's thread pool";
+  const Ticket ticket = next_trial_.fetch_add(1);
+  if (options_.trace != nullptr) trace_proposed(input, ticket);
+  {
+    std::lock_guard<std::mutex> lock(async_mutex_);
+    async_queue_.push_back({ticket, std::move(input), option});
+    ++async_outstanding_;
+    dispatch_ready_locked();
+  }
+  return ticket;
+}
+
+MeasureRunner::Completion MeasureRunner::wait_any() {
+  TVMBO_CHECK(!pool_->in_worker_thread())
+      << "wait_any must be driven from outside the runner's thread pool";
+  std::unique_lock<std::mutex> lock(async_mutex_);
+  TVMBO_CHECK_GT(async_outstanding_, 0u)
+      << "wait_any with no streamed trial in flight";
+  async_cv_.wait(lock, [&] { return !async_completed_.empty(); });
+  Completion completion = std::move(async_completed_.front());
+  async_completed_.pop_front();
+  --async_outstanding_;
+  return completion;
 }
 
 }  // namespace tvmbo::runtime

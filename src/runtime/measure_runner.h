@@ -14,7 +14,7 @@
 //  * an optional JSON-lines trace (trace_log.h) recording proposed /
 //    compile / run / retry / result per trial with strategy attribution.
 //
-// Two execution modes:
+// Two batch execution modes:
 //
 //  * serial (default) — trials run inline in submission order. This is
 //    bit-identical to the historical sequential measure loop, which keeps
@@ -26,12 +26,24 @@
 //    so SwingSimDevice results are identical either way, while CpuDevice
 //    batches really overlap on a multi-core host).
 //
-// This is the substrate for future multi-device / sharded measurement:
-// a Device that fans out to N executors just reports a higher
-// concurrency bound.
+// On top of the batch interface the runner exposes a completion-driven
+// streaming mode — submit(input) -> ticket, wait_any() -> (ticket,
+// result) — with no wave barrier: every measurement slot is refilled the
+// moment it frees up, so one straggling trial never idles the other
+// slots (the batch path, by contrast, waits for the slowest member of
+// each wave). Streaming trials carry the same per-trial fault isolation,
+// retry policy, and pre-screen as batches, plus `dispatch` / `complete`
+// trace events bracketing each slot occupancy. Submissions must come
+// from outside the runner's thread pool (the driver thread); completion
+// order is whatever the device delivers, which with a serial runner
+// (async_slots() == 1) degenerates to submission order — the fixed-seed
+// determinism mode.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -70,10 +82,23 @@ struct MeasureRunnerOptions {
 
 class MeasureRunner {
  public:
+  /// Identifies one streamed trial from submit() to its wait_any()
+  /// completion (also the trial id stamped on its trace events).
+  using Ticket = std::size_t;
+
+  /// One completed streamed trial.
+  struct Completion {
+    Ticket ticket = 0;
+    MeasureResult result;
+  };
+
   /// The device (and trace log, when set) must outlive the runner. A null
   /// pool means the process-wide default pool.
   explicit MeasureRunner(Device* device, MeasureRunnerOptions options = {},
                          ThreadPool* pool = nullptr);
+  /// Drains any still-running streamed trials (their results are
+  /// discarded) before releasing the runner's state.
+  ~MeasureRunner();
 
   /// Measures every input; results[i] always corresponds to inputs[i].
   /// Never throws for per-trial failures: a trial that throws or times
@@ -86,6 +111,25 @@ class MeasureRunner {
   MeasureResult measure_one(const MeasureInput& input,
                             const MeasureOption& option);
 
+  /// Streaming mode: enqueues one trial and returns immediately. The
+  /// trial starts the moment a slot (async_slots()) frees up — no wave
+  /// barrier — and its result is collected via wait_any(). Must be
+  /// called from outside the runner's thread pool.
+  Ticket submit(MeasureInput input, const MeasureOption& option);
+
+  /// Blocks until any streamed trial completes and returns it (completion
+  /// order, not submission order). CheckError when nothing is in flight.
+  /// Must be called from outside the runner's thread pool.
+  Completion wait_any();
+
+  /// Streamed trials submitted but not yet returned by wait_any().
+  std::size_t in_flight() const;
+
+  /// Concurrent streaming slots: min of the device bound, the pool
+  /// width, and options().max_concurrency — 1 when the runner is not
+  /// parallel (the deterministic serial mode).
+  std::size_t async_slots() const;
+
   /// Re-attributes subsequent trace events (e.g. per-strategy sessions).
   void set_strategy(std::string strategy);
 
@@ -97,6 +141,13 @@ class MeasureRunner {
   std::size_t analysis_rejects() const { return analysis_rejects_; }
 
  private:
+  /// One submitted-but-not-yet-dispatched streamed trial.
+  struct AsyncJob {
+    Ticket ticket = 0;
+    MeasureInput input;
+    MeasureOption option;
+  };
+
   /// In-flight cap for one batch: min of batch size, device concurrency
   /// bound, pool width, and the configured cap (all where > 0).
   std::size_t concurrency_limit(std::size_t batch) const;
@@ -107,6 +158,9 @@ class MeasureRunner {
   /// One device->measure call with fault isolation. Never throws.
   MeasureResult attempt_once(const MeasureInput& input,
                              const MeasureOption& option);
+  /// Slot refill: dispatches queued jobs while slots are free. Caller
+  /// holds async_mutex_.
+  void dispatch_ready_locked();
   void trace_proposed(const MeasureInput& input, std::size_t trial);
   Json event(const char* name, std::size_t trial) const;
 
@@ -115,6 +169,15 @@ class MeasureRunner {
   ThreadPool* pool_;
   std::atomic<std::size_t> next_trial_{0};
   std::atomic<std::size_t> analysis_rejects_{0};
+
+  // Streaming state: queued jobs wait for a slot; completions wait for
+  // wait_any(). outstanding_ = queued + running + completed-uncollected.
+  mutable std::mutex async_mutex_;
+  std::condition_variable async_cv_;
+  std::deque<AsyncJob> async_queue_;
+  std::deque<Completion> async_completed_;
+  std::size_t async_running_ = 0;
+  std::size_t async_outstanding_ = 0;
 };
 
 }  // namespace tvmbo::runtime

@@ -16,15 +16,18 @@ TraceLog::TraceLog(std::ostream* out) : out_(out) {
 
 void TraceLog::record(Json event) {
   TVMBO_CHECK(event.is_object()) << "trace events must be JSON objects";
+  // The timestamp is read under the same lock that orders the writes:
+  // reading it first and locking later let a later-stamped recorder win
+  // the lock, producing JSONL lines with non-monotonic "ts" under
+  // parallel runners.
+  std::lock_guard<std::mutex> lock(mutex_);
   // Build {"ts": ..., ...event} so the timestamp leads every line.
   Json line = Json::object();
   line.set("ts", clock_.elapsed_seconds());
   for (const auto& [key, value] : event.as_object()) {
     line.set(key, value);
   }
-  const std::string text = line.dump();
-  std::lock_guard<std::mutex> lock(mutex_);
-  (*out_) << text << '\n';
+  (*out_) << line.dump() << '\n';
   out_->flush();  // per-line: the trace must survive a crashed trial
   ++num_events_;
 }

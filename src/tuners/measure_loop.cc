@@ -1,6 +1,7 @@
 #include "tuners/measure_loop.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/logging.h"
 
@@ -39,6 +40,53 @@ MeasureLoopResult run_measure_loop(Tuner& tuner,
     out.trials.insert(out.trials.end(), trials.begin(), trials.end());
     out.results.insert(out.results.end(), measured.begin(), measured.end());
     out.evaluations += batch.size();
+  }
+  return out;
+}
+
+MeasureLoopResult run_measure_loop_async(Tuner& tuner,
+                                         runtime::MeasureRunner& runner,
+                                         const MeasureInputFn& make_input,
+                                         const MeasureLoopOptions& options) {
+  TVMBO_CHECK(static_cast<bool>(make_input))
+      << "measure loop requires an input builder";
+
+  MeasureLoopResult out;
+  std::unordered_map<runtime::MeasureRunner::Ticket, cs::Configuration>
+      in_flight;
+  std::size_t submitted = 0;
+  bool exhausted = false;
+  const std::size_t slots = runner.async_slots();
+
+  while (out.evaluations < options.max_evaluations) {
+    // Refill every free slot before blocking: the tuner's ask() is cheap
+    // relative to a measurement, and a liar-imputing tuner accounts for
+    // the submissions already in flight.
+    while (!exhausted && in_flight.size() < slots &&
+           submitted < options.max_evaluations && tuner.has_next()) {
+      std::vector<cs::Configuration> next = tuner.next_batch(1);
+      if (next.empty()) {
+        exhausted = true;
+        break;
+      }
+      const runtime::MeasureRunner::Ticket ticket =
+          runner.submit(make_input(next[0]), options.measure);
+      in_flight.emplace(ticket, std::move(next[0]));
+      ++submitted;
+    }
+    if (in_flight.empty()) break;  // budget or space exhausted: drain done
+
+    runtime::MeasureRunner::Completion completion = runner.wait_any();
+    auto it = in_flight.find(completion.ticket);
+    TVMBO_CHECK(it != in_flight.end())
+        << "completion for unknown ticket " << completion.ticket;
+    Trial trial{std::move(it->second), completion.result.runtime_s,
+                completion.result.valid};
+    in_flight.erase(it);
+    tuner.update({&trial, 1});
+    out.trials.push_back(std::move(trial));
+    out.results.push_back(std::move(completion.result));
+    out.evaluations += 1;
   }
   return out;
 }

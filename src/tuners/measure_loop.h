@@ -43,4 +43,16 @@ MeasureLoopResult run_measure_loop(Tuner& tuner,
                                    const MeasureInputFn& make_input,
                                    const MeasureLoopOptions& options = {});
 
+/// Completion-driven variant: keeps runner.async_slots() trials in
+/// flight via submit()/wait_any(), asking the tuner for one more
+/// configuration the moment a slot frees and telling each result back as
+/// it lands (completion order) — no wave barrier, so one straggler never
+/// idles the other slots. With a serial runner (async_slots() == 1) the
+/// schedule degenerates to strict ask/measure/tell alternation: the
+/// fixed-seed deterministic mode, trajectory-identical to the batch loop
+/// at batch_size 1. trials[i]/results[i] are in completion order.
+MeasureLoopResult run_measure_loop_async(
+    Tuner& tuner, runtime::MeasureRunner& runner,
+    const MeasureInputFn& make_input, const MeasureLoopOptions& options = {});
+
 }  // namespace tvmbo::tuners

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.h"
 
@@ -36,18 +37,33 @@ cs::Configuration BayesianOptimizer::sample_unvisited() {
 }
 
 void BayesianOptimizer::refit() {
-  surrogate::Dataset data;
   double worst = 0.0;
   for (const tuners::Trial& trial : history_) {
-    if (trial.valid) worst = std::max(worst, trial.runtime_s);
+    if (trial.valid && trial.runtime_s > 0.0) {
+      worst = std::max(worst, trial.runtime_s);
+    }
   }
+  // No valid measurement yet: an all-imputed constant dataset would
+  // anchor the forest at an arbitrary level — stay in the random design
+  // until a real runtime lands.
+  if (worst <= 0.0) return;
+  // Failed measurements are informative: penalize, don't discard
+  // (skopt-style imputation with a value worse than anything seen). The
+  // penalty is scale-relative — an absolute floor (1 s) is ~6 orders of
+  // magnitude off for microsecond-scale kernels and warps the log-space
+  // forest around the imputed points.
+  const double penalty = worst * 2.0;
+  surrogate::Dataset data;
   for (const tuners::Trial& trial : history_) {
-    // Failed measurements are informative: penalize, don't discard
-    // (skopt-style imputation with a value worse than anything seen).
     const double runtime =
-        trial.valid && trial.runtime_s > 0.0 ? trial.runtime_s
-                                             : std::max(worst * 2.0, 1.0);
+        trial.valid && trial.runtime_s > 0.0 ? trial.runtime_s : penalty;
     data.add(encoder_.encode(trial.config), std::log(runtime));
+  }
+  // Constant-liar (cl-max): hallucinate in-flight configurations at the
+  // worst valid runtime, so a streaming ask() avoids the neighborhoods
+  // of trials still being measured without blocking on their results.
+  for (const cs::Configuration& config : pending_) {
+    data.add(encoder_.encode(config), std::log(worst));
   }
   if (data.size() < 2) return;
   forest_.fit(data, rng_);
@@ -100,6 +116,7 @@ std::vector<cs::Configuration> BayesianOptimizer::propose(std::size_t n) {
       }
       cs::Configuration config = sample_unvisited();
       if (mark_visited(config)) {
+        remember_pending(config);
         batch.push_back(std::move(config));
         rejected = 0;
       } else {
@@ -137,12 +154,30 @@ std::vector<cs::Configuration> BayesianOptimizer::propose(std::size_t n) {
               return a->runtime_s < b->runtime_s;
             });
   const std::size_t seeds = std::min(options_.local_seeds, ranked.size());
-  for (std::size_t i = 0; i < num_local && seeds > 0; ++i) {
-    const cs::Configuration& seed_config = ranked[i % seeds]->config;
-    cs::Configuration candidate = space_->neighbor(seed_config, rng_);
-    // A couple of extra hops diversify the local cloud.
-    if (rng_.bernoulli(0.5)) candidate = space_->neighbor(candidate, rng_);
-    if (!is_visited(candidate)) candidates.push_back(std::move(candidate));
+  // Visited neighbours must be replaced, not dropped: late in a run most
+  // one-hop neighbours of the incumbents are already measured, and
+  // dropping them silently shrank the local share of the pool toward
+  // zero — the optimizer degraded to pure uniform search exactly when
+  // local refinement matters most. Retry each draw with bounded extra
+  // hops (walking outward from the seed) and bound the total attempts so
+  // an exhausted neighbourhood still terminates.
+  last_local_ = 0;
+  if (seeds > 0 && num_local > 0) {
+    const std::size_t max_attempts = num_local * 4;
+    for (std::size_t attempt = 0;
+         attempt < max_attempts && last_local_ < num_local; ++attempt) {
+      const cs::Configuration& seed_config = ranked[attempt % seeds]->config;
+      cs::Configuration candidate = space_->neighbor(seed_config, rng_);
+      // A couple of extra hops diversify the local cloud.
+      if (rng_.bernoulli(0.5)) candidate = space_->neighbor(candidate, rng_);
+      for (int hop = 0; hop < 4 && is_visited(candidate); ++hop) {
+        candidate = space_->neighbor(candidate, rng_);
+      }
+      if (!is_visited(candidate)) {
+        candidates.push_back(std::move(candidate));
+        ++last_local_;
+      }
+    }
   }
   // Same bounded-rejection guard as random_fill: a near-exhausted space
   // may reject every uniform draw.
@@ -178,7 +213,10 @@ std::vector<cs::Configuration> BayesianOptimizer::propose(std::size_t n) {
   for (const auto& [lcb, index] : scored) {
     if (batch.size() >= n) break;
     cs::Configuration config = candidates[index];
-    if (mark_visited(config)) batch.push_back(std::move(config));
+    if (mark_visited(config)) {
+      remember_pending(config);
+      batch.push_back(std::move(config));
+    }
   }
   if (batch.size() < n) random_fill();
   return batch;
@@ -190,13 +228,28 @@ std::vector<cs::Configuration> BayesianOptimizer::next_batch(
   return propose(n);
 }
 
+void BayesianOptimizer::remember_pending(const cs::Configuration& config) {
+  pending_.push_back(config);
+}
+
+void BayesianOptimizer::forget_pending(const cs::Configuration& config) {
+  const std::uint64_t hash = config.hash();
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->hash() == hash) {
+      pending_.erase(it);
+      return;
+    }
+  }
+}
+
 void BayesianOptimizer::tell(const cs::Configuration& config,
                              double runtime_s, bool valid) {
   tuners::Trial trial{config, runtime_s, valid};
-  Tuner::update({&trial, 1});
+  update({&trial, 1});
 }
 
 void BayesianOptimizer::update(std::span<const tuners::Trial> trials) {
+  for (const tuners::Trial& trial : trials) forget_pending(trial.config);
   Tuner::update(trials);
 }
 

@@ -11,6 +11,17 @@
 // Exploration/exploitation is balanced by the lower-confidence-bound
 // acquisition: lcb(x) = mu(x) - kappa * sigma(x), minimized over sampled
 // candidates; sigma comes from the spread of per-tree predictions.
+//
+// Streaming ask/tell: every proposed configuration is tracked as
+// *pending* until its measurement is told back. While pending, the
+// configuration is hallucinated into the surrogate at the worst valid
+// runtime seen (constant-liar, cl-max), so an asynchronous driver can
+// keep asking while trials are still in flight — ask() never blocks on a
+// pending measurement, never re-proposes one (the visited set covers
+// in-flight trials), and steers away from their neighborhoods. With the
+// strictly alternating ask/tell of the paper's sequential AMBS loop the
+// pending set is always empty at refit time, so batch-mode trajectories
+// are untouched.
 #pragma once
 
 #include "surrogate/dataset.h"
@@ -65,15 +76,30 @@ class BayesianOptimizer final : public tuners::Tuner {
   /// The acquisition value used for selection (log-runtime units).
   double acquisition(const cs::Configuration& config) const;
 
+  /// Configurations proposed but not yet told back — the streaming
+  /// drivers' in-flight set, liar-imputed at the next refit.
+  std::size_t pending_count() const { return pending_.size(); }
+  /// Local-exploitation candidates admitted into the last
+  /// surrogate-driven proposal's pool (diagnostics: local_fraction must
+  /// be honored even on well-explored spaces).
+  std::size_t last_local_candidates() const { return last_local_; }
+
  private:
   void refit();
   cs::Configuration sample_unvisited();
   std::vector<cs::Configuration> propose(std::size_t n);
+  void remember_pending(const cs::Configuration& config);
+  void forget_pending(const cs::Configuration& config);
 
   BoOptions options_;
   surrogate::FeatureEncoder encoder_;
   surrogate::RandomForest forest_;
   std::size_t fitted_on_ = 0;
+  /// Insertion-ordered (a set keyed by Configuration::hash would make
+  /// refit's liar rows — and thus the forest's bootstrap draws —
+  /// nondeterministic).
+  std::vector<cs::Configuration> pending_;
+  std::size_t last_local_ = 0;
 };
 
 }  // namespace tvmbo::ytopt

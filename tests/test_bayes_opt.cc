@@ -221,6 +221,124 @@ TEST(BayesOpt, KappaZeroIsPureExploitation) {
               1e-9);
 }
 
+TEST(BayesOpt, FailurePenaltyIsScaleRelative) {
+  // Regression: failed trials used to be imputed at max(2x worst, 1.0 s)
+  // — an absolute floor ~6 orders of magnitude off for a
+  // microsecond-scale kernel, warping the log-space surrogate around
+  // every failure. The penalty must stay on the kernel's own scale.
+  const auto space = paper_space();
+  BoOptions options;
+  options.initial_points = 4;
+  BayesianOptimizer bo(&space, 41, options);
+  for (int i = 0; i < 60; ++i) {
+    const auto config = bo.ask();
+    const bool fails = config.index(0) >= 10;
+    const double runtime =
+        1.0e-6 * (1.0 + 0.05 * static_cast<double>(config.index(1)));
+    bo.tell(config, fails ? 0.0 : runtime, !fails);
+  }
+  ASSERT_TRUE(bo.surrogate_ready());
+  Rng rng(42);
+  for (int i = 0; i < 30; ++i) {
+    const auto config = space.sample(rng);
+    // Every prediction is bounded by the 2x-worst-valid penalty — far
+    // below the old 1 s floor.
+    EXPECT_LT(bo.predict(config).mean, 1.0e-3);
+  }
+}
+
+TEST(BayesOpt, AllInvalidHistoryStaysRandom) {
+  // With no valid observation an all-imputed dataset would anchor the
+  // forest at an arbitrary constant; the optimizer must stay in the
+  // random design instead of fitting one.
+  const auto space = paper_space();
+  BoOptions options;
+  options.initial_points = 3;
+  BayesianOptimizer bo(&space, 51, options);
+  for (int i = 0; i < 20; ++i) {
+    const auto config = bo.ask();
+    bo.tell(config, 0.0, /*valid=*/false);
+  }
+  EXPECT_FALSE(bo.surrogate_ready());
+  EXPECT_TRUE(bo.has_next());
+}
+
+TEST(BayesOpt, PendingTrackedAndClearedOnTell) {
+  const auto space = paper_space();
+  BayesianOptimizer bo(&space, 61);
+  EXPECT_EQ(bo.pending_count(), 0u);
+  std::vector<cs::Configuration> flight;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 6; ++i) {
+    flight.push_back(bo.ask());
+    // A config still in flight is never proposed a second time.
+    EXPECT_TRUE(seen.insert(flight.back().hash()).second) << "ask " << i;
+  }
+  EXPECT_EQ(bo.pending_count(), 6u);
+  for (const auto& config : flight) bo.tell(config, 1.0);
+  EXPECT_EQ(bo.pending_count(), 0u);
+}
+
+TEST(BayesOpt, StreamingAsksWithPendingUseConstantLiar) {
+  const auto space = paper_space();
+  BoOptions options;
+  options.initial_points = 8;
+  BayesianOptimizer bo(&space, 62, options);
+  for (int i = 0; i < 12; ++i) {
+    const auto config = bo.ask();
+    bo.tell(config, synthetic_runtime(config));
+  }
+  // Past the initial design every ask refits; with results still in
+  // flight the pending configs enter the dataset as cl-max liars rather
+  // than blocking the ask or being re-proposed.
+  std::vector<cs::Configuration> flight;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5; ++i) {
+    const auto config = bo.ask();
+    EXPECT_TRUE(seen.insert(config.hash()).second)
+        << "config proposed twice while in flight";
+    flight.push_back(config);
+    EXPECT_EQ(bo.pending_count(), static_cast<std::size_t>(i) + 1);
+  }
+  ASSERT_TRUE(bo.surrogate_ready());
+  for (const auto& config : flight) {
+    bo.tell(config, synthetic_runtime(config));
+  }
+  EXPECT_EQ(bo.pending_count(), 0u);
+}
+
+TEST(BayesOpt, LocalFractionSurvivesVisitedNeighborhoods) {
+  // Regression: local-exploitation candidates whose neighbour draw was
+  // already visited used to be dropped without replacement, so late in a
+  // run — when the incumbents' whole neighbourhood is measured — the
+  // local share of the candidate pool silently shrank toward zero and
+  // the search degraded to pure uniform sampling. Visit a 7x7 index
+  // block whose centre holds the 5 best runtimes: every 1-2-hop
+  // neighbour of every incumbent is visited, so the old code admitted
+  // exactly zero local candidates; the bounded extra hops must still
+  // find unvisited configurations outside the block.
+  const auto space = paper_space();  // 20x20 index grid
+  BoOptions options;
+  options.initial_points = 5;
+  BayesianOptimizer bo(&space, 31, options);
+  Rng rng(32);
+  cs::Configuration proto = space.sample(rng);
+  std::vector<tuners::Trial> prior;
+  for (std::int64_t i = 7; i <= 13; ++i) {
+    for (std::int64_t j = 7; j <= 13; ++j) {
+      cs::Configuration config = proto;
+      config.set_index(0, i);
+      config.set_index(1, j);
+      const double dist =
+          static_cast<double>(std::abs(i - 10) + std::abs(j - 10));
+      prior.push_back({config, 1.0 + 0.1 * dist, true});
+    }
+  }
+  bo.warm_start(prior);
+  bo.ask();
+  EXPECT_GE(bo.last_local_candidates(), 5u);
+}
+
 TEST(BayesOpt, InvalidOptionsThrow) {
   const auto space = paper_space();
   BoOptions bad;

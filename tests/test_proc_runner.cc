@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -277,6 +278,103 @@ TEST(ProcRunner, LifecycleTraceEvents) {
               std::string::npos)
         << "missing " << event << " in trace:\n" << log;
   }
+}
+
+/// Satellite: the respawn backoff must not sleep on the dispatching
+/// thread. A second consecutive crash parks the slot with a not-before
+/// deadline (worker_respawn traced with deferred=true) and the spawn is
+/// retried on the slot's next dispatch once the deadline passes.
+TEST(ProcRunner, RespawnBackoffDefersWithoutBlockingDispatch) {
+  SKIP_WITHOUT_WORKER();
+  std::ostringstream sink;
+  runtime::TraceLog trace(&sink);
+  ProcDevice device(proc_options(1, &trace));
+  runtime::MeasureRunner runner(&device);
+  runtime::MeasureOption option;
+  option.repeat = 1;
+
+  const auto first =
+      runner.measure_one(fault_input("fault.segv", kFaultTrigger), option);
+  EXPECT_FALSE(first.valid);
+  const auto second =
+      runner.measure_one(fault_input("fault.segv", kFaultTrigger), option);
+  EXPECT_FALSE(second.valid);
+
+  bool immediate = false, deferred = false;
+  for (const Json& event : Json::parse_lines(sink.str())) {
+    if (event.at("event").as_string() != "worker_respawn") continue;
+    if (event.at("deferred").as_bool()) {
+      deferred = true;
+      EXPECT_GT(event.at("backoff_ms").as_int(), 0);
+    } else {
+      immediate = true;
+    }
+  }
+  EXPECT_TRUE(immediate);  // first failure respawns right away
+  EXPECT_TRUE(deferred);   // second failure parks the slot instead
+
+  // The parked slot comes back on its own: the next dispatch (past the
+  // backoff deadline) respawns it and measures normally.
+  const auto benign = runner.measure_one(fault_input("fault.segv", 1), option);
+  EXPECT_TRUE(benign.valid) << benign.error;
+}
+
+/// Satellite: a crash and a hard-timeout of *in-flight* streamed trials
+/// surface as invalid completions without wedging the pipeline — every
+/// submitted ticket comes back and the device stays usable.
+TEST(ProcRunner, AsyncStreamingCrashAndHangSurfaceWithoutWedging) {
+  SKIP_WITHOUT_WORKER();
+  auto options = proc_options(2);
+  options.pool.hard_timeout_grace_s = 0.5;
+  ProcDevice device(options);
+  runtime::MeasureRunnerOptions runner_options;
+  runner_options.parallel = true;
+  ThreadPool pool(4);
+  runtime::MeasureRunner runner(&device, runner_options, &pool);
+  runtime::MeasureOption option;
+  option.repeat = 1;
+  option.timeout_s = 0.25;
+
+  enum class Kind { kBenign, kCrash, kHang };
+  std::map<runtime::MeasureRunner::Ticket, Kind> expected;
+  expected[runner.submit(fault_input("fault.segv", 1), option)] =
+      Kind::kBenign;
+  expected[runner.submit(fault_input("fault.segv", kFaultTrigger), option)] =
+      Kind::kCrash;
+  expected[runner.submit(fault_input("fault.spin", 2), option)] =
+      Kind::kBenign;
+  expected[runner.submit(fault_input("fault.spin", kFaultTrigger), option)] =
+      Kind::kHang;
+  expected[runner.submit(fault_input("fault.abort", 3), option)] =
+      Kind::kBenign;
+
+  for (int i = 0; i < 5; ++i) {
+    const auto completion = runner.wait_any();
+    const auto it = expected.find(completion.ticket);
+    ASSERT_NE(it, expected.end()) << "unknown ticket " << completion.ticket;
+    switch (it->second) {
+      case Kind::kBenign:
+        EXPECT_TRUE(completion.result.valid) << completion.result.error;
+        break;
+      case Kind::kCrash:
+        EXPECT_FALSE(completion.result.valid);
+        EXPECT_NE(completion.result.error.find("signal"), std::string::npos)
+            << completion.result.error;
+        break;
+      case Kind::kHang:
+        EXPECT_FALSE(completion.result.valid);
+        EXPECT_EQ(completion.result.error.rfind("timeout", 0), 0u)
+            << completion.result.error;
+        break;
+    }
+    expected.erase(it);
+  }
+  EXPECT_TRUE(expected.empty());
+  EXPECT_EQ(runner.in_flight(), 0u);
+
+  // Not wedged: a follow-up streamed trial completes normally.
+  runner.submit(fault_input("fault.segv", 2), option);
+  EXPECT_TRUE(runner.wait_any().result.valid);
 }
 
 TEST(ProcRunner, BadWorkerBinaryThrowsAtConstruction) {

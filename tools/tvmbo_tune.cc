@@ -17,6 +17,13 @@
 //   --parallel  measure batch members concurrently on the thread pool
 //               (per-trial fault isolation; results stay in submission
 //               order; stateful devices like sim are auto-serialized)
+//   --async     completion-driven streaming measurement: every slot is
+//               refilled the moment a trial completes (no batch/wave
+//               barrier), results are told back to the strategy in
+//               completion order, and the process clock is real
+//               wall-clock. Pair with --parallel (and --runner proc
+//               --workers N) for overlap; without --parallel the async
+//               schedule is serial and fixed-seed deterministic
 //   --ytopt-batch N  qLCB proposal batch for ytopt (default 1 = paper's
 //               sequential AMBS; pair N>1 with --parallel)
 //   --retries N re-run transiently failing trials up to N times
@@ -90,6 +97,7 @@ struct Args {
   std::size_t xgb_cap = 56;
   std::string out;
   bool parallel = false;
+  bool async = false;
   std::size_t ytopt_batch = 1;
   int retries = 0;
   std::string trace;
@@ -108,7 +116,7 @@ struct Args {
                "usage: %s [--kernel K] [--size S] [--strategy T] "
                "[--evals N] [--seed N] [--device sim|cpu] "
                "[--objective runtime|energy|edp] [--xgb-cap N] "
-               "[--out PREFIX] [--parallel] [--ytopt-batch N] "
+               "[--out PREFIX] [--parallel] [--async] [--ytopt-batch N] "
                "[--retries N] [--trace FILE] "
                "[--backend native|interp|closure|jit] [--jit-cache DIR] "
                "[--warm-start DB.jsonl] [--threads N] "
@@ -136,6 +144,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--xgb-cap") args.xgb_cap = std::stoul(value());
     else if (flag == "--out") args.out = value();
     else if (flag == "--parallel") args.parallel = true;
+    else if (flag == "--async") args.async = true;
     else if (flag == "--ytopt-batch") args.ytopt_batch = std::stoul(value());
     else if (flag == "--retries") args.retries = std::stoi(value());
     else if (flag == "--trace") args.trace = value();
@@ -234,6 +243,7 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   }
   options.measure.parallel = args.parallel;
+  options.async = args.async;
   options.measure.prescreen = args.screen;
   options.measure.retry.max_retries = args.retries;
   options.ytopt_batch_size = args.ytopt_batch;
