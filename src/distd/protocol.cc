@@ -82,7 +82,20 @@ FrameStatus write_frame(int fd, const Json& message) {
   return write_exact(fd, payload.data(), payload.size());
 }
 
-FrameStatus read_frame(int fd, Json* message, int timeout_ms) {
+const char* frame_status_name(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kTimeout: return "timeout";
+    case FrameStatus::kClosed: return "closed";
+    case FrameStatus::kError: return "error";
+    case FrameStatus::kTooLarge: return "frame_too_large";
+    case FrameStatus::kMalformed: return "malformed_frame";
+  }
+  return "?";
+}
+
+FrameStatus read_frame(int fd, Json* message, int timeout_ms,
+                       std::uint32_t max_bytes) {
   const bool has_deadline = timeout_ms >= 0;
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
@@ -94,14 +107,16 @@ FrameStatus read_frame(int fd, Json* message, int timeout_ms) {
                              (static_cast<std::uint32_t>(prefix[1]) << 16) |
                              (static_cast<std::uint32_t>(prefix[2]) << 8) |
                              static_cast<std::uint32_t>(prefix[3]);
-  if (size > kMaxFrameBytes) return FrameStatus::kError;
+  if (size > max_bytes || size > kMaxFrameBytes) {
+    return FrameStatus::kTooLarge;  // reject before allocating `size` bytes
+  }
   std::string payload(size, '\0');
   status = read_exact(fd, payload.data(), size, has_deadline, deadline);
   if (status != FrameStatus::kOk) return status;
   try {
     *message = Json::parse(payload);
   } catch (const JsonParseError&) {
-    return FrameStatus::kError;
+    return FrameStatus::kMalformed;
   }
   return FrameStatus::kOk;
 }

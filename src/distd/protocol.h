@@ -39,11 +39,16 @@ namespace tvmbo::distd {
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 
 enum class FrameStatus {
-  kOk,       ///< a complete frame was transferred
-  kTimeout,  ///< the deadline expired mid-wait
-  kClosed,   ///< the peer closed the connection (EOF)
-  kError,    ///< socket error or malformed frame
+  kOk,        ///< a complete frame was transferred
+  kTimeout,   ///< the deadline expired mid-wait
+  kClosed,    ///< the peer closed the connection (EOF)
+  kError,     ///< socket error
+  kTooLarge,  ///< length prefix exceeds the caller's frame-size limit
+  kMalformed, ///< payload arrived but is not a parseable JSON document
 };
+
+/// Human-readable name of a FrameStatus (for logs and error frames).
+const char* frame_status_name(FrameStatus status);
 
 /// Writes one frame (blocking; EPIPE comes back as kClosed, never
 /// SIGPIPE).
@@ -51,7 +56,15 @@ FrameStatus write_frame(int fd, const Json& message);
 
 /// Reads one frame, waiting at most `timeout_ms` (-1 = forever) for the
 /// *whole* frame. On kOk, `*message` holds the parsed object.
-FrameStatus read_frame(int fd, Json* message, int timeout_ms);
+///
+/// `max_bytes` caps the accepted payload size; a larger length prefix
+/// returns kTooLarge *before* any allocation, so a hostile or
+/// desynchronized peer cannot make the server reserve gigabytes. After
+/// kTooLarge or kMalformed the stream position is inside/past the bad
+/// frame — the connection cannot be re-synchronized and must be closed
+/// (servers should first send a typed error frame; see serve/protocol).
+FrameStatus read_frame(int fd, Json* message, int timeout_ms,
+                       std::uint32_t max_bytes = kMaxFrameBytes);
 
 /// "type" member of a parsed frame ("" when absent/not an object).
 std::string frame_type(const Json& message);

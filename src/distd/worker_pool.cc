@@ -264,7 +264,10 @@ void WorkerPool::spawn(Worker& worker) {
       }
     }
     if (!matches) continue;  // stale or bogus connection; drop it
-    worker.pid = pid;
+    {
+      std::lock_guard<std::mutex> pid_lock(pid_mutex_);
+      worker.pid = pid;
+    }
     worker.generation += 1;
     worker.socket = std::move(*conn);
     break;
@@ -286,6 +289,7 @@ WorkerPool::Worker* WorkerPool::acquire() {
       Worker* candidate = *it;
       if (candidate->socket.valid()) {
         free_.erase(it);
+        candidate->leased = true;
         return candidate;
       }
       if (cooling == nullptr || candidate->not_before < cooling->not_before) {
@@ -298,6 +302,7 @@ WorkerPool::Worker* WorkerPool::acquire() {
     }
     if (Clock::now() >= cooling->not_before) {
       free_.erase(std::find(free_.begin(), free_.end(), cooling));
+      cooling->leased = true;
       return cooling;
     }
     // Every free slot is cooling: wake at the earliest deadline or when
@@ -307,9 +312,18 @@ WorkerPool::Worker* WorkerPool::acquire() {
 }
 
 void WorkerPool::release(Worker* worker) {
+  bool retired = false;
   {
     std::lock_guard<std::mutex> lock(free_mutex_);
-    free_.push_back(worker);
+    worker->leased = false;
+    retired = worker->retired;
+    if (!retired) free_.push_back(worker);
+  }
+  if (retired) {
+    // Retired by a resize() while leased/measuring: serve out the
+    // shutdown here instead of re-queueing the slot.
+    shutdown_worker(*worker);
+    return;
   }
   free_cv_.notify_one();
 }
@@ -336,7 +350,10 @@ std::string WorkerPool::collect_exit(Worker& worker, bool force_kill) {
   event.set("status", description);
   trace(std::move(event));
   worker.socket.close();
-  worker.pid = -1;
+  {
+    std::lock_guard<std::mutex> pid_lock(pid_mutex_);
+    worker.pid = -1;
+  }
   return description;
 }
 
@@ -511,6 +528,139 @@ runtime::MeasureResult WorkerPool::measure(MeasureRequest request) {
   }
   release(worker);
   return result;
+}
+
+std::optional<WorkerPool::Lease> WorkerPool::try_acquire() {
+  std::lock_guard<std::mutex> lock(free_mutex_);
+  // Same preference order as acquire(): a live worker first, then a dead
+  // slot whose backoff has expired (its spawn is retried on dispatch) —
+  // but never block: the serve scheduler polls between completions.
+  Worker* pick = nullptr;
+  for (Worker* candidate : free_) {
+    if (candidate->socket.valid()) {
+      pick = candidate;
+      break;
+    }
+    if (pick == nullptr && Clock::now() >= candidate->not_before) {
+      pick = candidate;
+    }
+  }
+  if (pick == nullptr) return std::nullopt;
+  free_.erase(std::find(free_.begin(), free_.end(), pick));
+  pick->leased = true;
+  Lease lease;
+  lease.worker_id = pick->id;
+  lease.worker = pick;
+  return lease;
+}
+
+runtime::MeasureResult WorkerPool::measure_leased(Lease& lease,
+                                                  MeasureRequest request) {
+  TVMBO_CHECK(lease.worker != nullptr) << "measure on an empty lease";
+  request.trial = next_trial_.fetch_add(1);
+  try {
+    return measure_on(*lease.worker, request);
+  } catch (const std::exception& e) {
+    runtime::MeasureResult result;
+    result.valid = false;
+    result.error = std::string("worker pool error: ") + e.what();
+    return result;
+  }
+}
+
+void WorkerPool::release(Lease lease) {
+  TVMBO_CHECK(lease.worker != nullptr) << "release of an empty lease";
+  release(lease.worker);
+}
+
+void WorkerPool::kill_leased(const Lease& lease) {
+  TVMBO_CHECK(lease.worker != nullptr) << "kill of an empty lease";
+  std::lock_guard<std::mutex> pid_lock(pid_mutex_);
+  // Under pid_mutex_ the pid cannot be reaped-and-recycled concurrently:
+  // collect_exit() clears it and spawn() installs the next one only
+  // under this same lock.
+  if (lease.worker->pid >= 0) {
+    kills_.fetch_add(1);
+    Json event = worker_event("worker_kill", *lease.worker);
+    event.set("reason", "lease kill");
+    trace(std::move(event));
+    ::kill(lease.worker->pid, SIGKILL);
+  }
+}
+
+void WorkerPool::resize(std::size_t n) {
+  TVMBO_CHECK_GE(n, 1u) << "worker pool needs at least one worker";
+  std::vector<Worker*> to_shutdown;
+  {
+    std::lock_guard<std::mutex> lock(free_mutex_);
+    // Un-retire from the lowest ids up, retire from the highest down, so
+    // repeated resizes always converge on slots [0, n).
+    std::size_t active = 0;
+    for (auto& worker : workers_) {
+      if (!worker->retired) ++active;
+    }
+    if (n > active) {
+      // First revive retired-but-not-yet-gone slots, then append new ones.
+      for (auto& worker : workers_) {
+        if (active == n) break;
+        if (worker->retired) {
+          worker->retired = false;
+          // A slot retired while idle was shut down and dropped from
+          // free_; re-queue it as a parked dead slot (lazy respawn). A
+          // still-leased slot rejoins free_ through its release().
+          if (!worker->leased) {
+            worker->not_before = Clock::now();
+            free_.push_back(worker.get());
+          }
+          ++active;
+        }
+      }
+      while (active < n) {
+        auto worker = std::make_unique<Worker>();
+        worker->id = static_cast<int>(workers_.size());
+        // Parked dead slot with an expired deadline: the first dispatch
+        // spawns it (lazy growth — no fork storm inside the lock).
+        worker->not_before = Clock::now();
+        free_.push_back(worker.get());
+        workers_.push_back(std::move(worker));
+        ++active;
+      }
+    } else if (n < active) {
+      for (auto it = workers_.rbegin(); it != workers_.rend() && active > n;
+           ++it) {
+        Worker* worker = it->get();
+        if (worker->retired) continue;
+        worker->retired = true;
+        --active;
+        const auto free_it = std::find(free_.begin(), free_.end(), worker);
+        if (free_it != free_.end()) {
+          free_.erase(free_it);
+          to_shutdown.push_back(worker);  // free now: shut down below
+        }
+        // Leased slots finish their in-flight trial; release() reaps them.
+      }
+    }
+    options_.num_workers = n;
+  }
+  free_cv_.notify_all();
+  for (Worker* worker : to_shutdown) shutdown_worker(*worker);
+  Json event = Json::object();
+  event.set("event", "pool_resize");
+  event.set("num_workers", static_cast<std::int64_t>(n));
+  trace(std::move(event));
+}
+
+std::size_t WorkerPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(free_mutex_);
+  return options_.num_workers;
+}
+
+void WorkerPool::shutdown_worker(Worker& worker) {
+  if (worker.socket.valid()) {
+    write_frame(worker.socket.fd(), shutdown_message());
+  }
+  if (worker.pid >= 0) collect_exit(worker, /*force_kill=*/false);
+  worker.socket.close();
 }
 
 void WorkerPool::shutdown_all() {

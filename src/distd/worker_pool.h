@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -77,7 +78,22 @@ struct WorkerPoolOptions {
 std::string resolve_worker_binary(const std::string& configured);
 
 class WorkerPool {
+  struct Worker;
+
  public:
+  /// Exclusive ownership of one worker slot between try_acquire() and
+  /// release(): the holder may run any number of trials on it via
+  /// measure_leased() before giving it back. Leases let an external
+  /// scheduler (tvmbo_serve) do its own slot accounting — decide *which*
+  /// job gets a freed slot — instead of the pool's FIFO measure() path.
+  struct Lease {
+    int worker_id = -1;
+
+   private:
+    friend class WorkerPool;
+    Worker* worker = nullptr;
+  };
+
   /// Spawns the full fleet eagerly; throws CheckError when the worker
   /// binary cannot be started (bad path, no connect within the timeout).
   explicit WorkerPool(WorkerPoolOptions options);
@@ -92,7 +108,38 @@ class WorkerPool {
   /// the pool's dispatch id.
   runtime::MeasureResult measure(MeasureRequest request);
 
-  std::size_t num_workers() const { return options_.num_workers; }
+  /// Non-blocking acquire: a lease on a free slot (live, or dead with an
+  /// expired backoff — the next measure_leased() retries its spawn), or
+  /// nullopt when every slot is busy/cooling/retired. Every lease must be
+  /// release()d.
+  std::optional<Lease> try_acquire();
+
+  /// Runs one trial on a leased slot. Same fault containment as
+  /// measure(): never throws for per-trial failures, crashes/timeouts
+  /// come back as invalid results and the slot respawns under the same
+  /// lease. `request.trial` is overwritten with the pool's dispatch id.
+  runtime::MeasureResult measure_leased(Lease& lease, MeasureRequest request);
+
+  /// Returns a leased slot to the free list (or shuts it down, if the
+  /// slot was retired by a concurrent resize()).
+  void release(Lease lease);
+
+  /// SIGKILLs the process currently filling a leased slot (caller holds a
+  /// *different* thread's lease — e.g. the serve scheduler cancelling a
+  /// job whose trial is mid-flight). The dispatching thread sees EOF,
+  /// reports an invalid "worker crashed" result, and respawns the slot —
+  /// the ticket is never stranded. Safe against concurrent respawn: the
+  /// pid read and the kill happen under the pool's pid lock.
+  void kill_leased(const Lease& lease);
+
+  /// Elastically resizes the fleet to `n` active slots (n >= 1). Growth
+  /// adds parked slots that spawn lazily on first dispatch; shrinking
+  /// retires the highest-numbered slots — free ones shut down now, leased
+  /// ones when released. In-flight trials (and wait_any() tickets riding
+  /// on them) are never abandoned.
+  void resize(std::size_t n);
+
+  std::size_t num_workers() const;
   const std::string& endpoint() const { return listener_.endpoint(); }
 
   /// Fleet statistics (monotonic over the pool's lifetime).
@@ -111,6 +158,15 @@ class WorkerPool {
     /// (no process, skipped by acquire()). Written while the slot is
     /// exclusively owned; read under free_mutex_ once it is released.
     std::chrono::steady_clock::time_point not_before{};
+    /// Set by resize() shrinking the fleet: the slot serves out any
+    /// in-flight trial, then shuts down instead of returning to free_.
+    /// Guarded by free_mutex_.
+    bool retired = false;
+    /// Currently held by an acquire()/try_acquire() caller. Lets a
+    /// growing resize() tell a shut-down idle slot (must be re-queued
+    /// on free_) from a leased one (its release() re-queues it).
+    /// Guarded by free_mutex_.
+    bool leased = false;
   };
 
   void spawn(Worker& worker);  ///< fork/exec + wait for matching hello
@@ -127,6 +183,9 @@ class WorkerPool {
   void retry_spawn(Worker& worker);
   Worker* acquire();
   void release(Worker* worker);
+  /// Sends shutdown + reaps one worker (used by release() on retired
+  /// slots and by resize() on free retired slots).
+  void shutdown_worker(Worker& worker);
   void shutdown_all();
   double hard_deadline_s(const runtime::MeasureOption& option) const;
   void trace(Json event);
@@ -138,9 +197,12 @@ class WorkerPool {
   ListenSocket listener_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<Worker*> free_;
-  std::mutex free_mutex_;
+  mutable std::mutex free_mutex_;
   std::condition_variable free_cv_;
   std::mutex spawn_mutex_;
+  /// Serializes worker.pid transitions (spawn / collect_exit) against
+  /// kill_leased() so a cancel can never SIGKILL a recycled pid.
+  std::mutex pid_mutex_;
   std::atomic<std::uint64_t> next_trial_{0};
   std::atomic<std::size_t> spawns_{0};
   std::atomic<std::size_t> kills_{0};

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "tuners/measure_loop.h"
 
 namespace tvmbo::framework {
 
@@ -29,10 +30,61 @@ const char* objective_name(Objective objective) {
   return "?";
 }
 
+std::optional<StrategyKind> strategy_from_name(const std::string& name) {
+  if (name == "ytopt") return StrategyKind::kYtopt;
+  if (name == "random" || name == "autotvm-random") {
+    return StrategyKind::kAutotvmRandom;
+  }
+  if (name == "gridsearch" || name == "autotvm-gridsearch") {
+    return StrategyKind::kAutotvmGridSearch;
+  }
+  if (name == "ga" || name == "autotvm-ga") return StrategyKind::kAutotvmGa;
+  if (name == "xgb" || name == "autotvm-xgb") {
+    return StrategyKind::kAutotvmXgb;
+  }
+  return std::nullopt;
+}
+
 std::vector<StrategyKind> all_strategies() {
   return {StrategyKind::kAutotvmGa, StrategyKind::kAutotvmRandom,
           StrategyKind::kAutotvmGridSearch, StrategyKind::kAutotvmXgb,
           StrategyKind::kYtopt};
+}
+
+std::unique_ptr<tuners::Tuner> make_strategy_tuner(
+    StrategyKind kind, const cs::ConfigurationSpace* space,
+    std::uint64_t session_seed, const StrategyFactoryOptions& factory,
+    std::span<const tuners::Trial> warm_start) {
+  TVMBO_CHECK(space != nullptr) << "strategy factory requires a space";
+  // Derive a per-strategy seed so strategies are independent but the whole
+  // experiment is reproducible from the session seed.
+  const std::uint64_t seed =
+      hash_combine(session_seed, static_cast<std::uint64_t>(kind) + 17);
+  switch (kind) {
+    case StrategyKind::kYtopt: {
+      auto bo =
+          std::make_unique<ytopt::BayesianOptimizer>(space, seed, factory.bo);
+      if (!warm_start.empty()) {
+        bo->warm_start({warm_start.data(), warm_start.size()});
+      }
+      return bo;
+    }
+    case StrategyKind::kAutotvmRandom:
+      return autotvm::create_tuner(autotvm::TunerType::kRandom, space, seed);
+    case StrategyKind::kAutotvmGridSearch:
+      return autotvm::create_tuner(autotvm::TunerType::kGridSearch, space,
+                                   seed);
+    case StrategyKind::kAutotvmGa:
+      return autotvm::create_tuner(autotvm::TunerType::kGa, space, seed);
+    case StrategyKind::kAutotvmXgb: {
+      autotvm::TunerFactoryOptions options;
+      options.xgb_paper_eval_cap = factory.xgb_paper_eval_cap;
+      return autotvm::create_tuner(autotvm::TunerType::kXgb, space, seed,
+                                   options);
+    }
+  }
+  TVMBO_CHECK(false) << "unknown strategy";
+  return nullptr;
 }
 
 AutotuningSession::AutotuningSession(const autotvm::Task* task,
@@ -48,37 +100,15 @@ AutotuningSession::AutotuningSession(const autotvm::Task* task,
 
 std::unique_ptr<tuners::Tuner> AutotuningSession::make_strategy(
     StrategyKind kind) const {
-  const cs::ConfigurationSpace* space = &task_->config.space();
-  // Derive a per-strategy seed so strategies are independent but the whole
-  // experiment is reproducible from options_.seed.
-  const std::uint64_t seed =
-      hash_combine(options_.seed, static_cast<std::uint64_t>(kind) + 17);
-  switch (kind) {
-    case StrategyKind::kYtopt: {
-      auto bo = std::make_unique<ytopt::BayesianOptimizer>(space, seed,
-                                                           options_.bo);
-      if (options_.warm_start != nullptr) {
-        const std::vector<tuners::Trial> prior = warm_start_trials();
-        if (!prior.empty()) bo->warm_start(prior);
-      }
-      return bo;
-    }
-    case StrategyKind::kAutotvmRandom:
-      return autotvm::create_tuner(autotvm::TunerType::kRandom, space, seed);
-    case StrategyKind::kAutotvmGridSearch:
-      return autotvm::create_tuner(autotvm::TunerType::kGridSearch, space,
-                                   seed);
-    case StrategyKind::kAutotvmGa:
-      return autotvm::create_tuner(autotvm::TunerType::kGa, space, seed);
-    case StrategyKind::kAutotvmXgb: {
-      autotvm::TunerFactoryOptions factory;
-      factory.xgb_paper_eval_cap = options_.xgb_paper_eval_cap;
-      return autotvm::create_tuner(autotvm::TunerType::kXgb, space, seed,
-                                   factory);
-    }
+  StrategyFactoryOptions factory;
+  factory.xgb_paper_eval_cap = options_.xgb_paper_eval_cap;
+  factory.bo = options_.bo;
+  std::vector<tuners::Trial> prior;
+  if (kind == StrategyKind::kYtopt && options_.warm_start != nullptr) {
+    prior = warm_start_trials();
   }
-  TVMBO_CHECK(false) << "unknown strategy";
-  return nullptr;
+  return make_strategy_tuner(kind, &task_->config.space(), options_.seed,
+                             factory, prior);
 }
 
 std::vector<tuners::Trial> AutotuningSession::warm_start_trials() const {
@@ -191,27 +221,22 @@ SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
     // the modeled serial process clock does not apply; elapsed_s records
     // real wall-clock completion times instead.
     const Stopwatch wall;
+    tuners::AskTellSession ask_tell(strategy, options_.max_evaluations);
     std::unordered_map<runtime::MeasureRunner::Ticket, cs::Configuration>
         in_flight;
     const std::size_t slots = runner.async_slots();
-    std::size_t submitted = 0;
-    bool exhausted = false;
-    while (evaluations < options_.max_evaluations) {
+    bool out_of_time = false;
+    while (!ask_tell.done()) {
       if (options_.max_time_s > 0.0 &&
           wall.elapsed_seconds() >= options_.max_time_s) {
-        exhausted = true;  // budget spent: drain, don't submit
+        out_of_time = true;  // budget spent: drain, don't submit
       }
-      while (!exhausted && in_flight.size() < slots &&
-             submitted < options_.max_evaluations && strategy.has_next()) {
-        std::vector<cs::Configuration> next = strategy.next_batch(1);
-        if (next.empty()) {
-          exhausted = true;
-          break;
-        }
+      while (!out_of_time && in_flight.size() < slots) {
+        std::optional<cs::Configuration> next = ask_tell.ask();
+        if (!next.has_value()) break;
         const runtime::MeasureRunner::Ticket ticket =
-            runner.submit(task_->measure_input(next[0]), measure);
-        in_flight.emplace(ticket, std::move(next[0]));
-        ++submitted;
+            runner.submit(task_->measure_input(*next), measure);
+        in_flight.emplace(ticket, std::move(*next));
       }
       if (in_flight.empty()) break;
 
@@ -231,22 +256,21 @@ SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
           measured.energy_j <= 0.0) {
         valid = false;  // device has no power model
       }
-      tuners::Trial trial{std::move(it->second), metric, valid};
-      in_flight.erase(it);
+      ask_tell.tell(it->second, metric, valid);
 
       runtime::TrialRecord record;
       record.eval_index = static_cast<int>(evaluations);
       record.strategy = result.strategy;
       record.workload_id = task_->workload.id();
-      record.tiles = task_->config.space().values_int(trial.config);
+      record.tiles = task_->config.space().values_int(it->second);
       record.runtime_s = measured.runtime_s;
       record.energy_j = measured.energy_j;
       record.compile_s = measured.compile_s;
       record.elapsed_s = wall.elapsed_seconds();
       record.valid = valid;
       result.db.add(record);
+      in_flight.erase(it);
       evaluations += 1;
-      strategy.update({&trial, 1});
     }
     clock = wall.elapsed_seconds();
   } else {

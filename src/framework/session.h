@@ -22,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,11 @@ enum class StrategyKind {
 
 const char* strategy_name(StrategyKind kind);
 
+/// Parses a strategy name — the short CLI spellings ("ytopt", "random",
+/// "gridsearch", "ga", "xgb") and the full strategy_name() forms
+/// ("autotvm-random", …) — or nullopt for anything else.
+std::optional<StrategyKind> strategy_from_name(const std::string& name);
+
 /// What the search minimizes. kRuntime is the paper's metric; kEnergy and
 /// kEnergyDelay extend the framework toward ytopt's performance+energy
 /// tuning (the paper's reference [9]). Non-runtime objectives require a
@@ -53,6 +59,26 @@ const char* objective_name(Objective objective);
 
 /// All five strategies in the paper's presentation order.
 std::vector<StrategyKind> all_strategies();
+
+/// Strategy-specific knobs for make_strategy_tuner() (the subset of
+/// SessionOptions the tuner constructors consume).
+struct StrategyFactoryOptions {
+  /// Reproduce the paper's XGBTuner 56-evaluation artifact (> 0 enables).
+  std::size_t xgb_paper_eval_cap = 0;
+  ytopt::BoOptions bo;  ///< ytopt settings (kappa, forest, init design)
+};
+
+/// Builds the tuner for one strategy with the session's seed-derivation
+/// scheme: the per-strategy seed is hash_combine(session_seed, kind + 17),
+/// so any driver (AutotuningSession, tvmbo_serve job sessions, custom
+/// loops) constructing the same (strategy, session_seed) gets the same
+/// proposal stream. `warm_start` seeds the ytopt optimizer with prior
+/// trials (AutoTVM strategies ignore it). The space must outlive the
+/// tuner.
+std::unique_ptr<tuners::Tuner> make_strategy_tuner(
+    StrategyKind kind, const cs::ConfigurationSpace* space,
+    std::uint64_t session_seed, const StrategyFactoryOptions& factory = {},
+    std::span<const tuners::Trial> warm_start = {});
 
 struct SessionOptions {
   std::size_t max_evaluations = 100;  ///< the paper uses 100 everywhere

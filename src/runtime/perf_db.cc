@@ -1,5 +1,11 @@
 #include "runtime/perf_db.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -166,6 +172,65 @@ PerfDatabase PerfDatabase::load(const std::string& path) {
   std::ostringstream buffer;
   buffer << stream.rdbuf();
   return from_json_lines(buffer.str());
+}
+
+PerfDbAppender::PerfDbAppender(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+               0644);
+  TVMBO_CHECK(fd_ >= 0) << "cannot open '" << path << "' for appending: "
+                        << std::strerror(errno);
+}
+
+PerfDbAppender::~PerfDbAppender() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+PerfDbAppender::PerfDbAppender(PerfDbAppender&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+void PerfDbAppender::write_fully(const std::string& payload) {
+  const char* data = payload.data();
+  std::size_t remaining = payload.size();
+  bool locked = false;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd_, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      TVMBO_CHECK(false) << "append to '" << path_
+                         << "' failed: " << std::strerror(errno);
+    }
+    remaining -= static_cast<std::size_t>(n);
+    data += n;
+    if (remaining > 0 && !locked) {
+      // Short write: the record is torn mid-line. Finish it under the
+      // exclusive lock so no concurrent appender splices into it.
+      while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
+      }
+      locked = true;
+    }
+  }
+  if (locked) ::flock(fd_, LOCK_UN);
+}
+
+void PerfDbAppender::append(const TrialRecord& record) {
+  std::string line = record.to_json().dump();
+  line.push_back('\n');
+  write_fully(line);
+}
+
+void PerfDbAppender::append_all(std::span<const TrialRecord> records) {
+  if (records.empty()) return;
+  std::string payload;
+  for (const TrialRecord& record : records) {
+    payload += record.to_json().dump();
+    payload.push_back('\n');
+  }
+  while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
+  }
+  write_fully(payload);
+  ::flock(fd_, LOCK_UN);
 }
 
 }  // namespace tvmbo::runtime

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,52 @@ class PerfDatabase {
 
  private:
   std::vector<TrialRecord> records_;
+};
+
+/// Crash/concurrency-safe append-only writer for a shared JSONL perf
+/// database: many appenders (threads or processes — e.g. every tenant of a
+/// tvmbo_serve daemon) may target the same path simultaneously.
+///
+/// Safety model:
+///   * The file is opened O_APPEND, and append() issues the whole
+///     record — JSON plus trailing newline — as a single write(2), so two
+///     concurrent appends can interleave only at record granularity,
+///     never mid-line (POSIX O_APPEND writes are atomic with respect to
+///     the offset update).
+///   * If the kernel ever reports a short write (possible near a quota or
+///     on exotic filesystems), the remainder is completed under an
+///     exclusive flock so no other appender can splice into the torn
+///     record.
+///   * append_all() holds the flock across the whole batch so a
+///     multi-record flush lands contiguously.
+/// A process killed between records leaves a valid file; one killed
+/// mid-write leaves at most one torn final line, which the tolerant
+/// PerfDatabase::from_json_lines loader skips.
+class PerfDbAppender {
+ public:
+  /// Opens (creating if needed) `path` for appending. Fails the process
+  /// on open errors (same contract as PerfDatabase::save).
+  explicit PerfDbAppender(const std::string& path);
+  ~PerfDbAppender();
+
+  PerfDbAppender(const PerfDbAppender&) = delete;
+  PerfDbAppender& operator=(const PerfDbAppender&) = delete;
+  PerfDbAppender(PerfDbAppender&& other) noexcept;
+  PerfDbAppender& operator=(PerfDbAppender&&) = delete;
+
+  /// Appends one record (one atomic write; see class comment).
+  void append(const TrialRecord& record);
+
+  /// Appends a batch contiguously under an exclusive file lock.
+  void append_all(std::span<const TrialRecord> records);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_fully(const std::string& payload);
+
+  std::string path_;
+  int fd_ = -1;
 };
 
 }  // namespace tvmbo::runtime

@@ -1,0 +1,93 @@
+#include "serve/client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "distd/protocol.h"
+
+namespace tvmbo::serve {
+
+namespace {
+using distd::FrameStatus;
+}  // namespace
+
+ServeClient::ServeClient(const std::string& endpoint,
+                         double connect_timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(connect_timeout_s));
+  for (;;) {
+    try {
+      socket_ = distd::Socket::connect(endpoint);
+      return;
+    } catch (const CheckError&) {
+      if (std::chrono::steady_clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+}
+
+ServeClient::SubmitOutcome ServeClient::submit(const JobSpec& spec) {
+  SubmitOutcome out;
+  TVMBO_CHECK(distd::write_frame(socket_.fd(), spec.to_json()) ==
+              FrameStatus::kOk)
+      << "failed to send job_submit";
+  Json reply;
+  const FrameStatus status =
+      distd::read_frame(socket_.fd(), &reply, /*timeout_ms=*/30000);
+  TVMBO_CHECK(status == FrameStatus::kOk)
+      << "no submit reply (" << distd::frame_status_name(status) << ")";
+  const std::string type = distd::frame_type(reply);
+  if (type == "error") {
+    out.error_code = reply.at("code").as_string();
+    out.message = reply.at("message").as_string();
+    return out;
+  }
+  TVMBO_CHECK_EQ(type, "job_accept") << "unexpected submit reply";
+  out.job = static_cast<std::uint64_t>(reply.at("job").as_int());
+  return out;
+}
+
+std::optional<Json> ServeClient::next_event(int timeout_ms) {
+  Json frame;
+  const FrameStatus status =
+      distd::read_frame(socket_.fd(), &frame, timeout_ms);
+  if (status == FrameStatus::kTimeout) return std::nullopt;
+  TVMBO_CHECK(status == FrameStatus::kOk)
+      << "event stream broke (" << distd::frame_status_name(status) << ")";
+  return frame;
+}
+
+Json ServeClient::request(const Json& frame, int timeout_ms) {
+  TVMBO_CHECK(distd::write_frame(socket_.fd(), frame) == FrameStatus::kOk)
+      << "failed to send request";
+  Json reply;
+  const FrameStatus status =
+      distd::read_frame(socket_.fd(), &reply, timeout_ms);
+  TVMBO_CHECK(status == FrameStatus::kOk)
+      << "no reply (" << distd::frame_status_name(status) << ")";
+  return reply;
+}
+
+std::optional<Json> job_status(const std::string& endpoint,
+                               std::uint64_t job) {
+  ServeClient client(endpoint);
+  const Json reply = client.request(job_status_frame(job));
+  if (distd::frame_type(reply) != "status_reply") return std::nullopt;
+  return reply;
+}
+
+bool job_cancel(const std::string& endpoint, std::uint64_t job) {
+  ServeClient client(endpoint);
+  const Json reply = client.request(job_cancel_frame(job));
+  return distd::frame_type(reply) == "cancel_reply";
+}
+
+Json job_list(const std::string& endpoint) {
+  ServeClient client(endpoint);
+  return client.request(job_list_frame());
+}
+
+}  // namespace tvmbo::serve

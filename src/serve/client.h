@@ -1,0 +1,54 @@
+// ServeClient: client-side library for the tuning service, used by the
+// tvmbo_client CLI and the serve test suites. One instance wraps one
+// connection; submit() turns it into the job's event stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "distd/socket.h"
+#include "serve/protocol.h"
+
+namespace tvmbo::serve {
+
+class ServeClient {
+ public:
+  /// Connects to the daemon ("unix:<path>" | "tcp:<ip>:<port>"),
+  /// retrying for up to `connect_timeout_s` (the daemon may still be
+  /// binding its socket). Throws CheckError when the window elapses.
+  explicit ServeClient(const std::string& endpoint,
+                       double connect_timeout_s = 5.0);
+
+  struct SubmitOutcome {
+    std::uint64_t job = 0;
+    std::string error_code;  ///< empty on acceptance
+    std::string message;
+    bool ok() const { return error_code.empty(); }
+  };
+
+  /// Submits a job; on acceptance this connection streams its events.
+  SubmitOutcome submit(const JobSpec& spec);
+
+  /// Next event frame of a submitted job (nullopt on timeout; throws
+  /// CheckError when the server goes away mid-stream). `timeout_ms` -1
+  /// waits forever.
+  std::optional<Json> next_event(int timeout_ms);
+
+  /// One-shot request/reply on this connection (job_status / job_cancel
+  /// / job_list frames). Throws CheckError on transport failure.
+  Json request(const Json& frame, int timeout_ms = 10000);
+
+  int fd() const { return socket_.fd(); }
+
+ private:
+  distd::Socket socket_;
+};
+
+/// Convenience one-shots (each opens its own connection).
+std::optional<Json> job_status(const std::string& endpoint,
+                               std::uint64_t job);
+bool job_cancel(const std::string& endpoint, std::uint64_t job);
+Json job_list(const std::string& endpoint);
+
+}  // namespace tvmbo::serve

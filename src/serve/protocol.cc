@@ -1,0 +1,108 @@
+#include "serve/protocol.h"
+
+#include "common/logging.h"
+
+namespace tvmbo::serve {
+
+Json JobSpec::to_json() const {
+  Json out = Json::object();
+  out.set("type", "job_submit");
+  out.set("tenant", tenant);
+  out.set("kernel", kernel);
+  out.set("size", size);
+  out.set("strategy", strategy);
+  out.set("budget", static_cast<std::int64_t>(budget));
+  out.set("nthreads", nthreads);
+  out.set("seed", seed);
+  out.set("priority", priority);
+  out.set("backend", backend);
+  out.set("repeat", repeat);
+  out.set("timeout_s", timeout_s);
+  return out;
+}
+
+JobSpec JobSpec::from_json(const Json& json) {
+  JobSpec spec;
+  // kernel and budget are mandatory; everything else keeps its default.
+  spec.kernel = json.at("kernel").as_string();
+  TVMBO_CHECK(!spec.kernel.empty()) << "kernel must not be empty";
+  const std::int64_t budget = json.at("budget").as_int();
+  TVMBO_CHECK_GT(budget, 0) << "job budget must be positive";
+  spec.budget = static_cast<std::size_t>(budget);
+  if (json.contains("tenant")) spec.tenant = json.at("tenant").as_string();
+  TVMBO_CHECK(!spec.tenant.empty()) << "tenant must not be empty";
+  if (json.contains("size")) spec.size = json.at("size").as_string();
+  if (json.contains("strategy")) {
+    spec.strategy = json.at("strategy").as_string();
+  }
+  if (json.contains("nthreads")) spec.nthreads = json.at("nthreads").as_int();
+  TVMBO_CHECK_GE(spec.nthreads, 0) << "nthreads must be >= 0";
+  if (json.contains("seed")) {
+    spec.seed = static_cast<std::uint64_t>(json.at("seed").as_int());
+  }
+  if (json.contains("priority")) {
+    spec.priority = static_cast<int>(json.at("priority").as_int());
+    TVMBO_CHECK_GE(spec.priority, 0) << "priority must be >= 0";
+  }
+  if (json.contains("backend")) {
+    spec.backend = json.at("backend").as_string();
+  }
+  if (json.contains("repeat")) {
+    spec.repeat = static_cast<int>(json.at("repeat").as_int());
+    TVMBO_CHECK_GT(spec.repeat, 0) << "repeat must be positive";
+  }
+  if (json.contains("timeout_s")) {
+    spec.timeout_s = json.at("timeout_s").as_double();
+    TVMBO_CHECK_GE(spec.timeout_s, 0.0) << "timeout_s must be >= 0";
+  }
+  return spec;
+}
+
+Json error_frame(const std::string& code, const std::string& message) {
+  Json out = Json::object();
+  out.set("type", "error");
+  out.set("code", code);
+  out.set("message", message);
+  return out;
+}
+
+Json job_accept_frame(std::uint64_t job) {
+  Json out = Json::object();
+  out.set("type", "job_accept");
+  out.set("job", job);
+  return out;
+}
+
+Json job_status_frame(std::uint64_t job) {
+  Json out = Json::object();
+  out.set("type", "job_status");
+  out.set("job", job);
+  return out;
+}
+
+Json job_cancel_frame(std::uint64_t job) {
+  Json out = Json::object();
+  out.set("type", "job_cancel");
+  out.set("job", job);
+  return out;
+}
+
+Json job_list_frame() {
+  Json out = Json::object();
+  out.set("type", "job_list");
+  return out;
+}
+
+Json event_frame(const std::string& event, std::uint64_t job) {
+  Json out = Json::object();
+  out.set("type", "event");
+  out.set("event", event);
+  out.set("job", job);
+  return out;
+}
+
+bool is_terminal_event(const std::string& event) {
+  return event == "job_complete" || event == "job_cancel";
+}
+
+}  // namespace tvmbo::serve

@@ -1,0 +1,68 @@
+// Wire protocol of the tuning service (tvmbo_serve <-> tvmbo_client),
+// riding on distd's length-prefixed JSON framing (distd/protocol.h).
+//
+// Every request is one frame; the reply depends on the type:
+//   job_submit  -> job_accept {job} followed by a stream of event frames
+//                  on the same connection, ending with a terminal event
+//                  (job_complete or job_cancel) — or a typed error frame.
+//   job_status  -> status_reply {job, state, completed, ...} | error
+//   job_cancel  -> cancel_reply {job, state} | error
+//   job_list    -> list_reply {jobs: [...]}
+//
+// Typed error frames ({type: "error", code, message}) answer hostile or
+// over-quota input instead of dropping the connection silently; after a
+// framing-level violation (frame_too_large / malformed_frame) the stream
+// cannot be re-synchronized, so the server sends the error frame and
+// closes. Error codes: bad_request, quota_exceeded, queue_full,
+// unknown_job, draining, frame_too_large, malformed_frame.
+//
+// Event frames ({type: "event", event, job, ...}) mirror the daemon's
+// trace events for the one job the connection submitted: job_start,
+// job_trial (per evaluation: tiles, runtime_s, valid, best so far),
+// job_complete, job_cancel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+
+namespace tvmbo::serve {
+
+/// Frame-size limit the server enforces on client connections. Requests
+/// are small (a job spec, a job id); anything near distd's 16 MiB
+/// transport ceiling is hostile.
+inline constexpr std::uint32_t kServeMaxFrameBytes = 1u << 20;
+
+/// One tuning job as submitted by a client: which kernel instance to
+/// tune, with what strategy, and under which tenant/priority.
+struct JobSpec {
+  std::string tenant = "default";
+  std::string kernel;            ///< polybench kernel (or "fault.*")
+  std::string size = "large";    ///< dataset name
+  std::string strategy = "ytopt";
+  std::size_t budget = 100;      ///< max evaluations
+  std::int64_t nthreads = 1;     ///< != 1 appends parallel knobs
+  std::uint64_t seed = 2023;     ///< session seed (strategy seeds derive)
+  int priority = 1;              ///< lane: 0 highest, larger = later
+  std::string backend = "native";
+  int repeat = 1;                ///< timed runs per evaluation
+  double timeout_s = 0.0;        ///< per-run timeout (0 = none)
+
+  Json to_json() const;  ///< a complete job_submit frame
+  static JobSpec from_json(const Json& json);  ///< throws on bad fields
+};
+
+Json error_frame(const std::string& code, const std::string& message);
+Json job_accept_frame(std::uint64_t job);
+Json job_status_frame(std::uint64_t job);
+Json job_cancel_frame(std::uint64_t job);
+Json job_list_frame();
+
+/// {type: "event", event: <name>, job: <id>} — callers add the rest.
+Json event_frame(const std::string& event, std::uint64_t job);
+
+/// True for the two event names that end a job's stream.
+bool is_terminal_event(const std::string& event);
+
+}  // namespace tvmbo::serve

@@ -1,0 +1,566 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "configspace/configspace.h"
+#include "distd/fault_kernels.h"
+#include "kernels/polybench.h"
+#include "runtime/exec_backend.h"
+#include "tuners/measure_loop.h"
+
+namespace tvmbo::serve {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Json JobStatus::to_json() const {
+  Json out = Json::object();
+  out.set("job", id);
+  out.set("tenant", tenant);
+  out.set("workload", workload);
+  out.set("strategy", strategy);
+  out.set("state", job_state_name(state));
+  out.set("priority", priority);
+  out.set("budget", static_cast<std::int64_t>(budget));
+  out.set("completed", static_cast<std::int64_t>(completed));
+  out.set("in_flight", static_cast<std::int64_t>(in_flight));
+  out.set("slot_seconds", slot_seconds);
+  out.set("best_runtime_s", best_runtime_s);
+  return out;
+}
+
+/// One live job: the kernel's space, the strategy tuner seeded exactly
+/// like a solo AutotuningSession would seed it, and the AskTellSession
+/// the scheduler ticks. The space is heap-pinned (the tuner keeps a
+/// pointer into it).
+struct Scheduler::Job {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  runtime::Workload workload;
+  runtime::ExecBackend backend = runtime::ExecBackend::kNative;
+  std::unique_ptr<cs::ConfigurationSpace> space;
+  std::unique_ptr<tuners::Tuner> tuner;
+  std::unique_ptr<tuners::AskTellSession> session;
+  EventSink sink;
+
+  JobState state = JobState::kQueued;
+  std::size_t completed = 0;
+  std::size_t in_flight = 0;
+  double slot_seconds = 0.0;
+  double best_runtime_s = std::numeric_limits<double>::infinity();
+  std::vector<std::int64_t> best_tiles;
+  /// Leases of this job's in-flight dispatches (kill targets on cancel).
+  std::map<std::uint64_t, distd::WorkerPool::Lease> leases;
+
+  bool terminal() const {
+    return state == JobState::kDone || state == JobState::kCancelled;
+  }
+  /// Runnable = the fill loop may ask() it for another configuration.
+  bool runnable() const { return !terminal() && session->can_ask(); }
+
+  JobStatus status() const {
+    JobStatus out;
+    out.id = id;
+    out.tenant = spec.tenant;
+    out.workload = workload.id();
+    out.strategy = spec.strategy;
+    out.state = state;
+    out.priority = spec.priority;
+    out.budget = spec.budget;
+    out.completed = completed;
+    out.in_flight = in_flight;
+    out.slot_seconds = slot_seconds;
+    out.best_runtime_s =
+        best_runtime_s == std::numeric_limits<double>::infinity()
+            ? 0.0
+            : best_runtime_s;
+    return out;
+  }
+};
+
+struct Scheduler::Completion {
+  std::uint64_t dispatch = 0;
+  std::uint64_t job = 0;
+  cs::Configuration config;
+  runtime::MeasureResult result;
+  double elapsed_s = 0.0;
+};
+
+struct Scheduler::PendingEvent {
+  EventSink sink;
+  Json frame;
+};
+
+namespace {
+
+/// Space for a "fault.*" kernel (crash/cancel testing behind the same
+/// serve path): P0's single candidate is benign or armed, so the whole
+/// job deterministically does (or does not) fault; P1 is a dummy knob
+/// that gives the strategies several distinct configurations to propose
+/// (tuners never re-propose, so a one-point space would cap every fault
+/// job at a single trial).
+std::unique_ptr<cs::ConfigurationSpace> build_fault_space(bool armed) {
+  auto space = std::make_unique<cs::ConfigurationSpace>();
+  space->add(std::make_shared<cs::OrdinalHyperparameter>(
+      "P0", std::vector<double>{
+                static_cast<double>(armed ? distd::kFaultTrigger : 1)}));
+  space->add(std::make_shared<cs::OrdinalHyperparameter>(
+      "P1", std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8}));
+  return space;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerOptions options)
+    : options_(std::move(options)) {
+  // Pin the shared artifact cache before any job or worker exists: all
+  // tenants' jit trials must agree on one content-addressed directory.
+  options_.jit.cache_dir = options_.jit.resolved_cache_dir();
+  options_.pool.trace = options_.trace;
+  pool_ = std::make_unique<distd::WorkerPool>(options_.pool);
+  if (!options_.perf_db_path.empty()) {
+    perf_db_ =
+        std::make_unique<runtime::PerfDbAppender>(options_.perf_db_path);
+  }
+  scheduler_thread_ = std::thread([this] { run(); });
+}
+
+Scheduler::~Scheduler() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  scheduler_thread_.join();
+  // drain() guarantees no dispatch thread is left, but be defensive.
+  for (auto& [id, thread] : dispatch_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Scheduler::trace(Json event) {
+  if (options_.trace != nullptr) options_.trace->record(std::move(event));
+}
+
+Scheduler::SubmitResult Scheduler::submit(const JobSpec& spec,
+                                          EventSink sink) {
+  SubmitResult out;
+  auto reject = [&](const std::string& code, const std::string& message) {
+    out.error_code = code;
+    out.message = message;
+    Json event = Json::object();
+    event.set("event", "job_reject");
+    event.set("tenant", spec.tenant);
+    event.set("code", code);
+    trace(std::move(event));
+    return out;
+  };
+
+  // Build everything fallible *outside* the lock; admission is the only
+  // part that needs the registry.
+  auto job = std::make_unique<Job>();
+  job->spec = spec;
+  job->sink = std::move(sink);
+  try {
+    const std::optional<framework::StrategyKind> kind =
+        framework::strategy_from_name(spec.strategy);
+    TVMBO_CHECK(kind.has_value()) << "unknown strategy: " << spec.strategy;
+    const std::optional<runtime::ExecBackend> backend =
+        runtime::exec_backend_from_name(spec.backend);
+    TVMBO_CHECK(backend.has_value()) << "unknown backend: " << spec.backend;
+    job->backend = *backend;
+    if (distd::is_fault_kernel(spec.kernel)) {
+      job->workload = distd::make_fault_workload(spec.kernel);
+      job->space = build_fault_space(spec.nthreads != 1);
+    } else {
+      const kernels::Dataset dataset =
+          kernels::dataset_from_name(spec.size);
+      job->workload = kernels::make_workload(spec.kernel, dataset);
+      kernels::ParallelKnobs knobs;
+      knobs.enabled = spec.nthreads != 1;
+      knobs.max_threads = spec.nthreads;
+      if (knobs.enabled) {
+        TVMBO_CHECK(job->backend != runtime::ExecBackend::kNative)
+            << "parallel tuning (nthreads != 1) requires a TE backend";
+      }
+      job->space = std::make_unique<cs::ConfigurationSpace>(
+          kernels::build_space(spec.kernel, job->workload.dims, knobs));
+    }
+    if (options_.max_budget > 0 && spec.budget > options_.max_budget) {
+      return reject("bad_request",
+                    "budget exceeds the server cap of " +
+                        std::to_string(options_.max_budget));
+    }
+    job->tuner = framework::make_strategy_tuner(*kind, job->space.get(),
+                                                spec.seed,
+                                                options_.strategy);
+    job->session = std::make_unique<tuners::AskTellSession>(*job->tuner,
+                                                            spec.budget);
+  } catch (const std::exception& e) {
+    return reject("bad_request", e.what());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || stop_) {
+      return reject("draining", "server is draining; try again later");
+    }
+    std::size_t active = 0;
+    std::size_t tenant_active = 0;
+    for (const auto& [id, other] : jobs_) {
+      if (other->terminal()) continue;
+      ++active;
+      if (other->spec.tenant == spec.tenant) ++tenant_active;
+    }
+    if (options_.max_active_jobs > 0 && active >= options_.max_active_jobs) {
+      return reject("queue_full",
+                    "server at its active-job cap of " +
+                        std::to_string(options_.max_active_jobs));
+    }
+    if (options_.max_jobs_per_tenant > 0 &&
+        tenant_active >= options_.max_jobs_per_tenant) {
+      return reject("quota_exceeded",
+                    "tenant '" + spec.tenant + "' at its quota of " +
+                        std::to_string(options_.max_jobs_per_tenant) +
+                        " active job(s)");
+    }
+    job->id = next_job_id_++;
+    out.job = job->id;
+    Json event = Json::object();
+    event.set("event", "job_admit");
+    event.set("job", job->id);
+    event.set("tenant", spec.tenant);
+    event.set("workload", job->workload.id());
+    event.set("strategy", spec.strategy);
+    event.set("budget", static_cast<std::int64_t>(spec.budget));
+    event.set("priority", spec.priority);
+    trace(std::move(event));
+    jobs_.emplace(job->id, std::move(job));
+  }
+  cv_.notify_all();  // wake the fill loop
+  return out;
+}
+
+bool Scheduler::cancel(std::uint64_t job_id, const std::string& reason) {
+  std::vector<PendingEvent> events;
+  std::vector<distd::WorkerPool::Lease> to_kill;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end() || it->second->terminal()) return false;
+    Job& job = *it->second;
+    finish_cancel_locked(job, reason, events);
+    for (const auto& [dispatch, lease] : job.leases) {
+      to_kill.push_back(lease);
+    }
+  }
+  // SIGKILL outside the lock: each dispatch thread comes back with the
+  // crash verdict, its completion is abandoned, and the respawned slot
+  // goes back to the pool for the other tenants.
+  for (const distd::WorkerPool::Lease& lease : to_kill) {
+    pool_->kill_leased(lease);
+  }
+  emit(events);
+  cv_.notify_all();
+  return true;
+}
+
+void Scheduler::finish_cancel_locked(Job& job, const std::string& reason,
+                                     std::vector<PendingEvent>& events) {
+  job.state = JobState::kCancelled;
+  Json event = Json::object();
+  event.set("event", "job_cancel");
+  event.set("job", job.id);
+  event.set("tenant", job.spec.tenant);
+  event.set("reason", reason);
+  event.set("completed", static_cast<std::int64_t>(job.completed));
+  trace(event);
+  if (job.sink) {
+    Json frame = event_frame("job_cancel", job.id);
+    frame.set("reason", reason);
+    frame.set("completed", static_cast<std::int64_t>(job.completed));
+    events.push_back({job.sink, std::move(frame)});
+  }
+}
+
+std::optional<JobStatus> Scheduler::status(std::uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second->status();
+}
+
+std::vector<JobStatus> Scheduler::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job->status());
+  return out;
+}
+
+void Scheduler::drain() {
+  std::vector<PendingEvent> events;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (draining_) {
+      // Second drainer (e.g. the destructor after an explicit drain):
+      // just wait for quiescence.
+      cv_.wait(lock, [&] {
+        return dispatch_threads_.empty() && completions_.empty();
+      });
+      return;
+    }
+    draining_ = true;
+    Json event = Json::object();
+    event.set("event", "serve_drain");
+    trace(std::move(event));
+    // In-flight trials deliver normally (the scheduler thread keeps
+    // telling results while we wait); nothing new is proposed because
+    // fill_slots_locked checks draining_.
+    cv_.wait(lock, [&] {
+      return dispatch_threads_.empty() && completions_.empty();
+    });
+    for (auto& [id, job] : jobs_) {
+      if (!job->terminal()) finish_cancel_locked(*job, "drain", events);
+    }
+  }
+  emit(events);
+  cv_.notify_all();
+}
+
+Scheduler::Job* Scheduler::pick_job_locked() {
+  // Deficit fair share within the best (lowest-numbered) non-empty
+  // priority lane: the runnable job that has consumed the least worker
+  // slot-time goes first; in-flight count then id break ties so a fresh
+  // tie alternates instead of pinning to one job.
+  Job* pick = nullptr;
+  for (auto& [id, job] : jobs_) {
+    if (!job->runnable()) continue;
+    if (pick == nullptr) {
+      pick = job.get();
+      continue;
+    }
+    if (job->spec.priority != pick->spec.priority) {
+      if (job->spec.priority < pick->spec.priority) pick = job.get();
+      continue;
+    }
+    if (job->slot_seconds != pick->slot_seconds) {
+      if (job->slot_seconds < pick->slot_seconds) pick = job.get();
+      continue;
+    }
+    if (job->in_flight < pick->in_flight) pick = job.get();
+  }
+  return pick;
+}
+
+void Scheduler::fill_slots_locked(std::vector<PendingEvent>& events) {
+  if (draining_ || stop_) return;
+  for (;;) {
+    Job* job = pick_job_locked();
+    if (job == nullptr) break;
+    std::optional<distd::WorkerPool::Lease> lease = pool_->try_acquire();
+    if (!lease.has_value()) break;  // every slot busy: wait for completions
+
+    std::optional<cs::Configuration> config = job->session->ask();
+    if (!config.has_value()) {
+      // Space exhausted between pick and ask: give the slot back and
+      // repick (the job is no longer runnable).
+      pool_->release(std::move(*lease));
+      continue;
+    }
+
+    if (job->state == JobState::kQueued) {
+      job->state = JobState::kRunning;
+      Json event = Json::object();
+      event.set("event", "job_start");
+      event.set("job", job->id);
+      event.set("tenant", job->spec.tenant);
+      trace(std::move(event));
+      if (job->sink) {
+        events.push_back({job->sink, event_frame("job_start", job->id)});
+      }
+    }
+
+    distd::MeasureRequest request;
+    request.workload = job->workload;
+    request.tiles = job->space->values_int(*config);
+    request.backend = job->backend;
+    request.jit = options_.jit;
+    request.option.repeat = job->spec.repeat;
+    request.option.timeout_s = job->spec.timeout_s;
+    request.seed = job->spec.seed;
+
+    const std::uint64_t dispatch = next_dispatch_id_++;
+    job->in_flight += 1;
+    job->leases.emplace(dispatch, *lease);
+    {
+      Json event = Json::object();
+      event.set("event", "job_dispatch");
+      event.set("job", job->id);
+      event.set("dispatch", dispatch);
+      event.set("worker", lease->worker_id);
+      trace(std::move(event));
+    }
+    const std::uint64_t job_id = job->id;
+    dispatch_threads_.emplace(
+        dispatch,
+        std::thread([this, dispatch, job_id, lease = std::move(*lease),
+                     request = std::move(request),
+                     config = std::move(*config)]() mutable {
+          const Stopwatch watch;
+          runtime::MeasureResult result =
+              pool_->measure_leased(lease, std::move(request));
+          const double elapsed = watch.elapsed_seconds();
+          pool_->release(std::move(lease));
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            completions_.push_back({dispatch, job_id, std::move(config),
+                                    std::move(result), elapsed});
+          }
+          cv_.notify_all();
+        }));
+  }
+}
+
+void Scheduler::handle_completion_locked(Completion completion,
+                                         std::vector<PendingEvent>& events) {
+  // Reap the dispatch thread (it has already posted this completion, so
+  // the join is immediate).
+  auto thread_it = dispatch_threads_.find(completion.dispatch);
+  if (thread_it != dispatch_threads_.end()) {
+    thread_it->second.join();
+    dispatch_threads_.erase(thread_it);
+  }
+  auto it = jobs_.find(completion.job);
+  TVMBO_CHECK(it != jobs_.end())
+      << "completion for unknown job " << completion.job;
+  Job& job = *it->second;
+  job.in_flight -= 1;
+  job.slot_seconds += completion.elapsed_s;
+  job.leases.erase(completion.dispatch);
+
+  if (job.state == JobState::kCancelled) {
+    // The trial raced the cancel (often SIGKILLed mid-run): drop it
+    // without feeding the tuner — the session just balances its books.
+    job.session->abandon();
+    return;
+  }
+
+  const runtime::MeasureResult& measured = completion.result;
+  job.session->tell(completion.config, measured.runtime_s, measured.valid);
+  const std::size_t eval_index = job.completed;
+  job.completed += 1;
+  const std::vector<std::int64_t> tiles =
+      job.space->values_int(completion.config);
+  if (measured.valid && measured.runtime_s < job.best_runtime_s) {
+    job.best_runtime_s = measured.runtime_s;
+    job.best_tiles = tiles;
+  }
+
+  if (perf_db_ != nullptr) {
+    runtime::TrialRecord record;
+    record.eval_index = static_cast<int>(eval_index);
+    record.strategy = job.spec.tenant + "/" + std::to_string(job.id) + "/" +
+                      job.spec.strategy;
+    record.workload_id = job.workload.id();
+    record.tiles = tiles;
+    record.runtime_s = measured.runtime_s;
+    record.compile_s = measured.compile_s;
+    record.energy_j = measured.energy_j;
+    record.elapsed_s = job.slot_seconds;
+    record.valid = measured.valid;
+    perf_db_->append(record);
+  }
+
+  {
+    Json event = Json::object();
+    event.set("event", "job_trial");
+    event.set("job", job.id);
+    event.set("i", static_cast<std::int64_t>(eval_index));
+    event.set("runtime_s", measured.runtime_s);
+    event.set("valid", measured.valid);
+    trace(std::move(event));
+  }
+  if (job.sink) {
+    Json frame = event_frame("job_trial", job.id);
+    frame.set("i", static_cast<std::int64_t>(eval_index));
+    Json tiles_json = Json::array();
+    for (std::int64_t t : tiles) tiles_json.push_back(t);
+    frame.set("tiles", std::move(tiles_json));
+    frame.set("runtime_s", measured.runtime_s);
+    frame.set("valid", measured.valid);
+    if (!measured.error.empty()) frame.set("error", measured.error);
+    frame.set("best_runtime_s",
+              job.best_runtime_s == std::numeric_limits<double>::infinity()
+                  ? 0.0
+                  : job.best_runtime_s);
+    events.push_back({job.sink, std::move(frame)});
+  }
+
+  if (job.session->done()) {
+    job.state = JobState::kDone;
+    Json event = Json::object();
+    event.set("event", "job_complete");
+    event.set("job", job.id);
+    event.set("tenant", job.spec.tenant);
+    event.set("completed", static_cast<std::int64_t>(job.completed));
+    event.set("slot_seconds", job.slot_seconds);
+    trace(std::move(event));
+    if (job.sink) {
+      Json frame = event_frame("job_complete", job.id);
+      frame.set("completed", static_cast<std::int64_t>(job.completed));
+      frame.set("best_runtime_s",
+                job.best_runtime_s == std::numeric_limits<double>::infinity()
+                    ? 0.0
+                    : job.best_runtime_s);
+      Json best = Json::array();
+      for (std::int64_t t : job.best_tiles) best.push_back(t);
+      frame.set("best_tiles", std::move(best));
+      events.push_back({job.sink, std::move(frame)});
+    }
+  }
+}
+
+void Scheduler::emit(std::vector<PendingEvent>& events) {
+  for (PendingEvent& event : events) {
+    if (event.sink) event.sink(event.frame);
+  }
+  events.clear();
+}
+
+void Scheduler::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<PendingEvent> events;
+  for (;;) {
+    while (!completions_.empty()) {
+      Completion completion = std::move(completions_.front());
+      completions_.pop_front();
+      handle_completion_locked(std::move(completion), events);
+    }
+    fill_slots_locked(events);
+    if (!events.empty()) {
+      lock.unlock();
+      emit(events);
+      cv_.notify_all();  // drain() waits on completion bookkeeping
+      lock.lock();
+      continue;  // events may have taken time; re-check completions
+    }
+    if (stop_ && completions_.empty() && dispatch_threads_.empty()) break;
+    cv_.notify_all();
+    cv_.wait(lock);
+  }
+}
+
+}  // namespace tvmbo::serve

@@ -1,0 +1,172 @@
+// Multi-tenant tuning scheduler: multiplexes every active job's
+// streaming BO loop onto one shared elastic WorkerPool.
+//
+// Each job is an AskTellSession (tuners/measure_loop.h) — the same
+// propose/tell machine run_measure_loop_async drives — plus the
+// kernel's configuration space and a strategy tuner built by
+// framework::make_strategy_tuner with the session's seed-derivation
+// scheme. The scheduler thread ticks all sessions from the outside:
+//
+//   completions -> tell/abandon, record, emit events
+//   fill        -> while a worker slot is free, pick the runnable job
+//                  (highest-priority lane, then lowest consumed
+//                  slot-seconds — deficit fair share), ask() it for one
+//                  configuration, and dispatch the trial on a leased
+//                  slot in its own thread
+//
+// Because the proposal stream of a session depends only on (space, seed,
+// tell history), a single job on a one-worker daemon reproduces the
+// `--runner proc --async` trajectory bit-identically: both drive strict
+// ask/measure/tell alternation through the same AskTellSession.
+//
+// Admission control: a global active-job cap and a per-tenant cap, both
+// answered with typed errors (queue_full / quota_exceeded) rather than
+// queueing unboundedly. Cancellation SIGKILLs the job's in-flight
+// workers via WorkerPool::kill_leased — the dispatch threads get the
+// crash verdict, the slots respawn and go to other tenants, and no
+// wait_any-style ticket is ever stranded. drain() (SIGTERM) stops
+// admission and proposals, delivers in-flight results, then cancels
+// whatever is unfinished.
+//
+// All completed trials of all tenants append to one global JSONL perf
+// database through PerfDbAppender (crash/concurrency-safe appends), and
+// every jit-backend trial compiles into one shared content-addressed
+// artifact cache (the cache dir is pinned at scheduler construction).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codegen/artifact_cache.h"
+#include "distd/worker_pool.h"
+#include "framework/session.h"
+#include "runtime/perf_db.h"
+#include "runtime/trace_log.h"
+#include "serve/protocol.h"
+
+namespace tvmbo::serve {
+
+struct SchedulerOptions {
+  distd::WorkerPoolOptions pool;  ///< the shared fleet (elastic: resize())
+  /// Compiler/flags/artifact cache shared by every jit-backend job across
+  /// tenants; cache_dir is resolved once at construction.
+  codegen::JitOptions jit;
+  /// Global cap on jobs that are queued or running (0 = unlimited).
+  std::size_t max_active_jobs = 16;
+  /// Per-tenant cap on jobs that are queued or running (0 = unlimited).
+  std::size_t max_jobs_per_tenant = 4;
+  /// Per-job evaluation-budget ceiling (0 = unlimited).
+  std::size_t max_budget = 10000;
+  /// Strategy knobs (xgb cap, BO options) shared by all jobs.
+  framework::StrategyFactoryOptions strategy;
+  /// Path of the global cross-tenant JSONL perf database ("" disables).
+  std::string perf_db_path;
+  /// Lifecycle/trial event log (not owned; may be null; must outlive the
+  /// scheduler).
+  runtime::TraceLog* trace = nullptr;
+};
+
+enum class JobState { kQueued, kRunning, kDone, kCancelled };
+const char* job_state_name(JobState state);
+
+/// Snapshot of one job for status/list replies.
+struct JobStatus {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::string workload;
+  std::string strategy;
+  JobState state = JobState::kQueued;
+  int priority = 1;
+  std::size_t budget = 0;
+  std::size_t completed = 0;
+  std::size_t in_flight = 0;
+  double slot_seconds = 0.0;  ///< worker time consumed (fair-share meter)
+  double best_runtime_s = 0.0;  ///< 0 until a valid trial lands
+
+  Json to_json() const;
+};
+
+class Scheduler {
+ public:
+  /// Per-job event callback. Invoked from the scheduler thread with the
+  /// scheduler mutex released — a sink may block on a slow client socket
+  /// without stalling dispatch bookkeeping (though it delays event
+  /// delivery for other jobs; the server keeps per-connection writes
+  /// short). Null sinks are fine (fire-and-forget jobs).
+  using EventSink = std::function<void(const Json&)>;
+
+  struct SubmitResult {
+    std::uint64_t job = 0;
+    std::string error_code;  ///< empty on success
+    std::string message;
+    bool ok() const { return error_code.empty(); }
+  };
+
+  /// Spawns the worker fleet and the scheduler thread eagerly.
+  explicit Scheduler(SchedulerOptions options);
+  /// Drains (if not already drained) and stops everything.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admission-checks and enqueues one job. On success the job is live
+  /// and `sink` starts receiving its event frames.
+  SubmitResult submit(const JobSpec& spec, EventSink sink);
+
+  /// Cancels a queued/running job: stops proposing, SIGKILLs its
+  /// in-flight workers, emits the job_cancel event. False when the job
+  /// is unknown or already terminal.
+  bool cancel(std::uint64_t job, const std::string& reason);
+
+  std::optional<JobStatus> status(std::uint64_t job) const;
+  std::vector<JobStatus> list() const;
+
+  /// Graceful shutdown: rejects new submissions, proposes nothing new,
+  /// waits for every in-flight trial to deliver, then cancels unfinished
+  /// jobs (reason "drain"). Idempotent; blocks until quiescent.
+  void drain();
+
+  distd::WorkerPool& pool() { return *pool_; }
+
+ private:
+  struct Job;
+  struct Completion;
+  struct PendingEvent;
+
+  void run();  ///< scheduler thread main
+  void fill_slots_locked(std::vector<PendingEvent>& events);
+  void handle_completion_locked(Completion completion,
+                                std::vector<PendingEvent>& events);
+  Job* pick_job_locked();
+  void finish_cancel_locked(Job& job, const std::string& reason,
+                            std::vector<PendingEvent>& events);
+  void emit(std::vector<PendingEvent>& events);
+  void trace(Json event);
+
+  SchedulerOptions options_;
+  std::unique_ptr<distd::WorkerPool> pool_;
+  std::unique_ptr<runtime::PerfDbAppender> perf_db_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::deque<Completion> completions_;
+  std::map<std::uint64_t, std::thread> dispatch_threads_;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t next_dispatch_id_ = 1;
+  bool draining_ = false;
+  bool stop_ = false;
+  std::thread scheduler_thread_;
+};
+
+}  // namespace tvmbo::serve

@@ -44,6 +44,44 @@ MeasureLoopResult run_measure_loop(Tuner& tuner,
   return out;
 }
 
+AskTellSession::AskTellSession(Tuner& tuner, std::size_t max_evaluations)
+    : tuner_(tuner), max_evaluations_(max_evaluations) {}
+
+bool AskTellSession::can_ask() const {
+  return !exhausted_ && submitted_ < max_evaluations_ && tuner_.has_next();
+}
+
+std::optional<cs::Configuration> AskTellSession::ask() {
+  if (!can_ask()) return std::nullopt;
+  // Strict ask-one order: a liar-imputing tuner accounts for the
+  // configurations already in flight, so asking one at a time never
+  // re-proposes a pending point — and keeps the proposal sequence a pure
+  // function of (space, seed, tell history), independent of how many
+  // slots the driver happens to have free.
+  std::vector<cs::Configuration> next = tuner_.next_batch(1);
+  if (next.empty()) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  ++submitted_;
+  return std::move(next[0]);
+}
+
+void AskTellSession::tell(const cs::Configuration& config, double metric,
+                          bool valid) {
+  TVMBO_CHECK_LT(completed_, submitted_)
+      << "tell without a matching in-flight ask";
+  Trial trial{config, metric, valid};
+  tuner_.update({&trial, 1});
+  ++completed_;
+}
+
+void AskTellSession::abandon() {
+  TVMBO_CHECK_LT(completed_, submitted_)
+      << "abandon without a matching in-flight ask";
+  ++completed_;
+}
+
 MeasureLoopResult run_measure_loop_async(Tuner& tuner,
                                          runtime::MeasureRunner& runner,
                                          const MeasureInputFn& make_input,
@@ -52,27 +90,20 @@ MeasureLoopResult run_measure_loop_async(Tuner& tuner,
       << "measure loop requires an input builder";
 
   MeasureLoopResult out;
+  AskTellSession session(tuner, options.max_evaluations);
   std::unordered_map<runtime::MeasureRunner::Ticket, cs::Configuration>
       in_flight;
-  std::size_t submitted = 0;
-  bool exhausted = false;
   const std::size_t slots = runner.async_slots();
 
-  while (out.evaluations < options.max_evaluations) {
+  while (!session.done()) {
     // Refill every free slot before blocking: the tuner's ask() is cheap
-    // relative to a measurement, and a liar-imputing tuner accounts for
-    // the submissions already in flight.
-    while (!exhausted && in_flight.size() < slots &&
-           submitted < options.max_evaluations && tuner.has_next()) {
-      std::vector<cs::Configuration> next = tuner.next_batch(1);
-      if (next.empty()) {
-        exhausted = true;
-        break;
-      }
+    // relative to a measurement.
+    while (in_flight.size() < slots) {
+      std::optional<cs::Configuration> next = session.ask();
+      if (!next.has_value()) break;
       const runtime::MeasureRunner::Ticket ticket =
-          runner.submit(make_input(next[0]), options.measure);
-      in_flight.emplace(ticket, std::move(next[0]));
-      ++submitted;
+          runner.submit(make_input(*next), options.measure);
+      in_flight.emplace(ticket, std::move(*next));
     }
     if (in_flight.empty()) break;  // budget or space exhausted: drain done
 
@@ -80,11 +111,11 @@ MeasureLoopResult run_measure_loop_async(Tuner& tuner,
     auto it = in_flight.find(completion.ticket);
     TVMBO_CHECK(it != in_flight.end())
         << "completion for unknown ticket " << completion.ticket;
-    Trial trial{std::move(it->second), completion.result.runtime_s,
-                completion.result.valid};
+    session.tell(it->second, completion.result.runtime_s,
+                 completion.result.valid);
+    out.trials.push_back({std::move(it->second), completion.result.runtime_s,
+                          completion.result.valid});
     in_flight.erase(it);
-    tuner.update({&trial, 1});
-    out.trials.push_back(std::move(trial));
     out.results.push_back(std::move(completion.result));
     out.evaluations += 1;
   }

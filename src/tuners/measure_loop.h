@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "runtime/measure_runner.h"
@@ -42,6 +43,58 @@ MeasureLoopResult run_measure_loop(Tuner& tuner,
                                    runtime::MeasureRunner& runner,
                                    const MeasureInputFn& make_input,
                                    const MeasureLoopOptions& options = {});
+
+/// The propose/tell state machine of a streaming tuning session, with the
+/// driving loop factored *out*: ask() hands the caller the next
+/// configuration to measure (strict ask-one order, so trajectories are
+/// reproducible) and tell() feeds a completed measurement back, while the
+/// session tracks budget, in-flight count, and space exhaustion. Both
+/// run_measure_loop_async and the tvmbo_serve scheduler drive their
+/// sessions through this class — the daemon's externally-ticked
+/// multi-tenant loops and the single-tenant `--async` loop are the same
+/// machine, which is what makes a fixed-seed serve job reproduce the
+/// `--runner proc --async` trajectory bit-identically.
+///
+/// Not thread-safe: exactly one driver (the loop, or the serve scheduler
+/// thread) may call ask()/tell().
+class AskTellSession {
+ public:
+  /// The tuner must outlive the session. `max_evaluations` caps submitted
+  /// trials (asked configurations), told or not.
+  AskTellSession(Tuner& tuner, std::size_t max_evaluations);
+
+  /// Proposes the next configuration, or nullopt once the budget is fully
+  /// submitted or the tuner exhausts its space. Every returned
+  /// configuration must eventually be tell()-ed (or abandon()-ed).
+  std::optional<cs::Configuration> ask();
+
+  /// Feeds one completed measurement back to the tuner (completion order;
+  /// a liar-imputing tuner un-hallucinates the config on update).
+  void tell(const cs::Configuration& config, double metric, bool valid);
+
+  /// Drops one in-flight trial without telling the tuner (a cancelled or
+  /// discarded measurement). The budget slot is *not* refunded.
+  void abandon();
+
+  /// True while ask() may still return a configuration.
+  bool can_ask() const;
+  /// True once every submitted trial has been told/abandoned and no more
+  /// can be asked — the session's terminal state.
+  bool done() const { return !can_ask() && in_flight() == 0; }
+
+  std::size_t submitted() const { return submitted_; }
+  std::size_t completed() const { return completed_; }
+  std::size_t in_flight() const { return submitted_ - completed_; }
+  std::size_t max_evaluations() const { return max_evaluations_; }
+  Tuner& tuner() { return tuner_; }
+
+ private:
+  Tuner& tuner_;
+  std::size_t max_evaluations_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  bool exhausted_ = false;
+};
 
 /// Completion-driven variant: keeps runner.async_slots() trials in
 /// flight via submit()/wait_any(), asking the tuner for one more

@@ -111,7 +111,7 @@ TEST(DistdProtocol, OversizeLengthPrefixIsProtocolError) {
       static_cast<unsigned char>(huge)};
   ASSERT_EQ(::send(pair.a.fd(), prefix, 4, 0), 4);
   Json decoded;
-  EXPECT_EQ(read_frame(pair.b.fd(), &decoded, 1000), FrameStatus::kError);
+  EXPECT_EQ(read_frame(pair.b.fd(), &decoded, 1000), FrameStatus::kTooLarge);
 }
 
 TEST(DistdProtocol, MalformedPayloadIsProtocolError) {
@@ -128,7 +128,7 @@ TEST(DistdProtocol, MalformedPayloadIsProtocolError) {
                    static_cast<ssize_t>(garbage.size()), 0),
             static_cast<ssize_t>(garbage.size()));
   Json decoded;
-  EXPECT_EQ(read_frame(pair.b.fd(), &decoded, 1000), FrameStatus::kError);
+  EXPECT_EQ(read_frame(pair.b.fd(), &decoded, 1000), FrameStatus::kMalformed);
 }
 
 TEST(DistdProtocol, MeasureRequestJsonRoundTrip) {

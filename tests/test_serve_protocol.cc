@@ -1,0 +1,332 @@
+// Serve wire protocol + distd framing hardening: job-spec validation,
+// max-frame-size enforcement before allocation, typed rejection of
+// oversized/malformed/garbage frames, and fuzz-style hostile-client
+// salvos against a live server.
+#include "serve/protocol.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "distd/protocol.h"
+#include "distd/worker_pool.h"
+#include "serve/client.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+
+namespace tvmbo::serve {
+namespace {
+
+using distd::FrameStatus;
+
+// --- JobSpec --------------------------------------------------------------
+
+TEST(ServeProtocol, JobSpecRoundTrips) {
+  JobSpec spec;
+  spec.tenant = "alice";
+  spec.kernel = "3mm";
+  spec.size = "small";
+  spec.strategy = "ytopt";
+  spec.budget = 42;
+  spec.nthreads = 4;
+  spec.seed = 99;
+  spec.priority = 0;
+  spec.backend = "jit";
+  spec.repeat = 2;
+  spec.timeout_s = 1.5;
+
+  const JobSpec back = JobSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.tenant, spec.tenant);
+  EXPECT_EQ(back.kernel, spec.kernel);
+  EXPECT_EQ(back.size, spec.size);
+  EXPECT_EQ(back.strategy, spec.strategy);
+  EXPECT_EQ(back.budget, spec.budget);
+  EXPECT_EQ(back.nthreads, spec.nthreads);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.priority, spec.priority);
+  EXPECT_EQ(back.backend, spec.backend);
+  EXPECT_EQ(back.repeat, spec.repeat);
+  EXPECT_DOUBLE_EQ(back.timeout_s, spec.timeout_s);
+}
+
+TEST(ServeProtocol, JobSpecRejectsBadFields) {
+  const auto rejects = [](const char* mutation, Json frame) {
+    EXPECT_THROW(JobSpec::from_json(frame), std::exception) << mutation;
+  };
+  JobSpec good;
+  good.kernel = "gemm";
+
+  Json no_kernel = good.to_json();
+  no_kernel.set("kernel", "");
+  rejects("empty kernel", no_kernel);
+
+  Json zero_budget = good.to_json();
+  zero_budget.set("budget", 0);
+  rejects("zero budget", zero_budget);
+
+  Json negative_budget = good.to_json();
+  negative_budget.set("budget", -5);
+  rejects("negative budget", negative_budget);
+
+  Json empty_tenant = good.to_json();
+  empty_tenant.set("tenant", "");
+  rejects("empty tenant", empty_tenant);
+
+  Json bad_priority = good.to_json();
+  bad_priority.set("priority", -1);
+  rejects("negative priority", bad_priority);
+
+  Json bad_repeat = good.to_json();
+  bad_repeat.set("repeat", 0);
+  rejects("zero repeat", bad_repeat);
+
+  Json bad_timeout = good.to_json();
+  bad_timeout.set("timeout_s", -1.0);
+  rejects("negative timeout", bad_timeout);
+}
+
+// --- Framing hardening (distd::read_frame max_bytes) ----------------------
+
+/// A connected socket pair for exercising read_frame against raw bytes.
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { TVMBO_CHECK_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  void write_raw(const void* data, std::size_t size) {
+    ASSERT_EQ(::write(fds[0], data, size), static_cast<ssize_t>(size));
+  }
+  /// Big-endian length prefix, as the wire format specifies.
+  void write_prefix(std::uint32_t size) {
+    const std::uint32_t be = htonl(size);
+    write_raw(&be, sizeof(be));
+  }
+};
+
+TEST(ServeProtocol, OversizedPrefixRejectedBeforeAllocation) {
+  SocketPair pair;
+  // Claims ~2 GiB; read_frame must reject on the prefix alone — no
+  // payload ever arrives, so a buggy implementation would block or OOM.
+  pair.write_prefix(0x7fffffffu);
+  Json message;
+  EXPECT_EQ(distd::read_frame(pair.fds[1], &message, /*timeout_ms=*/2000,
+                              kServeMaxFrameBytes),
+            FrameStatus::kTooLarge);
+}
+
+TEST(ServeProtocol, FrameOverServeCapButUnderTransportCapRejected) {
+  SocketPair pair;
+  pair.write_prefix(kServeMaxFrameBytes + 1);
+  Json message;
+  EXPECT_EQ(distd::read_frame(pair.fds[1], &message, /*timeout_ms=*/2000,
+                              kServeMaxFrameBytes),
+            FrameStatus::kTooLarge);
+}
+
+TEST(ServeProtocol, GarbagePayloadIsMalformed) {
+  SocketPair pair;
+  const std::string garbage = "{]this is not json![}";
+  pair.write_prefix(static_cast<std::uint32_t>(garbage.size()));
+  pair.write_raw(garbage.data(), garbage.size());
+  Json message;
+  EXPECT_EQ(distd::read_frame(pair.fds[1], &message, /*timeout_ms=*/2000,
+                              kServeMaxFrameBytes),
+            FrameStatus::kMalformed);
+}
+
+TEST(ServeProtocol, TruncatedFrameReportsClosed) {
+  SocketPair pair;
+  pair.write_prefix(100);
+  pair.write_raw("partial", 7);
+  ::close(pair.fds[0]);
+  pair.fds[0] = -1;
+  Json message;
+  EXPECT_EQ(distd::read_frame(pair.fds[1], &message, /*timeout_ms=*/2000,
+                              kServeMaxFrameBytes),
+            FrameStatus::kClosed);
+}
+
+TEST(ServeProtocol, PartialFrameTimesOutWithoutConsuming) {
+  SocketPair pair;
+  pair.write_prefix(100);
+  pair.write_raw("partial", 7);
+  Json message;
+  EXPECT_EQ(distd::read_frame(pair.fds[1], &message, /*timeout_ms=*/100,
+                              kServeMaxFrameBytes),
+            FrameStatus::kTimeout);
+}
+
+TEST(ServeProtocol, ValidFrameUnderCapStillReads) {
+  SocketPair pair;
+  Json frame = Json::object();
+  frame.set("type", "job_list");
+  ASSERT_EQ(distd::write_frame(pair.fds[0], frame), FrameStatus::kOk);
+  Json message;
+  ASSERT_EQ(distd::read_frame(pair.fds[1], &message, /*timeout_ms=*/2000,
+                              kServeMaxFrameBytes),
+            FrameStatus::kOk);
+  EXPECT_EQ(distd::frame_type(message), "job_list");
+}
+
+// --- Hostile clients against a live server --------------------------------
+
+bool worker_binary_available() {
+  const std::string binary = distd::resolve_worker_binary("");
+  if (binary.find('/') == std::string::npos) return false;
+  return ::access(binary.c_str(), X_OK) == 0;
+}
+
+#define SKIP_WITHOUT_WORKER()                                        \
+  do {                                                               \
+    if (!worker_binary_available())                                  \
+      GTEST_SKIP() << "tvmbo_worker binary not found; build the "    \
+                      "tools targets first";                         \
+  } while (0)
+
+struct LiveServer {
+  Scheduler scheduler;
+  ServeServer server;
+
+  static SchedulerOptions scheduler_options() {
+    SchedulerOptions options;
+    options.pool.num_workers = 1;
+    options.pool.heartbeat_ms = 100;
+    return options;
+  }
+  static ServerOptions server_options() {
+    ServerOptions options;
+    options.socket_path = "/tmp/tvmbo_serve_proto_" +
+                          std::to_string(::getpid()) + ".sock";
+    options.poll_ms = 50;
+    return options;
+  }
+
+  LiveServer() : scheduler(scheduler_options()),
+                 server(&scheduler, server_options()) {}
+  ~LiveServer() {
+    scheduler.drain();
+    server.shutdown();
+  }
+};
+
+/// The server must answer a framing violation with the matching typed
+/// error frame and then close — the stream cannot be re-synchronized.
+TEST(ServeProtocol, ServerSendsTypedErrorOnOversizedFrame) {
+  SKIP_WITHOUT_WORKER();
+  LiveServer live;
+  distd::Socket conn = distd::Socket::connect(live.server.endpoint());
+  const std::uint32_t be = htonl(kServeMaxFrameBytes + 1);
+  ASSERT_EQ(::write(conn.fd(), &be, sizeof(be)),
+            static_cast<ssize_t>(sizeof(be)));
+  Json reply;
+  ASSERT_EQ(distd::read_frame(conn.fd(), &reply, /*timeout_ms=*/5000),
+            FrameStatus::kOk);
+  EXPECT_EQ(distd::frame_type(reply), "error");
+  EXPECT_EQ(reply.at("code").as_string(), "frame_too_large");
+  // And then the connection dies.
+  EXPECT_EQ(distd::read_frame(conn.fd(), &reply, /*timeout_ms=*/5000),
+            FrameStatus::kClosed);
+}
+
+TEST(ServeProtocol, ServerSendsTypedErrorOnMalformedFrame) {
+  SKIP_WITHOUT_WORKER();
+  LiveServer live;
+  distd::Socket conn = distd::Socket::connect(live.server.endpoint());
+  const std::string garbage = "\x01\x02{{{{ not json";
+  const std::uint32_t be = htonl(static_cast<std::uint32_t>(garbage.size()));
+  ASSERT_EQ(::write(conn.fd(), &be, sizeof(be)),
+            static_cast<ssize_t>(sizeof(be)));
+  ASSERT_EQ(::write(conn.fd(), garbage.data(), garbage.size()),
+            static_cast<ssize_t>(garbage.size()));
+  Json reply;
+  ASSERT_EQ(distd::read_frame(conn.fd(), &reply, /*timeout_ms=*/5000),
+            FrameStatus::kOk);
+  EXPECT_EQ(distd::frame_type(reply), "error");
+  EXPECT_EQ(reply.at("code").as_string(), "malformed_frame");
+}
+
+TEST(ServeProtocol, ServerRejectsUnknownTypeAndBadSpecs) {
+  SKIP_WITHOUT_WORKER();
+  LiveServer live;
+  {
+    Json frame = Json::object();
+    frame.set("type", "make_me_a_sandwich");
+    distd::Socket conn = distd::Socket::connect(live.server.endpoint());
+    ASSERT_EQ(distd::write_frame(conn.fd(), frame), FrameStatus::kOk);
+    Json reply;
+    ASSERT_EQ(distd::read_frame(conn.fd(), &reply, /*timeout_ms=*/5000),
+              FrameStatus::kOk);
+    EXPECT_EQ(reply.at("code").as_string(), "bad_request");
+  }
+  {
+    JobSpec spec;
+    spec.kernel = "gemm";
+    Json frame = spec.to_json();
+    frame.set("budget", -3);
+    distd::Socket conn = distd::Socket::connect(live.server.endpoint());
+    ASSERT_EQ(distd::write_frame(conn.fd(), frame), FrameStatus::kOk);
+    Json reply;
+    ASSERT_EQ(distd::read_frame(conn.fd(), &reply, /*timeout_ms=*/5000),
+              FrameStatus::kOk);
+    EXPECT_EQ(reply.at("code").as_string(), "bad_request");
+  }
+  {
+    distd::Socket conn = distd::Socket::connect(live.server.endpoint());
+    ASSERT_EQ(distd::write_frame(conn.fd(), job_status_frame(424242)),
+              FrameStatus::kOk);
+    Json reply;
+    ASSERT_EQ(distd::read_frame(conn.fd(), &reply, /*timeout_ms=*/5000),
+              FrameStatus::kOk);
+    EXPECT_EQ(reply.at("code").as_string(), "unknown_job");
+  }
+}
+
+/// Fuzz-style salvos: random byte blobs, random prefixes, truncated
+/// writes. The server must survive all of them and still answer a
+/// well-formed request afterwards.
+TEST(ServeProtocol, ServerSurvivesFuzzSalvos) {
+  SKIP_WITHOUT_WORKER();
+  LiveServer live;
+  Rng rng(20260807);
+  for (int round = 0; round < 24; ++round) {
+    distd::Socket conn = distd::Socket::connect(live.server.endpoint());
+    const int shape = static_cast<int>(rng.uniform_int(3));
+    if (shape == 0) {
+      // Raw garbage, no framing at all.
+      std::vector<unsigned char> blob(1 + rng.uniform_int(256));
+      for (auto& byte : blob) {
+        byte = static_cast<unsigned char>(rng.uniform_int(256));
+      }
+      (void)::write(conn.fd(), blob.data(), blob.size());
+    } else if (shape == 1) {
+      // Random prefix, maybe absurd, with a short payload behind it.
+      const std::uint32_t claimed =
+          static_cast<std::uint32_t>(rng.uniform_int(1 << 26));
+      const std::uint32_t be = htonl(claimed);
+      (void)::write(conn.fd(), &be, sizeof(be));
+      const std::string junk = "junk-after-prefix";
+      (void)::write(conn.fd(), junk.data(), junk.size());
+    } else {
+      // Truncated prefix then immediate hangup.
+      const unsigned char half[2] = {0x00, 0x01};
+      (void)::write(conn.fd(), half, sizeof(half));
+    }
+    // Drop the connection without reading any reply.
+  }
+  // The daemon still serves well-formed traffic.
+  const Json list = job_list(live.server.endpoint());
+  EXPECT_EQ(distd::frame_type(list), "list_reply");
+  EXPECT_EQ(list.at("jobs").as_array().size(), 0u);
+}
+
+}  // namespace
+}  // namespace tvmbo::serve

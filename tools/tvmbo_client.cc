@@ -1,0 +1,157 @@
+// tvmbo_client: CLI for the tvmbo_serve tuning daemon.
+//
+//   # Submit a job and stream its progress as JSONL until it finishes:
+//   tvmbo_client submit --connect unix:/tmp/tvmbo.sock \
+//       --kernel 3mm --size mini --strategy ytopt --budget 40
+//
+//   # Inspect / control running jobs:
+//   tvmbo_client status --connect unix:/tmp/tvmbo.sock --job 3
+//   tvmbo_client cancel --connect unix:/tmp/tvmbo.sock --job 3
+//   tvmbo_client list   --connect unix:/tmp/tvmbo.sock
+//
+// submit options (defaults in parentheses):
+//   --kernel K      polybench kernel, required
+//   --size S        dataset (large)
+//   --strategy S    ytopt | random | gridsearch | ga | xgb (ytopt)
+//   --budget N      max evaluations (100)
+//   --nthreads N    != 1 tunes the parallel knobs too (1)
+//   --seed N        session seed (2023)
+//   --priority N    lane, 0 = most urgent (1)
+//   --tenant T      tenant name for quota accounting (default)
+//   --backend B     native | jit (native)
+//   --repeat N      timed runs per evaluation (1)
+//   --timeout S     per-run timeout seconds (0 = none)
+//
+// submit streams every event frame as one JSON line on stdout. Exit
+// status: 0 when the job completes, 3 when it is cancelled, 2 on usage
+// or submission errors (quota, bad request, dead daemon).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "serve/client.h"
+
+using namespace tvmbo;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s submit --connect ENDPOINT --kernel K [opts]\n"
+               "       %s status --connect ENDPOINT --job N\n"
+               "       %s cancel --connect ENDPOINT --job N\n"
+               "       %s list   --connect ENDPOINT\n",
+               argv0, argv0, argv0, argv0);
+  std::exit(2);
+}
+
+int run_submit(const std::string& endpoint, const serve::JobSpec& spec) {
+  serve::ServeClient client(endpoint);
+  const auto outcome = client.submit(spec);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "submit rejected: %s: %s\n",
+                 outcome.error_code.c_str(), outcome.message.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "job %llu accepted\n",
+               static_cast<unsigned long long>(outcome.job));
+  for (;;) {
+    const auto event = client.next_event(/*timeout_ms=*/1000);
+    if (!event.has_value()) continue;
+    std::printf("%s\n", event->dump().c_str());
+    std::fflush(stdout);
+    if (!event->contains("event")) continue;
+    const std::string& name = event->at("event").as_string();
+    if (name == "job_complete") return 0;
+    if (name == "job_cancel") return 3;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  const std::string command = argv[1];
+  std::string endpoint;
+  std::uint64_t job = 0;
+  bool have_job = false;
+  serve::JobSpec spec;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--connect") {
+      endpoint = value();
+    } else if (arg == "--job") {
+      job = static_cast<std::uint64_t>(std::atoll(value().c_str()));
+      have_job = true;
+    } else if (arg == "--kernel") {
+      spec.kernel = value();
+    } else if (arg == "--size") {
+      spec.size = value();
+    } else if (arg == "--strategy") {
+      spec.strategy = value();
+    } else if (arg == "--budget") {
+      spec.budget = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (arg == "--nthreads") {
+      spec.nthreads = std::atoll(value().c_str());
+    } else if (arg == "--seed") {
+      spec.seed = static_cast<std::uint64_t>(std::atoll(value().c_str()));
+    } else if (arg == "--priority") {
+      spec.priority = std::atoi(value().c_str());
+    } else if (arg == "--tenant") {
+      spec.tenant = value();
+    } else if (arg == "--backend") {
+      spec.backend = value();
+    } else if (arg == "--repeat") {
+      spec.repeat = std::atoi(value().c_str());
+    } else if (arg == "--timeout") {
+      spec.timeout_s = std::atof(value().c_str());
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (endpoint.empty()) usage(argv[0]);
+
+  try {
+    if (command == "submit") {
+      if (spec.kernel.empty()) usage(argv[0]);
+      return run_submit(endpoint, spec);
+    }
+    if (command == "status") {
+      if (!have_job) usage(argv[0]);
+      const auto reply = serve::job_status(endpoint, job);
+      if (!reply.has_value()) {
+        std::fprintf(stderr, "no job %llu\n",
+                     static_cast<unsigned long long>(job));
+        return 2;
+      }
+      std::printf("%s\n", reply->dump().c_str());
+      return 0;
+    }
+    if (command == "cancel") {
+      if (!have_job) usage(argv[0]);
+      if (!serve::job_cancel(endpoint, job)) {
+        std::fprintf(stderr, "no cancellable job %llu\n",
+                     static_cast<unsigned long long>(job));
+        return 2;
+      }
+      std::printf("cancelled %llu\n", static_cast<unsigned long long>(job));
+      return 0;
+    }
+    if (command == "list") {
+      std::printf("%s\n", serve::job_list(endpoint).dump().c_str());
+      return 0;
+    }
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  usage(argv[0]);
+}

@@ -262,18 +262,10 @@ int main(int argc, char** argv) {
   if (args.strategy == "all") {
     results = session.run_all();
   } else {
-    framework::StrategyKind kind;
-    if (args.strategy == "ytopt") kind = framework::StrategyKind::kYtopt;
-    else if (args.strategy == "random")
-      kind = framework::StrategyKind::kAutotvmRandom;
-    else if (args.strategy == "gridsearch")
-      kind = framework::StrategyKind::kAutotvmGridSearch;
-    else if (args.strategy == "ga")
-      kind = framework::StrategyKind::kAutotvmGa;
-    else if (args.strategy == "xgb")
-      kind = framework::StrategyKind::kAutotvmXgb;
-    else usage(argv[0]);
-    results.push_back(session.run(kind));
+    const std::optional<framework::StrategyKind> kind =
+        framework::strategy_from_name(args.strategy);
+    if (!kind.has_value()) usage(argv[0]);
+    results.push_back(session.run(*kind));
   }
 
   const std::string title = args.kernel + " / " + args.size + " (" +
