@@ -46,6 +46,11 @@ struct FigureSpec {
   /// backends: 1 (default) keeps the space serial, 0 = all cores, N caps
   /// the candidates at N.
   std::int64_t threads = 1;
+  /// Widen the cpu TE-program space with the vectorize (vec_axis),
+  /// unroll, and pack knobs (see kernels::ScheduleKnobs).
+  bool vectorize = false;
+  bool unroll = false;
+  bool pack = false;
   /// Measurement runner for --device cpu: "local" measures in-process
   /// (default), "proc" in out-of-process workers (src/distd/) with crash
   /// isolation and hard timeouts.
@@ -59,6 +64,8 @@ struct FigureSpec {
 ///   --device sim|cpu   --backend native|interp|closure|jit
 ///   --size S           --evals N   --seed N   --jit-cache DIR
 ///   --threads N        (parallel-schedule knobs; see FigureSpec::threads)
+///   --vectorize --unroll --pack  (widen the cpu space with the
+///                      vec_axis/unroll/pack schedule knobs)
 ///   --runner local|proc  --workers N  (out-of-process measurement)
 /// Exits with usage on unknown flags.
 inline void parse_figure_args(int argc, char** argv, FigureSpec* spec) {
@@ -67,12 +74,25 @@ inline void parse_figure_args(int argc, char** argv, FigureSpec* spec) {
                  "usage: %s [--device sim|cpu] "
                  "[--backend native|interp|closure|jit] [--size S] "
                  "[--evals N] [--seed N] [--jit-cache DIR] [--threads N] "
+                 "[--vectorize] [--unroll] [--pack] "
                  "[--runner local|proc] [--workers N]\n",
                  argv[0]);
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag == "--vectorize") {
+      spec->vectorize = true;
+      continue;
+    }
+    if (flag == "--unroll") {
+      spec->unroll = true;
+      continue;
+    }
+    if (flag == "--pack") {
+      spec->pack = true;
+      continue;
+    }
     if (i + 1 >= argc) usage();
     const std::string value = argv[++i];
     if (flag == "--device") {
@@ -112,12 +132,15 @@ inline void parse_figure_args(int argc, char** argv, FigureSpec* spec) {
 
 inline int run_figure_experiment(const FigureSpec& spec) {
   const bool cpu = spec.device == "cpu";
-  kernels::ParallelKnobs parallel_knobs;
-  parallel_knobs.enabled = cpu && spec.threads != 1;
-  parallel_knobs.max_threads = spec.threads;
+  kernels::ScheduleKnobs schedule_knobs;
+  schedule_knobs.enabled = cpu && spec.threads != 1;
+  schedule_knobs.max_threads = spec.threads;
+  schedule_knobs.vectorize = cpu && spec.vectorize;
+  schedule_knobs.unroll = cpu && spec.unroll;
+  schedule_knobs.pack = cpu && spec.pack;
   const autotvm::Task task =
       cpu ? kernels::make_task(spec.kernel, spec.dataset, spec.backend,
-                               spec.jit_options, parallel_knobs)
+                               spec.jit_options, schedule_knobs)
           : kernels::make_task(spec.kernel, spec.dataset);
   const std::string name =
       spec.kernel + "-" + kernels::dataset_name(spec.dataset);

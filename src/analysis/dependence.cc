@@ -392,6 +392,17 @@ std::vector<const te::ForNode*> proven_parallel_loops(const te::Stmt& root) {
   return proven;
 }
 
+std::vector<const te::ForNode*> proven_vectorized_loops(
+    const te::Stmt& root) {
+  std::vector<const te::ForNode*> proven;
+  for (const LoopProof& proof : analyze_parallel_loops(root)) {
+    if (proof.proven && proof.loop->for_kind == te::ForKind::kVectorized) {
+      proven.push_back(proof.loop);
+    }
+  }
+  return proven;
+}
+
 void require_race_free(const te::Stmt& root, const te::Var& loop_var,
                        const std::string& context) {
   for (const LoopProof& proof : analyze_parallel_loops(root)) {

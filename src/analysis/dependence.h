@@ -55,6 +55,13 @@ std::vector<LoopProof> analyze_parallel_loops(const te::Stmt& root);
 /// membership.
 std::vector<const te::ForNode*> proven_parallel_loops(const te::Stmt& root);
 
+/// The kVectorized loops of `root` with a successful race-freedom proof,
+/// identified by node address — codegen gates `#pragma omp simd` emission
+/// on membership exactly as proven_parallel_loops gates `omp parallel
+/// for`.
+std::vector<const te::ForNode*> proven_vectorized_loops(
+    const te::Stmt& root);
+
 /// Throws CheckError (rule `parallel-loop-race`) unless the loop bound by
 /// `loop_var` in `root` is proven race-free. A loop whose kind needs no
 /// proof passes trivially. `context` names the caller (schedule primitive

@@ -45,6 +45,13 @@ struct JitOptions {
   /// the pragma text and the extra flag feed the cache key, so parallel
   /// and serial builds of the same kernel never collide.
   int parallel_threads = 1;
+  /// Unroll hint for residual kUnrolled loops (those whose extent exceeds
+  /// te::kUnrollMaxExtent, which the jit pre-pass leaves intact instead of
+  /// straight-lining): values >= 2 emit `#pragma GCC unroll <N>` above
+  /// them, 0/1 emit nothing. The pragma text feeds the cache key, so
+  /// different hints never collide. Like the parallel/simd pragmas this
+  /// is a pure control-flow hint — float64 bits are unchanged.
+  int unroll_factor = 0;
 
   /// Compiler after environment resolution.
   std::string resolved_compiler() const;

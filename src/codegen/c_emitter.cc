@@ -78,6 +78,9 @@ struct Emitter {
   /// when options.parallel is set, so serial emission never runs the
   /// analyzer and stays byte-identical for cache keys.
   std::set<const ForNode*> proven_parallel;
+  /// Same contract for kVectorized loops and `#pragma omp simd`;
+  /// populated only when options.vectorize is set.
+  std::set<const ForNode*> proven_vectorized;
   /// Per-emission variable numbering. Global VarNode ids differ between
   /// otherwise-identical programs (every instantiation mints fresh Vars),
   /// which would make the emitted source — and therefore the artifact
@@ -309,15 +312,20 @@ void Emitter::emit_stmt(const StmtNode* stmt, int depth) {
     case StmtKind::kFor: {
       const auto* node = static_cast<const ForNode*>(stmt);
       const std::string v = var_name(node->var.get());
-      // Annotations are performance hints; the serial emission matches the
-      // interpreter's iteration order (-O3 vectorizes/unrolls on its own).
-      // kParallel additionally gets an OpenMP pragma when requested, gated
-      // on a machine-checked race-freedom proof from the dependence
-      // analyzer (proven_parallel): inner loop variables are declared
-      // inside the body, so they are thread-private automatically, and the
-      // proof guarantees distinct iterations write disjoint elements.
-      // Without -fopenmp the unknown pragma is ignored and the loop runs
-      // serially.
+      // Every emission still matches the interpreter's iteration order per
+      // output element; the annotations add pragmas on top of it, each
+      // gated so it cannot change float64 bits. kParallel gets the OpenMP
+      // work-sharing pragma when requested, gated on a machine-checked
+      // race-freedom proof from the dependence analyzer (proven_parallel):
+      // inner loop variables are declared inside the body, so they are
+      // thread-private automatically, and the proof guarantees distinct
+      // iterations write disjoint elements. kVectorized gets `#pragma omp
+      // simd` under the same proof regime (proven_vectorized) — racing
+      // lanes are impossible, and -ffp-contract=off keeps each lane's
+      // arithmetic bit-exact. Residual kUnrolled loops (the jit pre-pass
+      // straight-lines the small ones before emission) get a GCC unroll
+      // hint, which only rewrites control flow. Without the matching
+      // compile flag every pragma is ignored and the loop runs serially.
       if (options.parallel && node->for_kind == te::ForKind::kParallel &&
           node->extent > 1 && proven_parallel.count(node) != 0) {
         indent(depth);
@@ -326,6 +334,25 @@ void Emitter::emit_stmt(const StmtNode* stmt, int depth) {
           out << " num_threads(" << options.num_threads << ")";
         }
         out << "\n";
+      } else if (options.vectorize &&
+                 node->for_kind == te::ForKind::kVectorized &&
+                 node->extent > 1 && proven_vectorized.count(node) != 0) {
+        indent(depth);
+        out << "#pragma omp simd";
+        if (!tensors.empty()) {
+          out << " aligned(";
+          for (std::size_t i = 0; i < tensors.size(); ++i) {
+            if (i > 0) out << ",";
+            out << tensors[i].name;
+          }
+          out << ":8)";
+        }
+        out << "\n";
+      } else if (options.unroll &&
+                 node->for_kind == te::ForKind::kUnrolled &&
+                 options.unroll_factor > 1) {
+        indent(depth);
+        out << "#pragma GCC unroll " << options.unroll_factor << "\n";
       }
       indent(depth);
       out << "for (int64_t " << v << " = 0; " << v << " < INT64_C("
@@ -383,8 +410,10 @@ void Emitter::emit_stmt(const StmtNode* stmt, int depth) {
       out << "{  /* realize " << tensor->name << " */\n";
       indent(depth + 1);
       // calloc matches the interpreter's fresh zero-initialized
-      // allocation per region entry.
-      out << "double* " << name << " = (double*)calloc((size_t)" << elements
+      // allocation per region entry. The fresh allocation aliases nothing,
+      // so the restrict qualifier (simd emission only) is trivially true.
+      out << "double* " << (options.vectorize ? "restrict " : "") << name
+          << " = (double*)calloc((size_t)" << elements
           << ", sizeof(double));\n";
       indent(depth + 1);
       out << "if (!" << name << ") abort();\n";
@@ -414,6 +443,12 @@ std::string emit_c_source(const te::Stmt& stmt,
     for (const te::ForNode* loop :
          analysis::proven_parallel_loops(stmt)) {
       emitter.proven_parallel.insert(loop);
+    }
+  }
+  if (options.vectorize) {
+    for (const te::ForNode* loop :
+         analysis::proven_vectorized_loops(stmt)) {
+      emitter.proven_vectorized.insert(loop);
     }
   }
   emitter.out << "/* generated by tvmbo::codegen (do not edit) */\n"
@@ -447,7 +482,10 @@ std::string emit_c_source(const te::Stmt& stmt,
     name += std::to_string(i);
     name += '_';
     name += sanitize(tensor->name);
-    emitter.out << "  double* " << name << " = bufs[" << i << "];\n";
+    // restrict (simd emission only): the measurement contract binds every
+    // parameter to a distinct array, so the promise holds.
+    emitter.out << "  double* " << (options.vectorize ? "restrict " : "")
+                << name << " = bufs[" << i << "];\n";
     emitter.tensors.push_back(
         {tensor, name, row_major_strides(tensor->shape)});
   }

@@ -36,6 +36,23 @@ struct EmitOptions {
   /// Thread count for the pragma's num_threads() clause; 0 omits the
   /// clause (OpenMP runtime default, i.e. all cores).
   int num_threads = 0;
+  /// When set, loops annotated kVectorized get `#pragma omp simd` with an
+  /// aligned() clause over the in-scope buffers, and every parameter /
+  /// realize pointer is declared restrict. Emission is gated on the same
+  /// machine-checked race-freedom proof as the parallel pragma, so a simd
+  /// lane can never be licensed across a loop-carried dependence; under
+  /// -ffp-contract=off the vectorized loop is still bit-identical to the
+  /// serial interpreter. Meaningful under -fopenmp or -fopenmp-simd;
+  /// without either the pragma is ignored. Off by default so plain
+  /// emissions stay byte-identical (stable artifact-cache keys).
+  bool vectorize = false;
+  /// When set, residual kUnrolled loops (those the jit pre-pass left
+  /// intact because their extent exceeds te::kUnrollMaxExtent) get a
+  /// `#pragma GCC unroll <unroll_factor>` hint. Unrolling only rewrites
+  /// control flow, so no proof is needed and float64 bits are unchanged.
+  bool unroll = false;
+  /// Factor for the unroll pragma; values < 2 suppress it.
+  int unroll_factor = 0;
 };
 
 /// Emits a C translation unit computing `stmt`. `params` lists every

@@ -5,6 +5,7 @@
 
 #include "codegen/c_emitter.h"
 #include "common/logging.h"
+#include "te/transform.h"
 
 namespace tvmbo::codegen {
 
@@ -33,24 +34,47 @@ JitProgram JitProgram::compile(
     args.push_back(array->f64().data());
   }
 
+  // Structural unroll pre-pass: kUnrolled loops within the shared
+  // te::kUnrollMaxExtent limit are straight-lined before emission, exactly
+  // like the interpreter-side pass pipeline would expand them — same
+  // bodies in the same order, so float64 bits are unchanged. Larger
+  // kUnrolled loops survive and pick up a `#pragma GCC unroll` hint below.
+  // Un-annotated programs skip the pass entirely and emit byte-identical
+  // source (stable cache keys).
+  te::Stmt working = stmt;
+  if (te::has_loop_kind(stmt, te::ForKind::kUnrolled)) {
+    working = te::unroll_loops(stmt);
+  }
+
   // Parallel builds: emit OpenMP pragmas on kParallel loops and add
   // -fopenmp when the toolchain supports it. The pragma goes in even
   // without -fopenmp (the compiler ignores it -> serial fallback), so the
   // source text alone already separates parallel from serial cache keys.
+  // The same contract covers kVectorized (`#pragma omp simd` +
+  // -fopenmp-simd; a full -fopenmp build subsumes the flag) and residual
+  // kUnrolled loops (`#pragma GCC unroll`, no flag needed).
   EmitOptions emit_options;
   std::string flags = options.flags;
   bool openmp = false;
-  if (options.parallel_threads != 1 && te::has_parallel_loop(stmt)) {
+  if (options.parallel_threads != 1 && te::has_parallel_loop(working)) {
     emit_options.parallel = true;
     emit_options.num_threads =
         options.parallel_threads > 0 ? options.parallel_threads : 0;
     openmp = openmp_available(options);
     if (openmp) flags += " -fopenmp";
   }
+  if (te::has_loop_kind(working, te::ForKind::kVectorized)) {
+    emit_options.vectorize = true;
+    if (!openmp && simd_available(options)) flags += " -fopenmp-simd";
+  }
+  if (te::has_loop_kind(working, te::ForKind::kUnrolled)) {
+    emit_options.unroll = true;
+    emit_options.unroll_factor = options.unroll_factor;
+  }
 
   JitProgram program;
   program.source_ = std::make_shared<const std::string>(
-      emit_c_source(stmt, params, kKernelSymbol, emit_options));
+      emit_c_source(working, params, kKernelSymbol, emit_options));
   const Artifact artifact = ArtifactCache::shared(options).get_or_compile(
       *program.source_, options.resolved_compiler(), flags);
   program.cache_hit_ = artifact.cache_hit;
@@ -127,6 +151,47 @@ bool JitProgram::openmp_available(const JitOptions& options) {
         source, options.resolved_compiler(), options.flags + " -fopenmp");
     std::shared_ptr<JitModule> module =
         JitModule::load(artifact.so_path, /*pin=*/true);
+    auto fn =
+        reinterpret_cast<KernelFn>(module->symbol(kKernelSymbol));
+    double value = 0.0;
+    double* buf = &value;
+    fn(&buf);
+    ok = value == 64.0;
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  (*probed)[key] = ok;
+  return ok;
+}
+
+bool JitProgram::simd_available(const JitOptions& options) {
+  // One probe per (compiler, flags, cache dir): compile a `#pragma omp
+  // simd` reduction with -fopenmp-simd and verify the result, proving the
+  // flag is accepted and the pragma does not miscompile.
+  static std::mutex mutex;
+  static std::unordered_map<std::string, bool>* probed =
+      new std::unordered_map<std::string, bool>();
+  const std::string key = options.resolved_compiler() + "\x1f" +
+                          options.flags + "\x1f" +
+                          options.resolved_cache_dir();
+  std::lock_guard<std::mutex> lock(mutex);
+  if (auto it = probed->find(key); it != probed->end()) return it->second;
+  bool ok = false;
+  try {
+    // Hand-written probe source (not emit_c_source) so the probe does not
+    // recurse through compile(), which consults this function.
+    const std::string source =
+        "void tvmbo_kernel(double** bufs) {\n"
+        "  double acc = 0.0;\n"
+        "  #pragma omp simd reduction(+:acc)\n"
+        "  for (int i = 0; i < 64; ++i) acc += 1.0;\n"
+        "  bufs[0][0] = acc;\n"
+        "}\n";
+    const Artifact artifact = ArtifactCache::shared(options).get_or_compile(
+        source, options.resolved_compiler(),
+        options.flags + " -fopenmp-simd");
+    std::shared_ptr<JitModule> module =
+        JitModule::load(artifact.so_path, /*pin=*/false);
     auto fn =
         reinterpret_cast<KernelFn>(module->symbol(kKernelSymbol));
     double value = 0.0;

@@ -57,6 +57,15 @@ class JitProgram {
   /// -fopenmp, so this only loses speed, never correctness).
   static bool openmp_available(const JitOptions& options = {});
 
+  /// True when the toolchain accepts -fopenmp-simd and a `#pragma omp
+  /// simd` kernel built with it runs correctly (one-time probe compile,
+  /// like openmp_available). -fopenmp-simd activates only the simd
+  /// constructs — no OpenMP runtime, no thread pool — so it is the right
+  /// flag for vectorized-but-serial builds; a full -fopenmp build
+  /// subsumes it. When false, vectorize requests keep the pragma but
+  /// drop the flag (ignored pragma -> serial loop, bits unchanged).
+  static bool simd_available(const JitOptions& options = {});
+
  private:
   JitProgram() = default;
 

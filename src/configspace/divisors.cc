@@ -64,4 +64,32 @@ std::shared_ptr<OrdinalHyperparameter> parallel_axis_param(
   return std::make_shared<OrdinalHyperparameter>(name, std::move(sequence));
 }
 
+std::vector<std::int64_t> unroll_factors() { return {0, 2, 4, 8}; }
+
+std::shared_ptr<OrdinalHyperparameter> vectorize_axis_param(
+    const std::string& name, bool enabled) {
+  std::vector<double> sequence = enabled ? std::vector<double>{0.0, 1.0, 2.0}
+                                         : std::vector<double>{0.0};
+  return std::make_shared<OrdinalHyperparameter>(name, std::move(sequence));
+}
+
+std::shared_ptr<OrdinalHyperparameter> unroll_factor_param(
+    const std::string& name, bool enabled) {
+  std::vector<double> sequence{0.0};
+  if (enabled) {
+    sequence.clear();
+    for (std::int64_t f : unroll_factors()) {
+      sequence.push_back(static_cast<double>(f));
+    }
+  }
+  return std::make_shared<OrdinalHyperparameter>(name, std::move(sequence));
+}
+
+std::shared_ptr<OrdinalHyperparameter> pack_flag_param(
+    const std::string& name, bool enabled) {
+  std::vector<double> sequence = enabled ? std::vector<double>{0.0, 1.0}
+                                         : std::vector<double>{0.0};
+  return std::make_shared<OrdinalHyperparameter>(name, std::move(sequence));
+}
+
 }  // namespace tvmbo::cs

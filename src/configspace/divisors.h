@@ -39,4 +39,25 @@ std::shared_ptr<OrdinalHyperparameter> thread_count_param(
 std::shared_ptr<OrdinalHyperparameter> parallel_axis_param(
     const std::string& name, std::int64_t num_axes);
 
+/// Candidate structural unroll factors: {0, 2, 4, 8} (0 = no unroll; the
+/// schedule splits a data axis by the factor and marks the new inner
+/// loop kUnrolled, so the factor reshapes the loop IR on every tier).
+std::vector<std::int64_t> unroll_factors();
+
+/// An OrdinalHyperparameter over {0 = none, 1 = innermost,
+/// 2 = second-innermost}: which inner data axis to annotate kVectorized.
+/// Disabled knobs collapse to the singleton {0} so the tile-vector shape
+/// stays uniform across a partially widened space.
+std::shared_ptr<OrdinalHyperparameter> vectorize_axis_param(
+    const std::string& name, bool enabled);
+
+/// An OrdinalHyperparameter over unroll_factors() ({0} when disabled).
+std::shared_ptr<OrdinalHyperparameter> unroll_factor_param(
+    const std::string& name, bool enabled);
+
+/// An OrdinalHyperparameter over {0, 1}: array packing off/on ({0} when
+/// disabled).
+std::shared_ptr<OrdinalHyperparameter> pack_flag_param(
+    const std::string& name, bool enabled);
+
 }  // namespace tvmbo::cs

@@ -213,20 +213,34 @@ cs::ConfigurationSpace build_space(const std::string& kernel,
 
 cs::ConfigurationSpace build_space(const std::string& kernel,
                                    const std::vector<std::int64_t>& dims,
-                                   const ParallelKnobs& parallel) {
+                                   const ScheduleKnobs& knobs) {
   cs::ConfigurationSpace space;
   const std::vector<std::int64_t> extents = space_extents(kernel, dims);
   for (std::size_t i = 0; i < extents.size(); ++i) {
     space.add(cs::tile_factor_param("P" + std::to_string(i), extents[i]));
   }
-  if (parallel.enabled) {
+  if (knobs.extended()) {
     TVMBO_CHECK(te_backend_supported(kernel))
-        << "parallel knobs require a TE program; kernel '" << kernel
+        << "schedule knobs require a TE program; kernel '" << kernel
         << "' has none";
-    space.add(cs::parallel_axis_param(
-        "P_par",
-        static_cast<std::int64_t>(te_num_parallel_axes(kernel))));
-    space.add(cs::thread_count_param("P_threads", parallel.max_threads));
+    if (knobs.enabled) {
+      space.add(cs::parallel_axis_param(
+          "P_par",
+          static_cast<std::int64_t>(te_num_parallel_axes(kernel))));
+      space.add(cs::thread_count_param("P_threads", knobs.max_threads));
+    } else {
+      // Widened tile vectors always carry the [par_axis, threads] slots;
+      // without the parallel tier they collapse to serial singletons.
+      space.add(std::make_shared<cs::OrdinalHyperparameter>(
+          "P_par", std::vector<double>{0.0}));
+      space.add(std::make_shared<cs::OrdinalHyperparameter>(
+          "P_threads", std::vector<double>{1.0}));
+    }
+    if (knobs.widened()) {
+      space.add(cs::vectorize_axis_param("P_vec", knobs.vectorize));
+      space.add(cs::unroll_factor_param("P_unroll", knobs.unroll));
+      space.add(cs::pack_flag_param("P_pack", knobs.pack));
+    }
   }
   return space;
 }
@@ -445,10 +459,10 @@ autotvm::Task make_task(const std::string& kernel,
 autotvm::Task make_task(const std::string& kernel, Dataset dataset,
                         runtime::ExecBackend backend,
                         const codegen::JitOptions& jit_options,
-                        const ParallelKnobs& parallel) {
+                        const ScheduleKnobs& knobs) {
   return make_task(kernel, dataset_name(dataset),
                    polybench_dims(kernel, dataset), backend, jit_options,
-                   parallel);
+                   knobs);
 }
 
 autotvm::Task make_task(const std::string& kernel,
@@ -456,26 +470,44 @@ autotvm::Task make_task(const std::string& kernel,
                         std::vector<std::int64_t> dims,
                         runtime::ExecBackend backend,
                         const codegen::JitOptions& jit_options,
-                        const ParallelKnobs& parallel) {
-  if (!parallel.enabled) {
+                        const ScheduleKnobs& knobs) {
+  if (!knobs.extended()) {
     return make_task(kernel, size_name, std::move(dims), backend,
                      jit_options);
   }
   TVMBO_CHECK(backend != runtime::ExecBackend::kNative)
-      << "parallel schedule knobs require a TE-program backend "
+      << "schedule knobs require a TE-program backend "
       << "(interp/closure/jit); the native kernels are serial";
   autotvm::Task task =
       make_task(kernel, size_name, std::move(dims), backend, jit_options);
   // Trailing knobs append to the instantiate tile vector in definition
   // order, matching TeProgramInstance's extended [.., parallel_axis,
-  // threads] convention and build_space's P_par/P_threads.
-  std::vector<std::int64_t> axes;
-  for (std::int64_t a = 0;
-       a <= static_cast<std::int64_t>(te_num_parallel_axes(kernel)); ++a) {
-    axes.push_back(a);
+  // threads, vec_axis, unroll, pack] convention and build_space's
+  // P_par/P_threads/P_vec/P_unroll/P_pack (disabled knobs collapse to
+  // the same singletons build_space uses).
+  if (knobs.enabled) {
+    std::vector<std::int64_t> axes;
+    for (std::int64_t a = 0;
+         a <= static_cast<std::int64_t>(te_num_parallel_axes(kernel)); ++a) {
+      axes.push_back(a);
+    }
+    task.config.define_knob("parallel_axis", std::move(axes));
+    task.config.define_knob("threads", cs::thread_counts(knobs.max_threads));
+  } else {
+    task.config.define_knob("parallel_axis", {0});
+    task.config.define_knob("threads", {1});
   }
-  task.config.define_knob("parallel_axis", std::move(axes));
-  task.config.define_knob("threads", cs::thread_counts(parallel.max_threads));
+  if (knobs.widened()) {
+    task.config.define_knob(
+        "vec_axis", knobs.vectorize ? std::vector<std::int64_t>{0, 1, 2}
+                                    : std::vector<std::int64_t>{0});
+    task.config.define_knob("unroll",
+                            knobs.unroll ? cs::unroll_factors()
+                                         : std::vector<std::int64_t>{0});
+    task.config.define_knob("pack",
+                            knobs.pack ? std::vector<std::int64_t>{0, 1}
+                                       : std::vector<std::int64_t>{0});
+  }
   return task;
 }
 

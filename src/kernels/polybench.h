@@ -49,22 +49,44 @@ runtime::Workload make_workload(const std::string& kernel,
 cs::ConfigurationSpace build_space(const std::string& kernel,
                                    const std::vector<std::int64_t>& dims);
 
-/// Optional parallel-schedule knobs appended after the tile parameters
-/// (Wu et al. and CATBench both put parallelization in the same search
-/// space as tiling). Only meaningful for TE-program kernels executed on a
-/// non-native backend — the hand-written native kernels are serial.
-struct ParallelKnobs {
+/// Optional schedule knobs appended after the tile parameters (Wu et al.
+/// and CATBench both put parallelization in the same search space as
+/// tiling; the vectorize/unroll/pack tier extends that to the full
+/// codegen schedule). Only meaningful for TE-program kernels executed on
+/// a non-native backend — the hand-written native kernels are serial.
+struct ScheduleKnobs {
+  /// Parallel tier: P_par over {0..te_num_parallel_axes} and P_threads.
   bool enabled = false;
   /// Cap for the thread-count candidates; 0 = hardware_concurrency.
   std::int64_t max_threads = 0;
+  /// Vectorize tier: P_vec over {0 = none, 1 = innermost,
+  /// 2 = second-innermost}, annotated kVectorized (race-proof-gated).
+  bool vectorize = false;
+  /// Unroll tier: P_unroll over cs::unroll_factors() — structural split +
+  /// kUnrolled annotation.
+  bool unroll = false;
+  /// Array-packing tier: P_pack over {0, 1} (Stage::cache_write).
+  bool pack = false;
+
+  /// True when any of the vectorize/unroll/pack knobs widen the space.
+  bool widened() const { return vectorize || unroll || pack; }
+  /// True when the tile vector carries trailing schedule knobs at all.
+  bool extended() const { return enabled || widened(); }
 };
 
-/// build_space plus, when `parallel.enabled`, two trailing ordinals:
+/// Source-compatible name from before the vectorize/unroll/pack tier.
+using ParallelKnobs = ScheduleKnobs;
+
+/// build_space plus trailing schedule ordinals. When `knobs.enabled`,
 /// P_par over {0..te_num_parallel_axes} (0 = serial) and P_threads over
-/// thread_counts(parallel.max_threads).
+/// thread_counts(knobs.max_threads). When `knobs.widened()`, P_vec,
+/// P_unroll, and P_pack follow (each collapsing to the singleton {0}
+/// when its flag is off, and P_par/P_threads collapsing to {0}/{1} when
+/// only the widened tier is on) so the tile vector is always base,
+/// base + 2, or base + 5 entries — matching TeProgramInstance.
 cs::ConfigurationSpace build_space(const std::string& kernel,
                                    const std::vector<std::int64_t>& dims,
-                                   const ParallelKnobs& parallel);
+                                   const ScheduleKnobs& knobs);
 
 /// An AutoTVM task for the same kernel instance: knobs match the ytopt
 /// space candidate-for-candidate (as in the paper, where both frameworks
@@ -94,21 +116,22 @@ autotvm::Task make_task(const std::string& kernel,
                         runtime::ExecBackend backend,
                         const codegen::JitOptions& jit_options = {});
 
-/// Backend task plus, when `parallel.enabled`, two trailing knobs
-/// ("parallel_axis", "threads") matching build_space's P_par/P_threads
-/// candidate-for-candidate. The extended knob values flow straight into
+/// Backend task plus trailing schedule knobs matching build_space's
+/// P_par/P_threads/P_vec/P_unroll/P_pack candidate-for-candidate
+/// ("parallel_axis", "threads", then "vec_axis", "unroll", "pack" when
+/// the space is widened). The extended knob values flow straight into
 /// the TE instantiate path (TeProgramInstance's extended tile vector).
-/// Throws CheckError when parallel is enabled on the native backend.
+/// Throws CheckError when any knob is enabled on the native backend.
 autotvm::Task make_task(const std::string& kernel, Dataset dataset,
                         runtime::ExecBackend backend,
                         const codegen::JitOptions& jit_options,
-                        const ParallelKnobs& parallel);
+                        const ScheduleKnobs& knobs);
 autotvm::Task make_task(const std::string& kernel,
                         const std::string& size_name,
                         std::vector<std::int64_t> dims,
                         runtime::ExecBackend backend,
                         const codegen::JitOptions& jit_options,
-                        const ParallelKnobs& parallel);
+                        const ScheduleKnobs& knobs);
 
 /// All (kernel, dataset) pairs evaluated in the paper's §5.
 struct PaperExperiment {

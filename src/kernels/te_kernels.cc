@@ -26,6 +26,33 @@ void annotate_parallel(te::Stage& stage, int par_axis, const te::IterVar& yo,
   }
 }
 
+// Shared vec_axis/unroll encoding, applied after the {yo, xo, k, yi, xi}
+// reorder. vec_axis: 0 = none, 1 = innermost (xi), 2 = second-innermost
+// (yi). unroll N >= 2 structurally splits a data axis by N and marks the
+// new inner loop kUnrolled; the target is xi unless xi is vectorized, in
+// which case yi takes the split — the two knobs never collide. Targets
+// come from the pre-split nest, the split lands first, then the
+// vectorize annotation (whose race proof lowering enforces).
+void apply_axis_knobs(te::Stage& stage, const te::IterVar& yi,
+                      const te::IterVar& xi, int vec_axis,
+                      std::int64_t unroll) {
+  TVMBO_CHECK(vec_axis >= 0 && vec_axis <= 2)
+      << "vec_axis must be 0 (none), 1 (innermost), or 2 "
+         "(second-innermost); got " << vec_axis;
+  TVMBO_CHECK(unroll == 0 || unroll >= 2)
+      << "unroll factor must be 0 (off) or >= 2; got " << unroll;
+  if (unroll >= 2) {
+    auto [uo, ui] = stage.split(vec_axis == 1 ? yi : xi, unroll);
+    (void)uo;
+    stage.unroll(ui);
+  }
+  if (vec_axis == 1) {
+    stage.vectorize(xi);
+  } else if (vec_axis == 2) {
+    stage.vectorize(yi);
+  }
+}
+
 }  // namespace
 
 ThreeMmTensors make_3mm(std::int64_t n, std::int64_t l, std::int64_t m,
@@ -72,11 +99,13 @@ ThreeMmTensors make_3mm(std::int64_t n, std::int64_t l, std::int64_t m,
 }
 
 te::Schedule schedule_3mm(const ThreeMmTensors& t,
-                          std::span<const std::int64_t> tiles,
-                          int par_axis) {
+                          std::span<const std::int64_t> tiles, int par_axis,
+                          int vec_axis, std::int64_t unroll, bool pack) {
   TVMBO_CHECK_EQ(tiles.size(), 6u) << "3mm takes six tile factors";
   te::Schedule sched({t.G});
   const Tensor stages[3] = {t.E, t.F, t.G};
+  // Each stage packs its left (row-major-strided) operand.
+  const Tensor pack_sources[3] = {t.A, t.C, t.E};
   for (int s = 0; s < 3; ++s) {
     te::Stage& stage = sched[stages[s]];
     const auto& axis = stage.op_axis();
@@ -91,6 +120,8 @@ te::Schedule schedule_3mm(const ThreeMmTensors& t,
     auto [xo, xi] = stage.split(axis[1], tx);
     stage.reorder({yo, xo, reduce[0], yi, xi});
     annotate_parallel(stage, par_axis, yo, xo);
+    if (pack) stage.cache_write(pack_sources[s]);
+    apply_axis_knobs(stage, yi, xi, vec_axis, unroll);
   }
   return sched;
 }
@@ -115,7 +146,8 @@ GemmTensors make_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
 }
 
 te::Schedule schedule_gemm(const GemmTensors& t, std::int64_t ty,
-                           std::int64_t tx, int par_axis) {
+                           std::int64_t tx, int par_axis, int vec_axis,
+                           std::int64_t unroll, bool pack) {
   te::Schedule sched({t.C});
   te::Stage& stage = sched[t.C];
   const auto& axis = stage.op_axis();
@@ -123,6 +155,8 @@ te::Schedule schedule_gemm(const GemmTensors& t, std::int64_t ty,
   auto [xo, xi] = stage.split(axis[1], std::min(tx, t.n));
   stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
   annotate_parallel(stage, par_axis, yo, xo);
+  if (pack) stage.cache_write(t.A);
+  apply_axis_knobs(stage, yi, xi, vec_axis, unroll);
   return sched;
 }
 
@@ -158,11 +192,12 @@ TwoMmTensors make_2mm(std::int64_t ni, std::int64_t nj, std::int64_t nk,
 }
 
 te::Schedule schedule_2mm(const TwoMmTensors& t,
-                          std::span<const std::int64_t> tiles,
-                          int par_axis) {
+                          std::span<const std::int64_t> tiles, int par_axis,
+                          int vec_axis, std::int64_t unroll, bool pack) {
   TVMBO_CHECK_EQ(tiles.size(), 4u) << "2mm takes four tile factors";
   te::Schedule sched({t.D});
   const Tensor stages[2] = {t.Tmp, t.D};
+  const Tensor pack_sources[2] = {t.A, t.Tmp};
   for (int s = 0; s < 2; ++s) {
     te::Stage& stage = sched[stages[s]];
     const auto& axis = stage.op_axis();
@@ -172,6 +207,8 @@ te::Schedule schedule_2mm(const TwoMmTensors& t,
         stage.split(axis[1], std::min(tiles[2 * s + 1], axis[1]->extent));
     stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
     annotate_parallel(stage, par_axis, yo, xo);
+    if (pack) stage.cache_write(pack_sources[s]);
+    apply_axis_knobs(stage, yi, xi, vec_axis, unroll);
   }
   return sched;
 }
@@ -202,7 +239,8 @@ SyrkTensors make_syrk(std::int64_t n, std::int64_t m, double alpha,
 }
 
 te::Schedule schedule_syrk(const SyrkTensors& t, std::int64_t ty,
-                           std::int64_t tx, int par_axis) {
+                           std::int64_t tx, int par_axis, int vec_axis,
+                           std::int64_t unroll, bool pack) {
   te::Schedule sched({t.Cout});
   te::Stage& stage = sched[t.S];
   const auto& axis = stage.op_axis();
@@ -210,6 +248,10 @@ te::Schedule schedule_syrk(const SyrkTensors& t, std::int64_t ty,
   auto [xo, xi] = stage.split(axis[1], std::min(tx, t.n));
   stage.reorder({yo, xo, stage.op_reduce_axis()[0], yi, xi});
   annotate_parallel(stage, par_axis, yo, xo);
+  // Only the A[i, k] read is packable; pack_reads proves the A[j, k]
+  // window non-invariant and leaves it untouched (conservative).
+  if (pack) stage.cache_write(t.A);
+  apply_axis_knobs(stage, yi, xi, vec_axis, unroll);
   return sched;
 }
 

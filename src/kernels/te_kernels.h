@@ -37,11 +37,27 @@ ThreeMmTensors make_3mm(std::int64_t n, std::int64_t l, std::int64_t m,
 /// Applies the paper's schedule: per-stage split of (y, x) by
 /// tiles = {P0..P5} and reorder to {yo, xo, reduce, yi, xi}.
 /// `par_axis` annotates an outer data axis of every stage as kParallel:
-/// 0 = serial (default), 1 = yo, 2 = xo. The same encoding applies to all
-/// compute-DAG schedules below.
+/// 0 = serial (default), 1 = yo, 2 = xo.
+///
+/// Three further knobs, shared (with identical encodings and defaults
+/// that leave the schedule byte-identical to earlier releases) by every
+/// compute-DAG schedule below:
+///  * `vec_axis` annotates an inner data axis of every stage as
+///    kVectorized: 0 = none, 1 = innermost (xi), 2 = second-innermost
+///    (yi). Lowering demands a machine-checked race-freedom proof for the
+///    annotation, and the jit tier emits `#pragma omp simd` only on the
+///    proven loops.
+///  * `unroll` (0 = off, N >= 2) structurally splits the innermost
+///    remaining data axis by N and marks the new inner loop kUnrolled, so
+///    the factor reshapes the loop IR on every tier (and therefore the
+///    artifact-cache key) instead of being a jit-only hint.
+///  * `pack` snapshots each stage's left operand into a contiguous
+///    transposed scratch via Stage::cache_write (array packing), making
+///    the inner data-axis traversal stride-1.
 te::Schedule schedule_3mm(const ThreeMmTensors& t,
                           std::span<const std::int64_t> tiles,
-                          int par_axis = 0);
+                          int par_axis = 0, int vec_axis = 0,
+                          std::int64_t unroll = 0, bool pack = false);
 
 struct GemmTensors {
   std::int64_t m, n, k;
@@ -51,7 +67,9 @@ struct GemmTensors {
 GemmTensors make_gemm(std::int64_t m, std::int64_t n, std::int64_t k);
 
 te::Schedule schedule_gemm(const GemmTensors& t, std::int64_t ty,
-                           std::int64_t tx, int par_axis = 0);
+                           std::int64_t tx, int par_axis = 0,
+                           int vec_axis = 0, std::int64_t unroll = 0,
+                           bool pack = false);
 
 struct TwoMmTensors {
   std::int64_t ni, nj, nk, nl;
@@ -64,7 +82,8 @@ TwoMmTensors make_2mm(std::int64_t ni, std::int64_t nj, std::int64_t nk,
 
 te::Schedule schedule_2mm(const TwoMmTensors& t,
                           std::span<const std::int64_t> tiles,
-                          int par_axis = 0);
+                          int par_axis = 0, int vec_axis = 0,
+                          std::int64_t unroll = 0, bool pack = false);
 
 struct SyrkTensors {
   std::int64_t n, m;
@@ -81,8 +100,12 @@ SyrkTensors make_syrk(std::int64_t n, std::int64_t m, double alpha = 1.5,
                       double beta = 1.2);
 
 /// Tiles the S = A*A^T stage by (ty, tx) with the paper's reorder.
+/// `pack` snapshots the A[i, k] operand; the transposed A[j, k] read
+/// stays unpacked (its window would not be loop-invariant to prove).
 te::Schedule schedule_syrk(const SyrkTensors& t, std::int64_t ty,
-                           std::int64_t tx, int par_axis = 0);
+                           std::int64_t tx, int par_axis = 0,
+                           int vec_axis = 0, std::int64_t unroll = 0,
+                           bool pack = false);
 
 /// A factorization program plus handles to its loops, so TIR-level
 /// schedule transforms (te/loop_transform.h) can tile it.

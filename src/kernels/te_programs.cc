@@ -104,13 +104,18 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
   const std::string& kernel = data_->kernel;
   const std::vector<std::int64_t>& dims = data_->dims;
   const std::size_t base = te_num_tiles(kernel);
-  TVMBO_CHECK(tiles.size() == base || tiles.size() == base + 2)
+  TVMBO_CHECK(tiles.size() == base || tiles.size() == base + 2 ||
+              tiles.size() == base + 5)
       << "wrong tile count for " << kernel << ": got " << tiles.size()
-      << ", want " << base << " or " << base + 2
-      << " (base tiles + [parallel_axis, threads])";
+      << ", want " << base << ", " << base + 2
+      << " (base tiles + [parallel_axis, threads]), or " << base + 5
+      << " (base tiles + [parallel_axis, threads, vec_axis, unroll, pack])";
 
   int par_axis = 0;
-  if (tiles.size() == base + 2) {
+  int vec_axis = 0;
+  std::int64_t unroll = 0;
+  bool pack = false;
+  if (tiles.size() >= base + 2) {
     par_axis = static_cast<int>(tiles[base]);
     TVMBO_CHECK(par_axis >= 0 &&
                 par_axis <= static_cast<int>(te_num_parallel_axes(kernel)))
@@ -119,6 +124,20 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
     TVMBO_CHECK_GE(threads, 0)
         << "thread budget must be >= 0 (0 = all cores)";
     parallel_threads_ = static_cast<int>(threads);
+    if (tiles.size() == base + 5) {
+      vec_axis = static_cast<int>(tiles[base + 2]);
+      TVMBO_CHECK(vec_axis >= 0 && vec_axis <= 2)
+          << "vec_axis must be 0 (none), 1 (innermost), or 2 "
+             "(second-innermost); got " << vec_axis;
+      unroll = tiles[base + 3];
+      TVMBO_CHECK(unroll == 0 || unroll >= 2)
+          << "unroll factor must be 0 (off) or >= 2; got " << unroll;
+      const std::int64_t pack_flag = tiles[base + 4];
+      TVMBO_CHECK(pack_flag == 0 || pack_flag == 1)
+          << "pack must be 0 or 1; got " << pack_flag;
+      pack = pack_flag == 1;
+      unroll_factor_ = static_cast<int>(unroll);
+    }
     tiles = tiles.first(base);
   }
 
@@ -129,7 +148,8 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
 
   if (kernel == "3mm") {
     ThreeMmTensors t = make_3mm(dims[0], dims[1], dims[2], dims[3], dims[4]);
-    stmt_ = te::lower(schedule_3mm(t, tiles, par_axis));
+    stmt_ = te::lower(schedule_3mm(t, tiles, par_axis, vec_axis, unroll,
+                                   pack));
     output_ = own({dims[0], dims[4]});
     bindings_ = {{t.A, &data_->inputs[0]},
                  {t.B, &data_->inputs[1]},
@@ -138,14 +158,16 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
                  {t.G, output_}};
   } else if (kernel == "gemm") {
     GemmTensors t = make_gemm(dims[0], dims[1], dims[2]);
-    stmt_ = te::lower(schedule_gemm(t, tiles[0], tiles[1], par_axis));
+    stmt_ = te::lower(schedule_gemm(t, tiles[0], tiles[1], par_axis,
+                                    vec_axis, unroll, pack));
     output_ = own({dims[0], dims[1]});
     bindings_ = {{t.A, &data_->inputs[0]},
                  {t.B, &data_->inputs[1]},
                  {t.C, output_}};
   } else if (kernel == "2mm") {
     TwoMmTensors t = make_2mm(dims[0], dims[1], dims[2], dims[3]);
-    stmt_ = te::lower(schedule_2mm(t, tiles, par_axis));
+    stmt_ = te::lower(schedule_2mm(t, tiles, par_axis, vec_axis, unroll,
+                                   pack));
     output_ = own({dims[0], dims[3]});
     bindings_ = {{t.A, &data_->inputs[0]},
                  {t.B, &data_->inputs[1]},
@@ -153,7 +175,8 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
                  {t.D, output_}};
   } else if (kernel == "syrk") {
     SyrkTensors t = make_syrk(dims[0], dims[1]);
-    stmt_ = te::lower(schedule_syrk(t, tiles[0], tiles[1], par_axis));
+    stmt_ = te::lower(schedule_syrk(t, tiles[0], tiles[1], par_axis,
+                                    vec_axis, unroll, pack));
     output_ = own({dims[0], dims[0]});
     bindings_ = {{t.A, &data_->inputs[0]},
                  {t.Cin, &data_->inputs[1]},
@@ -171,14 +194,44 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
     stmt = te::split_loop(stmt, program.update_j, tx, &jo, &ji);
     // Non-exact splits guard the tail, breaking the perfect nesting the
     // interchange needs; the divisor-derived spaces always split exactly.
-    if (n % ty == 0 && n % tx == 0) {
+    const bool interchanged = n % ty == 0 && n % tx == 0;
+    if (interchanged) {
       stmt = te::interchange_loops(stmt, ii, jo);
     }
-    // par_axis 1 = io: distinct io chunks update disjoint rows of the
-    // trailing submatrix, and the pivot row/column read at step k is
-    // never written inside the update nest. That argument is now
-    // machine-checked: annotate_loop demands a race-freedom proof from
-    // the affine dependence analyzer and throws if it fails.
+    // vec/unroll targets come from the pre-unroll trailing-update nest:
+    // {io, jo, ii, ji} when interchanged, {io, ii, jo, ji} otherwise.
+    // vec_axis 1 = innermost (ji), 2 = second-innermost; the unroll
+    // split takes the innermost loop unless it is vectorized, then the
+    // second-innermost — the two knobs never collide.
+    const te::Var second = interchanged ? ii : jo;
+    const te::Var vec_target =
+        vec_axis == 1 ? ji : vec_axis == 2 ? second : te::Var();
+    if (unroll >= 2) {
+      te::Var uo, ui;
+      stmt = te::split_loop(stmt, vec_axis == 1 ? second : ji, unroll, &uo,
+                            &ui);
+      stmt = te::annotate_loop(stmt, ui, te::ForKind::kUnrolled);
+    }
+    // Array packing: snapshot the pivot column A[*, k] into a contiguous
+    // scratch hoisted outside the io loop, so the update's A[i2, k] reads
+    // stop restriding whole rows. The hoisted Realize lands after the
+    // scale loop in the k-step sequence, so the snapshot observes the
+    // scaled column; pack_reads proves every redirected read in-window
+    // and every A write disjoint from it (the j > k guard).
+    if (pack) {
+      stmt = te::pack_reads(stmt, a, io, /*wrap_outside=*/true,
+                            /*perm=*/{0, 1}, /*invariant_dims=*/{1},
+                            "a_col_pack");
+    }
+    // Vectorize/parallel annotations last, on the final loop structure:
+    // annotate_loop demands a race-freedom proof from the affine
+    // dependence analyzer and throws if it fails. For io the argument is
+    // that distinct io chunks update disjoint rows of the trailing
+    // submatrix while the pivot row/column reads at step k are never
+    // written inside the update nest.
+    if (vec_target != nullptr) {
+      stmt = te::annotate_loop(stmt, vec_target, te::ForKind::kVectorized);
+    }
     if (par_axis == 1) {
       stmt = te::annotate_loop(stmt, io, te::ForKind::kParallel);
     }
@@ -230,6 +283,7 @@ void prepare_state(TeExecState& state,
     case runtime::ExecBackend::kJit: {
       codegen::JitOptions options = jit_options;
       options.parallel_threads = state.instance->parallel_threads();
+      options.unroll_factor = state.instance->unroll_factor();
       state.jit = codegen::JitProgram::compile(
           state.instance->stmt(), state.instance->bindings(), options);
       break;

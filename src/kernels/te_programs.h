@@ -65,12 +65,19 @@ class TeProgramInstance {
   /// Output/work arrays are freshly allocated per instance; inputs alias
   /// the shared TeKernelData.
   ///
-  /// `tiles` is either the base tile vector (te_num_tiles entries, fully
-  /// serial) or the extended form with two trailing knobs appended:
-  /// [parallel_axis, threads]. parallel_axis in
-  /// [0, te_num_parallel_axes] selects the kParallel loop (0 = serial);
-  /// threads is the worker budget handed to the execution tier (1 =
-  /// serial dispatch, 0 = all cores, N >= 2 caps at N).
+  /// `tiles` is the base tile vector (te_num_tiles entries, fully
+  /// serial), or an extended form with trailing knobs appended:
+  /// [parallel_axis, threads] (two extras) or
+  /// [parallel_axis, threads, vec_axis, unroll, pack] (five extras).
+  /// parallel_axis in [0, te_num_parallel_axes] selects the kParallel
+  /// loop (0 = serial); threads is the worker budget handed to the
+  /// execution tier (1 = serial dispatch, 0 = all cores, N >= 2 caps at
+  /// N); vec_axis marks an inner data axis kVectorized (0 = none, 1 =
+  /// innermost, 2 = second-innermost — lowering insists on a
+  /// machine-checked race proof); unroll (0 or >= 2) structurally splits
+  /// a data axis and marks the new inner loop kUnrolled; pack (0/1)
+  /// snapshots the strided operand into a contiguous scratch
+  /// (Stage::cache_write / te::pack_reads).
   TeProgramInstance(std::shared_ptr<TeKernelData> data,
                     std::span<const std::int64_t> tiles);
 
@@ -78,6 +85,11 @@ class TeProgramInstance {
 
   /// Thread budget from the extended tile vector (1 when absent).
   int parallel_threads() const { return parallel_threads_; }
+
+  /// Unroll factor from the extended tile vector (0 when absent). Handed
+  /// to JitOptions::unroll_factor so residual kUnrolled loops keep their
+  /// `#pragma GCC unroll` hint in emitted C.
+  int unroll_factor() const { return unroll_factor_; }
 
   /// Tensor -> array bindings for the program's parameters (inputs plus
   /// outputs; Realize intermediates are not bound). Stable for the
@@ -106,6 +118,7 @@ class TeProgramInstance {
   runtime::NDArray* output_ = nullptr;
   const runtime::NDArray* pristine_ = nullptr;  ///< reset() source, or null
   int parallel_threads_ = 1;
+  int unroll_factor_ = 0;
 };
 
 /// Builds a MeasureInput whose `prepare` instantiates + compiles the

@@ -106,27 +106,30 @@ std::size_t loop_depth(const Stmt& stmt) {
 }
 
 bool has_parallel_loop(const Stmt& stmt) {
+  return has_loop_kind(stmt, ForKind::kParallel);
+}
+
+bool has_loop_kind(const Stmt& stmt, ForKind kind) {
   if (stmt == nullptr) return false;
   switch (stmt->kind()) {
     case StmtKind::kFor: {
       const auto* node = static_cast<const ForNode*>(stmt.get());
-      return node->for_kind == ForKind::kParallel ||
-             has_parallel_loop(node->body);
+      return node->for_kind == kind || has_loop_kind(node->body, kind);
     }
     case StmtKind::kSeq:
       for (const Stmt& child :
            static_cast<const SeqNode*>(stmt.get())->stmts) {
-        if (has_parallel_loop(child)) return true;
+        if (has_loop_kind(child, kind)) return true;
       }
       return false;
     case StmtKind::kIfThenElse: {
       const auto* node = static_cast<const IfThenElseNode*>(stmt.get());
-      return has_parallel_loop(node->then_case) ||
-             has_parallel_loop(node->else_case);
+      return has_loop_kind(node->then_case, kind) ||
+             has_loop_kind(node->else_case, kind);
     }
     case StmtKind::kRealize:
-      return has_parallel_loop(
-          static_cast<const RealizeNode*>(stmt.get())->body);
+      return has_loop_kind(
+          static_cast<const RealizeNode*>(stmt.get())->body, kind);
     case StmtKind::kStore:
       return false;
   }

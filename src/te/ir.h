@@ -45,6 +45,18 @@ class StmtNode {
 /// with rule `parallel-loop-race`. kSerial and kUnrolled preserve the
 /// sequential iteration order (unrolling only rewrites control flow), so
 /// they carry no proof obligation and remain legal on reduction axes.
+///
+/// Execution: kParallel dispatches on the thread pool (closure tier) or
+/// as `#pragma omp parallel for` (jit tier). kVectorized runs serially on
+/// the interpreter/closure tiers and becomes `#pragma omp simd` with
+/// restrict-qualified, alignment-annotated pointers in emitted C — only on
+/// loops the prover certified, so the pragma can never license a racy
+/// lane. kUnrolled runs serially on the interpreter/closure tiers; the
+/// jit tier expands it into straight-line code via
+/// te::unroll_loops(stmt, te::kUnrollMaxExtent) before emission (loops
+/// beyond the shared limit keep a `#pragma GCC unroll` hint instead).
+/// Every choice preserves the serial iteration order per output element,
+/// so float64 results stay bit-identical across all three tiers.
 enum class ForKind { kSerial, kParallel, kUnrolled, kVectorized };
 
 class ForNode final : public StmtNode {
@@ -114,6 +126,12 @@ std::size_t loop_depth(const Stmt& stmt);
 /// (used by the backends to decide whether a multithreaded build is
 /// worthwhile at all).
 bool has_parallel_loop(const Stmt& stmt);
+
+/// True when any loop in the statement carries the given annotation; the
+/// jit tier uses this to gate simd/unroll emission (and the extra compile
+/// flags they need) on annotation presence, so un-annotated programs emit
+/// byte-identical source and keep their artifact-cache keys stable.
+bool has_loop_kind(const Stmt& stmt, ForKind kind);
 
 /// Loop variables in outermost-to-innermost order along the leftmost path
 /// of nested loops (ignores Seq branching after the first divergence).

@@ -1,8 +1,14 @@
 #include "te/loop_transform.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
 
+#include "analysis/affine.h"
 #include "analysis/dependence.h"
+#include "te/printer.h"
 #include "te/transform.h"
 
 namespace tvmbo::te {
@@ -162,6 +168,585 @@ Stmt interchange_loops(const Stmt& stmt, const Var& outer_var,
   TVMBO_CHECK(applied) << "no loop over '" << outer_var->name
                        << "' found for interchange";
   return result;
+}
+
+namespace {
+
+/// Scope surrounding the pack region: loop bindings and guard constraints
+/// on the path from the root down to the at-loop, plus Var handles for
+/// rebuilding index expressions from affine forms.
+struct PackContext {
+  analysis::VarRanges ambient;
+  std::vector<analysis::AffineForm> constraints;
+  std::map<const VarNode*, Var> handles;
+};
+
+bool collect_pack_context(const Stmt& stmt, const VarNode* at,
+                          bool include_at, PackContext& ctx) {
+  switch (stmt->kind()) {
+    case StmtKind::kFor: {
+      const auto* node = static_cast<const ForNode*>(stmt.get());
+      if (node->var.get() == at) {
+        if (include_at) {
+          ctx.ambient.bind(node->var.get(), node->extent);
+          ctx.handles[node->var.get()] = node->var;
+        }
+        return true;
+      }
+      ctx.ambient.bind(node->var.get(), node->extent);
+      ctx.handles[node->var.get()] = node->var;
+      if (collect_pack_context(node->body, at, include_at, ctx)) return true;
+      ctx.ambient.pop();
+      return false;
+    }
+    case StmtKind::kSeq:
+      for (const Stmt& child :
+           static_cast<const SeqNode*>(stmt.get())->stmts) {
+        if (collect_pack_context(child, at, include_at, ctx)) return true;
+      }
+      return false;
+    case StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const IfThenElseNode*>(stmt.get());
+      const std::size_t before = ctx.constraints.size();
+      analysis::collect_constraints(node->condition, ctx.constraints);
+      if (collect_pack_context(node->then_case, at, include_at, ctx)) {
+        return true;
+      }
+      ctx.constraints.resize(before);
+      if (node->else_case) {
+        analysis::collect_negated_constraints(node->condition,
+                                              ctx.constraints);
+        if (collect_pack_context(node->else_case, at, include_at, ctx)) {
+          return true;
+        }
+        ctx.constraints.resize(before);
+      }
+      return false;
+    }
+    case StmtKind::kRealize:
+      return collect_pack_context(
+          static_cast<const RealizeNode*>(stmt.get())->body, at, include_at,
+          ctx);
+    case StmtKind::kStore:
+      return false;
+  }
+  return false;
+}
+
+/// One read of the pack source inside the region, with the path
+/// constraints in force at the read site.
+struct SourceRead {
+  const ExprNode* node = nullptr;
+  std::vector<analysis::AffineForm> dims;
+  std::vector<analysis::AffineForm> constraints;
+};
+
+struct SourceWrite {
+  std::vector<analysis::AffineForm> dims;
+  std::vector<analysis::AffineForm> constraints;
+  std::string text;  ///< pretty-printed, for failure messages
+};
+
+/// Collects every read/write of the source tensor inside the region, the
+/// region's loop bindings (vars are globally unique, so collect-all works
+/// without scoping), and per-access path constraints, seeded with the
+/// ambient constraints so guards outside the region still apply.
+struct PackScan {
+  const TensorNode* source = nullptr;
+  std::vector<analysis::AffineForm> constraints;
+  std::vector<SourceRead> reads;
+  std::vector<SourceWrite> writes;
+  std::vector<std::pair<const VarNode*, std::int64_t>> loops;
+  std::map<const VarNode*, Var>* handles = nullptr;
+
+  void scan_expr(const Expr& expr) {
+    if (!expr) return;
+    switch (expr->kind()) {
+      case ExprKind::kTensorAccess: {
+        const auto* node =
+            static_cast<const TensorAccessNode*>(expr.get());
+        if (node->tensor.get() == source) {
+          SourceRead read;
+          read.node = node;
+          for (const Expr& index : node->indices) {
+            read.dims.push_back(analysis::analyze_affine(index.get()));
+          }
+          read.constraints = constraints;
+          reads.push_back(std::move(read));
+        }
+        for (const Expr& index : node->indices) scan_expr(index);
+        return;
+      }
+      case ExprKind::kBinary: {
+        const auto* node = static_cast<const BinaryNode*>(expr.get());
+        scan_expr(node->a);
+        scan_expr(node->b);
+        return;
+      }
+      case ExprKind::kUnary:
+        scan_expr(static_cast<const UnaryNode*>(expr.get())->operand);
+        return;
+      case ExprKind::kCompare: {
+        const auto* node = static_cast<const CompareNode*>(expr.get());
+        scan_expr(node->a);
+        scan_expr(node->b);
+        return;
+      }
+      case ExprKind::kSelect: {
+        const auto* node = static_cast<const SelectNode*>(expr.get());
+        scan_expr(node->condition);
+        scan_expr(node->true_value);
+        scan_expr(node->false_value);
+        return;
+      }
+      case ExprKind::kReduce:
+        scan_expr(static_cast<const ReduceNode*>(expr.get())->source);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void scan_stmt(const Stmt& stmt) {
+    if (!stmt) return;
+    switch (stmt->kind()) {
+      case StmtKind::kFor: {
+        const auto* node = static_cast<const ForNode*>(stmt.get());
+        loops.emplace_back(node->var.get(), node->extent);
+        (*handles)[node->var.get()] = node->var;
+        scan_stmt(node->body);
+        return;
+      }
+      case StmtKind::kStore: {
+        const auto* node = static_cast<const StoreNode*>(stmt.get());
+        if (node->tensor.get() == source) {
+          SourceWrite write;
+          for (const Expr& index : node->indices) {
+            write.dims.push_back(analysis::analyze_affine(index.get()));
+          }
+          write.constraints = constraints;
+          std::ostringstream os;
+          os << "write " << node->tensor->name << "[";
+          for (std::size_t i = 0; i < node->indices.size(); ++i) {
+            if (i > 0) os << ", ";
+            os << to_string(node->indices[i]);
+          }
+          os << "]";
+          write.text = os.str();
+          writes.push_back(std::move(write));
+        }
+        for (const Expr& index : node->indices) scan_expr(index);
+        scan_expr(node->value);
+        return;
+      }
+      case StmtKind::kSeq:
+        for (const Stmt& child :
+             static_cast<const SeqNode*>(stmt.get())->stmts) {
+          scan_stmt(child);
+        }
+        return;
+      case StmtKind::kIfThenElse: {
+        const auto* node = static_cast<const IfThenElseNode*>(stmt.get());
+        scan_expr(node->condition);
+        const std::size_t before = constraints.size();
+        analysis::collect_constraints(node->condition, constraints);
+        scan_stmt(node->then_case);
+        constraints.resize(before);
+        if (node->else_case) {
+          analysis::collect_negated_constraints(node->condition,
+                                                constraints);
+          scan_stmt(node->else_case);
+          constraints.resize(before);
+        }
+        return;
+      }
+      case StmtKind::kRealize:
+        scan_stmt(static_cast<const RealizeNode*>(stmt.get())->body);
+        return;
+    }
+  }
+};
+
+/// One dimension of the packed window: origin form, constant width, and
+/// whether the dimension survives into the scratch shape (width > 1).
+struct WindowDim {
+  analysis::AffineForm lo;
+  std::int64_t width = 1;
+  bool kept = false;
+};
+
+Expr form_to_expr(const analysis::AffineForm& form,
+                  const std::map<const VarNode*, Var>& handles) {
+  Expr result = nullptr;
+  for (const auto& [var, coefficient] : form.terms) {
+    if (coefficient == 0) continue;
+    auto it = handles.find(var);
+    TVMBO_CHECK(it != handles.end())
+        << "pack: no loop handle for var '" << var->name << "'";
+    Expr term = coefficient == 1
+                    ? Expr(it->second)
+                    : make_int(coefficient) * Expr(it->second);
+    result = result ? result + term : term;
+  }
+  if (!result) return make_int(form.constant);
+  if (form.constant != 0) result = result + make_int(form.constant);
+  return result;
+}
+
+Expr replace_reads_expr(const Expr& expr,
+                        const std::map<const ExprNode*, Expr>& repl) {
+  if (!expr) return expr;
+  auto hit = repl.find(expr.get());
+  if (hit != repl.end()) return hit->second;
+  switch (expr->kind()) {
+    case ExprKind::kBinary: {
+      const auto* node = static_cast<const BinaryNode*>(expr.get());
+      Expr a = replace_reads_expr(node->a, repl);
+      Expr b = replace_reads_expr(node->b, repl);
+      if (a.get() == node->a.get() && b.get() == node->b.get()) return expr;
+      return std::make_shared<BinaryNode>(node->op, std::move(a),
+                                          std::move(b));
+    }
+    case ExprKind::kUnary: {
+      const auto* node = static_cast<const UnaryNode*>(expr.get());
+      Expr operand = replace_reads_expr(node->operand, repl);
+      if (operand.get() == node->operand.get()) return expr;
+      return std::make_shared<UnaryNode>(node->op, std::move(operand));
+    }
+    case ExprKind::kCompare: {
+      const auto* node = static_cast<const CompareNode*>(expr.get());
+      Expr a = replace_reads_expr(node->a, repl);
+      Expr b = replace_reads_expr(node->b, repl);
+      if (a.get() == node->a.get() && b.get() == node->b.get()) return expr;
+      return std::make_shared<CompareNode>(node->op, std::move(a),
+                                           std::move(b));
+    }
+    case ExprKind::kSelect: {
+      const auto* node = static_cast<const SelectNode*>(expr.get());
+      Expr condition = replace_reads_expr(node->condition, repl);
+      Expr true_value = replace_reads_expr(node->true_value, repl);
+      Expr false_value = replace_reads_expr(node->false_value, repl);
+      if (condition.get() == node->condition.get() &&
+          true_value.get() == node->true_value.get() &&
+          false_value.get() == node->false_value.get()) {
+        return expr;
+      }
+      return std::make_shared<SelectNode>(std::move(condition),
+                                          std::move(true_value),
+                                          std::move(false_value));
+    }
+    case ExprKind::kTensorAccess: {
+      const auto* node = static_cast<const TensorAccessNode*>(expr.get());
+      std::vector<Expr> indices;
+      indices.reserve(node->indices.size());
+      bool changed = false;
+      for (const Expr& index : node->indices) {
+        Expr rewritten = replace_reads_expr(index, repl);
+        changed = changed || rewritten.get() != index.get();
+        indices.push_back(std::move(rewritten));
+      }
+      if (!changed) return expr;
+      return std::make_shared<TensorAccessNode>(node->tensor,
+                                                std::move(indices));
+    }
+    default:
+      return expr;
+  }
+}
+
+Stmt replace_reads_stmt(const Stmt& stmt,
+                        const std::map<const ExprNode*, Expr>& repl) {
+  switch (stmt->kind()) {
+    case StmtKind::kFor: {
+      const auto* node = static_cast<const ForNode*>(stmt.get());
+      Stmt body = replace_reads_stmt(node->body, repl);
+      if (body.get() == node->body.get()) return stmt;
+      return make_for(node->var, node->extent, node->for_kind,
+                      std::move(body));
+    }
+    case StmtKind::kStore: {
+      const auto* node = static_cast<const StoreNode*>(stmt.get());
+      std::vector<Expr> indices;
+      indices.reserve(node->indices.size());
+      bool changed = false;
+      for (const Expr& index : node->indices) {
+        Expr rewritten = replace_reads_expr(index, repl);
+        changed = changed || rewritten.get() != index.get();
+        indices.push_back(std::move(rewritten));
+      }
+      Expr value = replace_reads_expr(node->value, repl);
+      changed = changed || value.get() != node->value.get();
+      if (!changed) return stmt;
+      return make_store(node->tensor, std::move(indices), std::move(value));
+    }
+    case StmtKind::kSeq: {
+      const auto* node = static_cast<const SeqNode*>(stmt.get());
+      std::vector<Stmt> stmts;
+      stmts.reserve(node->stmts.size());
+      bool changed = false;
+      for (const Stmt& child : node->stmts) {
+        Stmt rewritten = replace_reads_stmt(child, repl);
+        changed = changed || rewritten.get() != child.get();
+        stmts.push_back(std::move(rewritten));
+      }
+      return changed ? make_seq(std::move(stmts)) : stmt;
+    }
+    case StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const IfThenElseNode*>(stmt.get());
+      Expr condition = replace_reads_expr(node->condition, repl);
+      Stmt then_case = replace_reads_stmt(node->then_case, repl);
+      Stmt else_case =
+          node->else_case ? replace_reads_stmt(node->else_case, repl)
+                          : nullptr;
+      if (condition.get() == node->condition.get() &&
+          then_case.get() == node->then_case.get() &&
+          else_case.get() == node->else_case.get()) {
+        return stmt;
+      }
+      return std::make_shared<IfThenElseNode>(std::move(condition),
+                                              std::move(then_case),
+                                              std::move(else_case));
+    }
+    case StmtKind::kRealize: {
+      const auto* node = static_cast<const RealizeNode*>(stmt.get());
+      Stmt body = replace_reads_stmt(node->body, repl);
+      if (body.get() == node->body.get()) return stmt;
+      return make_realize(node->tensor, std::move(body));
+    }
+  }
+  return stmt;
+}
+
+}  // namespace
+
+Stmt pack_reads(const Stmt& root, const Tensor& source, const Var& at_var,
+                bool wrap_outside, const std::vector<std::size_t>& perm,
+                const std::vector<std::size_t>& invariant_dims,
+                const std::string& scratch_name) {
+  TVMBO_CHECK(root != nullptr && source != nullptr && at_var != nullptr)
+      << "pack of null input";
+  const ForNode* at = find_loop(root, at_var);
+  TVMBO_CHECK(at != nullptr)
+      << "no loop over '" << at_var->name << "' to pack at";
+  const std::size_t rank = source->shape.size();
+  TVMBO_CHECK_EQ(perm.size(), rank)
+      << "pack perm rank mismatch for tensor '" << source->name << "'";
+  std::vector<bool> seen(rank, false);
+  for (std::size_t d : perm) {
+    TVMBO_CHECK(d < rank && !seen[d])
+        << "pack perm is not a permutation of the dims of '" << source->name
+        << "'";
+    seen[d] = true;
+  }
+  for (std::size_t d : invariant_dims) {
+    TVMBO_CHECK(d < rank) << "pack invariant dim " << d
+                          << " out of range for '" << source->name << "'";
+  }
+
+  PackContext ctx;
+  TVMBO_CHECK(collect_pack_context(root, at_var.get(),
+                                   /*include_at=*/!wrap_outside, ctx))
+      << "pack context walk lost loop '" << at_var->name << "'";
+
+  // The region the scratch covers: the at-loop's body (fresh window per
+  // iteration) or the whole loop (one hoisted window).
+  const Stmt region =
+      wrap_outside ? make_for(at->var, at->extent, at->for_kind, at->body)
+                   : at->body;
+
+  PackScan scan;
+  scan.source = source.get();
+  scan.constraints = ctx.constraints;
+  scan.handles = &ctx.handles;
+  scan.scan_stmt(region);
+  TVMBO_CHECK(!scan.reads.empty())
+      << "pack-no-reads: tensor '" << source->name
+      << "' is never read under loop '" << at_var->name << "'";
+
+  analysis::VarRanges nest_ranges = ctx.ambient;
+  std::set<const VarNode*> inner;
+  for (const auto& [var, extent] : scan.loops) {
+    nest_ranges.bind(var, extent);
+    inner.insert(var);
+  }
+
+  // A read can use the scratch only when every index is affine and the
+  // pinned dimensions do not move inside the region.
+  auto is_candidate = [&](const SourceRead& read) {
+    for (const analysis::AffineForm& form : read.dims) {
+      if (!form.affine) return false;
+    }
+    for (std::size_t d : invariant_dims) {
+      for (const auto& [var, coefficient] : read.dims[d].terms) {
+        if (coefficient != 0 && inner.count(var)) return false;
+      }
+    }
+    return true;
+  };
+  const SourceRead* seed = nullptr;
+  for (const SourceRead& read : scan.reads) {
+    if (is_candidate(read)) {
+      seed = &read;
+      break;
+    }
+  }
+  TVMBO_CHECK(seed != nullptr)
+      << "pack-no-reads: no affine, window-invariant read of '"
+      << source->name << "' under loop '" << at_var->name << "'";
+
+  // Window inference from the seed read: the region-invariant part of
+  // each index is the origin, the inner-loop span the width. A window
+  // covering the whole dimension collapses to origin 0 (no guard needed,
+  // and hoisted packs of a full operand land here).
+  std::vector<WindowDim> window(rank);
+  for (std::size_t d = 0; d < rank; ++d) {
+    WindowDim w;
+    w.lo.constant = seed->dims[d].constant;
+    std::int64_t span = 0;
+    for (const auto& [var, coefficient] : seed->dims[d].terms) {
+      if (coefficient == 0) continue;
+      if (inner.count(var)) {
+        const std::int64_t* extent = nest_ranges.extent_of(var);
+        TVMBO_CHECK(extent != nullptr)
+            << "pack: unbound region var '" << var->name << "'";
+        const std::int64_t magnitude =
+            coefficient < 0 ? -coefficient : coefficient;
+        span += magnitude * (*extent - 1);
+        if (coefficient < 0) w.lo.constant += coefficient * (*extent - 1);
+      } else {
+        w.lo.add_term(var, coefficient);
+      }
+    }
+    w.width = 1 + span;
+    if (w.width >= source->shape[d]) {
+      w.lo = analysis::AffineForm{};
+      w.width = source->shape[d];
+    }
+    w.kept = w.width > 1;
+    window[d] = w;
+  }
+
+  // Accept a candidate read iff its offset from the origin provably stays
+  // inside [0, width) on kept dims and is exactly 0 on dropped ones.
+  struct AcceptedRead {
+    const SourceRead* read = nullptr;
+    std::vector<analysis::AffineForm> deltas;
+  };
+  std::vector<AcceptedRead> accepted;
+  for (const SourceRead& read : scan.reads) {
+    if (!is_candidate(read)) continue;
+    AcceptedRead entry;
+    entry.read = &read;
+    bool ok = true;
+    for (std::size_t d = 0; d < rank && ok; ++d) {
+      analysis::AffineForm delta =
+          analysis::affine_sub(read.dims[d], window[d].lo);
+      // [0, width) covers both cases: a dropped (width-1) dim demands a
+      // provably zero offset, a kept one a provably in-window offset.
+      const analysis::Interval range = analysis::constrained_range(
+          delta, nest_ranges, read.constraints);
+      ok = range.bounded() && *range.lo >= 0 && *range.hi < window[d].width;
+      entry.deltas.push_back(std::move(delta));
+    }
+    if (ok) accepted.push_back(std::move(entry));
+  }
+  TVMBO_CHECK(!accepted.empty())
+      << "pack-no-reads: no read of '" << source->name
+      << "' provably stays inside the packed window under loop '"
+      << at_var->name << "'";
+
+  // Every write to the source inside the region must land outside the
+  // window on at least one dimension, or a redirected read could observe
+  // a stale copy.
+  for (const SourceWrite& write : scan.writes) {
+    bool disjoint = false;
+    for (std::size_t d = 0; d < rank && !disjoint; ++d) {
+      if (!write.dims[d].affine) continue;
+      const analysis::AffineForm gap =
+          analysis::affine_sub(write.dims[d], window[d].lo);
+      const analysis::Interval range = analysis::constrained_range(
+          gap, nest_ranges, write.constraints);
+      disjoint = (range.hi.has_value() && *range.hi <= -1) ||
+                 (range.lo.has_value() && *range.lo >= window[d].width);
+    }
+    TVMBO_CHECK(disjoint)
+        << "pack-aliases-write: " << write.text
+        << " can land inside the packed window of '" << source->name
+        << "', so redirected reads could observe a stale copy";
+  }
+
+  // Scratch layout: the kept dims in `perm` order ({1, 0} transposes a
+  // matrix pack). A fully collapsed window degenerates to one element.
+  std::vector<std::size_t> scratch_dims;
+  for (std::size_t d : perm) {
+    if (window[d].kept) scratch_dims.push_back(d);
+  }
+  std::vector<std::int64_t> scratch_shape;
+  for (std::size_t d : scratch_dims) {
+    scratch_shape.push_back(window[d].width);
+  }
+  if (scratch_shape.empty()) scratch_shape.push_back(1);
+  const Tensor scratch = placeholder(scratch_shape, scratch_name);
+
+  // Copy nest: scratch[p...] = source[lo + p ...], bounds-guarded on any
+  // dimension whose window is not provably in range under the ambient
+  // scope alone (split tails make the guard fold away when exact).
+  std::map<std::size_t, Var> copy_vars;
+  for (std::size_t d : scratch_dims) {
+    copy_vars[d] = make_var(scratch_name + "_p" + std::to_string(d));
+  }
+  std::vector<Expr> src_indices(rank);
+  for (std::size_t d = 0; d < rank; ++d) {
+    Expr index = form_to_expr(window[d].lo, ctx.handles);
+    if (window[d].kept) index = index + Expr(copy_vars[d]);
+    src_indices[d] = index;
+  }
+  std::vector<Expr> dst_indices;
+  for (std::size_t d : scratch_dims) {
+    dst_indices.push_back(Expr(copy_vars[d]));
+  }
+  if (dst_indices.empty()) dst_indices.push_back(make_int(0));
+  Stmt copy =
+      make_store(scratch, dst_indices, access(source, src_indices));
+  for (std::size_t d = rank; d-- > 0;) {
+    const analysis::Interval range = analysis::constrained_range(
+        window[d].lo, ctx.ambient, ctx.constraints);
+    const bool lo_safe = range.lo.has_value() && *range.lo >= 0;
+    const bool hi_safe = range.hi.has_value() &&
+                         *range.hi + window[d].width <= source->shape[d];
+    if (!hi_safe) {
+      copy = make_if(lt(src_indices[d], make_int(source->shape[d])), copy);
+    }
+    if (!lo_safe) copy = make_if(ge(src_indices[d], make_int(0)), copy);
+  }
+  for (auto it = scratch_dims.rbegin(); it != scratch_dims.rend(); ++it) {
+    copy = make_for(copy_vars[*it], window[*it].width, ForKind::kSerial,
+                    copy);
+  }
+
+  // Redirect the accepted reads to the scratch, then splice Realize +
+  // copy + rewritten region back over the at-loop.
+  std::map<const ExprNode*, Expr> repl;
+  for (const AcceptedRead& entry : accepted) {
+    std::vector<Expr> indices;
+    for (std::size_t d : scratch_dims) {
+      indices.push_back(form_to_expr(entry.deltas[d], ctx.handles));
+    }
+    if (indices.empty()) indices.push_back(make_int(0));
+    repl[entry.read->node] = access(scratch, std::move(indices));
+  }
+  Stmt packed_region = replace_reads_stmt(region, repl);
+  Stmt packed =
+      make_realize(scratch, make_seq({std::move(copy), packed_region}));
+  const Stmt replacement =
+      wrap_outside
+          ? packed
+          : make_for(at->var, at->extent, at->for_kind, std::move(packed));
+
+  return rewrite(root, [&](const ForNode* node) -> Stmt {
+    if (node->var.get() != at_var.get()) return nullptr;
+    return replacement;
+  });
 }
 
 Stmt annotate_loop(const Stmt& stmt, const Var& var, ForKind kind) {

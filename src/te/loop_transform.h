@@ -18,6 +18,10 @@
 // the caller's responsibility (as with TVM schedule primitives).
 #pragma once
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "te/ir.h"
 
 namespace tvmbo::te {
@@ -48,5 +52,39 @@ const ForNode* find_loop(const Stmt& stmt, const Var& var);
 /// throws CheckError with rule `parallel-loop-race` when the proof fails.
 /// Also throws when no loop over `var` exists.
 Stmt annotate_loop(const Stmt& stmt, const Var& var, ForKind kind);
+
+/// Array packing: snapshots the window of `source` read under the loop
+/// over `at_var` into a contiguous Realize'd scratch buffer and redirects
+/// every provably in-window read to it, so strided inner-loop traversals
+/// become stride-1. The transform is machine-checked end to end:
+///
+///  * the window per tensor dimension is inferred from the first affine
+///    read (its loop-invariant part is the window origin, the inner-loop
+///    span its width, clamped to the full extent when it covers it);
+///  * a read is redirected only when the affine engine proves, under the
+///    read's own path constraints (split tail guards, triangular guards),
+///    that its offset from the origin stays inside [0, width) — everything
+///    else keeps reading `source` directly (conservative, still correct);
+///  * every write to `source` inside the region must be proven to land
+///    outside the window (rule `pack-aliases-write` otherwise), so no
+///    redirected read can observe a stale copy;
+///  * the copy nest bounds-guards any source index it cannot prove in
+///    range, and the scratch is zero-filled by Realize on every entry, so
+///    all three execution tiers stay bit-identical.
+///
+/// Placement: with `wrap_outside` false the Realize + copy wrap the
+/// *body* of the at-loop (a fresh window per iteration); with true they
+/// replace the whole loop (one hoisted window) — required when the
+/// at-loop executes concurrently, since a Realize inside a kParallel/
+/// kVectorized loop is rejected by the race prover. `perm` permutes the
+/// tensor's dimensions in the scratch layout (e.g. {1, 0} transposes);
+/// width-1 dimensions are dropped from the scratch shape. Dimensions in
+/// `invariant_dims` must be loop-invariant across the region for a read
+/// to qualify (how LU/Cholesky pin the pack to the pivot column k).
+/// Throws CheckError `pack-no-reads` when no read qualifies.
+Stmt pack_reads(const Stmt& root, const Tensor& source, const Var& at_var,
+                bool wrap_outside, const std::vector<std::size_t>& perm,
+                const std::vector<std::size_t>& invariant_dims,
+                const std::string& scratch_name);
 
 }  // namespace tvmbo::te

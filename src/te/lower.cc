@@ -4,6 +4,7 @@
 
 #include "analysis/affine.h"
 #include "analysis/dependence.h"
+#include "te/loop_transform.h"
 #include "te/printer.h"
 
 namespace tvmbo::te {
@@ -485,6 +486,33 @@ Stmt lower_stage(const Schedule& schedule, const Stage& stage,
     if (axes.guard) update = make_if(axes.guard, std::move(update));
     result = make_seq(
         {std::move(init), wrap_loops(stage, std::move(update), attachments)});
+  }
+
+  // Array packing requested via Stage::cache_write: snapshot each packed
+  // source's read window into a contiguous scratch at the outermost leaf,
+  // with a transposed layout (reversed dim order) so the innermost data
+  // axis traverses it stride-1. The scratch sits inside the leaf when it
+  // is serial and is hoisted outside it when the leaf executes
+  // concurrently, so the Realize never lands inside a kParallel/
+  // kVectorized loop (which the prover below would reject). For reduction
+  // stages the leaf var occurs only in the update nest, which is exactly
+  // where the pack belongs — the init nest runs over the original axes.
+  if (!stage.pack_sources().empty()) {
+    const auto& leaves = stage.leaf_iter_vars();
+    TVMBO_CHECK(!leaves.empty())
+        << "cache_write on loopless stage '" << tensor->name << "'";
+    const IterVar& outermost = leaves.front();
+    const bool wrap_outside =
+        analysis::kind_requires_race_proof(stage.annotation(outermost));
+    for (const Tensor& source : stage.pack_sources()) {
+      std::vector<std::size_t> perm(source->shape.size());
+      for (std::size_t d = 0; d < perm.size(); ++d) {
+        perm[d] = perm.size() - 1 - d;
+      }
+      result = pack_reads(result, source, outermost->var, wrap_outside,
+                          perm, /*invariant_dims=*/{},
+                          tensor->name + "_" + source->name + "_pack");
+    }
   }
 
   // Machine-checked legality: every loop whose annotation asserts

@@ -129,15 +129,38 @@ void Stage::unroll(const IterVar& iter) {
 }
 
 void Stage::vectorize(const IterVar& iter) {
-  const std::size_t pos = leaf_position(iter);
-  TVMBO_CHECK_EQ(pos, leaves_.size() - 1)
-      << "vectorize applies to the innermost loop only";
+  // Any leaf may be vectorized (not just the innermost): legality is not
+  // positional but semantic, and lowering demands a machine-checked
+  // race-freedom proof for every kVectorized loop.
+  leaf_position(iter);  // validity check
   annotations_.emplace_back(iter, ForKind::kVectorized);
 }
 
 void Stage::parallel(const IterVar& iter) {
   leaf_position(iter);
   annotations_.emplace_back(iter, ForKind::kParallel);
+}
+
+void Stage::cache_write(const Tensor& source) {
+  TVMBO_CHECK(source != nullptr) << "cache_write of null tensor";
+  TVMBO_CHECK(source.get() != tensor_.get())
+      << "stage '" << tensor_->name << "' cannot pack itself";
+  bool is_input = false;
+  for (const Tensor& input : tensor_->inputs()) {
+    if (input.get() == source.get()) {
+      is_input = true;
+      break;
+    }
+  }
+  TVMBO_CHECK(is_input) << "tensor '" << source->name
+                        << "' is not an input of stage '" << tensor_->name
+                        << "'";
+  for (const Tensor& existing : pack_sources_) {
+    TVMBO_CHECK(existing.get() != source.get())
+        << "tensor '" << source->name << "' is already packed by stage '"
+        << tensor_->name << "'";
+  }
+  pack_sources_.push_back(source);
 }
 
 ForKind Stage::annotation(const IterVar& iter) const {

@@ -97,6 +97,18 @@ class Stage {
   void vectorize(const IterVar& iter);
   void parallel(const IterVar& iter);
 
+  /// Array packing (the cache_write idiom): at lowering time the window of
+  /// `source` this stage reads under its outermost leaf is snapshotted
+  /// into a contiguous Realize'd scratch buffer and the provably in-window
+  /// reads are redirected to it, turning strided inner-loop traversals
+  /// into stride-1 (te::pack_reads does the proof-carrying rewrite). The
+  /// scratch sits inside the outermost leaf when it is serial and is
+  /// hoisted outside it when that leaf executes concurrently, so the
+  /// Realize never lands inside a kParallel/kVectorized loop. `source`
+  /// must be an input of this stage's compute.
+  void cache_write(const Tensor& source);
+  const std::vector<Tensor>& pack_sources() const { return pack_sources_; }
+
   /// Annotation for a leaf (kSerial when none set).
   ForKind annotation(const IterVar& iter) const;
 
@@ -117,6 +129,7 @@ class Stage {
   std::vector<SplitRelation> splits_;
   std::vector<FuseRelation> fuses_;
   std::vector<std::pair<IterVar, ForKind>> annotations_;
+  std::vector<Tensor> pack_sources_;
   bool inlined_ = false;
   const Stage* attach_stage_ = nullptr;
   IterVar attach_leaf_;

@@ -32,10 +32,16 @@ Stmt substitute_stmt(const Stmt& stmt,
 ///  * single-statement and nested sequences are flattened.
 Stmt simplify(const Stmt& stmt);
 
+/// Largest kUnrolled extent that unroll_loops expands by default. Shared
+/// between the interpreter-side pass pipeline and the jit tier's pre-pass
+/// (codegen/jit_program.cc) so "how much gets straight-lined" is decided
+/// in exactly one place for every execution path.
+inline constexpr std::int64_t kUnrollMaxExtent = 64;
+
 /// Expands every kUnrolled loop with constant extent <= `max_extent` into
 /// a Seq of bodies (larger unrolled loops are left intact, like TVM's
 /// auto_max_step guard).
-Stmt unroll_loops(const Stmt& stmt, std::int64_t max_extent = 64);
+Stmt unroll_loops(const Stmt& stmt, std::int64_t max_extent = kUnrollMaxExtent);
 
 /// Structural verification; throws CheckError with a diagnostic on the
 /// first violation. Returns the number of statements visited.

@@ -29,6 +29,9 @@
 #include "runtime/trace_log.h"
 #include "te/expr.h"
 #include "te/ir.h"
+#include "te/loop_transform.h"
+#include "te/lower.h"
+#include "te/schedule.h"
 #include "te/tensor.h"
 
 namespace tvmbo {
@@ -278,6 +281,101 @@ TEST(AnalysisRace, RealizeInsideParallelLoopIsRejected) {
       << proofs[0].detail;
 }
 
+// --- vectorize + pack adversarial cases --------------------------------------
+
+TEST(AnalysisRace, VectorizedLoopCarriedReductionIsRejected) {
+  // A kVectorized loop carrying a reduction (c[0] += a[k]) races on the
+  // accumulator: every lane writes the same element. The prover must say
+  // no, and the verify report must file it under parallel-loop-race.
+  te::Tensor a = te::placeholder({8}, "A");
+  te::Tensor c = te::placeholder({1}, "C");
+  te::Var k = te::make_var("k");
+  const te::Stmt store = te::make_store(
+      c, {te::make_int(0)},
+      te::access(c, {te::make_int(0)}) + te::access(a, {te::Expr(k)}));
+  const te::Stmt program =
+      te::make_for(k, 8, te::ForKind::kVectorized, store);
+  const auto proofs = analysis::analyze_parallel_loops(program);
+  ASSERT_EQ(proofs.size(), 1u);
+  EXPECT_FALSE(proofs[0].proven) << proofs[0].detail;
+  const auto violations = analysis::verify_stmt(program, {a, c});
+  EXPECT_TRUE(has_rule(violations, "parallel-loop-race"))
+      << rules_of(violations);
+}
+
+TEST(AnalysisRace, ScheduleVectorizingReductionAxisFailsToLower) {
+  // The relaxed Stage::vectorize accepts any leaf — including the k
+  // reduction axis — because the machine-checked race proof at lowering
+  // is the real gate. Lowering such a schedule must throw with the
+  // parallel-loop-race rule id, never silently emit a racy nest.
+  te::Tensor a = te::placeholder({4, 6}, "A");
+  te::Tensor b = te::placeholder({6, 4}, "B");
+  te::IterVar kk = te::reduce_axis(6, "k");
+  te::Tensor c = te::compute(
+      {4, 4}, "C",
+      [&](const std::vector<te::Var>& i) {
+        return te::sum(te::access(a, {i[0], kk->var}) *
+                           te::access(b, {kk->var, i[1]}),
+                       {kk->var});
+      },
+      {kk});
+  te::Schedule sched({c});
+  sched[c].vectorize(sched[c].op_reduce_axis()[0]);
+  try {
+    te::lower(sched);
+    FAIL() << "lowering a vectorized reduction axis must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("parallel-loop-race"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AnalysisRace, PackAliasingTheWrittenWindowIsRejected) {
+  // Packing reads of a tensor that is also written inside the packed
+  // window would let redirected reads observe a stale copy. pack_reads
+  // must refuse with the pack-aliases-write rule id.
+  te::Tensor b = te::placeholder({8, 8}, "B");
+  te::Var i = te::make_var("i");
+  te::Var j = te::make_var("j");
+  const te::Stmt store = te::make_store(
+      b, {te::Expr(i), te::Expr(j)},
+      te::access(b, {te::Expr(i), te::Expr(j)}) * te::make_float(2.0));
+  const te::Stmt program = te::make_for(
+      i, 8, te::ForKind::kSerial,
+      te::make_for(j, 8, te::ForKind::kSerial, store));
+  try {
+    te::pack_reads(program, b, i, /*wrap_outside=*/false, /*perm=*/{0, 1},
+                   /*invariant_dims=*/{}, "b_pack");
+    FAIL() << "packing an aliased window must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("pack-aliases-write"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AnalysisRace, PackOfUnreadTensorIsRejected) {
+  // Asking to pack a tensor the region never reads is a schedule bug;
+  // pack_reads must refuse with the pack-no-reads rule id instead of
+  // materializing a dead scratch buffer.
+  te::Tensor a = te::placeholder({8}, "A");
+  te::Tensor c = te::placeholder({8}, "C");
+  te::Var i = te::make_var("i");
+  const te::Stmt store =
+      te::make_store(c, {te::Expr(i)}, te::make_float(1.0));
+  const te::Stmt program = te::make_for(i, 8, te::ForKind::kSerial, store);
+  try {
+    te::pack_reads(program, a, i, /*wrap_outside=*/false, /*perm=*/{0},
+                   /*invariant_dims=*/{}, "a_pack");
+    FAIL() << "packing an unread tensor must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("pack-no-reads"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(AnalysisRace, SingleIterationLoopIsTriviallyProven) {
   te::Tensor a = te::placeholder({9}, "A");
   te::Var i = te::make_var("i");
@@ -327,6 +425,31 @@ TEST(AnalysisRace, AllShippedParallelSchedulesAreProven) {
       EXPECT_TRUE(screened.ok())
           << kernel << " axis " << axis << ": " << screened.first_error();
     }
+  }
+}
+
+TEST(AnalysisRace, AllShippedWidenedSchedulesAreProven) {
+  // The full widened tier on every kernel: parallel axis 1 + vectorized
+  // innermost + unroll 2 + pack must lower with machine-checked proofs —
+  // the vectorized loop shows up in proven_vectorized_loops (the list the
+  // C emitter keys its simd pragmas on) and the screen stays clean.
+  for (const std::string& kernel : te_kernels()) {
+    const std::vector<std::int64_t> dims =
+        kernels::polybench_dims(kernel, kernels::Dataset::kMini);
+    const auto data = kernels::make_te_kernel_data(kernel, dims);
+    std::vector<std::int64_t> tiles = default_base_tiles(kernel, dims);
+    tiles.insert(tiles.end(), {1, 4, /*vec=*/1, /*unroll=*/2, /*pack=*/1});
+    kernels::TeProgramInstance instance(data, tiles);
+    EXPECT_FALSE(analysis::proven_vectorized_loops(instance.stmt()).empty())
+        << kernel << ": no proven vectorized loop";
+    std::vector<te::Tensor> params;
+    for (const auto& [tensor, array] : instance.bindings()) {
+      (void)array;
+      params.push_back(tensor);
+    }
+    const analysis::ScreenResult screened =
+        analysis::screen_program(instance.stmt(), params);
+    EXPECT_TRUE(screened.ok()) << kernel << ": " << screened.first_error();
   }
 }
 

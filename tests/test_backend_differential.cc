@@ -128,6 +128,72 @@ void run_parallel_differential(const std::string& kernel, int count,
   }
 }
 
+/// One-line reproduction string for a sampled configuration: paste the
+/// tile vector into `tvmbo_lint --kernel K --size mini --tiles ...` (or a
+/// TeProgramInstance) to replay the exact schedule.
+std::string repro_string(const std::string& kernel, std::uint64_t seed,
+                         int trial, const std::vector<std::int64_t>& tiles) {
+  std::string out = "repro: kernel=" + kernel +
+                    " seed=" + std::to_string(seed) +
+                    " trial=" + std::to_string(trial) + " tiles=";
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    out += (i == 0 ? "" : ",") + std::to_string(tiles[i]);
+  }
+  return out;
+}
+
+/// Widened-space sweep: sample configurations from the full schedule
+/// space — tiles plus the parallel_axis/threads/vec_axis/unroll/pack
+/// knobs — and demand float64 bit-identity across interp, closure, and
+/// jit. The oracle is the interpreter on the base (knob-free) tiles, so
+/// this also proves the new knobs are pure schedule transforms: they may
+/// reorder work but never change a single output bit. Failure messages
+/// carry a one-line repro string.
+void run_schedule_combo_differential(const std::string& kernel, int count,
+                                     std::uint64_t seed) {
+  const codegen::JitOptions options = test_options();
+  const bool jit = codegen::JitProgram::toolchain_available(options);
+  const std::vector<std::int64_t> dims =
+      polybench_dims(kernel, Dataset::kMini);
+  ScheduleKnobs knobs;
+  knobs.enabled = true;
+  knobs.max_threads = 2;
+  knobs.vectorize = true;
+  knobs.unroll = true;
+  knobs.pack = true;
+  const cs::ConfigurationSpace space = build_space(kernel, dims, knobs);
+  const std::size_t base = te_num_tiles(kernel);
+  const auto data = make_te_kernel_data(kernel, dims);
+
+  Rng rng(seed);
+  for (int trial = 0; trial < count; ++trial) {
+    const std::vector<std::int64_t> tiles =
+        space.values_int(space.sample(rng));
+    ASSERT_EQ(tiles.size(), base + 5u);
+    const std::string repro = repro_string(kernel, seed, trial, tiles);
+
+    const std::vector<std::int64_t> plain(tiles.begin(),
+                                          tiles.begin() + base);
+    const runtime::NDArray oracle =
+        run_te_backend(data, plain, ExecBackend::kInterp);
+
+    const runtime::NDArray interp =
+        run_te_backend(data, tiles, ExecBackend::kInterp);
+    expect_identical(oracle, interp, repro + " (interp)");
+    const runtime::NDArray closure =
+        run_te_backend(data, tiles, ExecBackend::kClosure);
+    expect_identical(oracle, closure, repro + " (closure)");
+    if (jit) {
+      const runtime::NDArray jitted =
+          run_te_backend(data, tiles, ExecBackend::kJit, options);
+      expect_identical(oracle, jitted, repro + " (jit)");
+    }
+  }
+  if (!jit) {
+    GTEST_SKIP() << "no C toolchain; interpreter/closure agreement checked";
+  }
+}
+
 TEST(BackendDifferential, ThreeMm) { run_differential("3mm", 4, 101); }
 TEST(BackendDifferential, Gemm) { run_differential("gemm", 4, 102); }
 TEST(BackendDifferential, TwoMm) { run_differential("2mm", 4, 103); }
@@ -152,6 +218,25 @@ TEST(BackendDifferential, ParallelLu) {
 }
 TEST(BackendDifferential, ParallelCholesky) {
   run_parallel_differential("cholesky", 2, 206);
+}
+
+TEST(BackendDifferential, ScheduleComboThreeMm) {
+  run_schedule_combo_differential("3mm", 3, 301);
+}
+TEST(BackendDifferential, ScheduleComboGemm) {
+  run_schedule_combo_differential("gemm", 4, 302);
+}
+TEST(BackendDifferential, ScheduleComboTwoMm) {
+  run_schedule_combo_differential("2mm", 3, 303);
+}
+TEST(BackendDifferential, ScheduleComboSyrk) {
+  run_schedule_combo_differential("syrk", 4, 304);
+}
+TEST(BackendDifferential, ScheduleComboLu) {
+  run_schedule_combo_differential("lu", 4, 305);
+}
+TEST(BackendDifferential, ScheduleComboCholesky) {
+  run_schedule_combo_differential("cholesky", 4, 306);
 }
 
 TEST(BackendDifferential, JitBeatsInterpreterOn3mm) {

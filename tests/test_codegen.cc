@@ -61,6 +61,65 @@ TEST(CEmitter, RealizeRegionsAllocateAndFree) {
   EXPECT_NE(source.find("/* realize F */"), std::string::npos);
 }
 
+TEST(CEmitter, SimdPragmaOnlyOnProvenVectorizedLoops) {
+  // A provably race-free kVectorized loop gets `#pragma omp simd` with an
+  // aligned() clause, and the buffer pointers turn restrict — but only
+  // when vectorize emission is requested; the default emission stays
+  // byte-identical to earlier releases (stable cache keys).
+  const te::Tensor out = te::placeholder({8}, "out");
+  const te::Var i = te::make_var("i");
+  const te::Stmt proven = te::make_for(
+      i, 8, te::ForKind::kVectorized,
+      te::make_store(out, {i}, te::make_float(1.0)));
+  EmitOptions vec;
+  vec.vectorize = true;
+  const std::string vec_source =
+      emit_c_source(proven, {out}, "tvmbo_kernel", vec);
+  EXPECT_NE(vec_source.find("#pragma omp simd aligned("), std::string::npos)
+      << vec_source;
+  EXPECT_NE(vec_source.find("restrict"), std::string::npos);
+
+  const std::string plain = emit_c_source(proven, {out});
+  EXPECT_EQ(plain.find("#pragma"), std::string::npos);
+  EXPECT_EQ(plain.find("restrict"), std::string::npos);
+
+  // An unproven kVectorized loop (every lane accumulates into the same
+  // element) must NOT get the pragma even with vectorize on: emission is
+  // keyed on the dependence prover's certificate, not the annotation.
+  const te::Tensor acc = te::placeholder({1}, "acc");
+  const te::Var k = te::make_var("k");
+  const te::Stmt racy = te::make_for(
+      k, 8, te::ForKind::kVectorized,
+      te::make_store(acc, {te::make_int(0)},
+                     te::access(acc, {te::make_int(0)}) +
+                         te::make_float(1.0)));
+  const std::string racy_source =
+      emit_c_source(racy, {acc}, "tvmbo_kernel", vec);
+  EXPECT_EQ(racy_source.find("#pragma omp simd"), std::string::npos)
+      << racy_source;
+}
+
+TEST(CEmitter, UnrollPragmaRequiresFactor) {
+  // Residual kUnrolled loops (extent beyond the pre-pass straight-lining
+  // limit) get a GCC unroll hint only when a factor >= 2 is supplied.
+  const te::Tensor out = te::placeholder({100}, "out");
+  const te::Var i = te::make_var("i");
+  const te::Stmt stmt = te::make_for(
+      i, 100, te::ForKind::kUnrolled,
+      te::make_store(out, {i}, te::make_float(1.0)));
+  EmitOptions hinted;
+  hinted.unroll = true;
+  hinted.unroll_factor = 4;
+  EXPECT_NE(emit_c_source(stmt, {out}, "tvmbo_kernel", hinted)
+                .find("#pragma GCC unroll 4"),
+            std::string::npos);
+  hinted.unroll_factor = 0;
+  EXPECT_EQ(emit_c_source(stmt, {out}, "tvmbo_kernel", hinted)
+                .find("#pragma"),
+            std::string::npos);
+  EXPECT_EQ(emit_c_source(stmt, {out}).find("#pragma"), std::string::npos);
+}
+
 TEST(CEmitter, RejectsUnboundTensor) {
   const te::Tensor out = te::placeholder({4}, "out");
   const te::Var i = te::make_var("i");
@@ -192,6 +251,88 @@ TEST(ArtifactCache, ParallelFlagsProduceDistinctKeysAndWarmHits) {
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.misses, 0u);
   EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.hit_rate(), 1.0);
+}
+
+TEST(ArtifactCache, SimdUnrollPackProduceDistinctKeysAndWarmHits) {
+  JitOptions base = test_options("vecpack-keys");
+  if (!JitProgram::toolchain_available(base)) {
+    GTEST_SKIP() << "no C toolchain";
+  }
+  // The widened-tier knobs must each land in the content-addressed key:
+  // the simd pragma text (plus -fopenmp-simd when supported), the
+  // straight-lined unroll bodies, and the pack scratch nest all change
+  // the emitted source, so no two variants may collide — and a second
+  // pass over the same variants must be 100% cache hits.
+  kernels::GemmTensors t = kernels::make_gemm(6, 7, 5);
+  const te::Stmt serial = te::lower(kernels::schedule_gemm(t, 3, 4));
+  const te::Stmt vec = te::lower(
+      kernels::schedule_gemm(t, 3, 4, /*par_axis=*/0, /*vec_axis=*/1));
+  const te::Stmt unrolled = te::lower(kernels::schedule_gemm(
+      t, 3, 4, /*par_axis=*/0, /*vec_axis=*/0, /*unroll=*/2));
+  const te::Stmt packed = te::lower(kernels::schedule_gemm(
+      t, 3, 4, /*par_axis=*/0, /*vec_axis=*/0, /*unroll=*/0, /*pack=*/true));
+  runtime::NDArray a({6, 5}), b({5, 7}), c({6, 7});
+  const std::vector<std::pair<te::Tensor, runtime::NDArray*>> bindings = {
+      {t.A, &a}, {t.B, &b}, {t.C, &c}};
+  // A residual kUnrolled loop (extent beyond the straight-lining limit):
+  // only the `#pragma GCC unroll <N>` hint separates the variants, so the
+  // pragma text alone must split the key.
+  const te::Tensor big = te::placeholder({100}, "big");
+  const te::Var i = te::make_var("i");
+  const te::Stmt residual = te::make_for(
+      i, 100, te::ForKind::kUnrolled,
+      te::make_store(big, {i}, te::make_float(1.0)));
+  runtime::NDArray big_buf({100});
+  const std::vector<std::pair<te::Tensor, runtime::NDArray*>>
+      residual_bindings = {{big, &big_buf}};
+
+  JitOptions hint2 = base, hint4 = base;
+  hint2.unroll_factor = 2;
+  hint4.unroll_factor = 4;
+
+  // Cold pass (the simd probe fires lazily on the first vectorized
+  // compile and costs a miss of its own, so it must precede the reset).
+  std::vector<std::string> paths;
+  paths.push_back(JitProgram::compile(serial, bindings, base)
+                      .artifact_path());
+  JitProgram vec_program = JitProgram::compile(vec, bindings, base);
+  paths.push_back(vec_program.artifact_path());
+  paths.push_back(JitProgram::compile(unrolled, bindings, base)
+                      .artifact_path());
+  JitProgram pack_program = JitProgram::compile(packed, bindings, base);
+  paths.push_back(pack_program.artifact_path());
+  paths.push_back(JitProgram::compile(residual, residual_bindings, hint2)
+                      .artifact_path());
+  paths.push_back(JitProgram::compile(residual, residual_bindings, hint4)
+                      .artifact_path());
+  for (std::size_t x = 0; x < paths.size(); ++x) {
+    for (std::size_t y = x + 1; y < paths.size(); ++y) {
+      EXPECT_NE(paths[x], paths[y]) << "variants " << x << " and " << y;
+    }
+  }
+  // The knob effects are visible in the emitted text itself.
+  if (JitProgram::simd_available(base)) {
+    EXPECT_NE(vec_program.source().find("#pragma omp simd aligned("),
+              std::string::npos);
+  }
+  EXPECT_NE(pack_program.source().find("C_A_pack"), std::string::npos)
+      << pack_program.source();
+
+  // Warm pass: identical variants must be pure cache hits.
+  ArtifactCache& cache = ArtifactCache::shared(base);
+  cache.reset_stats();
+  EXPECT_TRUE(JitProgram::compile(serial, bindings, base).cache_hit());
+  EXPECT_TRUE(JitProgram::compile(vec, bindings, base).cache_hit());
+  EXPECT_TRUE(JitProgram::compile(unrolled, bindings, base).cache_hit());
+  EXPECT_TRUE(JitProgram::compile(packed, bindings, base).cache_hit());
+  EXPECT_TRUE(
+      JitProgram::compile(residual, residual_bindings, hint2).cache_hit());
+  EXPECT_TRUE(
+      JitProgram::compile(residual, residual_bindings, hint4).cache_hit());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.hits, 6u);
   EXPECT_EQ(stats.hit_rate(), 1.0);
 }
 

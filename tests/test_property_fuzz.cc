@@ -12,9 +12,12 @@
 #include "common/csv.h"
 #include "common/json.h"
 #include "common/rng.h"
+#include "configspace/divisors.h"
+#include "framework/session.h"
 #include "kernels/polybench.h"
 #include "kernels/reference.h"
 #include "kernels/te_programs.h"
+#include "runtime/cpu_device.h"
 #include "surrogate/random_forest.h"
 #include "te/interp.h"
 #include "te/transform.h"
@@ -179,6 +182,172 @@ TEST(PropertyFuzz, ParallelScheduleComboFuzz) {
       }
     }
   }
+}
+
+// --- random (tile x vectorize x unroll x pack x parallel) combinations ------
+
+// The widened schedule tier: every sampled combination of tiles,
+// parallel axis/threads, vectorize axis, unroll factor, and array
+// packing must leave the closure (and, every third trial, the JIT)
+// bit-identical to the serial interpreter oracle at float64. On failure
+// the assertion message is a one-line repro: append
+// [axis, threads, vec, unroll, pack] to the tile vector of a
+// TeProgramInstance (or pass it to `tvmbo_lint --tiles`).
+TEST(PropertyFuzz, VectorizeUnrollPackComboFuzz) {
+  const std::vector<std::string> te_kernels = {"3mm", "gemm", "2mm",
+                                               "syrk", "lu", "cholesky"};
+  codegen::JitOptions jit_options;
+  jit_options.cache_dir = testing::TempDir() + "tvmbo-vecpack-fuzz-cache";
+  const bool jit = codegen::JitProgram::toolchain_available(jit_options);
+
+  constexpr std::uint64_t kBaseSeed = 8200;
+  constexpr int kTrials = 18;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::uint64_t seed = kBaseSeed + static_cast<std::uint64_t>(trial);
+    Rng rng(seed);
+    const std::string kernel = te_kernels[static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(te_kernels.size())))];
+    const std::vector<std::int64_t> dims =
+        kernels::polybench_dims(kernel, kernels::Dataset::kMini);
+    const cs::ConfigurationSpace space = kernels::build_space(kernel, dims);
+    const auto data = kernels::make_te_kernel_data(kernel, dims);
+
+    std::vector<std::int64_t> tiles = space.values_int(space.sample(rng));
+    const std::int64_t axis = rng.uniform_int(
+        static_cast<std::int64_t>(kernels::te_num_parallel_axes(kernel)) + 1);
+    const std::int64_t threads = 1 + rng.uniform_int(3);  // 1..3
+    const std::int64_t vec = rng.uniform_int(3);          // 0..2
+    const std::vector<std::int64_t> unroll_pool = cs::unroll_factors();
+    const std::int64_t unroll = unroll_pool[static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(unroll_pool.size())))];
+    const std::int64_t pack = rng.uniform_int(2);  // 0..1
+
+    std::ostringstream repro;
+    repro << "repro: kernel=" << kernel << " seed=" << seed << " tiles=[";
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+      repro << (i > 0 ? "," : "") << tiles[i];
+    }
+    repro << "] axis=" << axis << " threads=" << threads << " vec=" << vec
+          << " unroll=" << unroll << " pack=" << pack;
+
+    const runtime::NDArray oracle = kernels::run_te_backend(
+        data, tiles, runtime::ExecBackend::kInterp);
+    std::vector<std::int64_t> extended = tiles;
+    extended.insert(extended.end(), {axis, threads, vec, unroll, pack});
+
+    const runtime::NDArray closure = kernels::run_te_backend(
+        data, extended, runtime::ExecBackend::kClosure);
+    ASSERT_EQ(oracle.shape(), closure.shape()) << repro.str();
+    {
+      std::span<const double> ov = oracle.f64(), cv = closure.f64();
+      for (std::size_t i = 0; i < ov.size(); ++i) {
+        ASSERT_EQ(ov[i], cv[i])
+            << repro.str() << " (closure, flat index " << i << ")";
+      }
+    }
+
+    if (jit && trial % 3 == 0) {
+      const runtime::NDArray jitted = kernels::run_te_backend(
+          data, extended, runtime::ExecBackend::kJit, jit_options);
+      ASSERT_EQ(oracle.shape(), jitted.shape()) << repro.str();
+      std::span<const double> ov = oracle.f64(), jv = jitted.f64();
+      for (std::size_t i = 0; i < ov.size(); ++i) {
+        ASSERT_EQ(ov[i], jv[i])
+            << repro.str() << " (jit, flat index " << i << ")";
+      }
+    }
+  }
+}
+
+// Trajectory identity, space level: with the vectorize/unroll/pack knobs
+// disabled, the knob-aware space must be indistinguishable from the
+// pre-existing spaces — same parameters, same cardinality, and the same
+// fixed-seed sample stream — so existing tuning trajectories replay
+// unchanged.
+TEST(PropertyFuzz, DisabledKnobsPreserveSpaceAndSampleStreams) {
+  const std::vector<std::string> te_kernels = {"3mm", "gemm", "2mm",
+                                               "syrk", "lu", "cholesky"};
+  for (const std::string& kernel : te_kernels) {
+    const std::vector<std::int64_t> dims =
+        kernels::polybench_dims(kernel, kernels::Dataset::kMini);
+
+    // All knobs off: byte-identical to the base (tiles-only) space.
+    const cs::ConfigurationSpace base = kernels::build_space(kernel, dims);
+    kernels::ScheduleKnobs off;
+    const cs::ConfigurationSpace knob_off =
+        kernels::build_space(kernel, dims, off);
+    ASSERT_EQ(base.num_params(), knob_off.num_params()) << kernel;
+    for (std::size_t p = 0; p < base.num_params(); ++p) {
+      EXPECT_EQ(base.param(p).name(), knob_off.param(p).name()) << kernel;
+    }
+    EXPECT_EQ(base.cardinality(), knob_off.cardinality()) << kernel;
+    Rng ra(4242), rb(4242);
+    for (int draw = 0; draw < 32; ++draw) {
+      EXPECT_EQ(base.values_int(base.sample(ra)),
+                knob_off.values_int(knob_off.sample(rb)))
+          << kernel << " draw " << draw;
+    }
+
+    // Parallel tier only: exactly the two parallel knobs are appended and
+    // none of the new P_vec/P_unroll/P_pack parameters appear.
+    kernels::ScheduleKnobs par_only;
+    par_only.enabled = true;
+    par_only.max_threads = 4;
+    const cs::ConfigurationSpace par_space =
+        kernels::build_space(kernel, dims, par_only);
+    ASSERT_EQ(par_space.num_params(), base.num_params() + 2u) << kernel;
+    for (std::size_t p = 0; p < par_space.num_params(); ++p) {
+      const std::string& name = par_space.param(p).name();
+      EXPECT_NE(name, "P_vec") << kernel;
+      EXPECT_NE(name, "P_unroll") << kernel;
+      EXPECT_NE(name, "P_pack") << kernel;
+    }
+
+    // Fully widened: five knobs appended, in the documented order.
+    kernels::ScheduleKnobs wide = par_only;
+    wide.vectorize = wide.unroll = wide.pack = true;
+    const cs::ConfigurationSpace wide_space =
+        kernels::build_space(kernel, dims, wide);
+    ASSERT_EQ(wide_space.num_params(), base.num_params() + 5u) << kernel;
+    EXPECT_EQ(wide_space.param(base.num_params() + 2).name(), "P_vec");
+    EXPECT_EQ(wide_space.param(base.num_params() + 3).name(), "P_unroll");
+    EXPECT_EQ(wide_space.param(base.num_params() + 4).name(), "P_pack");
+  }
+}
+
+// Trajectory identity, session level: a fixed-seed tuning session over a
+// task built through the knob-aware make_task overload with every new
+// knob disabled proposes the exact same configuration sequence as one
+// built through the plain backend overload.
+TEST(PropertyFuzz, FixedSeedSessionTrajectoryIdenticalWithKnobsDisabled) {
+  codegen::JitOptions jit_options;
+  const autotvm::Task plain = kernels::make_task(
+      "gemm", kernels::Dataset::kMini, runtime::ExecBackend::kClosure,
+      jit_options);
+  const autotvm::Task knob_off = kernels::make_task(
+      "gemm", kernels::Dataset::kMini, runtime::ExecBackend::kClosure,
+      jit_options, kernels::ScheduleKnobs{});
+
+  runtime::CpuDevice device;
+  framework::SessionOptions options;
+  options.max_evaluations = 4;
+  options.seed = 99;
+  options.charge_strategy_overhead = false;
+
+  auto tile_sequence = [&](const autotvm::Task& task) {
+    framework::AutotuningSession session(&task, &device, options);
+    const framework::SessionResult result =
+        session.run(framework::StrategyKind::kAutotvmRandom);
+    EXPECT_EQ(result.evaluations, options.max_evaluations);
+    std::vector<std::vector<std::int64_t>> sequence;
+    for (const auto& record : result.db.records()) {
+      EXPECT_TRUE(record.valid);
+      sequence.push_back(record.tiles);
+    }
+    return sequence;
+  };
+
+  EXPECT_EQ(tile_sequence(plain), tile_sequence(knob_off));
 }
 
 // --- serialization round trips ----------------------------------------------

@@ -178,9 +178,33 @@ TEST(Schedule, Annotations) {
   stage.parallel(y);
   EXPECT_EQ(stage.annotation(y), ForKind::kParallel);
   EXPECT_EQ(stage.annotation(x), ForKind::kSerial);
-  // vectorize must target the innermost leaf.
-  EXPECT_THROW(stage.vectorize(y), CheckError);
-  stage.vectorize(stage.leaf_iter_vars().back());
+  // vectorize may target any leaf — lowering demands the machine-checked
+  // race-freedom proof, which is the actual gate — but not a non-leaf.
+  stage.vectorize(x);
+  EXPECT_EQ(stage.annotation(x), ForKind::kVectorized);
+  auto [xo, xi] = stage.split(stage.op_reduce_axis()[0], 2);
+  (void)xo;
+  stage.vectorize(xi);
+  EXPECT_EQ(stage.annotation(xi), ForKind::kVectorized);
+  // ... but a non-leaf target still throws.
+  EXPECT_THROW(stage.vectorize(stage.op_reduce_axis()[0]), CheckError);
+}
+
+TEST(Schedule, CacheWriteValidatesSource) {
+  Tensor a, b;
+  Tensor c = simple_matmul(8, 8, 4, &a, &b);
+  Schedule sched({c});
+  Stage& stage = sched[c];
+  stage.cache_write(a);
+  ASSERT_EQ(stage.pack_sources().size(), 1u);
+  EXPECT_EQ(stage.pack_sources()[0].get(), a.get());
+  // Duplicates, self-packing, and non-input tensors are rejected.
+  EXPECT_THROW(stage.cache_write(a), CheckError);
+  EXPECT_THROW(stage.cache_write(c), CheckError);
+  Tensor other = placeholder({8, 8}, "other");
+  EXPECT_THROW(stage.cache_write(other), CheckError);
+  stage.cache_write(b);
+  EXPECT_EQ(stage.pack_sources().size(), 2u);
 }
 
 TEST(Schedule, StageLookupUnknownTensorThrows) {

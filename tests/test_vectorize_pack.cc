@@ -1,0 +1,271 @@
+// The vectorization + array-packing codegen tier, interpreter/closure
+// side (no JIT execution here — these suites also run under TSan, where
+// dlopen'd kernels are out of scope; the jit half of the battery lives in
+// test_backend_differential.cc and test_codegen.cc):
+//
+//  * relaxed Stage::vectorize targets any leaf, gated by the race prover
+//    at lowering rather than a syntactic innermost-only rule;
+//  * cache_write packing materializes a proven-in-window scratch whose
+//    Realize placement is machine-checked — hoisted outside concurrent
+//    loops, per-iteration otherwise;
+//  * the unroll straight-lining limit is one shared constant between the
+//    interpreter pass pipeline and the emitted-C path;
+//  * the widened config space keeps its documented shape, collapsing
+//    disabled knobs to singletons so tile vectors stay uniform.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/config_screen.h"
+#include "analysis/dependence.h"
+#include "codegen/c_emitter.h"
+#include "common/rng.h"
+#include "kernels/polybench.h"
+#include "kernels/te_kernels.h"
+#include "kernels/te_programs.h"
+#include "te/lower.h"
+#include "te/printer.h"
+#include "te/transform.h"
+
+namespace tvmbo {
+namespace {
+
+using kernels::Dataset;
+using runtime::ExecBackend;
+
+std::vector<std::string> te_kernels() {
+  return {"3mm", "gemm", "2mm", "syrk", "lu", "cholesky"};
+}
+
+std::vector<std::int64_t> default_base_tiles(const std::string& kernel,
+                                             const std::vector<std::int64_t>&
+                                                 dims) {
+  const cs::ConfigurationSpace space = kernels::build_space(kernel, dims);
+  return space.values_int(space.default_configuration());
+}
+
+void expect_bits_equal(const runtime::NDArray& a, const runtime::NDArray& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.shape(), b.shape()) << label;
+  std::span<const double> av = a.f64(), bv = b.f64();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    ASSERT_EQ(av[i], bv[i]) << label << " (flat index " << i << ")";
+  }
+}
+
+// --- relaxed vectorize -------------------------------------------------------
+
+TEST(VectorizePack, SecondInnermostVectorizeLowersWithProof) {
+  // vec_axis=2 annotates yi — not the innermost loop. The old syntactic
+  // innermost-only rule would have rejected this; the real gate is the
+  // dependence prover, which certifies the loop and hands the C emitter
+  // its pragma license.
+  kernels::GemmTensors t = kernels::make_gemm(8, 8, 6);
+  const te::Stmt stmt = te::lower(kernels::schedule_gemm(
+      t, 2, 4, /*par_axis=*/0, /*vec_axis=*/2));
+  EXPECT_FALSE(analysis::proven_vectorized_loops(stmt).empty());
+  EXPECT_NE(te::to_string(stmt).find("vectorize "), std::string::npos);
+  const analysis::ScreenResult screened =
+      analysis::screen_program(stmt, {t.A, t.B, t.C});
+  EXPECT_TRUE(screened.ok()) << screened.first_error();
+}
+
+// --- pack placement ----------------------------------------------------------
+
+TEST(VectorizePack, PackRealizePlacementFollowsAnnotation) {
+  kernels::GemmTensors t = kernels::make_gemm(8, 8, 6);
+
+  // Serial outer loop: a fresh window per yo iteration — the Realize
+  // nests inside the loop.
+  const std::string serial = te::to_string(te::lower(kernels::schedule_gemm(
+      t, 2, 4, /*par_axis=*/0, /*vec_axis=*/0, /*unroll=*/0, /*pack=*/true)));
+  const std::size_t serial_for = serial.find("for ");
+  const std::size_t serial_realize = serial.find("realize C_A_pack");
+  ASSERT_NE(serial_for, std::string::npos) << serial;
+  ASSERT_NE(serial_realize, std::string::npos) << serial;
+  EXPECT_LT(serial_for, serial_realize)
+      << "serial pack must realize per iteration:\n" << serial;
+
+  // Parallel outer loop: a Realize inside a kParallel loop is racy (the
+  // closure tier shares one buffer across iterations), so the copy is
+  // hoisted outside — and the analysis screen machine-checks exactly
+  // that placement.
+  kernels::GemmTensors t2 = kernels::make_gemm(8, 8, 6);
+  const te::Stmt parallel_stmt = te::lower(kernels::schedule_gemm(
+      t2, 2, 4, /*par_axis=*/1, /*vec_axis=*/0, /*unroll=*/0,
+      /*pack=*/true));
+  const std::string parallel = te::to_string(parallel_stmt);
+  const std::size_t par_loop = parallel.find("parallel ");
+  const std::size_t par_realize = parallel.find("realize C_A_pack");
+  ASSERT_NE(par_loop, std::string::npos) << parallel;
+  ASSERT_NE(par_realize, std::string::npos) << parallel;
+  EXPECT_LT(par_realize, par_loop)
+      << "parallel pack must hoist the realize:\n" << parallel;
+  EXPECT_FALSE(analysis::proven_parallel_loops(parallel_stmt).empty());
+  const analysis::ScreenResult screened =
+      analysis::screen_program(parallel_stmt, {t2.A, t2.B, t2.C});
+  EXPECT_TRUE(screened.ok()) << screened.first_error();
+}
+
+TEST(VectorizePack, LuCholeskyPackThePivotColumn) {
+  // The loop-IR-built factorizations pack the pivot column a[*, k] into a
+  // contiguous scratch hoisted outside the row loop, snapshotting it
+  // after the scale loop so redirected reads observe the scaled values.
+  for (const std::string kernel : {"lu", "cholesky"}) {
+    const std::vector<std::int64_t> dims =
+        kernels::polybench_dims(kernel, Dataset::kMini);
+    const auto data = kernels::make_te_kernel_data(kernel, dims);
+    std::vector<std::int64_t> tiles = default_base_tiles(kernel, dims);
+    tiles.insert(tiles.end(), {0, 1, 0, 0, /*pack=*/1});
+    kernels::TeProgramInstance instance(data, tiles);
+    EXPECT_NE(te::to_string(instance.stmt()).find("realize a_col_pack"),
+              std::string::npos)
+        << kernel;
+    std::vector<te::Tensor> params;
+    for (const auto& [tensor, array] : instance.bindings()) {
+      (void)array;
+      params.push_back(tensor);
+    }
+    const analysis::ScreenResult screened =
+        analysis::screen_program(instance.stmt(), params);
+    EXPECT_TRUE(screened.ok()) << kernel << ": " << screened.first_error();
+  }
+}
+
+// --- unroll-limit parity -----------------------------------------------------
+
+TEST(VectorizePack, UnrollLimitIsSharedBetweenTiers) {
+  // One constant decides what gets straight-lined everywhere: extent
+  // kUnrollMaxExtent expands on the interpreter pipeline's default call
+  // (the same default the jit pre-pass uses), extent kUnrollMaxExtent+1
+  // survives — and the emitted-C path agrees on both sides of the
+  // boundary.
+  const te::Tensor out = te::placeholder({te::kUnrollMaxExtent + 1}, "out");
+  const te::Var i = te::make_var("i");
+  const te::Stmt at_limit = te::make_for(
+      i, te::kUnrollMaxExtent, te::ForKind::kUnrolled,
+      te::make_store(out, {i}, te::make_float(1.0)));
+  const te::Var j = te::make_var("j");
+  const te::Stmt over_limit = te::make_for(
+      j, te::kUnrollMaxExtent + 1, te::ForKind::kUnrolled,
+      te::make_store(out, {j}, te::make_float(1.0)));
+
+  const te::Stmt expanded = te::unroll_loops(at_limit);
+  EXPECT_FALSE(te::has_loop_kind(expanded, te::ForKind::kUnrolled));
+  const te::Stmt kept = te::unroll_loops(over_limit);
+  EXPECT_TRUE(te::has_loop_kind(kept, te::ForKind::kUnrolled));
+  // The default argument IS the shared constant.
+  EXPECT_EQ(te::to_string(te::unroll_loops(at_limit, te::kUnrollMaxExtent)),
+            te::to_string(expanded));
+
+  // Emitted-C parity: the expanded side emits straight-line stores (no
+  // loop, no pragma); the kept side emits the loop and — only with a
+  // factor — the unroll hint.
+  codegen::EmitOptions options;
+  options.unroll = true;
+  options.unroll_factor = 4;
+  const std::string expanded_c =
+      codegen::emit_c_source(expanded, {out}, "tvmbo_kernel", options);
+  EXPECT_EQ(expanded_c.find("for (int64_t"), std::string::npos);
+  EXPECT_EQ(expanded_c.find("#pragma"), std::string::npos);
+  const std::string kept_c =
+      codegen::emit_c_source(kept, {out}, "tvmbo_kernel", options);
+  EXPECT_NE(kept_c.find("for (int64_t"), std::string::npos);
+  EXPECT_NE(kept_c.find("#pragma GCC unroll 4"), std::string::npos);
+}
+
+// --- config-space shape ------------------------------------------------------
+
+TEST(VectorizePack, WidenedSpaceShapeAndSingletonCollapse) {
+  const std::vector<std::int64_t> dims =
+      kernels::polybench_dims("gemm", Dataset::kMini);
+  const cs::ConfigurationSpace base = kernels::build_space("gemm", dims);
+
+  // Fully widened: +5 params, documented cardinalities 3 (P_vec),
+  // 4 (P_unroll in {0,2,4,8}), 2 (P_pack).
+  kernels::ScheduleKnobs wide;
+  wide.enabled = true;
+  wide.max_threads = 4;
+  wide.vectorize = wide.unroll = wide.pack = true;
+  const cs::ConfigurationSpace widened =
+      kernels::build_space("gemm", dims, wide);
+  ASSERT_EQ(widened.num_params(), base.num_params() + 5u);
+  EXPECT_EQ(widened.param("P_vec").cardinality(), 3u);
+  EXPECT_EQ(widened.param("P_unroll").cardinality(), 4u);
+  EXPECT_EQ(widened.param("P_pack").cardinality(), 2u);
+
+  // Partial widening: only vectorize on, parallel tier off. The tile
+  // vector keeps the uniform base+5 shape, with every disabled knob
+  // collapsed to a singleton so it contributes factor 1 to the space.
+  kernels::ScheduleKnobs vec_only;
+  vec_only.vectorize = true;
+  const cs::ConfigurationSpace partial =
+      kernels::build_space("gemm", dims, vec_only);
+  ASSERT_EQ(partial.num_params(), base.num_params() + 5u);
+  EXPECT_EQ(partial.cardinality(), base.cardinality() * 3u);
+  EXPECT_EQ(partial.param("P_unroll").cardinality(), 1u);
+  EXPECT_EQ(partial.param("P_pack").cardinality(), 1u);
+  Rng rng(7);
+  for (int draw = 0; draw < 8; ++draw) {
+    const std::vector<std::int64_t> values =
+        partial.values_int(partial.sample(rng));
+    ASSERT_EQ(values.size(), base.num_params() + 5u);
+    EXPECT_EQ(values[base.num_params()], 0);      // parallel_axis pinned
+    EXPECT_EQ(values[base.num_params() + 1], 1);  // threads pinned
+    EXPECT_EQ(values[base.num_params() + 3], 0);  // unroll pinned
+    EXPECT_EQ(values[base.num_params() + 4], 0);  // pack pinned
+  }
+}
+
+// --- closure-tier bit-identity (runs under TSan) -----------------------------
+
+TEST(VectorizePackClosure, PackedClosureMatchesInterpOracle) {
+  for (const std::string& kernel : te_kernels()) {
+    const std::vector<std::int64_t> dims =
+        kernels::polybench_dims(kernel, Dataset::kMini);
+    const auto data = kernels::make_te_kernel_data(kernel, dims);
+    const std::vector<std::int64_t> base = default_base_tiles(kernel, dims);
+    const runtime::NDArray oracle =
+        kernels::run_te_backend(data, base, ExecBackend::kInterp);
+
+    std::vector<std::int64_t> packed = base;
+    packed.insert(packed.end(), {0, 1, 0, 0, /*pack=*/1});
+    expect_bits_equal(oracle,
+                      kernels::run_te_backend(data, packed,
+                                              ExecBackend::kClosure),
+                      kernel + " pack");
+
+    std::vector<std::int64_t> combo = base;
+    combo.insert(combo.end(), {0, 1, /*vec=*/1, /*unroll=*/2, /*pack=*/1});
+    expect_bits_equal(oracle,
+                      kernels::run_te_backend(data, combo,
+                                              ExecBackend::kClosure),
+                      kernel + " vec+unroll+pack");
+  }
+}
+
+TEST(VectorizePackClosure, ParallelPackedClosureMatchesInterpOracle) {
+  // The hoisted pack window is shared read-only across worker threads;
+  // under TSan this doubles as a data-race audit of the placement proof.
+  for (const std::string& kernel : te_kernels()) {
+    const std::vector<std::int64_t> dims =
+        kernels::polybench_dims(kernel, Dataset::kMini);
+    const auto data = kernels::make_te_kernel_data(kernel, dims);
+    const std::vector<std::int64_t> base = default_base_tiles(kernel, dims);
+    const runtime::NDArray oracle =
+        kernels::run_te_backend(data, base, ExecBackend::kInterp);
+    std::vector<std::int64_t> combo = base;
+    combo.insert(combo.end(),
+                 {/*axis=*/1, /*threads=*/2, /*vec=*/1, /*unroll=*/2,
+                  /*pack=*/1});
+    expect_bits_equal(oracle,
+                      kernels::run_te_backend(data, combo,
+                                              ExecBackend::kClosure),
+                      kernel + " parallel+vec+unroll+pack");
+  }
+}
+
+}  // namespace
+}  // namespace tvmbo

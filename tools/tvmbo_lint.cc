@@ -9,7 +9,8 @@
 //   # Lint one configuration:
 //   tvmbo_lint --kernel 3mm --size mini --tiles 8,8,4,8,4,8
 //
-//   # Sample-sweep every kernel's parallel-extended space:
+//   # Sample-sweep every kernel's fully widened schedule space
+//   # (parallel + vectorize + unroll + pack knobs):
 //   tvmbo_lint --kernel all --size mini --sweep --samples 64
 //
 //   # Exhaustively lint a small space:
@@ -21,10 +22,14 @@
 //   --size S       mini | small | medium | large | extralarge
 //                  (default mini)
 //   --tiles a,b,.. lint exactly this tile vector (base form, or extended
-//                  with trailing [parallel_axis, threads]); requires a
-//                  single --kernel
-//   --sweep        lint many configurations from the kernel's tuned space
-//                  (tile ordinals plus the parallel_axis/threads knobs)
+//                  with trailing [parallel_axis, threads] or
+//                  [parallel_axis, threads, vec_axis, unroll, pack]);
+//                  requires a single --kernel
+//   --sweep        lint many configurations from the kernel's fully
+//                  widened tuned space (tile ordinals plus the
+//                  parallel_axis/threads/vec_axis/unroll/pack knobs —
+//                  every sampled config exercises the race prover and
+//                  the pack-placement proofs)
 //   --samples N    configurations sampled per kernel in --sweep mode
 //                  (default 64)
 //   --exhaustive   lint every configuration in the space instead of
@@ -199,9 +204,12 @@ std::size_t lint_kernel(const Args& args, const std::string& kernel) {
   if (args.have_tiles) {
     violations += lint_config(data, args.tiles, stats, /*verbose=*/true);
   } else {
-    kernels::ParallelKnobs knobs;
+    kernels::ScheduleKnobs knobs;
     knobs.enabled = true;
     knobs.max_threads = args.threads;
+    knobs.vectorize = true;
+    knobs.unroll = true;
+    knobs.pack = true;
     const cs::ConfigurationSpace space =
         kernels::build_space(kernel, dims, knobs);
     if (args.exhaustive) {

@@ -49,6 +49,20 @@
 //               the toolchain supports it, serial fallback otherwise);
 //               float64 outputs stay bit-identical to the interpreter
 //               either way
+//   --vectorize add a vec_axis knob ({0 = none, 1 = innermost,
+//               2 = second-innermost}) to the tuned space; the chosen
+//               axis is annotated kVectorized, the race prover certifies
+//               it at lowering time, and the jit tier emits `#pragma omp
+//               simd` (compiled with -fopenmp-simd, or subsumed by
+//               -fopenmp) on exactly the certified loops. Float64 output
+//               bits are unchanged (-ffp-contract=off)
+//   --unroll    add an unroll knob ({0, 2, 4, 8}) — a structural split
+//               whose inner loop is marked kUnrolled, straight-lined by
+//               every tier within te::kUnrollMaxExtent
+//   --pack      add a pack knob ({0, 1}) — array packing of the strided
+//               operand into a contiguous scratch via Stage::cache_write
+//               / te::pack_reads (proof-carrying: reads are redirected
+//               only when provably in-window)
 //   --runner R  measurement runner for --device cpu: local (in-process,
 //               default) | proc (trials execute in out-of-process workers
 //               with crash isolation and hard kill-based timeouts; see
@@ -105,6 +119,9 @@ struct Args {
   std::string jit_cache;
   std::string warm_start;
   std::int64_t threads = 1;
+  bool vectorize = false;
+  bool unroll = false;
+  bool pack = false;
   std::string runner = "local";
   std::size_t workers = 2;
   double timeout_s = 0.0;
@@ -120,6 +137,7 @@ struct Args {
                "[--retries N] [--trace FILE] "
                "[--backend native|interp|closure|jit] [--jit-cache DIR] "
                "[--warm-start DB.jsonl] [--threads N] "
+               "[--vectorize] [--unroll] [--pack] "
                "[--runner local|proc] [--workers N] [--timeout S] "
                "[--screen]\n",
                argv0);
@@ -152,6 +170,9 @@ Args parse(int argc, char** argv) {
     else if (flag == "--jit-cache") args.jit_cache = value();
     else if (flag == "--warm-start") args.warm_start = value();
     else if (flag == "--threads") args.threads = std::stoll(value());
+    else if (flag == "--vectorize") args.vectorize = true;
+    else if (flag == "--unroll") args.unroll = true;
+    else if (flag == "--pack") args.pack = true;
     else if (flag == "--runner") args.runner = value();
     else if (flag == "--workers") args.workers = std::stoul(value());
     else if (flag == "--timeout") args.timeout_s = std::stod(value());
@@ -172,14 +193,17 @@ int main(int argc, char** argv) {
   codegen::JitOptions jit_options;
   jit_options.cache_dir = args.jit_cache;
   if (args.threads < 0) usage(argv[0]);
-  kernels::ParallelKnobs parallel_knobs;
-  parallel_knobs.enabled = args.threads != 1;
-  parallel_knobs.max_threads = args.threads;
-  if (parallel_knobs.enabled && args.device != "cpu") {
+  kernels::ScheduleKnobs schedule_knobs;
+  schedule_knobs.enabled = args.threads != 1;
+  schedule_knobs.max_threads = args.threads;
+  schedule_knobs.vectorize = args.vectorize;
+  schedule_knobs.unroll = args.unroll;
+  schedule_knobs.pack = args.pack;
+  if (schedule_knobs.extended() && args.device != "cpu") {
     std::fprintf(stderr,
-                 "note: --threads only affects --device cpu with a "
-                 "TE-program backend; ignoring\n");
-    parallel_knobs.enabled = false;
+                 "note: --threads/--vectorize/--unroll/--pack only affect "
+                 "--device cpu with a TE-program backend; ignoring\n");
+    schedule_knobs = kernels::ScheduleKnobs{};
   }
 
   // Simulated devices never execute the kernel; only a cpu device needs a
@@ -187,7 +211,7 @@ int main(int argc, char** argv) {
   const autotvm::Task task =
       args.device == "cpu"
           ? kernels::make_task(args.kernel, dataset, *backend, jit_options,
-                               parallel_knobs)
+                               schedule_knobs)
           : kernels::make_task(args.kernel, dataset, /*executable=*/false);
 
   // The trace log outlives the device: a ProcDevice's worker pool emits
@@ -299,14 +323,20 @@ int main(int argc, char** argv) {
       event.set("hit_rate", stats.hit_rate());
       event.set("compile_s", stats.compile_s);
       event.set("dir", cache.dir());
-      // The compile flags (and, when parallel knobs are on, the OpenMP
-      // probe result and thread cap) are part of the cache key, so record
+      // The compile flags (and, when schedule knobs are on, the probe
+      // results and knob settings) are part of the cache key, so record
       // them with the stats.
       event.set("flags", jit_options.flags);
-      if (parallel_knobs.enabled) {
+      if (schedule_knobs.enabled) {
         event.set("threads", args.threads);
         event.set("openmp", codegen::JitProgram::openmp_available(jit_options));
       }
+      if (schedule_knobs.vectorize) {
+        event.set("vectorize", true);
+        event.set("simd", codegen::JitProgram::simd_available(jit_options));
+      }
+      if (schedule_knobs.unroll) event.set("unroll", true);
+      if (schedule_knobs.pack) event.set("pack", true);
       trace->record(std::move(event));
     }
   }
