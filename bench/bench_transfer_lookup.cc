@@ -1,0 +1,128 @@
+// Instant-config lookup latency smoke bench (PR 9 acceptance):
+// populates a ConfigLookup cache the way a serve daemon would — from a
+// perf database of measured trials — then times cache-hit queries and
+// model-fallback queries. The acceptance bar is p50 cache-hit service
+// latency under 1 ms (the observed figure is microseconds; the bar
+// leaves three orders of magnitude of slack for loaded CI machines).
+//
+//   bench_transfer_lookup [queries]   (default 2000)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "kernels/polybench.h"
+#include "runtime/swing_sim.h"
+#include "transfer/cost_model.h"
+#include "transfer/lookup.h"
+
+using namespace tvmbo;
+
+namespace {
+
+/// Fills `db` with `count` swing-surface measurements of one kernel.
+void sample_kernel(runtime::PerfDatabase& db,
+                   const runtime::SwingSimDevice& sim,
+                   const std::string& kernel, std::size_t count,
+                   std::uint64_t seed) {
+  const runtime::Workload workload =
+      kernels::make_workload(kernel, kernels::Dataset::kMini);
+  const cs::ConfigurationSpace space =
+      kernels::build_space(kernel, workload.dims);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::vector<std::int64_t> tiles =
+        space.values_int(space.sample(rng));
+    runtime::TrialRecord record;
+    record.eval_index = static_cast<int>(i);
+    record.strategy = "bench";
+    record.workload_id = workload.id();
+    record.tiles = tiles;
+    record.runtime_s = sim.surface_runtime(workload, tiles);
+    record.valid = true;
+    record.backend = "sim";
+    db.add(record);
+  }
+}
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  std::sort(sorted_us.begin(), sorted_us.end());
+  const std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t queries =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 2000;
+
+  const runtime::SwingSimDevice sim(2023);
+  runtime::PerfDatabase db;
+  sample_kernel(db, sim, "lu", 64, 11);
+  sample_kernel(db, sim, "cholesky", 64, 22);
+  sample_kernel(db, sim, "gemm", 64, 33);
+
+  transfer::ConfigLookup lookup;
+  lookup.load_database(db);
+
+  transfer::CostModel model;
+  model.add_database(db);
+  model.fit();
+  lookup.set_model(std::make_shared<transfer::CostModel>(std::move(model)));
+
+  const char* kernels_cycle[] = {"lu", "cholesky", "gemm"};
+  // Warm-up (first queries touch cold map pages).
+  for (int i = 0; i < 16; ++i) {
+    (void)lookup.lookup(kernels_cycle[i % 3], "mini", 1, 1);
+  }
+
+  std::vector<double> cache_us;
+  cache_us.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    const Stopwatch watch;
+    const transfer::LookupAnswer answer =
+        lookup.lookup(kernels_cycle[i % 3], "mini", 1, 1);
+    cache_us.push_back(watch.elapsed_seconds() * 1e6);
+    if (answer.source != "cache") {
+      std::fprintf(stderr, "FAIL: expected a cache answer, got '%s'\n",
+                   answer.source.c_str());
+      return 1;
+    }
+  }
+
+  // Model fallback: 2mm was never measured, so every query re-ranks a
+  // candidate pool through the cost model.
+  std::vector<double> model_us;
+  const std::size_t model_queries = std::min<std::size_t>(queries, 50);
+  for (std::size_t i = 0; i < model_queries; ++i) {
+    const Stopwatch watch;
+    const transfer::LookupAnswer answer = lookup.lookup("2mm", "mini", 1, 3);
+    model_us.push_back(watch.elapsed_seconds() * 1e6);
+    if (answer.source != "model") {
+      std::fprintf(stderr, "FAIL: expected a model answer, got '%s'\n",
+                   answer.source.c_str());
+      return 1;
+    }
+  }
+
+  const double cache_p50 = percentile(cache_us, 0.50);
+  const double cache_p95 = percentile(cache_us, 0.95);
+  const double model_p50 = percentile(model_us, 0.50);
+  std::printf("cache lookups: %zu queries, p50 %.2f us, p95 %.2f us\n",
+              queries, cache_p50, cache_p95);
+  std::printf("model lookups: %zu queries, p50 %.2f us\n", model_queries,
+              model_p50);
+
+  if (cache_p50 >= 1000.0) {
+    std::fprintf(stderr,
+                 "FAIL: cache-hit p50 %.2f us exceeds the 1 ms bar\n",
+                 cache_p50);
+    return 1;
+  }
+  std::printf("PASS: cache-hit p50 under 1 ms\n");
+  return 0;
+}

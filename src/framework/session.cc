@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "kernels/te_programs.h"
+#include "transfer/cost_model.h"
 #include "tuners/measure_loop.h"
 
 namespace tvmbo::framework {
@@ -54,7 +56,8 @@ std::vector<StrategyKind> all_strategies() {
 std::unique_ptr<tuners::Tuner> make_strategy_tuner(
     StrategyKind kind, const cs::ConfigurationSpace* space,
     std::uint64_t session_seed, const StrategyFactoryOptions& factory,
-    std::span<const tuners::Trial> warm_start) {
+    std::span<const tuners::Trial> warm_start,
+    std::span<const cs::Configuration> seed_configs) {
   TVMBO_CHECK(space != nullptr) << "strategy factory requires a space";
   // Derive a per-strategy seed so strategies are independent but the whole
   // experiment is reproducible from the session seed.
@@ -66,6 +69,10 @@ std::unique_ptr<tuners::Tuner> make_strategy_tuner(
           std::make_unique<ytopt::BayesianOptimizer>(space, seed, factory.bo);
       if (!warm_start.empty()) {
         bo->warm_start({warm_start.data(), warm_start.size()});
+      }
+      if (!seed_configs.empty()) {
+        bo->seed_proposals(
+            {seed_configs.begin(), seed_configs.end()});
       }
       return bo;
     }
@@ -99,26 +106,50 @@ AutotuningSession::AutotuningSession(const autotvm::Task* task,
 }
 
 std::unique_ptr<tuners::Tuner> AutotuningSession::make_strategy(
-    StrategyKind kind) const {
+    StrategyKind kind, WarmStartStats* warm_stats,
+    std::size_t* transfer_seeds) const {
   StrategyFactoryOptions factory;
   factory.xgb_paper_eval_cap = options_.xgb_paper_eval_cap;
   factory.bo = options_.bo;
   std::vector<tuners::Trial> prior;
   if (kind == StrategyKind::kYtopt && options_.warm_start != nullptr) {
-    prior = warm_start_trials();
+    prior = warm_start_trials(warm_stats);
   }
+  std::vector<cs::Configuration> seeds;
+  if (kind == StrategyKind::kYtopt && options_.transfer_model != nullptr) {
+    const std::string& kernel = task_->workload.kernel;
+    if (kernels::te_backend_supported(kernel)) {
+      seeds = transfer::rank_seed_configs(
+          *options_.transfer_model, task_->config.space(), kernel,
+          task_->workload.dims, options_.transfer_topk,
+          options_.transfer_pool, hash_combine(options_.seed, 0x7f5u));
+    } else {
+      TVMBO_LOG(Warning)
+          << "transfer model ignored: kernel '" << kernel
+          << "' has no TE program to featurize";
+    }
+  }
+  if (transfer_seeds != nullptr) *transfer_seeds = seeds.size();
   return make_strategy_tuner(kind, &task_->config.space(), options_.seed,
-                             factory, prior);
+                             factory, prior, seeds);
 }
 
-std::vector<tuners::Trial> AutotuningSession::warm_start_trials() const {
+std::vector<tuners::Trial> AutotuningSession::warm_start_trials(
+    WarmStartStats* stats) const {
   std::vector<tuners::Trial> prior;
-  if (options_.warm_start == nullptr) return prior;
+  WarmStartStats local;
+  if (options_.warm_start == nullptr) {
+    if (stats != nullptr) *stats = local;
+    return prior;
+  }
   const cs::ConfigurationSpace& space = task_->config.space();
   const std::string workload_id = task_->workload.id();
   for (const runtime::TrialRecord& record :
        options_.warm_start->records()) {
-    if (record.workload_id != workload_id) continue;
+    if (record.workload_id != workload_id) {
+      ++local.skipped_workload;
+      continue;
+    }
     std::vector<double> values;
     values.reserve(record.tiles.size());
     for (std::int64_t tile : record.tiles) {
@@ -128,7 +159,8 @@ std::vector<tuners::Trial> AutotuningSession::warm_start_trials() const {
     try {
       config = space.from_values(values);
     } catch (const CheckError&) {
-      continue;  // saved under a different space (size/kernel drift)
+      ++local.skipped_space;  // saved under a different space
+      continue;
     }
     double metric = record.runtime_s;
     bool valid = record.valid;
@@ -142,7 +174,16 @@ std::vector<tuners::Trial> AutotuningSession::warm_start_trials() const {
       valid = false;
     }
     prior.push_back({config, metric, valid});
+    ++local.seeded;
   }
+  if (local.skipped_workload + local.skipped_space > 0) {
+    TVMBO_LOG(Warning) << "warm start: seeded " << local.seeded << " of "
+                       << local.total() << " prior record(s) for "
+                       << workload_id << " (skipped "
+                       << local.skipped_workload << " other-workload, "
+                       << local.skipped_space << " out-of-space)";
+  }
+  if (stats != nullptr) *stats = local;
   return prior;
 }
 
@@ -175,7 +216,10 @@ std::uint64_t AutotuningSession::strategy_seed(int salt) const {
 }
 
 SessionResult AutotuningSession::run(StrategyKind kind) {
-  std::unique_ptr<tuners::Tuner> strategy = make_strategy(kind);
+  WarmStartStats warm_stats;
+  std::size_t transfer_seeds = 0;
+  std::unique_ptr<tuners::Tuner> strategy =
+      make_strategy(kind, &warm_stats, &transfer_seeds);
   StrategyTraits traits;
   traits.repeat = kind == StrategyKind::kYtopt ? options_.ytopt_repeat
                                                : options_.autotvm_repeat;
@@ -189,7 +233,10 @@ SessionResult AutotuningSession::run(StrategyKind kind) {
   traits.overhead = [this, kind](std::size_t observed, std::size_t batch) {
     return modeled_overhead_s(kind, observed, batch);
   };
-  return run_strategy(*strategy, traits);
+  SessionResult result = run_strategy(*strategy, traits);
+  result.warm_start = warm_stats;
+  result.transfer_seeds = transfer_seeds;
+  return result;
 }
 
 SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
@@ -268,6 +315,8 @@ SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
       record.compile_s = measured.compile_s;
       record.elapsed_s = wall.elapsed_seconds();
       record.valid = valid;
+      record.backend = options_.record_backend;
+      record.nthreads = options_.record_nthreads;
       result.db.add(record);
       in_flight.erase(it);
       evaluations += 1;
@@ -348,6 +397,8 @@ SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
         record.compile_s = compiles[i];
         record.elapsed_s = within;
         record.valid = trials[i].valid;
+        record.backend = options_.record_backend;
+        record.nthreads = options_.record_nthreads;
         result.db.add(record);
       }
       evaluations += trials.size();

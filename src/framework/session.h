@@ -32,6 +32,10 @@
 #include "runtime/perf_db.h"
 #include "ytopt/bayes_opt.h"
 
+namespace tvmbo::transfer {
+class CostModel;
+}
+
 namespace tvmbo::framework {
 
 enum class StrategyKind {
@@ -73,12 +77,14 @@ struct StrategyFactoryOptions {
 /// so any driver (AutotuningSession, tvmbo_serve job sessions, custom
 /// loops) constructing the same (strategy, session_seed) gets the same
 /// proposal stream. `warm_start` seeds the ytopt optimizer with prior
-/// trials (AutoTVM strategies ignore it). The space must outlive the
-/// tuner.
+/// trials and `seed_configs` queues transfer-model-ranked configurations
+/// as its first proposals (AutoTVM strategies ignore both). The space must
+/// outlive the tuner.
 std::unique_ptr<tuners::Tuner> make_strategy_tuner(
     StrategyKind kind, const cs::ConfigurationSpace* space,
     std::uint64_t session_seed, const StrategyFactoryOptions& factory = {},
-    std::span<const tuners::Trial> warm_start = {});
+    std::span<const tuners::Trial> warm_start = {},
+    std::span<const cs::Configuration> seed_configs = {});
 
 struct SessionOptions {
   std::size_t max_evaluations = 100;  ///< the paper uses 100 everywhere
@@ -134,6 +140,32 @@ struct SessionOptions {
   /// are used; AutoTVM strategies ignore this. Not owned; must outlive
   /// the session.
   const runtime::PerfDatabase* warm_start = nullptr;
+  /// Cross-kernel transfer model (transfer/cost_model.h): when set and
+  /// the task's kernel has a TE program, the session samples
+  /// `transfer_pool` configurations, ranks them by predicted runtime, and
+  /// queues the `transfer_topk` best as ytopt's first proposals
+  /// (BayesianOptimizer::seed_proposals) — unlike warm_start, the seeds
+  /// are *measured*, so transfer never trusts the model blindly. AutoTVM
+  /// strategies ignore it. Not owned; must outlive the session.
+  const transfer::CostModel* transfer_model = nullptr;
+  std::size_t transfer_topk = 5;
+  std::size_t transfer_pool = 256;
+  /// Provenance stamped into every TrialRecord (schema v2): the producing
+  /// backend name and the thread budget measurements run under.
+  std::string record_backend;
+  std::int64_t record_nthreads = 1;
+};
+
+/// Warm-start accounting for run()/make_strategy: how many prior records
+/// became trials vs. were skipped, so a mismatched database is visible
+/// instead of silently ignored.
+struct WarmStartStats {
+  std::size_t seeded = 0;            ///< records converted into trials
+  std::size_t skipped_workload = 0;  ///< records for another workload
+  std::size_t skipped_space = 0;     ///< tiles outside the task's space
+  std::size_t total() const {
+    return seeded + skipped_workload + skipped_space;
+  }
 };
 
 struct SessionResult {
@@ -145,6 +177,11 @@ struct SessionResult {
   /// Configs rejected by the static pre-screener without spending a
   /// worker (only non-zero when options.measure.prescreen is set).
   std::size_t analysis_rejects = 0;
+  /// Warm-start accounting for this run (all-zero when
+  /// options.warm_start is unset or the strategy ignores it).
+  WarmStartStats warm_start;
+  /// Transfer-model seeds queued for this run (0 when no model).
+  std::size_t transfer_seeds = 0;
 };
 
 /// Per-strategy execution traits for run_strategy(): how many configs are
@@ -184,11 +221,15 @@ class AutotuningSession {
   const SessionOptions& options() const { return options_; }
 
  private:
-  std::unique_ptr<tuners::Tuner> make_strategy(StrategyKind kind) const;
+  std::unique_ptr<tuners::Tuner> make_strategy(
+      StrategyKind kind, WarmStartStats* warm_stats = nullptr,
+      std::size_t* transfer_seeds = nullptr) const;
   /// Converts options_.warm_start records into trials in the task's space
   /// (skipping other workloads and out-of-space tiles), with the metric
-  /// chosen by options_.objective.
-  std::vector<tuners::Trial> warm_start_trials() const;
+  /// chosen by options_.objective. `stats` (optional) receives the
+  /// seeded/skipped accounting.
+  std::vector<tuners::Trial> warm_start_trials(
+      WarmStartStats* stats = nullptr) const;
   double modeled_overhead_s(StrategyKind kind, std::size_t observed,
                             std::size_t batch_members) const;
 

@@ -97,12 +97,19 @@ std::shared_ptr<TeKernelData> make_te_kernel_data(
   return data;
 }
 
-TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
-                                     std::span<const std::int64_t> tiles)
-    : data_(std::move(data)) {
-  TVMBO_CHECK(data_ != nullptr) << "null kernel data";
-  const std::string& kernel = data_->kernel;
-  const std::vector<std::int64_t>& dims = data_->dims;
+TeLoweredProgram lower_te_program(const std::string& kernel,
+                                  const std::vector<std::int64_t>& dims,
+                                  std::span<const std::int64_t> tiles) {
+  TVMBO_CHECK(te_backend_supported(kernel))
+      << "kernel '" << kernel << "' has no TE program";
+  const std::size_t want_dims = kernel == "3mm"    ? 5u
+                                : kernel == "2mm"  ? 4u
+                                : kernel == "gemm" ? 3u
+                                : kernel == "syrk" ? 2u
+                                                   : 1u;
+  TVMBO_CHECK_EQ(dims.size(), want_dims)
+      << "wrong dim count for " << kernel;
+  TeLoweredProgram lowered;
   const std::size_t base = te_num_tiles(kernel);
   TVMBO_CHECK(tiles.size() == base || tiles.size() == base + 2 ||
               tiles.size() == base + 5)
@@ -123,7 +130,7 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
     const std::int64_t threads = tiles[base + 1];
     TVMBO_CHECK_GE(threads, 0)
         << "thread budget must be >= 0 (0 = all cores)";
-    parallel_threads_ = static_cast<int>(threads);
+    lowered.parallel_threads = static_cast<int>(threads);
     if (tiles.size() == base + 5) {
       vec_axis = static_cast<int>(tiles[base + 2]);
       TVMBO_CHECK(vec_axis >= 0 && vec_axis <= 2)
@@ -136,51 +143,31 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
       TVMBO_CHECK(pack_flag == 0 || pack_flag == 1)
           << "pack must be 0 or 1; got " << pack_flag;
       pack = pack_flag == 1;
-      unroll_factor_ = static_cast<int>(unroll);
+      lowered.unroll_factor = static_cast<int>(unroll);
     }
     tiles = tiles.first(base);
   }
 
-  auto own = [&](std::vector<std::int64_t> shape) {
-    owned_.push_back(std::make_unique<runtime::NDArray>(std::move(shape)));
-    return owned_.back().get();
-  };
-
   if (kernel == "3mm") {
     ThreeMmTensors t = make_3mm(dims[0], dims[1], dims[2], dims[3], dims[4]);
-    stmt_ = te::lower(schedule_3mm(t, tiles, par_axis, vec_axis, unroll,
-                                   pack));
-    output_ = own({dims[0], dims[4]});
-    bindings_ = {{t.A, &data_->inputs[0]},
-                 {t.B, &data_->inputs[1]},
-                 {t.C, &data_->inputs[2]},
-                 {t.D, &data_->inputs[3]},
-                 {t.G, output_}};
+    lowered.stmt = te::lower(schedule_3mm(t, tiles, par_axis, vec_axis,
+                                          unroll, pack));
+    lowered.params = {t.A, t.B, t.C, t.D, t.G};
   } else if (kernel == "gemm") {
     GemmTensors t = make_gemm(dims[0], dims[1], dims[2]);
-    stmt_ = te::lower(schedule_gemm(t, tiles[0], tiles[1], par_axis,
-                                    vec_axis, unroll, pack));
-    output_ = own({dims[0], dims[1]});
-    bindings_ = {{t.A, &data_->inputs[0]},
-                 {t.B, &data_->inputs[1]},
-                 {t.C, output_}};
+    lowered.stmt = te::lower(schedule_gemm(t, tiles[0], tiles[1], par_axis,
+                                           vec_axis, unroll, pack));
+    lowered.params = {t.A, t.B, t.C};
   } else if (kernel == "2mm") {
     TwoMmTensors t = make_2mm(dims[0], dims[1], dims[2], dims[3]);
-    stmt_ = te::lower(schedule_2mm(t, tiles, par_axis, vec_axis, unroll,
-                                   pack));
-    output_ = own({dims[0], dims[3]});
-    bindings_ = {{t.A, &data_->inputs[0]},
-                 {t.B, &data_->inputs[1]},
-                 {t.C, &data_->inputs[2]},
-                 {t.D, output_}};
+    lowered.stmt = te::lower(schedule_2mm(t, tiles, par_axis, vec_axis,
+                                          unroll, pack));
+    lowered.params = {t.A, t.B, t.C, t.D};
   } else if (kernel == "syrk") {
     SyrkTensors t = make_syrk(dims[0], dims[1]);
-    stmt_ = te::lower(schedule_syrk(t, tiles[0], tiles[1], par_axis,
-                                    vec_axis, unroll, pack));
-    output_ = own({dims[0], dims[0]});
-    bindings_ = {{t.A, &data_->inputs[0]},
-                 {t.Cin, &data_->inputs[1]},
-                 {t.Cout, output_}};
+    lowered.stmt = te::lower(schedule_syrk(t, tiles[0], tiles[1], par_axis,
+                                           vec_axis, unroll, pack));
+    lowered.params = {t.A, t.Cin, t.Cout};
   } else {  // lu / cholesky: in-place factorization of a work copy
     const std::int64_t n = dims[0];
     te::Tensor a = te::placeholder({n, n}, "A");
@@ -235,12 +222,52 @@ TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
     if (par_axis == 1) {
       stmt = te::annotate_loop(stmt, io, te::ForKind::kParallel);
     }
-    stmt_ = stmt;
-    output_ = own({n, n});
-    pristine_ = &data_->inputs[0];
-    bindings_ = {{a, output_}};
-    reset();
+    lowered.stmt = stmt;
+    lowered.params = {a};
   }
+  return lowered;
+}
+
+TeProgramInstance::TeProgramInstance(std::shared_ptr<TeKernelData> data,
+                                     std::span<const std::int64_t> tiles)
+    : data_(std::move(data)) {
+  TVMBO_CHECK(data_ != nullptr) << "null kernel data";
+  const std::string& kernel = data_->kernel;
+  const std::vector<std::int64_t>& dims = data_->dims;
+  TeLoweredProgram lowered = lower_te_program(kernel, dims, tiles);
+  stmt_ = lowered.stmt;
+  parallel_threads_ = lowered.parallel_threads;
+  unroll_factor_ = lowered.unroll_factor;
+
+  auto own = [&](std::vector<std::int64_t> shape) {
+    owned_.push_back(std::make_unique<runtime::NDArray>(std::move(shape)));
+    return owned_.back().get();
+  };
+
+  if (kernel == "lu" || kernel == "cholesky") {
+    output_ = own({dims[0], dims[0]});
+    pristine_ = &data_->inputs[0];
+    bindings_ = {{lowered.params[0], output_}};
+    reset();
+    return;
+  }
+  std::vector<std::int64_t> out_shape;
+  if (kernel == "3mm") {
+    out_shape = {dims[0], dims[4]};
+  } else if (kernel == "gemm") {
+    out_shape = {dims[0], dims[1]};
+  } else if (kernel == "2mm") {
+    out_shape = {dims[0], dims[3]};
+  } else {  // syrk
+    out_shape = {dims[0], dims[0]};
+  }
+  TVMBO_CHECK_EQ(lowered.params.size(), data_->inputs.size() + 1)
+      << "param/input mismatch for " << kernel;
+  output_ = own(std::move(out_shape));
+  for (std::size_t i = 0; i < data_->inputs.size(); ++i) {
+    bindings_.emplace_back(lowered.params[i], &data_->inputs[i]);
+  }
+  bindings_.emplace_back(lowered.params.back(), output_);
 }
 
 void TeProgramInstance::reset() {

@@ -58,6 +58,29 @@ struct TeKernelData {
 std::shared_ptr<TeKernelData> make_te_kernel_data(
     const std::string& kernel, const std::vector<std::int64_t>& dims);
 
+/// Lowered loop IR of one configured program, without allocating or
+/// initializing any buffer — the cheap schedule-only path shared by
+/// TeProgramInstance, the lint CLI, and the transfer-learning feature
+/// extractor (transfer/features.h), which must lower hundreds of
+/// candidate configurations per ranking pass.
+///
+/// `params` lists the program's parameter tensors in binding order:
+/// the kernel's inputs in TeKernelData order followed by the output
+/// (lu/cholesky expose a single in/out work matrix instead).
+struct TeLoweredProgram {
+  te::Stmt stmt;
+  std::vector<te::Tensor> params;
+  int parallel_threads = 1;  ///< thread budget from the extended tiles
+  int unroll_factor = 0;     ///< unroll knob from the extended tiles
+};
+
+/// Applies the kernel's schedule for `tiles` (base or extended form, as
+/// documented on TeProgramInstance) and lowers to loop IR. Throws
+/// CheckError on invalid kernels or tile vectors.
+TeLoweredProgram lower_te_program(const std::string& kernel,
+                                  const std::vector<std::int64_t>& dims,
+                                  std::span<const std::int64_t> tiles);
+
 /// One configured, lowered program plus its buffer bindings.
 class TeProgramInstance {
  public:

@@ -18,6 +18,7 @@ Json TrialRecord::to_json() const {
   Json tiles_json = Json::array();
   for (std::int64_t t : tiles) tiles_json.push_back(Json(t));
   Json out = Json::object();
+  out.set("v", Json(kSchemaVersion));
   out.set("i", Json(eval_index));
   out.set("strategy", Json(strategy));
   out.set("workload", Json(workload_id));
@@ -27,11 +28,21 @@ Json TrialRecord::to_json() const {
   out.set("compile_s", Json(compile_s));
   out.set("elapsed_s", Json(elapsed_s));
   out.set("valid", Json(valid));
+  out.set("backend", Json(backend));
+  out.set("nthreads", Json(nthreads));
   return out;
 }
 
 TrialRecord TrialRecord::from_json(const Json& json) {
   TrialRecord record;
+  if (json.contains("v")) {
+    record.schema = static_cast<int>(json.at("v").as_int());
+    TVMBO_CHECK(record.schema >= 1 && record.schema <= kSchemaVersion)
+        << "unsupported perf-db record schema v" << record.schema
+        << " (this build reads up to v" << kSchemaVersion << ")";
+  } else {
+    record.schema = 1;  // legacy record: no version stamp, no metadata
+  }
   record.eval_index = static_cast<int>(json.at("i").as_int());
   record.strategy = json.at("strategy").as_string();
   record.workload_id = json.at("workload").as_string();
@@ -45,6 +56,12 @@ TrialRecord TrialRecord::from_json(const Json& json) {
   record.compile_s = json.at("compile_s").as_double();
   record.elapsed_s = json.at("elapsed_s").as_double();
   record.valid = json.at("valid").as_bool();
+  if (json.contains("backend")) {
+    record.backend = json.at("backend").as_string();
+  }
+  if (json.contains("nthreads")) {
+    record.nthreads = json.at("nthreads").as_int();
+  }
   return record;
 }
 
@@ -132,6 +149,7 @@ PerfDatabase PerfDatabase::from_json_lines(const std::string& text) {
   PerfDatabase db;
   std::size_t line_number = 0;
   std::size_t skipped = 0;
+  std::size_t legacy = 0;
   std::istringstream lines(text);
   std::string line;
   while (std::getline(lines, line)) {
@@ -145,7 +163,9 @@ PerfDatabase PerfDatabase::from_json_lines(const std::string& text) {
     }
     if (blank) continue;
     try {
-      db.add(TrialRecord::from_json(Json::parse(line)));
+      TrialRecord record = TrialRecord::from_json(Json::parse(line));
+      if (record.schema < TrialRecord::kSchemaVersion) ++legacy;
+      db.add(std::move(record));
     } catch (const std::exception& e) {
       ++skipped;
       TVMBO_LOG(Warning) << "perf db: skipping malformed record at line "
@@ -155,6 +175,12 @@ PerfDatabase PerfDatabase::from_json_lines(const std::string& text) {
   if (skipped > 0) {
     TVMBO_LOG(Warning) << "perf db: skipped " << skipped
                        << " malformed record(s), kept " << db.size();
+  }
+  if (legacy > 0) {
+    TVMBO_LOG(Warning) << "perf db: upgraded " << legacy
+                       << " legacy record(s) to schema v"
+                       << TrialRecord::kSchemaVersion
+                       << " (backend/nthreads metadata defaulted)";
   }
   return db;
 }

@@ -19,6 +19,12 @@ namespace tvmbo::runtime {
 
 /// One completed evaluation.
 struct TrialRecord {
+  /// Schema version to_json() writes ("v" key). v1 records (everything
+  /// before the transfer-learning subsystem) lack the version field and
+  /// the backend/nthreads provenance; from_json() accepts them with
+  /// defaulted metadata so old databases stay loadable.
+  static constexpr int kSchemaVersion = 2;
+
   int eval_index = 0;               ///< 0-based evaluation number
   std::string strategy;             ///< "ytopt", "autotvm-ga", ...
   std::string workload_id;          ///< Workload::id()
@@ -30,6 +36,12 @@ struct TrialRecord {
                            ///< moment this evaluation finished (x-axis of
                            ///< the paper's process-over-time figures)
   bool valid = true;
+  /// Schema version this record was *loaded* from (kSchemaVersion for
+  /// freshly produced records); to_json() always writes kSchemaVersion.
+  int schema = kSchemaVersion;
+  std::string backend;       ///< producing backend ("sim", "jit", ...; ""
+                             ///< on legacy records)
+  std::int64_t nthreads = 1; ///< thread budget the measurement ran under
 
   Json to_json() const;
   static TrialRecord from_json(const Json& json);

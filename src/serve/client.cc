@@ -90,4 +90,9 @@ Json job_list(const std::string& endpoint) {
   return client.request(job_list_frame());
 }
 
+Json config_lookup(const std::string& endpoint, const LookupSpec& spec) {
+  ServeClient client(endpoint);
+  return client.request(spec.to_json());
+}
+
 }  // namespace tvmbo::serve

@@ -50,5 +50,7 @@ std::optional<Json> job_status(const std::string& endpoint,
                                std::uint64_t job);
 bool job_cancel(const std::string& endpoint, std::uint64_t job);
 Json job_list(const std::string& endpoint);
+/// Instant-config query: lookup_reply or error frame, verbatim.
+Json config_lookup(const std::string& endpoint, const LookupSpec& spec);
 
 }  // namespace tvmbo::serve

@@ -58,6 +58,28 @@ JobSpec JobSpec::from_json(const Json& json) {
   return spec;
 }
 
+Json LookupSpec::to_json() const {
+  Json out = Json::object();
+  out.set("type", "config_lookup");
+  out.set("kernel", kernel);
+  out.set("size", size);
+  out.set("nthreads", nthreads);
+  out.set("topk", topk);
+  return out;
+}
+
+LookupSpec LookupSpec::from_json(const Json& json) {
+  LookupSpec spec;
+  spec.kernel = json.at("kernel").as_string();
+  TVMBO_CHECK(!spec.kernel.empty()) << "kernel must not be empty";
+  if (json.contains("size")) spec.size = json.at("size").as_string();
+  if (json.contains("nthreads")) spec.nthreads = json.at("nthreads").as_int();
+  TVMBO_CHECK_GE(spec.nthreads, 0) << "nthreads must be >= 0";
+  if (json.contains("topk")) spec.topk = json.at("topk").as_int();
+  TVMBO_CHECK_GT(spec.topk, 0) << "topk must be positive";
+  return spec;
+}
+
 Json error_frame(const std::string& code, const std::string& message) {
   Json out = Json::object();
   out.set("type", "error");

@@ -8,6 +8,11 @@
 //   job_status  -> status_reply {job, state, completed, ...} | error
 //   job_cancel  -> cancel_reply {job, state} | error
 //   job_list    -> list_reply {jobs: [...]}
+//   config_lookup -> lookup_reply {source, workload, nthreads,
+//                  configs: [{tiles, runtime_s}], ...} | error — the
+//                  instant-config path: answered from the daemon's
+//                  in-memory cache / transfer cost model without
+//                  dispatching any measurement.
 //
 // Typed error frames ({type: "error", code, message}) answer hostile or
 // over-quota input instead of dropping the connection silently; after a
@@ -51,6 +56,20 @@ struct JobSpec {
 
   Json to_json() const;  ///< a complete job_submit frame
   static JobSpec from_json(const Json& json);  ///< throws on bad fields
+};
+
+/// A read-only instant-config query: "what tiles should kernel/size run
+/// with under this thread budget?". Unlike JobSpec it never spends a
+/// worker slot — the daemon answers from its exact-result cache or the
+/// loaded transfer cost model.
+struct LookupSpec {
+  std::string kernel;          ///< polybench kernel
+  std::string size = "large";  ///< dataset name
+  std::int64_t nthreads = 1;   ///< thread budget the answer targets
+  std::int64_t topk = 1;       ///< candidates wanted from a model answer
+
+  Json to_json() const;  ///< a complete config_lookup frame
+  static LookupSpec from_json(const Json& json);  ///< throws on bad fields
 };
 
 Json error_frame(const std::string& code, const std::string& message);

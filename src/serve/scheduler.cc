@@ -1,6 +1,7 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <limits>
 #include <utility>
 
@@ -10,6 +11,7 @@
 #include "distd/fault_kernels.h"
 #include "kernels/polybench.h"
 #include "runtime/exec_backend.h"
+#include "transfer/model_store.h"
 #include "tuners/measure_loop.h"
 
 namespace tvmbo::serve {
@@ -123,15 +125,34 @@ std::unique_ptr<cs::ConfigurationSpace> build_fault_space(bool armed) {
 }  // namespace
 
 Scheduler::Scheduler(SchedulerOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), lookup_(options_.lookup) {
   // Pin the shared artifact cache before any job or worker exists: all
   // tenants' jit trials must agree on one content-addressed directory.
   options_.jit.cache_dir = options_.jit.resolved_cache_dir();
   options_.pool.trace = options_.trace;
   pool_ = std::make_unique<distd::WorkerPool>(options_.pool);
   if (!options_.perf_db_path.empty()) {
+    // Warm the instant-lookup cache from what earlier daemon runs (or a
+    // prior tvmbo_tune) measured, before appending to the same file.
+    if (std::filesystem::exists(options_.perf_db_path)) {
+      const runtime::PerfDatabase prior =
+          runtime::PerfDatabase::load(options_.perf_db_path);
+      const std::size_t cached = lookup_.load_database(prior);
+      TVMBO_LOG(Info) << "serve: lookup cache warmed with " << cached
+                      << " record(s) from " << options_.perf_db_path;
+    }
     perf_db_ =
         std::make_unique<runtime::PerfDbAppender>(options_.perf_db_path);
+  }
+  if (!options_.transfer_model_path.empty()) {
+    auto model = std::make_shared<transfer::CostModel>(
+        transfer::load_model(options_.transfer_model_path));
+    TVMBO_CHECK(model->fitted())
+        << "transfer model has too few samples to serve: "
+        << options_.transfer_model_path;
+    lookup_.set_model(std::move(model));
+    TVMBO_LOG(Info) << "serve: transfer model loaded from "
+                    << options_.transfer_model_path;
   }
   scheduler_thread_ = std::thread([this] { run(); });
 }
@@ -150,7 +171,7 @@ Scheduler::~Scheduler() {
   }
 }
 
-void Scheduler::trace(Json event) {
+void Scheduler::trace(Json event) const {
   if (options_.trace != nullptr) options_.trace->record(std::move(event));
 }
 
@@ -340,6 +361,46 @@ void Scheduler::drain() {
   cv_.notify_all();
 }
 
+Json Scheduler::lookup(const LookupSpec& spec) const {
+  const Stopwatch watch;
+  const transfer::LookupAnswer answer = lookup_.lookup(
+      spec.kernel, spec.size, spec.nthreads,
+      static_cast<std::size_t>(spec.topk));
+  const double latency_us = watch.elapsed_seconds() * 1e6;
+  {
+    Json event = Json::object();
+    event.set("event", "config_lookup");
+    event.set("kernel", spec.kernel);
+    event.set("size", spec.size);
+    event.set("nthreads", spec.nthreads);
+    event.set("source", answer.error.empty() ? answer.source : "error");
+    event.set("latency_us", latency_us);
+    trace(std::move(event));
+  }
+  if (!answer.error.empty()) {
+    return error_frame("bad_request", answer.error);
+  }
+  Json reply = Json::object();
+  reply.set("type", "lookup_reply");
+  reply.set("source", answer.source);
+  reply.set("workload", answer.workload_id);
+  reply.set("nthreads", answer.nthreads);
+  reply.set("cache_records",
+            static_cast<std::int64_t>(answer.cache_records));
+  Json configs = Json::array();
+  for (const transfer::LookupAnswer::Candidate& candidate : answer.configs) {
+    Json entry = Json::object();
+    Json tiles = Json::array();
+    for (std::int64_t t : candidate.tiles) tiles.push_back(t);
+    entry.set("tiles", std::move(tiles));
+    entry.set("runtime_s", candidate.runtime_s);
+    configs.push_back(std::move(entry));
+  }
+  reply.set("configs", std::move(configs));
+  reply.set("latency_us", latency_us);
+  return reply;
+}
+
 Scheduler::Job* Scheduler::pick_job_locked() {
   // Deficit fair share within the best (lowest-numbered) non-empty
   // priority lane: the runnable job that has consumed the least worker
@@ -469,20 +530,23 @@ void Scheduler::handle_completion_locked(Completion completion,
     job.best_tiles = tiles;
   }
 
-  if (perf_db_ != nullptr) {
-    runtime::TrialRecord record;
-    record.eval_index = static_cast<int>(eval_index);
-    record.strategy = job.spec.tenant + "/" + std::to_string(job.id) + "/" +
-                      job.spec.strategy;
-    record.workload_id = job.workload.id();
-    record.tiles = tiles;
-    record.runtime_s = measured.runtime_s;
-    record.compile_s = measured.compile_s;
-    record.energy_j = measured.energy_j;
-    record.elapsed_s = job.slot_seconds;
-    record.valid = measured.valid;
-    perf_db_->append(record);
-  }
+  runtime::TrialRecord record;
+  record.eval_index = static_cast<int>(eval_index);
+  record.strategy = job.spec.tenant + "/" + std::to_string(job.id) + "/" +
+                    job.spec.strategy;
+  record.workload_id = job.workload.id();
+  record.tiles = tiles;
+  record.runtime_s = measured.runtime_s;
+  record.compile_s = measured.compile_s;
+  record.energy_j = measured.energy_j;
+  record.elapsed_s = job.slot_seconds;
+  record.valid = measured.valid;
+  record.backend = job.spec.backend;
+  record.nthreads = job.spec.nthreads;
+  if (perf_db_ != nullptr) perf_db_->append(record);
+  // Even without a perf-db file the live result enters the instant-lookup
+  // cache, so config_lookup answers improve while the daemon tunes.
+  lookup_.observe(record);
 
   {
     Json event = Json::object();

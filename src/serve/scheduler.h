@@ -52,6 +52,7 @@
 #include "runtime/perf_db.h"
 #include "runtime/trace_log.h"
 #include "serve/protocol.h"
+#include "transfer/lookup.h"
 
 namespace tvmbo::serve {
 
@@ -69,7 +70,15 @@ struct SchedulerOptions {
   /// Strategy knobs (xgb cap, BO options) shared by all jobs.
   framework::StrategyFactoryOptions strategy;
   /// Path of the global cross-tenant JSONL perf database ("" disables).
+  /// Existing records are also loaded into the instant-lookup cache at
+  /// construction, so a restarted daemon answers config_lookup queries
+  /// for everything earlier runs measured.
   std::string perf_db_path;
+  /// Saved cross-kernel transfer model (transfer/model_store.h) backing
+  /// config_lookup's model fallback ("" = cache-only answers).
+  std::string transfer_model_path;
+  /// Instant-lookup knobs (top-k cap, model candidate pool, seed).
+  transfer::LookupOptions lookup;
   /// Lifecycle/trial event log (not owned; may be null; must outlive the
   /// scheduler).
   runtime::TraceLog* trace = nullptr;
@@ -136,6 +145,16 @@ class Scheduler {
   /// jobs (reason "drain"). Idempotent; blocks until quiescent.
   void drain();
 
+  /// Answers a config_lookup request without touching the scheduler
+  /// mutex or the worker fleet: exact cache hit first (best measured
+  /// tiles for the workload + thread budget), transfer-model top-k
+  /// fallback otherwise. Returns a complete lookup_reply (or error)
+  /// frame; `latency_us` in the reply times the answer itself.
+  Json lookup(const LookupSpec& spec) const;
+
+  /// Measured results in the instant-lookup cache (diagnostics/tests).
+  std::size_t lookup_cache_size() const { return lookup_.cache_size(); }
+
   distd::WorkerPool& pool() { return *pool_; }
 
  private:
@@ -151,11 +170,14 @@ class Scheduler {
   void finish_cancel_locked(Job& job, const std::string& reason,
                             std::vector<PendingEvent>& events);
   void emit(std::vector<PendingEvent>& events);
-  void trace(Json event);
+  void trace(Json event) const;
 
   SchedulerOptions options_;
   std::unique_ptr<distd::WorkerPool> pool_;
   std::unique_ptr<runtime::PerfDbAppender> perf_db_;
+  /// Instant-config answerer: internally synchronized (own mutex), fed by
+  /// handle_completion_locked, queried by lookup() without mutex_.
+  transfer::ConfigLookup lookup_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

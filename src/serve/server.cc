@@ -149,6 +149,16 @@ void ServeServer::serve_connection(distd::Socket socket) {
     distd::write_frame(socket.fd(), reply);
     return;
   }
+  if (type == "config_lookup") {
+    Json reply;
+    try {
+      reply = scheduler_->lookup(LookupSpec::from_json(request));
+    } catch (const std::exception& e) {
+      reply = error_frame("bad_request", e.what());
+    }
+    distd::write_frame(socket.fd(), reply);
+    return;
+  }
   distd::write_frame(socket.fd(),
                      error_frame("bad_request",
                                  "unknown request type '" + type + "'"));

@@ -107,7 +107,12 @@ int DecisionTree::build(const Dataset& data,
       if (gain / static_cast<double>(count) > best_gain) {
         best_gain = gain / static_cast<double>(count);
         best_feature = static_cast<int>(feature);
+        // Midpoint, unless v and v_next are so close it rounds up to
+        // v_next — then `x <= threshold` would send every row left and
+        // produce an empty partition. v itself always splits cleanly
+        // (no training value lies strictly between v and v_next).
         best_threshold = 0.5 * (v + v_next);
+        if (best_threshold >= v_next) best_threshold = v;
       }
     }
   }

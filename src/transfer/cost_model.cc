@@ -1,0 +1,358 @@
+#include "transfer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "surrogate/dataset.h"
+#include "transfer/features.h"
+
+namespace tvmbo::transfer {
+
+bool parse_workload_id(const std::string& id, std::string* kernel,
+                       std::string* size,
+                       std::vector<std::int64_t>* dims) {
+  const std::size_t slash = id.find('/');
+  if (slash == std::string::npos || slash == 0) return false;
+  const std::size_t bracket = id.find('[', slash + 1);
+  if (bracket == std::string::npos || bracket == slash + 1) return false;
+  if (id.empty() || id.back() != ']') return false;
+  std::vector<std::int64_t> parsed;
+  std::int64_t current = 0;
+  bool have_digit = false;
+  for (std::size_t i = bracket + 1; i + 1 < id.size(); ++i) {
+    const char c = id[i];
+    if (c >= '0' && c <= '9') {
+      current = current * 10 + (c - '0');
+      have_digit = true;
+    } else if (c == 'x' && have_digit) {
+      parsed.push_back(current);
+      current = 0;
+      have_digit = false;
+    } else {
+      return false;
+    }
+  }
+  if (!have_digit) return false;
+  parsed.push_back(current);
+  if (kernel != nullptr) *kernel = id.substr(0, slash);
+  if (size != nullptr) *size = id.substr(slash + 1, bracket - slash - 1);
+  if (dims != nullptr) *dims = std::move(parsed);
+  return true;
+}
+
+std::optional<TransferSample> featurize_record(
+    const runtime::TrialRecord& record) {
+  if (!record.valid || record.runtime_s <= 0.0) return std::nullopt;
+  TransferSample sample;
+  if (!parse_workload_id(record.workload_id, &sample.kernel, nullptr,
+                         &sample.dims)) {
+    return std::nullopt;
+  }
+  try {
+    sample.features =
+        featurize_config(sample.kernel, sample.dims, record.tiles);
+  } catch (const std::exception&) {
+    return std::nullopt;  // no TE program, or tiles don't fit the schedule
+  }
+  sample.workload_id = record.workload_id;
+  sample.tiles = record.tiles;
+  sample.runtime_s = record.runtime_s;
+  sample.nthreads = record.nthreads;
+  sample.backend = record.backend;
+  return sample;
+}
+
+CostModel::CostModel(CostModelOptions options)
+    : options_(std::move(options)),
+      gbt_(options_.gbt),
+      forest_(options_.forest) {
+  TVMBO_CHECK(options_.learner == "gbt" || options_.learner == "forest")
+      << "unknown transfer learner '" << options_.learner
+      << "' (want gbt or forest)";
+}
+
+void CostModel::add(TransferSample sample) {
+  TVMBO_CHECK_EQ(sample.features.size(), num_features())
+      << "feature width mismatch for " << sample.workload_id;
+  samples_.push_back(std::move(sample));
+}
+
+std::size_t CostModel::add_database(const runtime::PerfDatabase& db) {
+  std::size_t added = 0;
+  for (const runtime::TrialRecord& record : db.records()) {
+    std::optional<TransferSample> sample = featurize_record(record);
+    if (!sample.has_value()) continue;
+    add(std::move(*sample));
+    ++added;
+  }
+  return added;
+}
+
+void CostModel::fit() {
+  TVMBO_CHECK_GE(samples_.size(), 2u)
+      << "cost model needs at least 2 samples to fit";
+  // Per-workload target centering (see the header): mean log-runtime per
+  // workload id, plus the global mean as the prediction baseline.
+  std::map<std::string, std::pair<double, std::size_t>> workload_stats;
+  double global_sum = 0.0;
+  for (const TransferSample& sample : samples_) {
+    const double log_runtime = std::log(sample.runtime_s);
+    auto& [sum, count] = workload_stats[sample.workload_id];
+    sum += log_runtime;
+    ++count;
+    global_sum += log_runtime;
+  }
+  baseline_ = global_sum / static_cast<double>(samples_.size());
+  surrogate::Dataset data;
+  for (const TransferSample& sample : samples_) {
+    const auto& [sum, count] = workload_stats[sample.workload_id];
+    const double workload_mean = sum / static_cast<double>(count);
+    data.add(sample.features, std::log(sample.runtime_s) - workload_mean);
+  }
+  // Fresh seed per fit: refitting the same sample list reproduces the
+  // model bit-for-bit (the save/load contract of model_store.h).
+  Rng rng(options_.seed);
+  if (options_.learner == "gbt") {
+    gbt_ = surrogate::GradientBoostedTrees(options_.gbt);
+    gbt_.fit(data, rng);
+  } else {
+    forest_ = surrogate::RandomForest(options_.forest);
+    forest_.fit(data, rng);
+  }
+  fitted_ = true;
+  fitted_on_ = samples_.size();
+  // Per-column inverse std for novelty(): z-scoring keeps wide-range
+  // features (log footprints) from drowning narrow ones (fractions).
+  const std::size_t width = num_features();
+  std::vector<double> mean(width, 0.0), var(width, 0.0);
+  for (const TransferSample& sample : samples_) {
+    for (std::size_t j = 0; j < width; ++j) mean[j] += sample.features[j];
+  }
+  for (std::size_t j = 0; j < width; ++j) {
+    mean[j] /= static_cast<double>(samples_.size());
+  }
+  for (const TransferSample& sample : samples_) {
+    for (std::size_t j = 0; j < width; ++j) {
+      const double d = sample.features[j] - mean[j];
+      var[j] += d * d;
+    }
+  }
+  feature_scale_.assign(width, 0.0);
+  for (std::size_t j = 0; j < width; ++j) {
+    const double std_dev =
+        std::sqrt(var[j] / static_cast<double>(samples_.size()));
+    // Constant columns get scale 0: any deviation from the constant would
+    // be infinitely novel, which is too harsh for a single feature.
+    feature_scale_[j] = std_dev > 1e-12 ? 1.0 / std_dev : 0.0;
+  }
+}
+
+double CostModel::novelty(std::span<const double> features) const {
+  TVMBO_CHECK(fitted_) << "cost model not fitted";
+  TVMBO_CHECK_EQ(features.size(), feature_scale_.size())
+      << "feature width mismatch in novelty";
+  double best = std::numeric_limits<double>::infinity();
+  for (const TransferSample& sample : samples_) {
+    double dist_sq = 0.0;
+    for (std::size_t j = 0; j < features.size(); ++j) {
+      const double d =
+          (features[j] - sample.features[j]) * feature_scale_[j];
+      dist_sq += d * d;
+      if (dist_sq >= best) break;
+    }
+    best = std::min(best, dist_sq);
+  }
+  if (!std::isfinite(best)) return 0.0;
+  return std::sqrt(best / static_cast<double>(
+                              std::max<std::size_t>(features.size(), 1)));
+}
+
+bool CostModel::observe(const runtime::TrialRecord& record) {
+  std::optional<TransferSample> sample = featurize_record(record);
+  if (!sample.has_value()) return false;
+  add(std::move(*sample));
+  const std::size_t pending = samples_.size() - fitted_on_;
+  if (samples_.size() >= 2 &&
+      (!fitted_ || pending > options_.refit_interval)) {
+    fit();
+  }
+  return true;
+}
+
+double CostModel::predict_log_runtime(
+    std::span<const double> features) const {
+  TVMBO_CHECK(fitted_) << "cost model not fitted";
+  const double centered = options_.learner == "gbt"
+                              ? gbt_.predict(features)
+                              : forest_.predict(features);
+  return centered + baseline_;
+}
+
+double CostModel::predict_runtime(std::span<const double> features) const {
+  return std::exp(predict_log_runtime(features));
+}
+
+std::vector<RankedConfig> rank_configs(const CostModel& model,
+                                       const cs::ConfigurationSpace& space,
+                                       const std::string& kernel,
+                                       const std::vector<std::int64_t>& dims,
+                                       std::size_t topk, std::size_t pool,
+                                       std::uint64_t seed) {
+  TVMBO_CHECK(model.fitted()) << "cost model not fitted";
+  Rng rng(seed);
+  std::vector<RankedConfig> ranked;
+  std::unordered_set<std::uint64_t> seen;
+  // Oversample to absorb duplicate draws from small spaces; the dedup set
+  // keeps the pool at distinct configurations.
+  const std::size_t max_draws = pool * 4 + 16;
+  for (std::size_t draw = 0;
+       draw < max_draws && ranked.size() < pool; ++draw) {
+    cs::Configuration config = space.sample(rng);
+    if (!seen.insert(config.hash()).second) continue;
+    std::vector<std::int64_t> tiles = space.values_int(config);
+    std::vector<double> features;
+    try {
+      features = featurize_config(kernel, dims, tiles);
+    } catch (const std::exception&) {
+      continue;  // candidate doesn't lower (e.g. rejected annotation)
+    }
+    RankedConfig candidate;
+    candidate.config = std::move(config);
+    candidate.tiles = std::move(tiles);
+    candidate.predicted_runtime_s = model.predict_runtime(features);
+    candidate.novelty = model.novelty(features);
+    ranked.push_back(std::move(candidate));
+  }
+  const double weight = model.options().novelty_weight;
+  auto score = [weight](const RankedConfig& c) {
+    return std::log(c.predicted_runtime_s) + weight * c.novelty;
+  };
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&score](const RankedConfig& a, const RankedConfig& b) {
+                     return score(a) < score(b);
+                   });
+  if (ranked.size() > topk) ranked.resize(topk);
+  return ranked;
+}
+
+std::vector<cs::Configuration> rank_seed_configs(
+    const CostModel& model, const cs::ConfigurationSpace& space,
+    const std::string& kernel, const std::vector<std::int64_t>& dims,
+    std::size_t topk, std::size_t pool, std::uint64_t seed) {
+  std::vector<cs::Configuration> configs;
+  for (RankedConfig& candidate :
+       rank_configs(model, space, kernel, dims, topk, pool, seed)) {
+    configs.push_back(std::move(candidate.config));
+  }
+  return configs;
+}
+
+namespace {
+
+/// Spearman rank correlation of two paired vectors (average ranks on ties).
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  auto ranks = [n](const std::vector<double>& values) {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return values[x] < values[y];
+                     });
+    std::vector<double> rank(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i;
+      while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+      const double mean_rank = 0.5 * (static_cast<double>(i) +
+                                      static_cast<double>(j));
+      for (std::size_t k = i; k <= j; ++k) rank[order[k]] = mean_rank;
+      i = j + 1;
+    }
+    return rank;
+  };
+  const std::vector<double> ra = ranks(a);
+  const std::vector<double> rb = ranks(b);
+  double mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += ra[i];
+    mean_b += rb[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = ra[i] - mean_a;
+    const double db = rb[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace
+
+std::vector<LokoResult> leave_one_kernel_out(
+    const std::vector<TransferSample>& samples,
+    const CostModelOptions& options) {
+  std::vector<std::string> kernels;
+  for (const TransferSample& sample : samples) {
+    if (std::find(kernels.begin(), kernels.end(), sample.kernel) ==
+        kernels.end()) {
+      kernels.push_back(sample.kernel);
+    }
+  }
+  std::vector<LokoResult> results;
+  for (const std::string& held_out : kernels) {
+    CostModel model(options);
+    std::vector<const TransferSample*> test;
+    for (const TransferSample& sample : samples) {
+      if (sample.kernel == held_out) {
+        test.push_back(&sample);
+      } else {
+        model.add(sample);
+      }
+    }
+    LokoResult result;
+    result.kernel = held_out;
+    result.train_size = model.size();
+    result.test_size = test.size();
+    if (model.size() < 2 || test.size() < 2) {
+      results.push_back(std::move(result));
+      continue;
+    }
+    model.fit();
+    std::vector<double> predicted, measured;
+    double best_measured = test[0]->runtime_s;
+    double best_predicted_value = 0.0;
+    double best_predicted_measured = 0.0;
+    bool first = true;
+    for (const TransferSample* sample : test) {
+      const double prediction = model.predict_runtime(sample->features);
+      predicted.push_back(prediction);
+      measured.push_back(sample->runtime_s);
+      best_measured = std::min(best_measured, sample->runtime_s);
+      if (first || prediction < best_predicted_value) {
+        best_predicted_value = prediction;
+        best_predicted_measured = sample->runtime_s;
+        first = false;
+      }
+    }
+    result.rank_correlation = spearman(predicted, measured);
+    result.top1_regret =
+        best_measured > 0.0 ? best_predicted_measured / best_measured - 1.0
+                            : 0.0;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace tvmbo::transfer

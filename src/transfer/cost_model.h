@@ -1,0 +1,176 @@
+// Cross-kernel cost model over the global PerfDatabase.
+//
+// Every record carries (kernel, dims, tiles) — enough to re-lower the
+// configuration and featurize it with transfer/features.h — plus the
+// measured runtime. A single GBT or random-forest learner (src/surrogate)
+// is trained on log-runtime over those kernel-agnostic features, so one
+// model ranks candidate configurations for *any* TE kernel, including ones
+// absent from the training set (transfer). The model seeds new tuning
+// sessions (SessionOptions::transfer_model) and backs the serve daemon's
+// config_lookup fallback (transfer/lookup.h).
+//
+// Determinism: fit() always retrains from scratch over the full sample
+// list with a fresh Rng(options.seed), so two models holding the same
+// samples in the same order predict identically — the property the
+// dataset-replay model store (transfer/model_store.h) relies on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "configspace/configspace.h"
+#include "runtime/perf_db.h"
+#include "surrogate/gbt.h"
+#include "surrogate/random_forest.h"
+
+namespace tvmbo::transfer {
+
+/// One featurized PerfDatabase record.
+struct TransferSample {
+  std::string workload_id;
+  std::string kernel;
+  std::vector<std::int64_t> dims;
+  std::vector<std::int64_t> tiles;
+  std::vector<double> features;
+  double runtime_s = 0.0;
+  std::int64_t nthreads = 1;
+  std::string backend;
+};
+
+/// Splits a Workload::id() string "kernel/size[AxBxC]" into its parts.
+/// Returns false (outputs untouched) when the id is malformed.
+bool parse_workload_id(const std::string& id, std::string* kernel,
+                       std::string* size, std::vector<std::int64_t>* dims);
+
+/// Featurizes one record. nullopt when the record is invalid (failed
+/// measurement or non-positive runtime), its workload id is malformed, the
+/// kernel has no TE program, or the tile vector does not fit the kernel's
+/// schedule.
+std::optional<TransferSample> featurize_record(
+    const runtime::TrialRecord& record);
+
+struct CostModelOptions {
+  std::string learner = "gbt";  ///< "gbt" or "forest"
+  /// Deeper trees than the in-loop surrogate default: cross-kernel
+  /// training needs kernel-structure x tile-shape interactions (the tile
+  /// response that is right for a deep-reduction gemm is wrong for a
+  /// depth-1 rank-k update), and depth-4 trees cannot express them.
+  surrogate::GbtOptions gbt{
+      .num_rounds = 150,
+      .learning_rate = 0.1,
+      .tree = {.max_depth = 6, .min_samples_split = 4,
+               .min_samples_leaf = 2}};
+  surrogate::ForestOptions forest;
+  std::uint64_t seed = 2023;
+  /// observe() refits after this many unfitted samples accumulate
+  /// (0 = refit on every sample).
+  std::size_t refit_interval = 16;
+  /// Novelty penalty used by rank_configs(): candidates are ordered by
+  /// predicted log-runtime plus this weight times their distance to the
+  /// nearest training sample (z-scored feature space). Tree learners
+  /// predict garbage outside the training hull — degenerate 1-wide tiles
+  /// of a new kernel can land in feature regions no training kernel ever
+  /// produced and get flattering leaf means — so ranking trusts the model
+  /// most where it has actually seen data. 0 disables.
+  double novelty_weight = 0.25;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostModelOptions options = {});
+
+  const CostModelOptions& options() const { return options_; }
+  std::size_t size() const { return samples_.size(); }
+  const std::vector<TransferSample>& samples() const { return samples_; }
+  bool fitted() const { return fitted_; }
+
+  /// Adds one sample without refitting.
+  void add(TransferSample sample);
+
+  /// Featurizes and adds every usable record; returns how many were added
+  /// (records featurize_record rejects are skipped).
+  std::size_t add_database(const runtime::PerfDatabase& db);
+
+  /// Trains on all samples. Requires >= 2 samples. The regression target
+  /// is log(runtime) centered per workload (each sample's target is its
+  /// log-runtime minus the mean log-runtime of its workload's training
+  /// samples): cross-kernel transfer only needs the *within-workload*
+  /// ordering, and centering stops the learner from spending its whole
+  /// capacity explaining that a 2000^3 kernel is slower than a 40^3 one.
+  /// The global mean log-runtime is added back at prediction time, so
+  /// predict_runtime() stays in (approximate) seconds.
+  void fit();
+
+  /// Incremental path: featurize + add the record, refit once
+  /// `refit_interval` new samples have accumulated since the last fit.
+  /// Returns true when the record was usable.
+  bool observe(const runtime::TrialRecord& record);
+
+  /// Predicted log(runtime_s) / runtime_s for a feature vector.
+  double predict_log_runtime(std::span<const double> features) const;
+  double predict_runtime(std::span<const double> features) const;
+
+  /// Distance from `features` to the nearest training sample, measured in
+  /// z-scored feature space and normalized by sqrt(num_features) so the
+  /// scale is comparable across feature-set revisions. 0 on a training
+  /// point; grows as the candidate leaves the training distribution.
+  double novelty(std::span<const double> features) const;
+
+ private:
+  CostModelOptions options_;
+  std::vector<TransferSample> samples_;
+  surrogate::GradientBoostedTrees gbt_;
+  surrogate::RandomForest forest_;
+  bool fitted_ = false;
+  std::size_t fitted_on_ = 0;  ///< samples_.size() at the last fit()
+  double baseline_ = 0.0;      ///< global mean log-runtime at the last fit()
+  std::vector<double> feature_scale_;  ///< per-column 1/std at the last fit()
+};
+
+/// One model-ranked candidate for a (kernel, dims) task.
+struct RankedConfig {
+  cs::Configuration config;
+  std::vector<std::int64_t> tiles;
+  double predicted_runtime_s = 0.0;
+  double novelty = 0.0;  ///< distance to the nearest training sample
+};
+
+/// Samples up to `pool` distinct configurations from `space`, featurizes
+/// each (candidates whose lowering fails are skipped), and returns the
+/// `topk` with the lowest predicted runtime, best first. Deterministic for
+/// a fixed seed.
+std::vector<RankedConfig> rank_configs(const CostModel& model,
+                                       const cs::ConfigurationSpace& space,
+                                       const std::string& kernel,
+                                       const std::vector<std::int64_t>& dims,
+                                       std::size_t topk, std::size_t pool,
+                                       std::uint64_t seed);
+
+/// rank_configs() projected to just the configurations — the shape
+/// BayesianOptimizer::seed_proposals() consumes.
+std::vector<cs::Configuration> rank_seed_configs(
+    const CostModel& model, const cs::ConfigurationSpace& space,
+    const std::string& kernel, const std::vector<std::int64_t>& dims,
+    std::size_t topk, std::size_t pool, std::uint64_t seed);
+
+/// Leave-one-kernel-out evaluation: for each distinct kernel, train on all
+/// other kernels' samples and score predictions on the held-out kernel.
+struct LokoResult {
+  std::string kernel;
+  std::size_t train_size = 0;
+  std::size_t test_size = 0;
+  /// Spearman rank correlation between predicted and measured runtime on
+  /// the held-out kernel (1 = perfect ranking).
+  double rank_correlation = 0.0;
+  /// runtime(best-predicted config) / best measured runtime - 1.
+  double top1_regret = 0.0;
+};
+
+std::vector<LokoResult> leave_one_kernel_out(
+    const std::vector<TransferSample>& samples,
+    const CostModelOptions& options);
+
+}  // namespace tvmbo::transfer

@@ -1,0 +1,507 @@
+#include "transfer/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "analysis/affine.h"
+#include "common/logging.h"
+#include "kernels/te_programs.h"
+
+namespace tvmbo::transfer {
+
+namespace {
+
+double log2_1p(double value) { return std::log2(1.0 + value); }
+
+/// Counts arithmetic operator nodes (binary + unary) in an expression.
+std::size_t count_ops(const te::ExprNode* expr) {
+  if (expr == nullptr) return 0;
+  switch (expr->kind()) {
+    case te::ExprKind::kBinary: {
+      const auto* node = static_cast<const te::BinaryNode*>(expr);
+      return 1 + count_ops(node->a.get()) + count_ops(node->b.get());
+    }
+    case te::ExprKind::kUnary: {
+      const auto* node = static_cast<const te::UnaryNode*>(expr);
+      return 1 + count_ops(node->operand.get());
+    }
+    case te::ExprKind::kCompare: {
+      const auto* node = static_cast<const te::CompareNode*>(expr);
+      return count_ops(node->a.get()) + count_ops(node->b.get());
+    }
+    case te::ExprKind::kSelect: {
+      const auto* node = static_cast<const te::SelectNode*>(expr);
+      return count_ops(node->condition.get()) +
+             count_ops(node->true_value.get()) +
+             count_ops(node->false_value.get());
+    }
+    case te::ExprKind::kTensorAccess: {
+      const auto* node = static_cast<const te::TensorAccessNode*>(expr);
+      std::size_t total = 0;
+      for (const te::Expr& index : node->indices) {
+        total += count_ops(index.get());
+      }
+      return total;
+    }
+    case te::ExprKind::kReduce: {
+      const auto* node = static_cast<const te::ReduceNode*>(expr);
+      return count_ops(node->source.get());
+    }
+    default:
+      return 0;
+  }
+}
+
+/// True when the expression reads an element of `tensor` (a reduction
+/// update: C[i,j] = C[i,j] + ...).
+bool reads_tensor(const te::ExprNode* expr, const te::TensorNode* tensor) {
+  if (expr == nullptr) return false;
+  switch (expr->kind()) {
+    case te::ExprKind::kBinary: {
+      const auto* node = static_cast<const te::BinaryNode*>(expr);
+      return reads_tensor(node->a.get(), tensor) ||
+             reads_tensor(node->b.get(), tensor);
+    }
+    case te::ExprKind::kUnary:
+      return reads_tensor(
+          static_cast<const te::UnaryNode*>(expr)->operand.get(), tensor);
+    case te::ExprKind::kCompare: {
+      const auto* node = static_cast<const te::CompareNode*>(expr);
+      return reads_tensor(node->a.get(), tensor) ||
+             reads_tensor(node->b.get(), tensor);
+    }
+    case te::ExprKind::kSelect: {
+      const auto* node = static_cast<const te::SelectNode*>(expr);
+      return reads_tensor(node->condition.get(), tensor) ||
+             reads_tensor(node->true_value.get(), tensor) ||
+             reads_tensor(node->false_value.get(), tensor);
+    }
+    case te::ExprKind::kTensorAccess: {
+      const auto* node = static_cast<const te::TensorAccessNode*>(expr);
+      if (node->tensor.get() == tensor) return true;
+      for (const te::Expr& index : node->indices) {
+        if (reads_tensor(index.get(), tensor)) return true;
+      }
+      return false;
+    }
+    case te::ExprKind::kReduce:
+      return reads_tensor(
+          static_cast<const te::ReduceNode*>(expr)->source.get(), tensor);
+    default:
+      return false;
+  }
+}
+
+struct LoopFrame {
+  const te::VarNode* var = nullptr;
+  std::int64_t extent = 1;
+  te::ForKind kind = te::ForKind::kSerial;
+};
+
+/// One pass over the statement tree. All containers are insertion-ordered
+/// (no pointer-keyed hash maps), so accumulation order — and therefore the
+/// floating-point result — is identical across processes.
+class FeatureCollector {
+ public:
+  void run(const te::Stmt& stmt) { visit(stmt); }
+
+  std::size_t loops = 0;
+  std::size_t max_depth = 0;
+  double total_work = 0.0;
+  double parallel_work = 0.0;
+  double vector_work = 0.0;
+  double max_extent = 0.0;
+  double innermost_log_sum = 0.0;
+  std::size_t parallel_loops = 0;
+  std::size_t vector_loops = 0;
+  std::size_t unroll_loops = 0;
+  double parallel_extent_max = 0.0;
+  double vector_extent_max = 0.0;
+  double unroll_extent_max = 0.0;
+  std::size_t realizes = 0;
+  double realize_elems = 0.0;
+  std::size_t stores = 0;
+  std::size_t reduce_stores = 0;
+  std::size_t guards = 0;
+  // Store-tile shape, accumulated per store site over the loops that move
+  // the stored element (see note_store_tile): the innermost two spatial
+  // extents are the effective (ty, tx) tile of that stage, independent of
+  // where any reduction loop sits in the nest.
+  double tile_x_log_sum = 0.0;
+  double tile_y_log_sum = 0.0;
+  double spatial_blocks_log_sum = 0.0;
+  std::size_t tile_x_mod8 = 0;
+  std::size_t tile_x_mod32 = 0;
+  double total_ops = 0.0;
+  std::size_t accesses = 0;
+  std::size_t unit_stride_accesses = 0;
+  std::size_t invariant_accesses = 0;
+  /// Per-tensor maximum access-box volume, in first-touch order.
+  std::vector<std::pair<const te::TensorNode*, double>> footprints;
+
+ private:
+  void note_footprint(const te::TensorNode* tensor, double volume) {
+    for (auto& [seen, vol] : footprints) {
+      if (seen == tensor) {
+        vol = std::max(vol, volume);
+        return;
+      }
+    }
+    footprints.emplace_back(tensor, volume);
+  }
+
+  double trip_product() const {
+    double product = 1.0;
+    for (const LoopFrame& frame : stack_) {
+      product *= static_cast<double>(frame.extent);
+    }
+    return product;
+  }
+
+  bool under_kind(te::ForKind kind) const {
+    for (const LoopFrame& frame : stack_) {
+      if (frame.kind == kind) return true;
+    }
+    return false;
+  }
+
+  void visit_access(const te::TensorNode* tensor,
+                    const std::vector<te::Expr>& indices) {
+    ++accesses;
+    const te::VarNode* innermost =
+        stack_.empty() ? nullptr : stack_.back().var;
+    double volume = 1.0;
+    bool moves_innermost = false;
+    bool unit_stride = false;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const analysis::Interval range =
+          analysis::range_of_expr(indices[i].get(), ranges_, constraints_);
+      double width;
+      if (range.bounded()) {
+        width = static_cast<double>(*range.hi - *range.lo + 1);
+      } else if (i < tensor->shape.size()) {
+        width = static_cast<double>(tensor->shape[i]);
+      } else {
+        width = 1.0;
+      }
+      volume *= std::max(width, 1.0);
+      if (innermost != nullptr) {
+        const analysis::AffineForm form =
+            analysis::analyze_affine(indices[i].get());
+        if (form.affine) {
+          const std::int64_t coeff = form.coeff(innermost);
+          if (coeff != 0) moves_innermost = true;
+          // Unit stride = the *last* (fastest-varying) index advances by
+          // one per innermost iteration.
+          if (i + 1 == indices.size() && (coeff == 1 || coeff == -1)) {
+            unit_stride = true;
+          }
+        } else {
+          moves_innermost = true;  // conservative: assume it moves
+        }
+      }
+    }
+    note_footprint(tensor, volume);
+    if (unit_stride) ++unit_stride_accesses;
+    if (!moves_innermost) ++invariant_accesses;
+  }
+
+  /// Classifies the enclosing loops of a store by whether they move the
+  /// stored element (non-zero affine coefficient in some store index, or
+  /// a non-affine index — conservatively "moves"). The innermost two such
+  /// spatial loops are the stage's tile; everything outside them is the
+  /// block grid. Reduction loops (which move only the reads) drop out, so
+  /// gemm's k-innermost nest and lu's rank-1 update report comparable
+  /// tile shapes.
+  void note_store_tile(const std::vector<te::Expr>& indices) {
+    std::vector<analysis::AffineForm> forms;
+    forms.reserve(indices.size());
+    for (const te::Expr& index : indices) {
+      forms.push_back(analysis::analyze_affine(index.get()));
+    }
+    std::vector<std::int64_t> spatial;  // outermost -> innermost
+    for (const LoopFrame& frame : stack_) {
+      bool moves = false;
+      for (const analysis::AffineForm& form : forms) {
+        if (!form.affine || form.coeff(frame.var) != 0) {
+          moves = true;
+          break;
+        }
+      }
+      if (moves) spatial.push_back(frame.extent);
+    }
+    const std::int64_t tile_x =
+        spatial.empty() ? 1 : spatial[spatial.size() - 1];
+    const std::int64_t tile_y =
+        spatial.size() < 2 ? 1 : spatial[spatial.size() - 2];
+    double blocks = 1.0;
+    for (std::size_t i = 0; i + 2 < spatial.size(); ++i) {
+      blocks *= static_cast<double>(spatial[i]);
+    }
+    tile_x_log_sum += std::log2(static_cast<double>(tile_x));
+    tile_y_log_sum += std::log2(static_cast<double>(tile_y));
+    spatial_blocks_log_sum += std::log2(blocks);
+    if (tile_x % 8 == 0) ++tile_x_mod8;
+    if (tile_x % 32 == 0) ++tile_x_mod32;
+  }
+
+  void visit_value_accesses(const te::ExprNode* expr) {
+    if (expr == nullptr) return;
+    switch (expr->kind()) {
+      case te::ExprKind::kBinary: {
+        const auto* node = static_cast<const te::BinaryNode*>(expr);
+        visit_value_accesses(node->a.get());
+        visit_value_accesses(node->b.get());
+        break;
+      }
+      case te::ExprKind::kUnary:
+        visit_value_accesses(
+            static_cast<const te::UnaryNode*>(expr)->operand.get());
+        break;
+      case te::ExprKind::kCompare: {
+        const auto* node = static_cast<const te::CompareNode*>(expr);
+        visit_value_accesses(node->a.get());
+        visit_value_accesses(node->b.get());
+        break;
+      }
+      case te::ExprKind::kSelect: {
+        const auto* node = static_cast<const te::SelectNode*>(expr);
+        visit_value_accesses(node->condition.get());
+        visit_value_accesses(node->true_value.get());
+        visit_value_accesses(node->false_value.get());
+        break;
+      }
+      case te::ExprKind::kTensorAccess: {
+        const auto* node = static_cast<const te::TensorAccessNode*>(expr);
+        visit_access(node->tensor.get(), node->indices);
+        for (const te::Expr& index : node->indices) {
+          visit_value_accesses(index.get());
+        }
+        break;
+      }
+      case te::ExprKind::kReduce:
+        visit_value_accesses(
+            static_cast<const te::ReduceNode*>(expr)->source.get());
+        break;
+      default:
+        break;
+    }
+  }
+
+  void visit(const te::Stmt& stmt) {
+    if (stmt == nullptr) return;
+    switch (stmt->kind()) {
+      case te::StmtKind::kFor: {
+        const auto* node = static_cast<const te::ForNode*>(stmt.get());
+        ++loops;
+        const double extent = static_cast<double>(node->extent);
+        max_extent = std::max(max_extent, extent);
+        switch (node->for_kind) {
+          case te::ForKind::kParallel:
+            ++parallel_loops;
+            parallel_extent_max = std::max(parallel_extent_max, extent);
+            break;
+          case te::ForKind::kVectorized:
+            ++vector_loops;
+            vector_extent_max = std::max(vector_extent_max, extent);
+            break;
+          case te::ForKind::kUnrolled:
+            ++unroll_loops;
+            unroll_extent_max = std::max(unroll_extent_max, extent);
+            break;
+          case te::ForKind::kSerial:
+            break;
+        }
+        stack_.push_back({node->var.get(), node->extent, node->for_kind});
+        max_depth = std::max(max_depth, stack_.size());
+        ranges_.bind(node->var.get(), node->extent);
+        visit(node->body);
+        ranges_.pop();
+        stack_.pop_back();
+        break;
+      }
+      case te::StmtKind::kStore: {
+        const auto* node = static_cast<const te::StoreNode*>(stmt.get());
+        ++stores;
+        const double trip = trip_product();
+        total_work += trip;
+        if (under_kind(te::ForKind::kParallel)) parallel_work += trip;
+        if (under_kind(te::ForKind::kVectorized)) vector_work += trip;
+        innermost_log_sum += std::log2(static_cast<double>(
+            stack_.empty() ? 1 : stack_.back().extent));
+        total_ops += trip * static_cast<double>(count_ops(node->value.get()));
+        if (reads_tensor(node->value.get(), node->tensor.get())) {
+          ++reduce_stores;
+        }
+        note_store_tile(node->indices);
+        visit_access(node->tensor.get(), node->indices);
+        visit_value_accesses(node->value.get());
+        break;
+      }
+      case te::StmtKind::kSeq: {
+        const auto* node = static_cast<const te::SeqNode*>(stmt.get());
+        for (const te::Stmt& child : node->stmts) visit(child);
+        break;
+      }
+      case te::StmtKind::kIfThenElse: {
+        const auto* node =
+            static_cast<const te::IfThenElseNode*>(stmt.get());
+        ++guards;
+        const std::size_t saved = constraints_.size();
+        analysis::collect_constraints(node->condition, constraints_);
+        visit(node->then_case);
+        constraints_.resize(saved);
+        if (node->else_case != nullptr) {
+          analysis::collect_negated_constraints(node->condition,
+                                                constraints_);
+          visit(node->else_case);
+          constraints_.resize(saved);
+        }
+        break;
+      }
+      case te::StmtKind::kRealize: {
+        const auto* node = static_cast<const te::RealizeNode*>(stmt.get());
+        ++realizes;
+        double elems = 1.0;
+        for (std::int64_t dim : node->tensor->shape) {
+          elems *= static_cast<double>(dim);
+        }
+        realize_elems += elems;
+        visit(node->body);
+        break;
+      }
+    }
+  }
+
+  std::vector<LoopFrame> stack_;
+  analysis::VarRanges ranges_;
+  std::vector<analysis::AffineForm> constraints_;
+};
+
+const std::vector<std::string>& names_impl() {
+  static const std::vector<std::string> names = {
+      "loops",                    // total loop count
+      "loop_depth",               // deepest nest
+      "log_trip_total",           // log2(1 + sum of store trip counts)
+      "log_max_extent",           // log2(1 + largest loop extent)
+      "innermost_log_extent",     // mean log2 innermost extent over stores
+      "parallel_loops",           // kParallel loop count
+      "log_parallel_extent",      // log2(1 + largest kParallel extent)
+      "parallel_work_frac",       // store work under a kParallel loop
+      "log_threads",              // log2(1 + thread budget)
+      "vector_loops",             // kVectorized loop count
+      "log_vector_extent",        // log2(1 + largest kVectorized extent)
+      "vector_work_frac",         // store work under a kVectorized loop
+      "unroll_loops",             // kUnrolled loop count
+      "log_unroll_extent",        // log2(1 + largest kUnrolled extent)
+      "pack_buffers",             // Realize count (packed scratch buffers)
+      "log_pack_bytes",           // log2(1 + bytes of Realize scratch)
+      "stores",                   // static store-site count
+      "reduce_stores",            // stores whose value reads their tensor
+      "guards",                   // IfThenElse count (split tails etc.)
+      "log_footprint_bytes",      // log2(1 + summed per-tensor access boxes)
+      "log_flops",                // log2(1 + trip-weighted arith op count)
+      "arith_intensity",          // log_flops - log_footprint_bytes
+      "unit_stride_frac",         // accesses advancing by 1 innermost
+      "innermost_invariant_frac",  // accesses invariant in the innermost loop
+      "tile_x_log_extent",   // mean log2 innermost store-moving extent
+      "tile_y_log_extent",   // mean log2 2nd-innermost store-moving extent
+      "tile_x_mod8_frac",    // stores whose tile_x is a multiple of 8
+      "tile_x_mod32_frac",   // stores whose tile_x is a multiple of 32
+      "log_spatial_blocks"   // mean log2 outer store-moving block count
+  };
+  return names;
+}
+
+}  // namespace
+
+std::size_t num_features() { return names_impl().size(); }
+
+const std::vector<std::string>& feature_names() { return names_impl(); }
+
+std::vector<double> extract_features(const te::Stmt& stmt,
+                                     int parallel_threads) {
+  TVMBO_CHECK(stmt != nullptr) << "null statement";
+  FeatureCollector collect;
+  collect.run(stmt);
+
+  // 0 = "all cores": resolve to the host's concurrency so the feature
+  // ranks above every explicit budget the space can express.
+  double threads = static_cast<double>(parallel_threads);
+  if (parallel_threads == 0) {
+    threads = std::max(1.0,
+                       static_cast<double>(
+                           std::thread::hardware_concurrency()));
+  }
+
+  double footprint_elems = 0.0;
+  for (const auto& [tensor, volume] : collect.footprints) {
+    footprint_elems += volume;
+  }
+  const double footprint_bytes = 8.0 * footprint_elems;
+  const double pack_bytes = 8.0 * collect.realize_elems;
+  const double log_flops = log2_1p(collect.total_ops);
+  const double log_footprint = log2_1p(footprint_bytes);
+
+  std::vector<double> features;
+  features.reserve(num_features());
+  features.push_back(static_cast<double>(collect.loops));
+  features.push_back(static_cast<double>(collect.max_depth));
+  features.push_back(log2_1p(collect.total_work));
+  features.push_back(log2_1p(collect.max_extent));
+  features.push_back(collect.stores == 0
+                         ? 0.0
+                         : collect.innermost_log_sum /
+                               static_cast<double>(collect.stores));
+  features.push_back(static_cast<double>(collect.parallel_loops));
+  features.push_back(log2_1p(collect.parallel_extent_max));
+  features.push_back(collect.total_work <= 0.0
+                         ? 0.0
+                         : collect.parallel_work / collect.total_work);
+  features.push_back(log2_1p(threads));
+  features.push_back(static_cast<double>(collect.vector_loops));
+  features.push_back(log2_1p(collect.vector_extent_max));
+  features.push_back(collect.total_work <= 0.0
+                         ? 0.0
+                         : collect.vector_work / collect.total_work);
+  features.push_back(static_cast<double>(collect.unroll_loops));
+  features.push_back(log2_1p(collect.unroll_extent_max));
+  features.push_back(static_cast<double>(collect.realizes));
+  features.push_back(log2_1p(pack_bytes));
+  features.push_back(static_cast<double>(collect.stores));
+  features.push_back(static_cast<double>(collect.reduce_stores));
+  features.push_back(static_cast<double>(collect.guards));
+  features.push_back(log_footprint);
+  features.push_back(log_flops);
+  features.push_back(log_flops - log_footprint);
+  features.push_back(collect.accesses == 0
+                         ? 0.0
+                         : static_cast<double>(collect.unit_stride_accesses) /
+                               static_cast<double>(collect.accesses));
+  features.push_back(collect.accesses == 0
+                         ? 0.0
+                         : static_cast<double>(collect.invariant_accesses) /
+                               static_cast<double>(collect.accesses));
+  const double store_count =
+      collect.stores == 0 ? 1.0 : static_cast<double>(collect.stores);
+  features.push_back(collect.tile_x_log_sum / store_count);
+  features.push_back(collect.tile_y_log_sum / store_count);
+  features.push_back(static_cast<double>(collect.tile_x_mod8) / store_count);
+  features.push_back(static_cast<double>(collect.tile_x_mod32) /
+                     store_count);
+  features.push_back(collect.spatial_blocks_log_sum / store_count);
+  TVMBO_CHECK_EQ(features.size(), num_features());
+  return features;
+}
+
+std::vector<double> featurize_config(const std::string& kernel,
+                                     const std::vector<std::int64_t>& dims,
+                                     std::span<const std::int64_t> tiles) {
+  const kernels::TeLoweredProgram lowered =
+      kernels::lower_te_program(kernel, dims, tiles);
+  return extract_features(lowered.stmt, lowered.parallel_threads);
+}
+
+}  // namespace tvmbo::transfer

@@ -1,0 +1,57 @@
+// Kernel-agnostic feature extraction from lowered loop IR — the front end
+// of the transfer-learning subsystem.
+//
+// Per-space FeatureEncoder vectors (surrogate/dataset.h) only make sense
+// inside one configuration space: a gemm tile index and a lu tile index
+// share a column but mean different things. To learn *across* kernels and
+// sizes, every configuration is instead described by what its lowered
+// program looks like: loop-nest shape, trip counts, annotation mix
+// (parallel/vectorized/unrolled/packed), thread budget, and
+// footprint/locality estimates from the affine machinery in src/analysis.
+// Configurations of different kernels then live in one fixed-width feature
+// space and a single cost model (transfer/cost_model.h) can rank them all.
+//
+// Determinism contract: the vector is a pure function of the lowered
+// statement and the thread budget. It never reads variable names, node ids,
+// or addresses, and all reductions accumulate in traversal order, so the
+// same configuration yields a byte-identical vector across processes and
+// across the interp/closure/jit tiers (which share one lowering).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "te/ir.h"
+
+namespace tvmbo::transfer {
+
+/// Bump when the feature definition changes. Model files record the schema
+/// they were featurized under; a loaded model with an older schema is
+/// re-featurized from its stored (kernel, dims, tiles) triples.
+inline constexpr int kFeatureSchemaVersion = 1;
+
+/// Number of features extract_features() emits.
+std::size_t num_features();
+
+/// Stable names for each feature column, in emission order.
+const std::vector<std::string>& feature_names();
+
+/// Extracts the feature vector from one lowered program.
+///
+/// `parallel_threads` is the thread budget from the extended tile vector
+/// (TeLoweredProgram::parallel_threads); 0 means "all cores" and is mapped
+/// to the host's hardware concurrency so the feature reflects the actual
+/// parallelism the config requests.
+std::vector<double> extract_features(const te::Stmt& stmt,
+                                     int parallel_threads);
+
+/// Lowers (kernel, dims, tiles) via kernels::lower_te_program — schedule +
+/// lowering only, no buffer allocation — and extracts. Throws CheckError
+/// for kernels without a TE program or invalid tile vectors.
+std::vector<double> featurize_config(const std::string& kernel,
+                                     const std::vector<std::int64_t>& dims,
+                                     std::span<const std::int64_t> tiles);
+
+}  // namespace tvmbo::transfer

@@ -1,0 +1,112 @@
+#include "transfer/lookup.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "kernels/polybench.h"
+#include "kernels/te_programs.h"
+
+namespace tvmbo::transfer {
+
+ConfigLookup::ConfigLookup(LookupOptions options) : options_(options) {}
+
+std::string ConfigLookup::key(const std::string& workload_id,
+                              std::int64_t nthreads) {
+  return workload_id + "|t" + std::to_string(nthreads);
+}
+
+void ConfigLookup::set_model(std::shared_ptr<const CostModel> model) {
+  TVMBO_CHECK(model == nullptr || model->fitted())
+      << "lookup model must be fitted";
+  std::lock_guard<std::mutex> lock(mutex_);
+  model_ = std::move(model);
+}
+
+bool ConfigLookup::has_model() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return model_ != nullptr;
+}
+
+std::size_t ConfigLookup::load_database(const runtime::PerfDatabase& db) {
+  std::size_t indexed = 0;
+  for (const runtime::TrialRecord& record : db.records()) {
+    if (!record.valid || record.runtime_s <= 0.0) continue;
+    observe(record);
+    ++indexed;
+  }
+  return indexed;
+}
+
+void ConfigLookup::observe(const runtime::TrialRecord& record) {
+  if (!record.valid || record.runtime_s <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = cache_[key(record.workload_id, record.nthreads)];
+  if (entry.records == 0 || record.runtime_s < entry.runtime_s) {
+    entry.tiles = record.tiles;
+    entry.runtime_s = record.runtime_s;
+  }
+  ++entry.records;
+}
+
+std::size_t ConfigLookup::cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+LookupAnswer ConfigLookup::lookup(const std::string& kernel,
+                                  const std::string& size,
+                                  std::int64_t nthreads,
+                                  std::size_t topk) const {
+  LookupAnswer answer;
+  answer.nthreads = nthreads;
+  runtime::Workload workload;
+  try {
+    workload =
+        kernels::make_workload(kernel, kernels::dataset_from_name(size));
+  } catch (const std::exception& e) {
+    answer.source = "none";
+    answer.error = e.what();
+    return answer;
+  }
+  answer.workload_id = workload.id();
+  topk = std::clamp<std::size_t>(topk, 1, options_.topk_cap);
+
+  std::shared_ptr<const CostModel> model;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key(answer.workload_id, nthreads));
+    if (it != cache_.end()) {
+      answer.source = "cache";
+      answer.cache_records = it->second.records;
+      answer.configs.push_back({it->second.tiles, it->second.runtime_s});
+      return answer;
+    }
+    model = model_;
+  }
+
+  // Model fallback — outside the lock: ranking lowers `model_pool`
+  // candidate schedules, and a concurrent observe() must not wait on it.
+  if (model != nullptr && kernels::te_backend_supported(kernel)) {
+    kernels::ScheduleKnobs knobs;
+    knobs.enabled = nthreads != 1;
+    knobs.max_threads = nthreads;
+    const cs::ConfigurationSpace space =
+        kernels::build_space(kernel, workload.dims, knobs);
+    std::vector<RankedConfig> ranked =
+        rank_configs(*model, space, kernel, workload.dims, topk,
+                     options_.model_pool, options_.seed);
+    for (RankedConfig& candidate : ranked) {
+      answer.configs.push_back(
+          {std::move(candidate.tiles), candidate.predicted_runtime_s});
+    }
+    if (!answer.configs.empty()) {
+      answer.source = "model";
+      return answer;
+    }
+  }
+  answer.source = "none";
+  return answer;
+}
+
+}  // namespace tvmbo::transfer

@@ -1,0 +1,86 @@
+// Instant-config lookup: the read-only serving path behind the daemon's
+// `config_lookup` request.
+//
+// Answers "best configuration for (kernel, size, nthreads)" from two
+// sources, in order:
+//   1. cache — an in-memory index of best measured records, built from the
+//      shared PerfDatabase at startup and kept fresh by observe() as live
+//      tuning jobs complete;
+//   2. model — when no exact record exists and a cost model is attached,
+//      the model ranks a sampled candidate pool and returns the predicted
+//      top-k.
+// Neither path touches the worker fleet, a measurement, or the scheduler
+// lock: ConfigLookup has its own mutex and every query is a few map/string
+// operations (cache) or a bounded featurize+predict sweep (model), so
+// cached answers return in microseconds even while the daemon is tuning.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/perf_db.h"
+#include "transfer/cost_model.h"
+
+namespace tvmbo::transfer {
+
+struct LookupOptions {
+  std::size_t topk_cap = 16;     ///< server-side cap on requested top-k
+  std::size_t model_pool = 128;  ///< candidates ranked by the model path
+  std::uint64_t seed = 2023;     ///< candidate-sampling seed (determinism)
+};
+
+/// One answered configuration: measured (cache) or predicted (model).
+struct LookupAnswer {
+  std::string source;       ///< "cache", "model", or "none"
+  std::string workload_id;  ///< resolved id ("" when unresolvable)
+  std::int64_t nthreads = 1;
+  std::size_t cache_records = 0;  ///< records behind a cache answer
+  struct Candidate {
+    std::vector<std::int64_t> tiles;
+    double runtime_s = 0.0;  ///< measured (cache) or predicted (model)
+  };
+  std::vector<Candidate> configs;  ///< best first
+  std::string error;  ///< non-empty when the query itself is invalid
+};
+
+class ConfigLookup {
+ public:
+  explicit ConfigLookup(LookupOptions options = {});
+
+  /// Attaches (or replaces) the model fallback. The model must be fitted.
+  void set_model(std::shared_ptr<const CostModel> model);
+  bool has_model() const;
+
+  /// Indexes every valid record; returns how many entered the cache.
+  std::size_t load_database(const runtime::PerfDatabase& db);
+
+  /// Folds one live record into the cache (no-op for invalid records).
+  void observe(const runtime::TrialRecord& record);
+
+  std::size_t cache_size() const;
+
+  /// Answers (kernel, size, nthreads). `size` is a PolyBench dataset name
+  /// ("mini".."extralarge"); unknown kernels/sizes yield an error answer.
+  LookupAnswer lookup(const std::string& kernel, const std::string& size,
+                      std::int64_t nthreads, std::size_t topk) const;
+
+ private:
+  struct Entry {
+    std::vector<std::int64_t> tiles;
+    double runtime_s = 0.0;
+    std::size_t records = 0;  ///< valid records folded into this key
+  };
+  static std::string key(const std::string& workload_id,
+                         std::int64_t nthreads);
+
+  LookupOptions options_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<const CostModel> model_;
+  std::map<std::string, Entry> cache_;
+};
+
+}  // namespace tvmbo::transfer

@@ -1,0 +1,141 @@
+#include "transfer/model_store.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "transfer/features.h"
+
+namespace tvmbo::transfer {
+
+namespace {
+
+Json int_array(const std::vector<std::int64_t>& values) {
+  Json out = Json::array();
+  for (std::int64_t v : values) out.push_back(Json(v));
+  return out;
+}
+
+Json double_array(const std::vector<double>& values) {
+  Json out = Json::array();
+  for (double v : values) out.push_back(Json(v));
+  return out;
+}
+
+std::vector<std::int64_t> parse_int_array(const Json& json) {
+  std::vector<std::int64_t> out;
+  for (const Json& v : json.as_array()) out.push_back(v.as_int());
+  return out;
+}
+
+std::vector<double> parse_double_array(const Json& json) {
+  std::vector<double> out;
+  for (const Json& v : json.as_array()) out.push_back(v.as_double());
+  return out;
+}
+
+}  // namespace
+
+void save_model(const CostModel& model, const std::string& path) {
+  const CostModelOptions& options = model.options();
+  Json names = Json::array();
+  for (const std::string& name : feature_names()) {
+    names.push_back(Json(name));
+  }
+  Json samples = Json::array();
+  for (const TransferSample& sample : model.samples()) {
+    Json row = Json::object();
+    row.set("workload", Json(sample.workload_id));
+    row.set("kernel", Json(sample.kernel));
+    row.set("dims", int_array(sample.dims));
+    row.set("tiles", int_array(sample.tiles));
+    row.set("features", double_array(sample.features));
+    row.set("runtime_s", Json(sample.runtime_s));
+    row.set("nthreads", Json(sample.nthreads));
+    row.set("backend", Json(sample.backend));
+    samples.push_back(std::move(row));
+  }
+  Json doc = Json::object();
+  doc.set("v", Json(kModelFileVersion));
+  doc.set("feature_schema", Json(kFeatureSchemaVersion));
+  doc.set("learner", Json(options.learner));
+  doc.set("seed", Json(static_cast<std::int64_t>(options.seed)));
+  doc.set("refit_interval",
+          Json(static_cast<std::int64_t>(options.refit_interval)));
+  doc.set("feature_names", std::move(names));
+  doc.set("samples", std::move(samples));
+
+  std::ofstream stream(path, std::ios::trunc);
+  TVMBO_CHECK(stream.good())
+      << "cannot open '" << path << "' for writing";
+  stream << doc.dump_pretty() << '\n';
+  TVMBO_CHECK(stream.good()) << "write to '" << path << "' failed";
+}
+
+CostModel load_model(const std::string& path) {
+  std::ifstream stream(path);
+  TVMBO_CHECK(stream.good())
+      << "cannot open model file '" << path << "' for reading";
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  Json doc;
+  try {
+    doc = Json::parse(buffer.str());
+  } catch (const JsonParseError& e) {
+    TVMBO_CHECK(false) << "malformed model file '" << path
+                       << "': " << e.what();
+  }
+  const int version = static_cast<int>(doc.at("v").as_int());
+  TVMBO_CHECK_EQ(version, kModelFileVersion)
+      << "unsupported model file version v" << version << " in '" << path
+      << "' (this build reads v" << kModelFileVersion << ")";
+  const int feature_schema =
+      static_cast<int>(doc.at("feature_schema").as_int());
+
+  CostModelOptions options;
+  options.learner = doc.at("learner").as_string();
+  options.seed = static_cast<std::uint64_t>(doc.at("seed").as_int());
+  options.refit_interval =
+      static_cast<std::size_t>(doc.at("refit_interval").as_int());
+  CostModel model(options);
+
+  const bool refeaturize = feature_schema != kFeatureSchemaVersion;
+  std::size_t dropped = 0;
+  for (const Json& row : doc.at("samples").as_array()) {
+    TransferSample sample;
+    sample.workload_id = row.at("workload").as_string();
+    sample.kernel = row.at("kernel").as_string();
+    sample.dims = parse_int_array(row.at("dims"));
+    sample.tiles = parse_int_array(row.at("tiles"));
+    sample.runtime_s = row.at("runtime_s").as_double();
+    sample.nthreads = row.at("nthreads").as_int();
+    sample.backend = row.at("backend").as_string();
+    if (refeaturize) {
+      try {
+        sample.features =
+            featurize_config(sample.kernel, sample.dims, sample.tiles);
+      } catch (const std::exception&) {
+        ++dropped;
+        continue;
+      }
+    } else {
+      sample.features = parse_double_array(row.at("features"));
+    }
+    model.add(std::move(sample));
+  }
+  if (refeaturize) {
+    TVMBO_LOG(Warning) << "transfer model '" << path
+                       << "': re-featurized " << model.size()
+                       << " sample(s) from feature schema v"
+                       << feature_schema << " to v" << kFeatureSchemaVersion
+                       << (dropped > 0 ? " (" + std::to_string(dropped) +
+                                             " dropped)"
+                                       : "");
+  }
+  if (model.size() >= 2) model.fit();
+  return model;
+}
+
+}  // namespace tvmbo::transfer

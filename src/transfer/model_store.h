@@ -1,0 +1,36 @@
+// Versioned save/load for the cross-kernel cost model.
+//
+// The store serializes the *training set* (dataset replay), not the fitted
+// trees: CostModel::fit() is deterministic for a fixed sample order and
+// seed, so reloading the samples and refitting reproduces the model
+// bit-for-bit — with none of the fragility of serializing tree internals,
+// and the loaded model stays a live substrate for incremental observe()
+// refits as the daemon appends new trials.
+//
+// File format: one JSON object —
+//   {"v": 1, "feature_schema": 1, "learner": "gbt", "seed": ...,
+//    "refit_interval": ..., "feature_names": [...], "samples": [...]}
+// Each sample stores its provenance (workload, kernel, dims, tiles,
+// nthreads, backend) alongside the feature row, so a file written under an
+// older feature schema can be re-featurized on load instead of rejected.
+#pragma once
+
+#include <string>
+
+#include "transfer/cost_model.h"
+
+namespace tvmbo::transfer {
+
+/// Bump on incompatible file-layout changes.
+inline constexpr int kModelFileVersion = 1;
+
+/// Writes the model's samples + learner options to `path` (overwrites).
+void save_model(const CostModel& model, const std::string& path);
+
+/// Loads a model file and deterministically refits (when it holds >= 2
+/// samples). Throws CheckError on an unsupported file version or a
+/// structurally malformed file; samples written under an older feature
+/// schema are re-featurized from their stored (kernel, dims, tiles).
+CostModel load_model(const std::string& path);
+
+}  // namespace tvmbo::transfer

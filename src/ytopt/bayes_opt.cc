@@ -101,6 +101,20 @@ std::vector<cs::Configuration> BayesianOptimizer::propose(std::size_t n) {
   TVMBO_CHECK_GT(n, 0u) << "propose of zero configurations";
   std::vector<cs::Configuration> batch;
 
+  // Transfer seeds go first — before the random initial design — so a
+  // model-warm-started session spends its earliest (most valuable) trials
+  // on the predicted-best configurations. Their measurements flow through
+  // the normal tell() path and count toward the initial design.
+  while (batch.size() < n && !seeds_.empty()) {
+    cs::Configuration config = std::move(seeds_.front());
+    seeds_.erase(seeds_.begin());
+    if (mark_visited(config)) {
+      remember_pending(config);
+      batch.push_back(std::move(config));
+    }
+  }
+  if (batch.size() >= n) return batch;
+
   // Warmup phase (or surrogate unavailable): random design. Bounded
   // rejections: on an effectively exhausted space that is not fully
   // discrete (e.g. a conditional float pinned to its bound),
@@ -258,6 +272,13 @@ void BayesianOptimizer::warm_start(std::span<const tuners::Trial> prior) {
     mark_visited(trial.config);
   }
   Tuner::update(prior);
+}
+
+void BayesianOptimizer::seed_proposals(
+    std::vector<cs::Configuration> seeds) {
+  for (cs::Configuration& seed : seeds) {
+    seeds_.push_back(std::move(seed));
+  }
 }
 
 }  // namespace tvmbo::ytopt

@@ -70,6 +70,16 @@ class BayesianOptimizer final : public tuners::Tuner {
   void warm_start(std::span<const tuners::Trial> prior);
   void update(std::span<const tuners::Trial> trials) override;
 
+  /// Transfer learning (model-ranked seeding): queues configurations to
+  /// be proposed *first*, ahead of the random initial design — typically
+  /// the cross-kernel cost model's predicted top-k for this task. Seeds
+  /// are measured through the normal ask/tell cycle (so their results
+  /// count toward the initial design and train the first surrogate);
+  /// already-visited seeds are dropped at proposal time.
+  void seed_proposals(std::vector<cs::Configuration> seeds);
+  /// Seeds still queued for proposal.
+  std::size_t seed_count() const { return seeds_.size(); }
+
   bool surrogate_ready() const { return forest_.fitted(); }
   /// Surrogate prediction in runtime seconds (requires surrogate_ready()).
   surrogate::Prediction predict(const cs::Configuration& config) const;
@@ -99,6 +109,8 @@ class BayesianOptimizer final : public tuners::Tuner {
   /// refit's liar rows — and thus the forest's bootstrap draws —
   /// nondeterministic).
   std::vector<cs::Configuration> pending_;
+  /// Transfer seeds awaiting proposal, best-predicted first.
+  std::vector<cs::Configuration> seeds_;
   std::size_t last_local_ = 0;
 };
 

@@ -238,6 +238,73 @@ TEST(PerfDb, ConcurrentAppendersNeverTearRecords) {
   std::remove(path.c_str());
 }
 
+TEST(PerfDb, SchemaV2MetadataRoundTrips) {
+  PerfDatabase db;
+  TrialRecord record = make_record(0, "ytopt", 1.5);
+  record.backend = "jit";
+  record.nthreads = 4;
+  db.add(record);
+  const PerfDatabase restored =
+      PerfDatabase::from_json_lines(db.to_json_lines());
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored.record(0).schema, TrialRecord::kSchemaVersion);
+  EXPECT_EQ(restored.record(0).backend, "jit");
+  EXPECT_EQ(restored.record(0).nthreads, 4);
+}
+
+TEST(PerfDb, LegacyRecordsLoadWithDefaultedMetadata) {
+  // A pre-v2 file: no "v", no backend, no nthreads. It must load (schema
+  // stamped 1, metadata defaulted), not fail or mis-parse.
+  const std::string legacy =
+      "{\"i\": 0, \"strategy\": \"ytopt\", "
+      "\"workload\": \"lu/large[2000]\", \"config\": [400, 50], "
+      "\"runtime_s\": 1.25, \"compile_s\": 0.5, \"energy_j\": 0.0, "
+      "\"elapsed_s\": 2.0, \"valid\": true}\n";
+  const PerfDatabase loaded = PerfDatabase::from_json_lines(legacy);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.record(0).schema, 1);
+  EXPECT_EQ(loaded.record(0).backend, "");
+  EXPECT_EQ(loaded.record(0).nthreads, 1);
+  EXPECT_DOUBLE_EQ(loaded.record(0).runtime_s, 1.25);
+}
+
+TEST(PerfDb, MixedFormatFileLoadsBothGenerations) {
+  PerfDatabase db;
+  TrialRecord modern = make_record(1, "ytopt", 2.0);
+  modern.backend = "native";
+  modern.nthreads = 2;
+  db.add(modern);
+  const std::string legacy =
+      "{\"i\": 0, \"strategy\": \"ytopt\", "
+      "\"workload\": \"lu/large[2000]\", \"config\": [400, 50], "
+      "\"runtime_s\": 1.0, \"compile_s\": 0.0, \"energy_j\": 0.0, "
+      "\"elapsed_s\": 1.0, \"valid\": true}\n";
+  const PerfDatabase loaded =
+      PerfDatabase::from_json_lines(legacy + db.to_json_lines());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.record(0).schema, 1);
+  EXPECT_EQ(loaded.record(1).schema, TrialRecord::kSchemaVersion);
+  EXPECT_EQ(loaded.record(1).backend, "native");
+  EXPECT_EQ(loaded.record(1).nthreads, 2);
+}
+
+TEST(PerfDb, FutureSchemaVersionIsRejectedPerLine) {
+  // A record stamped with a newer schema than this build understands is
+  // skipped by the tolerant line loader, not silently half-parsed.
+  PerfDatabase db;
+  db.add(make_record(0, "ytopt", 1.0));
+  std::string lines = db.to_json_lines();
+  const std::string future =
+      "{\"v\": 99, \"i\": 1, \"strategy\": \"ytopt\", "
+      "\"workload\": \"lu/large[2000]\", \"config\": [400, 50], "
+      "\"runtime_s\": 9.0, \"compile_s\": 0.0, \"energy_j\": 0.0, "
+      "\"elapsed_s\": 1.0, \"valid\": true}\n";
+  const PerfDatabase loaded =
+      PerfDatabase::from_json_lines(lines + future);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.record(0).runtime_s, 1.0);
+}
+
 TEST(PerfDb, ByStrategyFilters) {
   PerfDatabase db;
   db.add(make_record(0, "a", 1.0));

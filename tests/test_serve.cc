@@ -200,6 +200,67 @@ TEST(Serve, SoloJobReproducesAsyncProcTrajectory) {
   }
 }
 
+// --- Instant-config lookup ------------------------------------------------
+
+/// config_lookup is the read-only fast path: once a job has measured a
+/// workload, the scheduler answers queries for it from the in-memory
+/// cache without dispatching any measurement — the trace gains
+/// config_lookup events but not a single new job_dispatch.
+TEST(Serve, LookupAnswersFromCacheWithoutDispatching) {
+  SKIP_WITHOUT_WORKER();
+  constexpr std::size_t kBudget = 8;
+  std::ostringstream trace_out;
+  runtime::TraceLog trace(&trace_out);
+
+  Scheduler scheduler(fast_options(1, &trace));
+  EXPECT_EQ(scheduler.lookup_cache_size(), 0u);
+
+  EventLog log;
+  const auto result =
+      scheduler.submit(gemm_spec(kBudget, 2023), log.sink());
+  ASSERT_TRUE(result.ok()) << result.message;
+  ASSERT_TRUE(log.wait_terminal());
+  // The job's completions fed the cache (best-per-workload keys).
+  EXPECT_GT(scheduler.lookup_cache_size(), 0u);
+
+  const auto count_events = [&](const std::string& name) {
+    std::istringstream replay(trace_out.str());
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(replay, line)) {
+      const Json event = Json::parse(line);
+      if (event.at("event").as_string() == name) ++n;
+    }
+    return n;
+  };
+  const std::size_t dispatches_before = count_events("job_dispatch");
+  ASSERT_GT(dispatches_before, 0u);
+
+  LookupSpec spec;
+  spec.kernel = "gemm";
+  spec.size = "mini";
+  spec.nthreads = 1;
+  spec.topk = 1;
+  for (int i = 0; i < 3; ++i) {
+    const Json reply = scheduler.lookup(spec);
+    ASSERT_EQ(reply.at("type").as_string(), "lookup_reply");
+    EXPECT_EQ(reply.at("source").as_string(), "cache");
+    ASSERT_EQ(reply.at("configs").as_array().size(), 1u);
+    EXPECT_GT(reply.at("configs").as_array()[0].at("runtime_s").as_double(),
+              0.0);
+  }
+  // A workload nobody measured (and no model loaded): an honest "none".
+  spec.kernel = "cholesky";
+  EXPECT_EQ(scheduler.lookup(spec).at("source").as_string(), "none");
+  // An unknown kernel: a typed error frame, not a dropped connection.
+  spec.kernel = "nope";
+  EXPECT_EQ(scheduler.lookup(spec).at("type").as_string(), "error");
+
+  EXPECT_EQ(count_events("job_dispatch"), dispatches_before)
+      << "config_lookup must never dispatch a measurement";
+  EXPECT_EQ(count_events("config_lookup"), 5u);
+}
+
 // --- Multiplexing and fair share ------------------------------------------
 
 TEST(Serve, ThreeConcurrentJobsShareFourWorkers) {

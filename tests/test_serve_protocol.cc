@@ -92,6 +92,42 @@ TEST(ServeProtocol, JobSpecRejectsBadFields) {
   rejects("negative timeout", bad_timeout);
 }
 
+TEST(ServeProtocol, LookupSpecRoundTrips) {
+  LookupSpec spec;
+  spec.kernel = "cholesky";
+  spec.size = "small";
+  spec.nthreads = 8;
+  spec.topk = 3;
+
+  const Json frame = spec.to_json();
+  EXPECT_EQ(frame.at("type").as_string(), "config_lookup");
+  const LookupSpec back = LookupSpec::from_json(frame);
+  EXPECT_EQ(back.kernel, spec.kernel);
+  EXPECT_EQ(back.size, spec.size);
+  EXPECT_EQ(back.nthreads, spec.nthreads);
+  EXPECT_EQ(back.topk, spec.topk);
+}
+
+TEST(ServeProtocol, LookupSpecRejectsBadFields) {
+  const auto rejects = [](const char* mutation, Json frame) {
+    EXPECT_THROW(LookupSpec::from_json(frame), std::exception) << mutation;
+  };
+  LookupSpec good;
+  good.kernel = "gemm";
+
+  Json no_kernel = good.to_json();
+  no_kernel.set("kernel", "");
+  rejects("empty kernel", no_kernel);
+
+  Json zero_topk = good.to_json();
+  zero_topk.set("topk", 0);
+  rejects("zero topk", zero_topk);
+
+  Json negative_threads = good.to_json();
+  negative_threads.set("nthreads", -1);
+  rejects("negative nthreads", negative_threads);
+}
+
 // --- Framing hardening (distd::read_frame max_bytes) ----------------------
 
 /// A connected socket pair for exercising read_frame against raw bytes.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "configspace/divisors.h"
+#include "framework/session.h"
 #include "kernels/polybench.h"
 #include "runtime/perf_db.h"
 #include "runtime/swing_sim.h"
@@ -148,6 +149,53 @@ TEST(WarmStart, FromPerfDatabaseRecords) {
   EXPECT_EQ(bo.history().size(), 10u);
   ASSERT_NE(bo.best(), nullptr);
   EXPECT_DOUBLE_EQ(bo.best()->runtime_s, 2.0);
+}
+
+TEST(WarmStart, SessionAccountsForSkippedRecords) {
+  // A realistic shared database holds records the current task cannot
+  // use: other workloads, and tiles saved under a different space. The
+  // session must seed what fits and report exactly what it skipped.
+  autotvm::Task task = kernels::make_task("lu", kernels::Dataset::kLarge);
+  const auto space = kernels::build_space("lu", {2000});
+  const std::string workload_id = task.workload.id();
+
+  runtime::PerfDatabase db;
+  Rng rng(21);
+  auto add_record = [&](const std::string& id,
+                        std::vector<std::int64_t> tiles) {
+    runtime::TrialRecord record;
+    record.eval_index = static_cast<std::int64_t>(db.size());
+    record.strategy = "ytopt";
+    record.workload_id = id;
+    record.tiles = std::move(tiles);
+    record.runtime_s = 2.0 + 0.01 * static_cast<double>(db.size());
+    record.valid = true;
+    db.add(record);
+  };
+  for (int i = 0; i < 5; ++i) {
+    add_record(workload_id, space.values_int(space.sample(rng)));
+  }
+  add_record("gemm/large[1000x1100x1200]", {8, 8});  // other workload
+  add_record("gemm/large[1000x1100x1200]", {4, 4});  // other workload
+  add_record(workload_id, {3, 50});                  // 3 does not divide 2000
+  add_record(workload_id, {400});                    // wrong arity
+
+  runtime::SwingSimDevice device(2023);
+  framework::SessionOptions options;
+  options.max_evaluations = 6;
+  options.seed = 3;
+  options.warm_start = &db;
+  const framework::SessionResult result =
+      framework::AutotuningSession(&task, &device, options)
+          .run(framework::StrategyKind::kYtopt);
+
+  EXPECT_EQ(result.warm_start.seeded, 5u);
+  EXPECT_EQ(result.warm_start.skipped_workload, 2u);
+  EXPECT_EQ(result.warm_start.skipped_space, 2u);
+  EXPECT_EQ(result.warm_start.total(), db.size());
+  // Prior trials seed the optimizer without consuming the measurement
+  // budget: the session still runs its own evaluations.
+  EXPECT_EQ(result.db.size(), 6u);
 }
 
 }  // namespace

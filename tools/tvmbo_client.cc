@@ -9,6 +9,11 @@
 //   tvmbo_client cancel --connect unix:/tmp/tvmbo.sock --job 3
 //   tvmbo_client list   --connect unix:/tmp/tvmbo.sock
 //
+//   # Instant-config lookup (never dispatches a measurement — answered
+//   # from the daemon's cache or its transfer model):
+//   tvmbo_client lookup --connect unix:/tmp/tvmbo.sock \
+//       --kernel lu --size large --nthreads 1 --topk 3
+//
 // submit options (defaults in parentheses):
 //   --kernel K      polybench kernel, required
 //   --size S        dataset (large)
@@ -31,6 +36,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "distd/protocol.h"
 #include "serve/client.h"
 
 using namespace tvmbo;
@@ -42,8 +48,10 @@ namespace {
                "usage: %s submit --connect ENDPOINT --kernel K [opts]\n"
                "       %s status --connect ENDPOINT --job N\n"
                "       %s cancel --connect ENDPOINT --job N\n"
-               "       %s list   --connect ENDPOINT\n",
-               argv0, argv0, argv0, argv0);
+               "       %s list   --connect ENDPOINT\n"
+               "       %s lookup --connect ENDPOINT --kernel K "
+               "[--size S] [--nthreads N] [--topk N]\n",
+               argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -78,6 +86,7 @@ int main(int argc, char** argv) {
   std::uint64_t job = 0;
   bool have_job = false;
   serve::JobSpec spec;
+  std::int64_t topk = 1;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,6 +121,8 @@ int main(int argc, char** argv) {
       spec.repeat = std::atoi(value().c_str());
     } else if (arg == "--timeout") {
       spec.timeout_s = std::atof(value().c_str());
+    } else if (arg == "--topk") {
+      topk = std::atoll(value().c_str());
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(argv[0]);
@@ -148,6 +159,19 @@ int main(int argc, char** argv) {
     if (command == "list") {
       std::printf("%s\n", serve::job_list(endpoint).dump().c_str());
       return 0;
+    }
+    if (command == "lookup") {
+      if (spec.kernel.empty()) usage(argv[0]);
+      serve::LookupSpec lookup;
+      lookup.kernel = spec.kernel;
+      lookup.size = spec.size;
+      lookup.nthreads = spec.nthreads;
+      lookup.topk = topk;
+      const Json reply = serve::config_lookup(endpoint, lookup);
+      std::printf("%s\n", reply.dump().c_str());
+      // "none" (no cached record, no model) is still exit 0: the query
+      // was valid, the daemon just has nothing to offer yet.
+      return distd::frame_type(reply) == "error" ? 2 : 0;
     }
   } catch (const CheckError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

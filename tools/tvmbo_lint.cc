@@ -38,6 +38,10 @@
 //                  space (default 4; 0 = all hardware threads)
 //   --seed N       sampling seed (default 2023)
 //   --verbose      print the lowered IR for accepted configs too
+//   --features     with --tiles: instead of linting, print the transfer
+//                  feature vector (src/transfer/features.h) extracted
+//                  from the configured schedule's lowered IR — the exact
+//                  columns the cross-kernel cost model trains on
 //
 // Exit status: 0 when every linted configuration is clean, 1 when any
 // violation was found, 2 on usage errors.
@@ -51,6 +55,7 @@
 #include "kernels/polybench.h"
 #include "kernels/te_programs.h"
 #include "te/printer.h"
+#include "transfer/features.h"
 
 using namespace tvmbo;
 
@@ -67,13 +72,14 @@ struct Args {
   std::int64_t threads = 4;
   std::uint64_t seed = 2023;
   bool verbose = false;
+  bool features = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--kernel K|all] [--size S] [--tiles a,b,...] "
                "[--sweep] [--samples N] [--exhaustive] [--threads N] "
-               "[--seed N] [--verbose]\n",
+               "[--seed N] [--verbose] [--features]\n",
                argv0);
   std::exit(2);
 }
@@ -109,7 +115,12 @@ Args parse(int argc, char** argv) {
     else if (flag == "--threads") args.threads = std::stoll(value());
     else if (flag == "--seed") args.seed = std::stoull(value());
     else if (flag == "--verbose") args.verbose = true;
+    else if (flag == "--features") args.features = true;
     else usage(argv[0]);
+  }
+  if (args.features && !args.have_tiles) {
+    std::fprintf(stderr, "error: --features requires --tiles\n");
+    std::exit(2);
   }
   if (!args.have_tiles && !args.sweep) usage(argv[0]);
   if (args.have_tiles && args.sweep) {
@@ -257,6 +268,27 @@ int main(int argc, char** argv) {
       return 2;
     }
     kernel_list = {args.kernel};
+  }
+
+  if (args.features) {
+    const std::string& kernel = kernel_list[0];
+    const std::vector<std::int64_t> dims = kernels::polybench_dims(
+        kernel, kernels::dataset_from_name(args.size));
+    std::vector<double> values;
+    try {
+      values = transfer::featurize_config(kernel, dims, args.tiles);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    const std::vector<std::string>& names = transfer::feature_names();
+    std::printf("features: %s %s tiles=%s (schema v%d)\n", kernel.c_str(),
+                args.size.c_str(), tiles_to_string(args.tiles).c_str(),
+                transfer::kFeatureSchemaVersion);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::printf("  %-26s %.6f\n", names[i].c_str(), values[i]);
+    }
+    return 0;
   }
 
   std::size_t total_violations = 0;

@@ -16,7 +16,10 @@
 //   --socket PATH    unix-domain socket path (default transport)
 //   --tcp PORT       loopback TCP instead (0 = ephemeral)
 //   --workers N      worker fleet size (default 2)
-//   --db FILE        global cross-tenant JSONL perf database
+//   --db FILE        global cross-tenant JSONL perf database; existing
+//                    records also warm the config_lookup cache
+//   --model FILE     saved transfer model (tvmbo_transfer train) backing
+//                    config_lookup's predicted-top-k fallback
 //   --trace FILE     lifecycle/trial trace log (JSONL)
 //   --max-active N   global active-job cap (default 16, 0 = unlimited)
 //   --tenant-quota N per-tenant active-job cap (default 4, 0 = unlimited)
@@ -48,7 +51,7 @@ void handle_signal(int) { g_stop = 1; }
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--socket PATH | --tcp PORT) [--workers N] "
-               "[--db FILE] [--trace FILE] [--max-active N] "
+               "[--db FILE] [--model FILE] [--trace FILE] [--max-active N] "
                "[--tenant-quota N] [--max-budget N] [--worker-bin P]\n",
                argv0);
   std::exit(2);
@@ -81,6 +84,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoi(value().c_str()));
     } else if (arg == "--db") {
       sched_opts.perf_db_path = value();
+    } else if (arg == "--model") {
+      sched_opts.transfer_model_path = value();
     } else if (arg == "--trace") {
       trace_path = value();
     } else if (arg == "--max-active") {

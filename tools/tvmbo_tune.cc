@@ -39,7 +39,15 @@
 //               (default $TVMBO_JIT_CACHE, else <tmp>/tvmbo-jit-cache)
 //   --warm-start F seed ytopt with the records of a prior run's perf
 //               database (the <out>_db.jsonl of that run); records for
-//               other workloads or spaces are skipped
+//               other workloads or spaces are skipped (counts of seeded
+//               vs skipped records are printed per strategy)
+//   --transfer F rank configurations with a saved cross-kernel transfer
+//               model (tvmbo_transfer train) and queue the predicted
+//               top-k as ytopt's first — measured — proposals; works
+//               for kernels the model never saw (the features are
+//               kernel-agnostic)
+//   --transfer-topk N  how many model-ranked seeds to queue (default 5)
+//   --transfer-pool N  candidate pool the model ranks (default 256)
 //   --threads N add parallel-schedule knobs (parallel_axis, threads) to
 //               the tuned space for --device cpu with a TE-program backend
 //               (interp/closure/jit). N caps the thread-count candidates;
@@ -95,6 +103,8 @@
 #include "runtime/exec_backend.h"
 #include "runtime/swing_sim.h"
 #include "runtime/trace_log.h"
+#include "transfer/cost_model.h"
+#include "transfer/model_store.h"
 
 using namespace tvmbo;
 
@@ -118,6 +128,9 @@ struct Args {
   std::string backend = "native";
   std::string jit_cache;
   std::string warm_start;
+  std::string transfer;
+  std::size_t transfer_topk = 5;
+  std::size_t transfer_pool = 256;
   std::int64_t threads = 1;
   bool vectorize = false;
   bool unroll = false;
@@ -136,7 +149,8 @@ struct Args {
                "[--out PREFIX] [--parallel] [--async] [--ytopt-batch N] "
                "[--retries N] [--trace FILE] "
                "[--backend native|interp|closure|jit] [--jit-cache DIR] "
-               "[--warm-start DB.jsonl] [--threads N] "
+               "[--warm-start DB.jsonl] [--transfer MODEL.json] "
+               "[--transfer-topk N] [--transfer-pool N] [--threads N] "
                "[--vectorize] [--unroll] [--pack] "
                "[--runner local|proc] [--workers N] [--timeout S] "
                "[--screen]\n",
@@ -169,6 +183,9 @@ Args parse(int argc, char** argv) {
     else if (flag == "--backend") args.backend = value();
     else if (flag == "--jit-cache") args.jit_cache = value();
     else if (flag == "--warm-start") args.warm_start = value();
+    else if (flag == "--transfer") args.transfer = value();
+    else if (flag == "--transfer-topk") args.transfer_topk = std::stoul(value());
+    else if (flag == "--transfer-pool") args.transfer_pool = std::stoul(value());
     else if (flag == "--threads") args.threads = std::stoll(value());
     else if (flag == "--vectorize") args.vectorize = true;
     else if (flag == "--unroll") args.unroll = true;
@@ -280,6 +297,24 @@ int main(int argc, char** argv) {
     std::printf("warm start: %zu prior record(s) from %s\n", warm_db.size(),
                 args.warm_start.c_str());
   }
+  std::unique_ptr<transfer::CostModel> transfer_model;
+  if (!args.transfer.empty()) {
+    transfer_model = std::make_unique<transfer::CostModel>(
+        transfer::load_model(args.transfer));
+    if (!transfer_model->fitted()) {
+      std::fprintf(stderr,
+                   "error: transfer model %s has too few samples to rank\n",
+                   args.transfer.c_str());
+      return 2;
+    }
+    options.transfer_model = transfer_model.get();
+    options.transfer_topk = args.transfer_topk;
+    options.transfer_pool = args.transfer_pool;
+    std::printf("transfer: model from %s (%zu sample(s))\n",
+                args.transfer.c_str(), transfer_model->size());
+  }
+  options.record_backend = args.device == "sim" ? "sim" : args.backend;
+  options.record_nthreads = args.threads;
   framework::AutotuningSession session(&task, device, options);
 
   std::vector<framework::SessionResult> results;
@@ -303,6 +338,24 @@ int main(int argc, char** argv) {
       std::printf("%s: analysis rejects: %zu of %zu evaluation(s)\n",
                   result.strategy.c_str(), result.analysis_rejects,
                   result.evaluations);
+    }
+  }
+
+  if (!args.warm_start.empty()) {
+    for (const framework::SessionResult& result : results) {
+      const framework::WarmStartStats& ws = result.warm_start;
+      std::printf(
+          "%s: warm start seeded %zu record(s), skipped %zu "
+          "(%zu other workload, %zu out of space)\n",
+          result.strategy.c_str(), ws.seeded,
+          ws.skipped_workload + ws.skipped_space, ws.skipped_workload,
+          ws.skipped_space);
+    }
+  }
+  if (!args.transfer.empty()) {
+    for (const framework::SessionResult& result : results) {
+      std::printf("%s: transfer queued %zu model-ranked seed(s)\n",
+                  result.strategy.c_str(), result.transfer_seeds);
     }
   }
 
