@@ -66,6 +66,14 @@ bool AffineForm::is_constant() const {
   return true;
 }
 
+void AffineForm::canonicalize() {
+  std::sort(terms.begin(), terms.end(),
+            [](const std::pair<const te::VarNode*, std::int64_t>& a,
+               const std::pair<const te::VarNode*, std::int64_t>& b) {
+              return a.first->id < b.first->id;
+            });
+}
+
 AffineForm analyze_affine(const te::ExprNode* expr) {
   AffineForm non_affine;
   non_affine.affine = false;
@@ -133,86 +141,94 @@ const std::int64_t* VarRanges::extent_of(const te::VarNode* var) const {
   return nullptr;
 }
 
-void collect_constraints(const te::Expr& condition,
-                         std::vector<AffineForm>& out) {
-  if (!condition) return;
+bool collect_constraints_checked(const te::Expr& condition,
+                                 std::vector<AffineForm>& out) {
+  if (!condition) return true;
   switch (condition->kind()) {
     case te::ExprKind::kCompare: {
       const auto* node = static_cast<const te::CompareNode*>(condition.get());
       AffineForm a = analyze_affine(node->a.get());
       AffineForm b = analyze_affine(node->b.get());
-      if (!a.affine || !b.affine) return;
+      if (!a.affine || !b.affine) return false;
       // Normalize each compare to `h >= 0`.
       switch (node->op) {
         case te::CmpOp::kLt: {  // a < b  ==>  b - a - 1 >= 0
           AffineForm h = affine_sub(b, a);
           h.constant -= 1;
           out.push_back(std::move(h));
-          return;
+          return true;
         }
         case te::CmpOp::kLe:  // a <= b  ==>  b - a >= 0
           out.push_back(affine_sub(b, a));
-          return;
+          return true;
         case te::CmpOp::kGt: {  // a > b  ==>  a - b - 1 >= 0
           AffineForm h = affine_sub(a, b);
           h.constant -= 1;
           out.push_back(std::move(h));
-          return;
+          return true;
         }
         case te::CmpOp::kGe:  // a >= b  ==>  a - b >= 0
           out.push_back(affine_sub(a, b));
-          return;
+          return true;
         case te::CmpOp::kEq:  // both directions
           out.push_back(affine_sub(b, a));
           out.push_back(affine_sub(a, b));
-          return;
+          return true;
         case te::CmpOp::kNe:  // disjunction: no single affine constraint
-          return;
+          return false;
       }
-      return;
+      return false;
     }
     case te::ExprKind::kSelect: {
       // logical_and(a, b) lowers to select(a, b, 0): both conjuncts hold
       // when the whole select is truthy.
       const auto* node = static_cast<const te::SelectNode*>(condition.get());
       if (te::is_const_int(node->false_value, 0)) {
-        collect_constraints(node->condition, out);
-        collect_constraints(node->true_value, out);
+        const bool exact_a = collect_constraints_checked(node->condition, out);
+        const bool exact_b =
+            collect_constraints_checked(node->true_value, out);
+        return exact_a && exact_b;
       }
-      return;
+      return false;
     }
     default:
-      return;
+      return false;
   }
 }
 
-void collect_negated_constraints(const te::Expr& condition,
-                                 std::vector<AffineForm>& out) {
-  if (!condition) return;
+void collect_constraints(const te::Expr& condition,
+                         std::vector<AffineForm>& out) {
+  collect_constraints_checked(condition, out);
+}
+
+bool collect_negated_constraints_checked(const te::Expr& condition,
+                                         std::vector<AffineForm>& out) {
+  if (!condition) return true;
   if (condition->kind() != te::ExprKind::kCompare) {
     // !(a && b) is a disjunction — nothing conservative to add.
-    return;
+    return false;
   }
   const auto* node = static_cast<const te::CompareNode*>(condition.get());
   switch (node->op) {
     case te::CmpOp::kLt:
-      collect_constraints(te::ge(node->a, node->b), out);
-      return;
+      return collect_constraints_checked(te::ge(node->a, node->b), out);
     case te::CmpOp::kLe:
-      collect_constraints(te::gt(node->a, node->b), out);
-      return;
+      return collect_constraints_checked(te::gt(node->a, node->b), out);
     case te::CmpOp::kGt:
-      collect_constraints(te::le(node->a, node->b), out);
-      return;
+      return collect_constraints_checked(te::le(node->a, node->b), out);
     case te::CmpOp::kGe:
-      collect_constraints(te::lt(node->a, node->b), out);
-      return;
+      return collect_constraints_checked(te::lt(node->a, node->b), out);
     case te::CmpOp::kEq:  // negates to !=, which adds nothing
-      return;
+      return false;
     case te::CmpOp::kNe:
-      collect_constraints(te::eq(node->a, node->b), out);
-      return;
+      return collect_constraints_checked(te::eq(node->a, node->b), out);
   }
+  return false;
+}
+
+void collect_negated_constraints(const te::Expr& condition,
+                                 std::vector<AffineForm>& out) {
+  collect_negated_constraints_checked(condition, out);
 }
 
 Interval affine_range(const AffineForm& form, const VarRanges& ranges) {

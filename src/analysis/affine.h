@@ -42,6 +42,12 @@ struct AffineForm {
   std::int64_t coeff(const te::VarNode* var) const;
   /// True when the form has no variable with a non-zero coefficient.
   bool is_constant() const;
+  /// Sorts terms by the var's stable id, so syntactically different
+  /// spellings of the same form (`i + j` vs `j + i`) become one canonical
+  /// shape. The dependence analyzer canonicalizes residual forms before
+  /// instancing and the proof cache before hashing; lowering must NOT
+  /// (pack-path expr reconstruction depends on source term order).
+  void canonicalize();
 };
 
 /// Decomposes `expr` into an AffineForm (add/sub/mul-by-constant over vars
@@ -85,11 +91,26 @@ class VarRanges {
 void collect_constraints(const te::Expr& condition,
                          std::vector<AffineForm>& out);
 
+/// Like collect_constraints, but also reports whether the condition was
+/// captured *exactly* (every conjunct became an affine constraint). The
+/// exact dependence solver needs this: a satisfying point of relaxed
+/// guards may not correspond to a real execution, so "proven racy"
+/// claims are only made when the guards were exact (disjointness proofs
+/// stay sound either way — dropping constraints only enlarges the
+/// system's solution set).
+bool collect_constraints_checked(const te::Expr& condition,
+                                 std::vector<AffineForm>& out);
+
 /// Appends the constraints implied by `condition` being *false* (for else
 /// branches): the negation of a single compare. Conjunctions negate to
 /// disjunctions and contribute nothing.
 void collect_negated_constraints(const te::Expr& condition,
                                  std::vector<AffineForm>& out);
+
+/// Exactness-reporting variant of collect_negated_constraints (see
+/// collect_constraints_checked).
+bool collect_negated_constraints_checked(const te::Expr& condition,
+                                         std::vector<AffineForm>& out);
 
 /// Range of `form` with every var spanning [0, extent-1]. A var with an
 /// unknown extent and a non-zero coefficient makes the interval unbounded.

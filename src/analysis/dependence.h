@@ -4,7 +4,7 @@
 // A loop is race-free when no two distinct iterations touch the same
 // tensor element with at least one write. For every write/access pair on
 // the same tensor (W-W and W-R, including the pair of an access with
-// itself) the prover tries, per tensor dimension:
+// itself) the prover tries, cheapest rule first:
 //
 //  * the **coefficient rule** — when both index maps carry the same
 //    non-zero coefficient `c` on the loop var, the index difference
@@ -20,15 +20,36 @@
 //    This is the proof for the triangular guards of LU/Cholesky: a write
 //    to column j guarded by `j > k` cannot alias a read of column k.
 //
-// Tensors Realize'd *inside* the loop body are per-iteration private
-// buffers and are excluded. Shared outer loop vars are NOT instanced, so
-// symbolic cancellation keeps the proofs exact even when outer extents
-// are unknown.
+//  * the **exact solver** (presburger.h) — when the interval rules are
+//    inconclusive, the pair's aliasing condition (index equalities per
+//    dimension, guard constraints, iteration distinctness, with
+//    floordiv/mod by positive constants linearized through auxiliary
+//    quotient/remainder variables) is decided exactly. UNSAT proves the
+//    pair disjoint (coupled indices like `c1*i + c2*j` and split-tail
+//    modulo residues prove here); SAT yields a concrete iteration pair
+//    which is *validated* by replaying the original index expressions
+//    (witness.h) before the loop is reported racy; a solver budget hit
+//    leaves the pair — and the loop — kUnknown.
+//
+// Verdicts are three-valued (Verdict): kSafe with a proof, kRacy with a
+// replay-validated counterexample Witness, or kUnknown (never a guess).
+// Results are memoized in the structural proof cache (proof_cache.h):
+// the per-loop key normalizes loop annotations and canonicalizes index
+// forms, so isomorphic loops across schedule configs prove only once.
+//
+// Tensors Realize'd *inside* the loop body are rejected outright (the
+// closure tier shares one buffer across iterations), reported kRacy
+// without an elementwise witness. Shared outer loop vars are NOT
+// instanced, so symbolic cancellation keeps the proofs exact even when
+// outer extents are unknown.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/presburger.h"
+#include "analysis/witness.h"
 #include "te/ir.h"
 
 namespace tvmbo::analysis {
@@ -38,17 +59,49 @@ namespace tvmbo::analysis {
 /// preserve sequential order and never do.
 bool kind_requires_race_proof(te::ForKind kind);
 
+/// Three-valued outcome of a race-freedom query.
+enum class Verdict {
+  kSafe,     ///< proven: no two distinct iterations conflict
+  kRacy,     ///< proven: a concrete conflicting iteration pair exists
+  kUnknown,  ///< undecided: a solver work bound was hit
+};
+
+const char* verdict_name(Verdict verdict);
+
 /// Proof outcome for one proof-requiring loop.
 struct LoopProof {
   const te::ForNode* loop = nullptr;
+  /// Convenience mirror of `verdict == kSafe`; annotate/lower gate on it.
   bool proven = false;
+  Verdict verdict = Verdict::kUnknown;
   std::string detail;  ///< how it was proven, or the first failing pair
+  /// Replay-validated counterexample; present for solver-found races
+  /// (absent for realize-inside rejections, which race on a whole shared
+  /// buffer rather than one element).
+  std::optional<Witness> witness;
 };
 
-/// Proves (or fails to prove) race freedom for every loop in `root` whose
-/// kind requires it. Analysis runs from the root so outer loop vars keep
-/// their extents and guards.
+/// Knobs for one analysis run. The proof cache only serves queries made
+/// with default options so non-default solver budgets can never pollute
+/// cached verdicts.
+struct DependenceOptions {
+  SolverLimits solver;
+  bool use_cache = true;
+
+  bool cacheable() const {
+    const SolverLimits defaults;
+    return use_cache &&
+           solver.max_fme_constraints == defaults.max_fme_constraints &&
+           solver.max_search_nodes == defaults.max_search_nodes;
+  }
+};
+
+/// Proves (or refutes, or gives up on) race freedom for every loop in
+/// `root` whose kind requires it. Analysis runs from the root so outer
+/// loop vars keep their extents and guards.
 std::vector<LoopProof> analyze_parallel_loops(const te::Stmt& root);
+std::vector<LoopProof> analyze_parallel_loops(const te::Stmt& root,
+                                              const DependenceOptions& options);
 
 /// The kParallel loops of `root` with a successful race-freedom proof,
 /// identified by node address — codegen gates OpenMP pragma emission on
@@ -63,9 +116,10 @@ std::vector<const te::ForNode*> proven_vectorized_loops(
     const te::Stmt& root);
 
 /// Throws CheckError (rule `parallel-loop-race`) unless the loop bound by
-/// `loop_var` in `root` is proven race-free. A loop whose kind needs no
-/// proof passes trivially. `context` names the caller (schedule primitive
-/// or lowering stage) in the error message.
+/// `loop_var` in `root` is proven race-free — a kRacy verdict embeds the
+/// witness in the message, a kUnknown verdict says so. A loop whose kind
+/// needs no proof passes trivially. `context` names the caller (schedule
+/// primitive or lowering stage) in the error message.
 void require_race_free(const te::Stmt& root, const te::Var& loop_var,
                        const std::string& context);
 

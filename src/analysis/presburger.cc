@@ -1,0 +1,467 @@
+#include "analysis/presburger.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "common/logging.h"
+
+namespace tvmbo::analysis {
+namespace {
+
+using Wide = __int128;
+
+constexpr std::int64_t kCoeffLimit = std::int64_t{1} << 62;
+
+std::int64_t clamp_wide(Wide v) {
+  if (v > Wide(kCoeffLimit)) return kCoeffLimit;
+  if (v < -Wide(kCoeffLimit)) return -kCoeffLimit;
+  return static_cast<std::int64_t>(v);
+}
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  a = a < 0 ? -a : a;
+  b = b < 0 ? -b : b;
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+// floor(a / b) for b > 0.
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b) != 0 && a < 0) --q;
+  return q;
+}
+
+// ceil(a / b) for b > 0.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b) != 0 && a > 0) ++q;
+  return q;
+}
+
+/// One inequality sum(coeffs * x) + constant >= 0 over dense var indices.
+struct Ineq {
+  std::vector<std::int64_t> coeffs;
+  std::int64_t constant = 0;
+};
+
+/// Divides by the gcd of the coefficients and floors the constant — exact
+/// for integer solutions (Omega's "integer tightening" normalization).
+void tighten(Ineq& q) {
+  std::int64_t g = 0;
+  for (std::int64_t c : q.coeffs) g = gcd64(g, c);
+  if (g <= 1) return;
+  for (std::int64_t& c : q.coeffs) c /= g;
+  q.constant = floor_div(q.constant, g);
+}
+
+bool is_constant(const Ineq& q) {
+  return std::all_of(q.coeffs.begin(), q.coeffs.end(),
+                     [](std::int64_t c) { return c == 0; });
+}
+
+struct Domain {
+  std::int64_t lo;
+  std::int64_t hi;
+  bool empty() const { return lo > hi; }
+};
+
+/// Bounds-consistency propagation of `ineqs` over `domains` to a fixpoint
+/// (pass-capped; propagation only ever shrinks, so capping stays sound).
+/// Returns false when some domain empties (the system is UNSAT).
+bool propagate(const std::vector<Ineq>& ineqs, std::vector<Domain>& domains) {
+  for (int pass = 0; pass < 100; ++pass) {
+    bool changed = false;
+    for (const Ineq& q : ineqs) {
+      // Max achievable value of the affine form over current domains.
+      Wide smax = q.constant;
+      for (std::size_t v = 0; v < q.coeffs.size(); ++v) {
+        const std::int64_t c = q.coeffs[v];
+        if (c > 0) {
+          smax += Wide(c) * domains[v].hi;
+        } else if (c < 0) {
+          smax += Wide(c) * domains[v].lo;
+        }
+      }
+      if (smax < 0) return false;
+      for (std::size_t v = 0; v < q.coeffs.size(); ++v) {
+        const std::int64_t c = q.coeffs[v];
+        if (c == 0) continue;
+        // smax without v's max contribution: c*x_v + rest_max >= 0 must
+        // hold, so x_v is bounded by -rest_max / c.
+        const Wide contrib =
+            c > 0 ? Wide(c) * domains[v].hi : Wide(c) * domains[v].lo;
+        const Wide rest = smax - contrib;
+        if (c > 0) {
+          // x_v >= ceil(-rest / c)
+          const Wide bound_num = -rest;
+          if (bound_num > Wide(kCoeffLimit)) return false;
+          const std::int64_t nb =
+              ceil_div(clamp_wide(bound_num), c);
+          if (nb > domains[v].lo) {
+            domains[v].lo = nb;
+            changed = true;
+          }
+        } else {
+          // x_v <= floor(rest / -c)
+          Wide bound_num = rest;
+          if (bound_num > Wide(kCoeffLimit)) bound_num = Wide(kCoeffLimit);
+          const std::int64_t nb =
+              floor_div(clamp_wide(bound_num), -c);
+          if (nb < domains[v].hi) {
+            domains[v].hi = nb;
+            changed = true;
+          }
+        }
+        if (domains[v].empty()) return false;
+      }
+    }
+    if (!changed) break;
+  }
+  return true;
+}
+
+/// Fourier–Motzkin refutation with integer tightening. Returns true when
+/// the system is proven UNSAT; false means "no conclusion" (either the
+/// projection stayed satisfiable or the working set blew past the limit).
+bool fme_refutes(std::vector<Ineq> work, std::size_t num_vars,
+                 const std::vector<Domain>& domains,
+                 const SolverLimits& limits) {
+  // Var bounds participate as ordinary inequalities.
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    Ineq lo;
+    lo.coeffs.assign(num_vars, 0);
+    lo.coeffs[v] = 1;
+    lo.constant = -domains[v].lo;
+    work.push_back(std::move(lo));
+    Ineq hi;
+    hi.coeffs.assign(num_vars, 0);
+    hi.coeffs[v] = -1;
+    hi.constant = domains[v].hi;
+    work.push_back(std::move(hi));
+  }
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    std::vector<Ineq> lower, upper, rest;
+    for (Ineq& q : work) {
+      if (q.coeffs[v] > 0) {
+        lower.push_back(std::move(q));
+      } else if (q.coeffs[v] < 0) {
+        upper.push_back(std::move(q));
+      } else {
+        rest.push_back(std::move(q));
+      }
+    }
+    if (rest.size() + lower.size() * upper.size() >
+        limits.max_fme_constraints) {
+      return false;  // abandoned, not refuted
+    }
+    work = std::move(rest);
+    for (const Ineq& l : lower) {
+      for (const Ineq& u : upper) {
+        const std::int64_t al = l.coeffs[v];
+        const std::int64_t au = -u.coeffs[v];
+        Ineq combined;
+        combined.coeffs.assign(num_vars, 0);
+        bool overflow = false;
+        for (std::size_t i = 0; i < num_vars; ++i) {
+          const Wide c = Wide(au) * l.coeffs[i] + Wide(al) * u.coeffs[i];
+          if (c > Wide(kCoeffLimit) || c < -Wide(kCoeffLimit)) {
+            overflow = true;
+            break;
+          }
+          combined.coeffs[i] = static_cast<std::int64_t>(c);
+        }
+        const Wide k = Wide(au) * l.constant + Wide(al) * u.constant;
+        if (overflow || k > Wide(kCoeffLimit) || k < -Wide(kCoeffLimit)) {
+          return false;  // coefficients out of range: abandon
+        }
+        combined.constant = static_cast<std::int64_t>(k);
+        tighten(combined);
+        if (is_constant(combined)) {
+          if (combined.constant < 0) return true;  // 0 >= -k with k < 0
+          continue;
+        }
+        work.push_back(std::move(combined));
+      }
+    }
+  }
+  for (const Ineq& q : work) {
+    if (is_constant(q) && q.constant < 0) return true;
+  }
+  return false;
+}
+
+/// Complete bounded DFS: enumerate the propagated domains, propagating
+/// after every assignment. Exact when it finishes; kUnknown on budget.
+struct Searcher {
+  const std::vector<Ineq>& ineqs;
+  /// Vars with a non-zero coefficient somewhere; only these need
+  /// branching. Unconstrained vars keep their domain lo in the answer.
+  const std::vector<char>& constrained;
+  std::size_t budget;
+  std::size_t nodes = 0;
+
+  SolveStatus search(std::vector<Domain> domains,
+                     std::vector<std::int64_t>& out) {
+    if (!propagate(ineqs, domains)) return SolveStatus::kUnsat;
+    // Pick the unassigned constrained var with the smallest domain; a var
+    // is "assigned" when its domain is a point.
+    std::size_t pick = domains.size();
+    unsigned __int128 best = 0;
+    for (std::size_t v = 0; v < domains.size(); ++v) {
+      if (!constrained[v]) continue;
+      const unsigned __int128 width =
+          static_cast<unsigned __int128>(Wide(domains[v].hi) -
+                                         Wide(domains[v].lo));
+      if (width == 0) continue;
+      if (pick == domains.size() || width < best) {
+        pick = v;
+        best = width;
+      }
+    }
+    if (pick == domains.size()) {
+      // Full assignment: double-check every constraint exactly.
+      for (const Ineq& q : ineqs) {
+        Wide sum = q.constant;
+        for (std::size_t v = 0; v < domains.size(); ++v) {
+          sum += Wide(q.coeffs[v]) * domains[v].lo;
+        }
+        if (sum < 0) return SolveStatus::kUnsat;
+      }
+      out.resize(domains.size());
+      for (std::size_t v = 0; v < domains.size(); ++v) {
+        out[v] = domains[v].lo;
+      }
+      return SolveStatus::kSat;
+    }
+    const Domain range = domains[pick];
+    for (std::int64_t value = range.lo; value <= range.hi; ++value) {
+      if (++nodes > budget) return SolveStatus::kUnknown;
+      std::vector<Domain> child = domains;
+      child[pick] = {value, value};
+      const SolveStatus status = search(std::move(child), out);
+      if (status != SolveStatus::kUnsat) return status;
+    }
+    return SolveStatus::kUnsat;
+  }
+};
+
+}  // namespace
+
+std::size_t PresburgerSystem::add_var(std::string name, std::int64_t lo,
+                                      std::int64_t hi) {
+  TVMBO_CHECK_LE(lo, hi) << "presburger var '" << name
+                         << "' has an empty domain";
+  vars_.push_back({std::move(name), lo, hi});
+  return vars_.size() - 1;
+}
+
+void PresburgerSystem::add_inequality(std::vector<std::int64_t> coeffs,
+                                      std::int64_t constant) {
+  TVMBO_CHECK_LE(coeffs.size(), vars_.size())
+      << "inequality names an unknown var";
+  constraints_.push_back({std::move(coeffs), constant, /*equality=*/false});
+}
+
+void PresburgerSystem::add_equality(std::vector<std::int64_t> coeffs,
+                                    std::int64_t constant) {
+  TVMBO_CHECK_LE(coeffs.size(), vars_.size())
+      << "equality names an unknown var";
+  constraints_.push_back({std::move(coeffs), constant, /*equality=*/true});
+}
+
+SolveResult PresburgerSystem::solve(const SolverLimits& limits) const {
+  SolveResult result;
+  const std::size_t n = vars_.size();
+
+  // Densify.
+  std::vector<Ineq> ineqs;
+  struct Equality {
+    std::vector<std::int64_t> coeffs;
+    std::int64_t constant;
+  };
+  std::vector<Equality> equalities;
+  for (const Constraint& c : constraints_) {
+    std::vector<std::int64_t> dense(n, 0);
+    std::copy(c.coeffs.begin(), c.coeffs.end(), dense.begin());
+    if (c.equality) {
+      equalities.push_back({std::move(dense), c.constant});
+    } else {
+      ineqs.push_back({std::move(dense), c.constant});
+    }
+  }
+
+  // Equality normalization: substitute out vars carrying a unit
+  // coefficient (exact, Omega-style); GCD-test the rest and keep them as
+  // inequality pairs.
+  //
+  // A substitution records x_v = sum(coeffs * x) + constant; they are
+  // replayed in reverse at the end to reconstruct the full assignment.
+  struct Substitution {
+    std::size_t var;
+    std::vector<std::int64_t> coeffs;
+    std::int64_t constant;
+  };
+  std::vector<Substitution> subs;
+  std::vector<bool> eliminated(n, false);
+
+  auto substitute_into = [&](std::vector<std::int64_t>& coeffs,
+                             std::int64_t& constant,
+                             const Substitution& sub) -> bool {
+    const std::int64_t factor = coeffs[sub.var];
+    if (factor == 0) return true;
+    coeffs[sub.var] = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Wide c = Wide(coeffs[i]) + Wide(factor) * sub.coeffs[i];
+      if (c > Wide(kCoeffLimit) || c < -Wide(kCoeffLimit)) return false;
+      coeffs[i] = static_cast<std::int64_t>(c);
+    }
+    const Wide k = Wide(constant) + Wide(factor) * sub.constant;
+    if (k > Wide(kCoeffLimit) || k < -Wide(kCoeffLimit)) return false;
+    constant = static_cast<std::int64_t>(k);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && !equalities.empty()) {
+    progress = false;
+    for (std::size_t e = 0; e < equalities.size(); ++e) {
+      Equality& eq = equalities[e];
+      // GCD feasibility first: g | constant or no integer solution.
+      std::int64_t g = 0;
+      bool any = false;
+      for (std::int64_t c : eq.coeffs) {
+        if (c != 0) any = true;
+        g = gcd64(g, c);
+      }
+      if (!any) {
+        if (eq.constant != 0) {
+          result.status = SolveStatus::kUnsat;
+          return result;
+        }
+        equalities.erase(equalities.begin() + e);
+        progress = true;
+        break;
+      }
+      if (g > 1 && (eq.constant % g) != 0) {
+        result.status = SolveStatus::kUnsat;
+        return result;
+      }
+      std::size_t unit = n;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (eq.coeffs[v] == 1 || eq.coeffs[v] == -1) {
+          unit = v;
+          break;
+        }
+      }
+      if (unit == n) continue;
+      // coeff == +1:  x_v = -(constant + sum_others)
+      // coeff == -1:  x_v = constant + sum_others
+      const std::int64_t sign = eq.coeffs[unit] == 1 ? -1 : 1;
+      Substitution sub;
+      sub.var = unit;
+      sub.coeffs.assign(n, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i != unit) sub.coeffs[i] = sign * eq.coeffs[i];
+      }
+      sub.constant = sign * eq.constant;
+      equalities.erase(equalities.begin() + e);
+      // x_v's own bounds survive as inequalities on the substituted form.
+      Ineq lo;
+      lo.coeffs = sub.coeffs;
+      lo.constant = sub.constant - vars_[unit].lo;  // expr - lo >= 0
+      Ineq hi;
+      hi.coeffs.assign(n, 0);
+      for (std::size_t i = 0; i < n; ++i) hi.coeffs[i] = -sub.coeffs[i];
+      hi.constant = vars_[unit].hi - sub.constant;  // hi - expr >= 0
+      ineqs.push_back(std::move(lo));
+      ineqs.push_back(std::move(hi));
+      bool overflow = false;
+      for (Equality& other : equalities) {
+        if (!substitute_into(other.coeffs, other.constant, sub)) {
+          overflow = true;
+        }
+      }
+      for (Ineq& other : ineqs) {
+        if (!substitute_into(other.coeffs, other.constant, sub)) {
+          overflow = true;
+        }
+      }
+      if (overflow) {
+        result.status = SolveStatus::kUnknown;
+        result.note = "coefficient overflow during equality substitution";
+        return result;
+      }
+      eliminated[unit] = true;
+      subs.push_back(std::move(sub));
+      progress = true;
+      break;
+    }
+  }
+  // Leftover equalities (no unit coefficient): keep exactly as two
+  // inequalities; the search remains complete.
+  for (const Equality& eq : equalities) {
+    Ineq ge{eq.coeffs, eq.constant};
+    Ineq le;
+    le.coeffs.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) le.coeffs[i] = -eq.coeffs[i];
+    le.constant = -eq.constant;
+    ineqs.push_back(std::move(ge));
+    ineqs.push_back(std::move(le));
+  }
+  for (Ineq& q : ineqs) tighten(q);
+
+  // Domains for the surviving vars (eliminated vars get a placeholder
+  // point domain so indices stay aligned; their values are reconstructed
+  // from the substitutions afterwards).
+  std::vector<Domain> domains(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    domains[v] = eliminated[v] ? Domain{0, 0}
+                               : Domain{vars_[v].lo, vars_[v].hi};
+  }
+
+  if (!propagate(ineqs, domains)) {
+    result.status = SolveStatus::kUnsat;
+    return result;
+  }
+  if (fme_refutes(ineqs, n, domains, limits)) {
+    result.status = SolveStatus::kUnsat;
+    return result;
+  }
+
+  std::vector<char> constrained(n, 0);
+  for (const Ineq& q : ineqs) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (q.coeffs[v] != 0) constrained[v] = 1;
+    }
+  }
+  Searcher searcher{ineqs, constrained, limits.max_search_nodes};
+  std::vector<std::int64_t> assignment;
+  const SolveStatus status = searcher.search(domains, assignment);
+  result.search_nodes = searcher.nodes;
+  result.status = status;
+  if (status == SolveStatus::kUnknown) {
+    result.note = "search budget exhausted (" +
+                  std::to_string(limits.max_search_nodes) + " nodes)";
+    return result;
+  }
+  if (status != SolveStatus::kSat) return result;
+
+  // Reconstruct eliminated vars in reverse substitution order.
+  for (auto it = subs.rbegin(); it != subs.rend(); ++it) {
+    Wide value = it->constant;
+    for (std::size_t i = 0; i < n; ++i) {
+      value += Wide(it->coeffs[i]) * assignment[i];
+    }
+    assignment[it->var] = clamp_wide(value);
+  }
+  result.assignment = std::move(assignment);
+  return result;
+}
+
+}  // namespace tvmbo::analysis

@@ -1,0 +1,97 @@
+// Exact integer linear-arithmetic solver — the "Presburger-lite" engine
+// behind the dependence analyzer's three-valued verdicts.
+//
+// A PresburgerSystem is a conjunction of linear constraints
+//   sum(c_i * x_i) + k >= 0   (or == 0)
+// over integer variables with known inclusive bounds (loop iteration
+// variables always have them: extents are concrete in the lowered IR).
+// solve() decides satisfiability exactly or gives up explicitly:
+//
+//   kUnsat   — no integer point satisfies the system (a disjointness proof)
+//   kSat     — a concrete satisfying assignment is returned (a race witness
+//              candidate, later validated by replaying the accesses)
+//   kUnknown — a work bound was hit; the caller must treat the query as
+//              undecided (never as either answer)
+//
+// The pipeline, cheapest first:
+//   1. equality normalization — Gaussian-style substitution on unit
+//      coefficients (Omega's exact elimination step) plus the GCD
+//      divisibility test for the rest;
+//   2. interval (bounds-consistency) propagation to a fixpoint;
+//   3. Fourier–Motzkin elimination with integer tightening (every derived
+//      inequality is divided by the gcd of its coefficients and floored) as
+//      a rational/parity refutation accelerator — FME UNSAT is sound for
+//      integers, FME SAT proves nothing and falls through;
+//   4. a complete depth-first search over the (finite) propagated domains
+//      that either finds an integer witness, exhausts the space (exact
+//      UNSAT), or runs out of budget (kUnknown).
+//
+// All arithmetic is widened to 128 bits internally so tile-sized
+// coefficients times large extents cannot overflow silently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tvmbo::analysis {
+
+/// Work bounds for one solve() call. Exceeding either yields kUnknown —
+/// never a wrong answer, never an unbounded run.
+struct SolverLimits {
+  /// Cap on the FME working set; elimination is abandoned (not the whole
+  /// solve) when a projection would exceed it.
+  std::size_t max_fme_constraints = 2048;
+  /// Budget for the complete search, counted in value assignments tried.
+  std::size_t max_search_nodes = 100000;
+};
+
+enum class SolveStatus { kUnsat, kSat, kUnknown };
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  /// Satisfying assignment indexed by variable id; only valid for kSat.
+  std::vector<std::int64_t> assignment;
+  /// Search nodes spent (tests assert budgets are honored).
+  std::size_t search_nodes = 0;
+  /// Why the solver gave up, when status == kUnknown.
+  std::string note;
+};
+
+class PresburgerSystem {
+ public:
+  /// Adds an integer variable constrained to [lo, hi] (inclusive) and
+  /// returns its id. Requires lo <= hi.
+  std::size_t add_var(std::string name, std::int64_t lo, std::int64_t hi);
+
+  /// Adds sum(coeffs[i] * x_i) + constant >= 0. `coeffs` may be shorter
+  /// than num_vars(); missing entries are zero.
+  void add_inequality(std::vector<std::int64_t> coeffs,
+                      std::int64_t constant);
+  /// Adds sum(coeffs[i] * x_i) + constant == 0.
+  void add_equality(std::vector<std::int64_t> coeffs, std::int64_t constant);
+
+  std::size_t num_vars() const { return vars_.size(); }
+  const std::string& var_name(std::size_t v) const { return vars_[v].name; }
+  std::int64_t var_lo(std::size_t v) const { return vars_[v].lo; }
+  std::int64_t var_hi(std::size_t v) const { return vars_[v].hi; }
+
+  SolveResult solve(const SolverLimits& limits = {}) const;
+
+ private:
+  struct VarInfo {
+    std::string name;
+    std::int64_t lo;
+    std::int64_t hi;
+  };
+  struct Constraint {
+    std::vector<std::int64_t> coeffs;  // dense over vars at add time
+    std::int64_t constant = 0;
+    bool equality = false;
+  };
+
+  std::vector<VarInfo> vars_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace tvmbo::analysis

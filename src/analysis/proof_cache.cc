@@ -1,0 +1,355 @@
+#include "analysis/proof_cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "analysis/affine.h"
+
+namespace tvmbo::analysis {
+namespace {
+
+// splitmix64 finalizers with distinct constants per lane; the two lanes
+// never mix with each other, so a collision needs both to agree.
+std::uint64_t mix0(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t mix1(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t fnv1a(const char* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Node-kind tags kept disjoint across enums so a Store can never hash
+// like a For with coincidental fields.
+enum HashTag : std::uint64_t {
+  kTagAffine = 0x41,
+  kTagExpr = 0x1000,
+  kTagStmt = 0x2000,
+  kTagTensor = 0x3000,
+  kTagBoundVar = 0x4000,
+  kTagFreeVar = 0x5000,
+  kTagNull = 0x6000,
+};
+
+}  // namespace
+
+void StructuralHasher::feed(std::uint64_t value) {
+  lane0_ = mix0(lane0_ ^ value);
+  lane1_ = mix1(lane1_ + (value | 1) * 0x9e3779b97f4a7c15ULL);
+}
+
+void StructuralHasher::feed_string(const std::string& text) {
+  feed(text.size());
+  feed(fnv1a(text.data(), text.size()));
+}
+
+void StructuralHasher::bind_var(const te::VarNode* var) {
+  ordinals_[var].push_back(next_ordinal_++);
+}
+
+void StructuralHasher::unbind_var(const te::VarNode* var) {
+  auto it = ordinals_.find(var);
+  if (it == ordinals_.end()) return;
+  it->second.pop_back();
+  if (it->second.empty()) ordinals_.erase(it);
+}
+
+std::uint64_t StructuralHasher::var_token(const te::VarNode* var) {
+  const auto it = ordinals_.find(var);
+  if (it != ordinals_.end() && !it->second.empty()) {
+    return kTagBoundVar + it->second.back();
+  }
+  // Free var (should not occur in closed lowered IR): fall back to the
+  // name so the hash stays deterministic rather than address-dependent.
+  return kTagFreeVar ^ fnv1a(var->name.data(), var->name.size());
+}
+
+void StructuralHasher::feed_affine(const AffineForm& form) {
+  if (!form.affine) {
+    feed(kTagNull);
+    return;
+  }
+  feed(kTagAffine);
+  feed(static_cast<std::uint64_t>(form.constant));
+  std::vector<std::pair<std::uint64_t, std::int64_t>> terms;
+  terms.reserve(form.terms.size());
+  for (const auto& [var, coefficient] : form.terms) {
+    terms.emplace_back(var_token(var), coefficient);
+  }
+  std::sort(terms.begin(), terms.end());
+  feed(terms.size());
+  for (const auto& [token, coefficient] : terms) {
+    feed(token);
+    feed(static_cast<std::uint64_t>(coefficient));
+  }
+}
+
+void StructuralHasher::feed_expr(const te::ExprNode* expr) {
+  if (expr == nullptr) {
+    feed(kTagNull);
+    return;
+  }
+  // Affine expressions hash as their canonical decomposition (constant +
+  // coefficient terms sorted by binding ordinal), so syntactically
+  // different spellings of the same index map — `i + j` vs `j + i` —
+  // collide on purpose.
+  const AffineForm form = analyze_affine(expr);
+  if (form.affine) {
+    feed_affine(form);
+    return;
+  }
+  feed(kTagExpr + static_cast<std::uint64_t>(expr->kind()));
+  switch (expr->kind()) {
+    case te::ExprKind::kIntImm:
+      feed(static_cast<std::uint64_t>(
+          static_cast<const te::IntImmNode*>(expr)->value));
+      return;
+    case te::ExprKind::kFloatImm: {
+      const double value = static_cast<const te::FloatImmNode*>(expr)->value;
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &value, sizeof(bits));
+      feed(bits);
+      return;
+    }
+    case te::ExprKind::kVar:
+      feed(var_token(static_cast<const te::VarNode*>(expr)));
+      return;
+    case te::ExprKind::kBinary: {
+      const auto* node = static_cast<const te::BinaryNode*>(expr);
+      feed(static_cast<std::uint64_t>(node->op));
+      feed_expr(node->a.get());
+      feed_expr(node->b.get());
+      return;
+    }
+    case te::ExprKind::kUnary: {
+      const auto* node = static_cast<const te::UnaryNode*>(expr);
+      feed(static_cast<std::uint64_t>(node->op));
+      feed_expr(node->operand.get());
+      return;
+    }
+    case te::ExprKind::kCompare: {
+      const auto* node = static_cast<const te::CompareNode*>(expr);
+      feed(static_cast<std::uint64_t>(node->op));
+      feed_expr(node->a.get());
+      feed_expr(node->b.get());
+      return;
+    }
+    case te::ExprKind::kSelect: {
+      const auto* node = static_cast<const te::SelectNode*>(expr);
+      feed_expr(node->condition.get());
+      feed_expr(node->true_value.get());
+      feed_expr(node->false_value.get());
+      return;
+    }
+    case te::ExprKind::kTensorAccess: {
+      const auto* node = static_cast<const te::TensorAccessNode*>(expr);
+      feed(kTagTensor);
+      feed_string(node->tensor->name);
+      feed(node->tensor->shape.size());
+      for (const std::int64_t dim : node->tensor->shape) {
+        feed(static_cast<std::uint64_t>(dim));
+      }
+      feed(node->indices.size());
+      for (const te::Expr& index : node->indices) feed_expr(index.get());
+      return;
+    }
+    case te::ExprKind::kReduce: {
+      const auto* node = static_cast<const te::ReduceNode*>(expr);
+      feed(static_cast<std::uint64_t>(node->reduce_kind));
+      for (const te::Var& axis : node->axes) feed(var_token(axis.get()));
+      feed_expr(node->source.get());
+      return;
+    }
+  }
+}
+
+void StructuralHasher::feed_stmt(const te::StmtNode* stmt) {
+  if (stmt == nullptr) {
+    feed(kTagNull);
+    return;
+  }
+  feed(kTagStmt + static_cast<std::uint64_t>(stmt->kind()));
+  switch (stmt->kind()) {
+    case te::StmtKind::kFor: {
+      const auto* node = static_cast<const te::ForNode*>(stmt);
+      feed(static_cast<std::uint64_t>(node->extent));
+      feed(normalize_for_kinds_
+               ? static_cast<std::uint64_t>(te::ForKind::kSerial)
+               : static_cast<std::uint64_t>(node->for_kind));
+      bind_var(node->var.get());
+      feed_stmt(node->body.get());
+      unbind_var(node->var.get());
+      return;
+    }
+    case te::StmtKind::kStore: {
+      const auto* node = static_cast<const te::StoreNode*>(stmt);
+      feed(kTagTensor);
+      feed_string(node->tensor->name);
+      feed(node->tensor->shape.size());
+      for (const std::int64_t dim : node->tensor->shape) {
+        feed(static_cast<std::uint64_t>(dim));
+      }
+      feed(node->indices.size());
+      for (const te::Expr& index : node->indices) feed_expr(index.get());
+      feed_expr(node->value.get());
+      return;
+    }
+    case te::StmtKind::kSeq: {
+      const auto* node = static_cast<const te::SeqNode*>(stmt);
+      feed(node->stmts.size());
+      for (const te::Stmt& sub : node->stmts) feed_stmt(sub.get());
+      return;
+    }
+    case te::StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const te::IfThenElseNode*>(stmt);
+      feed_expr(node->condition.get());
+      feed_stmt(node->then_case.get());
+      feed(node->else_case != nullptr ? 1 : 0);
+      if (node->else_case) feed_stmt(node->else_case.get());
+      return;
+    }
+    case te::StmtKind::kRealize: {
+      const auto* node = static_cast<const te::RealizeNode*>(stmt);
+      feed(kTagTensor);
+      feed_string(node->tensor->name);
+      feed(node->tensor->shape.size());
+      for (const std::int64_t dim : node->tensor->shape) {
+        feed(static_cast<std::uint64_t>(dim));
+      }
+      feed_stmt(node->body.get());
+      return;
+    }
+  }
+}
+
+std::string AnalysisCacheStats::summary() const {
+  std::ostringstream os;
+  os << "proof cache: loop queries " << loop_queries << ", hits "
+     << loop_hits << ", prover runs " << prover_runs << "; verify queries "
+     << verify_queries << ", hits " << verify_hits << ", runs "
+     << verify_runs;
+  return os.str();
+}
+
+Json AnalysisCacheStats::to_json() const {
+  Json out = Json::object();
+  out.set("loop_queries", loop_queries);
+  out.set("loop_hits", loop_hits);
+  out.set("prover_runs", prover_runs);
+  out.set("verify_queries", verify_queries);
+  out.set("verify_hits", verify_hits);
+  out.set("verify_runs", verify_runs);
+  return out;
+}
+
+ProofCache::ProofCache() {
+  const char* env = std::getenv("TVMBO_ANALYSIS_CACHE");
+  if (env != nullptr && std::string(env) == "0") enabled_ = false;
+}
+
+ProofCache& ProofCache::global() {
+  static ProofCache cache;
+  return cache;
+}
+
+bool ProofCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void ProofCache::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+bool ProofCache::lookup_loop(const CacheKey& key, CachedLoopProof* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.loop_queries;
+  if (!enabled_) return false;
+  const auto it = loops_.find(key);
+  if (it == loops_.end()) return false;
+  ++stats_.loop_hits;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+void ProofCache::store_loop(const CacheKey& key, CachedLoopProof proof) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  if (loops_.size() + verifies_.size() >= kMaxEntries) {
+    loops_.clear();
+    verifies_.clear();
+  }
+  loops_[key] = std::move(proof);
+}
+
+bool ProofCache::lookup_verify(const CacheKey& key,
+                               std::vector<Violation>* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.verify_queries;
+  if (!enabled_) return false;
+  const auto it = verifies_.find(key);
+  if (it == verifies_.end()) return false;
+  ++stats_.verify_hits;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+void ProofCache::store_verify(const CacheKey& key,
+                              std::vector<Violation> violations) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  if (loops_.size() + verifies_.size() >= kMaxEntries) {
+    loops_.clear();
+    verifies_.clear();
+  }
+  verifies_[key] = std::move(violations);
+}
+
+void ProofCache::note_prover_run() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.prover_runs;
+}
+
+void ProofCache::note_verify_run() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.verify_runs;
+}
+
+AnalysisCacheStats ProofCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ProofCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = AnalysisCacheStats{};
+}
+
+void ProofCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  loops_.clear();
+  verifies_.clear();
+}
+
+}  // namespace tvmbo::analysis

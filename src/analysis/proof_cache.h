@@ -1,0 +1,159 @@
+// Structural proof cache: memoizes race-freedom verdicts and whole-stmt
+// verification results across schedule configs that lower to the same IR
+// shape, so `tvmbo_tune --screen`, distd worker re-verification, and
+// `tvmbo_lint --sweep` stop re-proving isomorphic programs.
+//
+// Keys are content hashes, never pointers:
+//   * variables hash as de Bruijn-style binding ordinals (the n-th loop
+//     var bound on the path from the root), so two lowerings of the same
+//     schedule shape collide regardless of VarNode addresses or names;
+//   * tensors hash as name + shape;
+//   * affine index/guard expressions hash as their canonical
+//     decomposition — constant plus coefficient terms sorted by ordinal —
+//     so `a[i + j]` and `a[j + i]` produce the same key;
+//   * per-loop keys additionally normalize EVERY loop annotation to
+//     kSerial: a race verdict depends only on the iteration structure,
+//     never on which loops are annotated, so one proof serves a loop
+//     under kParallel, under kVectorized, and under any annotation state
+//     of its inner loops (this is where the bulk of sweep hits come
+//     from — vec/unroll/threads knob variants share one proof).
+//
+// Two independently seeded 64-bit lanes form a 128-bit key; a collision
+// would need both lanes to agree. The cache is process-global and
+// mutex-guarded (parallel runners and distd workers share it), capped,
+// and can be disabled with TVMBO_ANALYSIS_CACHE=0 or set_enabled(false)
+// for cache-off differential runs. Stats distinguish queries from hits
+// from actual prover executions so tests can assert the ">= 5x fewer
+// prover runs" acceptance bar directly.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dependence.h"
+#include "analysis/verify.h"
+#include "common/json.h"
+#include "te/ir.h"
+
+namespace tvmbo::analysis {
+
+struct AffineForm;
+
+/// 128-bit structural cache key (two independently seeded 64-bit lanes).
+struct CacheKey {
+  std::uint64_t lane0 = 0;
+  std::uint64_t lane1 = 0;
+  bool operator==(const CacheKey& other) const {
+    return lane0 == other.lane0 && lane1 == other.lane1;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const {
+    return static_cast<std::size_t>(key.lane0 ^ (key.lane1 * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Incremental two-lane structural hasher. Feed scalars/strings directly;
+/// bind_var() assigns the next binding ordinal to a loop var before
+/// hashing anything that mentions it (enclosing loops first).
+class StructuralHasher {
+ public:
+  /// `normalize_for_kinds` hashes every ForKind as kSerial (per-loop race
+  /// keys); verification keys keep the real kinds.
+  explicit StructuralHasher(bool normalize_for_kinds)
+      : normalize_for_kinds_(normalize_for_kinds) {}
+
+  void feed(std::uint64_t value);
+  void feed_string(const std::string& text);
+  /// Assigns the next de Bruijn ordinal to `var` (later feeds hash it by
+  /// ordinal). Rebinding shadows; unbind restores the previous binding.
+  void bind_var(const te::VarNode* var);
+  void unbind_var(const te::VarNode* var);
+
+  void feed_expr(const te::ExprNode* expr);
+  void feed_stmt(const te::StmtNode* stmt);
+  /// Canonical affine feed: constant + coefficient terms sorted by
+  /// binding ordinal (used for guard-constraint context in loop keys).
+  void feed_affine(const AffineForm& form);
+
+  CacheKey key() const { return {lane0_, lane1_}; }
+
+ private:
+  std::uint64_t var_token(const te::VarNode* var);
+
+  bool normalize_for_kinds_;
+  std::uint64_t lane0_ = 0x6a09e667f3bcc908ULL;
+  std::uint64_t lane1_ = 0xbb67ae8584caa73bULL;
+  std::unordered_map<const te::VarNode*, std::vector<std::uint64_t>>
+      ordinals_;
+  std::uint64_t next_ordinal_ = 1;
+};
+
+/// Counters for one process (or since the last reset_stats()).
+struct AnalysisCacheStats {
+  std::size_t loop_queries = 0;  ///< per-loop race-freedom lookups
+  std::size_t loop_hits = 0;
+  std::size_t prover_runs = 0;  ///< full LoopProver executions (misses)
+  std::size_t verify_queries = 0;  ///< whole-stmt verify_stmt lookups
+  std::size_t verify_hits = 0;
+  std::size_t verify_runs = 0;  ///< full Verifier executions (misses)
+
+  /// One-line human summary for tool output.
+  std::string summary() const;
+  /// Payload for the `analysis_cache_stats` trace event.
+  Json to_json() const;
+};
+
+/// Cached per-loop verdict: a LoopProof minus the (config-specific) node
+/// pointer, re-attached on hit.
+struct CachedLoopProof {
+  Verdict verdict = Verdict::kUnknown;
+  std::string detail;
+  std::optional<Witness> witness;
+};
+
+class ProofCache {
+ public:
+  /// The process-global instance shared by every analysis consumer.
+  /// Honors TVMBO_ANALYSIS_CACHE=0 at first use.
+  static ProofCache& global();
+
+  bool enabled() const;
+  void set_enabled(bool enabled);
+
+  /// Lookup counts a query; a true return counts a hit. Disabled caches
+  /// still count queries (so cache-off runs produce comparable stats) but
+  /// never hit and never store.
+  bool lookup_loop(const CacheKey& key, CachedLoopProof* out);
+  void store_loop(const CacheKey& key, CachedLoopProof proof);
+  bool lookup_verify(const CacheKey& key, std::vector<Violation>* out);
+  void store_verify(const CacheKey& key, std::vector<Violation> violations);
+
+  /// Called by the analyzers when the full prover/verifier actually runs.
+  void note_prover_run();
+  void note_verify_run();
+
+  AnalysisCacheStats stats() const;
+  void reset_stats();
+  /// Drops all entries (stats survive).
+  void clear();
+
+ private:
+  ProofCache();
+
+  // Soft cap; both maps are dropped wholesale when exceeded (sweep working
+  // sets are far smaller, this only bounds pathological runs).
+  static constexpr std::size_t kMaxEntries = 1 << 16;
+
+  mutable std::mutex mutex_;
+  bool enabled_ = true;
+  std::unordered_map<CacheKey, CachedLoopProof, CacheKeyHash> loops_;
+  std::unordered_map<CacheKey, std::vector<Violation>, CacheKeyHash>
+      verifies_;
+  AnalysisCacheStats stats_;
+};
+
+}  // namespace tvmbo::analysis

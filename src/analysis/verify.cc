@@ -6,6 +6,7 @@
 
 #include "analysis/affine.h"
 #include "analysis/dependence.h"
+#include "analysis/proof_cache.h"
 #include "te/printer.h"
 
 namespace tvmbo::analysis {
@@ -89,9 +90,20 @@ class Verifier {
     if (options_.check_races) {
       for (const LoopProof& proof : analyze_parallel_loops(stmt)) {
         if (proof.proven) continue;
-        add("parallel-loop-race", proof.detail,
-            proof.loop->body ? te::to_string(proof.loop->body)
-                             : std::string());
+        const std::string where = proof.loop->body
+                                      ? te::to_string(proof.loop->body)
+                                      : std::string();
+        // Three-valued verdicts split into two rejection rules: a proven
+        // race carries its replay-validated witness, an undecided query
+        // (solver work bound) is rejected conservatively under its own id.
+        if (proof.verdict == Verdict::kUnknown) {
+          add("parallel-loop-unproven", proof.detail, where);
+        } else {
+          add("parallel-loop-race", proof.detail, where);
+          if (proof.witness.has_value()) {
+            violations_.back().witness = proof.witness->describe();
+          }
+        }
       }
     }
     return std::move(violations_);
@@ -326,8 +338,31 @@ class Verifier {
 std::vector<Violation> verify_stmt(const te::Stmt& stmt,
                                    const std::vector<te::Tensor>& params,
                                    const VerifyOptions& options) {
+  // Whole-stmt memoization: configs that lower to structurally identical
+  // IR (same extents, same annotations, same params) share one verdict.
+  // Verification keys keep the real ForKinds — unlike per-loop race keys,
+  // the full rule set does depend on which loops are annotated.
+  StructuralHasher hasher(/*normalize_for_kinds=*/false);
+  hasher.feed(options.check_bounds ? 1 : 0);
+  hasher.feed(options.check_races ? 1 : 0);
+  hasher.feed(params.size());
+  for (const te::Tensor& param : params) {
+    hasher.feed_string(param->name);
+    hasher.feed(param->shape.size());
+    for (const std::int64_t dim : param->shape) {
+      hasher.feed(static_cast<std::uint64_t>(dim));
+    }
+  }
+  hasher.feed_stmt(stmt.get());
+  const CacheKey key = hasher.key();
+  ProofCache& cache = ProofCache::global();
+  std::vector<Violation> violations;
+  if (cache.lookup_verify(key, &violations)) return violations;
+  cache.note_verify_run();
   Verifier verifier(params, options);
-  return verifier.run(stmt);
+  violations = verifier.run(stmt);
+  cache.store_verify(key, violations);
+  return violations;
 }
 
 std::string format_violations(const std::vector<Violation>& violations) {

@@ -15,8 +15,15 @@
 //                        (guard conditions on the access path are used to
 //                        tighten the range; conservative — "cannot prove"
 //                        is a violation too)
-//   parallel-loop-race   a kParallel/kVectorized loop without a
-//                        race-freedom proof (see dependence.h)
+//   parallel-loop-race   a kParallel/kVectorized loop proven racy: the
+//                        exact dependence solver found a conflicting
+//                        iteration pair (carried in `witness`) or the
+//                        loop recomputes into a shared realize buffer
+//                        (see dependence.h)
+//   parallel-loop-unproven  a kParallel/kVectorized loop whose race
+//                        query hit a solver work bound — neither safe
+//                        nor racy could be proven, so it is rejected
+//                        conservatively
 #pragma once
 
 #include <string>
@@ -30,6 +37,10 @@ struct Violation {
   std::string rule;     ///< rule id from the catalogue above
   std::string message;  ///< human-readable description
   std::string where;    ///< pretty-printed IR excerpt at the violation
+  /// Concrete counterexample (Witness::describe()) for parallel-loop-race
+  /// violations with a replay-validated witness; empty otherwise.
+  /// `tvmbo_lint --explain` prints it.
+  std::string witness;
 };
 
 struct VerifyOptions {

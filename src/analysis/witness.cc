@@ -1,0 +1,184 @@
+#include "analysis/witness.h"
+
+#include <sstream>
+
+namespace tvmbo::analysis {
+namespace {
+
+// Floor division/modulo matching the interpreter and C emitter (round
+// toward negative infinity; divisor must be positive).
+std::int64_t floor_div_positive(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b) != 0 && a < 0) --q;
+  return q;
+}
+
+std::int64_t floor_mod_positive(std::int64_t a, std::int64_t b) {
+  return a - floor_div_positive(a, b) * b;
+}
+
+void render_iteration(
+    std::ostringstream& os,
+    const std::vector<std::pair<std::string, std::int64_t>>& iteration) {
+  os << "{";
+  for (std::size_t i = 0; i < iteration.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << iteration[i].first << "=" << iteration[i].second;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string Witness::describe() const {
+  std::ostringstream os;
+  os << "iterations ";
+  render_iteration(os, iteration_a);
+  os << " and ";
+  render_iteration(os, iteration_b);
+  os << " both touch " << tensor << "[";
+  for (std::size_t d = 0; d < element.size(); ++d) {
+    if (d > 0) os << ", ";
+    os << element[d];
+  }
+  os << "] (" << access_a << " vs " << access_b << ")";
+  if (validated) os << " [witness validated by replay]";
+  return os.str();
+}
+
+bool eval_int_expr(const te::ExprNode* expr, const WitnessEnv& env,
+                   std::int64_t* out) {
+  if (expr == nullptr) return false;
+  switch (expr->kind()) {
+    case te::ExprKind::kIntImm:
+      *out = static_cast<const te::IntImmNode*>(expr)->value;
+      return true;
+    case te::ExprKind::kVar: {
+      const auto it = env.find(static_cast<const te::VarNode*>(expr));
+      if (it == env.end()) return false;
+      *out = it->second;
+      return true;
+    }
+    case te::ExprKind::kBinary: {
+      const auto* node = static_cast<const te::BinaryNode*>(expr);
+      std::int64_t a = 0;
+      std::int64_t b = 0;
+      if (!eval_int_expr(node->a.get(), env, &a) ||
+          !eval_int_expr(node->b.get(), env, &b)) {
+        return false;
+      }
+      switch (node->op) {
+        case te::BinaryOp::kAdd:
+          *out = a + b;
+          return true;
+        case te::BinaryOp::kSub:
+          *out = a - b;
+          return true;
+        case te::BinaryOp::kMul:
+          *out = a * b;
+          return true;
+        case te::BinaryOp::kDiv:
+        case te::BinaryOp::kFloorDiv:
+          if (b <= 0) return false;
+          *out = floor_div_positive(a, b);
+          return true;
+        case te::BinaryOp::kMod:
+          if (b <= 0) return false;
+          *out = floor_mod_positive(a, b);
+          return true;
+        case te::BinaryOp::kMin:
+          *out = a < b ? a : b;
+          return true;
+        case te::BinaryOp::kMax:
+          *out = a > b ? a : b;
+          return true;
+      }
+      return false;
+    }
+    case te::ExprKind::kUnary: {
+      const auto* node = static_cast<const te::UnaryNode*>(expr);
+      std::int64_t a = 0;
+      if (!eval_int_expr(node->operand.get(), env, &a)) return false;
+      switch (node->op) {
+        case te::UnaryOp::kNeg:
+          *out = -a;
+          return true;
+        case te::UnaryOp::kAbs:
+          *out = a < 0 ? -a : a;
+          return true;
+        default:
+          return false;  // sqrt/exp/log are not integer expressions
+      }
+    }
+    case te::ExprKind::kCompare: {
+      const auto* node = static_cast<const te::CompareNode*>(expr);
+      std::int64_t a = 0;
+      std::int64_t b = 0;
+      if (!eval_int_expr(node->a.get(), env, &a) ||
+          !eval_int_expr(node->b.get(), env, &b)) {
+        return false;
+      }
+      bool truth = false;
+      switch (node->op) {
+        case te::CmpOp::kLt:
+          truth = a < b;
+          break;
+        case te::CmpOp::kLe:
+          truth = a <= b;
+          break;
+        case te::CmpOp::kGt:
+          truth = a > b;
+          break;
+        case te::CmpOp::kGe:
+          truth = a >= b;
+          break;
+        case te::CmpOp::kEq:
+          truth = a == b;
+          break;
+        case te::CmpOp::kNe:
+          truth = a != b;
+          break;
+      }
+      *out = truth ? 1 : 0;
+      return true;
+    }
+    case te::ExprKind::kSelect: {
+      const auto* node = static_cast<const te::SelectNode*>(expr);
+      std::int64_t condition = 0;
+      if (!eval_int_expr(node->condition.get(), env, &condition)) {
+        return false;
+      }
+      const te::Expr& branch =
+          condition != 0 ? node->true_value : node->false_value;
+      return eval_int_expr(branch.get(), env, out);
+    }
+    default:
+      // Float immediates and tensor accesses cannot appear in an index
+      // expression we are willing to certify.
+      return false;
+  }
+}
+
+bool validate_witness(const std::vector<te::Expr>& indices_a,
+                      const std::vector<te::Expr>& indices_b,
+                      const WitnessEnv& env_a, const WitnessEnv& env_b,
+                      Witness* witness) {
+  if (indices_a.size() != indices_b.size()) return false;
+  std::vector<std::int64_t> element;
+  element.reserve(indices_a.size());
+  for (std::size_t d = 0; d < indices_a.size(); ++d) {
+    std::int64_t value_a = 0;
+    std::int64_t value_b = 0;
+    if (!eval_int_expr(indices_a[d].get(), env_a, &value_a)) return false;
+    if (!eval_int_expr(indices_b[d].get(), env_b, &value_b)) return false;
+    if (value_a != value_b) return false;
+    element.push_back(value_a);
+  }
+  if (witness != nullptr) {
+    witness->element = std::move(element);
+    witness->validated = true;
+  }
+  return true;
+}
+
+}  // namespace tvmbo::analysis

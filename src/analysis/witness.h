@@ -1,0 +1,65 @@
+// Race witnesses: concrete counterexamples produced by the exact
+// dependence solver, validated by replaying the original access
+// expressions through an integer evaluator — the analysis checks itself.
+//
+// A Witness names two iteration vectors of one proof-requiring loop (the
+// loop var plus each side's inner loop vars and the shared outer vars)
+// and the tensor element both accesses hit. Before the analyzer reports
+// "proven racy" it calls validate_witness(), which evaluates the real
+// (possibly non-affine) index expressions of both accesses under the two
+// assignments and checks that (a) the loop var takes distinct values and
+// (b) every dimension lands on the same element. A witness that fails
+// replay is a solver/translation bug, never reported as a race: the
+// verdict degrades to "unknown" and the message is tagged
+// `witness-validation-failed` so CI can grep for it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "te/expr.h"
+
+namespace tvmbo::analysis {
+
+/// Variable assignment for one side of a conflicting iteration pair.
+using WitnessEnv = std::map<const te::VarNode*, std::int64_t>;
+
+/// A concrete racy iteration pair: everything --explain needs to print and
+/// everything validation needs to replay.
+struct Witness {
+  std::string loop_var;             ///< name of the concurrent loop's var
+  std::string tensor;               ///< name of the aliased tensor
+  std::vector<std::int64_t> element;  ///< aliased element, one per dim
+  /// Iteration vectors as (var name, value), loop var first, for display.
+  std::vector<std::pair<std::string, std::int64_t>> iteration_a;
+  std::vector<std::pair<std::string, std::int64_t>> iteration_b;
+  std::string access_a;  ///< pretty-printed access, e.g. "write A[i, j]"
+  std::string access_b;
+  bool validated = false;  ///< replay confirmed both sides alias
+
+  /// One-line rendering: "iterations {i.a=0, ...} and {i.b=1, ...} both
+  /// touch A[3, 4]".
+  std::string describe() const;
+};
+
+/// Evaluates an integer expression under `env`. Handles immediates, vars,
+/// all integer binary ops (floordiv/mod with the emitter's floor
+/// semantics), neg/abs, compares, and select. Returns false (and leaves
+/// `out` untouched) on an unbound var, float immediate, tensor access, or
+/// division by a non-positive divisor — callers treat that as "cannot
+/// validate", never as a verdict.
+bool eval_int_expr(const te::ExprNode* expr, const WitnessEnv& env,
+                   std::int64_t* out);
+
+/// Replays both accesses' index expressions under the two assignments and
+/// fills `witness->element` / `witness->validated`. True only when every
+/// dimension evaluates on both sides to the same value. Rank mismatch or
+/// any evaluation failure returns false.
+bool validate_witness(const std::vector<te::Expr>& indices_a,
+                      const std::vector<te::Expr>& indices_b,
+                      const WitnessEnv& env_a, const WitnessEnv& env_b,
+                      Witness* witness);
+
+}  // namespace tvmbo::analysis

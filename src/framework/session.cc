@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "analysis/proof_cache.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "kernels/te_programs.h"
@@ -409,6 +410,16 @@ SessionResult AutotuningSession::run_strategy(tuners::Tuner& strategy,
   result.total_time_s = clock;
   result.evaluations = evaluations;
   result.analysis_rejects = runner.analysis_rejects();
+  if (options_.measure.trace != nullptr) {
+    // Proof-cache effectiveness for this run: how many race/verify
+    // queries the structural cache absorbed vs full prover executions
+    // (process-global counters, stamped per strategy for attribution).
+    Json e = Json::object();
+    e.set("event", "analysis_cache_stats");
+    e.set("strategy", result.strategy);
+    e.set("stats", analysis::ProofCache::global().stats().to_json());
+    options_.measure.trace->record(std::move(e));
+  }
   // Best record by the configured objective.
   double best_metric = std::numeric_limits<double>::infinity();
   for (const runtime::TrialRecord& record : result.db.records()) {

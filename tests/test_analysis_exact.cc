@@ -1,0 +1,814 @@
+// Exact dependence solver battery: Presburger-core unit tests, upgraded
+// previously-unprovable patterns, witness replay, graceful-unknown
+// blow-up behavior, structural proof-cache differential runs, and an
+// oracle fuzz suite that checks every solver verdict against brute-force
+// enumeration of the iteration space.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/config_screen.h"
+#include "analysis/dependence.h"
+#include "analysis/presburger.h"
+#include "analysis/proof_cache.h"
+#include "analysis/verify.h"
+#include "analysis/witness.h"
+#include "common/rng.h"
+#include "kernels/polybench.h"
+#include "kernels/te_programs.h"
+#include "te/ir.h"
+#include "te/printer.h"
+#include "te/tensor.h"
+
+namespace tvmbo {
+namespace {
+
+using analysis::DependenceOptions;
+using analysis::LoopProof;
+using analysis::PresburgerSystem;
+using analysis::ProofCache;
+using analysis::SolveResult;
+using analysis::SolverLimits;
+using analysis::SolveStatus;
+using analysis::Verdict;
+using analysis::Violation;
+
+// ---------------------------------------------------------------------------
+// Presburger core
+
+TEST(AnalysisExactSolver, SatisfiableSystemYieldsValidAssignment) {
+  PresburgerSystem sys;
+  const std::size_t x = sys.add_var("x", 0, 3);
+  const std::size_t y = sys.add_var("y", 0, 3);
+  sys.add_equality({1, 1}, -5);     // x + y == 5
+  sys.add_inequality({1, -1}, 0);   // x >= y
+  const SolveResult result = sys.solve();
+  ASSERT_EQ(result.status, SolveStatus::kSat);
+  ASSERT_EQ(result.assignment.size(), 2u);
+  EXPECT_EQ(result.assignment[x] + result.assignment[y], 5);
+  EXPECT_GE(result.assignment[x], result.assignment[y]);
+  EXPECT_GE(result.assignment[x], 0);
+  EXPECT_LE(result.assignment[x], 3);
+}
+
+TEST(AnalysisExactSolver, GcdDivisibilityRefutesParityConflict) {
+  PresburgerSystem sys;
+  sys.add_var("x", -100, 100);
+  sys.add_var("y", -100, 100);
+  sys.add_equality({2, -2}, -1);  // 2x - 2y == 1: gcd 2 does not divide 1
+  EXPECT_EQ(sys.solve().status, SolveStatus::kUnsat);
+}
+
+TEST(AnalysisExactSolver, PropagationRefutesOutOfBoundsDemand) {
+  PresburgerSystem sys;
+  sys.add_var("x", 0, 3);
+  sys.add_inequality({1}, -5);  // x >= 5 but x <= 3
+  EXPECT_EQ(sys.solve().status, SolveStatus::kUnsat);
+}
+
+TEST(AnalysisExactSolver, FmeRefutesContradictoryOrdering) {
+  PresburgerSystem sys;
+  sys.add_var("x", -1000, 1000);
+  sys.add_var("y", -1000, 1000);
+  sys.add_inequality({1, -1}, -1);  // x - y >= 1
+  sys.add_inequality({-1, 1}, 0);   // y - x >= 0
+  EXPECT_EQ(sys.solve().status, SolveStatus::kUnsat);
+}
+
+TEST(AnalysisExactSolver, EqualityEliminationReconstructsWitness) {
+  PresburgerSystem sys;
+  const std::size_t x = sys.add_var("x", 0, 5);
+  const std::size_t y = sys.add_var("y", 0, 9);
+  const std::size_t z = sys.add_var("z", 0, 9);
+  sys.add_equality({1, -1, 0}, -1);   // x == y + 1 (unit coeffs: eliminated)
+  sys.add_equality({0, 1, -1}, -2);   // y == z + 2
+  sys.add_inequality({1, 1, 1}, -9);  // x + y + z >= 9
+  const SolveResult result = sys.solve();
+  ASSERT_EQ(result.status, SolveStatus::kSat);
+  // Every original constraint must hold on the reconstructed assignment.
+  EXPECT_EQ(result.assignment[x], result.assignment[y] + 1);
+  EXPECT_EQ(result.assignment[y], result.assignment[z] + 2);
+  EXPECT_GE(result.assignment[x] + result.assignment[y] +
+                result.assignment[z],
+            9);
+  EXPECT_GE(result.assignment[z], 0);
+  EXPECT_LE(result.assignment[x], 5);
+}
+
+// Frobenius-style adversarial instance: 6x + 10y + 15z == 29 has no
+// non-negative solution (29 is the Frobenius number of {6,10,15}), the
+// coefficient gcd is 1 so the divisibility test passes, and rationally the
+// system is satisfiable so FME cannot refute it. Spread over 15 variables
+// the complete search needs far more nodes than the budget allows — the
+// solver must answer kUnknown, never hang and never guess.
+TEST(AnalysisExactSolver, FrobeniusSearchExhaustsBudgetGracefully) {
+  PresburgerSystem sys;
+  const std::int64_t pattern[3] = {6, 10, 15};
+  std::vector<std::int64_t> coeffs;
+  for (int i = 0; i < 15; ++i) {
+    sys.add_var("x" + std::to_string(i), 0, 50);
+    coeffs.push_back(pattern[i % 3]);
+  }
+  sys.add_equality(coeffs, -29);
+  // Sanity: with an ample budget the complete search refutes it exactly.
+  EXPECT_EQ(sys.solve().status, SolveStatus::kUnsat);
+  // With a starved budget the search must give up gracefully, not guess.
+  SolverLimits limits;
+  limits.max_search_nodes = 10;
+  const SolveResult result = sys.solve(limits);
+  EXPECT_EQ(result.status, SolveStatus::kUnknown);
+  EXPECT_FALSE(result.note.empty());
+  EXPECT_LE(result.search_nodes, limits.max_search_nodes + 16);
+}
+
+TEST(AnalysisExactSolver, FmeBlowupCapFallsThroughToBudgetedSearch) {
+  PresburgerSystem sys;
+  const std::int64_t pattern[3] = {6, 10, 15};
+  std::vector<std::int64_t> coeffs;
+  for (int i = 0; i < 12; ++i) {
+    sys.add_var("x" + std::to_string(i), 0, 50);
+    coeffs.push_back(pattern[i % 3]);
+  }
+  sys.add_equality(coeffs, -29);
+  // Loose pairwise orderings bloat the FME working set past the tiny cap,
+  // so elimination is abandoned and the (also tiny) search budget decides.
+  for (int i = 0; i + 1 < 12; ++i) {
+    std::vector<std::int64_t> pair(12, 0);
+    pair[i] = 1;
+    pair[i + 1] = -1;
+    sys.add_inequality(pair, 50);
+  }
+  SolverLimits limits;
+  limits.max_fme_constraints = 4;
+  limits.max_search_nodes = 200;
+  const SolveResult result = sys.solve(limits);
+  EXPECT_EQ(result.status, SolveStatus::kUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// IR helpers for hand-built loop nests
+
+te::Stmt parallel_store_loop(const te::Var& p, std::int64_t extent,
+                             te::Stmt body) {
+  return te::make_for(p, extent, te::ForKind::kParallel, std::move(body));
+}
+
+LoopProof proof_for(const std::vector<LoopProof>& proofs,
+                    const te::Var& var) {
+  for (const LoopProof& proof : proofs) {
+    if (proof.loop->var.get() == var.get()) return proof;
+  }
+  ADD_FAILURE() << "no proof found for loop var " << var->name;
+  return LoopProof{};
+}
+
+// ---------------------------------------------------------------------------
+// Upgraded patterns: legal programs the interval rules alone cannot prove
+
+// Coupled indices c1*i + c2*j: the coefficient rule fails (the residual
+// 5*j spans more than |3|) and separation fails (ranges overlap), but
+// 3*dp + 5*dj == 0 has no solution with dp != 0 over these extents.
+TEST(AnalysisExactRace, CoupledIndicesProveSafeViaSolver) {
+  const te::Var p = te::make_var("p");
+  const te::Var j = te::make_var("j");
+  const te::Tensor a = te::placeholder({30}, "A");
+  const te::Expr index =
+      te::make_int(3) * te::Expr(p) + te::make_int(5) * te::Expr(j);
+  const te::Stmt store = te::make_store(a, {index}, te::make_float(1.0));
+  const te::Stmt root = parallel_store_loop(
+      p, 5, te::make_for(j, 3, te::ForKind::kSerial, store));
+  const std::vector<LoopProof> proofs = analysis::analyze_parallel_loops(root);
+  const LoopProof& proof = proof_for(proofs, p);
+  EXPECT_EQ(proof.verdict, Verdict::kSafe);
+  EXPECT_TRUE(proof.proven);
+  EXPECT_NE(proof.detail.find("exact solver"), std::string::npos)
+      << proof.detail;
+}
+
+// Split-tail modulo residue: A[(4p + j) mod 20] is the identity map over
+// these extents, but the mod makes the dimension non-affine so the
+// interval rules skip it entirely; the solver linearizes the mod through
+// an exact quotient/remainder pair and proves disjointness.
+TEST(AnalysisExactRace, SplitTailModuloProvesSafeViaSolver) {
+  const te::Var p = te::make_var("p");
+  const te::Var j = te::make_var("j");
+  const te::Tensor a = te::placeholder({20}, "A");
+  const te::Expr linear =
+      te::make_int(4) * te::Expr(p) + te::Expr(j);
+  const te::Expr index = te::floor_mod(linear, te::make_int(20));
+  const te::Stmt store = te::make_store(a, {index}, te::make_float(1.0));
+  const te::Stmt root = parallel_store_loop(
+      p, 5, te::make_for(j, 4, te::ForKind::kSerial, store));
+  const LoopProof& proof =
+      proof_for(analysis::analyze_parallel_loops(root), p);
+  EXPECT_EQ(proof.verdict, Verdict::kSafe);
+  EXPECT_NE(proof.detail.find("exact solver"), std::string::npos)
+      << proof.detail;
+}
+
+TEST(AnalysisExactRace, LoopCarriedRaceCarriesValidatedWitness) {
+  const te::Var p = te::make_var("p");
+  const te::Tensor a = te::placeholder({9}, "A");
+  const te::Expr read = te::access(a, {te::Expr(p) + te::make_int(1)});
+  const te::Stmt store =
+      te::make_store(a, {te::Expr(p)}, read + te::make_float(1.0));
+  const te::Stmt root = parallel_store_loop(p, 8, store);
+  const LoopProof& proof =
+      proof_for(analysis::analyze_parallel_loops(root), p);
+  ASSERT_EQ(proof.verdict, Verdict::kRacy);
+  EXPECT_FALSE(proof.proven);
+  ASSERT_TRUE(proof.witness.has_value());
+  const analysis::Witness& witness = *proof.witness;
+  EXPECT_TRUE(witness.validated);
+  EXPECT_EQ(witness.tensor, "A");
+  ASSERT_FALSE(witness.iteration_a.empty());
+  ASSERT_FALSE(witness.iteration_b.empty());
+  EXPECT_EQ(witness.iteration_a.front().first, "p");
+  EXPECT_EQ(witness.iteration_b.front().first, "p");
+  // The two iterations are distinct and alias one element: p_a == p_b + 1.
+  const std::int64_t pa = witness.iteration_a.front().second;
+  const std::int64_t pb = witness.iteration_b.front().second;
+  EXPECT_NE(pa, pb);
+  ASSERT_EQ(witness.element.size(), 1u);
+  EXPECT_EQ(witness.element[0], pa);
+  EXPECT_EQ(witness.element[0], pb + 1);
+  EXPECT_NE(witness.describe().find("validated by replay"),
+            std::string::npos);
+  EXPECT_NE(proof.detail.find("races with"), std::string::npos)
+      << proof.detail;
+}
+
+TEST(AnalysisExactRace, VerifySplitsVerdictsIntoTwoRules) {
+  // Racy program -> parallel-loop-race with the witness attached.
+  const te::Var p = te::make_var("p");
+  const te::Tensor a = te::placeholder({9}, "A");
+  const te::Stmt racy = parallel_store_loop(
+      p, 8,
+      te::make_store(a, {te::Expr(p)},
+                     te::access(a, {te::Expr(p) + te::make_int(1)}) +
+                         te::make_float(1.0)));
+  std::vector<Violation> violations = analysis::verify_stmt(racy, {a});
+  bool saw_race = false;
+  for (const Violation& violation : violations) {
+    if (violation.rule == "parallel-loop-race") {
+      saw_race = true;
+      EXPECT_FALSE(violation.witness.empty());
+      EXPECT_NE(violation.witness.find("A["), std::string::npos);
+    }
+    EXPECT_NE(violation.rule, "parallel-loop-unproven");
+  }
+  EXPECT_TRUE(saw_race);
+
+  // Non-encodable index (i*i) -> the solver cannot decide; the loop is
+  // rejected conservatively under parallel-loop-unproven, not -race.
+  const te::Var q = te::make_var("q");
+  const te::Tensor b = te::placeholder({10}, "B");
+  const te::Stmt opaque = parallel_store_loop(
+      q, 3,
+      te::make_store(b, {te::Expr(q) * te::Expr(q)}, te::make_float(1.0)));
+  violations = analysis::verify_stmt(opaque, {b});
+  bool saw_unproven = false;
+  for (const Violation& violation : violations) {
+    if (violation.rule == "parallel-loop-unproven") saw_unproven = true;
+    EXPECT_NE(violation.rule, "parallel-loop-race");
+  }
+  EXPECT_TRUE(saw_unproven) << analysis::format_violations(violations);
+}
+
+TEST(AnalysisExactRace, TinySolverBudgetDegradesToUnknown) {
+  const te::Var p = te::make_var("p");
+  const te::Var j = te::make_var("j");
+  const te::Tensor a = te::placeholder({30}, "A");
+  const te::Expr index =
+      te::make_int(3) * te::Expr(p) + te::make_int(5) * te::Expr(j);
+  const te::Stmt root = parallel_store_loop(
+      p, 5,
+      te::make_for(j, 3, te::ForKind::kSerial,
+                   te::make_store(a, {index}, te::make_float(1.0))));
+  DependenceOptions options;
+  options.solver.max_search_nodes = 1;
+  EXPECT_FALSE(options.cacheable());  // non-default limits never cached
+  const LoopProof& proof =
+      proof_for(analysis::analyze_parallel_loops(root, options), p);
+  EXPECT_EQ(proof.verdict, Verdict::kUnknown);
+  EXPECT_FALSE(proof.proven);
+  EXPECT_NE(proof.detail.find("undecided"), std::string::npos)
+      << proof.detail;
+}
+
+TEST(AnalysisExactRace, GuardedDisjointHalvesStaySafe) {
+  // if (p < 4) write A[p] else write A[p] — both branches touch A[p],
+  // but each iteration touches it once; W-W pairs across iterations are
+  // disjoint because the index pins p. Sanity: guards flow to the solver.
+  const te::Var p = te::make_var("p");
+  const te::Tensor a = te::placeholder({8}, "A");
+  const te::Stmt then_case =
+      te::make_store(a, {te::Expr(p)}, te::make_float(1.0));
+  const te::Stmt else_case =
+      te::make_store(a, {te::Expr(p)}, te::make_float(2.0));
+  const te::Stmt root = parallel_store_loop(
+      p, 8,
+      te::make_if(te::lt(te::Expr(p), te::make_int(4)), then_case,
+                  else_case));
+  const LoopProof& proof =
+      proof_for(analysis::analyze_parallel_loops(root), p);
+  EXPECT_EQ(proof.verdict, Verdict::kSafe) << proof.detail;
+}
+
+// ---------------------------------------------------------------------------
+// Structural proof cache
+
+TEST(AnalysisCache, SymmetricCoupledSpellingsShareOneProof) {
+  ProofCache& cache = ProofCache::global();
+  cache.clear();
+  cache.set_enabled(true);
+  cache.reset_stats();
+
+  // Program 1: A[p, i + j]. Program 2: the same nest spelled A[p, j + i],
+  // with the vars created in reverse order so their stable ids differ too.
+  const te::Var p1 = te::make_var("p");
+  const te::Var i1 = te::make_var("i");
+  const te::Var j1 = te::make_var("j");
+  const te::Tensor a1 = te::placeholder({4, 5}, "A");
+  const te::Stmt prog1 = parallel_store_loop(
+      p1, 4,
+      te::make_for(
+          i1, 3, te::ForKind::kSerial,
+          te::make_for(j1, 2, te::ForKind::kSerial,
+                       te::make_store(a1,
+                                      {te::Expr(p1),
+                                       te::Expr(i1) + te::Expr(j1)},
+                                      te::make_float(1.0)))));
+
+  const te::Var j2 = te::make_var("j");
+  const te::Var i2 = te::make_var("i");
+  const te::Var p2 = te::make_var("p");
+  const te::Tensor a2 = te::placeholder({4, 5}, "A");
+  const te::Stmt prog2 = parallel_store_loop(
+      p2, 4,
+      te::make_for(
+          i2, 3, te::ForKind::kSerial,
+          te::make_for(j2, 2, te::ForKind::kSerial,
+                       te::make_store(a2,
+                                      {te::Expr(p2),
+                                       te::Expr(j2) + te::Expr(i2)},
+                                      te::make_float(1.0)))));
+
+  const LoopProof& first =
+      proof_for(analysis::analyze_parallel_loops(prog1), p1);
+  const analysis::AnalysisCacheStats after_first = cache.stats();
+  const LoopProof& second =
+      proof_for(analysis::analyze_parallel_loops(prog2), p2);
+  const analysis::AnalysisCacheStats after_second = cache.stats();
+
+  EXPECT_EQ(first.verdict, Verdict::kSafe);
+  EXPECT_EQ(second.verdict, Verdict::kSafe);
+  // The second spelling must be served from the cache: one more query,
+  // one more hit, zero additional prover runs.
+  EXPECT_EQ(after_second.loop_queries, after_first.loop_queries + 1);
+  EXPECT_EQ(after_second.loop_hits, after_first.loop_hits + 1);
+  EXPECT_EQ(after_second.prover_runs, after_first.prover_runs);
+}
+
+TEST(AnalysisCache, AnnotationVariantsShareOneProof) {
+  ProofCache& cache = ProofCache::global();
+  cache.clear();
+  cache.set_enabled(true);
+  cache.reset_stats();
+
+  const te::Tensor a = te::placeholder({16}, "A");
+  const auto build = [&](te::ForKind kind) {
+    const te::Var p = te::make_var("p");
+    return std::make_pair(
+        te::make_for(p, 16, kind,
+                     te::make_store(a, {te::Expr(p)}, te::make_float(1.0))),
+        p);
+  };
+  const auto [par, pvar] = build(te::ForKind::kParallel);
+  const auto [vec, vvar] = build(te::ForKind::kVectorized);
+  EXPECT_EQ(proof_for(analysis::analyze_parallel_loops(par), pvar).verdict,
+            Verdict::kSafe);
+  EXPECT_EQ(proof_for(analysis::analyze_parallel_loops(vec), vvar).verdict,
+            Verdict::kSafe);
+  const analysis::AnalysisCacheStats stats = cache.stats();
+  // ForKind is normalized out of the per-loop key: the kVectorized copy
+  // hits the proof stored for the kParallel one.
+  EXPECT_EQ(stats.prover_runs, 1u);
+  EXPECT_EQ(stats.loop_hits, 1u);
+}
+
+TEST(AnalysisCache, DisabledCacheCountsQueriesButNeverServes) {
+  ProofCache& cache = ProofCache::global();
+  cache.clear();
+  cache.set_enabled(false);
+  cache.reset_stats();
+
+  const te::Tensor a = te::placeholder({8}, "A");
+  const te::Var p = te::make_var("p");
+  const te::Stmt root = parallel_store_loop(
+      p, 8, te::make_store(a, {te::Expr(p)}, te::make_float(1.0)));
+  analysis::analyze_parallel_loops(root);
+  analysis::analyze_parallel_loops(root);
+  const analysis::AnalysisCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.loop_queries, 2u);
+  EXPECT_EQ(stats.loop_hits, 0u);
+  EXPECT_EQ(stats.prover_runs, 2u);
+  cache.set_enabled(true);
+}
+
+/// One screened configuration of the sweep: the rule ids it was rejected
+/// with (empty = accepted), mirroring the measurement pipeline's decision.
+std::vector<std::string> screen_decision(
+    const std::string& kernel, const std::vector<std::int64_t>& dims,
+    const std::vector<std::int64_t>& tiles) {
+  std::vector<std::string> rules;
+  try {
+    const kernels::TeLoweredProgram prog =
+        kernels::lower_te_program(kernel, dims, tiles);
+    const analysis::ScreenResult result =
+        analysis::screen_program(prog.stmt, prog.params);
+    for (const Violation& violation : result.violations) {
+      rules.push_back(violation.rule);
+    }
+    // The codegen tier re-analyzes for pragma gating; include it in the
+    // sweep so the cache is exercised exactly as tvmbo_tune exercises it.
+    (void)analysis::proven_parallel_loops(prog.stmt);
+    (void)analysis::proven_vectorized_loops(prog.stmt);
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    rules.push_back("construct:" + what.substr(0, what.find(':')));
+  }
+  std::sort(rules.begin(), rules.end());
+  return rules;
+}
+
+// The acceptance bar: an identical sweep run cache-off then cache-on must
+// make bit-identical accept/reject decisions while executing >= 5x fewer
+// full prover runs.
+TEST(AnalysisCache, SweepRunsFiveTimesFewerProversWithIdenticalDecisions) {
+  const std::string kernel = "gemm";
+  const std::vector<std::int64_t> dims = kernels::polybench_dims(
+      kernel, kernels::dataset_from_name("mini"));
+  const cs::ConfigurationSpace space = kernels::build_space(kernel, dims);
+
+  // A knob-variant-rich sweep: a few base tile vectors, each expanded
+  // across the annotation knobs exactly as the tuner's space enumerates
+  // them (parallel_axis/threads/vec_axis/unroll; pack off).
+  Rng rng(7);
+  std::vector<std::vector<std::int64_t>> configs;
+  for (int draw = 0; draw < 5; ++draw) {
+    const std::vector<std::int64_t> base =
+        space.values_int(space.sample(rng));
+    for (std::int64_t par = 0; par <= 2; ++par) {
+      for (std::int64_t threads : {1, 2}) {
+        for (std::int64_t vec : {0, 1}) {
+          for (std::int64_t unroll : {0, 2}) {
+            std::vector<std::int64_t> tiles = base;
+            tiles.insert(tiles.end(), {par, threads, vec, unroll, 0});
+            configs.push_back(std::move(tiles));
+          }
+        }
+      }
+    }
+  }
+
+  ProofCache& cache = ProofCache::global();
+
+  cache.clear();
+  cache.set_enabled(false);
+  cache.reset_stats();
+  std::vector<std::vector<std::string>> decisions_off;
+  for (const auto& tiles : configs) {
+    decisions_off.push_back(screen_decision(kernel, dims, tiles));
+  }
+  const analysis::AnalysisCacheStats off = cache.stats();
+
+  cache.clear();
+  cache.set_enabled(true);
+  cache.reset_stats();
+  std::vector<std::vector<std::string>> decisions_on;
+  for (const auto& tiles : configs) {
+    decisions_on.push_back(screen_decision(kernel, dims, tiles));
+  }
+  const analysis::AnalysisCacheStats on = cache.stats();
+
+  EXPECT_EQ(decisions_off, decisions_on);
+  ASSERT_GT(on.prover_runs, 0u);
+  EXPECT_EQ(off.prover_runs, off.loop_queries);  // disabled = no reuse
+  EXPECT_GE(off.prover_runs, 5 * on.prover_runs)
+      << "cache-off " << off.summary() << " vs cache-on " << on.summary();
+  EXPECT_GT(on.verify_hits, 0u) << on.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Oracle differential fuzz: solver verdict vs exhaustive enumeration
+
+/// Rebuilds `stmt` with the `target`-th For node (preorder) flipped to
+/// `kind`; reports the flipped node through `flipped`.
+te::Stmt flip_nth_for(const te::Stmt& stmt, std::size_t target,
+                      te::ForKind kind, std::size_t& counter,
+                      const te::ForNode** flipped) {
+  if (!stmt) return stmt;
+  switch (stmt->kind()) {
+    case te::StmtKind::kFor: {
+      const auto* node = static_cast<const te::ForNode*>(stmt.get());
+      const bool is_target = counter++ == target;
+      te::Stmt body =
+          flip_nth_for(node->body, target, kind, counter, flipped);
+      te::Stmt out = te::make_for(node->var, node->extent,
+                                  is_target ? kind : node->for_kind,
+                                  std::move(body));
+      if (is_target) {
+        *flipped = static_cast<const te::ForNode*>(out.get());
+      }
+      return out;
+    }
+    case te::StmtKind::kSeq: {
+      const auto* node = static_cast<const te::SeqNode*>(stmt.get());
+      std::vector<te::Stmt> stmts;
+      for (const te::Stmt& sub : node->stmts) {
+        stmts.push_back(flip_nth_for(sub, target, kind, counter, flipped));
+      }
+      return te::make_seq(std::move(stmts));
+    }
+    case te::StmtKind::kIfThenElse: {
+      const auto* node = static_cast<const te::IfThenElseNode*>(stmt.get());
+      te::Stmt then_case =
+          flip_nth_for(node->then_case, target, kind, counter, flipped);
+      te::Stmt else_case =
+          flip_nth_for(node->else_case, target, kind, counter, flipped);
+      return te::make_if(node->condition, std::move(then_case),
+                         std::move(else_case));
+    }
+    case te::StmtKind::kRealize: {
+      const auto* node = static_cast<const te::RealizeNode*>(stmt.get());
+      return te::make_realize(
+          node->tensor,
+          flip_nth_for(node->body, target, kind, counter, flipped));
+    }
+    case te::StmtKind::kStore:
+      return stmt;
+  }
+  return stmt;
+}
+
+/// Brute-force race oracle: executes the whole program's iteration space
+/// (indices only, no data), and for every entry into the flipped loop
+/// records which tensor elements each of its iterations touches. A race
+/// exists iff some element is touched by two distinct iterations of the
+/// flipped loop with at least one write — or a buffer is realized inside
+/// the concurrently-executing body.
+class RaceOracle {
+ public:
+  explicit RaceOracle(const te::ForNode* target) : target_(target) {}
+
+  bool run(const te::Stmt& root) {
+    walk(root);
+    EXPECT_FALSE(eval_failed_) << "oracle could not evaluate an index";
+    return race_;
+  }
+
+ private:
+  struct Cell {
+    std::int64_t iter;
+    bool mixed = false;
+    bool write = false;
+  };
+  using ElementKey =
+      std::pair<const te::TensorNode*, std::vector<std::int64_t>>;
+
+  void touch(const te::TensorNode* tensor,
+             const std::vector<te::Expr>& indices, bool is_write) {
+    if (iter_ < 0) return;
+    std::vector<std::int64_t> element;
+    for (const te::Expr& index : indices) {
+      std::int64_t value = 0;
+      if (!analysis::eval_int_expr(index.get(), env_, &value)) {
+        eval_failed_ = true;
+        return;
+      }
+      element.push_back(value);
+    }
+    auto [it, fresh] = cells_.try_emplace(
+        ElementKey{tensor, std::move(element)}, Cell{iter_, false, is_write});
+    if (!fresh) {
+      if (it->second.iter != iter_) it->second.mixed = true;
+      it->second.write |= is_write;
+    }
+  }
+
+  void scan_expr(const te::ExprNode* expr) {
+    if (expr == nullptr) return;
+    switch (expr->kind()) {
+      case te::ExprKind::kTensorAccess: {
+        const auto* node = static_cast<const te::TensorAccessNode*>(expr);
+        touch(node->tensor.get(), node->indices, /*is_write=*/false);
+        for (const te::Expr& index : node->indices) scan_expr(index.get());
+        return;
+      }
+      case te::ExprKind::kBinary: {
+        const auto* node = static_cast<const te::BinaryNode*>(expr);
+        scan_expr(node->a.get());
+        scan_expr(node->b.get());
+        return;
+      }
+      case te::ExprKind::kUnary:
+        scan_expr(static_cast<const te::UnaryNode*>(expr)->operand.get());
+        return;
+      case te::ExprKind::kCompare: {
+        const auto* node = static_cast<const te::CompareNode*>(expr);
+        scan_expr(node->a.get());
+        scan_expr(node->b.get());
+        return;
+      }
+      case te::ExprKind::kSelect: {
+        const auto* node = static_cast<const te::SelectNode*>(expr);
+        scan_expr(node->condition.get());
+        scan_expr(node->true_value.get());
+        scan_expr(node->false_value.get());
+        return;
+      }
+      case te::ExprKind::kReduce:
+        scan_expr(static_cast<const te::ReduceNode*>(expr)->source.get());
+        return;
+      default:
+        return;
+    }
+  }
+
+  void finish_region() {
+    for (const auto& [key, cell] : cells_) {
+      (void)key;
+      if (cell.write && cell.mixed) {
+        race_ = true;
+        break;
+      }
+    }
+    cells_.clear();
+  }
+
+  void walk(const te::Stmt& stmt) {
+    if (!stmt || race_ || eval_failed_) return;
+    switch (stmt->kind()) {
+      case te::StmtKind::kFor: {
+        const auto* node = static_cast<const te::ForNode*>(stmt.get());
+        if (node == target_) {
+          cells_.clear();
+          for (std::int64_t v = 0; v < node->extent && !race_; ++v) {
+            env_[node->var.get()] = v;
+            iter_ = v;
+            walk(node->body);
+            iter_ = -1;
+          }
+          env_.erase(node->var.get());
+          finish_region();
+          return;
+        }
+        for (std::int64_t v = 0; v < node->extent && !race_; ++v) {
+          env_[node->var.get()] = v;
+          walk(node->body);
+        }
+        env_.erase(node->var.get());
+        return;
+      }
+      case te::StmtKind::kStore: {
+        const auto* node = static_cast<const te::StoreNode*>(stmt.get());
+        touch(node->tensor.get(), node->indices, /*is_write=*/true);
+        for (const te::Expr& index : node->indices) {
+          scan_expr(index.get());
+        }
+        scan_expr(node->value.get());
+        return;
+      }
+      case te::StmtKind::kSeq: {
+        const auto* node = static_cast<const te::SeqNode*>(stmt.get());
+        for (const te::Stmt& sub : node->stmts) walk(sub);
+        return;
+      }
+      case te::StmtKind::kIfThenElse: {
+        const auto* node =
+            static_cast<const te::IfThenElseNode*>(stmt.get());
+        std::int64_t cond = 0;
+        if (!analysis::eval_int_expr(node->condition.get(), env_, &cond)) {
+          eval_failed_ = true;
+          return;
+        }
+        walk(cond != 0 ? node->then_case : node->else_case);
+        return;
+      }
+      case te::StmtKind::kRealize: {
+        const auto* node = static_cast<const te::RealizeNode*>(stmt.get());
+        // Realize storage is shared across the iterations of an enclosing
+        // concurrent loop (closure-tier contract): automatic race.
+        if (iter_ >= 0 && target_->extent >= 2) race_ = true;
+        walk(node->body);
+        return;
+      }
+    }
+  }
+
+  const te::ForNode* target_;
+  analysis::WitnessEnv env_;
+  std::map<ElementKey, Cell> cells_;
+  std::int64_t iter_ = -1;
+  bool race_ = false;
+  bool eval_failed_ = false;
+};
+
+TEST(AnalysisOracle, SolverAgreesWithExhaustiveEnumeration) {
+  const std::vector<std::string> kernel_list = {"3mm",      "gemm", "2mm",
+                                                "syrk",     "lu",   "cholesky"};
+  constexpr int kDrawsPerKernel = 35;  // 6 * 35 = 210 >= 200 draws
+  std::size_t safe_count = 0;
+  std::size_t racy_count = 0;
+  std::size_t unknown_count = 0;
+  std::size_t draws = 0;
+
+  for (const std::string& kernel : kernel_list) {
+    const std::vector<std::int64_t> dims = kernels::polybench_dims(
+        kernel, kernels::dataset_from_name("mini"));
+    const cs::ConfigurationSpace space = kernels::build_space(kernel, dims);
+    Rng rng(0xacce55 + std::hash<std::string>{}(kernel));
+    for (int draw = 0; draw < kDrawsPerKernel; ++draw) {
+      const std::vector<std::int64_t> tiles =
+          space.values_int(space.sample(rng));
+      const kernels::TeLoweredProgram prog =
+          kernels::lower_te_program(kernel, dims, tiles);
+      const std::size_t num_loops =
+          te::count_stmts(prog.stmt, te::StmtKind::kFor);
+      ASSERT_GT(num_loops, 0u);
+      const std::size_t target =
+          static_cast<std::size_t>(rng.uniform_int(num_loops));
+      const te::ForKind kind = rng.bernoulli(0.5)
+                                   ? te::ForKind::kParallel
+                                   : te::ForKind::kVectorized;
+      std::size_t counter = 0;
+      const te::ForNode* flipped = nullptr;
+      const te::Stmt mutated =
+          flip_nth_for(prog.stmt, target, kind, counter, &flipped);
+      ASSERT_NE(flipped, nullptr);
+
+      std::ostringstream repro;
+      repro << "repro: kernel=" << kernel << " tiles=[";
+      for (std::size_t i = 0; i < tiles.size(); ++i) {
+        repro << (i ? "," : "") << tiles[i];
+      }
+      repro << "] flip_loop=" << target << " kind="
+            << (kind == te::ForKind::kParallel ? "parallel" : "vectorized");
+
+      const LoopProof& proof =
+          proof_for(analysis::analyze_parallel_loops(mutated),
+                    flipped->var);
+      const bool oracle_race = RaceOracle(flipped).run(mutated);
+      ++draws;
+
+      switch (proof.verdict) {
+        case Verdict::kSafe:
+          ++safe_count;
+          // Soundness: a proven-safe loop must have zero enumerated races.
+          EXPECT_FALSE(oracle_race)
+              << "UNSOUND proven-safe! " << repro.str() << "\n"
+              << proof.detail;
+          break;
+        case Verdict::kRacy:
+          ++racy_count;
+          // Completeness of the claim: the enumerator must see the race,
+          // and any elementwise witness must have replayed successfully.
+          EXPECT_TRUE(oracle_race)
+              << "false proven-racy! " << repro.str() << "\n"
+              << proof.detail;
+          if (proof.witness.has_value()) {
+            EXPECT_TRUE(proof.witness->validated) << repro.str();
+          } else {
+            EXPECT_NE(proof.detail.find("realized inside"),
+                      std::string::npos)
+                << "witness-less racy verdict without a realize rejection: "
+                << repro.str() << "\n"
+                << proof.detail;
+          }
+          break;
+        case Verdict::kUnknown:
+          ++unknown_count;  // conservative; never a soundness issue
+          break;
+      }
+    }
+  }
+
+  EXPECT_GE(draws, 200u);
+  // The battery must exercise both interesting verdicts heavily, and
+  // "unknown" must stay an escape hatch, not the common case.
+  EXPECT_GE(safe_count, 20u);
+  EXPECT_GE(racy_count, 20u);
+  EXPECT_LT(unknown_count, draws / 4)
+      << "safe=" << safe_count << " racy=" << racy_count
+      << " unknown=" << unknown_count;
+}
+
+}  // namespace
+}  // namespace tvmbo

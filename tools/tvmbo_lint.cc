@@ -38,10 +38,26 @@
 //                  space (default 4; 0 = all hardware threads)
 //   --seed N       sampling seed (default 2023)
 //   --verbose      print the lowered IR for accepted configs too
+//   --explain      for parallel-loop-race rejections, print the concrete
+//                  counterexample witness: the two iteration vectors and
+//                  the aliasing tensor element the exact solver found
+//                  (validated by replaying both accesses through the
+//                  affine evaluator)
+//   --no-cache     disable the structural proof cache (every config is
+//                  proven from scratch; for differential cache testing)
 //   --features     with --tiles: instead of linting, print the transfer
 //                  feature vector (src/transfer/features.h) extracted
 //                  from the configured schedule's lowered IR — the exact
 //                  columns the cross-kernel cost model trains on
+//
+// Race verdicts are three-valued (see src/analysis/dependence.h):
+//   proven-safe    rule-based or exact-solver disjointness proof; the
+//                  config is accepted
+//   proven-racy    rule `parallel-loop-race` — a concrete conflicting
+//                  iteration pair exists and replayed successfully
+//                  (--explain prints it)
+//   unknown        rule `parallel-loop-unproven` — a solver work bound
+//                  was hit; rejected conservatively, never guessed
 //
 // Exit status: 0 when every linted configuration is clean, 1 when any
 // violation was found, 2 on usage errors.
@@ -51,6 +67,7 @@
 #include <vector>
 
 #include "analysis/config_screen.h"
+#include "analysis/proof_cache.h"
 #include "common/rng.h"
 #include "kernels/polybench.h"
 #include "kernels/te_programs.h"
@@ -72,15 +89,34 @@ struct Args {
   std::int64_t threads = 4;
   std::uint64_t seed = 2023;
   bool verbose = false;
+  bool explain = false;
+  bool no_cache = false;
   bool features = false;
 };
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
                "usage: %s [--kernel K|all] [--size S] [--tiles a,b,...] "
                "[--sweep] [--samples N] [--exhaustive] [--threads N] "
-               "[--seed N] [--verbose] [--features]\n",
+               "[--seed N] [--verbose] [--explain] [--no-cache] "
+               "[--features]\n"
+               "\n"
+               "Race verdicts are three-valued:\n"
+               "  proven-safe   disjointness proof found; config accepted\n"
+               "  proven-racy   [parallel-loop-race] concrete conflicting\n"
+               "                iteration pair, validated by replaying both\n"
+               "                accesses (--explain prints the witness)\n"
+               "  unknown       [parallel-loop-unproven] solver work bound\n"
+               "                hit; rejected conservatively\n"
+               "\n"
+               "Exit status: 0 every linted configuration clean,\n"
+               "             1 at least one violation found,\n"
+               "             2 usage error.\n",
                argv0);
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  print_usage(stderr, argv0);
   std::exit(2);
 }
 
@@ -115,8 +151,13 @@ Args parse(int argc, char** argv) {
     else if (flag == "--threads") args.threads = std::stoll(value());
     else if (flag == "--seed") args.seed = std::stoull(value());
     else if (flag == "--verbose") args.verbose = true;
+    else if (flag == "--explain") args.explain = true;
+    else if (flag == "--no-cache") args.no_cache = true;
     else if (flag == "--features") args.features = true;
-    else usage(argv[0]);
+    else if (flag == "--help" || flag == "-h") {
+      print_usage(stdout, argv[0]);
+      std::exit(0);
+    } else usage(argv[0]);
   }
   if (args.features && !args.have_tiles) {
     std::fprintf(stderr, "error: --features requires --tiles\n");
@@ -156,7 +197,8 @@ std::string ir_excerpt(const te::Stmt& stmt) {
 /// violations found and updates `stats`.
 std::size_t lint_config(const std::shared_ptr<kernels::TeKernelData>& data,
                         const std::vector<std::int64_t>& tiles,
-                        analysis::ScreenStats& stats, bool verbose) {
+                        analysis::ScreenStats& stats, bool verbose,
+                        bool explain) {
   const std::string label =
       data->kernel + " tiles=" + tiles_to_string(tiles);
   analysis::ScreenResult result;
@@ -194,6 +236,9 @@ std::size_t lint_config(const std::shared_ptr<kernels::TeKernelData>& data,
   for (const analysis::Violation& violation : result.violations) {
     std::printf("  [%s] %s\n", violation.rule.c_str(),
                 violation.message.c_str());
+    if (explain && !violation.witness.empty()) {
+      std::printf("    witness: %s\n", violation.witness.c_str());
+    }
     if (!violation.where.empty()) {
       std::printf("    at: %s\n", violation.where.c_str());
     }
@@ -213,7 +258,8 @@ std::size_t lint_kernel(const Args& args, const std::string& kernel) {
   std::size_t violations = 0;
 
   if (args.have_tiles) {
-    violations += lint_config(data, args.tiles, stats, /*verbose=*/true);
+    violations += lint_config(data, args.tiles, stats, /*verbose=*/true,
+                              args.explain);
   } else {
     kernels::ScheduleKnobs knobs;
     knobs.enabled = true;
@@ -237,13 +283,13 @@ std::size_t lint_kernel(const Args& args, const std::string& kernel) {
       for (std::uint64_t flat = 0; flat < space.cardinality(); ++flat) {
         violations += lint_config(
             data, space.values_int(space.from_flat_index(flat)), stats,
-            args.verbose);
+            args.verbose, args.explain);
       }
     } else {
       Rng rng(args.seed);
       for (std::size_t i = 0; i < args.samples; ++i) {
         violations += lint_config(data, space.values_int(space.sample(rng)),
-                                  stats, args.verbose);
+                                  stats, args.verbose, args.explain);
       }
     }
   }
@@ -291,10 +337,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (args.no_cache) analysis::ProofCache::global().set_enabled(false);
+
   std::size_t total_violations = 0;
   for (const std::string& kernel : kernel_list) {
     total_violations += lint_kernel(args, kernel);
   }
+  std::printf("%s\n",
+              analysis::ProofCache::global().stats().summary().c_str());
   if (total_violations > 0) {
     std::printf("lint: %zu violation(s) found\n", total_violations);
     return 1;

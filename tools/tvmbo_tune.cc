@@ -93,6 +93,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/proof_cache.h"
 #include "codegen/artifact_cache.h"
 #include "codegen/jit_program.h"
 #include "distd/proc_device.h"
@@ -339,6 +340,8 @@ int main(int argc, char** argv) {
                   result.strategy.c_str(), result.analysis_rejects,
                   result.evaluations);
     }
+    std::printf("%s\n",
+                analysis::ProofCache::global().stats().summary().c_str());
   }
 
   if (!args.warm_start.empty()) {
